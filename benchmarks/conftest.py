@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper table/figure at laptop scale (the
+``BENCH_SIZES`` row counts).  pytest-benchmark runs each driver once —
+these are end-to-end experiment reproductions, not micro-benchmarks —
+and the printed tables land in the captured output so ``pytest
+benchmarks/ --benchmark-only -s`` reproduces the paper's evaluation
+section in one command.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: laptop-scale row counts used across all benches
+BENCH_SIZES = {
+    "hospital": 600,
+    "flights": 800,
+    "soccer": 1500,
+    "beers": 800,
+    "inpatient": 800,
+    "facilities": 800,
+}
+
+
+@pytest.fixture
+def bench_sizes() -> dict[str, int]:
+    """The shared laptop-scale dataset sizes."""
+    return dict(BENCH_SIZES)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""Bench: the DESIGN.md design-choice ablations.
+
+Not paper tables — these justify BClean's individual design decisions:
+compensatory scoring, inference mode, structure learner, similarity
+softening, and the domain-pruning cap.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+N_ROWS = 500
+
+
+def test_compensatory_ablation(benchmark):
+    rows = run_once(
+        benchmark, ablations.compensatory_ablation, "hospital", N_ROWS
+    )
+    print()
+    from repro.evaluation.reporting import render_table
+
+    print(render_table(rows, title="Ablation: compensatory score"))
+    with_comp = rows[0]["f1"]
+    without = rows[1]["f1"]
+    # §5's claim: the compensatory model prevents error amplification.
+    assert with_comp >= without - 0.02
+
+
+def test_mode_ablation(benchmark):
+    rows = run_once(benchmark, ablations.mode_ablation, "hospital", N_ROWS)
+    print()
+    from repro.evaluation.reporting import render_table
+
+    print(render_table(rows, title="Ablation: inference mode"))
+    by_mode = {r["mode"]: r for r in rows}
+    # PIP must inspect fewer cells than it skips nothing in PI.
+    assert by_mode["pip"]["cells_skipped"] > 0
+    # Quality parity within tolerance (Table 4's finding).
+    assert abs(by_mode["basic"]["f1"] - by_mode["pi"]["f1"]) < 0.25
+
+
+def test_structure_ablation(benchmark):
+    rows = run_once(benchmark, ablations.structure_ablation, "hospital", N_ROWS)
+    print()
+    from repro.evaluation.reporting import render_table
+
+    print(render_table(rows, title="Ablation: structure learner"))
+    by_learner = {r["learner"]: r for r in rows}
+    # FDX (the paper's construction) must be competitive with the best
+    # classical learner on dirty data.
+    best_classical = max(
+        by_learner[l]["f1"] for l in ("hillclimb", "chowliu", "pc")
+    )
+    assert by_learner["fdx"]["f1"] >= best_classical - 0.10
+
+
+def test_similarity_ablation(benchmark):
+    rows = run_once(benchmark, ablations.similarity_ablation, "hospital", N_ROWS)
+    print()
+    from repro.evaluation.reporting import render_table
+
+    print(render_table(rows, title="Ablation: similarity softening"))
+    soft = rows[0]["f1"]
+    strict = rows[1]["f1"]
+    # The softened profiler must not lose to strict equality (§4's
+    # motivation for the extension).
+    assert soft >= strict - 0.05
+
+
+def test_domain_pruning_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        ablations.domain_pruning_sweep,
+        "hospital",
+        N_ROWS,
+        top_ks=(4, 16, 64),
+    )
+    print()
+    from repro.evaluation.reporting import render_table
+
+    print(render_table(rows, title="Ablation: domain-pruning top-k"))
+    # Larger candidate budgets cannot reduce recall.
+    recalls = [r["recall"] for r in rows]
+    assert recalls[-1] >= recalls[0] - 0.02

@@ -1,0 +1,39 @@
+"""Bench: regenerate Figure 5 (impact of incomplete user constraints).
+
+The paper's finding: removing the pattern (Pat) family hurts the most;
+Max/Min/Nul removals barely matter; All-removed is the worst case but
+"the overall reduction remains within an acceptable range".
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+SIZES = {"hospital": 500, "flights": 600, "soccer": 1200}
+
+
+def test_figure5_uc_ablation(benchmark):
+    rows = run_once(benchmark, figure5.run, sizes=SIZES)
+    print()
+    print(figure5.render(rows))
+
+    def get(dataset, ucs, metric):
+        for r in rows:
+            if r["dataset"] == dataset and r["ucs"] == ucs:
+                return r[metric]
+        return None
+
+    # Flights is pattern-driven: dropping Pat must hurt at least as much
+    # as dropping any other single family.
+    com = get("flights", "Com", "f1") if False else None
+    pat_p = get("flights", "Pat", "precision")
+    for family in ("Max", "Min", "Nul"):
+        other_p = get("flights", family, "precision")
+        assert pat_p is not None and other_p is not None
+        assert pat_p <= other_p + 0.05
+
+    # The complete configuration is never materially worse than All-removed.
+    for dataset in SIZES:
+        com_r = get(dataset, "Com", "recall")
+        all_r = get(dataset, "All", "recall")
+        assert com_r >= all_r - 0.05

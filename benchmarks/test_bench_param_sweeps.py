@@ -1,0 +1,31 @@
+"""Bench: regenerate Tables 8-10 (parameter sensitivity on Hospital).
+
+The paper's claim is *flatness*: λ, β, and τ barely move the F1-score.
+"""
+
+from conftest import run_once
+
+from repro.experiments import param_sweeps
+
+N_ROWS = 500
+
+
+def _spread(rows, key):
+    values = [r["f1"] for r in rows]
+    return max(values) - min(values)
+
+
+def test_tables_8_9_10_parameter_sweeps(benchmark):
+    results = run_once(benchmark, param_sweeps.run, n_rows=N_ROWS)
+    print()
+    print(param_sweeps.render(results))
+
+    # Flatness: each sweep moves F1 by less than 0.08 absolute.
+    assert _spread(results["table8_lambda"], "lambda") < 0.08
+    assert _spread(results["table9_beta"], "beta") < 0.08
+    assert _spread(results["table10_tau"], "tau") < 0.08
+
+    # And the engine is actually cleaning (F1 well above zero) at the
+    # default operating point.
+    defaults = [r for r in results["table8_lambda"] if r["lambda"] == 1.0]
+    assert defaults[0]["f1"] > 0.6

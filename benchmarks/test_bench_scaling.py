@@ -1,0 +1,63 @@
+"""Bench: the Table 7 *shape* — basic inference cost explodes with size.
+
+The paper reports BClean (basic) at 10 h 48 m on Soccer while BCleanPI
+finishes in 30 m 42 s.  At laptop scale the absolute numbers shrink but
+the divergence must survive: the basic variant's cost must grow faster
+with row count than the partitioned variants', at comparable quality.
+"""
+
+from conftest import run_once
+
+from repro.experiments import scaling
+
+ROW_COUNTS = (200, 400, 800)
+
+
+def test_scaling_shape(benchmark):
+    rows = run_once(
+        benchmark, scaling.run, dataset="soccer", row_counts=ROW_COUNTS
+    )
+    print()
+    print(scaling.render(rows))
+
+    def seconds_at(n):
+        return {r["variant"]: r["seconds"] for r in rows if r["n_rows"] == n}
+
+    # The Table 7 shape at laptop scale: the basic engine is the
+    # slowest variant at every size (a small tolerance absorbs timer
+    # noise on the tiny end).
+    for n in ROW_COUNTS:
+        s = seconds_at(n)
+        assert s["BCleanPI"] <= s["BClean"] * 1.1, n
+        assert s["BCleanPIP"] <= s["BClean"] * 1.1, n
+
+    # ... and the absolute gap widens with dataset size (the laptop
+    # shadow of "10 h 48 m vs 30 m 42 s" on the full Soccer).
+    small, large = min(ROW_COUNTS), max(ROW_COUNTS)
+    gap_small = seconds_at(small)["BClean"] - seconds_at(small)["BCleanPIP"]
+    gap_large = seconds_at(large)["BClean"] - seconds_at(large)["BCleanPIP"]
+    assert gap_large > gap_small
+
+    # Quality parity (Table 4's finding) must hold while we speed up.
+    f1 = {r["variant"]: r["f1"] for r in rows if r["n_rows"] == large}
+    assert abs(f1["BClean"] - f1["BCleanPI"]) < 0.25
+    assert abs(f1["BClean"] - f1["BCleanPIP"]) < 0.30
+
+    # Domain/tuple pruning must translate into strictly less work.
+    candidates = {
+        r["variant"]: r["candidates"] for r in rows if r["n_rows"] == large
+    }
+    assert candidates["BCleanPIP"] < candidates["BCleanPI"]
+
+
+def test_pip_prunes_cells(benchmark):
+    rows = run_once(
+        benchmark,
+        scaling.run,
+        dataset="soccer",
+        row_counts=(400,),
+        variants=("BCleanPIP",),
+    )
+    (row,) = rows
+    # tuple pruning (§6.2) must actually skip work
+    assert row["cells_skipped"] > 0

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 2 (dataset statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_statistics(benchmark):
+    rows = run_once(benchmark, table2.run, 300)
+    print()
+    print(table2.render(rows))
+    assert len(rows) == 6
+    # prior-knowledge counts ordered as in the paper: BClean's UCs are
+    # lightweight, PClean's programs are the heaviest input.
+    for row in rows:
+        assert row["ppl_lines"] > row["n_dcs"]
+        assert row["n_ucs"] >= 6

@@ -1,0 +1,45 @@
+"""Bench: regenerate Table 4 (P/R/F1 of all methods on all datasets).
+
+The reproduction target is *shape*, not absolute numbers: BClean
+variants lead on the FD-rich datasets, Garf shows its precision-high /
+recall-low signature, and the efficiency-optimised variants stay close
+to the unoptimised engine in quality.
+"""
+
+from conftest import BENCH_SIZES, run_once
+
+from repro.experiments import table4
+
+
+def _f1(reports, system, dataset):
+    for r in reports:
+        if r.system == system and r.dataset == dataset:
+            return None if r.failed else r.quality.f1
+    return None
+
+
+def test_table4_full_matrix(benchmark):
+    reports = run_once(benchmark, table4.run, sizes=BENCH_SIZES)
+    print()
+    print(table4.render(reports))
+
+    # BClean (PI) beats Garf and Raha+Baran on the FD-rich datasets.
+    for dataset in ("hospital", "facilities"):
+        bclean = _f1(reports, "BCleanPI", dataset)
+        assert bclean is not None
+        for other in ("Garf", "Raha+Baran"):
+            competitor = _f1(reports, other, dataset)
+            if competitor is not None:
+                assert bclean > competitor, (dataset, other)
+
+    # The optimised variants stay within reach of the basic engine.
+    for dataset in ("hospital",):
+        basic = _f1(reports, "BClean", dataset)
+        pi = _f1(reports, "BCleanPI", dataset)
+        assert basic is not None and pi is not None
+        assert abs(basic - pi) < 0.25
+
+    # Garf's signature: precision far above its recall where it runs.
+    for r in reports:
+        if r.system == "Garf" and not r.failed and r.quality.n_modified > 10:
+            assert r.quality.precision > r.quality.recall

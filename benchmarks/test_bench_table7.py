@@ -1,0 +1,45 @@
+"""Bench: regenerate Table 7 (runtime comparison).
+
+Execution times are measured on this machine; user times are the
+paper's reported human-effort figures (see EXPERIMENTS.md).  The shape
+assertions capture the paper's efficiency claims: partitioned inference
+(PI) is dramatically faster than the basic engine on the larger
+datasets, and pruning (PIP) does not make it slower.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table7
+
+SIZES = {
+    "hospital": 500,
+    "flights": 600,
+    "soccer": 1200,
+    "beers": 600,
+    "inpatient": 600,
+    "facilities": 600,
+}
+DATASETS = ("hospital", "soccer")
+
+
+def test_table7_runtimes(benchmark):
+    reports = run_once(benchmark, table7.run, datasets=DATASETS, sizes=SIZES)
+    print()
+    print(table7.render(reports))
+
+    def exec_s(system, dataset):
+        for r in reports:
+            if r.system == system and r.dataset == dataset:
+                return r.exec_seconds
+        return None
+
+    # §6.1's whole point: partitioned inference beats full-joint scoring.
+    basic = exec_s("BClean", "soccer")
+    pi = exec_s("BCleanPI", "soccer")
+    assert basic is not None and pi is not None
+    assert pi < basic
+
+    # Pruning must not slow PI down materially.
+    pip = exec_s("BCleanPIP", "soccer")
+    assert pip is not None
+    assert pip < basic

@@ -1,0 +1,64 @@
+"""Quickstart: clean a small dirty table with BClean.
+
+Builds the paper's running example (a Customer-style table with a
+ZipCode → City/State dependency), plants three errors — a typo, a
+missing value, and an inconsistency — and repairs them with the
+partitioned-inference engine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.constraints import NotNull, Pattern, UCRegistry
+from repro.core import BClean, BCleanConfig
+from repro.dataset import Schema, Table
+
+
+def main() -> None:
+    schema = Schema.of(
+        "Name:text", "City:categorical", "State:categorical", "ZipCode:categorical"
+    )
+    clean_rows = [
+        ["Johnny.R", "sylacauga", "CA", "35150"],
+        ["Johnny.R", "sylacauga", "CA", "35150"],
+        ["Johnny.R", "sylacauga", "CA", "35150"],
+        ["Henry.P", "centre", "KT", "35960"],
+        ["Henry.P", "centre", "KT", "35960"],
+        ["Henry.P", "centre", "KT", "35960"],
+        ["Mary.S", "newyork", "NY", "10001"],
+        ["Mary.S", "newyork", "NY", "10001"],
+    ]
+    dirty = Table.from_rows(schema, clean_rows)
+    dirty.set_cell(1, "State", "KT")      # inconsistency: zip 35150 is CA
+    dirty.set_cell(3, "City", "cenre")    # typo
+    dirty.set_cell(6, "ZipCode", None)    # missing value
+
+    print("Dirty input:")
+    print(dirty.pretty())
+
+    # Lightweight user constraints (§2): formats, not distributions.
+    constraints = (
+        UCRegistry()
+        .add("Name", NotNull())
+        .add("City", NotNull())
+        .add("State", NotNull(), Pattern(r"[A-Z]{2}"))
+        .add("ZipCode", NotNull(), Pattern(r"[0-9]{5}"))
+    )
+
+    engine = BClean(BCleanConfig.pi(), constraints)
+    engine.fit(dirty)
+
+    print("\nAuto-constructed Bayesian network (FDX, Section 4):")
+    print(engine.dag.pretty())
+
+    result = engine.clean()
+
+    print(f"\n{result.n_repairs} repairs:")
+    for repair in result.repairs:
+        print(f"  {repair}")
+
+    print("\nCleaned output:")
+    print(result.cleaned.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""BClean: A Bayesian Data Cleaning System — full reproduction.
+
+Public API roots:
+
+- :mod:`repro.core` — the BClean engine (:class:`~repro.core.BClean`,
+  :class:`~repro.core.BCleanConfig`), compensatory scoring, pruning,
+  network interaction.
+- :mod:`repro.bayesnet` — the discrete Bayesian-network substrate and
+  structure learners (FDX, hill-climbing, Chow–Liu, PC).
+- :mod:`repro.constraints` — user constraints, FDs, DCs.
+- :mod:`repro.dataset` — tables, schemas, CSV I/O.
+- :mod:`repro.data` — benchmark dataset generators + error injection.
+- :mod:`repro.baselines` — PClean, HoloClean, Raha+Baran, Garf.
+- :mod:`repro.evaluation` — metrics, runner, reporting.
+- :mod:`repro.experiments` — drivers for every paper table and figure.
+
+Quickstart::
+
+    from repro.core import BClean, BCleanConfig
+    from repro.data.benchmark import load_benchmark
+
+    bench = load_benchmark("hospital")
+    engine = BClean(BCleanConfig.pi(), bench.constraints)
+    engine.fit(bench.dirty)
+    result = engine.clean()
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.config import BCleanConfig, InferenceMode
+from repro.core.engine import BClean, clean_table
+from repro.errors import ReproError
+
+__all__ = [
+    "BClean",
+    "BCleanConfig",
+    "InferenceMode",
+    "ReproError",
+    "__version__",
+    "clean_table",
+]

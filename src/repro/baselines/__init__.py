@@ -1,0 +1,30 @@
+"""Competing cleaning systems re-implemented from scratch."""
+
+from repro.baselines.garf import GarfCleaner, ValueRule, garf_clean
+from repro.baselines.holoclean import HoloCleanCleaner, holoclean_clean
+from repro.baselines.pclean import PCleanCleaner, pclean_clean
+from repro.baselines.pclean_model import PCleanAttribute, PCleanModel
+from repro.baselines.raha_baran import (
+    BaranCorrector,
+    LabeledTuples,
+    RahaBaranCleaner,
+    RahaDetector,
+    raha_baran_clean,
+)
+
+__all__ = [
+    "BaranCorrector",
+    "GarfCleaner",
+    "HoloCleanCleaner",
+    "LabeledTuples",
+    "PCleanAttribute",
+    "PCleanCleaner",
+    "PCleanModel",
+    "RahaBaranCleaner",
+    "RahaDetector",
+    "ValueRule",
+    "garf_clean",
+    "holoclean_clean",
+    "pclean_clean",
+    "raha_baran_clean",
+]

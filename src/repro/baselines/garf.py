@@ -1,0 +1,134 @@
+"""The Garf baseline: self-supervised rule mining + repair.
+
+Garf (Peng et al., PVLDB 2022) trains a SeqGAN over tuple sequences and
+distils *explainable repair rules* of the form ``X=x → Y=y``, which it
+then applies to the data — no user input at all.  We reproduce the
+rule-centric behaviour with a direct miner: value-level implication
+rules with support/confidence thresholds (the fixed points a SeqGAN
+converges to on relational data are exactly the high-confidence
+co-occurrence rules), applied iteratively until fixpoint.
+
+Characteristic behaviour (matching Table 4): precision near 1 — a rule
+must be strongly supported before it fires — but low recall, since
+typos in attributes that never anchor a confident rule (numeric
+columns, free text, very dirty columns) are untouchable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.bayesnet.cpt import cell_key
+from repro.dataset.table import Cell, Table, is_null
+from repro.errors import BaselineError
+
+
+@dataclass(frozen=True)
+class ValueRule:
+    """``lhs_attr = lhs_value → rhs_attr = rhs_value`` with evidence."""
+
+    lhs_attr: str
+    lhs_value: object
+    rhs_attr: str
+    rhs_value: Cell
+    support: int
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.lhs_attr}={self.lhs_value!r} -> "
+            f"{self.rhs_attr}={self.rhs_value!r} "
+            f"(sup={self.support}, conf={self.confidence:.2f})"
+        )
+
+
+class GarfCleaner:
+    """Mine value rules from the dirty data, apply until fixpoint."""
+
+    def __init__(
+        self,
+        min_support: int = 3,
+        min_confidence: float = 0.9,
+        max_iterations: int = 3,
+    ):
+        if min_support < 1:
+            raise BaselineError(f"min_support must be ≥ 1, got {min_support}")
+        if not 0.0 < min_confidence <= 1.0:
+            raise BaselineError(
+                f"min_confidence must be in (0, 1], got {min_confidence}"
+            )
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_iterations = max_iterations
+        self.rules: list[ValueRule] = []
+
+    def mine_rules(self, table: Table) -> list[ValueRule]:
+        """All value rules passing the support/confidence thresholds.
+
+        Only *non-trivial* LHS values qualify: a value whose group is a
+        single tuple supports nothing (and would make every cell a rule).
+        """
+        rules: list[ValueRule] = []
+        names = table.schema.names
+        for lhs in names:
+            lcol = table.column(lhs)
+            groups: dict[object, list[int]] = defaultdict(list)
+            for i, v in enumerate(lcol):
+                if not is_null(v):
+                    groups[cell_key(v)].append(i)
+            for rhs in names:
+                if rhs == lhs:
+                    continue
+                rcol = table.column(rhs)
+                for lhs_value, rows in groups.items():
+                    if len(rows) < self.min_support:
+                        continue
+                    counter = Counter(
+                        rcol[i] for i in rows if not is_null(rcol[i])
+                    )
+                    if not counter:
+                        continue
+                    rhs_value, count = counter.most_common(1)[0]
+                    total = sum(counter.values())
+                    confidence = count / total
+                    if count >= self.min_support and confidence >= self.min_confidence:
+                        rules.append(
+                            ValueRule(
+                                lhs, lhs_value, rhs, rhs_value, count, confidence
+                            )
+                        )
+        return rules
+
+    def clean(self, table: Table) -> Table:
+        """Iteratively repair rule violations until fixpoint."""
+        current = table.copy()
+        for _ in range(self.max_iterations):
+            self.rules = self.mine_rules(current)
+            by_lhs: dict[tuple[str, object], list[ValueRule]] = defaultdict(list)
+            for r in self.rules:
+                by_lhs[(r.lhs_attr, r.lhs_value)].append(r)
+
+            n_changes = 0
+            names = current.schema.names
+            for i in range(current.n_rows):
+                row = {a: current.cell(i, a) for a in names}
+                for lhs in names:
+                    for rule in by_lhs.get((lhs, cell_key(row[lhs])), ()):
+                        observed = row[rule.rhs_attr]
+                        if cell_key(observed) != cell_key(rule.rhs_value):
+                            current.set_cell(i, rule.rhs_attr, rule.rhs_value)
+                            row[rule.rhs_attr] = rule.rhs_value
+                            n_changes += 1
+            if n_changes == 0:
+                break
+        return current
+
+
+def garf_clean(
+    table: Table,
+    min_support: int = 3,
+    min_confidence: float = 0.9,
+) -> Table:
+    """One-shot convenience wrapper."""
+    return GarfCleaner(min_support, min_confidence).clean(table)

@@ -1,0 +1,249 @@
+"""The HoloClean baseline: DC-driven, weakly supervised repair.
+
+HoloClean (Rekatsinas et al., PVLDB 2017) compiles denial constraints,
+co-occurrence statistics, and minimality into features of a factor
+graph, learns feature weights from the *unviolated* (presumed-clean)
+part of the data, and repairs the violating cells.  We reproduce that
+pipeline:
+
+1. **Detection** — cells touched by DC violations, plus NULLs.
+2. **Candidates** — domain values co-occurring with the tuple context.
+3. **Features** — context co-occurrence, frequency prior, minimality,
+   and consensus-of-the-violation-group.
+4. **Weight learning** — logistic regression (plain numpy gradient
+   ascent) on presumed-clean cells: the observed value is the positive
+   example, sampled domain values are negatives.
+5. **Repair** — argmax candidate for every *detected* cell only.
+
+Characteristic behaviour (matching Table 4): precision is high — only
+well-evidenced violations are touched — while recall is bounded by DC
+coverage (typos in attributes no DC mentions are never repaired).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import numpy as np
+
+from repro.bayesnet.cpt import cell_key
+from repro.constraints.dc import DenialConstraint, iter_violations
+from repro.core.cooccurrence import CooccurrenceIndex
+from repro.dataset.domain import DomainIndex
+from repro.dataset.table import Cell, Table, is_null
+from repro.errors import BaselineError
+
+_N_FEATURES = 4
+_MAX_CANDIDATES = 40
+_TRAIN_CELLS = 2000
+_EPOCHS = 12
+_LR = 0.5
+
+
+class HoloCleanCleaner:
+    """The full detect → featurise → learn → repair pipeline."""
+
+    def __init__(self, constraints: list[DenialConstraint], seed: int = 0):
+        if not constraints:
+            raise BaselineError("HoloClean needs at least one denial constraint")
+        self.constraints = constraints
+        self.seed = seed
+        self.weights = np.zeros(_N_FEATURES)
+
+    # -- pipeline ------------------------------------------------------------------
+
+    def fit(self, table: Table) -> "HoloCleanCleaner":
+        """Index statistics, detect violations, learn feature weights."""
+        self.table = table
+        self.cooc = CooccurrenceIndex(table)
+        self.domains = DomainIndex(table)
+        self.noisy_cells = self._detect(table)
+        self._learn_weights(table)
+        return self
+
+    def _detect(self, table: Table) -> set[tuple[int, str]]:
+        """Cells implicated in DC violations, plus NULL cells."""
+        noisy: set[tuple[int, str]] = set()
+        for dc in self.constraints:
+            attrs = sorted(
+                {
+                    side[1]
+                    for p in dc.predicates
+                    for side in (p.left, p.right)
+                    if side[0] != "const"
+                }
+            )
+            for hit in iter_violations(table, dc):
+                for i in hit:
+                    for a in attrs:
+                        noisy.add((i, a))
+        for j, a in enumerate(table.schema.names):
+            col = table.columns[j]
+            for i in range(table.n_rows):
+                if is_null(col[i]):
+                    noisy.add((i, a))
+        return noisy
+
+    # -- features -------------------------------------------------------------------
+
+    def _features(
+        self,
+        attr: str,
+        candidate: Cell,
+        row: dict[str, Cell],
+        observed: Cell,
+        group_consensus: Cell | None,
+    ) -> np.ndarray:
+        n = max(1, self.table.n_rows)
+        others = [a for a in self.table.schema.names if a != attr]
+        cooc_score = 0.0
+        for a in others:
+            denom = self.cooc.count(a, row[a])
+            if denom > 0:
+                cooc_score += (
+                    self.cooc.pair_count(attr, candidate, a, row[a]) / denom
+                )
+        cooc_score /= max(1, len(others))
+        freq = self.cooc.count(attr, candidate) / n
+        minimality = 1.0 if cell_key(candidate) == cell_key(observed) else 0.0
+        consensus = (
+            1.0
+            if group_consensus is not None
+            and cell_key(candidate) == cell_key(group_consensus)
+            else 0.0
+        )
+        return np.array([cooc_score, freq, minimality, consensus])
+
+    def _learn_weights(self, table: Table) -> None:
+        """Logistic weight learning on presumed-clean cells."""
+        rng = random.Random(self.seed)
+        names = table.schema.names
+        clean_cells = [
+            (i, a)
+            for a in names
+            for i in range(table.n_rows)
+            if (i, a) not in self.noisy_cells and not is_null(table.cell(i, a))
+        ]
+        if not clean_cells:
+            self.weights = np.array([1.0, 0.5, 1.0, 1.0])
+            return
+        rng.shuffle(clean_cells)
+        clean_cells = clean_cells[:_TRAIN_CELLS]
+
+        xs: list[np.ndarray] = []
+        ys: list[float] = []
+        for i, a in clean_cells:
+            row = table.row(i).as_dict()
+            observed = row[a]
+            xs.append(self._features(a, observed, row, observed, None))
+            ys.append(1.0)
+            domain = self.domains.candidate_values(a, cap=20)
+            negatives = [v for v in domain if cell_key(v) != cell_key(observed)]
+            if negatives:
+                neg = negatives[rng.randrange(len(negatives))]
+                xs.append(self._features(a, neg, row, observed, None))
+                ys.append(0.0)
+        x = np.vstack(xs)
+        y = np.asarray(ys)
+        w = np.zeros(_N_FEATURES)
+        for _ in range(_EPOCHS):
+            p = 1.0 / (1.0 + np.exp(-(x @ w)))
+            grad = x.T @ (y - p) / len(y)
+            w += _LR * grad
+        self.weights = w
+
+    # -- repair ---------------------------------------------------------------------
+
+    def clean(self, table: Table | None = None) -> Table:
+        """Repair every detected cell with its best-scoring candidate."""
+        if not hasattr(self, "table"):
+            raise BaselineError("fit() must be called before clean()")
+        table = table if table is not None else self.table
+        cleaned = table.copy()
+        consensus = self._group_consensus(table)
+
+        for i, attr in sorted(self.noisy_cells):
+            row = table.row(i).as_dict()
+            observed = row[attr]
+            group_best = consensus.get((i, attr))
+            best, best_score = observed, -math.inf
+            for c in self._candidates(attr, row, observed):
+                f = self._features(attr, c, row, observed, group_best)
+                score = float(self.weights @ f)
+                if score > best_score:
+                    best, best_score = c, score
+            if best is not None and cell_key(best) != cell_key(observed):
+                cleaned.set_cell(i, attr, best)
+        return cleaned
+
+    def _candidates(
+        self, attr: str, row: dict[str, Cell], observed: Cell
+    ) -> list[Cell]:
+        pool: list[Cell] = []
+        seen: set[object] = set()
+        for a in self.table.schema.names:
+            if a == attr:
+                continue
+            for v in self.cooc.cooccurring_values(attr, a, row[a]):
+                k = cell_key(v)
+                if k not in seen and not is_null(v):
+                    seen.add(k)
+                    pool.append(v)
+            if len(pool) >= _MAX_CANDIDATES:
+                break
+        for v in self.domains.candidate_values(attr, cap=_MAX_CANDIDATES):
+            k = cell_key(v)
+            if k not in seen:
+                seen.add(k)
+                pool.append(v)
+        if not is_null(observed):
+            k = cell_key(observed)
+            if k not in seen:
+                pool.append(observed)
+        return pool[: _MAX_CANDIDATES + 1]
+
+    def _group_consensus(self, table: Table) -> dict[tuple[int, str], Cell]:
+        """For each FD-style DC and violating cell, the majority RHS value
+        of the cell's LHS group (the repair a DC 'wants')."""
+        out: dict[tuple[int, str], Cell] = {}
+        for dc in self.constraints:
+            fd = _as_fd(dc)
+            if fd is None:
+                continue
+            lhs, rhs = fd
+            groups: dict[object, Counter] = {}
+            lcol, rcol = table.column(lhs), table.column(rhs)
+            for i in range(table.n_rows):
+                if is_null(rcol[i]):
+                    continue
+                groups.setdefault(cell_key(lcol[i]), Counter())[rcol[i]] += 1
+            for i in range(table.n_rows):
+                if (i, rhs) in self.noisy_cells:
+                    counter = groups.get(cell_key(lcol[i]))
+                    if counter:
+                        out[(i, rhs)] = counter.most_common(1)[0][0]
+        return out
+
+
+def _as_fd(dc: DenialConstraint) -> tuple[str, str] | None:
+    """Recognise the two-predicate FD encoding ``t1.A=t2.A ∧ t1.B≠t2.B``."""
+    if len(dc.predicates) != 2:
+        return None
+    eq = [p for p in dc.predicates if p.op == "="]
+    ne = [p for p in dc.predicates if p.op == "!="]
+    if len(eq) != 1 or len(ne) != 1:
+        return None
+    lhs = eq[0].left[1] if eq[0].left[0] != "const" else None
+    rhs = ne[0].left[1] if ne[0].left[0] != "const" else None
+    if lhs and rhs:
+        return lhs, rhs
+    return None
+
+
+def holoclean_clean(
+    table: Table, constraints: list[DenialConstraint], seed: int = 0
+) -> Table:
+    """One-shot convenience wrapper."""
+    return HoloCleanCleaner(constraints, seed).fit(table).clean()

@@ -1,0 +1,285 @@
+"""The Raha+Baran baseline: few-shot detection + correction.
+
+Raha (Mahdavi et al., SIGMOD 2019) detects errors with an ensemble of
+unsupervised detectors whose per-cell votes form feature vectors; cells
+are clustered per column and ~20 labelled tuples propagate error/clean
+labels through the clusters.  Baran (Mahdavi & Abedjan, PVLDB 2020)
+corrects the detected cells with value-based, vicinity-based, and
+domain-based corrector models, weighted by how often each corrector
+reproduced the labelled repairs.
+
+The pipeline's defining weakness is preserved: correction only sees the
+cells detection flagged, so detection misses propagate (the low recall
+of Table 4/6).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.bayesnet.cpt import cell_key
+from repro.constraints.fd import FDLookup, discover_fds
+from repro.core.cooccurrence import CooccurrenceIndex
+from repro.dataset.domain import DomainIndex
+from repro.dataset.table import Cell, Table, is_null
+from repro.errors import BaselineError
+from repro.text.levenshtein import levenshtein_within
+from repro.text.patterns import PatternProfile
+from repro.text.tokenize import NgramLanguageModel
+
+_N_LABELED = 20          # tuples labelled for detection (Raha)
+_N_CORRECTED = 20        # tuples with corrections (Baran) — "20+20"
+_RARITY_THRESHOLD = 0.8
+_FREQ_THRESHOLD = 0.002
+_LM_Z = -1.5
+
+
+@dataclass
+class LabeledTuples:
+    """The expert's 20+20 budget: row indices plus their clean rows."""
+
+    detection_rows: list[int]
+    correction_rows: list[int]
+    clean: Table
+
+    @classmethod
+    def sample(cls, dirty: Table, clean: Table, seed: int = 0) -> "LabeledTuples":
+        """Sample the labelling budget uniformly (seeded)."""
+        rng = random.Random(seed)
+        n = dirty.n_rows
+        det = rng.sample(range(n), min(_N_LABELED, n))
+        remaining = [i for i in range(n) if i not in set(det)]
+        cor = rng.sample(remaining, min(_N_CORRECTED, len(remaining))) if remaining else det
+        return cls(det, cor, clean)
+
+
+class RahaDetector:
+    """The detector ensemble + cluster label propagation."""
+
+    def __init__(self, table: Table, labeled: LabeledTuples):
+        self.table = table
+        self.labeled = labeled
+        self._profiles = {
+            a: PatternProfile(table.column(a)) for a in table.schema.names
+        }
+        self._lms = {
+            a: NgramLanguageModel(table.column(a)) for a in table.schema.names
+        }
+        self._domains = DomainIndex(table)
+        self._fds = [
+            FDLookup(d.fd, table)
+            for d in discover_fds(table, min_confidence=0.85, max_lhs_size=1)
+        ]
+        self._lm_stats = self._column_lm_stats()
+
+    def _column_lm_stats(self) -> dict[str, tuple[float, float]]:
+        stats = {}
+        for a in self.table.schema.names:
+            scores = [
+                self._lms[a].score(v)
+                for v in self.table.column(a)
+                if not is_null(v)
+            ]
+            if not scores:
+                stats[a] = (0.0, 1.0)
+                continue
+            mean = sum(scores) / len(scores)
+            var = sum((s - mean) ** 2 for s in scores) / max(1, len(scores) - 1)
+            stats[a] = (mean, max(var, 1e-12) ** 0.5)
+        return stats
+
+    def feature_vector(self, i: int, attr: str) -> tuple[int, ...]:
+        """Binary detector votes for one cell."""
+        value = self.table.cell(i, attr)
+        votes = []
+        votes.append(1 if is_null(value) else 0)
+        votes.append(
+            1 if self._profiles[attr].rarity(value) > _RARITY_THRESHOLD else 0
+        )
+        rel = (
+            self._domains[attr].relative_frequency(value)
+            if not is_null(value)
+            else 0.0
+        )
+        votes.append(1 if 0.0 < rel < _FREQ_THRESHOLD else 0)
+        mean, std = self._lm_stats[attr]
+        z = (self._lms[attr].score(value) - mean) / std if not is_null(value) else 0.0
+        votes.append(1 if z < _LM_Z else 0)
+        row = self.table.row(i).as_dict()
+        fd_violation = any(
+            lookup.fd.rhs == attr and lookup.violates(row) for lookup in self._fds
+        )
+        votes.append(1 if fd_violation else 0)
+        return tuple(votes)
+
+    def detect(self) -> set[tuple[int, str]]:
+        """Flagged cells after cluster-level label propagation."""
+        flagged: set[tuple[int, str]] = set()
+        labeled_rows = set(self.labeled.detection_rows)
+        for attr in self.table.schema.names:
+            clusters: dict[tuple[int, ...], list[int]] = {}
+            for i in range(self.table.n_rows):
+                clusters.setdefault(self.feature_vector(i, attr), []).append(i)
+            for signature, members in clusters.items():
+                labeled_members = [i for i in members if i in labeled_rows]
+                if labeled_members:
+                    # Propagate the labelled majority through the cluster.
+                    dirty_votes = sum(
+                        1
+                        for i in labeled_members
+                        if _cell_is_error(self.table, self.labeled.clean, i, attr)
+                    )
+                    is_dirty = dirty_votes * 2 > len(labeled_members)
+                else:
+                    # No label reaches this cluster: majority detector vote.
+                    is_dirty = sum(signature) >= 2
+                if is_dirty:
+                    flagged.update((i, attr) for i in members)
+        return flagged
+
+
+def _cell_is_error(dirty: Table, clean: Table, i: int, attr: str) -> bool:
+    from repro.dataset.diff import cells_equal
+
+    return not cells_equal(dirty.cell(i, attr), clean.cell(i, attr))
+
+
+class BaranCorrector:
+    """The corrector ensemble, weighted on the labelled repairs."""
+
+    def __init__(self, table: Table, labeled: LabeledTuples):
+        self.table = table
+        self.labeled = labeled
+        self.cooc = CooccurrenceIndex(table)
+        self.domains = DomainIndex(table)
+        self._fds = [
+            FDLookup(d.fd, table)
+            for d in discover_fds(table, min_confidence=0.85, max_lhs_size=1)
+        ]
+        self.weights = self._learn_weights()
+
+    # Corrector models ---------------------------------------------------------
+
+    def _value_candidates(self, attr: str, value: Cell) -> list[Cell]:
+        """Edit-distance neighbours inside the column domain (typo fixes)."""
+        if is_null(value):
+            return []
+        out = []
+        for v in self.domains.candidate_values(attr, cap=2000):
+            if cell_key(v) == cell_key(value):
+                continue
+            if levenshtein_within(str(value), str(v), 2) is not None:
+                out.append(v)
+        return out[:10]
+
+    def _vicinity_candidates(self, attr: str, row: dict[str, Cell]) -> list[Cell]:
+        """Values that co-occur most with the rest of the tuple."""
+        scores: Counter = Counter()
+        for a in self.table.schema.names:
+            if a == attr:
+                continue
+            for v in self.cooc.cooccurring_values(attr, a, row[a]):
+                scores[v] += self.cooc.pair_count(attr, v, a, row[a])
+        return [v for v, _ in scores.most_common(5)]
+
+    def _fd_candidates(self, attr: str, row: dict[str, Cell]) -> list[Cell]:
+        out = []
+        for lookup in self._fds:
+            if lookup.fd.rhs == attr:
+                expected = lookup.expected(row)
+                if expected is not None:
+                    out.append(expected)
+        return out
+
+    def _domain_candidates(self, attr: str) -> list[Cell]:
+        return [v for v, _ in self.domains[attr].most_common(3)]
+
+    _MODELS = ("value", "vicinity", "fd", "domain")
+
+    def _model_candidates(
+        self, model: str, attr: str, row: dict[str, Cell]
+    ) -> list[Cell]:
+        if model == "value":
+            return self._value_candidates(attr, row[attr])
+        if model == "vicinity":
+            return self._vicinity_candidates(attr, row)
+        if model == "fd":
+            return self._fd_candidates(attr, row)
+        return self._domain_candidates(attr)
+
+    # Weight learning -------------------------------------------------------------
+
+    def _learn_weights(self) -> dict[str, float]:
+        """Weight each corrector by accuracy on the labelled repairs."""
+        hits = {m: 1.0 for m in self._MODELS}  # add-one prior
+        trials = {m: 2.0 for m in self._MODELS}
+        clean = self.labeled.clean
+        for i in self.labeled.correction_rows:
+            row = self.table.row(i).as_dict()
+            for attr in self.table.schema.names:
+                if not _cell_is_error(self.table, clean, i, attr):
+                    continue
+                truth = clean.cell(i, attr)
+                for m in self._MODELS:
+                    candidates = self._model_candidates(m, attr, row)
+                    if not candidates:
+                        continue
+                    trials[m] += 1.0
+                    if any(cell_key(c) == cell_key(truth) for c in candidates):
+                        hits[m] += 1.0
+        return {m: hits[m] / trials[m] for m in self._MODELS}
+
+    # Correction ---------------------------------------------------------------------
+
+    def correct(self, i: int, attr: str) -> Cell | None:
+        """The weighted-ensemble repair for one detected cell."""
+        row = self.table.row(i).as_dict()
+        scores: Counter = Counter()
+        values: dict[object, Cell] = {}
+        for m in self._MODELS:
+            weight = self.weights[m]
+            for rank, c in enumerate(self._model_candidates(m, attr, row)):
+                k = cell_key(c)
+                scores[k] += weight / (1 + rank)
+                values.setdefault(k, c)
+        if not scores:
+            return None
+        best_key, _ = scores.most_common(1)[0]
+        return values[best_key]
+
+
+class RahaBaranCleaner:
+    """Detection feeding correction — the combined system."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def fit(self, dirty: Table, clean_reference: Table) -> "RahaBaranCleaner":
+        """``clean_reference`` supplies the 20+20 expert labels only —
+        the pipeline never reads unlabelled ground truth."""
+        if dirty.n_rows != clean_reference.n_rows:
+            raise BaselineError("dirty and reference tables must align")
+        self.dirty = dirty
+        self.labeled = LabeledTuples.sample(dirty, clean_reference, self.seed)
+        self.detector = RahaDetector(dirty, self.labeled)
+        self.corrector = BaranCorrector(dirty, self.labeled)
+        return self
+
+    def clean(self) -> Table:
+        """Detect, then correct only the detected cells."""
+        flagged = self.detector.detect()
+        cleaned = self.dirty.copy()
+        for i, attr in sorted(flagged):
+            repair = self.corrector.correct(i, attr)
+            if repair is not None and cell_key(repair) != cell_key(
+                self.dirty.cell(i, attr)
+            ):
+                cleaned.set_cell(i, attr, repair)
+        return cleaned
+
+
+def raha_baran_clean(dirty: Table, clean_reference: Table, seed: int = 0) -> Table:
+    """One-shot convenience wrapper."""
+    return RahaBaranCleaner(seed).fit(dirty, clean_reference).clean()

@@ -1,0 +1,31 @@
+"""Discrete Bayesian-network substrate: DAGs, CPTs, inference, learning."""
+
+from repro.bayesnet.beliefprop import BeliefPropagation, BPResult
+from repro.bayesnet.cpt import CPT, NULL_KEY, cell_key
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.inference import (
+    Factor,
+    VariableElimination,
+    log_sum_exp,
+    markov_blanket_posterior,
+)
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.bayesnet.serialize import load_bn, load_dag, save_bn, save_dag
+
+__all__ = [
+    "BPResult",
+    "BeliefPropagation",
+    "CPT",
+    "DAG",
+    "DiscreteBayesNet",
+    "Factor",
+    "NULL_KEY",
+    "VariableElimination",
+    "cell_key",
+    "load_bn",
+    "load_dag",
+    "log_sum_exp",
+    "markov_blanket_posterior",
+    "save_bn",
+    "save_dag",
+]

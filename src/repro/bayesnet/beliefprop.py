@@ -1,0 +1,327 @@
+"""Belief propagation (sum-product message passing) over factor graphs.
+
+§8 lists belief propagation next to variable elimination as the exact
+inference options a BN system chooses from ("methods like variable
+elimination and belief propagation can be computationally intensive").
+The substrate implements it so the trade-off is measurable:
+
+- on networks whose factor graph is a *tree* (every Chow–Liu structure,
+  and most thresholded FDX skeletons), message passing is **exact** and
+  agrees with :class:`~repro.bayesnet.inference.VariableElimination`
+  (property-tested);
+- on loopy graphs it degrades gracefully to *loopy BP*, an iterative
+  approximation with damping, reporting whether it converged.
+
+Evidence is folded into the CPT factors up front (with the CPT's
+marginal-fallback semantics preserved), so observed values outside the
+training domain behave exactly as they do in the rest of the substrate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.bayesnet.cpt import cell_key
+from repro.bayesnet.inference import Factor
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.errors import InferenceError
+
+#: A message is a non-negative function of one variable's domain.
+Message = dict[Hashable, float]
+
+
+@dataclass
+class BPResult:
+    """Marginals plus diagnostics from one propagation run."""
+
+    marginals: dict[str, dict[Hashable, float]]
+    converged: bool
+    iterations: int
+    is_tree: bool
+
+    def marginal(self, variable: str) -> dict[Hashable, float]:
+        """Posterior marginal of ``variable``."""
+        if variable not in self.marginals:
+            raise InferenceError(f"no marginal for variable {variable!r}")
+        return self.marginals[variable]
+
+
+class BeliefPropagation:
+    """Sum-product inference on the factor graph of a discrete BN.
+
+    Parameters
+    ----------
+    bn:
+        A fitted :class:`~repro.bayesnet.model.DiscreteBayesNet`.
+    max_iters:
+        Iteration cap for the flooding schedule.  On a tree the schedule
+        converges within the graph diameter; the cap only binds on loopy
+        graphs.
+    tol:
+        Convergence threshold on the largest absolute change of any
+        (normalised) message entry.
+    damping:
+        Mixing weight of the previous message when updating
+        (``0`` = undamped; values around 0.5 stabilise loopy graphs).
+    """
+
+    def __init__(
+        self,
+        bn: DiscreteBayesNet,
+        max_iters: int = 50,
+        tol: float = 1e-9,
+        damping: float = 0.0,
+    ):
+        if max_iters <= 0:
+            raise InferenceError(f"max_iters must be positive, got {max_iters}")
+        if not 0.0 <= damping < 1.0:
+            raise InferenceError(f"damping must be in [0, 1), got {damping}")
+        self.bn = bn
+        self.max_iters = max_iters
+        self.tol = tol
+        self.damping = damping
+
+    # -- public queries -----------------------------------------------------------
+
+    def query(
+        self, target: str, evidence: Mapping[str, Hashable] | None = None
+    ) -> dict[Hashable, float]:
+        """``P(target | evidence)`` over the target's observed domain."""
+        result = self.run(evidence)
+        return result.marginal(target)
+
+    def map_value(
+        self, target: str, evidence: Mapping[str, Hashable] | None = None
+    ) -> Hashable:
+        """The MAP value of ``target`` given evidence."""
+        posterior = self.query(target, evidence)
+        return max(posterior.items(), key=lambda kv: kv[1])[0]
+
+    def run(self, evidence: Mapping[str, Hashable] | None = None) -> BPResult:
+        """Propagate messages and return marginals for every free variable."""
+        evidence = dict(evidence or {})
+        for v in evidence:
+            if v not in self.bn.dag:
+                raise InferenceError(f"evidence variable {v!r} is unknown")
+
+        free = [v for v in self.bn.dag.nodes if v not in evidence]
+        if not free:
+            raise InferenceError("all variables observed; nothing to infer")
+
+        factors = self._build_factors(evidence)
+        domains = {v: list(self.bn.cpts[v].domain) for v in free}
+        graph = _FactorGraph(factors, domains)
+        converged, iterations = graph.flood(
+            self.max_iters, self.tol, self.damping
+        )
+        marginals = {v: graph.marginal(v) for v in free}
+        return BPResult(
+            marginals=marginals,
+            converged=converged,
+            iterations=iterations,
+            is_tree=graph.is_tree,
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _build_factors(self, evidence: Mapping[str, Hashable]) -> list[Factor]:
+        """One evidence-reduced factor per CPT, dropping constants."""
+        factors = []
+        for node in self.bn.dag.nodes:
+            f = Factor.from_cpt_with_evidence(self.bn, node, evidence)
+            if f.variables:
+                factors.append(f)
+        return factors
+
+
+class _FactorGraph:
+    """Bipartite variable/factor graph with a flooding message schedule."""
+
+    def __init__(self, factors: Sequence[Factor], domains: Mapping[str, list]):
+        self.factors = list(factors)
+        self.domains = dict(domains)
+        self.var_neighbours: dict[str, list[int]] = {v: [] for v in domains}
+        for i, f in enumerate(self.factors):
+            for v in f.variables:
+                if v not in self.var_neighbours:
+                    raise InferenceError(
+                        f"factor mentions unknown free variable {v!r}"
+                    )
+                self.var_neighbours[v].append(i)
+        # var → factor and factor → var messages, initialised uniform.
+        self.msg_vf: dict[tuple[str, int], Message] = {}
+        self.msg_fv: dict[tuple[int, str], Message] = {}
+        for v, neighbours in self.var_neighbours.items():
+            uniform = self._uniform(v)
+            for i in neighbours:
+                self.msg_vf[(v, i)] = dict(uniform)
+                self.msg_fv[(i, v)] = dict(uniform)
+
+    @property
+    def is_tree(self) -> bool:
+        """Whether the factor graph is acyclic (BP is exact there).
+
+        A bipartite graph with ``n`` nodes and ``e`` edges is a forest
+        iff ``e = n - components``; we count components by flooding.
+        """
+        n_nodes = len(self.domains) + len(self.factors)
+        n_edges = sum(len(ns) for ns in self.var_neighbours.values())
+        return n_edges == n_nodes - self._n_components()
+
+    def _n_components(self) -> int:
+        seen_vars: set[str] = set()
+        seen_factors: set[int] = set()
+        components = 0
+        for start in self.domains:
+            if start in seen_vars:
+                continue
+            components += 1
+            stack: list[tuple[str, object]] = [("v", start)]
+            while stack:
+                kind, item = stack.pop()
+                if kind == "v":
+                    if item in seen_vars:
+                        continue
+                    seen_vars.add(item)
+                    stack.extend(("f", i) for i in self.var_neighbours[item])
+                else:
+                    if item in seen_factors:
+                        continue
+                    seen_factors.add(item)
+                    stack.extend(
+                        ("v", v) for v in self.factors[item].variables
+                    )
+        # Factors whose variables are all observed were dropped earlier,
+        # so every remaining factor is reachable from some variable.
+        return components
+
+    def _uniform(self, variable: str) -> Message:
+        domain = self.domains[variable]
+        if not domain:
+            raise InferenceError(f"empty domain for variable {variable!r}")
+        p = 1.0 / len(domain)
+        return {value: p for value in domain}
+
+    # -- message updates -----------------------------------------------------------
+
+    def flood(
+        self, max_iters: int, tol: float, damping: float
+    ) -> tuple[bool, int]:
+        """Synchronous flooding until messages stabilise.
+
+        Returns ``(converged, iterations_used)``.
+        """
+        for iteration in range(1, max_iters + 1):
+            delta = 0.0
+            new_fv = {
+                (i, v): self._factor_to_var(i, v)
+                for i, f in enumerate(self.factors)
+                for v in f.variables
+            }
+            for key, msg in new_fv.items():
+                delta = max(delta, self._apply(self.msg_fv, key, msg, damping))
+            new_vf = {
+                (v, i): self._var_to_factor(v, i)
+                for v, neighbours in self.var_neighbours.items()
+                for i in neighbours
+            }
+            for key, msg in new_vf.items():
+                delta = max(delta, self._apply(self.msg_vf, key, msg, damping))
+            if delta < tol:
+                return True, iteration
+        return False, max_iters
+
+    def _apply(
+        self,
+        store: dict,
+        key: tuple,
+        msg: Message,
+        damping: float,
+    ) -> float:
+        """Normalise, damp against the previous message, store; return the
+        largest entry change."""
+        total = sum(msg.values())
+        if total <= 0:
+            raise InferenceError("belief propagation produced a zero message")
+        msg = {k: v / total for k, v in msg.items()}
+        old = store[key]
+        if damping > 0:
+            msg = {
+                k: damping * old.get(k, 0.0) + (1 - damping) * v
+                for k, v in msg.items()
+            }
+        delta = max(abs(msg[k] - old.get(k, 0.0)) for k in msg)
+        store[key] = msg
+        return delta
+
+    def _factor_to_var(self, factor_idx: int, target: str) -> Message:
+        """``μ_{f→x}(x) = Σ_{~x} f(·) Π_{u ≠ x} μ_{u→f}(u)``."""
+        f = self.factors[factor_idx]
+        target_pos = f.variables.index(target)
+        incoming = [
+            self.msg_vf[(u, factor_idx)] if u != target else None
+            for u in f.variables
+        ]
+        out: Message = {value: 0.0 for value in self.domains[target]}
+        for key, weight in f.table.items():
+            contribution = weight
+            for pos, msg in enumerate(incoming):
+                if msg is None:
+                    continue
+                contribution *= msg.get(cell_key(key[pos]), 0.0)
+                if contribution == 0.0:
+                    break
+            if contribution:
+                tk = cell_key(key[target_pos])
+                out[tk] = out.get(tk, 0.0) + contribution
+        return out
+
+    def _var_to_factor(self, variable: str, factor_idx: int) -> Message:
+        """``μ_{x→f}(x) = Π_{g ≠ f} μ_{g→x}(x)``."""
+        out = {value: 1.0 for value in self.domains[variable]}
+        for i in self.var_neighbours[variable]:
+            if i == factor_idx:
+                continue
+            msg = self.msg_fv[(i, variable)]
+            for value in out:
+                out[value] *= msg.get(value, 0.0)
+        return out
+
+    def marginal(self, variable: str) -> dict[Hashable, float]:
+        """Belief of ``variable``: the normalised product of its inbox."""
+        belief = {value: 1.0 for value in self.domains[variable]}
+        for i in self.var_neighbours[variable]:
+            msg = self.msg_fv[(i, variable)]
+            for value in belief:
+                belief[value] *= msg.get(value, 0.0)
+        total = sum(belief.values())
+        if total <= 0:
+            # An isolated free variable (no factors) keeps its prior.
+            return self._prior(variable)
+        return {value: b / total for value, b in belief.items()}
+
+    def _prior(self, variable: str) -> dict[Hashable, float]:
+        domain = self.domains[variable]
+        p = 1.0 / len(domain)
+        return {value: p for value in domain}
+
+
+def joint_from_marginals(
+    marginals: Mapping[str, Mapping[Hashable, float]],
+    variables: Sequence[str],
+) -> dict[tuple, float]:
+    """Mean-field joint: the product of per-variable marginals.
+
+    A diagnostic helper (exact only under independence) used by tests
+    and the inference-tradeoffs example to visualise BP output.
+    """
+    out: dict[tuple, float] = {}
+    domains = [list(marginals[v]) for v in variables]
+    for combo in itertools.product(*domains):
+        p = 1.0
+        for v, value in zip(variables, combo):
+            p *= marginals[v][value]
+        out[combo] = p
+    return out

@@ -1,0 +1,183 @@
+"""Conditional probability tables for discrete variables.
+
+A :class:`CPT` stores, for one variable, smoothed conditional
+distributions ``P(X | parents)`` estimated from observed co-occurrence
+counts.  Tables are *sparse*: only parent configurations seen in the
+data are materialised, and unseen configurations fall back to the
+variable's marginal distribution (the "prior probability ... inferred
+from D" of §2 for parentless nodes generalises to unseen contexts).
+
+NULL is treated as an ordinary domain symbol — the cleaning engine
+repairs missing values by out-scoring NULL with a better candidate, so
+the CPT must be able to both condition on and assign mass to NULL.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Sequence
+
+from repro.errors import CPTError
+
+# Sentinel used to key NULL cells inside count tables (None itself is a
+# valid dict key, but a named sentinel makes dumps readable).
+NULL_KEY = "␀NULL"
+
+
+def cell_key(value: object) -> Hashable:
+    """Canonical hashable key for a cell value (NULL-safe)."""
+    if value is None:
+        return NULL_KEY
+    if isinstance(value, float) and value != value:  # NaN
+        return NULL_KEY
+    return value
+
+
+class CPT:
+    """Laplace-smoothed conditional distribution of one discrete variable.
+
+    Parameters
+    ----------
+    variable:
+        Name of the child variable.
+    parent_names:
+        Ordered parent variable names (may be empty).
+    alpha:
+        Laplace (add-``alpha``) smoothing pseudo-count.
+    """
+
+    def __init__(
+        self,
+        variable: str,
+        parent_names: Sequence[str] = (),
+        alpha: float = 1.0,
+    ):
+        if alpha <= 0:
+            raise CPTError(f"smoothing alpha must be positive, got {alpha}")
+        self.variable = variable
+        self.parent_names = tuple(parent_names)
+        self.alpha = alpha
+        self._config_counts: dict[tuple, Counter] = {}
+        self._config_totals: dict[tuple, int] = {}
+        self._marginal: Counter = Counter()
+        self._n = 0
+
+    # -- estimation -------------------------------------------------------------
+
+    def observe(self, value: object, parent_values: Sequence[object] = ()) -> None:
+        """Record one observation of ``variable = value`` in a parent context."""
+        if len(parent_values) != len(self.parent_names):
+            raise CPTError(
+                f"expected {len(self.parent_names)} parent values, "
+                f"got {len(parent_values)}"
+            )
+        vk = cell_key(value)
+        config = tuple(cell_key(p) for p in parent_values)
+        counts = self._config_counts.setdefault(config, Counter())
+        counts[vk] += 1
+        self._config_totals[config] = self._config_totals.get(config, 0) + 1
+        self._marginal[vk] += 1
+        self._n += 1
+
+    def fit(
+        self,
+        values: Sequence[object],
+        parent_columns: Sequence[Sequence[object]] = (),
+    ) -> "CPT":
+        """Estimate from full columns: ``values[i]`` with parents at row i."""
+        if len(parent_columns) != len(self.parent_names):
+            raise CPTError(
+                f"expected {len(self.parent_names)} parent columns, "
+                f"got {len(parent_columns)}"
+            )
+        for col in parent_columns:
+            if len(col) != len(values):
+                raise CPTError("parent column length mismatch")
+        for i, v in enumerate(values):
+            self.observe(v, tuple(col[i] for col in parent_columns))
+        return self
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def domain(self) -> list[Hashable]:
+        """Distinct (keyed) values observed for the variable."""
+        return list(self._marginal)
+
+    @property
+    def domain_size(self) -> int:
+        """Number of distinct values (at least 1 for smoothing sanity)."""
+        return max(1, len(self._marginal))
+
+    @property
+    def n_observations(self) -> int:
+        """Total number of recorded observations."""
+        return self._n
+
+    @property
+    def n_configs(self) -> int:
+        """Number of distinct parent configurations seen."""
+        return len(self._config_counts)
+
+    def prob(self, value: object, parent_values: Sequence[object] = ()) -> float:
+        """Smoothed ``P(variable = value | parents = parent_values)``.
+
+        Falls back to the marginal distribution for parent configurations
+        never seen in the data.
+        """
+        if len(parent_values) != len(self.parent_names):
+            raise CPTError(
+                f"expected {len(self.parent_names)} parent values, "
+                f"got {len(parent_values)}"
+            )
+        vk = cell_key(value)
+        config = tuple(cell_key(p) for p in parent_values)
+        counts = self._config_counts.get(config)
+        if counts is None:
+            return self.marginal_prob(value)
+        total = self._config_totals[config]
+        return (counts.get(vk, 0) + self.alpha) / (
+            total + self.alpha * self.domain_size
+        )
+
+    def log_prob(self, value: object, parent_values: Sequence[object] = ()) -> float:
+        """``log P(value | parents)`` (never −inf thanks to smoothing)."""
+        return math.log(self.prob(value, parent_values))
+
+    def marginal_prob(self, value: object) -> float:
+        """Smoothed marginal ``P(variable = value)``."""
+        vk = cell_key(value)
+        return (self._marginal.get(vk, 0) + self.alpha) / (
+            self._n + self.alpha * self.domain_size
+        )
+
+    def distribution(self, parent_values: Sequence[object] = ()) -> dict[Hashable, float]:
+        """The full conditional distribution over the observed domain.
+
+        Only observed values are listed; their probabilities sum to less
+        than 1 by the smoothing mass reserved for unseen values.
+        """
+        return {
+            v: self.prob(v, parent_values) for v in self._marginal
+        }
+
+    def map_value(self, parent_values: Sequence[object] = ()) -> Hashable | None:
+        """The most probable value in this context (None if unfitted)."""
+        if not self._marginal:
+            return None
+        config = tuple(cell_key(p) for p in parent_values)
+        counts = self._config_counts.get(config)
+        if counts:
+            return counts.most_common(1)[0][0]
+        return self._marginal.most_common(1)[0][0]
+
+    def seen_config(self, parent_values: Sequence[object]) -> bool:
+        """Whether this exact parent configuration occurred in the data."""
+        return tuple(cell_key(p) for p in parent_values) in self._config_counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CPT({self.variable!r} | {list(self.parent_names)}, "
+            f"{self.domain_size} values, {self.n_configs} configs)"
+        )

@@ -1,0 +1,227 @@
+"""Directed acyclic graphs over named nodes.
+
+The BN structure layer: nodes are attribute names; edges carry the
+weight assigned by the structure learner (e.g. the autoregression
+coefficient from the FDX decomposition).  All mutating operations keep
+the acyclicity invariant and raise :class:`~repro.errors.CycleError`
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import CycleError, GraphError
+
+
+class DAG:
+    """A mutable directed acyclic graph with weighted edges."""
+
+    def __init__(self, nodes: Iterable[str] = ()):
+        self._parents: dict[str, dict[str, float]] = {}
+        self._children: dict[str, dict[str, float]] = {}
+        for n in nodes:
+            self.add_node(n)
+
+    # -- nodes -----------------------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        """Add ``node`` (idempotent)."""
+        self._parents.setdefault(node, {})
+        self._children.setdefault(node, {})
+
+    def remove_node(self, node: str) -> None:
+        """Remove ``node`` and all incident edges."""
+        self._require(node)
+        for p in list(self._parents[node]):
+            del self._children[p][node]
+        for c in list(self._children[node]):
+            del self._parents[c][node]
+        del self._parents[node]
+        del self._children[node]
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node names, in insertion order."""
+        return list(self._parents)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def _require(self, node: str) -> None:
+        if node not in self._parents:
+            raise GraphError(f"unknown node {node!r}")
+
+    # -- edges ------------------------------------------------------------------
+
+    def add_edge(self, u: str, v: str, weight: float = 1.0) -> None:
+        """Add edge ``u → v``; raises :class:`CycleError` if it closes a cycle."""
+        self._require(u)
+        self._require(v)
+        if u == v:
+            raise CycleError(f"self-loop on {u!r}")
+        if self.has_path(v, u):
+            raise CycleError(f"edge {u!r} → {v!r} would create a cycle")
+        self._children[u][v] = weight
+        self._parents[v][u] = weight
+
+    def remove_edge(self, u: str, v: str) -> None:
+        """Remove edge ``u → v`` (raises GraphError if absent)."""
+        self._require(u)
+        self._require(v)
+        if v not in self._children[u]:
+            raise GraphError(f"no edge {u!r} → {v!r}")
+        del self._children[u][v]
+        del self._parents[v][u]
+
+    def has_edge(self, u: str, v: str) -> bool:
+        """Whether edge ``u → v`` exists."""
+        return u in self._children and v in self._children[u]
+
+    def edge_weight(self, u: str, v: str) -> float:
+        """Weight of edge ``u → v``."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge {u!r} → {v!r}")
+        return self._children[u][v]
+
+    def edges(self) -> list[tuple[str, str, float]]:
+        """All edges as ``(u, v, weight)`` triples."""
+        return [
+            (u, v, w)
+            for u, targets in self._children.items()
+            for v, w in targets.items()
+        ]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges."""
+        return sum(len(t) for t in self._children.values())
+
+    # -- neighbourhoods ----------------------------------------------------------
+
+    def parents(self, node: str) -> list[str]:
+        """Parent nodes of ``node``."""
+        self._require(node)
+        return list(self._parents[node])
+
+    def children(self, node: str) -> list[str]:
+        """Child nodes of ``node``."""
+        self._require(node)
+        return list(self._children[node])
+
+    def markov_blanket(self, node: str) -> set[str]:
+        """Parents, children, and co-parents of ``node`` (excluding itself).
+
+        This is the sub-network used by BClean's partitioned inference
+        (§6.1): conditioning on the blanket renders ``node`` independent
+        of the rest of the network.
+        """
+        self._require(node)
+        blanket: set[str] = set(self._parents[node])
+        for child in self._children[node]:
+            blanket.add(child)
+            blanket.update(self._parents[child])
+        blanket.discard(node)
+        return blanket
+
+    def is_isolated(self, node: str) -> bool:
+        """Whether ``node`` has no incident edges."""
+        self._require(node)
+        return not self._parents[node] and not self._children[node]
+
+    # -- traversal ---------------------------------------------------------------
+
+    def has_path(self, src: str, dst: str) -> bool:
+        """Whether a directed path ``src ⇝ dst`` exists (src == dst counts)."""
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            return True
+        stack = [src]
+        seen = {src}
+        while stack:
+            u = stack.pop()
+            for v in self._children[u]:
+                if v == dst:
+                    return True
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return False
+
+    def ancestors(self, node: str) -> set[str]:
+        """All nodes with a directed path into ``node``."""
+        self._require(node)
+        out: set[str] = set()
+        stack = list(self._parents[node])
+        while stack:
+            u = stack.pop()
+            if u not in out:
+                out.add(u)
+                stack.extend(self._parents[u])
+        return out
+
+    def descendants(self, node: str) -> set[str]:
+        """All nodes reachable from ``node``."""
+        self._require(node)
+        out: set[str] = set()
+        stack = list(self._children[node])
+        while stack:
+            u = stack.pop()
+            if u not in out:
+                out.add(u)
+                stack.extend(self._children[u])
+        return out
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; the acyclicity invariant guarantees success."""
+        in_deg = {n: len(self._parents[n]) for n in self._parents}
+        queue = [n for n, d in in_deg.items() if d == 0]
+        order: list[str] = []
+        while queue:
+            u = queue.pop()
+            order.append(u)
+            for v in self._children[u]:
+                in_deg[v] -= 1
+                if in_deg[v] == 0:
+                    queue.append(v)
+        if len(order) != len(self._parents):  # pragma: no cover - invariant
+            raise CycleError("graph contains a cycle (invariant violated)")
+        return order
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parents)
+
+    # -- derivation ----------------------------------------------------------------
+
+    def copy(self) -> "DAG":
+        """An independent deep copy."""
+        g = DAG(self.nodes)
+        for u, v, w in self.edges():
+            g.add_edge(u, v, w)
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DAG):
+            return NotImplemented
+        return (
+            set(self.nodes) == set(other.nodes)
+            and {(u, v) for u, v, _ in self.edges()}
+            == {(u, v) for u, v, _ in other.edges()}
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DAG({len(self)} nodes, {self.n_edges} edges)"
+
+    def pretty(self) -> str:
+        """Human-readable edge list, one per line."""
+        lines = [f"DAG with {len(self)} nodes, {self.n_edges} edges"]
+        for u, v, w in sorted(self.edges()):
+            lines.append(f"  {u} -> {v}  (weight {w:.4f})")
+        for n in self.nodes:
+            if self.is_isolated(n):
+                lines.append(f"  {n}  (isolated)")
+        return "\n".join(lines)

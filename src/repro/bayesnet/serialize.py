@@ -1,0 +1,169 @@
+"""JSON serialisation of networks and CPTs.
+
+The §7.3.2 workflow — auto-construct, review, hand-edit — only pays off
+if the edited network can be kept: cleaning runs are repeated as data
+arrives, and nobody re-edits the Flights network every morning.  This
+module round-trips DAGs and fitted :class:`DiscreteBayesNet` models
+through plain JSON (human-diffable, so network edits can be reviewed
+like code).
+
+NULL-keyed entries use the substrate's :data:`NULL_KEY` sentinel, and
+non-string domain values are tagged with their type so integers survive
+the round trip (JSON object keys are always strings).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.errors import GraphError
+
+FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    """A JSON-safe tagged form of one domain value."""
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return {"t": "bool", "v": value}
+    if isinstance(value, (int, float)):
+        return {"t": type(value).__name__, "v": value}
+    return value  # strings (including NULL_KEY) pass through
+
+
+def _decode_value(raw: Any) -> Any:
+    if isinstance(raw, dict) and "t" in raw:
+        if raw["t"] == "int":
+            return int(raw["v"])
+        if raw["t"] == "float":
+            return float(raw["v"])
+        if raw["t"] == "bool":
+            return bool(raw["v"])
+        raise GraphError(f"unknown value tag {raw['t']!r}")
+    return raw
+
+
+# -- DAG ---------------------------------------------------------------------
+
+
+def dag_to_dict(dag: DAG) -> dict:
+    """A JSON-safe description of a DAG (nodes + weighted edges)."""
+    return {
+        "version": FORMAT_VERSION,
+        "nodes": dag.nodes,
+        "edges": [
+            {"from": u, "to": v, "weight": w} for u, v, w in dag.edges()
+        ],
+    }
+
+
+def dag_from_dict(payload: dict) -> DAG:
+    """Rebuild a DAG; edge insertion re-checks acyclicity."""
+    try:
+        nodes = payload["nodes"]
+        edges = payload["edges"]
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed DAG payload: missing {exc}") from exc
+    dag = DAG(nodes)
+    for edge in edges:
+        dag.add_edge(edge["from"], edge["to"], edge.get("weight", 1.0))
+    return dag
+
+
+def save_dag(dag: DAG, path: str | Path) -> None:
+    """Write a DAG as (pretty-printed, diffable) JSON."""
+    Path(path).write_text(
+        json.dumps(dag_to_dict(dag), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_dag(path: str | Path) -> DAG:
+    """Read a DAG written by :func:`save_dag`."""
+    return dag_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# -- CPT ---------------------------------------------------------------------
+
+
+def cpt_to_dict(cpt: CPT) -> dict:
+    """Serialise the raw counts (not probabilities): counts compose
+    under re-smoothing, probabilities do not."""
+    return {
+        "variable": cpt.variable,
+        "parents": list(cpt.parent_names),
+        "alpha": cpt.alpha,
+        "configs": [
+            {
+                "parents": [_encode_value(p) for p in config],
+                "counts": [
+                    [_encode_value(v), n] for v, n in counts.items()
+                ],
+            }
+            for config, counts in cpt._config_counts.items()
+        ],
+    }
+
+
+def cpt_from_dict(payload: dict) -> CPT:
+    """Rebuild a CPT from its count form.
+
+    Counts are injected directly rather than replayed through
+    ``observe`` — a 200k-observation CPT reloads in one pass.  The
+    stored keys were produced by ``cell_key`` at save time, so they are
+    already in canonical form.
+    """
+    cpt = CPT(
+        payload["variable"],
+        tuple(payload["parents"]),
+        alpha=payload.get("alpha", 1.0),
+    )
+    for config in payload["configs"]:
+        parents = tuple(_decode_value(p) for p in config["parents"])
+        counts = Counter(
+            {_decode_value(v): int(n) for v, n in config["counts"]}
+        )
+        cpt._config_counts[parents] = counts
+        total = sum(counts.values())
+        cpt._config_totals[parents] = total
+        cpt._marginal.update(counts)
+        cpt._n += total
+    return cpt
+
+
+# -- full model --------------------------------------------------------------
+
+
+def bn_to_dict(bn: DiscreteBayesNet) -> dict:
+    """A JSON-safe description of a fitted network."""
+    return {
+        "version": FORMAT_VERSION,
+        "dag": dag_to_dict(bn.dag),
+        "alpha": bn.alpha,
+        "cpts": {node: cpt_to_dict(cpt) for node, cpt in bn.cpts.items()},
+    }
+
+
+def bn_from_dict(payload: dict) -> DiscreteBayesNet:
+    """Rebuild a fitted network written by :func:`bn_to_dict`."""
+    dag = dag_from_dict(payload["dag"])
+    cpts = {
+        node: cpt_from_dict(raw) for node, raw in payload["cpts"].items()
+    }
+    return DiscreteBayesNet(dag, cpts, alpha=payload.get("alpha", 1.0))
+
+
+def save_bn(bn: DiscreteBayesNet, path: str | Path) -> None:
+    """Write a fitted network as JSON."""
+    Path(path).write_text(
+        json.dumps(bn_to_dict(bn)) + "\n", encoding="utf-8"
+    )
+
+
+def load_bn(path: str | Path) -> DiscreteBayesNet:
+    """Read a network written by :func:`save_bn`."""
+    return bn_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

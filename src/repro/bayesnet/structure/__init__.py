@@ -1,0 +1,47 @@
+"""BN structure learning: FDX (BClean §4) plus classical baselines."""
+
+from repro.bayesnet.structure.chowliu import chow_liu_tree
+from repro.bayesnet.structure.fdx import (
+    FDXConfig,
+    FDXResult,
+    SimilarityProfiler,
+    fdx_structure,
+)
+from repro.bayesnet.structure.hillclimb import HillClimbResult, hill_climb
+from repro.bayesnet.structure.mmhc import (
+    MMHCResult,
+    g2_statistic,
+    independence_p_value,
+    mmhc,
+    mmpc,
+)
+from repro.bayesnet.structure.pc import PCResult, pc_algorithm
+from repro.bayesnet.structure.scores import (
+    BDeuScore,
+    BICScore,
+    FamilyScore,
+    K2Score,
+    make_score,
+)
+
+__all__ = [
+    "BDeuScore",
+    "BICScore",
+    "FDXConfig",
+    "FDXResult",
+    "FamilyScore",
+    "HillClimbResult",
+    "K2Score",
+    "MMHCResult",
+    "PCResult",
+    "SimilarityProfiler",
+    "chow_liu_tree",
+    "fdx_structure",
+    "g2_statistic",
+    "hill_climb",
+    "independence_p_value",
+    "make_score",
+    "mmhc",
+    "mmpc",
+    "pc_algorithm",
+]

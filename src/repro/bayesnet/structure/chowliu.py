@@ -1,0 +1,59 @@
+"""Chow–Liu tree structure learning.
+
+The "tree search" family mentioned in §4 ("necessitates specifying the
+root state").  Builds the maximum-spanning tree of pairwise mutual
+information and orients edges away from a chosen root.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.bayesnet.cpt import cell_key
+from repro.bayesnet.dag import DAG
+from repro.dataset.table import Table
+from repro.errors import StructureLearningError
+from repro.stats.infotheory import mutual_information
+
+
+def chow_liu_tree(table: Table, root: str | None = None) -> DAG:
+    """Learn a tree-structured BN by the Chow–Liu algorithm.
+
+    Parameters
+    ----------
+    table:
+        Training data; every attribute becomes a node.
+    root:
+        Node to orient the tree away from.  Defaults to the first
+        attribute (the §4 critique: the user must pick a root).
+    """
+    names = table.schema.names
+    if not names:
+        raise StructureLearningError("table has no attributes")
+    if root is None:
+        root = names[0]
+    if root not in names:
+        raise StructureLearningError(f"root {root!r} is not an attribute")
+
+    columns = {n: [cell_key(v) for v in table.column(n)] for n in names}
+
+    g = nx.Graph()
+    g.add_nodes_from(names)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            mi = mutual_information(columns[a], columns[b])
+            g.add_edge(a, b, weight=mi)
+
+    mst = nx.maximum_spanning_tree(g, weight="weight")
+
+    dag = DAG(names)
+    visited = {root}
+    frontier = [root]
+    while frontier:
+        u = frontier.pop()
+        for v in mst.neighbors(u):
+            if v not in visited:
+                visited.add(v)
+                dag.add_edge(u, v, weight=mst[u][v]["weight"])
+                frontier.append(v)
+    return dag

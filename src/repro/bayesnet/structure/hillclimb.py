@@ -1,0 +1,132 @@
+"""Greedy hill-climbing structure search.
+
+The pgmpy-style baseline the paper describes in §4: "add one edge at a
+time and evaluate its score ... often converge to a local optimum".  We
+keep it as (a) a comparison learner for the ablation bench and (b) the
+structure learner behind the "greedy search" row of the §7.3.2 network-
+manipulation experiment.
+
+Operators: add / delete / reverse an edge, subject to acyclicity and a
+``max_parents`` cap.  Scores are decomposable, so each move only
+re-evaluates the affected families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.structure.scores import FamilyScore, make_score
+from repro.dataset.table import Table
+from repro.errors import CycleError
+
+
+@dataclass
+class HillClimbResult:
+    """Learned structure plus search diagnostics."""
+
+    dag: DAG
+    score: float
+    n_iterations: int
+    n_moves_evaluated: int
+
+
+def hill_climb(
+    table: Table,
+    score: FamilyScore | str = "bic",
+    max_parents: int = 3,
+    max_iter: int = 200,
+    epsilon: float = 1e-9,
+) -> HillClimbResult:
+    """Learn a DAG by greedy local search from the empty graph.
+
+    Parameters
+    ----------
+    table:
+        Training data (dirty data is fine; that is the point of the
+        paper's critique — errors bias the learned structure).
+    score:
+        A :class:`FamilyScore` instance or a score name ("bic", "k2",
+        "bdeu").
+    max_parents:
+        In-degree cap (keeps CPTs tractable).
+    max_iter:
+        Maximum number of accepted moves.
+    epsilon:
+        Minimum score improvement to accept a move.
+    """
+    scorer = make_score(score, table) if isinstance(score, str) else score
+    nodes = table.schema.names
+    dag = DAG(nodes)
+    current = {n: scorer.family(n, ()) for n in nodes}
+    n_eval = 0
+
+    for iteration in range(max_iter):
+        best_delta = epsilon
+        best_move: tuple[str, str, str] | None = None
+
+        for u in nodes:
+            for v in nodes:
+                if u == v:
+                    continue
+                if not dag.has_edge(u, v):
+                    # add u -> v
+                    if len(dag.parents(v)) >= max_parents:
+                        continue
+                    if dag.has_path(v, u):
+                        continue
+                    n_eval += 1
+                    new = scorer.family(v, [*dag.parents(v), u])
+                    delta = new - current[v]
+                    if delta > best_delta:
+                        best_delta, best_move = delta, ("add", u, v)
+                else:
+                    # delete u -> v
+                    n_eval += 1
+                    reduced = [p for p in dag.parents(v) if p != u]
+                    new = scorer.family(v, reduced)
+                    delta = new - current[v]
+                    if delta > best_delta:
+                        best_delta, best_move = delta, ("del", u, v)
+                    # reverse u -> v  (becomes v -> u)
+                    if len(dag.parents(u)) >= max_parents:
+                        continue
+                    if _reversal_creates_cycle(dag, u, v):
+                        continue
+                    n_eval += 1
+                    new_v = scorer.family(v, reduced)
+                    new_u = scorer.family(u, [*dag.parents(u), v])
+                    delta = (new_v - current[v]) + (new_u - current[u])
+                    if delta > best_delta:
+                        best_delta, best_move = delta, ("rev", u, v)
+
+        if best_move is None:
+            return HillClimbResult(dag, sum(current.values()), iteration, n_eval)
+
+        op, u, v = best_move
+        if op == "add":
+            dag.add_edge(u, v)
+            current[v] = scorer.family(v, dag.parents(v))
+        elif op == "del":
+            dag.remove_edge(u, v)
+            current[v] = scorer.family(v, dag.parents(v))
+        else:  # reverse
+            dag.remove_edge(u, v)
+            try:
+                dag.add_edge(v, u)
+            except CycleError:  # pragma: no cover - guarded above
+                dag.add_edge(u, v)
+                continue
+            current[v] = scorer.family(v, dag.parents(v))
+            current[u] = scorer.family(u, dag.parents(u))
+
+    return HillClimbResult(dag, sum(current.values()), max_iter, n_eval)
+
+
+def _reversal_creates_cycle(dag: DAG, u: str, v: str) -> bool:
+    """Whether reversing ``u → v`` to ``v → u`` would close a cycle."""
+    dag.remove_edge(u, v)
+    try:
+        return dag.has_path(u, v)
+    finally:
+        dag.add_edge(u, v)

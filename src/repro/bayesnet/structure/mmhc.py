@@ -1,0 +1,289 @@
+"""Max-Min Hill-Climbing (MMHC) structure learning.
+
+§4 names MMHC (Tsamardinos et al., 2006) — "provided in the Pgmpy
+toolkit" — as the typical hill-climbing approach BClean's FDX-based
+construction is contrasted with.  The substrate implements it so the
+contrast is reproducible:
+
+1. **MMPC phase** — for every variable, grow a candidate
+   parents-and-children (CPC) set with the max-min heuristic (add the
+   variable with the largest *minimum* association over subsets of the
+   current CPC), then shrink it by testing independence conditioned on
+   subsets of the other members.  Association is measured by a G² test
+   of conditional independence.
+2. **Edge-constrained hill-climbing** — the greedy search of
+   :mod:`repro.bayesnet.structure.hillclimb`, restricted to edges whose
+   endpoints selected each other in phase 1 (the symmetry correction of
+   the original paper).
+
+As with every learner here, dirty data is expected input: errors bias
+both phases, which is exactly the weakness §4 attributes to this family
+of methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bayesnet.cpt import cell_key
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.structure.scores import FamilyScore, make_score
+from repro.dataset.table import Table
+from repro.errors import StructureLearningError
+
+try:  # scipy is an install requirement, but degrade to a normal bound
+    from scipy.stats import chi2 as _chi2
+except ImportError:  # pragma: no cover - scipy is always present here
+    _chi2 = None
+
+
+@dataclass
+class MMHCResult:
+    """Learned structure plus diagnostics from both phases."""
+
+    dag: DAG
+    score: float
+    cpc: dict[str, set[str]] = field(default_factory=dict)
+    n_independence_tests: int = 0
+    n_moves_evaluated: int = 0
+
+
+def g2_statistic(
+    table: Table,
+    x: str,
+    y: str,
+    conditioning: Sequence[str] = (),
+) -> tuple[float, int]:
+    """G² statistic and degrees of freedom for ``x ⟂ y | conditioning``.
+
+    ``G² = 2 Σ n_xyz · log(n_xyz · n_z / (n_xz · n_yz))`` over observed
+    cells, with ``df = (|X|−1)(|Y|−1)·Π|Z|`` computed from observed
+    support per conditioning stratum.
+    """
+    xs = [cell_key(v) for v in table.column(x)]
+    ys = [cell_key(v) for v in table.column(y)]
+    zcols = [[cell_key(v) for v in table.column(z)] for z in conditioning]
+
+    joint: Counter = Counter()
+    margin_xz: Counter = Counter()
+    margin_yz: Counter = Counter()
+    margin_z: Counter = Counter()
+    for i in range(table.n_rows):
+        zk = tuple(col[i] for col in zcols)
+        joint[(xs[i], ys[i], zk)] += 1
+        margin_xz[(xs[i], zk)] += 1
+        margin_yz[(ys[i], zk)] += 1
+        margin_z[zk] += 1
+
+    g2 = 0.0
+    for (xv, yv, zk), n_xyz in joint.items():
+        expected = margin_xz[(xv, zk)] * margin_yz[(yv, zk)] / margin_z[zk]
+        if expected > 0:
+            g2 += 2.0 * n_xyz * math.log(n_xyz / expected)
+
+    df = 0
+    x_by_z: dict[tuple, set] = {}
+    y_by_z: dict[tuple, set] = {}
+    for (xv, zk) in margin_xz:
+        x_by_z.setdefault(zk, set()).add(xv)
+    for (yv, zk) in margin_yz:
+        y_by_z.setdefault(zk, set()).add(yv)
+    for zk in margin_z:
+        df += max(0, len(x_by_z[zk]) - 1) * max(0, len(y_by_z[zk]) - 1)
+    return max(0.0, g2), max(1, df)
+
+
+def independence_p_value(
+    table: Table, x: str, y: str, conditioning: Sequence[str] = ()
+) -> float:
+    """p-value of the G² conditional-independence test."""
+    g2, df = g2_statistic(table, x, y, conditioning)
+    if _chi2 is not None:
+        return float(_chi2.sf(g2, df))
+    # Fallback: Wilson–Hilferty cube-root normal approximation.
+    z = ((g2 / df) ** (1.0 / 3.0) - (1 - 2.0 / (9 * df))) / math.sqrt(
+        2.0 / (9 * df)
+    )
+    return 0.5 * math.erfc(z / math.sqrt(2))
+
+
+class _AssocCache:
+    """Memoised min-association bookkeeping for the MMPC phase."""
+
+    def __init__(self, table: Table, alpha: float, max_condition: int):
+        self.table = table
+        self.alpha = alpha
+        self.max_condition = max_condition
+        self.tests = 0
+        self._cache: dict[tuple, float] = {}
+
+    def assoc(self, x: str, y: str, conditioning: tuple[str, ...]) -> float:
+        """Association = 1 − p-value (0 when independent at level α)."""
+        key = (x, y, tuple(sorted(conditioning)))
+        if key not in self._cache:
+            self.tests += 1
+            p = independence_p_value(self.table, x, y, conditioning)
+            self._cache[key] = 0.0 if p > self.alpha else 1.0 - p
+        return self._cache[key]
+
+    def min_assoc(self, x: str, y: str, cpc: Sequence[str]) -> float:
+        """Minimum association of (x, y) over subsets of ``cpc``."""
+        best = self.assoc(x, y, ())
+        for size in range(1, min(len(cpc), self.max_condition) + 1):
+            for subset in itertools.combinations(sorted(cpc), size):
+                best = min(best, self.assoc(x, y, subset))
+                if best == 0.0:
+                    return 0.0
+        return best
+
+
+def mmpc(
+    table: Table,
+    target: str,
+    alpha: float = 0.05,
+    max_condition: int = 2,
+    cache: _AssocCache | None = None,
+) -> set[str]:
+    """Candidate parents-and-children of ``target`` (MMPC).
+
+    Grow greedily by the max-min heuristic, then shrink by re-testing
+    each member against subsets of the others.
+    """
+    if target not in table.schema.names:
+        raise StructureLearningError(f"unknown attribute {target!r}")
+    cache = cache or _AssocCache(table, alpha, max_condition)
+    others = [n for n in table.schema.names if n != target]
+
+    cpc: list[str] = []
+    candidates = set(others)
+    while candidates:
+        scored = {
+            y: cache.min_assoc(target, y, cpc) for y in sorted(candidates)
+        }
+        best = max(scored, key=lambda y: scored[y])
+        if scored[best] <= 0.0:
+            break
+        cpc.append(best)
+        candidates.discard(best)
+        # Anything already independent given some subset never returns.
+        candidates = {y for y in candidates if scored[y] > 0.0}
+
+    # Shrink: drop members separated from the target by the rest.
+    for member in list(cpc):
+        rest = [m for m in cpc if m != member]
+        if cache.min_assoc(target, member, rest) <= 0.0:
+            cpc.remove(member)
+    return set(cpc)
+
+
+def mmhc(
+    table: Table,
+    score: FamilyScore | str = "bic",
+    alpha: float = 0.05,
+    max_condition: int = 2,
+    max_parents: int = 3,
+    max_iter: int = 200,
+) -> MMHCResult:
+    """Max-min hill-climbing: MMPC skeleton + constrained greedy search.
+
+    Parameters
+    ----------
+    table:
+        Training data (dirty data is expected — that is the weakness §4
+        attributes to score-based searches).
+    score:
+        A :class:`FamilyScore` or a score name ("bic", "k2", "bdeu").
+    alpha:
+        Significance level of the G² independence tests.
+    max_condition:
+        Largest conditioning-set size tried in the MMPC phase.
+    max_parents:
+        In-degree cap of the hill-climbing phase.
+    max_iter:
+        Maximum number of accepted hill-climbing moves.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise StructureLearningError(f"alpha must be in (0, 1), got {alpha}")
+    nodes = table.schema.names
+    if len(nodes) < 2:
+        raise StructureLearningError("need at least two attributes")
+
+    cache = _AssocCache(table, alpha, max_condition)
+    cpc = {
+        n: mmpc(table, n, alpha, max_condition, cache) for n in nodes
+    }
+    # Symmetry correction: keep y in CPC(x) only if x in CPC(y).
+    allowed: dict[str, set[str]] = {
+        n: {y for y in cpc[n] if n in cpc[y]} for n in nodes
+    }
+
+    scorer = make_score(score, table) if isinstance(score, str) else score
+    dag = DAG(nodes)
+    current = {n: scorer.family(n, ()) for n in nodes}
+    n_eval = 0
+
+    for _ in range(max_iter):
+        best_delta = 1e-9
+        best_move: tuple[str, str, str] | None = None
+        for u in nodes:
+            for v in allowed[u]:
+                if not dag.has_edge(u, v):
+                    if len(dag.parents(v)) >= max_parents:
+                        continue
+                    if dag.has_path(v, u):
+                        continue
+                    n_eval += 1
+                    delta = scorer.family(v, [*dag.parents(v), u]) - current[v]
+                    if delta > best_delta:
+                        best_delta, best_move = delta, ("add", u, v)
+                else:
+                    n_eval += 1
+                    reduced = [p for p in dag.parents(v) if p != u]
+                    delta = scorer.family(v, reduced) - current[v]
+                    if delta > best_delta:
+                        best_delta, best_move = delta, ("del", u, v)
+                    if len(dag.parents(u)) < max_parents and not _rev_cycle(
+                        dag, u, v
+                    ):
+                        n_eval += 1
+                        delta = (
+                            scorer.family(v, reduced)
+                            - current[v]
+                            + scorer.family(u, [*dag.parents(u), v])
+                            - current[u]
+                        )
+                        if delta > best_delta:
+                            best_delta, best_move = delta, ("rev", u, v)
+        if best_move is None:
+            break
+        op, u, v = best_move
+        if op == "add":
+            dag.add_edge(u, v)
+        elif op == "del":
+            dag.remove_edge(u, v)
+        else:
+            dag.remove_edge(u, v)
+            dag.add_edge(v, u)
+            current[u] = scorer.family(u, dag.parents(u))
+        current[v] = scorer.family(v, dag.parents(v))
+
+    return MMHCResult(
+        dag=dag,
+        score=sum(current.values()),
+        cpc=cpc,
+        n_independence_tests=cache.tests,
+        n_moves_evaluated=n_eval,
+    )
+
+
+def _rev_cycle(dag: DAG, u: str, v: str) -> bool:
+    """Whether reversing ``u → v`` would close a cycle."""
+    dag.remove_edge(u, v)
+    try:
+        return dag.has_path(u, v)
+    finally:
+        dag.add_edge(u, v)

@@ -1,0 +1,146 @@
+"""The PC algorithm (Spirtes & Glymour 1991).
+
+The constraint-based baseline §4 mentions ("requires a conditional
+independence hypothesis given by the user" — here, the significance
+level of the G-test).  Classic three phases:
+
+1. skeleton discovery by conditional-independence tests with growing
+   conditioning sets,
+2. v-structure orientation using the recorded separating sets,
+3. Meek rule propagation; any still-undirected edges are oriented by
+   attribute order to return a proper DAG.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from scipy import stats as scipy_stats
+
+from repro.bayesnet.cpt import cell_key
+from repro.bayesnet.dag import DAG
+from repro.dataset.table import Table
+from repro.errors import CycleError
+from repro.stats.infotheory import g_statistic
+
+
+@dataclass
+class PCResult:
+    """Learned DAG plus the independence decisions taken."""
+
+    dag: DAG
+    separating_sets: dict[frozenset, set[str]] = field(default_factory=dict)
+    n_tests: int = 0
+
+
+def pc_algorithm(
+    table: Table,
+    alpha: float = 0.05,
+    max_condition_size: int = 2,
+) -> PCResult:
+    """Learn a DAG with the PC algorithm.
+
+    Parameters
+    ----------
+    table:
+        Training data.
+    alpha:
+        Significance level of the G-test: smaller means more edges are
+        deleted (stronger independence assumptions).
+    max_condition_size:
+        Cap on the size of conditioning sets (categorical columns make
+        large conditioning sets statistically meaningless anyway).
+    """
+    names = table.schema.names
+    columns = {n: [cell_key(v) for v in table.column(n)] for n in names}
+
+    adjacent: dict[str, set[str]] = {
+        n: {m for m in names if m != n} for n in names
+    }
+    sepsets: dict[frozenset, set[str]] = {}
+    n_tests = 0
+
+    def independent(x: str, y: str, cond: tuple[str, ...]) -> bool:
+        nonlocal n_tests
+        n_tests += 1
+        zs = (
+            None
+            if not cond
+            else [tuple(columns[c][i] for c in cond) for i in range(table.n_rows)]
+        )
+        g, dof = g_statistic(columns[x], columns[y], zs)
+        p_value = scipy_stats.chi2.sf(g, dof)
+        return p_value > alpha
+
+    # Phase 1: skeleton.
+    for level in range(max_condition_size + 1):
+        changed = False
+        for x in names:
+            for y in sorted(adjacent[x]):
+                neighbours = adjacent[x] - {y}
+                if len(neighbours) < level:
+                    continue
+                for cond in itertools.combinations(sorted(neighbours), level):
+                    if independent(x, y, cond):
+                        adjacent[x].discard(y)
+                        adjacent[y].discard(x)
+                        sepsets[frozenset((x, y))] = set(cond)
+                        changed = True
+                        break
+        if not changed and level > 0:
+            break
+
+    # Phase 2: v-structures x -> z <- y when z not in sepset(x, y).
+    directed: set[tuple[str, str]] = set()
+    for z in names:
+        for x, y in itertools.combinations(sorted(adjacent[z]), 2):
+            if y in adjacent[x]:
+                continue  # x and y are adjacent: not a v-structure
+            sep = sepsets.get(frozenset((x, y)), set())
+            if z not in sep:
+                directed.add((x, z))
+                directed.add((y, z))
+
+    # Phase 3: Meek rule 1 (away-from-collider) until fixpoint.
+    undirected = {
+        frozenset((x, y))
+        for x in names
+        for y in adjacent[x]
+        if (x, y) not in directed and (y, x) not in directed
+    }
+    changed = True
+    while changed:
+        changed = False
+        for pair in list(undirected):
+            x, y = sorted(pair)
+            for a, b in ((x, y), (y, x)):
+                # If w -> a and w not adjacent to b, orient a -> b.
+                if any(
+                    (w, a) in directed and b not in adjacent[w]
+                    for w in names
+                    if w not in (a, b)
+                ):
+                    directed.add((a, b))
+                    undirected.discard(pair)
+                    changed = True
+                    break
+
+    # Remaining undirected edges: orient by attribute order (deterministic).
+    order = {n: i for i, n in enumerate(names)}
+    for pair in undirected:
+        x, y = sorted(pair, key=lambda n: order[n])
+        directed.add((x, y))
+
+    dag = DAG(names)
+    for u, v in sorted(directed, key=lambda e: (order[e[0]], order[e[1]])):
+        if dag.has_edge(u, v) or dag.has_edge(v, u):
+            continue
+        try:
+            dag.add_edge(u, v)
+        except CycleError:
+            try:
+                dag.add_edge(v, u)
+            except CycleError:
+                continue  # drop the edge rather than break acyclicity
+    return PCResult(dag, sepsets, n_tests)

@@ -1,0 +1,299 @@
+"""Command-line interface: clean a CSV the way Figure 2 depicts.
+
+The three subcommands mirror the BClean workflow:
+
+``profile``
+    Inspect a CSV column by column (type, cardinality, nulls) and show
+    the pattern UC the inducer would write for each — a dry run of the
+    Table 3 authoring step.
+
+``network``
+    Learn and print the Bayesian network (§4) without cleaning, so the
+    user can review the structure before committing — the inspection
+    half of the §7.3.2 interaction loop.
+
+``clean``
+    Fit and run the cleaning engine, write the repaired CSV, and print
+    (or save) the repair log.  UCs come from a JSON spec file
+    (``--ucs``), from automatic induction (``--induce-ucs``), or both.
+
+UC spec format (one key per attribute, a list of constraint objects)::
+
+    {
+      "ZipCode": [{"type": "pattern", "regex": "[0-9]{5}"},
+                  {"type": "not_null"}],
+      "State":   [{"type": "one_of", "values": ["CA", "NY", "TX"]},
+                  {"type": "max_length", "bound": 2}]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.bayesnet.serialize import load_dag, save_dag
+from repro.constraints.base import CellConstraint
+from repro.constraints.builtin import (
+    MaxLength,
+    MaxValue,
+    MinLength,
+    MinValue,
+    NotNull,
+    OneOf,
+    Pattern,
+)
+from repro.constraints.induction import induce_pattern, induce_registry
+from repro.constraints.registry import UCRegistry
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.dataset.io import read_csv, write_csv
+from repro.dataset.profile import profile_table
+from repro.dataset.table import is_null
+from repro.errors import ConstraintSpecError, ReproError
+
+#: spec ``type`` → constructor(kwargs)
+_CONSTRAINT_TYPES = {
+    "not_null": lambda spec: NotNull(),
+    "pattern": lambda spec: Pattern(_require(spec, "regex")),
+    "min_length": lambda spec: MinLength(int(_require(spec, "bound"))),
+    "max_length": lambda spec: MaxLength(int(_require(spec, "bound"))),
+    "min_value": lambda spec: MinValue(float(_require(spec, "bound"))),
+    "max_value": lambda spec: MaxValue(float(_require(spec, "bound"))),
+    "one_of": lambda spec: OneOf(_require(spec, "values")),
+}
+
+#: ``--variant`` → config factory
+_VARIANTS = {
+    "basic": BCleanConfig.basic,
+    "pi": BCleanConfig.pi,
+    "pip": BCleanConfig.pip,
+    "no-ucs": BCleanConfig.without_ucs,
+}
+
+
+def _require(spec: dict, key: str):
+    if key not in spec:
+        raise ConstraintSpecError(
+            f"constraint {spec.get('type', '?')!r} requires field {key!r}"
+        )
+    return spec[key]
+
+
+def parse_constraint(spec: dict) -> CellConstraint:
+    """Build one constraint from its JSON object form."""
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise ConstraintSpecError(
+            f"constraint spec must be an object with a 'type': {spec!r}"
+        )
+    ctype = spec["type"]
+    try:
+        factory = _CONSTRAINT_TYPES[ctype]
+    except KeyError:
+        raise ConstraintSpecError(
+            f"unknown constraint type {ctype!r}; "
+            f"choose from {sorted(_CONSTRAINT_TYPES)}"
+        ) from None
+    return factory(spec)
+
+
+def load_uc_spec(path: str | Path) -> UCRegistry:
+    """Read a UC spec JSON file into a registry."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConstraintSpecError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ConstraintSpecError(
+            f"UC spec must be an object mapping attribute -> constraints"
+        )
+    registry = UCRegistry()
+    for attribute, specs in raw.items():
+        if not isinstance(specs, list):
+            raise ConstraintSpecError(
+                f"constraints for {attribute!r} must be a list"
+            )
+        registry.add(attribute, *[parse_constraint(s) for s in specs])
+    return registry
+
+
+def merge_registries(*registries: UCRegistry) -> UCRegistry:
+    """Union of several registries (later ones append)."""
+    merged = UCRegistry()
+    for registry in registries:
+        for attribute in registry.attributes:
+            merged.add(attribute, *registry.constraints_for(attribute))
+    return merged
+
+
+# -- subcommands -----------------------------------------------------------------
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Column summary, FD candidates, and induced pattern UCs."""
+    table = read_csv(args.input, delimiter=args.delimiter)
+    print(f"{args.input}:")
+    print(profile_table(table).render())
+    print()
+    print("induced pattern UCs:")
+    for attribute in table.schema.names:
+        try:
+            regex = induce_pattern(table.column(attribute)).regex
+        except ConstraintSpecError:
+            regex = "(all null)"
+        print(f"  {attribute:<24} /{regex}/")
+    return 0
+
+
+def cmd_network(args: argparse.Namespace) -> int:
+    """Learn and print the BN without cleaning; optionally save it.
+
+    A saved network can be hand-edited (it is plain JSON) and fed back
+    into ``clean --network`` — the §7.3.2 loop without re-learning.
+    """
+    table = read_csv(args.input, delimiter=args.delimiter)
+    config = _VARIANTS[args.variant]()
+    config.structure = args.structure
+    engine = BClean(config)
+    engine.fit(table)
+    print(engine.dag.pretty())
+    if args.save:
+        save_dag(engine.dag, args.save)
+        print(f"wrote {args.save}")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    """Fit, clean, write the output CSV, report repairs."""
+    table = read_csv(args.input, delimiter=args.delimiter)
+
+    registries = []
+    if args.ucs:
+        registries.append(load_uc_spec(args.ucs))
+    if args.induce_ucs:
+        registries.append(induce_registry(table))
+    constraints = merge_registries(*registries) if registries else UCRegistry()
+
+    config = _VARIANTS[args.variant]()
+    config.structure = args.structure
+    engine = BClean(config, constraints)
+    dag = load_dag(args.network) if args.network else None
+    engine.fit(table, dag=dag)
+    result = engine.clean()
+
+    write_csv(result.cleaned, args.output, delimiter=args.delimiter)
+
+    lines = [
+        f"rows={table.n_rows} cells={result.stats.cells_total} "
+        f"inspected={result.stats.cells_inspected} "
+        f"repairs={result.stats.repairs_made}",
+    ]
+    for repair in result.repairs:
+        lines.append(
+            f"row {repair.row:>6}  {repair.attribute:<24} "
+            f"{_show(repair.old_value)} -> {_show(repair.new_value)}"
+        )
+    report = "\n".join(lines)
+    if args.report:
+        Path(args.report).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    print(f"wrote {args.output} ({result.stats.repairs_made} repairs)")
+    return 0
+
+
+def _show(value) -> str:
+    return "NULL" if is_null(value) else repr(str(value))
+
+
+# -- entry point -----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BClean: Bayesian data cleaning (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("input", help="input CSV file (with header row)")
+        p.add_argument(
+            "--delimiter", default=",", help="CSV field separator"
+        )
+
+    p_profile = sub.add_parser(
+        "profile", help="summarise columns and induced pattern UCs"
+    )
+    common(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
+
+    def engine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--variant",
+            choices=sorted(_VARIANTS),
+            default="pi",
+            help="BClean variant (Table 4 rows)",
+        )
+        p.add_argument(
+            "--structure",
+            choices=["fdx", "hillclimb", "chowliu", "pc", "mmhc"],
+            default="fdx",
+            help="BN structure learner (default: the paper's FDX method)",
+        )
+
+    p_network = sub.add_parser(
+        "network", help="learn and print the Bayesian network"
+    )
+    common(p_network)
+    engine_options(p_network)
+    p_network.add_argument(
+        "--save", help="write the learned network as editable JSON"
+    )
+    p_network.set_defaults(func=cmd_network)
+
+    p_clean = sub.add_parser("clean", help="clean a CSV file")
+    common(p_clean)
+    engine_options(p_clean)
+    p_clean.add_argument(
+        "--network",
+        help="use a saved (possibly hand-edited) network JSON instead of learning",
+    )
+    p_clean.add_argument(
+        "--output", "-o", required=True, help="where to write the cleaned CSV"
+    )
+    p_clean.add_argument(
+        "--ucs", help="JSON file with user constraints (see module docs)"
+    )
+    p_clean.add_argument(
+        "--induce-ucs",
+        action="store_true",
+        help="additionally induce pattern/length UCs from the data",
+    )
+    p_clean.add_argument(
+        "--report", help="write the repair log to this file instead of stdout"
+    )
+    p_clean.set_defaults(func=cmd_clean)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

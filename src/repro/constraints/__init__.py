@@ -1,0 +1,82 @@
+"""User constraints: built-in UC vocabulary, FDs, and DCs."""
+
+from repro.constraints.base import (
+    CellConstraint,
+    Conjunction,
+    Disjunction,
+    Negation,
+    Predicate,
+    TupleConstraint,
+)
+from repro.constraints.builtin import (
+    CLOCK_12H,
+    DECIMAL,
+    DIGITS,
+    ISO_DATE,
+    US_PHONE,
+    US_ZIP,
+    MaxLength,
+    MaxValue,
+    MinLength,
+    MinValue,
+    NotNull,
+    OneOf,
+    Pattern,
+)
+from repro.constraints.dc import (
+    DenialConstraint,
+    Pred,
+    find_violations,
+    iter_violations,
+)
+from repro.constraints.fd import (
+    DiscoveredFD,
+    FDConstraint,
+    FDLookup,
+    FunctionalDependency,
+    discover_fds,
+)
+from repro.constraints.induction import (
+    InducedProfile,
+    MaskGroup,
+    induce_pattern,
+    induce_registry,
+)
+from repro.constraints.registry import FAMILIES, UCRegistry
+
+__all__ = [
+    "CLOCK_12H",
+    "DECIMAL",
+    "DIGITS",
+    "FAMILIES",
+    "ISO_DATE",
+    "US_PHONE",
+    "US_ZIP",
+    "CellConstraint",
+    "Conjunction",
+    "DenialConstraint",
+    "DiscoveredFD",
+    "Disjunction",
+    "FDConstraint",
+    "FDLookup",
+    "FunctionalDependency",
+    "InducedProfile",
+    "MaskGroup",
+    "MaxLength",
+    "MaxValue",
+    "MinLength",
+    "MinValue",
+    "Negation",
+    "NotNull",
+    "OneOf",
+    "Pattern",
+    "Pred",
+    "Predicate",
+    "TupleConstraint",
+    "UCRegistry",
+    "discover_fds",
+    "find_violations",
+    "induce_pattern",
+    "induce_registry",
+    "iter_violations",
+]

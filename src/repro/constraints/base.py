@@ -1,0 +1,122 @@
+"""User constraints (UCs): the lightweight prior-knowledge channel of BClean.
+
+A UC is "any function that returns a binary output" (§2).  Cell-level
+constraints implement :class:`CellConstraint`; tuple-level ones (FDs,
+DCs, arithmetic comparisons across attributes) implement
+:class:`TupleConstraint`.  Both report ``True`` for *satisfied*, mapping
+to the paper's ``UC(·) = 1``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Mapping
+
+from repro.dataset.table import Cell, is_null
+
+
+class CellConstraint(abc.ABC):
+    """A binary predicate over a single cell value."""
+
+    #: Constraint family tag — used by the Figure 5 ablation, which drops
+    #: whole families (max length, min length, null, pattern) at a time.
+    family: str = "other"
+
+    @abc.abstractmethod
+    def check(self, value: Cell) -> bool:
+        """Whether ``value`` satisfies the constraint."""
+
+    def __call__(self, value: Cell) -> int:
+        """The paper's UC(·) convention: 1 if satisfied else 0."""
+        return 1 if self.check(value) else 0
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return type(self).__name__
+
+
+class TupleConstraint(abc.ABC):
+    """A binary predicate over a whole tuple (attribute → value mapping)."""
+
+    family: str = "tuple"
+
+    @abc.abstractmethod
+    def check_tuple(self, row: Mapping[str, Cell]) -> bool:
+        """Whether the tuple satisfies the constraint."""
+
+    def __call__(self, row: Mapping[str, Cell]) -> int:
+        return 1 if self.check_tuple(row) else 0
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class Predicate(CellConstraint):
+    """Wrap an arbitrary ``Cell -> bool`` function as a constraint.
+
+    This is the paper's escape hatch: UCs "can be any function that
+    returns a binary output, such as ... even deep neural networks".
+    NULL handling is delegated to the wrapped function.
+    """
+
+    def __init__(self, fn: Callable[[Cell], bool], name: str = "predicate",
+                 family: str = "other"):
+        self.fn = fn
+        self.name = name
+        self.family = family
+
+    def check(self, value: Cell) -> bool:
+        return bool(self.fn(value))
+
+    def describe(self) -> str:
+        return f"predicate({self.name})"
+
+
+class Negation(CellConstraint):
+    """Logical NOT of another cell constraint."""
+
+    def __init__(self, inner: CellConstraint):
+        self.inner = inner
+        self.family = inner.family
+
+    def check(self, value: Cell) -> bool:
+        return not self.inner.check(value)
+
+    def describe(self) -> str:
+        return f"not({self.inner.describe()})"
+
+
+class Conjunction(CellConstraint):
+    """Logical AND of several cell constraints."""
+
+    def __init__(self, *constraints: CellConstraint):
+        self.constraints = constraints
+
+    def check(self, value: Cell) -> bool:
+        return all(c.check(value) for c in self.constraints)
+
+    def describe(self) -> str:
+        return " and ".join(c.describe() for c in self.constraints)
+
+
+class Disjunction(CellConstraint):
+    """Logical OR of several cell constraints."""
+
+    def __init__(self, *constraints: CellConstraint):
+        self.constraints = constraints
+
+    def check(self, value: Cell) -> bool:
+        return any(c.check(value) for c in self.constraints)
+
+    def describe(self) -> str:
+        return " or ".join(c.describe() for c in self.constraints)
+
+
+def null_passes(value: Cell) -> bool:
+    """Shared convention: format constraints vacuously pass on NULL.
+
+    NULL-ness itself is judged by :class:`~repro.constraints.builtin.NotNull`;
+    letting every length/value/pattern constraint also fail on NULL would
+    double-count missing values in the tuple confidence (Eq. 3).
+    """
+    return is_null(value)

@@ -1,0 +1,168 @@
+"""Functional dependencies: representation, checking, and discovery.
+
+FDs serve three roles in this repo: (a) tuple-level UCs for BClean, (b)
+signals in the Raha-style detector ensemble, (c) the rule language the
+Garf baseline mines.  Discovery is approximate — an FD ``X → Y`` is
+accepted when the empirical confidence (fraction of tuples agreeing with
+the majority Y value of their X group) exceeds a threshold, which
+tolerates dirty data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from repro.bayesnet.cpt import cell_key
+from repro.constraints.base import TupleConstraint
+from repro.dataset.table import Cell, Table, is_null
+from repro.errors import ConstraintSpecError
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """An FD ``lhs → rhs`` over attribute names."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise ConstraintSpecError("FD needs at least one LHS attribute")
+        if self.rhs in self.lhs:
+            raise ConstraintSpecError(f"FD rhs {self.rhs!r} appears in lhs")
+
+    def __str__(self) -> str:
+        return f"{', '.join(self.lhs)} -> {self.rhs}"
+
+    def key_of(self, row: Mapping[str, Cell]) -> tuple:
+        """The (hashable) LHS value tuple of a row."""
+        return tuple(cell_key(row[a]) for a in self.lhs)
+
+
+class FDLookup:
+    """Majority-consensus table of an FD over a dataset.
+
+    Maps each observed LHS key to the most frequent RHS value — the
+    repair suggestion an FD makes for a violating tuple.
+    """
+
+    def __init__(self, fd: FunctionalDependency, table: Table):
+        self.fd = fd
+        groups: dict[tuple, Counter] = defaultdict(Counter)
+        columns = {a: table.column(a) for a in (*fd.lhs, fd.rhs)}
+        for i in range(table.n_rows):
+            rhs_val = columns[fd.rhs][i]
+            if is_null(rhs_val):
+                continue
+            key = tuple(cell_key(columns[a][i]) for a in fd.lhs)
+            groups[key][rhs_val] += 1
+        self._consensus: dict[tuple, Cell] = {}
+        self._support: dict[tuple, int] = {}
+        self._agreement: dict[tuple, float] = {}
+        for key, counter in groups.items():
+            value, count = counter.most_common(1)[0]
+            total = sum(counter.values())
+            self._consensus[key] = value
+            self._support[key] = total
+            self._agreement[key] = count / total
+
+    def expected(self, row: Mapping[str, Cell]) -> Cell | None:
+        """The consensus RHS value for this row's LHS key (None if unseen)."""
+        return self._consensus.get(self.fd.key_of(row))
+
+    def support(self, row: Mapping[str, Cell]) -> int:
+        """Number of tuples sharing this row's LHS key."""
+        return self._support.get(self.fd.key_of(row), 0)
+
+    def agreement(self, row: Mapping[str, Cell]) -> float:
+        """Fraction of the LHS group agreeing with the consensus (0 if unseen)."""
+        return self._agreement.get(self.fd.key_of(row), 0.0)
+
+    def violates(self, row: Mapping[str, Cell]) -> bool:
+        """Whether the row's RHS disagrees with a well-supported consensus."""
+        expected = self.expected(row)
+        if expected is None:
+            return False
+        return cell_key(row[self.fd.rhs]) != cell_key(expected)
+
+
+class FDConstraint(TupleConstraint):
+    """An FD used as a tuple-level UC: satisfied iff not violating."""
+
+    family = "fd"
+
+    def __init__(self, fd: FunctionalDependency, table: Table):
+        self.fd = fd
+        self.lookup = FDLookup(fd, table)
+
+    def check_tuple(self, row: Mapping[str, Cell]) -> bool:
+        return not self.lookup.violates(row)
+
+    def describe(self) -> str:
+        return f"FD {self.fd}"
+
+
+@dataclass(frozen=True)
+class DiscoveredFD:
+    """An FD plus the evidence it was mined with."""
+
+    fd: FunctionalDependency
+    confidence: float
+    n_groups: int
+
+
+def discover_fds(
+    table: Table,
+    min_confidence: float = 0.9,
+    max_lhs_size: int = 1,
+    min_group_size: int = 2,
+    attributes: Sequence[str] | None = None,
+) -> list[DiscoveredFD]:
+    """Mine approximate FDs ``X → Y`` from a (dirty) table.
+
+    Confidence of ``X → Y`` is the weighted mean, over X groups with at
+    least ``min_group_size`` members, of the fraction agreeing with the
+    group's majority Y value.  Trivial dependencies where X is a key
+    (every group a singleton) are skipped — they are vacuous.
+    """
+    names = list(attributes) if attributes is not None else table.schema.names
+    found: list[DiscoveredFD] = []
+    for size in range(1, max_lhs_size + 1):
+        for lhs in combinations(names, size):
+            lhs_cols = [table.column(a) for a in lhs]
+            for rhs in names:
+                if rhs in lhs:
+                    continue
+                rhs_col = table.column(rhs)
+                groups: dict[tuple, Counter] = defaultdict(Counter)
+                for i in range(table.n_rows):
+                    if is_null(rhs_col[i]):
+                        continue
+                    key = tuple(cell_key(col[i]) for col in lhs_cols)
+                    groups[key][cell_key(rhs_col[i])] += 1
+                weighted_hits = 0
+                weighted_total = 0
+                n_groups = 0
+                for counter in groups.values():
+                    total = sum(counter.values())
+                    if total < min_group_size:
+                        continue
+                    n_groups += 1
+                    weighted_hits += counter.most_common(1)[0][1]
+                    weighted_total += total
+                if n_groups == 0 or weighted_total == 0:
+                    continue
+                confidence = weighted_hits / weighted_total
+                if confidence >= min_confidence:
+                    found.append(
+                        DiscoveredFD(
+                            FunctionalDependency(tuple(lhs), rhs),
+                            confidence,
+                            n_groups,
+                        )
+                    )
+    found.sort(key=lambda d: (-d.confidence, str(d.fd)))
+    return found

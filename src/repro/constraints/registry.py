@@ -1,0 +1,117 @@
+"""Per-attribute registry of user constraints.
+
+:class:`UCRegistry` is what the BClean engine consumes: it answers the
+paper's ``UC(value)`` query per attribute, computes per-tuple violation
+counts for the confidence score (Eq. 3), and supports the Figure 5
+ablation of dropping whole constraint families.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.constraints.base import CellConstraint, TupleConstraint
+from repro.dataset.table import Cell
+
+#: The family tags the Figure 5 ablation toggles.
+FAMILIES = ("max", "min", "null", "pattern")
+
+
+class UCRegistry:
+    """Mapping from attribute name to its list of cell constraints."""
+
+    def __init__(
+        self,
+        cell_constraints: Mapping[str, Iterable[CellConstraint]] | None = None,
+        tuple_constraints: Iterable[TupleConstraint] = (),
+    ):
+        self._by_attr: dict[str, list[CellConstraint]] = {
+            attr: list(cs) for attr, cs in (cell_constraints or {}).items()
+        }
+        self.tuple_constraints: list[TupleConstraint] = list(tuple_constraints)
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, attribute: str, *constraints: CellConstraint) -> "UCRegistry":
+        """Attach constraints to ``attribute`` (chainable)."""
+        self._by_attr.setdefault(attribute, []).extend(constraints)
+        return self
+
+    def add_tuple_constraint(self, constraint: TupleConstraint) -> "UCRegistry":
+        """Attach a tuple-level constraint (chainable)."""
+        self.tuple_constraints.append(constraint)
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    def constraints_for(self, attribute: str) -> list[CellConstraint]:
+        """All cell constraints registered on ``attribute``."""
+        return self._by_attr.get(attribute, [])
+
+    def check_cell(self, attribute: str, value: Cell) -> bool:
+        """The paper's UC(value): all constraints of the attribute hold."""
+        return all(c.check(value) for c in self._by_attr.get(attribute, ()))
+
+    def uc(self, attribute: str, value: Cell) -> int:
+        """Binary form: 1 if the cell satisfies its constraints, else 0."""
+        return 1 if self.check_cell(attribute, value) else 0
+
+    def violations_in_tuple(self, row: Mapping[str, Cell]) -> int:
+        """Number of attribute values of ``row`` violating their UCs."""
+        return sum(
+            0 if self.check_cell(attr, value) else 1 for attr, value in row.items()
+        )
+
+    def satisfied_in_tuple(self, row: Mapping[str, Cell]) -> int:
+        """Number of attribute values of ``row`` satisfying their UCs."""
+        return sum(
+            1 if self.check_cell(attr, value) else 0 for attr, value in row.items()
+        )
+
+    def check_tuple(self, row: Mapping[str, Cell]) -> bool:
+        """All cell *and* tuple constraints hold on ``row``."""
+        if self.violations_in_tuple(row) > 0:
+            return False
+        return all(tc.check_tuple(row) for tc in self.tuple_constraints)
+
+    @property
+    def n_constraints(self) -> int:
+        """Total number of registered constraints (the paper's #UCs)."""
+        return sum(len(v) for v in self._by_attr.values()) + len(
+            self.tuple_constraints
+        )
+
+    @property
+    def attributes(self) -> list[str]:
+        """Attributes with at least one cell constraint."""
+        return list(self._by_attr)
+
+    # -- ablation ------------------------------------------------------------------
+
+    def without_families(self, families: Iterable[str]) -> "UCRegistry":
+        """A copy with every constraint of the given families removed.
+
+        Used by the Figure 5 experiment: ``without_families(["pattern"])``
+        is the "Pat removed" configuration; ``without_families(FAMILIES)``
+        is "All removed".
+        """
+        drop = set(families)
+        kept = {
+            attr: [c for c in cs if c.family not in drop]
+            for attr, cs in self._by_attr.items()
+        }
+        return UCRegistry(kept, list(self.tuple_constraints))
+
+    def empty_like(self) -> "UCRegistry":
+        """A registry with no constraints at all (the BClean-UC variant)."""
+        return UCRegistry()
+
+    def describe(self) -> str:
+        """Multi-line listing of all constraints."""
+        lines = []
+        for attr, cs in self._by_attr.items():
+            for c in cs:
+                lines.append(f"{attr}: {c.describe()}")
+        for tc in self.tuple_constraints:
+            lines.append(f"<tuple>: {tc.describe()}")
+        return "\n".join(lines) if lines else "(no constraints)"

@@ -1,0 +1,140 @@
+"""Attribute → BN-node composition (supports the node-merge interaction).
+
+§4 lets users merge BN nodes: the merged node behaves as one random
+variable whose value is the tuple of its constituents' values.
+:class:`AttributeComposition` maps table attributes onto BN nodes —
+by default one node per attribute — and materialises the node-level
+view of a table that :class:`~repro.bayesnet.model.DiscreteBayesNet`
+is fitted on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.dataset.schema import Attribute, AttrType, Schema
+from repro.dataset.table import Cell, Table
+from repro.errors import CleaningError
+
+#: Separator joining constituent values inside a merged node's value.
+#: A unit-separator control char cannot collide with real data.
+COMPOSE_SEP = "\x1f"
+
+
+class AttributeComposition:
+    """Grouping of table attributes into BN nodes."""
+
+    def __init__(self, attributes: Sequence[str]):
+        self._attributes = list(attributes)
+        # node name -> ordered constituent attributes
+        self._groups: dict[str, tuple[str, ...]] = {
+            a: (a,) for a in attributes
+        }
+        # attribute -> owning node
+        self._owner: dict[str, str] = {a: a for a in attributes}
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        """Current node names."""
+        return list(self._groups)
+
+    @property
+    def attributes(self) -> list[str]:
+        """Underlying table attributes."""
+        return list(self._attributes)
+
+    def members(self, node: str) -> tuple[str, ...]:
+        """Constituent attributes of ``node``."""
+        try:
+            return self._groups[node]
+        except KeyError as exc:
+            raise CleaningError(f"unknown node {node!r}") from exc
+
+    def node_of(self, attribute: str) -> str:
+        """The node owning ``attribute``."""
+        try:
+            return self._owner[attribute]
+        except KeyError as exc:
+            raise CleaningError(f"unknown attribute {attribute!r}") from exc
+
+    def is_merged(self, node: str) -> bool:
+        """Whether ``node`` groups more than one attribute."""
+        return len(self.members(node)) > 1
+
+    def merge(self, nodes: Sequence[str], name: str | None = None) -> str:
+        """Merge several existing nodes into one; returns the new name."""
+        if len(nodes) < 2:
+            raise CleaningError("merging needs at least two nodes")
+        members: list[str] = []
+        for n in nodes:
+            members.extend(self.members(n))
+        merged_name = name or "+".join(nodes)
+        if merged_name in self._groups and merged_name not in nodes:
+            raise CleaningError(f"node name {merged_name!r} already in use")
+        for n in nodes:
+            del self._groups[n]
+        self._groups[merged_name] = tuple(members)
+        for a in members:
+            self._owner[a] = merged_name
+        return merged_name
+
+    # -- value mapping ------------------------------------------------------------
+
+    def node_value(self, node: str, row: Mapping[str, Cell]) -> Cell:
+        """The node's value for a row (composed for merged nodes)."""
+        members = self.members(node)
+        if len(members) == 1:
+            return row[members[0]]
+        return COMPOSE_SEP.join(
+            "" if row[a] is None else str(row[a]) for a in members
+        )
+
+    def node_value_with(
+        self, node: str, row: Mapping[str, Cell], attribute: str, candidate: Cell
+    ) -> Cell:
+        """Node value when ``attribute`` hypothetically takes ``candidate``."""
+        members = self.members(node)
+        if len(members) == 1:
+            return candidate if members[0] == attribute else row[members[0]]
+        return COMPOSE_SEP.join(
+            (
+                ""
+                if (candidate if a == attribute else row[a]) is None
+                else str(candidate if a == attribute else row[a])
+            )
+            for a in members
+        )
+
+    def node_row(self, row: Mapping[str, Cell]) -> dict[str, Cell]:
+        """The full node-level view of an attribute-level row."""
+        return {n: self.node_value(n, row) for n in self._groups}
+
+    def node_table(self, table: Table) -> Table:
+        """The node-level view of a whole table (fitted by the BN).
+
+        Singleton nodes share the original column lists; merged nodes get
+        composed TEXT columns.
+        """
+        columns: list[list[Cell]] = []
+        attrs: list[Attribute] = []
+        for node, members in self._groups.items():
+            if len(members) == 1:
+                attr = members[0]
+                columns.append(table.column(attr))
+                attrs.append(
+                    Attribute(node, table.schema.type_of(attr))
+                )
+            else:
+                member_cols = [table.column(a) for a in members]
+                composed = [
+                    COMPOSE_SEP.join(
+                        "" if col[i] is None else str(col[i])
+                        for col in member_cols
+                    )
+                    for i in range(table.n_rows)
+                ]
+                columns.append(composed)
+                attrs.append(Attribute(node, AttrType.TEXT))
+        return Table(Schema(attrs), columns)

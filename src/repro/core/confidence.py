@@ -1,0 +1,69 @@
+"""Tuple confidence (Eq. 3 of the paper).
+
+``conf(T) = max(0, (Σ 1{UC(e)=1} − λ·Σ 1{UC(e)=0}) / |T|)``
+
+A tuple whose values all satisfy their UCs has confidence 1; each
+violation both removes a satisfying vote and subtracts λ, so with λ = 1
+a single violation in an m-attribute tuple yields (m − 2)/m.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.constraints.registry import UCRegistry
+from repro.dataset.table import Cell, Table
+
+
+def tuple_confidence(
+    row: Mapping[str, Cell], registry: UCRegistry, lam: float
+) -> float:
+    """Confidence of one tuple under the registry's cell constraints."""
+    n = len(row)
+    if n == 0:
+        return 0.0
+    satisfied = 0
+    violated = 0
+    for attr, value in row.items():
+        if registry.check_cell(attr, value):
+            satisfied += 1
+        else:
+            violated += 1
+    return max(0.0, (satisfied - lam * violated) / n)
+
+
+def table_confidences(
+    table: Table, registry: UCRegistry, lam: float
+) -> list[float]:
+    """Confidence of every tuple of ``table`` (one pass per column).
+
+    Column-major evaluation: each attribute's constraints are applied to
+    its whole column, then votes are folded row-wise — avoiding the
+    per-row dict construction of :func:`tuple_confidence`.
+    """
+    n, m = table.n_rows, table.n_cols
+    if m == 0:
+        return []
+    satisfied = [0] * n
+    for attr in table.schema.names:
+        constraints = registry.constraints_for(attr)
+        col = table.column(attr)
+        if not constraints:
+            for i in range(n):
+                satisfied[i] += 1
+            continue
+        for i, v in enumerate(col):
+            if all(c.check(v) for c in constraints):
+                satisfied[i] += 1
+    out = []
+    for s in satisfied:
+        violated = m - s
+        out.append(max(0.0, (s - lam * violated) / m))
+    return out
+
+
+def reliability_flags(
+    confidences: Sequence[float], tau: float
+) -> list[bool]:
+    """Whether each tuple counts as reliable (conf ≥ τ, Algorithm 2)."""
+    return [c >= tau for c in confidences]

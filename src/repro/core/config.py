@@ -1,0 +1,160 @@
+"""Configuration of the BClean engine.
+
+Defaults follow §7.1 ("Parameters"): λ = 1, β = 2, τ = 0.5.  The variant
+selection (basic / PI / PIP / -UC) maps onto :class:`InferenceMode` and
+``use_ucs`` exactly as the paper's Table 4 rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bayesnet.structure.fdx import FDXConfig
+from repro.errors import CleaningError
+
+
+class InferenceMode(enum.Enum):
+    """Which inference path the engine uses.
+
+    BASIC
+        Full-joint scoring: every candidate re-evaluates all m CPT
+        factors (the unoptimised *BClean* row of Table 4/7).
+    PARTITIONED
+        Markov-blanket scoring only (*BCleanPI*).
+    PARTITIONED_PRUNED
+        Markov-blanket scoring plus tuple pruning (pre-detection) and
+        TF-IDF domain pruning (*BCleanPIP*).
+    """
+
+    BASIC = "basic"
+    PARTITIONED = "pi"
+    PARTITIONED_PRUNED = "pip"
+
+
+@dataclass
+class BCleanConfig:
+    """All knobs of the BClean engine.
+
+    Attributes
+    ----------
+    lam:
+        λ of Eq. 3 — penalty weight of UC-violating values inside the
+        tuple confidence.
+    beta:
+        β of Algorithm 2 — penalty applied to pair counts contributed by
+        low-confidence tuples.
+    tau:
+        τ — confidence threshold separating reliable from unreliable
+        tuples.
+    tau_clean:
+        Threshold of the tuple-pruning filter (§6.2); cells whose
+        ``Filter(T, A_i)`` is at least this value are skipped in
+        PARTITIONED_PRUNED mode.
+    frequency_weight:
+        Weight of the value-frequency term inside the compensatory score
+        (§3 lists value frequency alongside pairwise correlation).
+        Defaults to 0: raw frequency lets majority values overwrite
+        rare-but-valid cells on attributes with no relational signal;
+        the co-occurrence sums already encode frequency where it is
+        actually evidence.
+    domain_prune_top_k:
+        Number of candidates kept by TF-IDF domain pruning.
+    candidate_cap:
+        Hard cap on candidate values per cell (most frequent first);
+        ``None`` disables the cap.  Applies to all modes — the paper's
+        Soccer run shows why unbounded domains are intractable.
+    mode:
+        Inference path (see :class:`InferenceMode`).
+    use_ucs:
+        ``False`` gives the *BClean-UC* variant: constraints are neither
+        enforced on candidates nor used in the confidence score.
+    use_compensatory:
+        Ablation switch for the compensatory scoring model (§5).
+    comp_smoothing:
+        Pseudo-count of the compensatory log-mapping, in the corr's
+        conditional-lift units (probability scale).  Competitions whose
+        association evidence is below this level contribute ~nothing;
+        strong lifts (FD partners approach 1.0) dominate.
+    comp_weight:
+        Multiplier on the compensatory log-term — how strongly the
+        correlation evidence can override the BN term (the §5
+        error-amplification correction).
+    repair_margin:
+        A candidate must beat the incumbent by this much (log-space) to
+        trigger a repair — near-ties keep the observed value.
+    unsupported_margin:
+        The (smaller) margin applied when the incumbent has *no*
+        independent co-occurrence support.  Nonzero so that noise-level
+        score differences cannot flip near-unique values, small so that
+        genuinely evidenced repairs still fire.
+    uc_violation_penalty:
+        Log-space penalty on an incumbent that violates its UCs ("P[g]
+        is set to 0 prior to inference", §7.3.1 — violating values
+        should lose to any valid candidate).
+    min_fill_support:
+        A *forced* repair (NULL or UC-violating incumbent) only happens
+        when the winning candidate co-occurs with the tuple context in
+        at least this many tuples — guessing without evidence trades
+        precision for nothing.
+    smoothing_alpha:
+        Laplace pseudo-count of the CPTs.
+    fdx:
+        Configuration of the FDX structure learner.
+    structure:
+        Structure learner name: "fdx", "hillclimb", "chowliu", or "pc".
+    max_candidates_basic:
+        Extra cap used in BASIC mode (full-joint scoring is m× more
+        expensive per candidate).
+    """
+
+    lam: float = 1.0
+    beta: float = 2.0
+    tau: float = 0.5
+    tau_clean: float = 0.35
+    frequency_weight: float = 0.0
+    domain_prune_top_k: int = 24
+    candidate_cap: int | None = 120
+    mode: InferenceMode = InferenceMode.PARTITIONED
+    use_ucs: bool = True
+    use_compensatory: bool = True
+    comp_smoothing: float = 0.05
+    comp_weight: float = 3.0
+    repair_margin: float = 2.0
+    unsupported_margin: float = 0.5
+    uc_violation_penalty: float = 100.0
+    min_fill_support: int = 1
+    smoothing_alpha: float = 0.1
+    fdx: FDXConfig = field(default_factory=FDXConfig)
+    structure: str = "fdx"
+    max_candidates_basic: int = 40
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise CleaningError(f"lambda must be non-negative, got {self.lam}")
+        if self.beta < 0:
+            raise CleaningError(f"beta must be non-negative, got {self.beta}")
+        if not 0.0 <= self.tau <= 1.0:
+            raise CleaningError(f"tau must be in [0, 1], got {self.tau}")
+        if isinstance(self.mode, str):
+            self.mode = InferenceMode(self.mode)
+
+    @classmethod
+    def basic(cls, **kwargs) -> "BCleanConfig":
+        """The unoptimised *BClean* configuration of Table 4."""
+        return cls(mode=InferenceMode.BASIC, **kwargs)
+
+    @classmethod
+    def pi(cls, **kwargs) -> "BCleanConfig":
+        """The *BCleanPI* configuration (partitioned inference)."""
+        return cls(mode=InferenceMode.PARTITIONED, **kwargs)
+
+    @classmethod
+    def pip(cls, **kwargs) -> "BCleanConfig":
+        """The *BCleanPIP* configuration (partition + pruning)."""
+        return cls(mode=InferenceMode.PARTITIONED_PRUNED, **kwargs)
+
+    @classmethod
+    def without_ucs(cls, **kwargs) -> "BCleanConfig":
+        """The *BClean-UC* configuration (no user constraints)."""
+        return cls(use_ucs=False, mode=InferenceMode.PARTITIONED, **kwargs)

@@ -1,0 +1,194 @@
+"""Standalone error detection from the engine's pre-inference signals.
+
+§6.2 is careful to distinguish tuple pruning from "standard error
+detection", but the signals BClean computes before inference *are* an
+error detector, and a detect-only mode is what many downstream users
+want (triage before repair, or feeding a human review queue).  This
+module exposes them as a public API:
+
+- **UC violations** (§2) — the observed value fails a user constraint;
+- **weak tuple support** (§6.2) — ``Filter(T, A_i)`` below ``τ_clean``:
+  the value rarely co-occurs with the rest of its tuple;
+- **format rarity** — the value's character-class mask is rare in its
+  column (the same signal the Raha baseline votes with);
+- **missingness** — NULL cells, reported as their own signal so callers
+  can treat imputation separately from correction.
+
+Each signal votes per cell; cells with at least ``min_votes`` votes are
+flagged.  The result keeps per-cell signal breakdowns so a UI (or a
+test) can explain *why* a cell is suspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.constraints.registry import UCRegistry
+from repro.core.cooccurrence import CooccurrenceIndex
+from repro.core.pruning import tuple_filter_score
+from repro.dataset.table import Cell, Table, is_null
+from repro.errors import CleaningError
+from repro.text.patterns import PatternProfile
+
+#: signal names, in vote order
+SIGNALS = ("uc", "support", "pattern", "missing")
+
+
+@dataclass(frozen=True)
+class Suspicion:
+    """One flagged cell with its triggering signals."""
+
+    row: int
+    attribute: str
+    value: Cell
+    signals: tuple[str, ...]
+
+    @property
+    def n_votes(self) -> int:
+        """Number of signals that fired."""
+        return len(self.signals)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.row}].{self.attribute} = {self.value!r} "
+            f"({', '.join(self.signals)})"
+        )
+
+
+@dataclass
+class DetectionResult:
+    """All flagged cells plus per-signal counts."""
+
+    suspicions: list[Suspicion]
+    votes_by_signal: dict[str, int] = field(default_factory=dict)
+    cells_total: int = 0
+
+    @property
+    def cells(self) -> set[tuple[int, str]]:
+        """Flagged (row, attribute) pairs — feeds ``detection_quality``."""
+        return {(s.row, s.attribute) for s in self.suspicions}
+
+    def for_attribute(self, attribute: str) -> list[Suspicion]:
+        """Flagged cells of one column."""
+        return [s for s in self.suspicions if s.attribute == attribute]
+
+    def __len__(self) -> int:
+        return len(self.suspicions)
+
+    def __iter__(self) -> Iterator[Suspicion]:
+        return iter(self.suspicions)
+
+
+class ErrorDetector:
+    """Vote-based detector over UC, support, pattern, and missing signals.
+
+    Parameters
+    ----------
+    constraints:
+        UC registry for the ``uc`` signal (omit to disable it).
+    tau_clean:
+        Support threshold of §6.2: cells whose ``Filter`` score is below
+        this vote ``support``.  The default (0.1) is deliberately lower
+        than the engine's pruning threshold — pruning errs toward
+        inspecting cells, a detector errs toward precision.
+    rarity_threshold:
+        A value's compressed mask must be rarer than this (fraction of
+        the column with a *different* mask) to vote ``pattern``.
+    min_votes:
+        Minimum number of distinct signals required to flag a cell.
+    """
+
+    def __init__(
+        self,
+        constraints: UCRegistry | None = None,
+        tau_clean: float = 0.1,
+        rarity_threshold: float = 0.95,
+        min_votes: int = 1,
+    ):
+        if not 0.0 <= tau_clean <= 1.0:
+            raise CleaningError(f"tau_clean must be in [0, 1], got {tau_clean}")
+        if not 0.0 <= rarity_threshold <= 1.0:
+            raise CleaningError(
+                f"rarity_threshold must be in [0, 1], got {rarity_threshold}"
+            )
+        if min_votes < 1:
+            raise CleaningError(f"min_votes must be >= 1, got {min_votes}")
+        self.constraints = constraints
+        self.tau_clean = tau_clean
+        self.rarity_threshold = rarity_threshold
+        self.min_votes = min_votes
+        self._table: Table | None = None
+        self._cooc: CooccurrenceIndex | None = None
+        self._profiles: dict[str, PatternProfile] = {}
+
+    def fit(self, table: Table) -> "ErrorDetector":
+        """Build the co-occurrence index and per-column mask profiles."""
+        self._table = table
+        self._cooc = CooccurrenceIndex(table, None)
+        self._profiles = {
+            attr: PatternProfile(table.column(attr))
+            for attr in table.schema.names
+        }
+        return self
+
+    def detect(self, table: Table | None = None) -> DetectionResult:
+        """Flag suspect cells of ``table`` (defaults to the fitted one)."""
+        if self._table is None or self._cooc is None:
+            raise CleaningError("fit() must be called before detect()")
+        table = table if table is not None else self._table
+        names = table.schema.names
+        suspicions: list[Suspicion] = []
+        votes_by_signal = {s: 0 for s in SIGNALS}
+        for i in range(table.n_rows):
+            row = {a: table.columns[j][i] for j, a in enumerate(names)}
+            for attr in names:
+                signals = tuple(self._cell_signals(row, attr))
+                for s in signals:
+                    votes_by_signal[s] += 1
+                if len(signals) >= self.min_votes:
+                    suspicions.append(Suspicion(i, attr, row[attr], signals))
+        return DetectionResult(
+            suspicions=suspicions,
+            votes_by_signal=votes_by_signal,
+            cells_total=table.n_rows * table.n_cols,
+        )
+
+    # -- signals -----------------------------------------------------------------
+
+    def _cell_signals(
+        self, row: Mapping[str, Cell], attribute: str
+    ) -> Sequence[str]:
+        value = row[attribute]
+        signals: list[str] = []
+        if is_null(value):
+            # NULL short-circuits: the other signals are meaningless on a
+            # missing value, and 'missing' is its own category.
+            return ("missing",)
+        if self.constraints is not None and not self.constraints.check_cell(
+            attribute, value
+        ):
+            signals.append("uc")
+        if tuple_filter_score(self._cooc, row, attribute) < self.tau_clean:
+            signals.append("support")
+        profile = self._profiles.get(attribute)
+        if (
+            profile is not None
+            and profile.rarity(value) > self.rarity_threshold
+        ):
+            signals.append("pattern")
+        return signals
+
+
+def detect_errors(
+    table: Table,
+    constraints: UCRegistry | None = None,
+    tau_clean: float = 0.1,
+    min_votes: int = 1,
+) -> DetectionResult:
+    """One-shot convenience wrapper: fit + detect in a single call."""
+    detector = ErrorDetector(
+        constraints, tau_clean=tau_clean, min_votes=min_votes
+    )
+    detector.fit(table)
+    return detector.detect()

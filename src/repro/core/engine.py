@@ -1,0 +1,484 @@
+"""The BClean cleaning engine (Algorithm 1 and its optimised variants).
+
+For every cell the engine scores the incumbent value and a set of
+candidate repairs with
+
+``p(c) = log BN[A_j](c) + log CS[A_j](c)``   (Algorithm 1, line 4/6)
+
+subject to ``UC(c) = 1``, where the BN term is either the full joint
+log-probability (BASIC mode — the paper's unoptimised variant whose
+cost Table 7 reports) or the Markov-blanket score (PI / PIP, §6.1), and
+the CS term is the compensatory score of §5 mapped to log-space.
+
+Evidence always comes from the *observed* dataset D, never from earlier
+repairs — Algorithm 1 writes into a separate D*, which is what prevents
+the error-amplification cascade §5 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bayesnet.cpt import cell_key
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.bayesnet.structure.chowliu import chow_liu_tree
+from repro.bayesnet.structure.fdx import fdx_structure
+from repro.bayesnet.structure.hillclimb import hill_climb
+from repro.bayesnet.structure.mmhc import mmhc
+from repro.bayesnet.structure.pc import pc_algorithm
+from repro.constraints.registry import UCRegistry
+from repro.core.composition import AttributeComposition
+from repro.core.compensatory import CompensatoryScorer, log_compensatory
+from repro.core.config import BCleanConfig, InferenceMode
+from repro.core.confidence import table_confidences
+from repro.core.cooccurrence import CooccurrenceIndex
+from repro.core.partition import SubNetwork, partition, partition_statistics
+from repro.core.pruning import DomainPruner, should_skip_cell
+from repro.core.repairs import CleaningResult, CleaningStats, Repair, Stopwatch
+from repro.dataset.domain import DomainIndex
+from repro.dataset.table import Cell, Table, is_null
+from repro.errors import CleaningError
+
+
+class BClean:
+    """The BClean system: fit a BN + compensatory model, then clean.
+
+    Typical use::
+
+        engine = BClean(BCleanConfig.pi(), constraints=registry)
+        engine.fit(dirty_table)
+        result = engine.clean()
+        cleaned = result.cleaned
+    """
+
+    def __init__(
+        self,
+        config: BCleanConfig | None = None,
+        constraints: UCRegistry | None = None,
+    ):
+        self.config = config or BCleanConfig()
+        self.constraints = constraints or UCRegistry()
+        self.table: Table | None = None
+        self.dag: DAG | None = None
+        self.bn: DiscreteBayesNet | None = None
+        self.composition: AttributeComposition | None = None
+        self._fit_seconds = 0.0
+
+    # -- fitting -----------------------------------------------------------------
+
+    def fit(
+        self,
+        table: Table,
+        dag: DAG | None = None,
+        composition: AttributeComposition | None = None,
+    ) -> "BClean":
+        """Learn the BN and all statistics from the observed dataset.
+
+        Parameters
+        ----------
+        table:
+            The dirty dataset D.
+        dag:
+            Optional pre-built network (e.g. after user interaction);
+            its nodes must match the composition's nodes.
+        composition:
+            Optional attribute grouping (merged nodes).
+        """
+        with Stopwatch() as timer:
+            self.table = table
+            self.composition = composition or AttributeComposition(
+                table.schema.names
+            )
+            node_table = self.composition.node_table(table)
+            self.dag = dag if dag is not None else self._learn_structure(node_table)
+            unknown = set(self.dag.nodes) ^ set(node_table.schema.names)
+            if unknown:
+                raise CleaningError(
+                    f"DAG nodes do not match composition nodes: {sorted(unknown)}"
+                )
+            self.bn = DiscreteBayesNet.fit(
+                node_table, self.dag, alpha=self.config.smoothing_alpha
+            )
+            self._node_table = node_table
+
+            use_ucs = self.config.use_ucs and self.constraints.n_constraints > 0
+            self.confidences = (
+                table_confidences(table, self.constraints, self.config.lam)
+                if use_ucs
+                else None
+            )
+            self.cooc = CooccurrenceIndex(
+                table,
+                self.confidences,
+                tau=self.config.tau,
+                beta=self.config.beta,
+            )
+            self.comp = CompensatoryScorer(
+                self.cooc, frequency_weight=self.config.frequency_weight
+            )
+            self.domains = DomainIndex(table)
+            self.subnets = partition(self.dag)
+            self.pruner = DomainPruner(
+                self.cooc, top_k=self.config.domain_prune_top_k
+            )
+            self._uc_cache: dict[tuple[str, object], bool] = {}
+            self._cell_cache: dict[tuple, tuple[Cell, float, float]] = {}
+        self._fit_seconds = timer.seconds
+        return self
+
+    def _learn_structure(self, node_table: Table) -> DAG:
+        if node_table.n_rows < 2:
+            # Nothing to profile: an edge-free network makes cleaning a
+            # no-op, which is the only defensible output for one row.
+            return DAG(node_table.schema.names)
+        name = self.config.structure.lower()
+        if name == "fdx":
+            return fdx_structure(node_table, self.config.fdx).dag
+        if name == "hillclimb":
+            return hill_climb(node_table).dag
+        if name == "chowliu":
+            return chow_liu_tree(node_table)
+        if name == "pc":
+            return pc_algorithm(node_table).dag
+        if name == "mmhc":
+            return mmhc(node_table).dag
+        raise CleaningError(
+            f"unknown structure learner {self.config.structure!r}"
+        )
+
+    def set_network(self, dag: DAG, refit_nodes: Sequence[str] | None = None) -> None:
+        """Swap in an edited network (user interaction, §4).
+
+        ``refit_nodes`` restricts CPT re-estimation to the touched
+        attributes; ``None`` refits everything.
+        """
+        if self.table is None or self.bn is None:
+            raise CleaningError("fit() must be called before set_network()")
+        self.dag = dag
+        if refit_nodes is None:
+            self.bn = DiscreteBayesNet.fit(
+                self._node_table, dag, alpha=self.config.smoothing_alpha
+            )
+        else:
+            self.bn = DiscreteBayesNet(
+                dag,
+                {**self.bn.cpts},
+                alpha=self.config.smoothing_alpha,
+            )
+            self.bn.refit_nodes(self._node_table, list(refit_nodes))
+        self.subnets = partition(dag)
+        self._cell_cache.clear()
+
+    # -- cleaning ------------------------------------------------------------------
+
+    def clean(self, table: Table | None = None) -> CleaningResult:
+        """Run Algorithm 1 over ``table`` (defaults to the fitted table)."""
+        if self.bn is None or self.table is None:
+            raise CleaningError("fit() must be called before clean()")
+        table = table if table is not None else self.table
+        stats = CleaningStats(fit_seconds=self._fit_seconds)
+        repairs: list[Repair] = []
+        cleaned = table.copy()
+        mode = self.config.mode
+
+        with Stopwatch() as timer:
+            names = table.schema.names
+            for i in range(table.n_rows):
+                row = {a: table.columns[j][i] for j, a in enumerate(names)}
+                for attr in names:
+                    stats.cells_total += 1
+                    if mode == InferenceMode.PARTITIONED_PRUNED and not is_null(
+                        row[attr]
+                    ):
+                        if should_skip_cell(
+                            self.cooc, row, attr, self.config.tau_clean
+                        ):
+                            stats.cells_skipped_pruning += 1
+                            continue
+                    stats.cells_inspected += 1
+                    best, best_score, incumbent_score = self._best_candidate(
+                        attr, row, stats
+                    )
+                    # The margin (incumbent protection) is already folded
+                    # into incumbent_score by the competition.
+                    if best is not None and best_score > incumbent_score:
+                        if cell_key(best) != cell_key(row[attr]):
+                            cleaned.set_cell(i, attr, best)
+                            repairs.append(
+                                Repair(
+                                    i,
+                                    attr,
+                                    row[attr],
+                                    best,
+                                    incumbent_score,
+                                    best_score,
+                                )
+                            )
+        stats.clean_seconds = timer.seconds
+        stats.repairs_made = len(repairs)
+        return CleaningResult(
+            cleaned,
+            repairs,
+            stats,
+            diagnostics={
+                "mode": mode.value,
+                "n_edges": self.dag.n_edges,
+                "partition": partition_statistics(self.subnets),
+                "cache_size": len(self._cell_cache),
+            },
+        )
+
+    # -- per-cell inference -----------------------------------------------------------
+
+    def _best_candidate(
+        self, attr: str, row: Mapping[str, Cell], stats: CleaningStats
+    ) -> tuple[Cell | None, float, float]:
+        """(best candidate, its score, incumbent score) for one cell.
+
+        Results are cached on the (attribute, scoring context, incumbent)
+        signature: rows sharing their context values reuse the whole
+        candidate competition.
+        """
+        node = self.composition.node_of(attr)
+        subnet = self.subnets[node]
+        # Eq. 2 sums correlations over *all* other attributes; the BN
+        # partition of §6.1 only restricts the BN term.
+        context_attrs = [a for a in self.table.schema.names if a != attr]
+        current = row[attr]
+
+        sig = (attr, tuple(cell_key(row[a]) for a in self.table.schema.names))
+        hit = self._cell_cache.get(sig)
+        if hit is not None:
+            return hit
+
+        pool = self._candidate_pool(attr, row, context_attrs, current, stats)
+        result = self._run_competition(
+            attr, node, subnet, row, pool, current, context_attrs, stats
+        )
+        self._cell_cache[sig] = result
+        return result
+
+    def _candidate_pool(
+        self,
+        attr: str,
+        row: Mapping[str, Cell],
+        context_attrs: Sequence[str],
+        current: Cell,
+        stats: CleaningStats,
+    ) -> list[Cell]:
+        """Generate candidates: context co-occurring values first, then
+        the most frequent domain values, UC-filtered and capped."""
+        cap = self.config.candidate_cap
+        if self.config.mode == InferenceMode.BASIC:
+            cap = (
+                self.config.max_candidates_basic
+                if cap is None
+                else min(cap, self.config.max_candidates_basic)
+            )
+
+        # Rank context candidates by how strongly they co-occur with the
+        # tuple (summed pair counts).  Ranking by marginal frequency (or
+        # flooding from the first low-selectivity context attribute)
+        # drops the low-frequency-but-context-exact repairs — typically
+        # the FD-partner value that *is* the correct fix.
+        strength: dict[object, float] = {}
+        values_by_key: dict[object, Cell] = {}
+        for attr_k in context_attrs:
+            context_value = row[attr_k]
+            for value in self.cooc.cooccurring_values(attr, attr_k, context_value):
+                if is_null(value):
+                    continue
+                k = cell_key(value)
+                values_by_key.setdefault(k, value)
+                strength[k] = strength.get(k, 0.0) + self.cooc.pair_count(
+                    attr, value, attr_k, context_value
+                )
+        ordered = sorted(values_by_key, key=lambda k: -strength[k])
+        if cap is not None:
+            ordered = ordered[:cap]
+        pool_keys = set(ordered)
+
+        # Top up with globally frequent values (the domain prior).
+        for value in self.domains.candidate_values(attr, cap):
+            k = cell_key(value)
+            if k not in pool_keys:
+                pool_keys.add(k)
+                values_by_key[k] = value
+                ordered.append(k)
+
+        candidates = [values_by_key[k] for k in ordered]
+
+        if self.config.use_ucs:
+            filtered = []
+            for c in candidates:
+                if self._uc_ok(attr, c):
+                    filtered.append(c)
+                else:
+                    stats.candidates_filtered_uc += 1
+            candidates = filtered
+
+        if cap is not None and len(candidates) > cap:
+            candidates = sorted(
+                candidates,
+                key=lambda c: -strength.get(cell_key(c), 0.0),
+            )[:cap]
+        ordered = candidates
+
+        if self.config.mode == InferenceMode.PARTITIONED_PRUNED:
+            ordered = self.pruner.prune(
+                ordered, row, attr, context_attrs, keep=()
+            )
+        return ordered
+
+    def _uc_ok(self, attr: str, value: Cell) -> bool:
+        key = (attr, cell_key(value))
+        hit = self._uc_cache.get(key)
+        if hit is None:
+            hit = self.constraints.check_cell(attr, value)
+            self._uc_cache[key] = hit
+        return hit
+
+    def _run_competition(
+        self,
+        attr: str,
+        node: str,
+        subnet: SubNetwork,
+        row: Mapping[str, Cell],
+        pool: Sequence[Cell],
+        current: Cell,
+        context_attrs: Sequence[str],
+        stats: CleaningStats,
+    ) -> tuple[Cell | None, float, float]:
+        """Score incumbent + pool; return (best, best score, incumbent score)."""
+        contenders: list[Cell] = list(pool)
+        if all(cell_key(c) != cell_key(current) for c in contenders):
+            contenders.append(current)
+
+        node_row = self.composition.node_row(row)
+        bn_scores: dict[object, float] = {}
+        for c in contenders:
+            stats.candidates_evaluated += 1
+            bn_scores[cell_key(c)] = self._bn_score(attr, node, subnet, node_row, c, row)
+
+        current_key = cell_key(current)
+        if self.config.use_compensatory:
+            raw = {
+                cell_key(c): self.comp.score(
+                    c, row, attr, context_attrs,
+                    is_incumbent=cell_key(c) == current_key,
+                )
+                for c in contenders
+            }
+            w = self.config.comp_weight
+            comp_log = {
+                k: w * v
+                for k, v in log_compensatory(
+                    raw, self.config.comp_smoothing
+                ).items()
+            }
+        else:
+            comp_log = {cell_key(c): 0.0 for c in contenders}
+
+        incumbent_penalty = 0.0
+        if self.config.use_ucs and not self._uc_ok(attr, current):
+            # A UC-violating observation must lose to any valid candidate
+            # ("P[g] is set to 0 prior to inference", §7.3.1).
+            incumbent_penalty = self.config.uc_violation_penalty
+
+        # Incumbent protection (the repair margin) only applies to values
+        # with independent support: a value that never co-occurs with its
+        # tuple context in any *other* row is evidently suspect and gets
+        # no benefit of the doubt — the same reliability signal as the
+        # tuple-pruning filter of §6.2.
+        margin = (
+            self.config.repair_margin
+            if self._incumbent_supported(attr, current, row, context_attrs)
+            else self.config.unsupported_margin
+        )
+
+        best: Cell | None = None
+        best_score = -float("inf")
+        incumbent_score = -float("inf")
+        for c in contenders:
+            k = cell_key(c)
+            total = bn_scores[k] + comp_log[k]
+            if k == current_key:
+                total = total - incumbent_penalty + margin
+                incumbent_score = total
+            if total > best_score:
+                best, best_score = c, total
+
+        # A *forced* repair (the incumbent is NULL or UC-violating, i.e.
+        # essentially vetoed) must still be evidence-backed: a winner
+        # that never co-occurs with this tuple's context elsewhere is a
+        # guess, and guesses cost precision for no recall.
+        forced = is_null(current) or incumbent_penalty > 0
+        if (
+            forced
+            and best is not None
+            and cell_key(best) != current_key
+            and not self._candidate_supported(attr, best, row, context_attrs)
+        ):
+            return current, incumbent_score, incumbent_score
+        return best, best_score, incumbent_score
+
+    def _candidate_supported(
+        self,
+        attr: str,
+        candidate: Cell,
+        row: Mapping[str, Cell],
+        context_attrs: Sequence[str],
+    ) -> bool:
+        """Whether ``candidate`` co-occurs with the tuple context in at
+        least ``min_fill_support`` tuples."""
+        need = self.config.min_fill_support
+        for attr_k in context_attrs:
+            if self.cooc.pair_count(attr, candidate, attr_k, row[attr_k]) >= need:
+                return True
+        return False
+
+    def _incumbent_supported(
+        self,
+        attr: str,
+        current: Cell,
+        row: Mapping[str, Cell],
+        context_attrs: Sequence[str],
+    ) -> bool:
+        """Whether the observed value co-occurs with its context in at
+        least one other tuple (pair count ≥ 2: itself plus one more)."""
+        if is_null(current):
+            return False
+        for attr_k in context_attrs:
+            if self.cooc.pair_count(attr, current, attr_k, row[attr_k]) >= 2:
+                return True
+        return False
+
+    def _bn_score(
+        self,
+        attr: str,
+        node: str,
+        subnet: SubNetwork,
+        node_row: Mapping[str, Cell],
+        candidate: Cell,
+        row: Mapping[str, Cell],
+    ) -> float:
+        node_value = self.composition.node_value_with(node, row, attr, candidate)
+        if self.config.mode == InferenceMode.BASIC:
+            return self.bn.joint_log_prob_with(node_row, node, node_value)
+        if subnet.is_isolated:
+            # §6.1: isolated nodes get a uniform CPT — a constant that
+            # cancels in the candidate competition.
+            return 0.0
+        return self.bn.blanket_log_score(node, node_value, node_row)
+
+
+def clean_table(
+    table: Table,
+    config: BCleanConfig | None = None,
+    constraints: UCRegistry | None = None,
+) -> CleaningResult:
+    """One-shot convenience wrapper: fit + clean in a single call."""
+    engine = BClean(config, constraints)
+    engine.fit(table)
+    return engine.clean()

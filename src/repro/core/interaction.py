@@ -1,0 +1,152 @@
+"""User interaction with the constructed network (§4, Figures 2(f)–(h)).
+
+The automatically built skeleton may be noisy; BClean lets users view
+the network, add or remove edges, and merge nodes.  Every edit records
+which nodes were touched so that only those CPTs are re-estimated
+("for efficiency, we only recalculate the CPTs for the attributes
+involved in the modification").
+
+:class:`NetworkEditSession` wraps an engine, stages edits on a copy of
+the DAG/composition, and applies them atomically with :meth:`commit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bayesnet.dag import DAG
+from repro.core.composition import AttributeComposition
+from repro.core.engine import BClean
+from repro.errors import CleaningError, GraphError
+
+
+@dataclass
+class EditLog:
+    """What a session changed (shown to the user, used for refitting)."""
+
+    added_edges: list[tuple[str, str]] = field(default_factory=list)
+    removed_edges: list[tuple[str, str]] = field(default_factory=list)
+    merges: list[tuple[tuple[str, ...], str]] = field(default_factory=list)
+
+    @property
+    def touched_nodes(self) -> set[str]:
+        """Nodes whose CPTs must be re-estimated."""
+        touched: set[str] = set()
+        for u, v in self.added_edges + self.removed_edges:
+            touched.add(v)  # the child's CPT changes when parents change
+        for _, merged in self.merges:
+            touched.add(merged)
+        return touched
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no edit was made."""
+        return not (self.added_edges or self.removed_edges or self.merges)
+
+
+class NetworkEditSession:
+    """Staged, atomic edits to an engine's network."""
+
+    def __init__(self, engine: BClean):
+        if engine.dag is None or engine.composition is None:
+            raise CleaningError("engine must be fitted before editing its network")
+        self.engine = engine
+        self.dag = engine.dag.copy()
+        self.composition = _copy_composition(engine.composition)
+        self.log = EditLog()
+
+    # -- viewing ------------------------------------------------------------------
+
+    def view(self) -> str:
+        """Human-readable rendering of the staged network."""
+        return self.dag.pretty()
+
+    def edges(self) -> list[tuple[str, str, float]]:
+        """Staged edge list."""
+        return self.dag.edges()
+
+    # -- edits ---------------------------------------------------------------------
+
+    def add_edge(self, u: str, v: str, weight: float = 1.0) -> "NetworkEditSession":
+        """Stage adding edge ``u → v`` (chainable)."""
+        self.dag.add_edge(u, v, weight)
+        self.log.added_edges.append((u, v))
+        return self
+
+    def remove_edge(self, u: str, v: str) -> "NetworkEditSession":
+        """Stage removing edge ``u → v`` (chainable)."""
+        self.dag.remove_edge(u, v)
+        self.log.removed_edges.append((u, v))
+        return self
+
+    def reverse_edge(self, u: str, v: str) -> "NetworkEditSession":
+        """Stage replacing ``u → v`` with ``v → u`` (chainable)."""
+        weight = self.dag.edge_weight(u, v)
+        self.dag.remove_edge(u, v)
+        self.dag.add_edge(v, u, weight)
+        self.log.removed_edges.append((u, v))
+        self.log.added_edges.append((v, u))
+        return self
+
+    def merge_nodes(
+        self, nodes: list[str], name: str | None = None
+    ) -> "NetworkEditSession":
+        """Stage merging ``nodes`` into one super-node.
+
+        Edge handling follows §4: edges shared by *all* merged nodes
+        with some outside node A_j collapse into a single edge; edges
+        held by only some of the merged nodes are dropped.
+        """
+        for n in nodes:
+            if n not in self.dag:
+                raise GraphError(f"unknown node {n!r}")
+        merged_name = self.composition.merge(nodes, name)
+
+        outside = [n for n in self.dag.nodes if n not in nodes]
+        shared_in: list[tuple[str, float]] = []
+        shared_out: list[tuple[str, float]] = []
+        for other in outside:
+            if all(self.dag.has_edge(other, n) for n in nodes):
+                weight = max(self.dag.edge_weight(other, n) for n in nodes)
+                shared_in.append((other, weight))
+            if all(self.dag.has_edge(n, other) for n in nodes):
+                weight = max(self.dag.edge_weight(n, other) for n in nodes)
+                shared_out.append((other, weight))
+
+        for n in nodes:
+            self.dag.remove_node(n)
+        self.dag.add_node(merged_name)
+        for other, weight in shared_in:
+            self.dag.add_edge(other, merged_name, weight)
+        for other, weight in shared_out:
+            self.dag.add_edge(merged_name, other, weight)
+
+        self.log.merges.append((tuple(nodes), merged_name))
+        return self
+
+    # -- apply ---------------------------------------------------------------------
+
+    def commit(self) -> EditLog:
+        """Apply the staged edits to the engine and refit touched CPTs."""
+        if self.log.merges:
+            # A merge changes the node table itself: refit from scratch
+            # with the new composition.
+            self.engine.fit(
+                self.engine.table, dag=self.dag, composition=self.composition
+            )
+        elif not self.log.is_empty:
+            self.engine.dag = self.dag
+            self.engine.set_network(
+                self.dag, refit_nodes=sorted(self.log.touched_nodes)
+            )
+        return self.log
+
+
+def _copy_composition(comp: AttributeComposition) -> AttributeComposition:
+    """Deep copy of a composition (merges included)."""
+    out = AttributeComposition(comp.attributes)
+    for node in comp.nodes:
+        members = comp.members(node)
+        if len(members) > 1:
+            out.merge(list(members), node)
+    return out

@@ -1,0 +1,118 @@
+"""Pruning strategies (§6.2): tuple pruning and TF-IDF domain pruning.
+
+*Tuple pruning* (pre-detection) skips cells that co-occur strongly with
+the rest of their tuple:
+
+``Filter(T, A_i) = (1/(m−1)) Σ_{A_j ≠ A_i} count(T[A_i], T[A_j]) / count(T[A_j])``
+
+— cells scoring at least ``τ_clean`` are deemed reliable and bypassed.
+
+*Domain pruning* treats each sub-network as a semantic space (a cloze
+test): every candidate v is weighted by
+
+``score(v) = TF(v, context) · IDF(v, D) = context(v) · log(|D| / (1 + count(v, D)))``
+
+where ``context(v)`` counts the sub-network attributes whose observed
+value co-occurs with v; only the top-k candidates survive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.cooccurrence import CooccurrenceIndex
+from repro.dataset.table import Cell
+
+
+def tuple_filter_score(
+    index: CooccurrenceIndex,
+    row: Mapping[str, Cell],
+    attribute: str,
+) -> float:
+    """``Filter(T, A_i)`` of §6.2 — mean conditional co-occurrence."""
+    others = [a for a in index.names if a != attribute]
+    if not others:
+        return 1.0
+    value = row[attribute]
+    total = 0.0
+    for attr_j in others:
+        denom = index.count(attr_j, row[attr_j])
+        if denom <= 0:
+            continue
+        total += index.pair_count(attribute, value, attr_j, row[attr_j]) / denom
+    return total / len(others)
+
+
+def should_skip_cell(
+    index: CooccurrenceIndex,
+    row: Mapping[str, Cell],
+    attribute: str,
+    tau_clean: float,
+) -> bool:
+    """Pre-detection verdict: True when the cell looks reliable enough
+    to bypass inference in this pass."""
+    return tuple_filter_score(index, row, attribute) >= tau_clean
+
+
+class DomainPruner:
+    """TF-IDF candidate pruning inside one sub-network."""
+
+    def __init__(self, index: CooccurrenceIndex, top_k: int = 24):
+        self.index = index
+        self.top_k = top_k
+        self._n = max(1, index.n_rows)
+
+    def tfidf(
+        self,
+        candidate: Cell,
+        row: Mapping[str, Cell],
+        attribute: str,
+        context_attributes: Sequence[str],
+    ) -> float:
+        """``score(v) = context(v) · log(|D| / (1 + count(v, D)))``."""
+        context = 0
+        for attr_k in context_attributes:
+            if attr_k == attribute:
+                continue
+            if self.index.pair_count(attribute, candidate, attr_k, row[attr_k]) > 0:
+                context += 1
+        if context == 0:
+            return 0.0
+        idf = math.log(self._n / (1 + self.index.count(attribute, candidate)))
+        # Rare-but-contextual values win; clamp negative IDF (values more
+        # frequent than |D|/e) to a small positive floor so frequent
+        # correct values are not zeroed out entirely.
+        return context * max(idf, 1e-3)
+
+    def prune(
+        self,
+        candidates: Sequence[Cell],
+        row: Mapping[str, Cell],
+        attribute: str,
+        context_attributes: Sequence[str],
+        keep: Sequence[Cell] = (),
+    ) -> list[Cell]:
+        """The top-k candidates by TF-IDF, always retaining ``keep``.
+
+        ``keep`` lets the engine preserve the incumbent cell value so
+        Algorithm 1's initialisation (c* = T_i[A_j]) survives pruning.
+        """
+        scored = sorted(
+            candidates,
+            key=lambda c: self.tfidf(c, row, attribute, context_attributes),
+            reverse=True,
+        )
+        kept = scored[: self.top_k]
+        present = set(map(_safe_key, kept))
+        for k in keep:
+            if _safe_key(k) not in present:
+                kept.append(k)
+                present.add(_safe_key(k))
+        return kept
+
+
+def _safe_key(value: Cell) -> object:
+    from repro.bayesnet.cpt import cell_key
+
+    return cell_key(value)

@@ -1,0 +1,99 @@
+"""Repair records and cleaning results."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.dataset.diff import cells_equal
+from repro.dataset.table import Cell, Table
+
+
+@dataclass(frozen=True)
+class Repair:
+    """One cell modification proposed by a cleaning system."""
+
+    row: int
+    attribute: str
+    old_value: Cell
+    new_value: Cell
+    old_score: float = 0.0
+    new_score: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.row}].{self.attribute}: {self.old_value!r} -> "
+            f"{self.new_value!r} (score {self.old_score:.3f} -> {self.new_score:.3f})"
+        )
+
+
+@dataclass
+class CleaningStats:
+    """Work counters of one cleaning run (drives Table 7 and ablations)."""
+
+    cells_total: int = 0
+    cells_inspected: int = 0
+    cells_skipped_pruning: int = 0
+    candidates_evaluated: int = 0
+    candidates_filtered_uc: int = 0
+    repairs_made: int = 0
+    fit_seconds: float = 0.0
+    clean_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Fit plus clean time (the paper's "execution time")."""
+        return self.fit_seconds + self.clean_seconds
+
+
+@dataclass
+class CleaningResult:
+    """Output of a cleaning engine: the repaired table plus provenance."""
+
+    cleaned: Table
+    repairs: list[Repair] = field(default_factory=list)
+    stats: CleaningStats = field(default_factory=CleaningStats)
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def n_repairs(self) -> int:
+        """Number of cells changed."""
+        return len(self.repairs)
+
+    def repaired_cells(self) -> set[tuple[int, str]]:
+        """Coordinates of all modified cells."""
+        return {(r.row, r.attribute) for r in self.repairs}
+
+
+def apply_repairs(table: Table, repairs: list[Repair]) -> Table:
+    """A copy of ``table`` with all repairs applied."""
+    out = table.copy()
+    for r in repairs:
+        out.set_cell(r.row, r.attribute, r.new_value)
+    return out
+
+
+def collect_repairs(dirty: Table, cleaned: Table) -> list[Repair]:
+    """Derive repair records by diffing a dirty table against its cleaned
+    version (used for baselines that return only the cleaned table)."""
+    repairs = []
+    for j, name in enumerate(dirty.schema.names):
+        dcol, ccol = dirty.columns[j], cleaned.columns[j]
+        for i in range(dirty.n_rows):
+            if not cells_equal(dcol[i], ccol[i]):
+                repairs.append(Repair(i, name, dcol[i], ccol[i]))
+    return repairs
+
+
+class Stopwatch:
+    """Tiny context-manager timer used by the engines."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

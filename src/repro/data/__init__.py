@@ -1,0 +1,26 @@
+"""Benchmark datasets: synthetic twins of the paper's six benchmarks
+plus the §7.1 error injector."""
+
+from repro.data.errors import (
+    ALL_TYPES,
+    INCONSISTENCY,
+    MISSING,
+    SWAP,
+    TYPO,
+    ErrorInjector,
+    InjectedError,
+    InjectionResult,
+    inject_typo,
+)
+
+__all__ = [
+    "ALL_TYPES",
+    "INCONSISTENCY",
+    "MISSING",
+    "SWAP",
+    "TYPO",
+    "ErrorInjector",
+    "InjectedError",
+    "InjectionResult",
+    "inject_typo",
+]

@@ -1,0 +1,187 @@
+"""The Beers benchmark (synthetic twin).
+
+2410 rows × 11 attributes, ~13 % noise; the one benchmark with real
+numeric attributes (``ounces``, ``abv``, ``ibu``).  Brewery-level FDs:
+``brewery_id → brewery_name / city / state``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pclean_model import PCleanAttribute, PCleanModel
+from repro.constraints.builtin import (
+    MaxLength,
+    MaxValue,
+    MinLength,
+    MinValue,
+    NotNull,
+    Pattern,
+)
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.registry import UCRegistry
+from repro.data import synth
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+PAPER_N_ROWS = 2410
+NOISE_RATE = 0.13
+ERROR_TYPES = ("T", "M", "I")
+#: key columns used for tuple identity in the original benchmark — the
+#: published dirty version does not corrupt them either.
+PROTECTED = ("index", "beer_id")
+
+STYLES = [
+    "american ipa", "american pale ale", "american amber", "american stout",
+    "witbier", "hefeweizen", "pilsner", "porter", "saison", "kolsch",
+    "brown ale", "cream ale", "fruit beer", "oatmeal stout", "double ipa",
+]
+
+BEER_WORDS = [
+    "hop", "river", "moon", "golden", "iron", "wild", "summer", "winter",
+    "copper", "lazy", "howling", "crooked", "lucky", "burning", "silent",
+]
+
+BEER_NOUNS = [
+    "trail", "wolf", "anchor", "harvest", "session", "peak", "canyon",
+    "meadow", "railway", "lantern", "compass", "barrel", "creek", "ridge",
+]
+
+OUNCES = ["12.0", "16.0", "19.2", "24.0", "32.0"]
+
+
+def schema() -> Schema:
+    """The 11-attribute Beers schema."""
+    return Schema.of(
+        "index:integer",
+        "beer_id:categorical",
+        "beer_name:text",
+        "style:categorical",
+        "ounces:categorical",
+        "abv:categorical",
+        "ibu:categorical",
+        "brewery_id:categorical",
+        "brewery_name:text",
+        "city:categorical",
+        "state:categorical",
+    )
+
+
+def generate_clean(n_rows: int = PAPER_N_ROWS, seed: int = 17) -> Table:
+    """Generate clean Beers data: beers nested in breweries."""
+    rng = synth.make_rng(seed)
+    n_breweries = max(2, n_rows // 5)
+
+    # Brewery names must be unique (they are in the real data): a name
+    # shared by two brewery ids would make brewery_id genuinely
+    # ambiguous given its own profile.
+    breweries = []
+    used_names: set[str] = set()
+    for b in range(n_breweries):
+        city = synth.pick(rng, synth.CITY_NAMES)
+        suffix = synth.pick(rng, ["brewing co", "beer works", "ale house", "brewery"])
+        name = f"{city} {suffix}"
+        while name in used_names:
+            name = f"{city} {synth.pick(rng, BEER_WORDS)} {suffix}"
+        used_names.add(name)
+        breweries.append(
+            {
+                "brewery_id": str(b),
+                "brewery_name": name,
+                "city": city,
+                "state": synth.pick(rng, synth.US_STATES),
+            }
+        )
+
+    # Style constrains strength and bitterness, as in the real data:
+    # each style draws abv/ibu from a small style-specific grid, giving
+    # the cleaner genuine relational signal between the three columns.
+    style_abv = {
+        s: [f"{0.04 + 0.005 * ((h + k) % 8):.3f}" for k in range(3)]
+        for h, s in enumerate(STYLES)
+    }
+    style_ibu = {
+        s: [str(15 + 10 * ((h + k) % 9)) for k in range(3)]
+        for h, s in enumerate(STYLES)
+    }
+
+    # Beer names repeat across rows (cans/bottles of the same beer, and
+    # homonymous beers across breweries, as in the real data) — a name
+    # pool of ~n/3 gives each name ≈ 3 occurrences.
+    name_pool = [
+        f"{synth.pick(rng, BEER_WORDS)} {synth.pick(rng, BEER_NOUNS)}"
+        for _ in range(max(2, n_rows // 3))
+    ]
+
+    rows = []
+    for i in range(n_rows):
+        br = breweries[rng.randrange(n_breweries)]
+        style = synth.pick(rng, STYLES)
+        rows.append(
+            [
+                i,
+                str(1000 + i),
+                synth.pick(rng, name_pool),
+                style,
+                synth.pick(rng, OUNCES),
+                synth.pick(rng, style_abv[style]),
+                synth.pick(rng, style_ibu[style]),
+                br["brewery_id"],
+                br["brewery_name"],
+                br["city"],
+                br["state"],
+            ]
+        )
+    return Table.from_rows(schema(), rows)
+
+
+def constraints(table: Table | None = None) -> UCRegistry:
+    """Table 3 UCs: the decimal pattern on ounces/abv plus bounds."""
+    reg = UCRegistry()
+    for attr in schema().names:
+        reg.add(attr, NotNull(), MinLength(1), MaxLength(48))
+    decimal = Pattern(r"\d+\.\d+|\d+")
+    reg.add("ounces", decimal, MinValue(1.0), MaxValue(64.0))
+    reg.add("abv", decimal, MinValue(0.0), MaxValue(1.0))
+    reg.add("ibu", Pattern(r"\d+"))
+    return reg
+
+
+def denial_constraints() -> list[DenialConstraint]:
+    """6 DCs: brewery and beer FDs."""
+    return [
+        DenialConstraint.from_fd("brewery_id", "brewery_name"),
+        DenialConstraint.from_fd("brewery_id", "city"),
+        DenialConstraint.from_fd("brewery_id", "state"),
+        DenialConstraint.from_fd("beer_id", "beer_name"),
+        DenialConstraint.from_fd("beer_id", "style"),
+        DenialConstraint.from_fd("beer_id", "ounces"),
+    ]
+
+
+def key_fds() -> list[FunctionalDependency]:
+    """Ground-truth FDs."""
+    return [
+        FunctionalDependency(("brewery_id",), "brewery_name"),
+        FunctionalDependency(("brewery_id",), "city"),
+        FunctionalDependency(("brewery_id",), "state"),
+    ]
+
+
+def pclean_program() -> PCleanModel:
+    """A mediocre program — numeric attributes are hard to express as
+    the categorical priors PClean's PPL favours (its near-zero Table 4
+    row on Beers)."""
+    attrs = [
+        PCleanAttribute("index", "categorical", (), 0.0, 0.0),
+        PCleanAttribute("beer_id", "categorical", (), 0.05, 0.02),
+        PCleanAttribute("beer_name", "string", (), 0.30, 0.10),
+        PCleanAttribute("style", "categorical", (), 0.30, 0.10),
+        PCleanAttribute("ounces", "categorical", (), 0.30, 0.10),
+        PCleanAttribute("abv", "categorical", (), 0.30, 0.10),
+        PCleanAttribute("ibu", "categorical", (), 0.30, 0.10),
+        PCleanAttribute("brewery_id", "categorical", (), 0.05, 0.02),
+        PCleanAttribute("brewery_name", "string", (), 0.30, 0.10),
+        PCleanAttribute("city", "categorical", (), 0.30, 0.10),
+        PCleanAttribute("state", "categorical", (), 0.30, 0.10),
+    ]
+    return PCleanModel("beers", attrs, classes=[tuple(schema().names)])

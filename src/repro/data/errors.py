@@ -1,0 +1,262 @@
+"""Error injection following §7.1 ("Error Injection").
+
+Four error types, matching Raha+Baran / HoloClean benchmark practice:
+
+- **T** (typo): randomly add, delete, or replace one character.
+- **M** (missing): replace the value with NULL.
+- **I** (inconsistency): interchange two values from the domains of two
+  columns, or of a specific column (a *valid but wrong* value).
+- **S** (swap): swap values within the same attribute — "the same
+  domain" — plus a *different-domain* variant for Figure 4(e)/(f).
+
+Injection is deterministic given the seed, and every injected error is
+recorded so per-type recall (Table 6) can be computed exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dataset.table import Cell, Table, is_null
+from repro.errors import ErrorInjectionError
+
+#: canonical error-type codes
+TYPO = "T"
+MISSING = "M"
+INCONSISTENCY = "I"
+SWAP = "S"
+
+ALL_TYPES = (TYPO, MISSING, INCONSISTENCY, SWAP)
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """Provenance record of one injected error."""
+
+    row: int
+    attribute: str
+    error_type: str
+    clean_value: Cell
+    dirty_value: Cell
+
+
+@dataclass
+class InjectionResult:
+    """The dirty table plus full error provenance."""
+
+    dirty: Table
+    clean: Table
+    errors: list[InjectedError] = field(default_factory=list)
+
+    @property
+    def error_cells(self) -> set[tuple[int, str]]:
+        """Coordinates of all injected errors."""
+        return {(e.row, e.attribute) for e in self.errors}
+
+    def errors_of_type(self, error_type: str) -> list[InjectedError]:
+        """All errors of one type code."""
+        return [e for e in self.errors if e.error_type == error_type]
+
+    def counts_by_type(self) -> dict[str, int]:
+        """Error counts keyed by type code (Figure 4(a))."""
+        out: dict[str, int] = {}
+        for e in self.errors:
+            out[e.error_type] = out.get(e.error_type, 0) + 1
+        return out
+
+    @property
+    def noise_rate(self) -> float:
+        """Fraction of cells actually dirtied."""
+        cells = self.clean.n_cells
+        return len(self.errors) / cells if cells else 0.0
+
+
+_TYPO_ALPHABET = string.ascii_lowercase + string.digits
+
+
+def _swap_equal(a: Cell, b: Cell) -> bool:
+    from repro.dataset.diff import cells_equal
+
+    return cells_equal(a, b)
+
+
+def inject_typo(value: Cell, rng: random.Random) -> Cell:
+    """One character-level edit: add, delete, or replace."""
+    s = str(value)
+    if not s:
+        return rng.choice(_TYPO_ALPHABET)
+    op = rng.choice(("add", "delete", "replace"))
+    pos = rng.randrange(len(s))
+    if op == "add":
+        return s[:pos] + rng.choice(_TYPO_ALPHABET) + s[pos:]
+    if op == "delete" and len(s) > 1:
+        return s[:pos] + s[pos + 1 :]
+    # replace (also the fallback for 1-char deletes)
+    ch = rng.choice(_TYPO_ALPHABET)
+    while ch == s[pos] and len(_TYPO_ALPHABET) > 1:
+        ch = rng.choice(_TYPO_ALPHABET)
+    return s[:pos] + ch + s[pos + 1 :]
+
+
+class ErrorInjector:
+    """Injects a configurable error mix into a clean table.
+
+    Parameters
+    ----------
+    rate:
+        Target fraction of cells to dirty, in [0, 1].
+    types:
+        Enabled error-type codes; the rate is split roughly evenly among
+        them ("their frequencies do not exhibit a significant
+        difference", §7.1).
+    seed:
+        RNG seed (full determinism).
+    protected:
+        Attributes never dirtied (e.g. key columns some baselines need).
+    swap_cross_domain:
+        When True, S errors swap values *across* two different
+        attributes (the "Different" bars of Figure 4(e)/(f)); otherwise
+        within one attribute ("Same").
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        types: Sequence[str] = (TYPO, MISSING, INCONSISTENCY),
+        seed: int = 0,
+        protected: Sequence[str] = (),
+        swap_cross_domain: bool = False,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ErrorInjectionError(f"rate must be in [0, 1], got {rate}")
+        unknown = set(types) - set(ALL_TYPES)
+        if unknown:
+            raise ErrorInjectionError(
+                f"unknown error types {sorted(unknown)}; valid: {ALL_TYPES}"
+            )
+        if not types:
+            raise ErrorInjectionError("at least one error type required")
+        self.rate = rate
+        self.types = tuple(types)
+        self.seed = seed
+        self.protected = set(protected)
+        self.swap_cross_domain = swap_cross_domain
+
+    def inject(self, clean: Table) -> InjectionResult:
+        """Produce a dirty copy of ``clean`` with recorded errors."""
+        rng = random.Random(self.seed)
+        dirty = clean.copy()
+        attrs = [a for a in clean.schema.names if a not in self.protected]
+        if not attrs:
+            raise ErrorInjectionError("every attribute is protected")
+
+        coords = [
+            (i, a)
+            for a in attrs
+            for i in range(clean.n_rows)
+            if not is_null(clean.cell(i, a))
+        ]
+        n_target = int(round(self.rate * clean.n_cells))
+        n_target = min(n_target, len(coords))
+        chosen = rng.sample(coords, n_target)
+
+        errors: list[InjectedError] = []
+        # S errors need pairing; collect their coordinates per attribute.
+        swap_queue: dict[str, list[int]] = {}
+
+        from repro.dataset.diff import cells_equal
+
+        for idx, (i, a) in enumerate(chosen):
+            etype = self.types[idx % len(self.types)]
+            old = clean.cell(i, a)
+            if etype == TYPO:
+                # A typo must be a real error under the evaluation's
+                # equality: '039' → '39' is numerically invisible.
+                new = inject_typo(old, rng)
+                for _ in range(8):
+                    if not cells_equal(new, old):
+                        break
+                    new = inject_typo(old, rng)
+                if cells_equal(new, old):
+                    continue
+                dirty.set_cell(i, a, new)
+                errors.append(InjectedError(i, a, TYPO, old, new))
+            elif etype == MISSING:
+                dirty.set_cell(i, a, None)
+                errors.append(InjectedError(i, a, MISSING, old, None))
+            elif etype == INCONSISTENCY:
+                new = self._inconsistent_value(clean, i, a, rng)
+                if new is None:
+                    continue
+                dirty.set_cell(i, a, new)
+                errors.append(InjectedError(i, a, INCONSISTENCY, old, new))
+            else:  # SWAP
+                swap_queue.setdefault(a, []).append(i)
+
+        errors.extend(self._apply_swaps(clean, dirty, swap_queue, rng))
+        return InjectionResult(dirty, clean, errors)
+
+    def _inconsistent_value(
+        self, clean: Table, i: int, attr: str, rng: random.Random
+    ) -> Cell | None:
+        """A valid-looking wrong value: another value of this column, or
+        (sometimes) a value borrowed from a different column."""
+        old = clean.cell(i, attr)
+        if rng.random() < 0.3 and clean.n_cols > 1:
+            other_attr = rng.choice(
+                [a for a in clean.schema.names if a != attr]
+            )
+            source = clean.column(other_attr)
+        else:
+            source = clean.column(attr)
+        from repro.dataset.diff import cells_equal
+
+        for _ in range(16):
+            v = source[rng.randrange(len(source))]
+            if not is_null(v) and not cells_equal(v, old):
+                return v
+        return None
+
+    def _apply_swaps(
+        self,
+        clean: Table,
+        dirty: Table,
+        queue: dict[str, list[int]],
+        rng: random.Random,
+    ) -> list[InjectedError]:
+        errors: list[InjectedError] = []
+        if self.swap_cross_domain:
+            # Pair cells of *different* attributes within the same row.
+            attrs = list(queue)
+            for a in attrs:
+                others = [b for b in clean.schema.names if b != a and b not in self.protected]
+                if not others:
+                    continue
+                for i in queue[a]:
+                    b = rng.choice(others)
+                    va, vb = clean.cell(i, a), clean.cell(i, b)
+                    if is_null(vb) or _swap_equal(va, vb):
+                        continue
+                    dirty.set_cell(i, a, vb)
+                    dirty.set_cell(i, b, va)
+                    errors.append(InjectedError(i, a, SWAP, va, vb))
+                    errors.append(InjectedError(i, b, SWAP, vb, va))
+            return errors
+
+        from repro.dataset.diff import cells_equal
+
+        for a, rows in queue.items():
+            rng.shuffle(rows)
+            for j in range(0, len(rows) - 1, 2):
+                i1, i2 = rows[j], rows[j + 1]
+                v1, v2 = clean.cell(i1, a), clean.cell(i2, a)
+                if cells_equal(v1, v2):
+                    continue
+                dirty.set_cell(i1, a, v2)
+                dirty.set_cell(i2, a, v1)
+                errors.append(InjectedError(i1, a, SWAP, v1, v2))
+                errors.append(InjectedError(i2, a, SWAP, v2, v1))
+        return errors

@@ -1,0 +1,120 @@
+"""The Facilities benchmark (synthetic twin of the CMS facilities data).
+
+7992 rows × 11 attributes, ~5 % noise, all four error types.  Pure
+entity table (one row per facility appearing across quarterly
+snapshots), so duplication comes from repeated snapshots of the same
+facility.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pclean_model import PCleanAttribute, PCleanModel
+from repro.constraints.builtin import MaxLength, MinLength, NotNull
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.registry import UCRegistry
+from repro.data import synth
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+PAPER_N_ROWS = 7992
+DEFAULT_N_ROWS = 3000
+NOISE_RATE = 0.05
+ERROR_TYPES = ("T", "M", "I", "S")
+
+FACILITY_TYPES = [
+    "nursing home", "dialysis facility", "home health agency", "hospice",
+    "rehabilitation center", "long term care",
+]
+
+OWNERSHIP = [
+    "for profit", "non profit", "government local", "government state",
+    "government federal",
+]
+
+
+def schema() -> Schema:
+    """The 11-attribute Facilities schema."""
+    return Schema.of(
+        "facility_id:categorical",
+        "facility_name:text",
+        "address:text",
+        "city:categorical",
+        "state:categorical",
+        "zip_code:categorical",
+        "county:categorical",
+        "phone:text",
+        "facility_type:categorical",
+        "ownership:categorical",
+        "certified_beds:categorical",
+    )
+
+
+def generate_clean(n_rows: int = DEFAULT_N_ROWS, seed: int = 23) -> Table:
+    """Generate clean Facilities data: facilities × quarterly snapshots."""
+    rng = synth.make_rng(seed)
+    n_facilities = max(2, n_rows // 4)
+
+    facilities = []
+    for _ in range(n_facilities):
+        city = synth.pick(rng, synth.CITY_NAMES)
+        facilities.append(
+            {
+                "facility_id": synth.numeric_id(rng, 6),
+                "facility_name": f"{city} {synth.pick(rng, ['care center', 'senior living', 'health services', 'wellness center'])}",
+                "address": synth.street_address(rng),
+                "city": city,
+                "state": synth.pick(rng, synth.US_STATES[:15]),
+                "zip_code": synth.zip_code(rng),
+                "county": synth.pick(rng, synth.COUNTY_NAMES),
+                "phone": synth.phone_number(rng),
+                "facility_type": synth.pick(rng, FACILITY_TYPES),
+                "ownership": synth.pick(rng, OWNERSHIP),
+                "certified_beds": str(rng.randrange(20, 400)),
+            }
+        )
+
+    rows = []
+    for i in range(n_rows):
+        f = facilities[i % n_facilities]
+        rows.append([f[a] for a in schema().names])
+    return Table.from_rows(schema(), rows)
+
+
+def constraints(table: Table | None = None) -> UCRegistry:
+    """Table 3: "N/A" patterns — only length and not-null UCs."""
+    reg = UCRegistry()
+    for attr in schema().names:
+        reg.add(attr, NotNull(), MinLength(1), MaxLength(64))
+    return reg
+
+
+def denial_constraints() -> list[DenialConstraint]:
+    """8 DCs per Table 2."""
+    targets = [
+        "facility_name", "address", "city", "state", "zip_code", "county",
+        "phone",
+    ]
+    dcs = [DenialConstraint.from_fd("facility_id", t) for t in targets]
+    dcs.append(DenialConstraint.from_fd("zip_code", "state"))
+    return dcs
+
+
+def key_fds() -> list[FunctionalDependency]:
+    """Ground-truth FDs."""
+    return [
+        FunctionalDependency(("facility_id",), "facility_name"),
+        FunctionalDependency(("facility_id",), "address"),
+        FunctionalDependency(("facility_id",), "phone"),
+        FunctionalDependency(("zip_code",), "state"),
+    ]
+
+
+def pclean_program() -> PCleanModel:
+    """Facilities defeated PClean in the paper (no repairs / timeout):
+    modelled here as an over-flat program with huge candidate spaces."""
+    attrs = [
+        PCleanAttribute(a, "categorical", (), 0.25, 0.10)
+        for a in schema().names
+    ]
+    return PCleanModel("facilities", attrs, classes=[tuple(schema().names)])

@@ -1,0 +1,207 @@
+"""The Hospital benchmark (synthetic twin).
+
+Mirrors the HoloClean/Raha Hospital dataset: 1000 rows × 15 attributes,
+~5 % noise, strong duplication (each hospital appears once per quality
+measure) and rich FD structure (ProviderNumber → hospital profile,
+ZipCode → City/State, MeasureCode → MeasureName/Condition,
+(State, MeasureCode) → StateAvg).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pclean_model import PCleanAttribute, PCleanModel
+from repro.constraints.builtin import MaxLength, MinLength, NotNull, Pattern
+from repro.constraints.dc import DenialConstraint, Pred
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.registry import UCRegistry
+from repro.data import synth
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+PAPER_N_ROWS = 1000
+NOISE_RATE = 0.05
+ERROR_TYPES = ("T", "M", "I")
+
+CONDITIONS = [
+    "heart attack", "heart failure", "pneumonia", "surgical infection",
+    "children asthma",
+]
+
+MEASURES = {
+    "AMI-1": ("aspirin at arrival", "heart attack"),
+    "AMI-2": ("aspirin at discharge", "heart attack"),
+    "AMI-3": ("ace inhibitor", "heart attack"),
+    "AMI-4": ("adult smoking cessation", "heart attack"),
+    "HF-1": ("discharge instructions", "heart failure"),
+    "HF-2": ("lv function assessment", "heart failure"),
+    "HF-3": ("ace inhibitor for lvsd", "heart failure"),
+    "PN-1": ("oxygenation assessment", "pneumonia"),
+    "PN-2": ("pneumococcal vaccination", "pneumonia"),
+    "PN-3": ("blood culture timing", "pneumonia"),
+    "SCIP-1": ("prophylactic antibiotic", "surgical infection"),
+    "SCIP-2": ("antibiotic selection", "surgical infection"),
+    "SCIP-3": ("antibiotic discontinued", "surgical infection"),
+    "CAC-1": ("relievers for asthma", "children asthma"),
+    "CAC-2": ("systemic corticosteroids", "children asthma"),
+    "CAC-3": ("home management plan", "children asthma"),
+    "HF-4": ("smoking cessation advice", "heart failure"),
+    "PN-4": ("smoking cessation counsel", "pneumonia"),
+    "AMI-5": ("beta blocker at discharge", "heart attack"),
+    "SCIP-4": ("cardiac surgery glucose", "surgical infection"),
+}
+
+HOSPITAL_TYPES = ["acute care", "critical access", "childrens"]
+OWNERS = [
+    "government state", "government federal", "proprietary",
+    "voluntary non-profit private", "voluntary non-profit church",
+]
+
+
+def schema() -> Schema:
+    """The 15-attribute Hospital schema."""
+    return Schema.of(
+        "ProviderNumber:categorical",
+        "HospitalName:text",
+        "Address:text",
+        "City:categorical",
+        "State:categorical",
+        "ZipCode:categorical",
+        "CountyName:categorical",
+        "PhoneNumber:text",
+        "HospitalType:categorical",
+        "HospitalOwner:categorical",
+        "EmergencyService:categorical",
+        "Condition:categorical",
+        "MeasureCode:categorical",
+        "MeasureName:text",
+        "StateAvg:text",
+    )
+
+
+def generate_clean(n_rows: int = PAPER_N_ROWS, seed: int = 7) -> Table:
+    """Generate the clean Hospital table: hospitals × measures."""
+    rng = synth.make_rng(seed)
+    n_hospitals = max(2, n_rows // len(MEASURES))
+
+    states = [synth.pick(rng, synth.US_STATES) for _ in range(6)]
+    hospitals = []
+    for _ in range(n_hospitals):
+        city = synth.pick(rng, synth.CITY_NAMES)
+        state = synth.pick(rng, states)
+        hospitals.append(
+            {
+                "ProviderNumber": synth.numeric_id(rng, 5),
+                "HospitalName": f"{city} {synth.pick(rng, ['medical center', 'regional hospital', 'community hospital', 'memorial hospital'])}",
+                "Address": synth.street_address(rng),
+                "City": city,
+                "State": state,
+                "ZipCode": synth.zip_code(rng),
+                "CountyName": synth.pick(rng, synth.COUNTY_NAMES),
+                "PhoneNumber": synth.phone_number(rng),
+                "HospitalType": synth.pick(rng, HOSPITAL_TYPES),
+                "HospitalOwner": synth.pick(rng, OWNERS),
+                "EmergencyService": rng.choice(["yes", "no"]),
+            }
+        )
+
+    # (State, MeasureCode) -> StateAvg: a fixed percentage string.
+    measure_codes = list(MEASURES)
+    state_avg = {
+        (s, mc): f"{s}_{mc}_{rng.randrange(30, 100)}%"
+        for s in states
+        for mc in measure_codes
+    }
+
+    rows = []
+    for i in range(n_rows):
+        h = hospitals[i % n_hospitals]
+        mc = measure_codes[(i // n_hospitals) % len(measure_codes)]
+        name, condition = MEASURES[mc]
+        rows.append(
+            [
+                h["ProviderNumber"], h["HospitalName"], h["Address"],
+                h["City"], h["State"], h["ZipCode"], h["CountyName"],
+                h["PhoneNumber"], h["HospitalType"], h["HospitalOwner"],
+                h["EmergencyService"], condition, mc, name,
+                state_avg[(h["State"], mc)],
+            ]
+        )
+    return Table.from_rows(schema(), rows)
+
+
+def constraints(table: Table | None = None) -> UCRegistry:
+    """Table 3 UCs: digit patterns + length/null constraints."""
+    reg = UCRegistry()
+    for attr in schema().names:
+        reg.add(attr, NotNull(), MinLength(1), MaxLength(64))
+    reg.add("ProviderNumber", Pattern(r"[1-9][0-9]{4}"))
+    reg.add("ZipCode", Pattern(r"[1-9][0-9]{4}"))
+    reg.add("PhoneNumber", Pattern(r"[1-9][0-9]{9}"))
+    return reg
+
+
+def denial_constraints() -> list[DenialConstraint]:
+    """The 13 DCs the HoloClean baseline consumes (FD encodings)."""
+    fd_pairs = [
+        ("ZipCode", "City"), ("ZipCode", "State"),
+        ("ProviderNumber", "HospitalName"), ("ProviderNumber", "PhoneNumber"),
+        ("ProviderNumber", "Address"), ("ProviderNumber", "City"),
+        ("ProviderNumber", "State"), ("ProviderNumber", "ZipCode"),
+        ("ProviderNumber", "CountyName"), ("MeasureCode", "MeasureName"),
+        ("MeasureCode", "Condition"), ("PhoneNumber", "ProviderNumber"),
+    ]
+    dcs = [DenialConstraint.from_fd(a, b) for a, b in fd_pairs]
+    dcs.append(
+        DenialConstraint(
+            (
+                Pred(Pred.t1("State"), "=", Pred.t2("State")),
+                Pred(Pred.t1("MeasureCode"), "=", Pred.t2("MeasureCode")),
+                Pred(Pred.t1("StateAvg"), "!=", Pred.t2("StateAvg")),
+            ),
+            name="FD(State,MeasureCode->StateAvg)",
+        )
+    )
+    return dcs
+
+
+def key_fds() -> list[FunctionalDependency]:
+    """Ground-truth FDs (validation + the Garf baseline's target rules)."""
+    return [
+        FunctionalDependency(("ZipCode",), "City"),
+        FunctionalDependency(("ZipCode",), "State"),
+        FunctionalDependency(("ProviderNumber",), "HospitalName"),
+        FunctionalDependency(("MeasureCode",), "MeasureName"),
+        FunctionalDependency(("MeasureCode",), "Condition"),
+        FunctionalDependency(("State", "MeasureCode"), "StateAvg"),
+    ]
+
+
+def pclean_program() -> PCleanModel:
+    """A carefully authored program — Hospital is PClean-friendly."""
+    attrs = [
+        PCleanAttribute("ProviderNumber", "number", (), 0.03, 0.02),
+        PCleanAttribute("HospitalName", "string", ("ProviderNumber",), 0.05, 0.02),
+        PCleanAttribute("Address", "string", ("ProviderNumber",), 0.05, 0.02),
+        PCleanAttribute("City", "string", ("ZipCode",), 0.05, 0.02),
+        PCleanAttribute("State", "categorical", ("ZipCode",), 0.02, 0.02),
+        PCleanAttribute("ZipCode", "number", ("ProviderNumber",), 0.03, 0.02),
+        PCleanAttribute("CountyName", "string", ("ZipCode",), 0.05, 0.02),
+        PCleanAttribute("PhoneNumber", "number", ("ProviderNumber",), 0.03, 0.02),
+        PCleanAttribute("HospitalType", "categorical", (), 0.02, 0.02),
+        PCleanAttribute("HospitalOwner", "categorical", (), 0.02, 0.02),
+        PCleanAttribute("EmergencyService", "categorical", (), 0.02, 0.02),
+        PCleanAttribute("Condition", "categorical", ("MeasureCode",), 0.02, 0.02),
+        PCleanAttribute("MeasureCode", "categorical", (), 0.02, 0.02),
+        PCleanAttribute("MeasureName", "string", ("MeasureCode",), 0.05, 0.02),
+        PCleanAttribute("StateAvg", "string", ("State", "MeasureCode"), 0.05, 0.02),
+    ]
+    return PCleanModel(
+        "hospital",
+        attrs,
+        classes=[
+            ("ProviderNumber", "HospitalName", "Address", "PhoneNumber"),
+            ("City", "State", "ZipCode", "CountyName"),
+            ("HospitalType", "HospitalOwner", "EmergencyService"),
+            ("Condition", "MeasureCode", "MeasureName", "StateAvg"),
+        ],
+    )

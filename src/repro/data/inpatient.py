@@ -1,0 +1,154 @@
+"""The Inpatient benchmark (synthetic twin of the CMS inpatient data).
+
+4017 rows × 11 attributes, ~10 % noise, all four error types (T, M, I,
+S).  Hospital-level FDs (``provider_id → profile``) plus DRG coding FDs
+(``drg_code → drg_definition``).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pclean_model import PCleanAttribute, PCleanModel
+from repro.constraints.builtin import MaxLength, MinLength, NotNull
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.registry import UCRegistry
+from repro.data import synth
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+PAPER_N_ROWS = 4017
+NOISE_RATE = 0.10
+ERROR_TYPES = ("T", "M", "I", "S")
+
+DRG_DEFS = {
+    "039": "extracranial procedures",
+    "057": "degenerative nervous system disorders",
+    "064": "intracranial hemorrhage",
+    "065": "stroke with complication",
+    "066": "stroke without complication",
+    "069": "transient ischemia",
+    "074": "cranial peripheral nerve disorders",
+    "101": "seizures without complication",
+    "149": "dysequilibrium",
+    "176": "pulmonary embolism",
+    "177": "respiratory infections with complication",
+    "178": "respiratory infections",
+    "189": "pulmonary edema",
+    "190": "chronic obstructive pulmonary disease",
+    "191": "copd with complication",
+    "192": "copd without complication",
+    "193": "simple pneumonia with major complication",
+    "194": "simple pneumonia with complication",
+    "195": "simple pneumonia",
+    "202": "bronchitis and asthma",
+}
+
+
+def schema() -> Schema:
+    """The 11-attribute Inpatient schema."""
+    return Schema.of(
+        "provider_id:categorical",
+        "hospital_name:text",
+        "address:text",
+        "city:categorical",
+        "state:categorical",
+        "zip_code:categorical",
+        "county:categorical",
+        "drg_code:categorical",
+        "drg_definition:text",
+        "total_discharges:categorical",
+        "avg_covered_charges:text",
+    )
+
+
+def generate_clean(n_rows: int = PAPER_N_ROWS, seed: int = 19) -> Table:
+    """Generate clean Inpatient data: providers × DRG codes."""
+    rng = synth.make_rng(seed)
+    drg_codes = list(DRG_DEFS)
+    n_providers = max(2, n_rows // len(drg_codes))
+
+    providers = []
+    for _ in range(n_providers):
+        city = synth.pick(rng, synth.CITY_NAMES)
+        providers.append(
+            {
+                "provider_id": synth.numeric_id(rng, 6),
+                "hospital_name": f"{city} {synth.pick(rng, ['general hospital', 'medical center', 'health system', 'regional clinic'])}",
+                "address": synth.street_address(rng),
+                "city": city,
+                "state": synth.pick(rng, synth.US_STATES[:12]),
+                "zip_code": synth.zip_code(rng),
+                "county": synth.pick(rng, synth.COUNTY_NAMES),
+            }
+        )
+
+    rows = []
+    for i in range(n_rows):
+        p = providers[i % n_providers]
+        code = drg_codes[(i // n_providers) % len(drg_codes)]
+        discharges = rng.randrange(11, 500)
+        charges = rng.randrange(5_000, 150_000)
+        rows.append(
+            [
+                p["provider_id"], p["hospital_name"], p["address"],
+                p["city"], p["state"], p["zip_code"], p["county"],
+                code, DRG_DEFS[code], str(discharges), f"${charges}",
+            ]
+        )
+    return Table.from_rows(schema(), rows)
+
+
+def constraints(table: Table | None = None) -> UCRegistry:
+    """Table 3: "N/A" patterns — only length and not-null UCs."""
+    reg = UCRegistry()
+    for attr in schema().names:
+        reg.add(attr, NotNull(), MinLength(1), MaxLength(64))
+    return reg
+
+
+def denial_constraints() -> list[DenialConstraint]:
+    """3 DCs per Table 2."""
+    return [
+        DenialConstraint.from_fd("provider_id", "hospital_name"),
+        DenialConstraint.from_fd("zip_code", "state"),
+        DenialConstraint.from_fd("drg_code", "drg_definition"),
+    ]
+
+
+def key_fds() -> list[FunctionalDependency]:
+    """Ground-truth FDs."""
+    return [
+        FunctionalDependency(("provider_id",), "hospital_name"),
+        FunctionalDependency(("provider_id",), "address"),
+        FunctionalDependency(("provider_id",), "city"),
+        FunctionalDependency(("zip_code",), "state"),
+        FunctionalDependency(("drg_code",), "drg_definition"),
+    ]
+
+
+def pclean_program() -> PCleanModel:
+    """A middling program: the record structure is right but the error
+    channels are coarse (PClean's mid-tier Table 4 row)."""
+    attrs = [
+        PCleanAttribute("provider_id", "number", (), 0.05, 0.05),
+        PCleanAttribute("hospital_name", "string", ("provider_id",), 0.15, 0.08),
+        PCleanAttribute("address", "string", ("provider_id",), 0.15, 0.08),
+        PCleanAttribute("city", "categorical", ("provider_id",), 0.15, 0.08),
+        PCleanAttribute("state", "categorical", ("zip_code",), 0.15, 0.08),
+        PCleanAttribute("zip_code", "number", ("provider_id",), 0.15, 0.08),
+        PCleanAttribute("county", "categorical", (), 0.15, 0.08),
+        PCleanAttribute("drg_code", "categorical", (), 0.05, 0.05),
+        PCleanAttribute("drg_definition", "string", ("drg_code",), 0.15, 0.08),
+        PCleanAttribute("total_discharges", "categorical", (), 0.20, 0.08),
+        PCleanAttribute("avg_covered_charges", "categorical", (), 0.20, 0.08),
+    ]
+    return PCleanModel(
+        "inpatient",
+        attrs,
+        classes=[
+            ("provider_id", "hospital_name", "address", "city", "state",
+             "zip_code", "county"),
+            ("drg_code", "drg_definition", "total_discharges",
+             "avg_covered_charges"),
+        ],
+    )

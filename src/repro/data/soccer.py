@@ -1,0 +1,168 @@
+"""The Soccer benchmark (synthetic twin, scale-parameterised).
+
+The paper's largest dataset: 200 000 rows × 10 attributes, ~1 % noise.
+Player profiles with strong team-level FDs
+(``team → city / stadium / manager``).  The generator takes ``n_rows``
+so benches can run laptop-scale (the paper itself had to subsample it to
+50 k for HoloClean, Table 5).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pclean_model import PCleanAttribute, PCleanModel
+from repro.constraints.builtin import MaxLength, MinLength, NotNull, Pattern
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.registry import UCRegistry
+from repro.data import synth
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+PAPER_N_ROWS = 200_000
+DEFAULT_N_ROWS = 4_000
+NOISE_RATE = 0.01
+ERROR_TYPES = ("T", "M", "I")
+
+POSITIONS = [
+    "goalkeeper", "defender", "midfielder", "forward", "winger", "striker",
+]
+
+TEAM_WORDS = [
+    "united", "city", "rovers", "wanderers", "athletic", "rangers",
+    "albion", "county", "town", "dynamos",
+]
+
+
+def schema() -> Schema:
+    """The 10-attribute Soccer schema."""
+    return Schema.of(
+        "name:text",
+        "surname:text",
+        "birthyear:categorical",
+        "birthplace:categorical",
+        "position:categorical",
+        "team:categorical",
+        "city:categorical",
+        "stadium:categorical",
+        "season:categorical",
+        "manager:text",
+    )
+
+
+def generate_clean(n_rows: int = DEFAULT_N_ROWS, seed: int = 13) -> Table:
+    """Generate clean Soccer data: players × seasons on synthetic teams.
+
+    The real benchmark is a 200 k-row player-season history: each player
+    recurs in roughly ten rows, and name/surname variety is large enough
+    that ``(name, surname)`` behaves as a quasi-key.  Both properties
+    matter to every cleaning system (they are what make player-level
+    attributes verifiable), so the generator reproduces them: one row
+    per player-season, ~``n_rows/10`` players, and hyphen/initial
+    variants that blow the name pools up well past the base word lists.
+    """
+    rng = synth.make_rng(seed)
+    n_teams = max(4, min(60, n_rows // 100))
+
+    # Team names, stadiums, and managers are unique per club (as in the
+    # real data) — collisions would make the team-level FDs ambiguous.
+    teams = []
+    used: set[str] = set()
+    for _ in range(n_teams):
+        city = synth.pick(rng, synth.CITY_NAMES)
+        team = f"{city} {synth.pick(rng, TEAM_WORDS)}"
+        while team in used:
+            team = f"{synth.pick(rng, synth.CITY_NAMES)} {synth.pick(rng, TEAM_WORDS)}"
+        used.add(team)
+        stadium = f"{synth.pick(rng, synth.STREET_NAMES)} park"
+        while stadium in used:
+            stadium = f"{synth.pick(rng, synth.STREET_NAMES)} {synth.pick(rng, TEAM_WORDS)} park"
+        used.add(stadium)
+        manager = f"{synth.pick(rng, synth.FIRST_NAMES)} {synth.pick(rng, synth.LAST_NAMES)}"
+        while manager in used:
+            manager = f"{synth.pick(rng, synth.FIRST_NAMES)} {synth.pick(rng, synth.LAST_NAMES)}"
+        used.add(manager)
+        teams.append(
+            {"team": team, "city": city, "stadium": stadium, "manager": manager}
+        )
+
+    def player_name() -> str:
+        base = synth.pick(rng, synth.FIRST_NAMES)
+        if rng.random() < 0.4:
+            return f"{base} {synth.pick(rng, synth.FIRST_NAMES)[0]}."
+        return base
+
+    def player_surname() -> str:
+        base = synth.pick(rng, synth.LAST_NAMES)
+        if rng.random() < 0.3:
+            return f"{base}-{synth.pick(rng, synth.LAST_NAMES)}"
+        return base
+
+    n_players = max(2, n_rows // 10)
+    players = []
+    for _ in range(n_players):
+        players.append(
+            {
+                "name": player_name(),
+                "surname": player_surname(),
+                "birthyear": str(rng.randrange(1960, 2000)),
+                "birthplace": synth.pick(rng, synth.CITY_NAMES),
+                "position": synth.pick(rng, POSITIONS),
+                "team_idx": rng.randrange(n_teams),
+                "first_season": rng.randrange(2000, 2010),
+            }
+        )
+
+    rows = []
+    for i in range(n_rows):
+        p = players[i % n_players]
+        t = teams[p["team_idx"]]
+        season = str(p["first_season"] + (i // n_players) % 10)
+        rows.append(
+            [
+                p["name"], p["surname"], p["birthyear"], p["birthplace"],
+                p["position"], t["team"], t["city"], t["stadium"],
+                season, t["manager"],
+            ]
+        )
+    return Table.from_rows(schema(), rows)
+
+
+def constraints(table: Table | None = None) -> UCRegistry:
+    """Table 3 UCs: birthyear 19[6-9][0-9], season 20[0-9][0-9]."""
+    reg = UCRegistry()
+    for attr in schema().names:
+        reg.add(attr, NotNull(), MinLength(1), MaxLength(48))
+    reg.add("birthyear", Pattern(r"[1][9][6-9][0-9]"))
+    reg.add("season", Pattern(r"[2][0][0-9][0-9]"))
+    return reg
+
+
+def denial_constraints() -> list[DenialConstraint]:
+    """4 DCs: the team-level FDs in both directions."""
+    return [
+        DenialConstraint.from_fd("team", "city"),
+        DenialConstraint.from_fd("team", "stadium"),
+        DenialConstraint.from_fd("team", "manager"),
+        DenialConstraint.from_fd("stadium", "team"),
+    ]
+
+
+def key_fds() -> list[FunctionalDependency]:
+    """Ground-truth FDs."""
+    return [
+        FunctionalDependency(("team",), "city"),
+        FunctionalDependency(("team",), "stadium"),
+        FunctionalDependency(("team",), "manager"),
+    ]
+
+
+def pclean_program() -> PCleanModel:
+    """A *crude* program: §7.2.1 notes users "find it challenging to
+    articulate data distributions" for Soccer — the program models every
+    attribute as an independent categorical, which drags PClean toward
+    majority-value repairs (its poor Table 4 row)."""
+    attrs = [
+        PCleanAttribute(a, "categorical", (), 0.10, 0.05)
+        for a in schema().names
+    ]
+    return PCleanModel("soccer", attrs, classes=[tuple(schema().names)])

@@ -1,0 +1,119 @@
+"""Shared synthesis helpers for the benchmark dataset generators.
+
+Every generator composes entity pools from these word lists with a
+seeded :class:`random.Random`, so the clean tables are deterministic per
+seed, carry realistic surface formats (the regex UCs of Table 3 must
+actually hold), and embed the functional dependencies the cleaning
+algorithms exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+FIRST_NAMES = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "daniel",
+    "nancy", "matthew", "lisa", "anthony", "betty", "mark", "margaret",
+    "donald", "sandra", "steven", "ashley", "paul", "kimberly", "andrew",
+    "emily", "joshua", "donna", "kenneth", "michelle",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores",
+]
+
+STREET_NAMES = [
+    "hickory", "northwood", "maple", "oak", "cedar", "pine", "elm",
+    "walnut", "chestnut", "sycamore", "willow", "magnolia", "juniper",
+    "laurel", "dogwood", "poplar", "spruce", "birch", "aspen", "redwood",
+]
+
+STREET_SUFFIXES = ["st", "ave", "dr", "rd", "ln", "blvd", "way", "ct"]
+
+CITY_NAMES = [
+    "sylacauga", "centre", "birmingham", "montgomery", "huntsville",
+    "fairhope", "gadsden", "dothan", "florence", "auburn", "decatur",
+    "madison", "prattville", "athens", "pelham", "oxford", "albertville",
+    "selma", "mobile", "hoover", "troy", "cullman", "millbrook", "daphne",
+    "opelika", "enterprise", "anniston", "tuscaloosa", "vestavia", "bessemer",
+]
+
+US_STATES = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID",
+    "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS",
+    "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK",
+    "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
+]
+
+COUNTY_NAMES = [
+    "talladega", "cherokee", "jefferson", "madison", "mobile", "shelby",
+    "baldwin", "tuscaloosa", "montgomery", "lee", "morgan", "calhoun",
+    "etowah", "houston", "marshall", "lauderdale", "limestone", "cullman",
+    "st clair", "elmore",
+]
+
+
+def make_rng(seed: int) -> random.Random:
+    """A seeded Random (single construction point for determinism)."""
+    return random.Random(seed)
+
+
+def pick(rng: random.Random, pool: Sequence[str]) -> str:
+    """Uniform choice from a pool."""
+    return pool[rng.randrange(len(pool))]
+
+
+def person_name(rng: random.Random) -> str:
+    """e.g. ``Johnny.R``-style short name: capitalised first + initial."""
+    first = pick(rng, FIRST_NAMES).capitalize()
+    initial = pick(rng, LAST_NAMES)[0].upper()
+    return f"{first}.{initial}"
+
+
+def full_name(rng: random.Random) -> tuple[str, str]:
+    """(first, last) lowercase names."""
+    return pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES)
+
+
+def street_address(rng: random.Random) -> str:
+    """e.g. ``315 w hickory st``."""
+    number = rng.randrange(100, 999)
+    direction = rng.choice(["", "n ", "s ", "e ", "w "])
+    return f"{number} {direction}{pick(rng, STREET_NAMES)} {pick(rng, STREET_SUFFIXES)}"
+
+
+def zip_code(rng: random.Random) -> str:
+    """Five digits, leading digit non-zero (matches the Table 3 regex)."""
+    return str(rng.randrange(10000, 99999))
+
+
+def phone_number(rng: random.Random) -> str:
+    """Ten digits, leading digit non-zero."""
+    return str(rng.randrange(1_000_000_000, 9_999_999_999))
+
+
+def clock_time(rng: random.Random) -> str:
+    """The Flights time format of Table 3: ``h:mm a.m.`` / ``hh:mm p.m.``."""
+    hour = rng.randrange(1, 13)
+    minute = rng.randrange(0, 60)
+    meridiem = rng.choice(["a.m.", "p.m."])
+    return f"{hour}:{minute:02d} {meridiem}"
+
+
+def code(rng: random.Random, prefix: str, digits: int) -> str:
+    """An identifier like ``AMI-2`` / ``PN-35``: prefix + numeric part."""
+    return f"{prefix}-{rng.randrange(10 ** (digits - 1), 10 ** digits)}"
+
+
+def numeric_id(rng: random.Random, digits: int) -> str:
+    """A fixed-width numeric identifier with non-zero leading digit."""
+    return str(rng.randrange(10 ** (digits - 1), 10 ** digits))

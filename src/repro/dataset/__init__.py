@@ -1,0 +1,44 @@
+"""Relational substrate: schemas, tables, CSV I/O, domains, diffs."""
+
+from repro.dataset.diff import CellDiff, cells_equal, diff_cells, diff_mask, hamming
+from repro.dataset.domain import Domain, DomainIndex
+from repro.dataset.io import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.dataset.profile import (
+    ColumnProfile,
+    FDCandidate,
+    TableProfile,
+    fd_candidates,
+    profile_column,
+    profile_table,
+)
+from repro.dataset.schema import Attribute, AttrType, Schema
+from repro.dataset.table import Cell, Row, Table, infer_attr_type, infer_schema, is_null
+
+__all__ = [
+    "Attribute",
+    "AttrType",
+    "Cell",
+    "CellDiff",
+    "ColumnProfile",
+    "FDCandidate",
+    "Domain",
+    "DomainIndex",
+    "Row",
+    "Schema",
+    "Table",
+    "TableProfile",
+    "cells_equal",
+    "diff_cells",
+    "diff_mask",
+    "fd_candidates",
+    "hamming",
+    "infer_attr_type",
+    "infer_schema",
+    "is_null",
+    "profile_column",
+    "profile_table",
+    "read_csv",
+    "read_csv_text",
+    "to_csv_text",
+    "write_csv",
+]

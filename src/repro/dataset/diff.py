@@ -1,0 +1,90 @@
+"""Cell-level diffs between two tables over the same schema.
+
+Evaluation (precision/recall of repairs, §7.1) reduces to comparing three
+tables cell-by-cell: the dirty input, the cleaned output, and the ground
+truth.  :func:`diff_cells` produces the primitive both metrics and repair
+reports are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dataset.table import Cell, Table, is_null
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One differing cell between two aligned tables."""
+
+    row: int
+    attribute: str
+    left: Cell
+    right: Cell
+
+
+def _check_aligned(a: Table, b: Table) -> None:
+    if a.schema.names != b.schema.names:
+        raise EvaluationError(
+            f"tables have different attributes: {a.schema.names} vs {b.schema.names}"
+        )
+    if a.n_rows != b.n_rows:
+        raise EvaluationError(
+            f"tables have different row counts: {a.n_rows} vs {b.n_rows}"
+        )
+
+
+def cells_equal(a: Cell, b: Cell) -> bool:
+    """Cell equality with NULL ≡ NULL and numeric/string canonicalisation.
+
+    ``1 == "1"`` and ``0.5 == "0.5"`` compare equal so that coercion
+    differences between pipelines do not register as spurious repairs.
+    """
+    if is_null(a) and is_null(b):
+        return True
+    if is_null(a) or is_null(b):
+        return False
+    if a == b:
+        return True
+    return _canon(a) == _canon(b)
+
+
+def _canon(v: Cell) -> str:
+    s = str(v).strip()
+    try:
+        f = float(s)
+    except (TypeError, ValueError):
+        return s
+    # Strings like "inf"/"nan" parse as floats but are not numerals.
+    if f != f or f in (float("inf"), float("-inf")):
+        return s
+    if f == int(f):
+        return str(int(f))
+    return repr(f)
+
+
+def iter_diff(left: Table, right: Table) -> Iterator[CellDiff]:
+    """Yield every cell where ``left`` and ``right`` disagree."""
+    _check_aligned(left, right)
+    for j, name in enumerate(left.schema.names):
+        lcol, rcol = left.columns[j], right.columns[j]
+        for i in range(left.n_rows):
+            if not cells_equal(lcol[i], rcol[i]):
+                yield CellDiff(i, name, lcol[i], rcol[i])
+
+
+def diff_cells(left: Table, right: Table) -> list[CellDiff]:
+    """All differing cells, materialised."""
+    return list(iter_diff(left, right))
+
+
+def diff_mask(left: Table, right: Table) -> set[tuple[int, str]]:
+    """The set of ``(row, attribute)`` coordinates where the tables differ."""
+    return {(d.row, d.attribute) for d in iter_diff(left, right)}
+
+
+def hamming(left: Table, right: Table) -> int:
+    """Number of differing cells."""
+    return sum(1 for _ in iter_diff(left, right))

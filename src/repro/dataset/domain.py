@@ -1,0 +1,98 @@
+"""Per-attribute domain statistics.
+
+The paper's candidate generation iterates over ``dom(A_j)`` — the set of
+values observed in column ``A_j`` — and several scores (compensatory
+score, tuple pruning, TF-IDF domain pruning) are built from value and
+pair frequencies.  :class:`Domain` and :class:`DomainIndex` cache those
+counts once per table.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dataset.table import Cell, Table, is_null
+
+
+@dataclass
+class Domain:
+    """Observed domain of one attribute: distinct values and frequencies."""
+
+    attribute: str
+    counts: Counter = field(default_factory=Counter)
+    n_total: int = 0
+    n_null: int = 0
+
+    @classmethod
+    def from_column(cls, attribute: str, values: Iterable[Cell]) -> "Domain":
+        """Collect the domain of ``values`` (NULLs counted separately)."""
+        dom = cls(attribute)
+        for v in values:
+            dom.n_total += 1
+            if is_null(v):
+                dom.n_null += 1
+            else:
+                dom.counts[v] += 1
+        return dom
+
+    @property
+    def values(self) -> list[Cell]:
+        """Distinct non-null values, most frequent first."""
+        return [v for v, _ in self.counts.most_common()]
+
+    @property
+    def size(self) -> int:
+        """Number of distinct non-null values."""
+        return len(self.counts)
+
+    def frequency(self, value: Cell) -> int:
+        """Occurrence count of ``value`` (0 if absent or NULL)."""
+        if is_null(value):
+            return 0
+        return self.counts.get(value, 0)
+
+    def relative_frequency(self, value: Cell) -> float:
+        """``count(value) / n_total`` — the empirical prior used as the
+        value-frequency part of the compensatory model (§3)."""
+        if self.n_total == 0:
+            return 0.0
+        return self.frequency(value) / self.n_total
+
+    def most_common(self, k: int | None = None) -> list[tuple[Cell, int]]:
+        """The ``k`` most frequent values with their counts."""
+        return self.counts.most_common(k)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self.counts
+
+
+class DomainIndex:
+    """Domains of every attribute of a table, computed once."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._domains = {
+            name: Domain.from_column(name, table.column(name))
+            for name in table.schema.names
+        }
+
+    def __getitem__(self, attribute: str) -> Domain:
+        return self._domains[attribute]
+
+    def domain(self, attribute: str) -> Domain:
+        """Domain of ``attribute``."""
+        return self._domains[attribute]
+
+    def candidate_values(self, attribute: str, cap: int | None = None) -> list[Cell]:
+        """Distinct values of ``attribute`` (optionally the top ``cap`` by
+        frequency) — the raw candidate pool before pruning."""
+        values = self._domains[attribute].values
+        if cap is not None:
+            return values[:cap]
+        return values
+
+    def total_distinct(self) -> int:
+        """Sum of domain sizes over all attributes."""
+        return sum(d.size for d in self._domains.values())

@@ -1,0 +1,229 @@
+"""Column and table profiling: the "look before you clean" step.
+
+Figure 2's pipeline starts from an *observed* dataset the user barely
+knows.  Profiling answers the questions that come before constraint
+authoring and network review: what does each column look like
+(cardinality, nulls, lengths, dominant formats), and which attribute
+pairs behave like FDs (the dependencies the BN construction should
+find)?  The CLI's ``profile`` subcommand and the bring-your-own-CSV
+example are thin layers over this module.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bayesnet.cpt import cell_key
+from repro.dataset.table import Cell, Table, is_null
+from repro.text.patterns import value_mask
+
+
+@dataclass
+class ColumnProfile:
+    """Summary statistics of one column."""
+
+    name: str
+    attr_type: str
+    n_values: int
+    n_nulls: int
+    n_distinct: int
+    min_length: int
+    max_length: int
+    entropy: float
+    top_values: list[tuple[Cell, int]]
+    dominant_mask: str | None
+    mask_coverage: float
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of the column that is NULL."""
+        return self.n_nulls / self.n_values if self.n_values else 0.0
+
+    @property
+    def is_key_like(self) -> bool:
+        """Whether the column looks like a key (all values distinct)."""
+        non_null = self.n_values - self.n_nulls
+        return non_null > 0 and self.n_distinct == non_null
+
+
+@dataclass
+class FDCandidate:
+    """One observed near-functional dependency ``lhs → rhs``."""
+
+    lhs: str
+    rhs: str
+    support: int
+    violations: int
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of lhs-groups whose rhs is single-valued (weighted)."""
+        total = self.support + self.violations
+        return self.support / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.lhs} -> {self.rhs} "
+            f"(confidence {self.confidence:.3f}, {self.violations} violations)"
+        )
+
+
+@dataclass
+class TableProfile:
+    """Profile of a whole table: per-column stats + FD candidates."""
+
+    n_rows: int
+    n_cols: int
+    columns: list[ColumnProfile] = field(default_factory=list)
+    fd_candidates: list[FDCandidate] = field(default_factory=list)
+
+    def column(self, name: str) -> ColumnProfile:
+        """Profile of one column by name."""
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise KeyError(f"no column {name!r} in profile")
+
+    def render(self) -> str:
+        """Fixed-width text report."""
+        lines = [f"{self.n_rows} rows x {self.n_cols} columns"]
+        header = (
+            f"{'column':<24} {'type':<12} {'distinct':>8} {'nulls':>6} "
+            f"{'entropy':>8} {'len':>9}  dominant mask"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for c in self.columns:
+            length = f"{c.min_length}..{c.max_length}"
+            mask = c.dominant_mask or "-"
+            lines.append(
+                f"{c.name:<24} {c.attr_type:<12} {c.n_distinct:>8} "
+                f"{c.n_nulls:>6} {c.entropy:>8.2f} {length:>9}  "
+                f"{mask} ({c.mask_coverage:.0%})"
+            )
+        if self.fd_candidates:
+            lines.append("")
+            lines.append("FD candidates (min confidence reached):")
+            for fd in self.fd_candidates:
+                lines.append(f"  {fd}")
+        return "\n".join(lines)
+
+
+def profile_column(name: str, attr_type: str, values: Sequence[Cell]) -> ColumnProfile:
+    """Summarise one column."""
+    counts: Counter = Counter()
+    n_nulls = 0
+    lengths: list[int] = []
+    masks: Counter = Counter()
+    for v in values:
+        if is_null(v):
+            n_nulls += 1
+            continue
+        counts[cell_key(v)] += 1
+        s = str(v)
+        lengths.append(len(s))
+        masks[value_mask(v, compress=True)] += 1
+
+    n_non_null = len(values) - n_nulls
+    entropy = 0.0
+    for c in counts.values():
+        p = c / n_non_null
+        entropy -= p * math.log2(p)
+
+    if masks:
+        dominant_mask, dominant_count = masks.most_common(1)[0]
+        mask_coverage = dominant_count / n_non_null
+    else:
+        dominant_mask, mask_coverage = None, 0.0
+
+    return ColumnProfile(
+        name=name,
+        attr_type=attr_type,
+        n_values=len(values),
+        n_nulls=n_nulls,
+        n_distinct=len(counts),
+        min_length=min(lengths) if lengths else 0,
+        max_length=max(lengths) if lengths else 0,
+        entropy=entropy,
+        top_values=counts.most_common(5),
+        dominant_mask=dominant_mask,
+        mask_coverage=mask_coverage,
+    )
+
+
+def fd_candidates(
+    table: Table,
+    min_confidence: float = 0.95,
+    max_lhs_distinct_fraction: float = 0.9,
+) -> list[FDCandidate]:
+    """Near-FDs ``lhs → rhs`` observed in the data.
+
+    For each ordered attribute pair, rows are grouped by the lhs value;
+    within each group the majority rhs value counts as support and every
+    other row as a violation (the softened-FD view of §4, at the level
+    of exact counts).  Key-like lhs columns are skipped: a column with
+    (almost) all-distinct values trivially "determines" everything.
+    """
+    names = table.schema.names
+    n = table.n_rows
+    out: list[FDCandidate] = []
+    columns = {
+        a: [cell_key(v) for v in table.column(a)] for a in names
+    }
+    for lhs in names:
+        lcol = columns[lhs]
+        non_null = [v for v in lcol if not is_null(v)]
+        if not non_null:
+            continue
+        if len(set(non_null)) > max_lhs_distinct_fraction * len(non_null):
+            continue  # key-like: trivial FDs only
+        groups: dict[object, list[int]] = {}
+        for i, v in enumerate(lcol):
+            if not is_null(v):
+                groups.setdefault(v, []).append(i)
+        for rhs in names:
+            if rhs == lhs:
+                continue
+            rcol = columns[rhs]
+            support = 0
+            violations = 0
+            for rows in groups.values():
+                counter = Counter(rcol[i] for i in rows)
+                majority = counter.most_common(1)[0][1]
+                support += majority
+                violations += sum(counter.values()) - majority
+            candidate = FDCandidate(lhs, rhs, support, violations)
+            if candidate.confidence >= min_confidence:
+                out.append(candidate)
+    out.sort(key=lambda fd: (-fd.confidence, fd.lhs, fd.rhs))
+    return out
+
+
+def profile_table(
+    table: Table,
+    min_fd_confidence: float = 0.95,
+    include_fds: bool = True,
+) -> TableProfile:
+    """Profile every column and (optionally) mine FD candidates."""
+    columns = [
+        profile_column(
+            attr,
+            table.schema.attribute(attr).attr_type.value,
+            table.column(attr),
+        )
+        for attr in table.schema.names
+    ]
+    fds = (
+        fd_candidates(table, min_confidence=min_fd_confidence)
+        if include_fds
+        else []
+    )
+    return TableProfile(
+        n_rows=table.n_rows,
+        n_cols=table.n_cols,
+        columns=columns,
+        fd_candidates=fds,
+    )

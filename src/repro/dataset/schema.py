@@ -1,0 +1,162 @@
+"""Relational schema primitives.
+
+A :class:`Schema` is an ordered collection of named, typed
+:class:`Attribute` objects.  The cleaning algorithms in this package treat
+cells as discrete values, but the *logical* type of an attribute still
+matters: similarity functions, user constraints, and error injection all
+dispatch on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+
+class AttrType(enum.Enum):
+    """Logical type of an attribute.
+
+    TEXT
+        Free-form strings (names, addresses).
+    CATEGORICAL
+        Strings drawn from a small closed vocabulary (states, codes).
+    INTEGER
+        Whole numbers stored as ``int``.
+    FLOAT
+        Real numbers stored as ``float``.
+    """
+
+    TEXT = "text"
+    CATEGORICAL = "categorical"
+    INTEGER = "integer"
+    FLOAT = "float"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type are compared numerically."""
+        return self in (AttrType.INTEGER, AttrType.FLOAT)
+
+    @property
+    def is_textual(self) -> bool:
+        """Whether values of this type are compared by edit distance."""
+        return self in (AttrType.TEXT, AttrType.CATEGORICAL)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    attr_type:
+        Logical type used by similarity functions and constraints.
+    nullable:
+        Whether NULL (``None``) is a legal clean value. Most benchmark
+        attributes are non-nullable; the error injector introduces NULLs
+        as *missing-value* errors regardless.
+    """
+
+    name: str
+    attr_type: AttrType = AttrType.TEXT
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.attr_type.value}"
+
+
+@dataclass
+class Schema:
+    """An ordered, uniquely-named list of attributes."""
+
+    attributes: list[Attribute] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {dupes}")
+        self._index = {a.name: i for i, a in enumerate(self.attributes)}
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs: str | Attribute) -> "Schema":
+        """Build a schema from ``"name:type"`` strings or Attribute objects.
+
+        >>> Schema.of("city", "zip:categorical", "abv:float").names
+        ['city', 'zip', 'abv']
+        """
+        attrs: list[Attribute] = []
+        for spec in specs:
+            if isinstance(spec, Attribute):
+                attrs.append(spec)
+                continue
+            if ":" in spec:
+                name, _, type_name = spec.partition(":")
+                try:
+                    attr_type = AttrType(type_name)
+                except ValueError as exc:
+                    raise SchemaError(f"unknown attribute type {type_name!r}") from exc
+                attrs.append(Attribute(name, attr_type))
+            else:
+                attrs.append(Attribute(spec))
+        return cls(attrs)
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """Attribute names in declaration order."""
+        return [a.name for a in self.attributes]
+
+    def index_of(self, name: str) -> int:
+        """Position of attribute ``name`` (raises SchemaError if unknown)."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown attribute {name!r}") from exc
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` named ``name``."""
+        return self.attributes[self.index_of(name)]
+
+    def type_of(self, name: str) -> AttrType:
+        """Logical type of attribute ``name``."""
+        return self.attribute(name).attr_type
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    # -- derivation --------------------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema([self.attribute(n) for n in names])
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """A new schema with attributes renamed via ``mapping``."""
+        attrs = [
+            Attribute(mapping.get(a.name, a.name), a.attr_type, a.nullable)
+            for a in self.attributes
+        ]
+        return Schema(attrs)

@@ -1,0 +1,323 @@
+"""A minimal typed column-store relation.
+
+The environment provides no pandas, so :class:`Table` supplies the small
+set of relational operations the cleaning algorithms need: column access,
+cell mutation, row views, projection, sampling, and sorting.  Cells are
+Python objects — ``str`` for textual attributes, ``int``/``float`` for
+numeric ones — and NULL is represented by ``None`` throughout.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.dataset.schema import Attribute, AttrType, Schema
+from repro.errors import SchemaError
+
+Cell = Any  # str | int | float | None
+
+
+def is_null(value: Cell) -> bool:
+    """Whether ``value`` represents a missing cell.
+
+    ``None``, empty strings, and the literal strings ``"NULL"`` /
+    ``"null"`` / ``"nan"`` (as produced by common CSV exports) all count
+    as NULL.
+    """
+    if value is None:
+        return True
+    if isinstance(value, float) and value != value:  # NaN
+        return True
+    if isinstance(value, str) and value.strip().lower() in ("", "null", "nan", "none"):
+        return True
+    return False
+
+
+class Row:
+    """A lightweight immutable view of one tuple of a :class:`Table`."""
+
+    __slots__ = ("_table", "_i")
+
+    def __init__(self, table: "Table", i: int):
+        self._table = table
+        self._i = i
+
+    @property
+    def index(self) -> int:
+        """Zero-based row position inside the owning table."""
+        return self._i
+
+    def __getitem__(self, attr: str | int) -> Cell:
+        if isinstance(attr, int):
+            return self._table.columns[attr][self._i]
+        j = self._table.schema.index_of(attr)
+        return self._table.columns[j][self._i]
+
+    def values(self) -> tuple[Cell, ...]:
+        """All cell values of this row, in schema order."""
+        return tuple(col[self._i] for col in self._table.columns)
+
+    def as_dict(self) -> dict[str, Cell]:
+        """Mapping from attribute name to cell value."""
+        return {a: col[self._i] for a, col in zip(self._table.schema.names, self._table.columns)}
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.values())
+
+    def __len__(self) -> int:
+        return len(self._table.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Row({self._i}, {self.as_dict()!r})"
+
+
+class Table:
+    """An in-memory relation stored column-wise.
+
+    Columns are plain Python lists so that cells stay arbitrary objects;
+    numeric-heavy work converts to numpy arrays at the call site.
+    """
+
+    def __init__(self, schema: Schema, columns: Sequence[list[Cell]]):
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"schema has {len(schema)} attributes but {len(columns)} columns given"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        self.schema = schema
+        self.columns: list[list[Cell]] = [list(c) for c in columns]
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[Cell]]) -> "Table":
+        """Build a table from an iterable of row sequences."""
+        cols: list[list[Cell]] = [[] for _ in range(len(schema))]
+        for r, row in enumerate(rows):
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row {r} has {len(row)} values, schema expects {len(schema)}"
+                )
+            for j, v in enumerate(row):
+                cols[j].append(v)
+        return cls(schema, cols)
+
+    @classmethod
+    def from_dicts(cls, schema: Schema, records: Iterable[dict[str, Cell]]) -> "Table":
+        """Build a table from dict records; missing keys become NULL."""
+        cols: list[list[Cell]] = [[] for _ in range(len(schema))]
+        names = schema.names
+        for rec in records:
+            unknown = set(rec) - set(names)
+            if unknown:
+                raise SchemaError(f"record has unknown attributes {sorted(unknown)}")
+            for j, name in enumerate(names):
+                cols[j].append(rec.get(name))
+        return cls(schema, cols)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """A zero-row table with the given schema."""
+        return cls(schema, [[] for _ in range(len(schema))])
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples."""
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def n_cols(self) -> int:
+        """Number of attributes."""
+        return len(self.columns)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells (rows × columns)."""
+        return self.n_rows * self.n_cols
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    # -- access ----------------------------------------------------------------
+
+    def column(self, attr: str) -> list[Cell]:
+        """The column named ``attr`` (the live list, not a copy)."""
+        return self.columns[self.schema.index_of(attr)]
+
+    def cell(self, i: int, attr: str | int) -> Cell:
+        """Value at row ``i``, attribute ``attr`` (name or position)."""
+        j = attr if isinstance(attr, int) else self.schema.index_of(attr)
+        return self.columns[j][i]
+
+    def set_cell(self, i: int, attr: str | int, value: Cell) -> None:
+        """Overwrite the value at row ``i``, attribute ``attr``."""
+        j = attr if isinstance(attr, int) else self.schema.index_of(attr)
+        self.columns[j][i] = value
+
+    def row(self, i: int) -> Row:
+        """A view of row ``i``."""
+        if not 0 <= i < self.n_rows:
+            raise IndexError(f"row index {i} out of range [0, {self.n_rows})")
+        return Row(self, i)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over all row views."""
+        for i in range(self.n_rows):
+            yield Row(self, i)
+
+    def iter_cells(self) -> Iterator[tuple[int, str, Cell]]:
+        """Yield ``(row_index, attribute_name, value)`` for every cell."""
+        for j, name in enumerate(self.schema.names):
+            col = self.columns[j]
+            for i in range(self.n_rows):
+                yield i, name, col[i]
+
+    # -- derivation ---------------------------------------------------------------
+
+    def copy(self) -> "Table":
+        """A deep-enough copy: fresh column lists, shared cell objects."""
+        return Table(self.schema, [list(c) for c in self.columns])
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """A new table with only the named columns."""
+        sub = self.schema.project(names)
+        cols = [list(self.column(n)) for n in names]
+        return Table(sub, cols)
+
+    def head(self, n: int) -> "Table":
+        """The first ``n`` rows."""
+        return Table(self.schema, [c[:n] for c in self.columns])
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Table":
+        """Rows satisfying ``predicate``."""
+        keep = [i for i in range(self.n_rows) if predicate(self.row(i))]
+        return self.take(keep)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """A new table containing the given row indices, in order."""
+        cols = [[c[i] for i in indices] for c in self.columns]
+        return Table(self.schema, cols)
+
+    def sample(self, n: int, seed: int | None = None) -> "Table":
+        """A uniform sample (without replacement) of ``n`` rows."""
+        if n >= self.n_rows:
+            return self.copy()
+        rng = random.Random(seed)
+        indices = rng.sample(range(self.n_rows), n)
+        return self.take(sorted(indices))
+
+    def argsort_by(self, attr: str) -> list[int]:
+        """Row indices sorted by attribute value (NULLs last).
+
+        Used by the FDX profiler, which sorts tuples by each attribute and
+        compares only adjacent pairs (paper §4, Remarks).
+        """
+        col = self.column(attr)
+
+        def key(i: int) -> tuple[int, str]:
+            v = col[i]
+            if is_null(v):
+                return (1, "")
+            return (0, str(v))
+
+        return sorted(range(self.n_rows), key=key)
+
+    # -- equality & display ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.schema == other.schema and self.columns == other.columns
+
+    def to_rows(self) -> list[tuple[Cell, ...]]:
+        """All rows as tuples (materialised)."""
+        return [tuple(c[i] for c in self.columns) for i in range(self.n_rows)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.n_rows} rows × {self.n_cols} cols: {self.schema.names})"
+
+    def pretty(self, limit: int = 10) -> str:
+        """A fixed-width text rendering of up to ``limit`` rows."""
+        names = self.schema.names
+        shown = [[("NULL" if is_null(v) else str(v)) for v in row.values()]
+                 for row in list(self.rows())[:limit]]
+        widths = [
+            max(len(names[j]), *(len(r[j]) for r in shown)) if shown else len(names[j])
+            for j in range(len(names))
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [header, sep]
+        for r in shown:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+        if self.n_rows > limit:
+            lines.append(f"... ({self.n_rows - limit} more rows)")
+        return "\n".join(lines)
+
+
+def infer_attr_type(values: Iterable[Cell], categorical_threshold: int = 64) -> AttrType:
+    """Infer a logical type from a sample of raw (string) values.
+
+    Values that all parse as integers become INTEGER; all-float values
+    become FLOAT; short closed vocabularies become CATEGORICAL; anything
+    else is TEXT.  NULLs are ignored.
+    """
+    non_null = [v for v in values if not is_null(v)]
+    if not non_null:
+        return AttrType.TEXT
+
+    def parses(conv: Callable[[str], Any]) -> bool:
+        for v in non_null:
+            try:
+                conv(str(v))
+            except (TypeError, ValueError):
+                return False
+        return True
+
+    if parses(int):
+        return AttrType.INTEGER
+    if parses(float):
+        return AttrType.FLOAT
+    distinct = {str(v) for v in non_null}
+    if len(distinct) <= categorical_threshold:
+        return AttrType.CATEGORICAL
+    return AttrType.TEXT
+
+
+def coerce_column(values: list[Cell], attr_type: AttrType) -> list[Cell]:
+    """Convert raw cells to the Python type matching ``attr_type``.
+
+    Unparseable numerics are kept as their original strings: the cleaning
+    system must tolerate dirty cells, so coercion never raises.
+    """
+    if not attr_type.is_numeric:
+        return [None if is_null(v) else str(v) for v in values]
+    out: list[Cell] = []
+    conv: Callable[[str], Any] = int if attr_type == AttrType.INTEGER else float
+    for v in values:
+        if is_null(v):
+            out.append(None)
+            continue
+        try:
+            out.append(conv(str(v)))
+        except (TypeError, ValueError):
+            out.append(str(v))
+    return out
+
+
+def infer_schema(
+    names: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    categorical_threshold: int = 64,
+) -> Schema:
+    """Infer a full schema from raw string rows (used by the CSV reader)."""
+    attrs = []
+    for j, name in enumerate(names):
+        column = [row[j] for row in rows]
+        attrs.append(Attribute(name, infer_attr_type(column, categorical_threshold)))
+    return Schema(attrs)

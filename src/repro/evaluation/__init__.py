@@ -1,0 +1,56 @@
+"""Evaluation: §7.1 metrics, experiment runner, text reporting."""
+
+from repro.evaluation.bootstrap import (
+    Interval,
+    QualityIntervals,
+    bootstrap_quality,
+    significant_gap,
+)
+from repro.evaluation.metrics import (
+    RepairQuality,
+    detection_quality,
+    evaluate_repairs,
+    f1_score,
+    recall_by_error_type,
+)
+from repro.evaluation.reporting import pivot_reports, render_table
+from repro.evaluation.runner import (
+    CleaningSystem,
+    MethodReport,
+    run_matrix,
+    run_system,
+)
+from repro.evaluation.systems import (
+    BCleanSystem,
+    GarfSystem,
+    HoloCleanSystem,
+    PCleanSystem,
+    RahaBaranSystem,
+    bclean_variants,
+    default_systems,
+)
+
+__all__ = [
+    "BCleanSystem",
+    "CleaningSystem",
+    "GarfSystem",
+    "HoloCleanSystem",
+    "Interval",
+    "MethodReport",
+    "PCleanSystem",
+    "QualityIntervals",
+    "RahaBaranSystem",
+    "RepairQuality",
+    "bclean_variants",
+    "bootstrap_quality",
+    "default_systems",
+    "detection_quality",
+    "evaluate_repairs",
+    "f1_score",
+    "pivot_reports",
+    "recall_by_error_type",
+    "render_table",
+    "run_matrix",
+    "run_system",
+    "significant_gap",
+]

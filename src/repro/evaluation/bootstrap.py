@@ -1,0 +1,158 @@
+"""Bootstrap confidence intervals for repair quality.
+
+The paper reports single P/R/F1 numbers per (system, dataset) pair; on
+synthetic twins a point estimate can mislead by a few points depending
+on the error draw.  EXPERIMENTS.md therefore quotes bootstrap intervals
+where the comparison is close: rows are resampled with replacement and
+the metric recomputed, giving a percentile interval that makes "A beats
+B" claims falsifiable at laptop scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dataset.diff import cells_equal
+from repro.dataset.table import Table
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import f1_score
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A percentile bootstrap interval around a point estimate."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, (int, float)) and self.low <= value <= self.high
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals intersect (≈ 'no significant gap')."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.point:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+
+@dataclass
+class QualityIntervals:
+    """Bootstrap intervals for precision, recall, and F1."""
+
+    precision: Interval
+    recall: Interval
+    f1: Interval
+    n_resamples: int
+
+
+def _row_tallies(
+    dirty: Table, cleaned: Table, clean: Table
+) -> list[tuple[int, int, int]]:
+    """Per-row (modified, correct_repairs, errors) counts.
+
+    Resampling rows (not cells) preserves the within-tuple error
+    correlation the cleaning engines exploit.
+    """
+    names = dirty.schema.names
+    tallies = []
+    for i in range(dirty.n_rows):
+        modified = correct = errors = 0
+        for j, _ in enumerate(names):
+            d = dirty.columns[j][i]
+            out = cleaned.columns[j][i]
+            truth = clean.columns[j][i]
+            was_error = not cells_equal(d, truth)
+            if was_error:
+                errors += 1
+            if not cells_equal(out, d):
+                modified += 1
+                if cells_equal(out, truth):
+                    correct += 1
+        tallies.append((modified, correct, errors))
+    return tallies
+
+
+def _quality_from(tallies: Sequence[tuple[int, int, int]]) -> tuple[float, float, float]:
+    modified = sum(t[0] for t in tallies)
+    correct = sum(t[1] for t in tallies)
+    errors = sum(t[2] for t in tallies)
+    precision = correct / modified if modified else 0.0
+    recall = correct / errors if errors else 0.0
+    return precision, recall, f1_score(precision, recall)
+
+
+def bootstrap_quality(
+    dirty: Table,
+    cleaned: Table,
+    clean: Table,
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> QualityIntervals:
+    """Percentile bootstrap over rows for repair P/R/F1.
+
+    Parameters
+    ----------
+    dirty, cleaned, clean:
+        The §7.1 evaluation triple: observed input, system output,
+        ground truth (same shape).
+    n_resamples:
+        Number of bootstrap resamples.
+    confidence:
+        Central interval mass (0.95 → 2.5th..97.5th percentiles).
+    seed:
+        Resampling seed.
+    """
+    if not (dirty.n_rows == cleaned.n_rows == clean.n_rows):
+        raise EvaluationError("tables must have the same number of rows")
+    if n_resamples < 1:
+        raise EvaluationError(f"n_resamples must be >= 1, got {n_resamples}")
+    if not 0.0 < confidence < 1.0:
+        raise EvaluationError(f"confidence must be in (0, 1), got {confidence}")
+
+    tallies = _row_tallies(dirty, cleaned, clean)
+    point_p, point_r, point_f = _quality_from(tallies)
+
+    rng = random.Random(seed)
+    n = len(tallies)
+    samples_p: list[float] = []
+    samples_r: list[float] = []
+    samples_f: list[float] = []
+    for _ in range(n_resamples):
+        resample = [tallies[rng.randrange(n)] for _ in range(n)]
+        p, r, f = _quality_from(resample)
+        samples_p.append(p)
+        samples_r.append(r)
+        samples_f.append(f)
+
+    def interval(point: float, samples: list[float]) -> Interval:
+        ordered = sorted(samples)
+        alpha = (1.0 - confidence) / 2.0
+        lo_idx = int(alpha * (len(ordered) - 1))
+        hi_idx = int((1.0 - alpha) * (len(ordered) - 1))
+        return Interval(point, ordered[lo_idx], ordered[hi_idx], confidence)
+
+    return QualityIntervals(
+        precision=interval(point_p, samples_p),
+        recall=interval(point_r, samples_r),
+        f1=interval(point_f, samples_f),
+        n_resamples=n_resamples,
+    )
+
+
+def significant_gap(
+    a: QualityIntervals, b: QualityIntervals, metric: str = "f1"
+) -> bool:
+    """Whether system a's interval lies strictly above system b's.
+
+    Non-overlap of percentile intervals is a conservative test, which
+    is the right direction for claiming "A beats B" in EXPERIMENTS.md.
+    """
+    ia: Interval = getattr(a, metric)
+    ib: Interval = getattr(b, metric)
+    return ia.low > ib.high

@@ -1,0 +1,156 @@
+"""Repair-quality metrics exactly as §7.1 defines them.
+
+- **Precision** — correctly repaired errors over *all modified cells*
+  (a repair that touches a clean cell, or fixes an error to the wrong
+  value, costs precision).
+- **Recall** — correctly repaired errors over all ground-truth errors.
+- **F1** — harmonic mean.
+
+"Correct" means the cleaned cell equals the ground-truth clean value
+under NULL-aware, numerically canonical comparison
+(:func:`~repro.dataset.diff.cells_equal`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.data.errors import InjectionResult
+from repro.dataset.diff import cells_equal
+from repro.dataset.table import Table
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class RepairQuality:
+    """Precision / recall / F1 plus the raw counts behind them."""
+
+    precision: float
+    recall: float
+    f1: float
+    n_modified: int
+    n_correct_repairs: int
+    n_errors: int
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+            "f1": round(self.f1, 3),
+        }
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean (0 when both are 0)."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def evaluate_repairs(
+    dirty: Table,
+    cleaned: Table,
+    clean: Table,
+    error_cells: Iterable[tuple[int, str]] | None = None,
+) -> RepairQuality:
+    """Score a cleaning run against ground truth.
+
+    Parameters
+    ----------
+    dirty:
+        The observed input D.
+    cleaned:
+        The system's output D*.
+    clean:
+        Ground truth.
+    error_cells:
+        Coordinates of the injected errors.  ``None`` derives them by
+        diffing ``dirty`` against ``clean``.
+    """
+    for t in (cleaned, clean):
+        if t.schema.names != dirty.schema.names or t.n_rows != dirty.n_rows:
+            raise EvaluationError("tables are not aligned")
+
+    if error_cells is None:
+        error_set = {
+            (i, a)
+            for j, a in enumerate(dirty.schema.names)
+            for i in range(dirty.n_rows)
+            if not cells_equal(dirty.columns[j][i], clean.columns[j][i])
+        }
+    else:
+        error_set = set(error_cells)
+
+    n_modified = 0
+    n_correct = 0
+    for j, attr in enumerate(dirty.schema.names):
+        dcol, ocol, gcol = dirty.columns[j], cleaned.columns[j], clean.columns[j]
+        for i in range(dirty.n_rows):
+            if cells_equal(dcol[i], ocol[i]):
+                continue
+            n_modified += 1
+            if (i, attr) in error_set and cells_equal(ocol[i], gcol[i]):
+                n_correct += 1
+
+    precision = n_correct / n_modified if n_modified else 0.0
+    recall = n_correct / len(error_set) if error_set else 0.0
+    return RepairQuality(
+        precision=precision,
+        recall=recall,
+        f1=f1_score(precision, recall),
+        n_modified=n_modified,
+        n_correct_repairs=n_correct,
+        n_errors=len(error_set),
+    )
+
+
+def recall_by_error_type(
+    cleaned: Table,
+    injection: InjectionResult,
+) -> dict[str, float]:
+    """Per-error-type recall (Table 6): for each injected type code, the
+    fraction of its errors whose cell was restored to ground truth."""
+    clean = injection.clean
+    totals: dict[str, int] = {}
+    hits: dict[str, int] = {}
+    for e in injection.errors:
+        totals[e.error_type] = totals.get(e.error_type, 0) + 1
+        repaired = cleaned.cell(e.row, e.attribute)
+        truth = clean.cell(e.row, e.attribute)
+        if cells_equal(repaired, truth):
+            hits[e.error_type] = hits.get(e.error_type, 0) + 1
+    return {
+        t: (hits.get(t, 0) / n if n else 0.0) for t, n in sorted(totals.items())
+    }
+
+
+def detection_quality(
+    dirty: Table,
+    flagged_cells: Iterable[tuple[int, str]],
+    clean: Table,
+) -> RepairQuality:
+    """Error-*detection* precision/recall (used by Raha-style internals).
+
+    A flagged cell is a true positive iff it really differs from ground
+    truth.
+    """
+    error_set = {
+        (i, a)
+        for j, a in enumerate(dirty.schema.names)
+        for i in range(dirty.n_rows)
+        if not cells_equal(dirty.columns[j][i], clean.columns[j][i])
+    }
+    flagged = set(flagged_cells)
+    tp = len(flagged & error_set)
+    precision = tp / len(flagged) if flagged else 0.0
+    recall = tp / len(error_set) if error_set else 0.0
+    return RepairQuality(
+        precision=precision,
+        recall=recall,
+        f1=f1_score(precision, recall),
+        n_modified=len(flagged),
+        n_correct_repairs=tp,
+        n_errors=len(error_set),
+    )

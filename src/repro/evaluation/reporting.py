@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports.
+
+All experiment drivers produce lists of flat dicts; this module renders
+them in the fixed-width style of the paper's tables so EXPERIMENTS.md
+and bench output read side-by-side with the original.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table from dict rows.
+
+    Parameters
+    ----------
+    rows:
+        Flat record dicts.
+    columns:
+        Column order (defaults to the keys of the first row).
+    title:
+        Optional heading line.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [
+        {c: _fmt(r.get(c, "")) for c in cols} for r in rows
+    ]
+    widths = {
+        c: max(len(c), *(len(r[c]) for r in rendered)) for c in cols
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for r in rendered:
+        lines.append(" | ".join(r[c].ljust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def pivot_reports(
+    reports: Sequence,
+    metric: str = "f1",
+) -> list[dict]:
+    """Pivot MethodReport rows into the paper's systems × datasets shape.
+
+    Each output row is one system; columns are datasets holding the
+    chosen metric ("precision", "recall", or "f1"); failures show "-".
+    """
+    systems: list[str] = []
+    datasets: list[str] = []
+    for r in reports:
+        if r.system not in systems:
+            systems.append(r.system)
+        if r.dataset not in datasets:
+            datasets.append(r.dataset)
+    index = {(r.system, r.dataset): r for r in reports}
+    rows = []
+    for s in systems:
+        row: dict[str, object] = {"system": s}
+        for d in datasets:
+            r = index.get((s, d))
+            if r is None or r.failed:
+                row[d] = "-"
+            else:
+                row[d] = round(getattr(r.quality, metric), 3)
+        rows.append(row)
+    return rows

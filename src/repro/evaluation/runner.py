@@ -1,0 +1,112 @@
+"""Experiment runner: apply any cleaning system to a benchmark instance.
+
+A *cleaning system* is anything with a ``name`` and a
+``clean(instance) -> Table`` method.  Adapters for the BClean variants
+and all baselines live in :mod:`repro.evaluation.systems`; this module
+times them and scores the output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.data.benchmark import BenchmarkInstance
+from repro.dataset.table import Table
+from repro.evaluation.metrics import (
+    RepairQuality,
+    evaluate_repairs,
+    recall_by_error_type,
+)
+
+
+@runtime_checkable
+class CleaningSystem(Protocol):
+    """Minimal interface every competitor implements."""
+
+    name: str
+
+    def clean(self, instance: BenchmarkInstance) -> Table:
+        """Produce a cleaned table for the benchmark's dirty table."""
+        ...
+
+
+@dataclass
+class MethodReport:
+    """One system's result on one benchmark instance."""
+
+    system: str
+    dataset: str
+    quality: RepairQuality
+    exec_seconds: float
+    recall_by_type: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the system crashed or was skipped."""
+        return self.error is not None
+
+    def as_row(self) -> dict:
+        """Flat dict for table rendering."""
+        row = {"system": self.system, "dataset": self.dataset}
+        if self.failed:
+            row.update({"precision": "-", "recall": "-", "f1": "-"})
+        else:
+            row.update(self.quality.as_row())
+        row["exec_s"] = round(self.exec_seconds, 2)
+        return row
+
+
+def run_system(
+    system: CleaningSystem,
+    instance: BenchmarkInstance,
+    with_type_recall: bool = False,
+    catch_errors: bool = True,
+) -> MethodReport:
+    """Run one system on one instance, timing and scoring it."""
+    start = time.perf_counter()
+    try:
+        cleaned = system.clean(instance)
+    except Exception as exc:  # a failed competitor is a data point (− in Table 4)
+        if not catch_errors:
+            raise
+        return MethodReport(
+            system=system.name,
+            dataset=instance.name,
+            quality=RepairQuality(0.0, 0.0, 0.0, 0, 0, len(instance.error_cells)),
+            exec_seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    elapsed = time.perf_counter() - start
+    quality = evaluate_repairs(
+        instance.dirty, cleaned, instance.clean, instance.error_cells
+    )
+    by_type = (
+        recall_by_error_type(cleaned, instance.injection)
+        if with_type_recall
+        else {}
+    )
+    return MethodReport(
+        system=system.name,
+        dataset=instance.name,
+        quality=quality,
+        exec_seconds=elapsed,
+        recall_by_type=by_type,
+    )
+
+
+def run_matrix(
+    systems: Sequence[CleaningSystem],
+    instances: Sequence[BenchmarkInstance],
+    with_type_recall: bool = False,
+) -> list[MethodReport]:
+    """The full systems × datasets sweep behind Table 4."""
+    reports = []
+    for instance in instances:
+        for system in systems:
+            reports.append(
+                run_system(system, instance, with_type_recall=with_type_recall)
+            )
+    return reports

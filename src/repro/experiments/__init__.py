@@ -1,0 +1,46 @@
+"""Experiment drivers — one module per paper table/figure.
+
+==================  =======================================
+Module              Paper artefact
+==================  =======================================
+``table2``          Table 2 (dataset statistics)
+``table4``          Table 4 (P/R/F1, all methods × datasets)
+``table5``          Table 5 (sampled Soccer)
+``table6``          Table 6 (recall per error type)
+``table7``          Table 7 (user + execution time)
+``param_sweeps``    Tables 8–10 (λ, β, τ sweeps)
+``figure4``         Figure 4 (error analysis panels)
+``figure5``         Figure 5 (UC ablation)
+``interaction``     §7.3.2 (network manipulation impact)
+``ablations``       DESIGN.md design-choice ablations
+``scaling``         Table 7 shape (time vs rows per variant)
+==================  =======================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    figure4,
+    figure5,
+    interaction,
+    param_sweeps,
+    scaling,
+    table2,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = [
+    "ablations",
+    "scaling",
+    "figure4",
+    "figure5",
+    "interaction",
+    "param_sweeps",
+    "table2",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

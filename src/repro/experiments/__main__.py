@@ -1,0 +1,93 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure from the shell::
+
+    python -m repro.experiments table2
+    python -m repro.experiments table4 --sizes hospital=500,flights=600
+    python -m repro.experiments figure5
+    python -m repro.experiments all          # everything (slow)
+
+Each driver prints the same fixed-width table the benchmark harness
+produces, so results can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    scaling,
+    figure4,
+    figure5,
+    interaction,
+    param_sweeps,
+    table2,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+DRIVERS = {
+    "table2": lambda sizes: table2.render(),
+    "table4": lambda sizes: table4.render(table4.run(sizes=sizes)),
+    "table5": lambda sizes: table5.render(table5.run()),
+    "table6": lambda sizes: table6.render(table6.run(sizes=sizes)),
+    "table7": lambda sizes: table7.render(table7.run(sizes=sizes)),
+    "params": lambda sizes: param_sweeps.render(),
+    "figure4": lambda sizes: figure4.render(),
+    "figure5": lambda sizes: figure5.render(figure5.run(sizes=sizes)),
+    "interaction": lambda sizes: interaction.render(
+        interaction.run(sizes=sizes)
+    ),
+    "ablations": lambda sizes: ablations.render(),
+    "scaling": lambda sizes: scaling.render(),
+}
+
+
+def parse_sizes(spec: str | None) -> dict[str, int] | None:
+    """Parse ``hospital=500,flights=600`` into a size mapping."""
+    if not spec:
+        return None
+    sizes = {}
+    for part in spec.split(","):
+        name, _, value = part.partition("=")
+        if not value:
+            raise SystemExit(f"bad --sizes entry {part!r} (want name=rows)")
+        sizes[name.strip()] = int(value)
+    return sizes
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run one named experiment (or ``all``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate BClean paper tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*DRIVERS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="per-dataset row counts, e.g. hospital=500,flights=600",
+    )
+    args = parser.parse_args(argv)
+    sizes = parse_sizes(args.sizes)
+
+    names = list(DRIVERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        print(f"=== {name} ===")
+        print(DRIVERS[name](sizes))
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Ablation drivers for the design choices DESIGN.md calls out.
+
+Not paper tables — these justify BClean's individual design decisions
+on our substrate:
+
+1. compensatory score on/off (the §5 error-amplification guard),
+2. inference mode: BASIC vs PI vs PIP (quality *and* runtime),
+3. structure learner: FDX vs hill-climbing vs Chow–Liu vs PC vs MMHC,
+4. similarity softening vs strict-equality FD profiling,
+5. domain-pruning top-k sweep (runtime vs recall).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Sequence
+
+from repro.bayesnet.structure.fdx import FDXConfig
+from repro.core.config import BCleanConfig, InferenceMode
+from repro.core.engine import BClean
+from repro.data.benchmark import load_benchmark
+from repro.evaluation.metrics import evaluate_repairs
+from repro.evaluation.reporting import render_table
+
+
+def _measure(config: BCleanConfig, instance) -> dict:
+    start = time.perf_counter()
+    engine = BClean(config, instance.constraints)
+    engine.fit(instance.dirty, dag=instance.user_network())
+    result = engine.clean()
+    elapsed = time.perf_counter() - start
+    q = evaluate_repairs(
+        instance.dirty, result.cleaned, instance.clean, instance.error_cells
+    )
+    return {
+        "precision": round(q.precision, 3),
+        "recall": round(q.recall, 3),
+        "f1": round(q.f1, 3),
+        "seconds": round(elapsed, 2),
+        "cells_skipped": result.stats.cells_skipped_pruning,
+        "candidates": result.stats.candidates_evaluated,
+    }
+
+
+def compensatory_ablation(
+    dataset: str = "hospital", n_rows: int = 1000, seed: int = 0
+) -> list[dict]:
+    """Compensatory scoring model on vs off (§5, Example 2)."""
+    inst = load_benchmark(dataset, n_rows=n_rows, seed=seed)
+    rows = []
+    for label, on in (("with Score_comp", True), ("without Score_comp", False)):
+        config = BCleanConfig.pi(use_compensatory=on)
+        rows.append({"config": label, **_measure(config, inst)})
+    return rows
+
+
+def mode_ablation(
+    dataset: str = "hospital", n_rows: int = 1000, seed: int = 0
+) -> list[dict]:
+    """BASIC vs PARTITIONED vs PARTITIONED_PRUNED (quality + runtime)."""
+    inst = load_benchmark(dataset, n_rows=n_rows, seed=seed)
+    rows = []
+    for mode in InferenceMode:
+        config = BCleanConfig(mode=mode)
+        rows.append({"mode": mode.value, **_measure(config, inst)})
+    return rows
+
+
+def structure_ablation(
+    dataset: str = "hospital", n_rows: int = 1000, seed: int = 0
+) -> list[dict]:
+    """FDX vs hill-climbing vs Chow–Liu vs PC vs MMHC as the constructor."""
+    inst = load_benchmark(dataset, n_rows=n_rows, seed=seed)
+    rows = []
+    for learner in ("fdx", "hillclimb", "chowliu", "pc", "mmhc"):
+        config = BCleanConfig.pi(structure=learner)
+        start = time.perf_counter()
+        engine = BClean(config, inst.constraints)
+        engine.fit(inst.dirty)  # no user network: compare raw learners
+        result = engine.clean()
+        elapsed = time.perf_counter() - start
+        q = evaluate_repairs(
+            inst.dirty, result.cleaned, inst.clean, inst.error_cells
+        )
+        rows.append(
+            {
+                "learner": learner,
+                "n_edges": engine.dag.n_edges,
+                "precision": round(q.precision, 3),
+                "recall": round(q.recall, 3),
+                "f1": round(q.f1, 3),
+                "seconds": round(elapsed, 2),
+            }
+        )
+    return rows
+
+
+def similarity_ablation(
+    dataset: str = "hospital", n_rows: int = 1000, seed: int = 0
+) -> list[dict]:
+    """Softened-FD similarity vs strict equality in the FDX profiler."""
+    inst = load_benchmark(dataset, n_rows=n_rows, seed=seed)
+    rows = []
+    for label, strict in (("softened (edit sim)", False), ("strict equality", True)):
+        config = BCleanConfig.pi()
+        config = replace(config, fdx=FDXConfig(use_strict_equality=strict))
+        rows.append({"profiler": label, **_measure(config, inst)})
+    return rows
+
+
+def domain_pruning_sweep(
+    dataset: str = "hospital",
+    n_rows: int = 1000,
+    top_ks: Sequence[int] = (4, 8, 16, 32, 64),
+    seed: int = 0,
+) -> list[dict]:
+    """TF-IDF domain-pruning cap: recall vs runtime trade (§6.2)."""
+    inst = load_benchmark(dataset, n_rows=n_rows, seed=seed)
+    rows = []
+    for k in top_ks:
+        config = BCleanConfig.pip(domain_prune_top_k=k)
+        rows.append({"top_k": k, **_measure(config, inst)})
+    return rows
+
+
+def run(dataset: str = "hospital", n_rows: int = 1000, seed: int = 0) -> dict:
+    """All five ablations."""
+    return {
+        "compensatory": compensatory_ablation(dataset, n_rows, seed),
+        "mode": mode_ablation(dataset, n_rows, seed),
+        "structure": structure_ablation(dataset, n_rows, seed),
+        "similarity": similarity_ablation(dataset, n_rows, seed),
+        "domain_pruning": domain_pruning_sweep(dataset, n_rows, seed=seed),
+    }
+
+
+def render(results: dict | None = None) -> str:
+    """All ablations as text tables."""
+    results = results or run()
+    return "\n\n".join(
+        render_table(rows, title=f"Ablation: {name}")
+        for name, rows in results.items()
+    )
+
+
+if __name__ == "__main__":
+    print(render())

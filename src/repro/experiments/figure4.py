@@ -1,0 +1,141 @@
+"""Experiment driver: Figure 4 — error analysis.
+
+- (a) distribution of injected error types on Soccer / Inpatient /
+  Facilities,
+- (b)–(d) F1 versus error ratio (10–70 %) on Flights / Inpatient /
+  Facilities for BClean, BCleanPI, Raha+Baran, HoloClean,
+- (e)–(f) recall under swapping-value errors (same- vs different-domain
+  swaps) on Inpatient and Facilities for five systems.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.benchmark import load_benchmark
+from repro.evaluation.reporting import render_table
+from repro.evaluation.runner import MethodReport, run_system
+from repro.evaluation.systems import (
+    BCleanSystem,
+    HoloCleanSystem,
+    PCleanSystem,
+    RahaBaranSystem,
+)
+
+ERROR_RATES = (0.10, 0.30, 0.50, 0.70)
+SWEEP_DATASETS = ("flights", "inpatient", "facilities")
+SWEEP_SIZES = {"flights": 1000, "inpatient": 1200, "facilities": 1200}
+SWAP_DATASETS = ("inpatient", "facilities")
+SWAP_RATES = {"inpatient": 0.10, "facilities": 0.05}
+
+
+def error_distribution(
+    datasets: Sequence[str] = ("soccer", "inpatient", "facilities"),
+    sizes: dict | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 4(a): counts of injected T/M/I(/S) per dataset."""
+    sizes = dict({"soccer": 3000, "inpatient": 2000, "facilities": 2000},
+                 **(sizes or {}))
+    rows = []
+    for name in datasets:
+        inst = load_benchmark(name, n_rows=sizes.get(name), seed=seed)
+        counts = inst.injection.counts_by_type()
+        rows.append({"dataset": name, **{t: counts.get(t, 0) for t in "TMIS"}})
+    return rows
+
+
+def f1_vs_error_rate(
+    datasets: Sequence[str] = SWEEP_DATASETS,
+    rates: Sequence[float] = ERROR_RATES,
+    sizes: dict | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 4(b)-(d): F1 of four systems as the error ratio grows."""
+    sizes = dict(SWEEP_SIZES, **(sizes or {}))
+    systems = [
+        BCleanSystem.basic(),
+        BCleanSystem.pi(),
+        RahaBaranSystem(),
+        HoloCleanSystem(),
+    ]
+    rows = []
+    for name in datasets:
+        for rate in rates:
+            inst = load_benchmark(
+                name, n_rows=sizes.get(name), noise_rate=rate, seed=seed
+            )
+            for system in systems:
+                report = run_system(system, inst)
+                rows.append(
+                    {
+                        "dataset": name,
+                        "error_rate": rate,
+                        "system": report.system,
+                        "f1": "-" if report.failed else round(report.quality.f1, 3),
+                    }
+                )
+    return rows
+
+
+def swap_error_recall(
+    datasets: Sequence[str] = SWAP_DATASETS,
+    sizes: dict | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 4(e)-(f): recall under same- vs different-domain swaps."""
+    sizes = dict({"inpatient": 1200, "facilities": 1200}, **(sizes or {}))
+    systems = [
+        BCleanSystem.basic(),
+        BCleanSystem.pi(),
+        PCleanSystem(),
+        HoloCleanSystem(),
+        RahaBaranSystem(),
+    ]
+    rows = []
+    for name in datasets:
+        for cross, label in ((False, "same"), (True, "different")):
+            inst = load_benchmark(
+                name,
+                n_rows=sizes.get(name),
+                noise_rate=SWAP_RATES[name],
+                error_types=("S",),
+                swap_cross_domain=cross,
+                seed=seed,
+            )
+            for system in systems:
+                report = run_system(system, inst)
+                rows.append(
+                    {
+                        "dataset": name,
+                        "swap_domain": label,
+                        "system": report.system,
+                        "recall": "-" if report.failed else round(report.quality.recall, 3),
+                    }
+                )
+    return rows
+
+
+def run(seed: int = 0) -> dict[str, list[dict]]:
+    """All three panels."""
+    return {
+        "fig4a_distribution": error_distribution(seed=seed),
+        "fig4bcd_error_rate": f1_vs_error_rate(seed=seed),
+        "fig4ef_swaps": swap_error_recall(seed=seed),
+    }
+
+
+def render(results: dict[str, list[dict]] | None = None) -> str:
+    """All Figure 4 panels as text tables."""
+    results = results or run()
+    return "\n\n".join(
+        [
+            render_table(results["fig4a_distribution"], title="Figure 4(a): error distributions"),
+            render_table(results["fig4bcd_error_rate"], title="Figure 4(b-d): F1 vs error rate"),
+            render_table(results["fig4ef_swaps"], title="Figure 4(e-f): swap-error recall"),
+        ]
+    )
+
+
+if __name__ == "__main__":
+    print(render())

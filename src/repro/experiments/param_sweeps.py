@@ -1,0 +1,102 @@
+"""Experiment drivers: Tables 8–10 — parameter sensitivity on Hospital.
+
+The paper fixes two of (λ, β, τ) and sweeps the third, observing that
+the F1-score barely moves — BClean needs no parameter tuning.  The same
+flatness is the reproduction target here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.data.benchmark import load_benchmark
+from repro.evaluation.metrics import evaluate_repairs
+from repro.evaluation.reporting import render_table
+
+LAMBDA_VALUES = (0.0, 1.0, 2.0, 5.0, 10.0, 15.0)   # Table 8
+BETA_VALUES = (0.0, 1.0, 2.0, 10.0, 50.0)           # Table 9
+TAU_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)              # Table 10
+
+DEFAULT_ROWS = 1000
+
+
+def _f1_with(config: BCleanConfig, n_rows: int, seed: int) -> float:
+    bench = load_benchmark("hospital", n_rows=n_rows, seed=seed)
+    engine = BClean(config, bench.constraints)
+    engine.fit(bench.dirty)
+    result = engine.clean()
+    q = evaluate_repairs(
+        bench.dirty, result.cleaned, bench.clean, bench.error_cells
+    )
+    return q.f1
+
+
+def sweep_lambda(
+    values: Sequence[float] = LAMBDA_VALUES,
+    n_rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+) -> list[dict]:
+    """Table 8: vary λ with β = 2, τ = 0.5."""
+    return [
+        {
+            "lambda": lam,
+            "f1": round(_f1_with(BCleanConfig.pi(lam=lam, beta=2.0, tau=0.5), n_rows, seed), 5),
+        }
+        for lam in values
+    ]
+
+
+def sweep_beta(
+    values: Sequence[float] = BETA_VALUES,
+    n_rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+) -> list[dict]:
+    """Table 9: vary β with λ = 1, τ = 0.5."""
+    return [
+        {
+            "beta": beta,
+            "f1": round(_f1_with(BCleanConfig.pi(lam=1.0, beta=beta, tau=0.5), n_rows, seed), 5),
+        }
+        for beta in values
+    ]
+
+
+def sweep_tau(
+    values: Sequence[float] = TAU_VALUES,
+    n_rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+) -> list[dict]:
+    """Table 10: vary τ with λ = 1, β = 2."""
+    return [
+        {
+            "tau": tau,
+            "f1": round(_f1_with(BCleanConfig.pi(lam=1.0, beta=2.0, tau=tau), n_rows, seed), 5),
+        }
+        for tau in values
+    ]
+
+
+def run(n_rows: int = DEFAULT_ROWS, seed: int = 0) -> dict[str, list[dict]]:
+    """All three sweeps."""
+    return {
+        "table8_lambda": sweep_lambda(n_rows=n_rows, seed=seed),
+        "table9_beta": sweep_beta(n_rows=n_rows, seed=seed),
+        "table10_tau": sweep_tau(n_rows=n_rows, seed=seed),
+    }
+
+
+def render(results: dict[str, list[dict]] | None = None) -> str:
+    """All three parameter tables."""
+    results = results or run()
+    parts = [
+        render_table(results["table8_lambda"], title="Table 8: varying lambda (Hospital)"),
+        render_table(results["table9_beta"], title="Table 9: varying beta (Hospital)"),
+        render_table(results["table10_tau"], title="Table 10: varying tau (Hospital)"),
+    ]
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(render())

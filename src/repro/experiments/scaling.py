@@ -1,0 +1,104 @@
+"""Scaling experiment: execution time vs dataset size per variant.
+
+Table 7's load-bearing claim is not the absolute seconds but the shape:
+the basic engine's cost explodes with dataset size (10 h 48 m on Soccer,
+≥ 72 h on Facilities) while the partition-inference variants stay within
+minutes ("their execution time is roughly on par with that of PClean").
+This driver sweeps row counts on one dataset and reports seconds per
+variant, so the divergence is measurable at laptop scale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.data.benchmark import load_benchmark
+from repro.evaluation.metrics import evaluate_repairs
+from repro.evaluation.reporting import render_table
+
+#: variant label → config factory (paper Table 7 rows)
+VARIANTS = {
+    "BClean": BCleanConfig.basic,
+    "BCleanPI": BCleanConfig.pi,
+    "BCleanPIP": BCleanConfig.pip,
+}
+
+DEFAULT_ROW_COUNTS = (250, 500, 1000, 2000)
+
+
+def run(
+    dataset: str = "soccer",
+    row_counts: Sequence[int] = DEFAULT_ROW_COUNTS,
+    variants: Sequence[str] = tuple(VARIANTS),
+    seed: int = 0,
+) -> list[dict]:
+    """Time fit+clean for each (variant, n_rows) pair.
+
+    Returns one row per pair with seconds, F1 (quality must not
+    collapse while we speed up), and the per-variant work counters that
+    explain the speedup (cells skipped, candidates evaluated).
+    """
+    unknown = set(variants) - set(VARIANTS)
+    if unknown:
+        raise ValueError(f"unknown variants: {sorted(unknown)}")
+    rows = []
+    for n_rows in row_counts:
+        instance = load_benchmark(dataset, n_rows=n_rows, seed=seed)
+        for name in variants:
+            config = VARIANTS[name]()
+            start = time.perf_counter()
+            engine = BClean(config, instance.constraints)
+            engine.fit(instance.dirty, dag=instance.user_network())
+            result = engine.clean()
+            elapsed = time.perf_counter() - start
+            quality = evaluate_repairs(
+                instance.dirty,
+                result.cleaned,
+                instance.clean,
+                instance.error_cells,
+            )
+            rows.append(
+                {
+                    "variant": name,
+                    "n_rows": n_rows,
+                    "seconds": round(elapsed, 3),
+                    "f1": round(quality.f1, 3),
+                    "cells_skipped": result.stats.cells_skipped_pruning,
+                    "candidates": result.stats.candidates_evaluated,
+                }
+            )
+    return rows
+
+
+def slowdown_factors(rows: list[dict]) -> dict[str, float]:
+    """Per-variant cost growth: seconds(max rows) / seconds(min rows).
+
+    The Table 7 shape check: the basic variant's factor must exceed the
+    optimised variants' (superlinear vs near-linear growth).
+    """
+    by_variant: dict[str, dict[int, float]] = {}
+    for r in rows:
+        by_variant.setdefault(r["variant"], {})[r["n_rows"]] = r["seconds"]
+    out = {}
+    for variant, timings in by_variant.items():
+        lo, hi = min(timings), max(timings)
+        out[variant] = timings[hi] / max(timings[lo], 1e-9)
+    return out
+
+
+def render(rows: list[dict] | None = None) -> str:
+    """Fixed-width report of the sweep plus growth factors."""
+    rows = rows if rows is not None else run()
+    table = render_table(rows, title="Scaling: execution time vs rows")
+    factors = slowdown_factors(rows)
+    lines = [table, "", "growth factor (max rows / min rows):"]
+    for variant, factor in factors.items():
+        lines.append(f"  {variant:<12} {factor:6.1f}x")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render())

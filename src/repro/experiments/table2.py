@@ -1,0 +1,30 @@
+"""Experiment driver: Table 2 — dataset statistics.
+
+Regenerates the paper's dataset summary for our synthetic twins: sizes,
+noise rates, error-type mixes, and the per-system prior-knowledge counts
+(#UCs, #DCs, #lines of PPL, #labels).
+"""
+
+from __future__ import annotations
+
+from repro.data.benchmark import table2_statistics
+from repro.evaluation.reporting import render_table
+
+COLUMNS = [
+    "dataset", "rows", "columns", "cells", "noise_rate", "error_types",
+    "n_ucs", "n_dcs", "ppl_lines", "labels",
+]
+
+
+def run(n_rows: int | None = None) -> list[dict]:
+    """Compute the Table 2 rows (optionally at a uniform scaled size)."""
+    return table2_statistics(n_rows)
+
+
+def render(rows: list[dict] | None = None) -> str:
+    """Text rendering in the paper's column order."""
+    return render_table(rows or run(), COLUMNS, title="Table 2: dataset statistics")
+
+
+if __name__ == "__main__":
+    print(render())

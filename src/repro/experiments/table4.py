@@ -1,0 +1,58 @@
+"""Experiment driver: Table 4 — P/R/F1 of all methods on all datasets.
+
+The headline comparison: four BClean variants against PClean, HoloClean,
+Raha+Baran, and Garf across the six benchmarks.  ``sizes`` lets benches
+run laptop-scale; shape (who wins where) is the reproduction target, not
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.data.benchmark import DATASET_NAMES, load_benchmark
+from repro.evaluation.reporting import pivot_reports, render_table
+from repro.evaluation.runner import MethodReport, run_matrix
+from repro.evaluation.systems import default_systems
+
+#: laptop-scale default sizes (paper sizes in data.benchmark specs)
+DEFAULT_SIZES: dict[str, int] = {
+    "hospital": 1000,
+    "flights": 2376,
+    "soccer": 3000,
+    "beers": 2410,
+    "inpatient": 2000,
+    "facilities": 2000,
+}
+
+
+def run(
+    datasets: Sequence[str] = DATASET_NAMES,
+    sizes: Mapping[str, int] | None = None,
+    systems=None,
+    seed: int = 0,
+) -> list[MethodReport]:
+    """Run the full systems × datasets matrix."""
+    sizes = dict(DEFAULT_SIZES, **(sizes or {}))
+    instances = [
+        load_benchmark(name, n_rows=sizes.get(name), seed=seed)
+        for name in datasets
+    ]
+    return run_matrix(systems or default_systems(), instances)
+
+
+def render(reports: list[MethodReport]) -> str:
+    """Three stacked pivots: precision, recall, F1 (the paper's P/R/F1)."""
+    parts = []
+    for metric in ("precision", "recall", "f1"):
+        parts.append(
+            render_table(
+                pivot_reports(reports, metric),
+                title=f"Table 4 ({metric}): methods x datasets",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,66 @@
+"""Experiment driver: Table 5 — the sampled-Soccer comparison.
+
+The paper subsamples Soccer to 50 k rows because HoloClean runs out of
+memory at 2 M cells, then compares BClean / HoloClean / PClean /
+Raha+Baran on the sample.  Subsampling breaks much of the relational
+context (fewer duplicates per team/player), which is why BClean's
+precision drops there while recall stays high.
+"""
+
+from __future__ import annotations
+
+from repro.data.benchmark import load_benchmark
+from repro.evaluation.reporting import render_table
+from repro.evaluation.runner import MethodReport, run_system
+from repro.evaluation.systems import (
+    BCleanSystem,
+    HoloCleanSystem,
+    PCleanSystem,
+    RahaBaranSystem,
+)
+
+#: paper: 200 k → 50 k (a 1:4 sample); we keep the same ratio at laptop
+#: scale by generating the full table and sampling a quarter of it.
+DEFAULT_FULL_ROWS = 4000
+DEFAULT_SAMPLE_ROWS = 1000
+
+
+def run(
+    full_rows: int = DEFAULT_FULL_ROWS,
+    sample_rows: int = DEFAULT_SAMPLE_ROWS,
+    seed: int = 0,
+) -> list[MethodReport]:
+    """Build the Soccer instance, subsample it, run the four systems."""
+    instance = load_benchmark("soccer", n_rows=full_rows, seed=seed)
+    indices = sorted(
+        __import__("random").Random(seed).sample(range(full_rows), sample_rows)
+    )
+    sampled = instance
+    sampled.dirty = instance.dirty.take(indices)
+    sampled.clean = instance.clean.take(indices)
+    index_map = {old: new for new, old in enumerate(indices)}
+    kept = set(indices)
+    sampled.injection.dirty = sampled.dirty
+    sampled.injection.clean = sampled.clean
+    sampled.injection.errors = [
+        type(e)(index_map[e.row], e.attribute, e.error_type, e.clean_value, e.dirty_value)
+        for e in instance.injection.errors
+        if e.row in kept
+    ]
+    systems = [
+        BCleanSystem.pi(),
+        HoloCleanSystem(),
+        PCleanSystem(),
+        RahaBaranSystem(),
+    ]
+    return [run_system(s, sampled) for s in systems]
+
+
+def render(reports: list[MethodReport]) -> str:
+    """One row per system with P/R/F1."""
+    rows = [r.as_row() for r in reports]
+    return render_table(rows, title="Table 5: sampled Soccer")
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,42 @@
+"""Numerical substrate: covariance, lasso, graphical lasso, info theory."""
+
+from repro.stats.covariance import (
+    assert_positive_definite,
+    correlation_from_covariance,
+    empirical_covariance,
+    nearest_positive_definite,
+    shrunk_covariance,
+)
+from repro.stats.glasso import (
+    GraphicalLassoResult,
+    graphical_lasso,
+    precision_to_partial_correlation,
+)
+from repro.stats.infotheory import (
+    conditional_mutual_information,
+    entropy,
+    g_statistic,
+    joint_entropy,
+    mutual_information,
+    normalized_mutual_information,
+)
+from repro.stats.lasso import lasso_coordinate_descent, soft_threshold
+
+__all__ = [
+    "GraphicalLassoResult",
+    "assert_positive_definite",
+    "conditional_mutual_information",
+    "correlation_from_covariance",
+    "empirical_covariance",
+    "entropy",
+    "g_statistic",
+    "graphical_lasso",
+    "joint_entropy",
+    "lasso_coordinate_descent",
+    "mutual_information",
+    "nearest_positive_definite",
+    "normalized_mutual_information",
+    "precision_to_partial_correlation",
+    "shrunk_covariance",
+    "soft_threshold",
+]

@@ -1,0 +1,84 @@
+"""Covariance estimation helpers.
+
+The FDX-based structure learner treats per-tuple-pair similarity vectors
+as samples of a multivariate Gaussian and needs a well-conditioned
+covariance estimate before running graphical lasso.  We provide the
+empirical estimator plus diagonal (Ledoit–Wolf-style fixed shrinkage)
+regularisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+def empirical_covariance(samples: np.ndarray, assume_centered: bool = False) -> np.ndarray:
+    """Maximum-likelihood covariance of row-wise samples.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(n_samples, n_features)``.
+    assume_centered:
+        If True, the mean is not subtracted.
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"samples must be 2-D, got shape {x.shape}")
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("cannot estimate covariance from zero samples")
+    if not assume_centered:
+        x = x - x.mean(axis=0, keepdims=True)
+    return (x.T @ x) / n
+
+
+def shrunk_covariance(cov: np.ndarray, shrinkage: float = 0.1) -> np.ndarray:
+    """Convex combination of ``cov`` with a scaled identity.
+
+    ``(1 − s)·Σ + s·(tr(Σ)/p)·I`` — guarantees positive-definiteness for
+    any ``s > 0`` when Σ is PSD, which graphical lasso requires.
+    """
+    if not 0.0 <= shrinkage <= 1.0:
+        raise ValueError(f"shrinkage must be in [0, 1], got {shrinkage}")
+    cov = np.asarray(cov, dtype=float)
+    p = cov.shape[0]
+    mu = np.trace(cov) / p
+    return (1.0 - shrinkage) * cov + shrinkage * mu * np.eye(p)
+
+
+def correlation_from_covariance(cov: np.ndarray) -> np.ndarray:
+    """Convert a covariance matrix to a correlation matrix.
+
+    Zero-variance features get correlation 0 with everything (and 1 with
+    themselves) instead of dividing by zero — constant similarity columns
+    are common on clean synthetic data.
+    """
+    cov = np.asarray(cov, dtype=float)
+    std = np.sqrt(np.clip(np.diag(cov), 0.0, None))
+    p = cov.shape[0]
+    corr = np.zeros_like(cov)
+    for i in range(p):
+        for j in range(p):
+            denom = std[i] * std[j]
+            corr[i, j] = cov[i, j] / denom if denom > 0 else (1.0 if i == j else 0.0)
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def nearest_positive_definite(matrix: np.ndarray, epsilon: float = 1e-8) -> np.ndarray:
+    """Project a symmetric matrix onto the PD cone by eigenvalue clipping."""
+    sym = (matrix + matrix.T) / 2.0
+    eigvals, eigvecs = np.linalg.eigh(sym)
+    eigvals = np.clip(eigvals, epsilon, None)
+    return (eigvecs * eigvals) @ eigvecs.T
+
+
+def assert_positive_definite(matrix: np.ndarray, name: str = "matrix") -> None:
+    """Raise :class:`ConvergenceError` if ``matrix`` is not PD."""
+    try:
+        np.linalg.cholesky(matrix)
+    except np.linalg.LinAlgError as exc:
+        raise ConvergenceError(f"{name} is not positive definite") from exc

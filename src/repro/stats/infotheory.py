@@ -1,0 +1,84 @@
+"""Discrete information-theoretic quantities.
+
+Structure-learning scores (BIC / mutual-information-based Chow–Liu) and
+the PC algorithm's conditional-independence tests operate on empirical
+entropies of discrete columns.  All logarithms are natural unless noted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Sequence
+
+
+def entropy(values: Sequence[Hashable]) -> float:
+    """Empirical Shannon entropy H(X) in nats."""
+    n = len(values)
+    if n == 0:
+        return 0.0
+    counts = Counter(values)
+    h = 0.0
+    for c in counts.values():
+        p = c / n
+        h -= p * math.log(p)
+    return h
+
+
+def joint_entropy(xs: Sequence[Hashable], ys: Sequence[Hashable]) -> float:
+    """Empirical joint entropy H(X, Y)."""
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    return entropy(list(zip(xs, ys)))
+
+
+def mutual_information(xs: Sequence[Hashable], ys: Sequence[Hashable]) -> float:
+    """Empirical mutual information I(X; Y) ≥ 0 (clamped at 0)."""
+    mi = entropy(xs) + entropy(ys) - joint_entropy(xs, ys)
+    return max(0.0, mi)
+
+
+def conditional_mutual_information(
+    xs: Sequence[Hashable],
+    ys: Sequence[Hashable],
+    zs: Sequence[Hashable],
+) -> float:
+    """Empirical conditional mutual information I(X; Y | Z) ≥ 0."""
+    if not (len(xs) == len(ys) == len(zs)):
+        raise ValueError("sequences must have equal length")
+    xz = list(zip(xs, zs))
+    yz = list(zip(ys, zs))
+    xyz = list(zip(xs, ys, zs))
+    cmi = entropy(xz) + entropy(yz) - entropy(xyz) - entropy(zs)
+    return max(0.0, cmi)
+
+
+def g_statistic(
+    xs: Sequence[Hashable],
+    ys: Sequence[Hashable],
+    zs: Sequence[Hashable] | None = None,
+) -> tuple[float, int]:
+    """G-test statistic (2·N·I) and degrees of freedom for a CI test.
+
+    Used by the PC-algorithm baseline: under independence the statistic
+    is asymptotically χ² with ``(|X|−1)(|Y|−1)·|Z|`` degrees of freedom.
+    """
+    n = len(xs)
+    if zs is None:
+        mi = mutual_information(xs, ys)
+        dof = max(1, (len(set(xs)) - 1) * (len(set(ys)) - 1))
+    else:
+        mi = conditional_mutual_information(xs, ys, zs)
+        dof = max(1, (len(set(xs)) - 1) * (len(set(ys)) - 1) * max(1, len(set(zs))))
+    return 2.0 * n * mi, dof
+
+
+def normalized_mutual_information(
+    xs: Sequence[Hashable], ys: Sequence[Hashable]
+) -> float:
+    """I(X;Y) / max(H(X), H(Y)) in [0, 1]; 0 when either is constant."""
+    hx, hy = entropy(xs), entropy(ys)
+    denom = max(hx, hy)
+    if denom == 0.0:
+        return 0.0
+    return min(1.0, mutual_information(xs, ys) / denom)

@@ -1,0 +1,91 @@
+"""Lasso regression by cyclic coordinate descent.
+
+This is the inner solver of graphical lasso: each outer sweep solves a
+lasso problem over one row/column block of the covariance matrix.  We
+implement the standard covariance-form coordinate descent (Friedman,
+Hastie & Tibshirani 2008, eq. 2.4-2.5):
+
+minimise over β:  ½ βᵀ V β − sᵀ β + ρ ‖β‖₁
+
+where ``V`` is PSD and ``s`` is a vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+def soft_threshold(x: float, threshold: float) -> float:
+    """The scalar soft-thresholding operator ``S(x, t) = sign(x)·max(|x|−t, 0)``."""
+    if x > threshold:
+        return x - threshold
+    if x < -threshold:
+        return x + threshold
+    return 0.0
+
+
+def lasso_coordinate_descent(
+    gram: np.ndarray,
+    linear: np.ndarray,
+    alpha: float,
+    max_iter: int = 1000,
+    tol: float = 1e-6,
+    warm_start: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve ``min ½βᵀGβ − lᵀβ + α‖β‖₁`` by cyclic coordinate descent.
+
+    Parameters
+    ----------
+    gram:
+        PSD matrix ``G`` of shape (p, p).
+    linear:
+        Vector ``l`` of shape (p,).
+    alpha:
+        L1 penalty ``α ≥ 0``.
+    max_iter:
+        Maximum number of full sweeps.
+    tol:
+        Convergence threshold on the max coordinate update.
+    warm_start:
+        Optional initial β (copied).
+
+    Raises
+    ------
+    ConvergenceError
+        If the update norm is still above ``tol`` after ``max_iter``
+        sweeps.
+    """
+    gram = np.asarray(gram, dtype=float)
+    linear = np.asarray(linear, dtype=float)
+    p = gram.shape[0]
+    if gram.shape != (p, p):
+        raise ValueError(f"gram must be square, got {gram.shape}")
+    if linear.shape != (p,):
+        raise ValueError(f"linear must have shape ({p},), got {linear.shape}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+
+    beta = (
+        np.zeros(p) if warm_start is None else np.array(warm_start, dtype=float)
+    )
+    diag = np.diag(gram).copy()
+    # Coordinates with zero curvature cannot move; give them harmless 1s.
+    diag[diag <= 0] = 1.0
+
+    for _ in range(max_iter):
+        max_delta = 0.0
+        for j in range(p):
+            residual = linear[j] - gram[j] @ beta + gram[j, j] * beta[j]
+            new = soft_threshold(residual, alpha) / diag[j]
+            delta = abs(new - beta[j])
+            if delta > max_delta:
+                max_delta = delta
+            beta[j] = new
+        if max_delta < tol:
+            return beta
+    raise ConvergenceError(
+        f"lasso coordinate descent did not converge in {max_iter} sweeps "
+        f"(last update {max_delta:.3e} > tol {tol:.1e})"
+    )

@@ -1,0 +1,30 @@
+"""Text substrate: edit distance, softened-FD similarity, pattern masks."""
+
+from repro.text.levenshtein import (
+    damerau_levenshtein,
+    levenshtein,
+    levenshtein_within,
+    normalized_edit_similarity,
+)
+from repro.text.patterns import PatternProfile, value_mask
+from repro.text.similarity import (
+    cell_similarity,
+    numeric_similarity,
+    strict_equality_similarity,
+)
+from repro.text.tokenize import NgramLanguageModel, char_ngrams, word_tokens
+
+__all__ = [
+    "NgramLanguageModel",
+    "PatternProfile",
+    "cell_similarity",
+    "char_ngrams",
+    "damerau_levenshtein",
+    "levenshtein",
+    "levenshtein_within",
+    "normalized_edit_similarity",
+    "numeric_similarity",
+    "strict_equality_similarity",
+    "value_mask",
+    "word_tokens",
+]

@@ -1,0 +1,125 @@
+"""Unit-cost edit distance (Levenshtein) and derived similarities.
+
+The paper's softened functional dependencies (§4) use unit-cost edit
+distance normalised by string lengths.  We implement the classic
+two-row dynamic program plus a banded variant with early exit for
+bounded-distance queries (used by typo-correction baselines).
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Unit-cost edit distance between strings ``a`` and ``b``.
+
+    >>> levenshtein("kitten", "sitting")
+    3
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner loop for cache friendliness.
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost, # substitution
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_within(a: str, b: str, max_distance: int) -> int | None:
+    """Edit distance if it is ≤ ``max_distance``, else ``None``.
+
+    Uses the standard band of width ``2·max_distance + 1`` around the
+    diagonal, giving O(max_distance · min(len)) time.  Useful when a
+    caller only needs to know whether two values are within a small edit
+    radius (e.g. typo candidates).
+    """
+    if max_distance < 0:
+        return None
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if abs(la - lb) > max_distance:
+        return None
+    if la < lb:
+        a, b, la, lb = b, a, lb, la
+    big = max_distance + 1
+    previous = [j if j <= max_distance else big for j in range(lb + 1)]
+    for i in range(1, la + 1):
+        lo = max(1, i - max_distance)
+        hi = min(lb, i + max_distance)
+        current = [big] * (lb + 1)
+        if lo == 1:
+            current[0] = i if i <= max_distance else big
+        ca = a[i - 1]
+        row_min = current[0] if lo == 1 else big
+        for j in range(lo, hi + 1):
+            cost = 0 if ca == b[j - 1] else 1
+            val = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            current[j] = val if val <= max_distance else big
+            if current[j] < row_min:
+                row_min = current[j]
+        if row_min > max_distance:
+            return None
+        previous = current
+    return previous[lb] if previous[lb] <= max_distance else None
+
+
+def normalized_edit_similarity(a: str, b: str) -> float:
+    """The paper's string similarity (§4):
+
+    ``Sim(x, y) = 1 − 2·ED(x, y) / (len(x) + len(y))``
+
+    clamped to ``[0, 1]``.  Two empty strings are maximally similar.
+    """
+    if not a and not b:
+        return 1.0
+    sim = 1.0 - 2.0 * levenshtein(a, b) / (len(a) + len(b))
+    if sim < 0.0:
+        return 0.0
+    if sim > 1.0:
+        return 1.0
+    return sim
+
+
+def damerau_levenshtein(a: str, b: str) -> int:
+    """Edit distance with adjacent transpositions (restricted Damerau).
+
+    Used by the typo error-model in the PClean baseline, where swapped
+    adjacent characters are a common keyboard error.
+    """
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if la == 0:
+        return lb
+    if lb == 0:
+        return la
+    prev2 = [0] * (lb + 1)
+    prev1 = list(range(lb + 1))
+    for i in range(1, la + 1):
+        current = [i] + [0] * lb
+        for j in range(1, lb + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            current[j] = min(prev1[j] + 1, current[j - 1] + 1, prev1[j - 1] + cost)
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                current[j] = min(current[j], prev2[j - 2] + 1)
+        prev2, prev1 = prev1, current
+    return prev1[lb]

@@ -1,0 +1,86 @@
+"""Value-pattern abstraction (character-class masks).
+
+Several components need a cheap notion of a value's *format*:
+
+- the Raha-style detector flags cells whose mask is rare in the column,
+- the Garf baseline mines format rules,
+- the synthetic dataset generators verify that injected typos change the
+  surface form.
+
+A mask maps every character to a class symbol: ``9`` for digits, ``A``
+for uppercase, ``a`` for lowercase, ``s`` for whitespace, and the
+character itself for punctuation.  ``compress=True`` collapses runs
+(``"35150"`` → ``"9"``), which generalises better for variable-length
+fields.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.dataset.table import Cell, is_null
+
+
+def value_mask(value: Cell, compress: bool = False) -> str:
+    """The character-class mask of ``value`` (empty string for NULL).
+
+    >>> value_mask("35150")
+    '99999'
+    >>> value_mask("Johnny.R", compress=True)
+    'Aa.A'
+    """
+    if is_null(value):
+        return ""
+    out: list[str] = []
+    for ch in str(value):
+        if ch.isdigit():
+            sym = "9"
+        elif ch.isalpha():
+            sym = "A" if ch.isupper() else "a"
+        elif ch.isspace():
+            sym = "s"
+        else:
+            sym = ch
+        if compress and out and out[-1] == sym:
+            continue
+        out.append(sym)
+    return "".join(out)
+
+
+class PatternProfile:
+    """Distribution of masks observed in one column.
+
+    ``rarity(v)`` is ``1 − freq(mask(v)) / n`` — close to 1 for values
+    whose format is unusual in the column, close to 0 for dominant
+    formats.  Used as an unsupervised error signal.
+    """
+
+    def __init__(self, values: Iterable[Cell], compress: bool = True):
+        self.compress = compress
+        self.mask_counts: Counter[str] = Counter()
+        self.n = 0
+        for v in values:
+            self.mask_counts[value_mask(v, compress)] += 1
+            self.n += 1
+
+    def frequency(self, value: Cell) -> int:
+        """How many column values share ``value``'s mask."""
+        return self.mask_counts.get(value_mask(value, self.compress), 0)
+
+    def rarity(self, value: Cell) -> float:
+        """1 − relative frequency of the value's mask (0 when column empty)."""
+        if self.n == 0:
+            return 0.0
+        return 1.0 - self.frequency(value) / self.n
+
+    def dominant_mask(self) -> str | None:
+        """The most common mask, or None for an empty profile."""
+        if not self.mask_counts:
+            return None
+        return self.mask_counts.most_common(1)[0][0]
+
+    def conforms(self, value: Cell) -> bool:
+        """Whether ``value`` has the dominant mask of the column."""
+        dom = self.dominant_mask()
+        return dom is not None and value_mask(value, self.compress) == dom

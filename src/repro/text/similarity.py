@@ -1,0 +1,77 @@
+"""The softened-FD similarity of BClean (§4).
+
+Strict FDs check value *equality*; on dirty data that is too brittle.
+BClean softens the check with a per-type similarity in ``[0, 1]`` that is
+then treated as a probability-like observation by the FDX profiler:
+
+- numeric values: ``1 − |x − y| / ((|x| + |y|) / 2)`` (relative difference,
+  clamped),
+- strings: length-normalised unit-cost edit distance
+  (:func:`~repro.text.levenshtein.normalized_edit_similarity`),
+- NULLs: similarity 0 against anything, 1 against another NULL.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.schema import AttrType
+from repro.dataset.table import Cell, is_null
+from repro.text.levenshtein import normalized_edit_similarity
+
+
+def numeric_similarity(x: float, y: float) -> float:
+    """Relative-difference similarity for numeric values, in [0, 1].
+
+    The paper defines the *dissimilarity* ``|x−y| / ((|x|+|y|)/2)``; we
+    return ``1 −`` that quantity, clamped.  Two zeros are identical.
+    """
+    if x == y:
+        return 1.0
+    denom = (abs(x) + abs(y)) / 2.0
+    if denom == 0.0:
+        return 0.0
+    sim = 1.0 - abs(x - y) / denom
+    if sim < 0.0:
+        return 0.0
+    if sim > 1.0:
+        return 1.0
+    return sim
+
+
+def cell_similarity(x: Cell, y: Cell, attr_type: AttrType = AttrType.TEXT) -> float:
+    """Similarity between two cells of one attribute, dispatching on type.
+
+    Numeric attributes holding unparseable (dirty) strings fall back to
+    the string similarity, so the profiler tolerates typos in numeric
+    columns instead of crashing — error tolerance is the whole point of
+    the softening.
+    """
+    x_null, y_null = is_null(x), is_null(y)
+    if x_null and y_null:
+        return 1.0
+    if x_null or y_null:
+        return 0.0
+    if attr_type.is_numeric:
+        fx, fy = _as_float(x), _as_float(y)
+        if fx is not None and fy is not None:
+            return numeric_similarity(fx, fy)
+    return normalized_edit_similarity(str(x), str(y))
+
+
+def _as_float(v: Cell) -> float | None:
+    try:
+        return float(v)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def strict_equality_similarity(x: Cell, y: Cell) -> float:
+    """The *unsoftened* FD check: 1 iff equal, else 0.
+
+    Kept as the ablation comparator for the similarity softening
+    (DESIGN.md §4: "similarity softening vs strict-equality profiling").
+    """
+    if is_null(x) and is_null(y):
+        return 1.0
+    if is_null(x) or is_null(y):
+        return 0.0
+    return 1.0 if str(x) == str(y) else 0.0

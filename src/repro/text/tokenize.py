@@ -1,0 +1,68 @@
+"""Small tokenisers shared by detectors and rule miners."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+from repro.dataset.table import Cell, is_null
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+def word_tokens(value: Cell) -> list[str]:
+    """Lowercased alphanumeric word tokens of a cell ('' → [])."""
+    if is_null(value):
+        return []
+    return [m.group(0).lower() for m in _WORD_RE.finditer(str(value))]
+
+
+def char_ngrams(value: Cell, n: int = 3, pad: bool = True) -> list[str]:
+    """Character n-grams of a cell; padded with ``#`` so short strings
+    still yield at least one gram.
+
+    >>> char_ngrams("ab", n=3)
+    ['##a', '#ab', 'ab#', 'b##']
+    """
+    if is_null(value):
+        return []
+    s = str(value)
+    if pad:
+        s = "#" * (n - 1) + s + "#" * (n - 1)
+    if len(s) < n:
+        return [s]
+    return [s[i : i + n] for i in range(len(s) - n + 1)]
+
+
+class NgramLanguageModel:
+    """An add-one-smoothed character n-gram frequency model for a column.
+
+    ``score(v)`` is the mean log-probability of the value's n-grams under
+    the column distribution — low scores indicate out-of-distribution
+    (likely erroneous) surface forms.  This is the "value's-shape" signal
+    used by the Raha-style detector ensemble.
+    """
+
+    def __init__(self, values: Iterable[Cell], n: int = 3):
+        self.n = n
+        self.counts: Counter[str] = Counter()
+        self.total = 0
+        for v in values:
+            for g in char_ngrams(v, n):
+                self.counts[g] += 1
+                self.total += 1
+        self.vocab = max(1, len(self.counts))
+
+    def gram_logprob(self, gram: str) -> float:
+        """Add-one smoothed log probability of a single n-gram."""
+        import math
+
+        return math.log((self.counts.get(gram, 0) + 1) / (self.total + self.vocab))
+
+    def score(self, value: Cell) -> float:
+        """Mean n-gram log-probability of ``value`` (0.0 for NULL)."""
+        grams = char_ngrams(value, self.n)
+        if not grams:
+            return 0.0
+        return sum(self.gram_logprob(g) for g in grams) / len(grams)

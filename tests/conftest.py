@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def customer_schema() -> Schema:
+    """A small schema modelled on the paper's Table 1."""
+    return Schema.of(
+        "Name:text",
+        "City:categorical",
+        "State:categorical",
+        "ZipCode:categorical",
+    )
+
+
+@pytest.fixture
+def customer_table(customer_schema: Schema) -> Table:
+    """A tiny, clean customer table with a ZipCode → City/State FD."""
+    rows = [
+        ["Johnny.R", "sylacauga", "CA", "35150"],
+        ["Johnny.R", "sylacauga", "CA", "35150"],
+        ["Johnny.R", "sylacauga", "CA", "35150"],
+        ["Henry.P", "centre", "KT", "35960"],
+        ["Henry.P", "centre", "KT", "35960"],
+        ["Henry.P", "centre", "KT", "35960"],
+        ["Mary.S", "newyork", "NY", "10001"],
+        ["Mary.S", "newyork", "NY", "10001"],
+    ]
+    return Table.from_rows(customer_schema, rows)
+
+
+@pytest.fixture
+def dirty_customer_table(customer_table: Table) -> Table:
+    """The customer table with three hand-planted errors."""
+    dirty = customer_table.copy()
+    dirty.set_cell(1, "State", "KT")       # inconsistency (zip says CA)
+    dirty.set_cell(3, "City", "cenre")     # typo
+    dirty.set_cell(6, "ZipCode", None)     # missing value
+    return dirty
+
+
+@pytest.fixture
+def fd_table() -> Table:
+    """A 200-row table with an exact FD key → value (+ a noise column)."""
+    import random
+
+    rng = random.Random(42)
+    schema = Schema.of("key:categorical", "value:categorical", "noise:text")
+    mapping = {f"k{i}": f"v{i}" for i in range(10)}
+    rows = []
+    for _ in range(200):
+        k = rng.choice(list(mapping))
+        rows.append([k, mapping[k], f"n{rng.randrange(1000)}"])
+    return Table.from_rows(schema, rows)

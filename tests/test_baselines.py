@@ -1,0 +1,241 @@
+"""Tests for the four baseline cleaning systems."""
+
+import pytest
+
+from repro.baselines.garf import GarfCleaner, garf_clean
+from repro.baselines.holoclean import HoloCleanCleaner, _as_fd, holoclean_clean
+from repro.baselines.pclean import PCleanCleaner, pclean_clean
+from repro.baselines.pclean_model import PCleanAttribute, PCleanModel
+from repro.baselines.raha_baran import (
+    BaranCorrector,
+    LabeledTuples,
+    RahaBaranCleaner,
+    RahaDetector,
+)
+from repro.constraints.dc import DenialConstraint, Pred
+from repro.data.benchmark import load_benchmark
+from repro.dataset.diff import cells_equal
+from repro.errors import BaselineError
+
+
+@pytest.fixture(scope="module")
+def hospital_small():
+    return load_benchmark("hospital", n_rows=300, seed=0)
+
+
+class TestPCleanModel:
+    def test_invalid_distribution(self):
+        with pytest.raises(BaselineError):
+            PCleanAttribute("a", dist="gaussian")
+
+    def test_invalid_typo_prob(self):
+        with pytest.raises(BaselineError):
+            PCleanAttribute("a", typo_prob=1.5)
+
+    def test_render_ppl(self):
+        model = PCleanModel(
+            "demo",
+            [
+                PCleanAttribute("x", "string", ()),
+                PCleanAttribute("y", "categorical", ("x",)),
+            ],
+            classes=[("x", "y")],
+        )
+        text = model.render_ppl()
+        assert "x ~ string_prior()" in text
+        assert "given (x)" in text
+        assert model.n_ppl_lines == len(text.splitlines())
+
+    def test_unknown_attribute(self):
+        model = PCleanModel("demo", [PCleanAttribute("x")])
+        with pytest.raises(BaselineError):
+            model.attribute("nope")
+
+
+class TestPClean:
+    def test_clean_before_fit(self):
+        model = PCleanModel("demo", [PCleanAttribute("Name")])
+        with pytest.raises(BaselineError):
+            PCleanCleaner(model).clean()
+
+    def test_model_table_mismatch(self, customer_table):
+        model = PCleanModel("demo", [PCleanAttribute("nope")])
+        with pytest.raises(BaselineError):
+            PCleanCleaner(model).fit(customer_table)
+
+    def test_repairs_typo_with_parent_model(self, dirty_customer_table):
+        model = PCleanModel(
+            "customer",
+            [
+                PCleanAttribute("Name", "categorical"),
+                PCleanAttribute("City", "string", ("ZipCode",), 0.1, 0.05),
+                PCleanAttribute("State", "categorical", ("ZipCode",), 0.1, 0.05),
+                PCleanAttribute("ZipCode", "number", (), 0.05, 0.05),
+            ],
+        )
+        cleaned = pclean_clean(dirty_customer_table, model)
+        assert cleaned.cell(3, "City") == "centre"   # typo fixed
+        # Inconsistency errors (valid-but-wrong values) are PClean's weak
+        # spot (Table 6): the categorical channel gives the observed valid
+        # value most of the mass, so 'KT' may legitimately survive here.
+        assert cleaned.cell(1, "State") in ("CA", "KT")
+
+    def test_quality_tracks_program_quality(self, hospital_small):
+        good = hospital_small.pclean_program()
+        crude = PCleanModel(
+            "hospital",
+            [PCleanAttribute(a, "categorical", (), 0.3, 0.1) for a in good.names],
+        )
+        from repro.evaluation.metrics import evaluate_repairs
+
+        good_out = PCleanCleaner(good).fit(hospital_small.dirty).clean()
+        crude_out = PCleanCleaner(crude).fit(hospital_small.dirty).clean()
+        q_good = evaluate_repairs(
+            hospital_small.dirty, good_out, hospital_small.clean,
+            hospital_small.error_cells,
+        )
+        q_crude = evaluate_repairs(
+            hospital_small.dirty, crude_out, hospital_small.clean,
+            hospital_small.error_cells,
+        )
+        assert q_good.f1 > q_crude.f1
+
+
+class TestHoloClean:
+    def test_needs_constraints(self):
+        with pytest.raises(BaselineError):
+            HoloCleanCleaner([])
+
+    def test_as_fd_recognises_encoding(self):
+        dc = DenialConstraint.from_fd("a", "b")
+        assert _as_fd(dc) == ("a", "b")
+        single = DenialConstraint((Pred(Pred.t1("a"), "=", Pred.const("x")),))
+        assert _as_fd(single) is None
+
+    def test_clean_before_fit(self, hospital_small):
+        cleaner = HoloCleanCleaner(hospital_small.denial_constraints())
+        with pytest.raises(BaselineError):
+            cleaner.clean()
+
+    def test_only_detected_cells_repaired(self, hospital_small):
+        cleaner = HoloCleanCleaner(hospital_small.denial_constraints(), seed=0)
+        cleaner.fit(hospital_small.dirty)
+        cleaned = cleaner.clean()
+        for j, attr in enumerate(hospital_small.dirty.schema.names):
+            for i in range(hospital_small.dirty.n_rows):
+                if not cells_equal(
+                    cleaned.cell(i, attr), hospital_small.dirty.cell(i, attr)
+                ):
+                    assert (i, attr) in cleaner.noisy_cells
+
+    def test_learned_weights_finite(self, hospital_small):
+        import numpy as np
+
+        cleaner = HoloCleanCleaner(hospital_small.denial_constraints(), seed=0)
+        cleaner.fit(hospital_small.dirty)
+        assert np.all(np.isfinite(cleaner.weights))
+
+    def test_repairs_fd_violations(self, hospital_small):
+        from repro.evaluation.metrics import evaluate_repairs
+
+        cleaned = holoclean_clean(
+            hospital_small.dirty, hospital_small.denial_constraints()
+        )
+        q = evaluate_repairs(
+            hospital_small.dirty, cleaned, hospital_small.clean,
+            hospital_small.error_cells,
+        )
+        # HoloClean's signature: meaningful precision, partial recall.
+        assert q.precision > 0.3
+        assert 0.0 < q.recall < 1.0
+
+
+class TestRahaBaran:
+    def test_alignment_checked(self, hospital_small):
+        cleaner = RahaBaranCleaner()
+        with pytest.raises(BaselineError):
+            cleaner.fit(hospital_small.dirty, hospital_small.clean.head(3))
+
+    def test_labeled_tuples_sampling(self, hospital_small):
+        labeled = LabeledTuples.sample(
+            hospital_small.dirty, hospital_small.clean, seed=1
+        )
+        assert len(labeled.detection_rows) == 20
+        assert len(labeled.correction_rows) == 20
+        assert not set(labeled.detection_rows) & set(labeled.correction_rows)
+
+    def test_detector_flags_errors(self, hospital_small):
+        labeled = LabeledTuples.sample(
+            hospital_small.dirty, hospital_small.clean, seed=1
+        )
+        detector = RahaDetector(hospital_small.dirty, labeled)
+        flagged = detector.detect()
+        hits = len(flagged & hospital_small.error_cells)
+        assert hits > 0
+
+    def test_corrector_weights_positive(self, hospital_small):
+        labeled = LabeledTuples.sample(
+            hospital_small.dirty, hospital_small.clean, seed=1
+        )
+        corrector = BaranCorrector(hospital_small.dirty, labeled)
+        assert all(w > 0 for w in corrector.weights.values())
+
+    def test_end_to_end_improves_data(self, hospital_small):
+        from repro.evaluation.metrics import evaluate_repairs
+
+        cleaner = RahaBaranCleaner(seed=0)
+        cleaner.fit(hospital_small.dirty, hospital_small.clean)
+        cleaned = cleaner.clean()
+        q = evaluate_repairs(
+            hospital_small.dirty, cleaned, hospital_small.clean,
+            hospital_small.error_cells,
+        )
+        assert q.f1 > 0.1
+
+
+class TestGarf:
+    def test_validation(self):
+        with pytest.raises(BaselineError):
+            GarfCleaner(min_support=0)
+        with pytest.raises(BaselineError):
+            GarfCleaner(min_confidence=0.0)
+
+    def test_mines_planted_rule(self, fd_table):
+        cleaner = GarfCleaner(min_support=3, min_confidence=0.9)
+        rules = cleaner.mine_rules(fd_table)
+        assert any(
+            r.lhs_attr == "key" and r.rhs_attr == "value" for r in rules
+        )
+
+    def test_repairs_rule_violation(self, fd_table):
+        dirty = fd_table.copy()
+        truth = dirty.cell(0, "value")
+        dirty.set_cell(0, "value", "WRONG")
+        cleaned = garf_clean(dirty)
+        assert cleaned.cell(0, "value") == truth
+
+    def test_no_rules_no_changes(self):
+        import random
+
+        from repro.dataset.schema import Schema
+        from repro.dataset.table import Table
+
+        rng = random.Random(1)
+        # fully random table: no confident rules should fire
+        t = Table.from_rows(
+            Schema.of("a", "b"),
+            [[f"a{rng.randrange(100)}", f"b{rng.randrange(100)}"] for _ in range(100)],
+        )
+        cleaned = GarfCleaner().clean(t)
+        assert cleaned == t
+
+    def test_high_precision_low_recall_signature(self, hospital_small):
+        from repro.evaluation.metrics import evaluate_repairs
+
+        cleaned = garf_clean(hospital_small.dirty)
+        q = evaluate_repairs(
+            hospital_small.dirty, cleaned, hospital_small.clean,
+            hospital_small.error_cells,
+        )
+        assert q.precision > 0.5
+        assert q.recall < 0.9

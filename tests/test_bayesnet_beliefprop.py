@@ -1,0 +1,229 @@
+"""Tests for repro.bayesnet.beliefprop (sum-product message passing).
+
+The load-bearing check is exactness on tree factor graphs: for random
+tree-structured networks fitted from random tables, BP marginals must
+agree with variable elimination to floating-point accuracy.  Loopy
+graphs are held to the weaker (but still falsifiable) standard of
+convergence plus closeness to the exact posterior.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet.beliefprop import (
+    BeliefPropagation,
+    joint_from_marginals,
+)
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.inference import VariableElimination
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import InferenceError
+
+
+@pytest.fixture
+def sprinkler_bn() -> DiscreteBayesNet:
+    schema = Schema.of("rain:categorical", "sprinkler:categorical", "wet:categorical")
+    rows = []
+    rows += [["yes", "off", "yes"]] * 30
+    rows += [["no", "on", "yes"]] * 25
+    rows += [["no", "off", "no"]] * 40
+    rows += [["yes", "on", "yes"]] * 5
+    table = Table.from_rows(schema, rows)
+    dag = DAG(schema.names)
+    dag.add_edge("rain", "wet")
+    dag.add_edge("sprinkler", "wet")
+    return DiscreteBayesNet.fit(table, dag, alpha=0.1)
+
+
+@pytest.fixture
+def diamond_bn() -> DiscreteBayesNet:
+    """a → b, a → c, b → d, c → d: the smallest loopy factor graph."""
+    schema = Schema.of(
+        "a:categorical", "b:categorical", "c:categorical", "d:categorical"
+    )
+    rng = random.Random(7)
+    rows = []
+    for _ in range(300):
+        a = rng.choice(["x", "y"])
+        b = a if rng.random() < 0.8 else ("x" if a == "y" else "y")
+        c = a if rng.random() < 0.7 else ("x" if a == "y" else "y")
+        d = b if rng.random() < 0.6 else c
+        rows.append([a, b, c, d])
+    table = Table.from_rows(schema, rows)
+    dag = DAG(schema.names)
+    dag.add_edge("a", "b")
+    dag.add_edge("a", "c")
+    dag.add_edge("b", "d")
+    dag.add_edge("c", "d")
+    return DiscreteBayesNet.fit(table, dag, alpha=0.5)
+
+
+def assert_close_distributions(p, q, tol=1e-9):
+    assert set(p) == set(q)
+    for value in p:
+        assert p[value] == pytest.approx(q[value], abs=tol)
+
+
+class TestTreeExactness:
+    def test_prior_marginals_match_ve(self, sprinkler_bn):
+        bp = BeliefPropagation(sprinkler_bn)
+        ve = VariableElimination(sprinkler_bn)
+        result = bp.run()
+        assert result.is_tree
+        assert result.converged
+        for var in ("rain", "sprinkler", "wet"):
+            assert_close_distributions(result.marginal(var), ve.query(var))
+
+    def test_posterior_with_evidence_matches_ve(self, sprinkler_bn):
+        bp = BeliefPropagation(sprinkler_bn)
+        ve = VariableElimination(sprinkler_bn)
+        assert_close_distributions(
+            bp.query("rain", {"wet": "yes"}), ve.query("rain", {"wet": "yes"})
+        )
+        assert_close_distributions(
+            bp.query("sprinkler", {"wet": "no", "rain": "no"}),
+            ve.query("sprinkler", {"wet": "no", "rain": "no"}),
+        )
+
+    def test_explaining_away(self, sprinkler_bn):
+        """Observing rain should lower the sprinkler posterior vs wet-only."""
+        bp = BeliefPropagation(sprinkler_bn)
+        wet_only = bp.query("sprinkler", {"wet": "yes"})
+        wet_and_rain = bp.query("sprinkler", {"wet": "yes", "rain": "yes"})
+        assert wet_and_rain["on"] < wet_only["on"]
+
+    def test_map_value_matches_ve(self, sprinkler_bn):
+        bp = BeliefPropagation(sprinkler_bn)
+        ve = VariableElimination(sprinkler_bn)
+        assert bp.map_value("rain", {"wet": "yes"}) == ve.map_value(
+            "rain", {"wet": "yes"}
+        )
+
+    def test_unseen_evidence_value_falls_back_to_marginal(self, sprinkler_bn):
+        """Evidence outside the training domain must not crash (the CPT
+        marginal-fallback semantics carry through the factor build)."""
+        posterior = BeliefPropagation(sprinkler_bn).query(
+            "rain", {"wet": "NEVER-SEEN"}
+        )
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+
+def random_tree_bn(seed: int, n_nodes: int, n_rows: int) -> DiscreteBayesNet:
+    """A random tree-structured BN fitted from random categorical data."""
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(n_nodes)]
+    schema = Schema.of(*[f"{n}:categorical" for n in names])
+    rows = [
+        [rng.choice(["a", "b", "c"]) for _ in names] for _ in range(n_rows)
+    ]
+    table = Table.from_rows(schema, rows)
+    dag = DAG(names)
+    for i in range(1, n_nodes):
+        parent = names[rng.randrange(i)]
+        dag.add_edge(parent, names[i])
+    return DiscreteBayesNet.fit(table, dag, alpha=0.5)
+
+
+class TestRandomTreeAgreement:
+    @given(
+        seed=st.integers(0, 10_000),
+        n_nodes=st.integers(2, 6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bp_equals_ve_on_random_trees(self, seed, n_nodes):
+        bn = random_tree_bn(seed, n_nodes, n_rows=60)
+        bp = BeliefPropagation(bn)
+        ve = VariableElimination(bn)
+        rng = random.Random(seed + 1)
+        target = bn.nodes[rng.randrange(n_nodes)]
+        evidence = {}
+        for other in bn.nodes:
+            if other != target and rng.random() < 0.5:
+                evidence[other] = rng.choice(["a", "b", "c"])
+        result = bp.run(evidence or None)
+        assert result.is_tree
+        assert_close_distributions(
+            result.marginal(target), ve.query(target, evidence or None), tol=1e-7
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_marginals_are_distributions(self, seed):
+        bn = random_tree_bn(seed, 5, n_rows=40)
+        result = BeliefPropagation(bn).run()
+        for var, marginal in result.marginals.items():
+            assert sum(marginal.values()) == pytest.approx(1.0)
+            assert all(p >= 0 for p in marginal.values())
+
+
+class TestLoopyGraphs:
+    def test_diamond_is_not_tree(self, diamond_bn):
+        result = BeliefPropagation(diamond_bn, damping=0.3).run()
+        assert not result.is_tree
+
+    def test_loopy_bp_converges_near_exact(self, diamond_bn):
+        bp = BeliefPropagation(diamond_bn, max_iters=200, damping=0.3)
+        ve = VariableElimination(diamond_bn)
+        result = bp.run({"d": "x"})
+        assert result.converged
+        exact = ve.query("a", {"d": "x"})
+        approx = result.marginal("a")
+        for value in exact:
+            assert approx[value] == pytest.approx(exact[value], abs=0.05)
+
+    def test_iteration_cap_reported(self, diamond_bn):
+        result = BeliefPropagation(diamond_bn, max_iters=1).run()
+        assert result.iterations == 1
+
+
+class TestValidation:
+    def test_rejects_unknown_evidence_variable(self, sprinkler_bn):
+        with pytest.raises(InferenceError, match="unknown"):
+            BeliefPropagation(sprinkler_bn).run({"nope": "x"})
+
+    def test_rejects_fully_observed_query(self, sprinkler_bn):
+        with pytest.raises(InferenceError, match="observed"):
+            BeliefPropagation(sprinkler_bn).run(
+                {"rain": "yes", "sprinkler": "on", "wet": "yes"}
+            )
+
+    def test_rejects_bad_max_iters(self, sprinkler_bn):
+        with pytest.raises(InferenceError):
+            BeliefPropagation(sprinkler_bn, max_iters=0)
+
+    def test_rejects_bad_damping(self, sprinkler_bn):
+        with pytest.raises(InferenceError):
+            BeliefPropagation(sprinkler_bn, damping=1.0)
+
+    def test_unknown_marginal_variable(self, sprinkler_bn):
+        result = BeliefPropagation(sprinkler_bn).run({"wet": "yes"})
+        with pytest.raises(InferenceError, match="no marginal"):
+            result.marginal("wet")
+
+
+class TestIsolatedNodes:
+    def test_isolated_node_gets_its_prior(self):
+        """A node with no edges still has its own CPT factor, so its BP
+        marginal is the (smoothed) empirical marginal."""
+        schema = Schema.of("a:categorical", "b:categorical")
+        rows = [["x", "p"]] * 7 + [["y", "q"]] * 3
+        table = Table.from_rows(schema, rows)
+        dag = DAG(schema.names)  # no edges at all
+        bn = DiscreteBayesNet.fit(table, dag, alpha=1.0)
+        result = BeliefPropagation(bn).run()
+        assert result.is_tree
+        marginal = result.marginal("a")
+        assert marginal["x"] == pytest.approx(bn.cpts["a"].marginal_prob("x"))
+
+
+class TestJointFromMarginals:
+    def test_product_form_sums_to_one(self, sprinkler_bn):
+        result = BeliefPropagation(sprinkler_bn).run()
+        joint = joint_from_marginals(result.marginals, ["rain", "sprinkler"])
+        assert sum(joint.values()) == pytest.approx(1.0)
+        assert len(joint) == 4

@@ -1,0 +1,161 @@
+"""Tests for repro.bayesnet.cpt and repro.bayesnet.model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bayesnet.cpt import CPT, NULL_KEY, cell_key
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import CPTError, InferenceError
+
+
+class TestCellKey:
+    def test_null_forms_share_a_key(self):
+        assert cell_key(None) == NULL_KEY
+        assert cell_key(float("nan")) == NULL_KEY
+
+    def test_regular_values_pass_through(self):
+        assert cell_key("x") == "x"
+        assert cell_key(3) == 3
+
+
+class TestCPT:
+    def test_invalid_alpha(self):
+        with pytest.raises(CPTError):
+            CPT("x", alpha=0.0)
+
+    def test_marginal_estimation(self):
+        cpt = CPT("x", alpha=1.0)
+        cpt.fit(["a", "a", "b"])
+        # (2+1)/(3+2) and (1+1)/(3+2)
+        assert cpt.prob("a") == pytest.approx(0.6)
+        assert cpt.prob("b") == pytest.approx(0.4)
+
+    def test_conditional_estimation(self):
+        cpt = CPT("y", ["x"], alpha=1.0)
+        cpt.fit(["p", "p", "q"], [["a", "a", "b"]])
+        assert cpt.prob("p", ("a",)) > cpt.prob("q", ("a",))
+        assert cpt.prob("q", ("b",)) > cpt.prob("p", ("b",))
+
+    def test_unseen_config_falls_back_to_marginal(self):
+        cpt = CPT("y", ["x"], alpha=1.0)
+        cpt.fit(["p", "p", "q"], [["a", "a", "b"]])
+        assert cpt.prob("p", ("zzz",)) == pytest.approx(cpt.marginal_prob("p"))
+
+    def test_null_is_a_regular_symbol(self):
+        cpt = CPT("y", ["x"])
+        cpt.fit([None, "p"], [["a", "a"]])
+        assert cpt.prob(None, ("a",)) > 0.0
+        assert NULL_KEY in cpt.domain
+
+    def test_parent_arity_checked(self):
+        cpt = CPT("y", ["x"])
+        with pytest.raises(CPTError):
+            cpt.observe("p", ())
+        with pytest.raises(CPTError):
+            cpt.fit(["p"], [])
+
+    def test_parent_column_length_checked(self):
+        cpt = CPT("y", ["x"])
+        with pytest.raises(CPTError):
+            cpt.fit(["p", "q"], [["a"]])
+
+    def test_distribution_sums_below_one(self):
+        cpt = CPT("x", alpha=1.0)
+        cpt.fit(["a", "b", "c"])
+        total = sum(cpt.distribution().values())
+        assert total <= 1.0
+        assert total > 0.5
+
+    def test_map_value(self):
+        cpt = CPT("y", ["x"])
+        cpt.fit(["p", "p", "q"], [["a", "a", "b"]])
+        assert cpt.map_value(("a",)) == "p"
+        assert cpt.map_value(("unseen",)) == "p"  # marginal mode
+        assert CPT("z").map_value() is None
+
+    def test_log_prob_finite(self):
+        cpt = CPT("x")
+        cpt.fit(["a"])
+        assert math.isfinite(cpt.log_prob("never-seen"))
+
+    @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=50))
+    def test_probabilities_in_unit_interval(self, values):
+        cpt = CPT("x", alpha=0.5)
+        cpt.fit(values)
+        # prob can reach exactly 1.0 when the observed domain has a
+        # single value (smoothing mass all on it).
+        for v in ("a", "b", "c", "zz"):
+            assert 0.0 < cpt.prob(v) <= 1.0
+
+
+@pytest.fixture
+def zip_bn(customer_table) -> DiscreteBayesNet:
+    dag = DAG(customer_table.schema.names)
+    dag.add_edge("ZipCode", "City")
+    dag.add_edge("ZipCode", "State")
+    return DiscreteBayesNet.fit(customer_table, dag, alpha=0.5)
+
+
+class TestDiscreteBayesNet:
+    def test_fit_requires_matching_nodes(self, customer_table):
+        dag = DAG(["nope"])
+        with pytest.raises(InferenceError):
+            DiscreteBayesNet.fit(customer_table, dag)
+
+    def test_missing_cpt_rejected(self, zip_bn):
+        with pytest.raises(InferenceError):
+            DiscreteBayesNet(zip_bn.dag, {})
+
+    def test_joint_log_prob_prefers_consistent_row(self, zip_bn, customer_table):
+        consistent = customer_table.row(0).as_dict()
+        inconsistent = dict(consistent, State="KT")  # zip 35150 is CA
+        assert zip_bn.joint_log_prob(consistent) > zip_bn.joint_log_prob(
+            inconsistent
+        )
+
+    def test_blanket_score_matches_joint_difference(self, zip_bn, customer_table):
+        # For any two candidate values, the blanket-score difference must
+        # equal the joint-log-prob difference (terms not involving the
+        # node cancel) — the §6.1 partition is exact under full evidence.
+        row = customer_table.row(0).as_dict()
+        j1 = zip_bn.joint_log_prob_with(row, "State", "CA")
+        j2 = zip_bn.joint_log_prob_with(row, "State", "KT")
+        b1 = zip_bn.blanket_log_score("State", "CA", row)
+        b2 = zip_bn.blanket_log_score("State", "KT", row)
+        assert (j1 - j2) == pytest.approx(b1 - b2, abs=1e-9)
+
+    def test_blanket_score_with_children(self, zip_bn, customer_table):
+        # ZipCode has two children; scoring it must include their CPTs.
+        row = customer_table.row(0).as_dict()
+        right = zip_bn.blanket_log_score("ZipCode", "35150", row)
+        wrong = zip_bn.blanket_log_score("ZipCode", "35960", row)
+        assert right > wrong
+
+    def test_posterior_normalised(self, zip_bn, customer_table):
+        row = customer_table.row(0).as_dict()
+        posterior = zip_bn.posterior("State", row)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        assert max(posterior, key=posterior.get) == "CA"
+
+    def test_posterior_empty_candidates_rejected(self, zip_bn, customer_table):
+        with pytest.raises(InferenceError):
+            zip_bn.posterior("State", customer_table.row(0).as_dict(), [])
+
+    def test_refit_nodes(self, zip_bn, customer_table):
+        modified = customer_table.copy()
+        for i in range(modified.n_rows):
+            modified.set_cell(i, "State", "TX")
+        zip_bn.refit_nodes(modified, ["State"])
+        row = dict(modified.row(0).as_dict())
+        posterior = zip_bn.posterior("State", row)
+        assert max(posterior, key=posterior.get) == "TX"
+
+    def test_refit_unknown_node(self, zip_bn, customer_table):
+        with pytest.raises(InferenceError):
+            zip_bn.refit_nodes(customer_table, ["nope"])

@@ -1,0 +1,110 @@
+"""Tests for repro.bayesnet.dag."""
+
+import pytest
+
+from repro.bayesnet.dag import DAG
+from repro.errors import CycleError, GraphError
+
+
+@pytest.fixture
+def chain() -> DAG:
+    g = DAG(["a", "b", "c", "d"])
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestNodes:
+    def test_add_node_idempotent(self):
+        g = DAG()
+        g.add_node("x")
+        g.add_node("x")
+        assert g.nodes == ["x"]
+
+    def test_remove_node_drops_edges(self, chain):
+        chain.remove_node("b")
+        assert "b" not in chain
+        assert chain.n_edges == 0
+
+    def test_unknown_node_rejected(self, chain):
+        with pytest.raises(GraphError):
+            chain.parents("zzz")
+
+
+class TestEdges:
+    def test_add_and_query(self, chain):
+        assert chain.has_edge("a", "b")
+        assert not chain.has_edge("b", "a")
+        assert chain.edge_weight("a", "b") == 1.0
+
+    def test_cycle_rejected(self, chain):
+        with pytest.raises(CycleError):
+            chain.add_edge("c", "a")
+
+    def test_self_loop_rejected(self, chain):
+        with pytest.raises(CycleError):
+            chain.add_edge("a", "a")
+
+    def test_remove_missing_edge_rejected(self, chain):
+        with pytest.raises(GraphError):
+            chain.remove_edge("a", "d")
+
+    def test_edges_listing(self, chain):
+        chain.add_edge("c", "d", weight=0.5)
+        assert ("c", "d", 0.5) in chain.edges()
+        assert chain.n_edges == 3
+
+
+class TestNeighbourhoods:
+    def test_parents_children(self, chain):
+        assert chain.parents("b") == ["a"]
+        assert chain.children("b") == ["c"]
+
+    def test_markov_blanket_includes_coparents(self):
+        g = DAG(["x", "y", "z"])
+        g.add_edge("x", "z")
+        g.add_edge("y", "z")
+        # x's blanket: child z and co-parent y
+        assert g.markov_blanket("x") == {"y", "z"}
+
+    def test_markov_blanket_chain(self, chain):
+        assert chain.markov_blanket("b") == {"a", "c"}
+
+    def test_isolated(self, chain):
+        assert chain.is_isolated("d")
+        assert not chain.is_isolated("a")
+
+
+class TestTraversal:
+    def test_has_path(self, chain):
+        assert chain.has_path("a", "c")
+        assert not chain.has_path("c", "a")
+        assert chain.has_path("a", "a")
+
+    def test_ancestors_descendants(self, chain):
+        assert chain.ancestors("c") == {"a", "b"}
+        assert chain.descendants("a") == {"b", "c"}
+        assert chain.ancestors("a") == set()
+
+    def test_topological_order(self, chain):
+        order = chain.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+        assert set(order) == {"a", "b", "c", "d"}
+
+
+class TestDerivation:
+    def test_copy_independent(self, chain):
+        c = chain.copy()
+        c.add_edge("c", "d")
+        assert not chain.has_edge("c", "d")
+
+    def test_equality_ignores_weights(self, chain):
+        other = DAG(["a", "b", "c", "d"])
+        other.add_edge("a", "b", weight=9.0)
+        other.add_edge("b", "c", weight=0.1)
+        assert chain == other
+
+    def test_pretty_lists_isolated(self, chain):
+        text = chain.pretty()
+        assert "isolated" in text
+        assert "a -> b" in text

@@ -1,0 +1,137 @@
+"""Tests for repro.bayesnet.inference (factors + variable elimination)."""
+
+import pytest
+
+from repro.bayesnet.cpt import NULL_KEY
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.inference import (
+    Factor,
+    VariableElimination,
+    log_sum_exp,
+    markov_blanket_posterior,
+)
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import InferenceError
+
+
+@pytest.fixture
+def sprinkler_bn() -> DiscreteBayesNet:
+    """The classic rain → sprinkler → wet-grass network, fitted from a
+    table whose empirical distribution encodes the dependencies."""
+    schema = Schema.of("rain:categorical", "sprinkler:categorical", "wet:categorical")
+    rows = []
+    # rain yes -> wet yes; sprinkler on -> wet yes; both off -> dry.
+    rows += [["yes", "off", "yes"]] * 30
+    rows += [["no", "on", "yes"]] * 25
+    rows += [["no", "off", "no"]] * 40
+    rows += [["yes", "on", "yes"]] * 5
+    table = Table.from_rows(schema, rows)
+    dag = DAG(schema.names)
+    dag.add_edge("rain", "wet")
+    dag.add_edge("sprinkler", "wet")
+    return DiscreteBayesNet.fit(table, dag, alpha=0.1)
+
+
+class TestFactor:
+    def test_from_cpt_shape(self, sprinkler_bn):
+        f = Factor.from_cpt(sprinkler_bn, "wet")
+        assert set(f.variables) == {"rain", "sprinkler", "wet"}
+        assert len(f) == 2 * 2 * 2
+
+    def test_reduce_drops_variable(self, sprinkler_bn):
+        f = Factor.from_cpt(sprinkler_bn, "wet").reduce({"rain": "yes"})
+        assert "rain" not in f.variables
+        assert len(f) == 4
+
+    def test_multiply_joins_on_shared(self, sprinkler_bn):
+        fw = Factor.from_cpt(sprinkler_bn, "wet")
+        fr = Factor.from_cpt(sprinkler_bn, "rain")
+        product = fw.multiply(fr)
+        assert set(product.variables) == {"rain", "sprinkler", "wet"}
+        assert len(product) == 8
+
+    def test_marginalize_sums(self):
+        f = Factor(("a", "b"), {("x", "p"): 0.3, ("x", "q"): 0.2, ("y", "p"): 0.5})
+        m = f.marginalize("b")
+        assert m.table[("x",)] == pytest.approx(0.5)
+        assert m.table[("y",)] == pytest.approx(0.5)
+
+    def test_marginalize_unknown_rejected(self):
+        f = Factor(("a",), {("x",): 1.0})
+        with pytest.raises(InferenceError):
+            f.marginalize("zzz")
+
+    def test_normalize(self):
+        f = Factor(("a",), {("x",): 2.0, ("y",): 2.0}).normalize()
+        assert f.table[("x",)] == pytest.approx(0.5)
+
+    def test_normalize_zero_rejected(self):
+        f = Factor(("a",), {})
+        with pytest.raises(InferenceError):
+            f.normalize()
+
+
+class TestVariableElimination:
+    def test_full_evidence_matches_blanket(self, sprinkler_bn):
+        ve = VariableElimination(sprinkler_bn)
+        evidence = {"rain": "yes", "sprinkler": "off"}
+        posterior_ve = ve.query("wet", evidence)
+        posterior_mb = markov_blanket_posterior(
+            sprinkler_bn, "wet", {**evidence, "wet": "yes"}
+        )
+        for value in posterior_ve:
+            assert posterior_ve[value] == pytest.approx(
+                posterior_mb[value], abs=1e-9
+            )
+
+    def test_partial_evidence_marginalises(self, sprinkler_bn):
+        ve = VariableElimination(sprinkler_bn)
+        # No sprinkler observation: must sum it out, not crash.
+        posterior = ve.query("wet", {"rain": "yes"})
+        assert posterior["yes"] > posterior["no"]
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_no_evidence_prior(self, sprinkler_bn):
+        ve = VariableElimination(sprinkler_bn)
+        prior = ve.query("rain")
+        assert prior["no"] > prior["yes"]  # 65 vs 35 in the data
+
+    def test_map_value(self, sprinkler_bn):
+        ve = VariableElimination(sprinkler_bn)
+        assert ve.map_value("wet", {"rain": "yes", "sprinkler": "on"}) == "yes"
+
+    def test_target_in_evidence_rejected(self, sprinkler_bn):
+        ve = VariableElimination(sprinkler_bn)
+        with pytest.raises(InferenceError):
+            ve.query("wet", {"wet": "yes"})
+
+    def test_unknown_target_rejected(self, sprinkler_bn):
+        ve = VariableElimination(sprinkler_bn)
+        with pytest.raises(InferenceError):
+            ve.query("nope")
+
+    def test_null_as_evidence_value(self, sprinkler_bn):
+        ve = VariableElimination(sprinkler_bn)
+        # NULL evidence is a legal (if unseen) symbol: must not crash.
+        posterior = ve.query("wet", {"rain": None, "sprinkler": "on"})
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+
+class TestLogSumExp:
+    def test_matches_direct_computation(self):
+        import math
+
+        values = [-1.0, -2.0, -3.0]
+        direct = math.log(sum(math.exp(v) for v in values))
+        assert log_sum_exp(values) == pytest.approx(direct)
+
+    def test_handles_large_magnitudes(self):
+        assert log_sum_exp([-1000.0, -1000.0]) == pytest.approx(
+            -1000.0 + 0.6931, abs=1e-3
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            log_sum_exp([])

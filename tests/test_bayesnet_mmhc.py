@@ -1,0 +1,192 @@
+"""Tests for repro.bayesnet.structure.mmhc (max-min hill-climbing).
+
+Structure recovery is tested on data generated from known dependency
+chains: MMPC must select the true neighbours, reject independent
+variables, and the combined search must recover edges the data supports
+while leaving isolated attributes isolated.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet.structure.mmhc import (
+    g2_statistic,
+    independence_p_value,
+    mmhc,
+    mmpc,
+)
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import StructureLearningError
+
+
+def chain_table(n_rows: int, seed: int, noise: float = 0.05) -> Table:
+    """a → b → c with an independent column d."""
+    rng = random.Random(seed)
+    schema = Schema.of(
+        "a:categorical", "b:categorical", "c:categorical", "d:categorical"
+    )
+    rows = []
+    for _ in range(n_rows):
+        a = rng.choice(["x", "y", "z"])
+        b = a.upper() if rng.random() > noise else rng.choice(["X", "Y", "Z"])
+        c = b.lower() if rng.random() > noise else rng.choice(["x", "y", "z"])
+        d = rng.choice(["p", "q"])
+        rows.append([a, b, c, d])
+    return Table.from_rows(schema, rows)
+
+
+class TestG2:
+    def test_independent_columns_small_statistic(self):
+        table = chain_table(400, seed=1)
+        g2, df = g2_statistic(table, "a", "d")
+        # a and d are independent: G² should be near its df expectation.
+        assert g2 < 3 * df + 10
+
+    def test_dependent_columns_large_statistic(self):
+        table = chain_table(400, seed=2)
+        g2_dep, _ = g2_statistic(table, "a", "b")
+        g2_ind, _ = g2_statistic(table, "a", "d")
+        assert g2_dep > 10 * max(1.0, g2_ind)
+
+    def test_conditioning_breaks_chain_dependency(self):
+        table = chain_table(400, seed=3)
+        g2_marginal, _ = g2_statistic(table, "a", "c")
+        g2_given_b, _ = g2_statistic(table, "a", "c", ["b"])
+        assert g2_given_b < g2_marginal
+
+    def test_statistic_is_nonnegative_and_symmetric(self):
+        table = chain_table(150, seed=4)
+        g2_ab, _ = g2_statistic(table, "a", "b")
+        g2_ba, _ = g2_statistic(table, "b", "a")
+        assert g2_ab >= 0
+        assert g2_ab == pytest.approx(g2_ba)
+
+
+class TestPValue:
+    def test_dependence_detected(self):
+        table = chain_table(400, seed=5)
+        assert independence_p_value(table, "a", "b") < 0.001
+
+    def test_independence_not_rejected(self):
+        table = chain_table(400, seed=6)
+        assert independence_p_value(table, "a", "d") > 0.01
+
+    def test_p_value_in_unit_interval(self):
+        table = chain_table(100, seed=7)
+        for x, y in [("a", "b"), ("a", "d"), ("b", "c")]:
+            p = independence_p_value(table, x, y)
+            assert 0.0 <= p <= 1.0
+
+    def test_fallback_approximation_close_to_scipy(self):
+        """The Wilson–Hilferty fallback must track scipy's χ² tail."""
+        from scipy.stats import chi2
+
+        for g2, df in [(3.0, 2), (15.0, 4), (40.0, 9)]:
+            exact = float(chi2.sf(g2, df))
+            z = ((g2 / df) ** (1 / 3) - (1 - 2 / (9 * df))) / math.sqrt(
+                2 / (9 * df)
+            )
+            approx = 0.5 * math.erfc(z / math.sqrt(2))
+            assert approx == pytest.approx(exact, abs=0.01)
+
+
+class TestMMPC:
+    def test_chain_neighbours_recovered(self):
+        table = chain_table(500, seed=8)
+        assert mmpc(table, "b") >= {"a", "c"}
+        assert "d" not in mmpc(table, "b")
+
+    def test_independent_column_has_empty_cpc(self):
+        table = chain_table(500, seed=9)
+        assert mmpc(table, "d") == set()
+
+    def test_chain_middle_separates_endpoints(self):
+        """c ⟂ a | b, so a must not survive the shrink phase for c."""
+        table = chain_table(800, seed=10, noise=0.02)
+        assert "a" not in mmpc(table, "c")
+
+    def test_unknown_attribute_rejected(self):
+        table = chain_table(50, seed=11)
+        with pytest.raises(StructureLearningError, match="unknown"):
+            mmpc(table, "nope")
+
+
+class TestMMHC:
+    def test_chain_recovered_as_undirected_skeleton(self):
+        table = chain_table(500, seed=12)
+        result = mmhc(table)
+        undirected = {
+            frozenset((u, v)) for u, v, _ in result.dag.edges()
+        }
+        assert frozenset(("a", "b")) in undirected
+        assert frozenset(("b", "c")) in undirected
+
+    def test_independent_column_stays_isolated(self):
+        table = chain_table(500, seed=13)
+        result = mmhc(table)
+        assert result.dag.is_isolated("d")
+
+    def test_symmetry_correction_limits_edges(self):
+        """Every learned edge must be inside the symmetric CPC relation."""
+        table = chain_table(400, seed=14)
+        result = mmhc(table)
+        for u, v, _ in result.dag.edges():
+            assert v in result.cpc[u] and u in result.cpc[v]
+
+    def test_respects_max_parents(self):
+        table = chain_table(300, seed=15)
+        result = mmhc(table, max_parents=1)
+        assert all(
+            len(result.dag.parents(n)) <= 1 for n in result.dag.nodes
+        )
+
+    def test_diagnostics_populated(self):
+        table = chain_table(200, seed=16)
+        result = mmhc(table)
+        assert result.n_independence_tests > 0
+        assert result.n_moves_evaluated > 0
+        assert set(result.cpc) == set(table.schema.names)
+
+    def test_rejects_bad_alpha(self):
+        table = chain_table(50, seed=17)
+        with pytest.raises(StructureLearningError, match="alpha"):
+            mmhc(table, alpha=0.0)
+
+    def test_rejects_single_column(self):
+        table = Table.from_rows(Schema.of("a:categorical"), [["x"], ["y"]])
+        with pytest.raises(StructureLearningError, match="two attributes"):
+            mmhc(table)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_always_returns_acyclic_graph(self, seed):
+        table = chain_table(120, seed=seed)
+        result = mmhc(table)
+        # topological_order raises if the invariant were broken.
+        order = result.dag.topological_order()
+        assert set(order) == set(table.schema.names)
+
+    def test_score_names_accepted(self):
+        table = chain_table(150, seed=18)
+        for name in ("bic", "k2", "bdeu"):
+            result = mmhc(table, score=name)
+            assert result.dag is not None
+
+
+class TestEngineIntegration:
+    def test_engine_accepts_mmhc_structure(self):
+        from repro.core.config import BCleanConfig
+        from repro.core.engine import BClean
+
+        table = chain_table(200, seed=19)
+        config = BCleanConfig.pi()
+        config.structure = "mmhc"
+        engine = BClean(config)
+        engine.fit(table)
+        result = engine.clean()
+        assert result.cleaned.n_rows == table.n_rows

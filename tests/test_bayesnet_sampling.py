@@ -1,0 +1,68 @@
+"""Tests for sampling-based approximate inference."""
+
+import pytest
+
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.inference import VariableElimination
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.bayesnet.sampling import GibbsSampler, forward_sample
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import InferenceError
+
+
+@pytest.fixture
+def chain_bn() -> DiscreteBayesNet:
+    """x → y with a strong deterministic-ish coupling."""
+    schema = Schema.of("x:categorical", "y:categorical")
+    rows = [["a", "p"]] * 45 + [["b", "q"]] * 45 + [["a", "q"]] * 5 + [["b", "p"]] * 5
+    table = Table.from_rows(schema, rows)
+    dag = DAG(schema.names)
+    dag.add_edge("x", "y")
+    return DiscreteBayesNet.fit(table, dag, alpha=0.2)
+
+
+class TestForwardSample:
+    def test_sample_count_and_keys(self, chain_bn):
+        samples = forward_sample(chain_bn, 50, seed=1)
+        assert len(samples) == 50
+        assert all(set(s) == {"x", "y"} for s in samples)
+
+    def test_respects_coupling(self, chain_bn):
+        samples = forward_sample(chain_bn, 500, seed=2)
+        agree = sum(
+            1
+            for s in samples
+            if (s["x"], s["y"]) in (("a", "p"), ("b", "q"))
+        )
+        assert agree / len(samples) > 0.75
+
+    def test_deterministic_per_seed(self, chain_bn):
+        assert forward_sample(chain_bn, 20, seed=3) == forward_sample(
+            chain_bn, 20, seed=3
+        )
+
+    def test_invalid_count(self, chain_bn):
+        with pytest.raises(InferenceError):
+            forward_sample(chain_bn, 0)
+
+
+class TestGibbs:
+    def test_agrees_with_variable_elimination(self, chain_bn):
+        exact = VariableElimination(chain_bn).query("x", {"y": "p"})
+        approx = GibbsSampler(chain_bn, seed=4).query(
+            "x", {"y": "p"}, n_samples=4000, burn_in=300
+        )
+        for value, p in exact.items():
+            assert approx.get(value, 0.0) == pytest.approx(p, abs=0.06)
+
+    def test_map_value(self, chain_bn):
+        assert GibbsSampler(chain_bn, seed=5).map_value("x", {"y": "q"}) == "b"
+
+    def test_target_in_evidence_rejected(self, chain_bn):
+        with pytest.raises(InferenceError):
+            GibbsSampler(chain_bn).query("x", {"x": "a"})
+
+    def test_unknown_target_rejected(self, chain_bn):
+        with pytest.raises(InferenceError):
+            GibbsSampler(chain_bn).query("nope")

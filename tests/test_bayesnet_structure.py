@@ -1,0 +1,238 @@
+"""Tests for the structure learners (scores, hill-climb, Chow-Liu, PC, FDX)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.structure.chowliu import chow_liu_tree
+from repro.bayesnet.structure.fdx import (
+    FDXConfig,
+    SimilarityProfiler,
+    _autoregression_for_order,
+    _udu_decompose,
+    fdx_structure,
+)
+from repro.bayesnet.structure.hillclimb import hill_climb
+from repro.bayesnet.structure.pc import pc_algorithm
+from repro.bayesnet.structure.scores import BDeuScore, BICScore, K2Score, make_score
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import StructureLearningError
+
+
+def make_fd_table(n: int = 300, seed: int = 1) -> Table:
+    """key → value FD plus an independent noise column."""
+    rng = random.Random(seed)
+    schema = Schema.of("key:categorical", "value:categorical", "noise:categorical")
+    mapping = {f"k{i}": f"v{i}" for i in range(8)}
+    rows = [
+        [k, mapping[k], rng.choice("xyz")]
+        for k in (rng.choice(list(mapping)) for _ in range(n))
+    ]
+    return Table.from_rows(schema, rows)
+
+
+class TestScores:
+    @pytest.mark.parametrize("score_name", ["bic", "k2", "bdeu"])
+    def test_dependent_parent_beats_empty(self, score_name):
+        table = make_fd_table()
+        scorer = make_score(score_name, table)
+        assert scorer.family("value", ("key",)) > scorer.family("value", ())
+
+    @pytest.mark.parametrize("score_name", ["bic", "k2", "bdeu"])
+    def test_independent_parent_not_preferred(self, score_name):
+        table = make_fd_table()
+        scorer = make_score(score_name, table)
+        assert scorer.family("noise", ()) >= scorer.family("noise", ("key",)) - 1e-9 or (
+            # BIC always penalises; Bayesian scores may tie within noise
+            score_name != "bic"
+        )
+
+    def test_bic_penalises_complexity(self):
+        table = make_fd_table()
+        scorer = BICScore(table)
+        # Adding a useless second parent must not improve BIC.
+        one = scorer.family("value", ("key",))
+        two = scorer.family("value", ("key", "noise"))
+        assert two <= one
+
+    def test_cache_hits(self):
+        table = make_fd_table()
+        scorer = K2Score(table)
+        a = scorer.family("value", ("key",))
+        b = scorer.family("value", ("key",))
+        assert a == b
+        assert len(scorer._cache) == 1
+
+    def test_unknown_score_rejected(self):
+        with pytest.raises(ValueError):
+            make_score("nope", make_fd_table())
+
+    def test_bdeu_ess(self):
+        table = make_fd_table()
+        s1 = BDeuScore(table, equivalent_sample_size=1.0)
+        s10 = BDeuScore(table, equivalent_sample_size=10.0)
+        assert s1.family("value", ("key",)) != s10.family("value", ("key",))
+
+
+class TestHillClimb:
+    def test_finds_fd_edge(self):
+        table = make_fd_table()
+        result = hill_climb(table, score="bic")
+        dag = result.dag
+        assert dag.has_edge("key", "value") or dag.has_edge("value", "key")
+
+    def test_respects_max_parents(self):
+        table = make_fd_table()
+        result = hill_climb(table, max_parents=1)
+        assert all(len(result.dag.parents(n)) <= 1 for n in result.dag.nodes)
+
+    def test_score_improves_over_empty(self):
+        table = make_fd_table()
+        scorer = BICScore(table)
+        empty_score = sum(scorer.family(n, ()) for n in table.schema.names)
+        result = hill_climb(table, score=scorer)
+        assert result.score >= empty_score
+
+    def test_acyclic(self):
+        table = make_fd_table()
+        dag = hill_climb(table).dag
+        dag.topological_order()  # raises on cycles
+
+
+class TestChowLiu:
+    def test_tree_shape(self):
+        table = make_fd_table()
+        dag = chow_liu_tree(table)
+        # A spanning tree over m nodes has m-1 edges.
+        assert dag.n_edges == len(dag) - 1
+
+    def test_root_has_no_parents(self):
+        table = make_fd_table()
+        dag = chow_liu_tree(table, root="value")
+        assert dag.parents("value") == []
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(StructureLearningError):
+            chow_liu_tree(make_fd_table(), root="nope")
+
+    def test_captures_strongest_dependency(self):
+        table = make_fd_table()
+        dag = chow_liu_tree(table, root="key")
+        assert dag.has_edge("key", "value")
+
+
+class TestPC:
+    def test_removes_independent_edge(self):
+        table = make_fd_table(n=500)
+        result = pc_algorithm(table, alpha=0.01)
+        # noise is independent of key and value: at most one spurious edge
+        noise_edges = [
+            (u, v)
+            for u, v, _ in result.dag.edges()
+            if "noise" in (u, v)
+        ]
+        assert len(noise_edges) <= 1
+
+    def test_keeps_dependent_edge(self):
+        table = make_fd_table(n=500)
+        result = pc_algorithm(table, alpha=0.01)
+        assert result.dag.has_edge("key", "value") or result.dag.has_edge(
+            "value", "key"
+        )
+
+    def test_acyclic(self):
+        result = pc_algorithm(make_fd_table())
+        result.dag.topological_order()
+
+    def test_counts_tests(self):
+        result = pc_algorithm(make_fd_table())
+        assert result.n_tests > 0
+
+
+class TestUDU:
+    def test_reconstruction(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(5, 5))
+        theta = a @ a.T + 5 * np.eye(5)
+        u, d = _udu_decompose(theta)
+        assert np.allclose(u @ d @ u.T, theta, atol=1e-8)
+        # U unit upper triangular
+        assert np.allclose(np.diag(u), 1.0)
+        assert np.allclose(u, np.triu(u))
+
+    def test_autoregression_strictly_upper_in_order(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(4, 4))
+        theta = a @ a.T + 4 * np.eye(4)
+        order = [2, 0, 3, 1]
+        b = _autoregression_for_order(theta, order)
+        # B[k, j] != 0 only when k precedes j in the ordering
+        pos = {v: i for i, v in enumerate(order)}
+        for k in range(4):
+            for j in range(4):
+                if abs(b[k, j]) > 1e-9:
+                    assert pos[k] < pos[j]
+
+    def test_non_pd_rejected(self):
+        with pytest.raises(StructureLearningError):
+            _udu_decompose(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+
+class TestFDX:
+    def test_profiler_shape_and_range(self):
+        table = make_fd_table(n=100)
+        profiler = SimilarityProfiler(table, FDXConfig(max_pairs_per_attribute=50))
+        samples = profiler.profile()
+        assert samples.shape[1] == 3
+        assert samples.shape[0] <= 3 * 50
+        assert np.all(samples >= 0.0) and np.all(samples <= 1.0)
+
+    def test_finds_fd_edge(self):
+        table = make_fd_table(n=400)
+        result = fdx_structure(table)
+        dag = result.dag
+        assert dag.has_edge("key", "value") or dag.has_edge("value", "key")
+
+    def test_tolerates_typos(self):
+        table = make_fd_table(n=400)
+        # corrupt 5% of the value column with typos
+        rng = random.Random(9)
+        col = table.column("value")
+        for i in rng.sample(range(len(col)), 20):
+            col[i] = col[i] + "x"
+        result = fdx_structure(table)
+        assert result.dag.has_edge("key", "value") or result.dag.has_edge(
+            "value", "key"
+        )
+
+    def test_respects_max_parents(self):
+        table = make_fd_table(n=200)
+        config = FDXConfig(max_parents=1)
+        dag = fdx_structure(table, config).dag
+        assert all(len(dag.parents(n)) <= 1 for n in dag.nodes)
+
+    def test_single_attribute_rejected(self):
+        table = Table.from_rows(Schema.of("only"), [["a"], ["b"]])
+        with pytest.raises(StructureLearningError):
+            fdx_structure(table)
+
+    def test_too_few_rows_rejected(self):
+        table = Table.from_rows(Schema.of("a", "b"), [["x", "y"]])
+        with pytest.raises(StructureLearningError):
+            fdx_structure(table)
+
+    def test_strict_equality_ablation_runs(self):
+        table = make_fd_table(n=200)
+        config = FDXConfig(use_strict_equality=True)
+        result = fdx_structure(table, config)
+        assert result.n_samples > 0
+
+    def test_deterministic(self):
+        table = make_fd_table(n=200)
+        a = fdx_structure(table)
+        b = fdx_structure(table)
+        assert {(u, v) for u, v, _ in a.dag.edges()} == {
+            (u, v) for u, v, _ in b.dag.edges()
+        }

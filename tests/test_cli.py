@@ -1,0 +1,318 @@
+"""Tests for repro.cli (the ``python -m repro`` interface).
+
+End-to-end runs use real temp CSVs: the clean subcommand must write a
+parseable output file whose repairs match the report, and the spec
+parser must reject malformed constraint JSON with actionable errors.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import (
+    load_uc_spec,
+    main,
+    merge_registries,
+    parse_constraint,
+)
+from repro.constraints.builtin import NotNull, OneOf, Pattern
+from repro.constraints.registry import UCRegistry
+from repro.dataset.io import read_csv, write_csv
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import ConstraintSpecError
+
+
+@pytest.fixture
+def dirty_csv(tmp_path):
+    """A small FD-structured CSV with planted typos and a NULL."""
+    rng = random.Random(3)
+    schema = Schema.of("code:categorical", "name:categorical")
+    mapping = {f"{i:05d}": f"site{i}" for i in range(5)}
+    rows = []
+    for _ in range(120):
+        code = rng.choice(list(mapping))
+        rows.append([code, mapping[code]])
+    table = Table.from_rows(schema, rows)
+    # plant errors the UCs can catch
+    table.set_cell(0, "code", "0x001")
+    table.set_cell(1, "name", None)
+    path = tmp_path / "dirty.csv"
+    write_csv(table, path)
+    return path
+
+
+class TestParseConstraint:
+    def test_not_null(self):
+        assert isinstance(parse_constraint({"type": "not_null"}), NotNull)
+
+    def test_pattern(self):
+        c = parse_constraint({"type": "pattern", "regex": "[0-9]{5}"})
+        assert isinstance(c, Pattern)
+        assert c.check("12345")
+        assert not c.check("123")
+
+    def test_one_of(self):
+        c = parse_constraint({"type": "one_of", "values": ["CA", "NY"]})
+        assert isinstance(c, OneOf)
+        assert c.check("CA") and not c.check("XX")
+
+    def test_lengths_and_values(self):
+        assert parse_constraint({"type": "min_length", "bound": 2}).check("ab")
+        assert not parse_constraint({"type": "max_length", "bound": 2}).check("abc")
+        assert parse_constraint({"type": "min_value", "bound": 5}).check("7")
+        assert not parse_constraint({"type": "max_value", "bound": 5}).check("7")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConstraintSpecError, match="unknown constraint"):
+            parse_constraint({"type": "telepathy"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConstraintSpecError, match="requires field"):
+            parse_constraint({"type": "pattern"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConstraintSpecError, match="must be an object"):
+            parse_constraint("not_null")
+
+
+class TestLoadUCSpec:
+    def test_round_trip(self, tmp_path):
+        spec = {
+            "code": [
+                {"type": "pattern", "regex": "[0-9]{5}"},
+                {"type": "not_null"},
+            ],
+            "name": [{"type": "not_null"}],
+        }
+        path = tmp_path / "ucs.json"
+        path.write_text(json.dumps(spec))
+        registry = load_uc_spec(path)
+        assert registry.check_cell("code", "12345")
+        assert not registry.check_cell("code", "12x45")
+        assert not registry.check_cell("name", None)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConstraintSpecError, match="invalid JSON"):
+            load_uc_spec(path)
+
+    def test_non_object_spec(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConstraintSpecError, match="must be an object"):
+            load_uc_spec(path)
+
+    def test_non_list_constraints(self, tmp_path):
+        path = tmp_path / "bad2.json"
+        path.write_text('{"code": {"type": "not_null"}}')
+        with pytest.raises(ConstraintSpecError, match="must be a list"):
+            load_uc_spec(path)
+
+
+class TestMergeRegistries:
+    def test_union_of_attributes(self):
+        a = UCRegistry().add("x", NotNull())
+        b = UCRegistry().add("y", Pattern("[0-9]+"))
+        merged = merge_registries(a, b)
+        assert not merged.check_cell("x", None)
+        assert not merged.check_cell("y", "abc")
+
+    def test_same_attribute_appends(self):
+        a = UCRegistry().add("x", NotNull())
+        b = UCRegistry().add("x", Pattern("[0-9]+"))
+        merged = merge_registries(a, b)
+        assert not merged.check_cell("x", None)  # from a
+        assert not merged.check_cell("x", "abc")  # from b
+
+
+class TestProfileCommand:
+    def test_profile_prints_columns(self, dirty_csv, capsys):
+        assert main(["profile", str(dirty_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "code" in out and "name" in out
+        assert "120 rows" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["profile", "/nonexistent/file.csv"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestNetworkCommand:
+    def test_network_prints_dag(self, dirty_csv, capsys):
+        assert main(["network", str(dirty_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "DAG with 2 nodes" in out
+
+    def test_structure_choice(self, dirty_csv, capsys):
+        assert main(["network", str(dirty_csv), "--structure", "chowliu"]) == 0
+        assert "DAG" in capsys.readouterr().out
+
+
+class TestCleanCommand:
+    def test_end_to_end_with_spec(self, dirty_csv, tmp_path, capsys):
+        spec = {
+            "code": [
+                {"type": "pattern", "regex": "[0-9]{5}"},
+                {"type": "not_null"},
+            ],
+            "name": [{"type": "not_null"}],
+        }
+        spec_path = tmp_path / "ucs.json"
+        spec_path.write_text(json.dumps(spec))
+        out_path = tmp_path / "cleaned.csv"
+
+        code = main(
+            [
+                "clean",
+                str(dirty_csv),
+                "--output",
+                str(out_path),
+                "--ucs",
+                str(spec_path),
+            ]
+        )
+        assert code == 0
+        cleaned = read_csv(
+            out_path, schema=Schema.of("code:categorical", "name:categorical")
+        )
+        assert cleaned.n_rows == 120
+        # the planted typo and NULL must be gone: the code is restored to
+        # the FD partner of the row's (clean) name, and the NULL is filled
+        fixed_code = cleaned.cell(0, "code")
+        partner_name = cleaned.cell(0, "name")
+        assert fixed_code == f"{int(str(partner_name)[4:]):05d}"
+        assert cleaned.cell(1, "name") is not None
+        out = capsys.readouterr().out
+        assert "repairs" in out
+
+    def test_induced_ucs_flag(self, dirty_csv, tmp_path):
+        out_path = tmp_path / "cleaned.csv"
+        code = main(
+            ["clean", str(dirty_csv), "--output", str(out_path), "--induce-ucs"]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_report_file(self, dirty_csv, tmp_path):
+        out_path = tmp_path / "cleaned.csv"
+        report_path = tmp_path / "repairs.txt"
+        code = main(
+            [
+                "clean",
+                str(dirty_csv),
+                "--output",
+                str(out_path),
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        assert "repairs=" in report_path.read_text()
+
+    def test_bad_spec_is_reported(self, dirty_csv, tmp_path, capsys):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text('{"code": [{"type": "warp"}]}')
+        code = main(
+            [
+                "clean",
+                str(dirty_csv),
+                "--output",
+                str(tmp_path / "out.csv"),
+                "--ucs",
+                str(spec_path),
+            ]
+        )
+        assert code == 1
+        assert "unknown constraint" in capsys.readouterr().err
+
+    def test_variant_selection(self, dirty_csv, tmp_path):
+        for variant in ("basic", "pi", "pip", "no-ucs"):
+            out_path = tmp_path / f"cleaned_{variant}.csv"
+            code = main(
+                [
+                    "clean",
+                    str(dirty_csv),
+                    "--output",
+                    str(out_path),
+                    "--variant",
+                    variant,
+                ]
+            )
+            assert code == 0, variant
+            assert out_path.exists()
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, dirty_csv, tmp_path):
+        import subprocess
+        import sys
+
+        out_path = tmp_path / "cleaned.csv"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "clean",
+                str(dirty_csv),
+                "--output",
+                str(out_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert out_path.exists()
+
+
+class TestNetworkRoundTripWorkflow:
+    def test_save_then_reuse_network(self, dirty_csv, tmp_path, capsys):
+        """network --save, then clean --network: the §7.3.2 loop."""
+        net_path = tmp_path / "net.json"
+        assert main(["network", str(dirty_csv), "--save", str(net_path)]) == 0
+        assert net_path.exists()
+        capsys.readouterr()
+
+        out_path = tmp_path / "cleaned.csv"
+        code = main(
+            [
+                "clean",
+                str(dirty_csv),
+                "--output",
+                str(out_path),
+                "--network",
+                str(net_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_hand_edited_network_is_accepted(self, dirty_csv, tmp_path):
+        """The saved JSON can be edited (here: rebuilt by hand) and used."""
+        import json
+
+        net_path = tmp_path / "edited.json"
+        net_path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "nodes": ["code", "name"],
+                    "edges": [{"from": "code", "to": "name", "weight": 1.0}],
+                }
+            )
+        )
+        out_path = tmp_path / "cleaned.csv"
+        code = main(
+            [
+                "clean",
+                str(dirty_csv),
+                "--output",
+                str(out_path),
+                "--network",
+                str(net_path),
+            ]
+        )
+        assert code == 0

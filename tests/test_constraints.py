@@ -1,0 +1,246 @@
+"""Tests for repro.constraints (UCs, FDs, DCs, registry)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints.base import Conjunction, Disjunction, Negation, Predicate
+from repro.constraints.builtin import (
+    CLOCK_12H,
+    MaxLength,
+    MaxValue,
+    MinLength,
+    MinValue,
+    NotNull,
+    OneOf,
+    Pattern,
+)
+from repro.constraints.dc import DenialConstraint, Pred, find_violations
+from repro.constraints.fd import (
+    FDConstraint,
+    FDLookup,
+    FunctionalDependency,
+    discover_fds,
+)
+from repro.constraints.registry import FAMILIES, UCRegistry
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import ConstraintSpecError
+
+
+class TestBuiltins:
+    def test_not_null(self):
+        assert NotNull().check("x")
+        assert not NotNull().check(None)
+        assert not NotNull().check("NULL")
+
+    def test_lengths_pass_on_null(self):
+        assert MinLength(3).check(None)
+        assert MaxLength(3).check(None)
+
+    def test_min_max_length(self):
+        assert MinLength(3).check("abc")
+        assert not MinLength(4).check("abc")
+        assert MaxLength(3).check("abc")
+        assert not MaxLength(2).check("abc")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConstraintSpecError):
+            MinLength(-1)
+
+    def test_min_max_value(self):
+        assert MinValue(0).check("5")
+        assert not MinValue(10).check("5")
+        assert MaxValue(10).check(5)
+        assert not MaxValue(4).check(5)
+
+    def test_value_constraints_fail_on_unparseable(self):
+        assert not MinValue(0).check("abc")
+        assert not MaxValue(0).check("abc")
+
+    def test_pattern_full_match(self):
+        zip5 = Pattern(r"[1-9][0-9]{4}")
+        assert zip5.check("35150")
+        assert not zip5.check("3515")
+        assert not zip5.check("35150x")
+        assert not zip5.check("03515")
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(ConstraintSpecError):
+            Pattern(r"[unclosed")
+
+    def test_clock_pattern(self):
+        assert CLOCK_12H.check("7:10 a.m.")
+        assert CLOCK_12H.check("12:59 p.m.")
+        assert not CLOCK_12H.check("13:00 p.m.")
+        assert not CLOCK_12H.check("7:10")
+
+    def test_one_of(self):
+        c = OneOf({"CA", "NY"})
+        assert c.check("CA")
+        assert not c.check("KT")
+        with pytest.raises(ConstraintSpecError):
+            OneOf(set())
+
+    def test_uc_binary_convention(self):
+        assert NotNull()("x") == 1
+        assert NotNull()(None) == 0
+
+
+class TestCombinators:
+    def test_predicate(self):
+        even = Predicate(lambda v: int(v) % 2 == 0, "even")
+        assert even.check("4")
+        assert not even.check("3")
+        assert "even" in even.describe()
+
+    def test_negation(self):
+        not_ca = Negation(OneOf({"CA"}))
+        assert not_ca.check("NY")
+        assert not not_ca.check("CA")
+        assert not_ca.family == OneOf({"CA"}).family
+
+    def test_conjunction_disjunction(self):
+        c = Conjunction(MinLength(2), MaxLength(4))
+        assert c.check("abc")
+        assert not c.check("a")
+        d = Disjunction(OneOf({"x"}), OneOf({"y"}))
+        assert d.check("x")
+        assert d.check("y")
+        assert not d.check("z")
+
+
+class TestFunctionalDependency:
+    def test_validation(self):
+        with pytest.raises(ConstraintSpecError):
+            FunctionalDependency((), "y")
+        with pytest.raises(ConstraintSpecError):
+            FunctionalDependency(("x",), "x")
+
+    def test_lookup_consensus(self, fd_table):
+        fd = FunctionalDependency(("key",), "value")
+        lookup = FDLookup(fd, fd_table)
+        row = fd_table.row(0).as_dict()
+        assert lookup.expected(row) == row["value"]
+        assert not lookup.violates(row)
+        assert lookup.agreement(row) == 1.0
+
+    def test_lookup_detects_violation(self, fd_table):
+        fd = FunctionalDependency(("key",), "value")
+        lookup = FDLookup(fd, fd_table)
+        row = dict(fd_table.row(0).as_dict(), value="WRONG")
+        assert lookup.violates(row)
+
+    def test_fd_constraint_tuple_check(self, fd_table):
+        fd = FunctionalDependency(("key",), "value")
+        constraint = FDConstraint(fd, fd_table)
+        assert constraint.check_tuple(fd_table.row(0).as_dict())
+
+    def test_discover_finds_planted_fd(self, fd_table):
+        found = discover_fds(fd_table, min_confidence=0.95)
+        fds = {str(d.fd) for d in found}
+        assert "key -> value" in fds
+
+    def test_discover_skips_noise_rhs(self, fd_table):
+        found = discover_fds(fd_table, min_confidence=0.95)
+        assert all(d.fd.rhs != "noise" for d in found)
+
+    def test_discover_composite_lhs(self, fd_table):
+        found = discover_fds(fd_table, min_confidence=0.95, max_lhs_size=2)
+        assert any(len(d.fd.lhs) == 2 for d in found) or found
+
+
+class TestDenialConstraints:
+    def test_fd_encoding_detects_violation(self, fd_table):
+        dirty = fd_table.copy()
+        dirty.set_cell(0, "value", "WRONG")
+        dc = DenialConstraint.from_fd("key", "value")
+        violations = find_violations(dirty, dc)
+        assert any(0 in hit for hit in violations)
+
+    def test_clean_table_no_violations(self, fd_table):
+        dc = DenialConstraint.from_fd("key", "value")
+        assert find_violations(fd_table, dc) == []
+
+    def test_single_tuple_dc(self, fd_table):
+        dc = DenialConstraint(
+            (Pred(Pred.t1("noise"), "=", Pred.const("x")),),
+            name="no-x",
+        )
+        violations = find_violations(fd_table, dc)
+        expected = sum(1 for v in fd_table.column("noise") if v == "x")
+        assert len(violations) == expected
+
+    def test_limit(self, fd_table):
+        dc = DenialConstraint(
+            (Pred(Pred.t1("noise"), "=", Pred.const("x")),)
+        )
+        assert len(find_violations(fd_table, dc, limit=2)) <= 2
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConstraintSpecError):
+            Pred(Pred.t1("a"), "~", Pred.t2("a"))
+
+    def test_empty_dc_rejected(self):
+        with pytest.raises(ConstraintSpecError):
+            DenialConstraint(())
+
+    def test_null_never_satisfies_predicates(self, fd_table):
+        dirty = fd_table.copy()
+        dirty.set_cell(0, "key", None)
+        dc = DenialConstraint.from_fd("key", "value")
+        assert not any(0 in hit for hit in find_violations(dirty, dc))
+
+    def test_describe(self):
+        dc = DenialConstraint.from_fd("a", "b")
+        text = dc.describe()
+        assert "t1.a" in text and "t2.b" in text
+
+
+class TestRegistry:
+    def test_check_cell_all_constraints(self):
+        reg = UCRegistry().add("zip", NotNull(), Pattern(r"[0-9]{5}"))
+        assert reg.check_cell("zip", "35150")
+        assert not reg.check_cell("zip", "3515")
+        assert not reg.check_cell("zip", None)
+
+    def test_unconstrained_attribute_passes(self):
+        reg = UCRegistry()
+        assert reg.check_cell("anything", None)
+        assert reg.uc("anything", "x") == 1
+
+    def test_violations_in_tuple(self):
+        reg = UCRegistry().add("a", NotNull()).add("b", MinLength(3))
+        assert reg.violations_in_tuple({"a": None, "b": "xy"}) == 2
+        assert reg.violations_in_tuple({"a": "ok", "b": "xyz"}) == 0
+
+    def test_n_constraints(self):
+        reg = UCRegistry().add("a", NotNull(), MinLength(1))
+        assert reg.n_constraints == 2
+
+    def test_without_families(self):
+        reg = (
+            UCRegistry()
+            .add("a", NotNull(), Pattern(r"\d+"), MaxLength(5))
+        )
+        no_pattern = reg.without_families(["pattern"])
+        assert no_pattern.check_cell("a", "xx")          # pattern gone
+        assert not no_pattern.check_cell("a", "x" * 9)    # max stays
+        none_left = reg.without_families(FAMILIES)
+        assert none_left.check_cell("a", "x" * 99)
+
+    def test_without_families_copies(self):
+        reg = UCRegistry().add("a", NotNull())
+        ablated = reg.without_families(["null"])
+        assert reg.n_constraints == 1
+        assert ablated.n_constraints == 0
+
+    def test_describe(self):
+        reg = UCRegistry().add("a", NotNull())
+        assert "not-null" in reg.describe()
+        assert UCRegistry().describe() == "(no constraints)"
+
+    @given(st.text(max_size=8))
+    def test_uc_binary_output(self, value):
+        reg = UCRegistry().add("a", MinLength(2))
+        assert reg.uc("a", value) in (0, 1)

@@ -1,0 +1,209 @@
+"""Tests for repro.constraints.induction (regex UCs from examples).
+
+Inductions are checked by behaviour: the induced Pattern must accept the
+clean format(s) it was shown, reject the error shapes the paper's error
+injector produces (typos, format breaks), and survive dirty input by
+discarding rare masks.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.builtin import MaxLength, MinLength, NotNull, Pattern
+from repro.constraints.induction import (
+    InducedProfile,
+    induce_pattern,
+    induce_registry,
+    tokenize_runs,
+)
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import ConstraintSpecError
+
+
+class TestTokenizeRuns:
+    def test_zip_code(self):
+        runs = tokenize_runs("35150")
+        assert [(r.symbol, r.length) for r in runs] == [("9", 5)]
+
+    def test_mixed_value(self):
+        runs = tokenize_runs("Johnny.R")
+        assert [(r.symbol, r.length) for r in runs] == [
+            ("A", 1),
+            ("a", 5),
+            (".", 1),
+            ("A", 1),
+        ]
+
+    def test_time_format(self):
+        runs = tokenize_runs("7:10 a.m.")
+        symbols = "".join(r.symbol for r in runs)
+        assert symbols == "9:9sa.a."
+
+    def test_empty_string(self):
+        assert tokenize_runs("") == ()
+
+
+class TestInducePattern:
+    def test_fixed_width_digits(self):
+        profile = induce_pattern(["35150", "35960", "10001", "94105"])
+        assert profile.regex == "[0-9]{5}"
+        assert profile.pattern().check("90210")
+        assert not profile.pattern().check("9021")
+        assert not profile.pattern().check("9021x")
+
+    def test_variable_width_generalised(self):
+        profile = induce_pattern(["12", "1234", "123"], min_support=1)
+        assert profile.regex == "[0-9]{2,4}"
+
+    def test_rare_error_masks_dropped(self):
+        """One typo'd value among many clean ones must not widen the UC."""
+        values = ["35150"] * 20 + ["3515x"]
+        profile = induce_pattern(values)
+        assert profile.regex == "[0-9]{5}"
+        assert not profile.pattern().check("3515x")
+
+    def test_alternation_for_two_formats(self):
+        values = ["7:10 a.m."] * 5 + ["11:45 p.m."] * 5
+        profile = induce_pattern(values)
+        pattern = profile.pattern()
+        assert pattern.check("7:10 a.m.")
+        assert pattern.check("11:45 p.m.")
+        assert not pattern.check("7:10")
+
+    def test_punctuation_is_escaped(self):
+        profile = induce_pattern(["1.5", "2.7", "3.9"])
+        assert profile.pattern().check("4.2")
+        assert not profile.pattern().check("4x2")  # '.' must not be a wildcard
+
+    def test_fallback_on_free_text(self):
+        # structurally heterogeneous values: every mask is unique, so no
+        # small branch set can reach the coverage target
+        values = [
+            "O'Brien & Sons",
+            "42 Main St.",
+            "flat#7",
+            "P.O. Box 12",
+            "c/o  Smith",
+            "(unit) 9-B",
+        ]
+        profile = induce_pattern(values, coverage=0.95, max_branches=2)
+        assert profile.fallback
+        assert all(profile.pattern().check(v) for v in values)
+
+    def test_null_handling(self):
+        profile = induce_pattern(["123", None, "456"], min_support=1)
+        assert profile.saw_null
+        constraints = profile.constraints()
+        assert not any(isinstance(c, NotNull) for c in constraints)
+
+    def test_no_nulls_yields_notnull(self):
+        profile = induce_pattern(["123", "456"], min_support=1)
+        assert any(isinstance(c, NotNull) for c in profile.constraints())
+
+    def test_length_bounds(self):
+        profile = induce_pattern(["ab", "abcd", "abc"], min_support=1)
+        assert profile.min_length == 2
+        assert profile.max_length == 4
+        kinds = {type(c) for c in profile.constraints()}
+        assert MinLength in kinds and MaxLength in kinds
+
+    def test_all_null_rejected(self):
+        with pytest.raises(ConstraintSpecError, match="zero non-null"):
+            induce_pattern([None, None])
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ConstraintSpecError, match="coverage"):
+            induce_pattern(["a"], coverage=0.0)
+
+    def test_bad_min_support_rejected(self):
+        with pytest.raises(ConstraintSpecError, match="min_support"):
+            induce_pattern(["a"], min_support=0)
+
+    def test_regex_is_always_compilable(self):
+        weird = ["a(b)c", "a[b]c", "a{b}c", "a+b*c?", "a|b\\c"]
+        profile = induce_pattern(weird, min_support=1, max_branches=5)
+        assert isinstance(profile, InducedProfile)
+        re.compile(profile.regex)
+
+    @given(
+        width=st.integers(1, 8),
+        count=st.integers(3, 30),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_induced_pattern_accepts_training_majority(self, width, count, seed):
+        """Whatever is induced must accept every value of the dominant mask."""
+        import random
+
+        rng = random.Random(seed)
+        values = [
+            "".join(rng.choice("0123456789") for _ in range(width))
+            for _ in range(count)
+        ]
+        profile = induce_pattern(values)
+        pattern = profile.pattern()
+        assert all(pattern.check(v) for v in values)
+
+
+class TestInduceRegistry:
+    def test_registry_covers_all_columns(self):
+        schema = Schema.of("zip:categorical", "state:categorical")
+        rows = [["35150", "CA"], ["35960", "NY"], ["10001", "TX"]]
+        table = Table.from_rows(schema, rows)
+        registry = induce_registry(table, min_support=1)
+        assert registry.check_cell("zip", "90210")
+        assert not registry.check_cell("zip", "9021x")
+        assert registry.check_cell("state", "WA")
+        assert not registry.check_cell("state", "Cal")
+
+    def test_skips_all_null_columns(self):
+        schema = Schema.of("a:categorical", "b:categorical")
+        table = Table.from_rows(schema, [["x", None], ["y", None]])
+        registry = induce_registry(table, min_support=1)
+        assert registry.constraints_for("a")
+        assert not registry.constraints_for("b")
+
+    def test_induced_ucs_flag_paper_example_errors(self):
+        """The Hospital-style five-digit zip UC from §7.3.1: the induced
+        pattern must reject the '1xx18' candidate the paper filters."""
+        values = ["35150"] * 30 + ["35960"] * 20
+        profile = induce_pattern(values)
+        assert not profile.pattern().check("1xx18")
+
+    def test_restricting_attributes(self):
+        schema = Schema.of("a:categorical", "b:categorical")
+        table = Table.from_rows(schema, [["1", "x"], ["2", "y"]])
+        registry = induce_registry(table, attributes=["a"], min_support=1)
+        assert registry.constraints_for("a")
+        assert not registry.constraints_for("b")
+
+
+class TestEndToEndWithEngine:
+    def test_induced_registry_feeds_bclean(self):
+        """Induce UCs from the clean sample, clean the dirty table —
+        the full no-expert workflow."""
+        import random
+
+        from repro.core.config import BCleanConfig
+        from repro.core.engine import BClean
+        from repro.data.errors import ErrorInjector
+
+        rng = random.Random(5)
+        schema = Schema.of("code:categorical", "label:categorical")
+        codes = [f"{rng.randrange(10000, 99999)}" for _ in range(6)]
+        rows = []
+        for _ in range(150):
+            code = rng.choice(codes)
+            rows.append([code, f"L{code[-2:]}"])
+        clean = Table.from_rows(schema, rows)
+        injection = ErrorInjector(rate=0.08, seed=6, types=("T",)).inject(clean)
+
+        registry = induce_registry(clean)
+        engine = BClean(BCleanConfig.pi(), registry)
+        engine.fit(injection.dirty)
+        result = engine.clean()
+        assert result.stats.repairs_made > 0

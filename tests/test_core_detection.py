@@ -1,0 +1,175 @@
+"""Tests for repro.core.detection (the detect-only API).
+
+Every signal is exercised in isolation (UC violations, weak support,
+format rarity, missingness) and in combination via ``min_votes``; the
+benchmark-level check measures detection P/R against injected errors.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints.builtin import NotNull, Pattern
+from repro.constraints.registry import UCRegistry
+from repro.core.detection import (
+    ErrorDetector,
+    Suspicion,
+    detect_errors,
+)
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import CleaningError
+from repro.evaluation.metrics import detection_quality
+
+
+def fd_table(n_rows=150, seed=0):
+    rng = random.Random(seed)
+    schema = Schema.of("code:categorical", "name:categorical")
+    mapping = {f"{i:04d}": f"n{i}" for i in range(6)}
+    rows = [
+        [c, mapping[c]]
+        for c in (rng.choice(list(mapping)) for _ in range(n_rows))
+    ]
+    return Table.from_rows(schema, rows)
+
+
+class TestSignals:
+    def test_uc_violation_flagged(self):
+        table = fd_table()
+        table.set_cell(0, "code", "12x4")
+        registry = UCRegistry().add("code", Pattern(r"[0-9]{4}"))
+        result = detect_errors(table, registry)
+        flagged = {s for s in result if s.row == 0 and s.attribute == "code"}
+        assert flagged
+        assert "uc" in next(iter(flagged)).signals
+
+    def test_weak_support_flagged(self):
+        table = fd_table()
+        # a value that never co-occurs with its context elsewhere
+        table.set_cell(0, "name", "GHOST")
+        result = detect_errors(table)
+        assert (0, "name") in result.cells
+        suspicion = [s for s in result if (s.row, s.attribute) == (0, "name")][0]
+        assert "support" in suspicion.signals
+
+    def test_pattern_rarity_flagged(self):
+        table = fd_table()
+        table.set_cell(0, "code", "!!@@")  # mask unlike every other code
+        result = detect_errors(table)
+        suspicion = [s for s in result if (s.row, s.attribute) == (0, "code")][0]
+        assert "pattern" in suspicion.signals
+
+    def test_missing_is_its_own_signal(self):
+        table = fd_table()
+        table.set_cell(3, "name", None)
+        result = detect_errors(table)
+        suspicion = [s for s in result if (s.row, s.attribute) == (3, "name")][0]
+        assert suspicion.signals == ("missing",)
+
+    def test_clean_cells_not_flagged(self):
+        table = fd_table()
+        result = detect_errors(table)
+        # an FD-consistent table of frequent values: nothing to flag
+        assert len(result) == 0
+
+    def test_votes_by_signal_accumulates(self):
+        table = fd_table()
+        table.set_cell(0, "name", None)
+        table.set_cell(1, "name", "GHOST")
+        result = detect_errors(table)
+        assert result.votes_by_signal["missing"] == 1
+        assert result.votes_by_signal["support"] >= 1
+        assert result.cells_total == table.n_rows * table.n_cols
+
+
+class TestMinVotes:
+    def test_min_votes_two_requires_agreement(self):
+        table = fd_table()
+        table.set_cell(0, "code", "zz!!")  # rare mask AND weak support
+        registry = UCRegistry().add("code", Pattern(r"[0-9]{4}"))
+        strict = ErrorDetector(registry, min_votes=2).fit(table).detect()
+        assert (0, "code") in strict.cells
+
+    def test_min_votes_filters_single_signal_cells(self):
+        table = fd_table(seed=2)
+        # weak support only: same mask as everything else, passes UCs
+        table.set_cell(0, "code", "9999")
+        registry = UCRegistry().add("code", Pattern(r"[0-9]{4}"))
+        loose = ErrorDetector(registry, min_votes=1).fit(table).detect()
+        strict = ErrorDetector(registry, min_votes=2).fit(table).detect()
+        assert (0, "code") in loose.cells
+        assert (0, "code") not in strict.cells
+
+
+class TestValidation:
+    def test_detect_before_fit_rejected(self):
+        with pytest.raises(CleaningError, match="fit"):
+            ErrorDetector().detect()
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(CleaningError, match="tau_clean"):
+            ErrorDetector(tau_clean=1.5)
+
+    def test_bad_rarity_rejected(self):
+        with pytest.raises(CleaningError, match="rarity"):
+            ErrorDetector(rarity_threshold=-0.1)
+
+    def test_bad_min_votes_rejected(self):
+        with pytest.raises(CleaningError, match="min_votes"):
+            ErrorDetector(min_votes=0)
+
+
+class TestResultAPI:
+    def test_for_attribute_filters(self):
+        table = fd_table()
+        table.set_cell(0, "code", "!!!!")
+        table.set_cell(1, "name", None)
+        result = detect_errors(table)
+        assert all(s.attribute == "code" for s in result.for_attribute("code"))
+        assert result.for_attribute("name")
+
+    def test_suspicion_str_mentions_signals(self):
+        s = Suspicion(3, "code", "!!!!", ("uc", "pattern"))
+        assert "uc" in str(s) and "pattern" in str(s)
+        assert s.n_votes == 2
+
+    def test_detect_on_fresh_table(self):
+        """fit() on one sample, detect() on another of the same schema."""
+        train = fd_table(seed=3)
+        fresh = fd_table(n_rows=20, seed=4)
+        fresh.set_cell(0, "name", "GHOST")
+        detector = ErrorDetector().fit(train)
+        result = detector.detect(fresh)
+        assert (0, "name") in result.cells
+
+
+class TestBenchmarkDetection:
+    def test_detection_quality_on_hospital(self):
+        """On the Hospital benchmark the ensemble must reach a usable
+        detection F1 — the signals BClean prunes with are informative."""
+        from repro.data.benchmark import load_benchmark
+
+        instance = load_benchmark("hospital", n_rows=400, seed=0)
+        result = detect_errors(instance.dirty, instance.constraints)
+        quality = detection_quality(
+            instance.dirty, result.cells, instance.clean
+        )
+        assert quality.recall > 0.7
+        assert quality.precision > 0.4
+        assert quality.f1 > 0.5
+
+    def test_two_vote_mode_is_high_precision(self):
+        """Requiring signal agreement trades recall for precision — the
+        review-queue configuration."""
+        from repro.data.benchmark import load_benchmark
+
+        instance = load_benchmark("hospital", n_rows=400, seed=0)
+        result = (
+            ErrorDetector(instance.constraints, min_votes=2)
+            .fit(instance.dirty)
+            .detect()
+        )
+        quality = detection_quality(
+            instance.dirty, result.cells, instance.clean
+        )
+        assert quality.precision > 0.9

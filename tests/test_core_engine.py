@@ -1,0 +1,185 @@
+"""Integration tests for the BClean engine (Algorithm 1 + variants)."""
+
+import pytest
+
+from repro.bayesnet.dag import DAG
+from repro.constraints.builtin import NotNull, Pattern
+from repro.constraints.registry import UCRegistry
+from repro.core.config import BCleanConfig, InferenceMode
+from repro.core.engine import BClean, clean_table
+from repro.core.repairs import apply_repairs
+from repro.dataset.diff import cells_equal
+from repro.errors import CleaningError
+
+
+@pytest.fixture
+def registry() -> UCRegistry:
+    return (
+        UCRegistry()
+        .add("Name", NotNull())
+        .add("City", NotNull())
+        .add("State", NotNull(), Pattern(r"[A-Z]{2}"))
+        .add("ZipCode", NotNull(), Pattern(r"[0-9]{5}"))
+    )
+
+
+@pytest.fixture
+def star_dag(customer_schema) -> DAG:
+    dag = DAG(customer_schema.names)
+    dag.add_edge("ZipCode", "City")
+    dag.add_edge("ZipCode", "State")
+    dag.add_edge("Name", "ZipCode")
+    return dag
+
+
+class TestEngineLifecycle:
+    def test_clean_before_fit_rejected(self):
+        with pytest.raises(CleaningError):
+            BClean().clean()
+
+    def test_set_network_before_fit_rejected(self, star_dag):
+        with pytest.raises(CleaningError):
+            BClean().set_network(star_dag)
+
+    def test_unknown_structure_rejected(self, dirty_customer_table):
+        engine = BClean(BCleanConfig.pi(structure="nope"))
+        with pytest.raises(CleaningError):
+            engine.fit(dirty_customer_table)
+
+    def test_mismatched_dag_rejected(self, dirty_customer_table):
+        engine = BClean()
+        with pytest.raises(CleaningError):
+            engine.fit(dirty_customer_table, dag=DAG(["other"]))
+
+
+class TestCleaningSmallTable:
+    def test_repairs_planted_errors(
+        self, dirty_customer_table, customer_table, registry, star_dag
+    ):
+        engine = BClean(BCleanConfig.pi(), registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        result = engine.clean()
+        # inconsistency: row 1 State KT -> CA (zip 35150)
+        assert result.cleaned.cell(1, "State") == "CA"
+        # typo: row 3 City cenre -> centre
+        assert result.cleaned.cell(3, "City") == "centre"
+        # missing: row 6 ZipCode NULL -> 10001
+        assert result.cleaned.cell(6, "ZipCode") == "10001"
+
+    def test_clean_cells_untouched(
+        self, dirty_customer_table, customer_table, registry, star_dag
+    ):
+        engine = BClean(BCleanConfig.pi(), registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        result = engine.clean()
+        planted = {(1, "State"), (3, "City"), (6, "ZipCode")}
+        for r in result.repairs:
+            assert (r.row, r.attribute) in planted
+
+    def test_idempotent_on_clean_data(self, customer_table, registry, star_dag):
+        engine = BClean(BCleanConfig.pi(), registry)
+        engine.fit(customer_table, dag=star_dag)
+        result = engine.clean()
+        assert result.n_repairs == 0
+
+    def test_repair_records_consistent(
+        self, dirty_customer_table, registry, star_dag
+    ):
+        engine = BClean(BCleanConfig.pi(), registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        result = engine.clean()
+        rebuilt = apply_repairs(dirty_customer_table, result.repairs)
+        assert rebuilt == result.cleaned
+        for r in result.repairs:
+            assert not cells_equal(r.old_value, r.new_value)
+            assert r.new_score > r.old_score
+
+    def test_stats_populated(self, dirty_customer_table, registry, star_dag):
+        engine = BClean(BCleanConfig.pi(), registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        result = engine.clean()
+        stats = result.stats
+        assert stats.cells_total == dirty_customer_table.n_cells
+        assert stats.cells_inspected > 0
+        assert stats.candidates_evaluated > 0
+        assert stats.repairs_made == result.n_repairs
+        assert stats.total_seconds > 0
+
+
+class TestVariants:
+    @pytest.mark.parametrize("mode", list(InferenceMode))
+    def test_all_modes_fix_inconsistency(
+        self, dirty_customer_table, registry, star_dag, mode
+    ):
+        config = BCleanConfig(mode=mode, tau_clean=0.9)
+        engine = BClean(config, registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        result = engine.clean()
+        assert result.cleaned.cell(1, "State") == "CA"
+
+    def test_pip_skips_cells(self, dirty_customer_table, registry, star_dag):
+        engine = BClean(BCleanConfig.pip(), registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        result = engine.clean()
+        assert result.stats.cells_skipped_pruning > 0
+
+    def test_without_ucs_variant(self, dirty_customer_table, registry, star_dag):
+        engine = BClean(BCleanConfig.without_ucs(), registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        result = engine.clean()
+        # UCs disabled: no candidates filtered by constraints
+        assert result.stats.candidates_filtered_uc == 0
+
+    def test_uc_filter_counts(self, dirty_customer_table, registry, star_dag):
+        engine = BClean(BCleanConfig.pi(), registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        engine.clean()
+
+    def test_basic_mode_evaluates_more_per_candidate(
+        self, dirty_customer_table, registry, star_dag
+    ):
+        # BASIC scores the full joint per candidate; PI only the blanket.
+        # Both must agree on the planted repairs (quality parity).
+        results = {}
+        for config in (BCleanConfig.basic(), BCleanConfig.pi()):
+            engine = BClean(config, registry)
+            engine.fit(dirty_customer_table, dag=star_dag)
+            results[config.mode] = engine.clean()
+        basic = results[InferenceMode.BASIC]
+        pi = results[InferenceMode.PARTITIONED]
+        assert basic.cleaned.cell(1, "State") == pi.cleaned.cell(1, "State")
+
+
+class TestConfigValidation:
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(CleaningError):
+            BCleanConfig(lam=-1.0)
+
+    def test_tau_out_of_range_rejected(self):
+        with pytest.raises(CleaningError):
+            BCleanConfig(tau=1.5)
+
+    def test_mode_from_string(self):
+        assert BCleanConfig(mode="pip").mode == InferenceMode.PARTITIONED_PRUNED
+
+    def test_factories(self):
+        assert BCleanConfig.basic().mode == InferenceMode.BASIC
+        assert BCleanConfig.without_ucs().use_ucs is False
+
+
+class TestSetNetwork:
+    def test_refit_restricted(self, dirty_customer_table, registry, star_dag):
+        engine = BClean(BCleanConfig.pi(), registry)
+        engine.fit(dirty_customer_table, dag=star_dag)
+        new_dag = star_dag.copy()
+        new_dag.remove_edge("Name", "ZipCode")
+        engine.set_network(new_dag, refit_nodes=["ZipCode"])
+        assert engine.dag.n_edges == 2
+        result = engine.clean()
+        assert result.cleaned.cell(1, "State") == "CA"
+
+
+class TestCleanTableHelper:
+    def test_one_shot(self, dirty_customer_table, registry):
+        result = clean_table(dirty_customer_table, BCleanConfig.pi(), registry)
+        assert result.cleaned.n_rows == dirty_customer_table.n_rows

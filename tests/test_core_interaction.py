@@ -1,0 +1,134 @@
+"""Tests for the user-interaction layer (§4: edit edges, merge nodes)."""
+
+import pytest
+
+from repro.bayesnet.dag import DAG
+from repro.core.composition import COMPOSE_SEP, AttributeComposition
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.core.interaction import NetworkEditSession
+from repro.errors import CleaningError, CycleError, GraphError
+
+
+class TestAttributeComposition:
+    def test_default_singletons(self):
+        comp = AttributeComposition(["a", "b", "c"])
+        assert comp.nodes == ["a", "b", "c"]
+        assert comp.node_of("b") == "b"
+        assert not comp.is_merged("b")
+
+    def test_merge(self):
+        comp = AttributeComposition(["a", "b", "c"])
+        merged = comp.merge(["a", "b"])
+        assert merged == "a+b"
+        assert comp.members(merged) == ("a", "b")
+        assert comp.node_of("a") == merged
+        assert comp.is_merged(merged)
+        assert set(comp.nodes) == {merged, "c"}
+
+    def test_merge_single_rejected(self):
+        comp = AttributeComposition(["a", "b"])
+        with pytest.raises(CleaningError):
+            comp.merge(["a"])
+
+    def test_node_value_composition(self):
+        comp = AttributeComposition(["a", "b"])
+        comp.merge(["a", "b"], name="ab")
+        row = {"a": "x", "b": "y"}
+        assert comp.node_value("ab", row) == f"x{COMPOSE_SEP}y"
+        assert comp.node_value_with("ab", row, "a", "z") == f"z{COMPOSE_SEP}y"
+
+    def test_node_value_null_member(self):
+        comp = AttributeComposition(["a", "b"])
+        comp.merge(["a", "b"], name="ab")
+        assert comp.node_value("ab", {"a": None, "b": "y"}) == f"{COMPOSE_SEP}y"
+
+    def test_node_table(self, customer_table):
+        comp = AttributeComposition(customer_table.schema.names)
+        comp.merge(["City", "State"], name="loc")
+        nt = comp.node_table(customer_table)
+        assert "loc" in nt.schema.names
+        assert nt.n_rows == customer_table.n_rows
+        assert COMPOSE_SEP in nt.cell(0, "loc")
+
+    def test_merge_of_merged(self):
+        comp = AttributeComposition(["a", "b", "c"])
+        comp.merge(["a", "b"], name="ab")
+        comp.merge(["ab", "c"], name="abc")
+        assert comp.members("abc") == ("a", "b", "c")
+
+
+@pytest.fixture
+def fitted_engine(dirty_customer_table):
+    registry = None
+    engine = BClean(BCleanConfig.pi())
+    dag = DAG(dirty_customer_table.schema.names)
+    dag.add_edge("ZipCode", "City")
+    dag.add_edge("ZipCode", "State")
+    engine.fit(dirty_customer_table, dag=dag)
+    return engine
+
+
+class TestNetworkEditSession:
+    def test_requires_fitted_engine(self):
+        with pytest.raises(CleaningError):
+            NetworkEditSession(BClean())
+
+    def test_add_remove_edges_staged(self, fitted_engine):
+        session = NetworkEditSession(fitted_engine)
+        session.add_edge("Name", "ZipCode").remove_edge("ZipCode", "City")
+        # engine untouched until commit
+        assert fitted_engine.dag.has_edge("ZipCode", "City")
+        assert not fitted_engine.dag.has_edge("Name", "ZipCode")
+        log = session.commit()
+        assert fitted_engine.dag.has_edge("Name", "ZipCode")
+        assert not fitted_engine.dag.has_edge("ZipCode", "City")
+        assert ("Name", "ZipCode") in log.added_edges
+        assert log.touched_nodes == {"ZipCode", "City"}
+
+    def test_reverse_edge(self, fitted_engine):
+        session = NetworkEditSession(fitted_engine)
+        session.reverse_edge("ZipCode", "City")
+        session.commit()
+        assert fitted_engine.dag.has_edge("City", "ZipCode")
+
+    def test_cycle_rejected_at_stage_time(self, fitted_engine):
+        session = NetworkEditSession(fitted_engine)
+        session.add_edge("City", "Name")
+        with pytest.raises(CycleError):
+            session.add_edge("Name", "City")
+
+    def test_empty_commit_is_noop(self, fitted_engine):
+        before = fitted_engine.dag.copy()
+        log = NetworkEditSession(fitted_engine).commit()
+        assert log.is_empty
+        assert fitted_engine.dag == before
+
+    def test_merge_nodes_shared_edges_collapse(self, fitted_engine):
+        # City and State both have ZipCode as parent: after merging them
+        # the shared incoming edge collapses into one (§4, Fig. 2(h)).
+        session = NetworkEditSession(fitted_engine)
+        session.merge_nodes(["City", "State"], name="loc")
+        log = session.commit()
+        assert ("City", "State") in [tuple(m[0]) for m in log.merges] or log.merges
+        dag = fitted_engine.dag
+        assert "loc" in dag
+        assert dag.has_edge("ZipCode", "loc")
+        assert "City" not in dag and "State" not in dag
+
+    def test_merge_unknown_node_rejected(self, fitted_engine):
+        session = NetworkEditSession(fitted_engine)
+        with pytest.raises(GraphError):
+            session.merge_nodes(["City", "nope"])
+
+    def test_cleaning_still_works_after_merge(self, fitted_engine):
+        session = NetworkEditSession(fitted_engine)
+        session.merge_nodes(["City", "State"], name="loc")
+        session.commit()
+        result = fitted_engine.clean()
+        # the merged engine must still repair the State inconsistency
+        assert result.cleaned.cell(1, "State") == "CA"
+
+    def test_view_renders(self, fitted_engine):
+        text = NetworkEditSession(fitted_engine).view()
+        assert "ZipCode" in text

@@ -1,0 +1,117 @@
+"""Tests for BN partitioning (§6.1) and the pruning strategies (§6.2)."""
+
+import pytest
+
+from repro.bayesnet.dag import DAG
+from repro.core.cooccurrence import CooccurrenceIndex
+from repro.core.partition import partition, partition_statistics
+from repro.core.pruning import (
+    DomainPruner,
+    should_skip_cell,
+    tuple_filter_score,
+)
+
+
+@pytest.fixture
+def diamond() -> DAG:
+    """a → b → d, a → c → d plus an isolated node e."""
+    g = DAG(["a", "b", "c", "d", "e"])
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "d")
+    g.add_edge("c", "d")
+    return g
+
+
+class TestPartition:
+    def test_joint_is_parents_node_children(self, diamond):
+        subnets = partition(diamond)
+        sn = subnets["b"]
+        assert set(sn.joint) == {"a", "b", "d"}
+        assert sn.parents == ("a",)
+        assert sn.children == ("d",)
+
+    def test_coparents_included_in_blanket(self, diamond):
+        sn = partition(diamond)["b"]
+        # b's child d has co-parent c.
+        assert "c" in sn.blanket
+        assert set(sn.blanket) == {"a", "d", "c"}
+
+    def test_isolated_node(self, diamond):
+        sn = partition(diamond)["e"]
+        assert sn.is_isolated
+        assert sn.joint == ("e",)
+        assert sn.size == 1
+
+    def test_every_node_has_a_subnet(self, diamond):
+        assert set(partition(diamond)) == set(diamond.nodes)
+
+    def test_statistics(self, diamond):
+        stats = partition_statistics(partition(diamond))
+        assert stats["n_nodes"] == 5
+        assert stats["n_isolated"] == 1
+        assert stats["max_size"] >= 3
+
+    def test_statistics_empty(self):
+        assert partition_statistics({})["n_nodes"] == 0
+
+
+class TestTuplePruning:
+    def test_consistent_cell_scores_high(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        row = customer_table.row(0).as_dict()
+        score = tuple_filter_score(idx, row, "State")
+        assert score > 0.5
+
+    def test_inconsistent_cell_scores_low(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        row = dict(customer_table.row(0).as_dict(), State="KT")
+        score = tuple_filter_score(idx, row, "State")
+        assert score < 0.3
+
+    def test_should_skip_threshold(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        clean_row = customer_table.row(0).as_dict()
+        dirty_row = dict(clean_row, State="KT")
+        assert should_skip_cell(idx, clean_row, "State", tau_clean=0.5)
+        assert not should_skip_cell(idx, dirty_row, "State", tau_clean=0.5)
+
+    def test_filter_bounds(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        for row in customer_table.rows():
+            for attr in customer_table.schema.names:
+                score = tuple_filter_score(idx, row.as_dict(), attr)
+                assert 0.0 <= score <= 1.0
+
+
+class TestDomainPruning:
+    def test_contextual_value_ranks_first(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        pruner = DomainPruner(idx, top_k=1)
+        row = customer_table.row(0).as_dict()
+        kept = pruner.prune(
+            ["CA", "KT", "NY"], row, "State", ["ZipCode", "City"]
+        )
+        assert kept[0] == "CA"
+        assert len(kept) == 1
+
+    def test_keep_preserves_incumbent(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        pruner = DomainPruner(idx, top_k=1)
+        row = customer_table.row(0).as_dict()
+        kept = pruner.prune(
+            ["CA", "KT", "NY"], row, "State", ["ZipCode"], keep=["NY"]
+        )
+        assert "NY" in kept
+
+    def test_tfidf_zero_without_context(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        pruner = DomainPruner(idx)
+        row = customer_table.row(0).as_dict()
+        assert pruner.tfidf("KT", row, "State", ["ZipCode", "City"]) == 0.0
+
+    def test_tfidf_positive_with_context(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        pruner = DomainPruner(idx)
+        row = customer_table.row(0).as_dict()
+        assert pruner.tfidf("CA", row, "State", ["ZipCode", "City"]) > 0.0

@@ -1,0 +1,67 @@
+"""Tests for repair records and cleaning-result plumbing."""
+
+import time
+
+import pytest
+
+from repro.core.repairs import (
+    CleaningResult,
+    CleaningStats,
+    Repair,
+    Stopwatch,
+    apply_repairs,
+    collect_repairs,
+)
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def small_table():
+    return Table.from_rows(Schema.of("a", "b"), [["1", "x"], ["2", "y"]])
+
+
+class TestRepair:
+    def test_str(self):
+        r = Repair(0, "a", "old", "new", -2.0, -1.0)
+        text = str(r)
+        assert "old" in text and "new" in text and "[0].a" in text
+
+
+class TestApplyRepairs:
+    def test_apply(self, small_table):
+        repairs = [Repair(0, "a", "1", "fixed")]
+        out = apply_repairs(small_table, repairs)
+        assert out.cell(0, "a") == "fixed"
+        assert small_table.cell(0, "a") == "1"  # original untouched
+
+    def test_roundtrip_with_collect(self, small_table):
+        modified = small_table.copy()
+        modified.set_cell(1, "b", "z")
+        repairs = collect_repairs(small_table, modified)
+        assert len(repairs) == 1
+        assert repairs[0].row == 1 and repairs[0].attribute == "b"
+        assert apply_repairs(small_table, repairs) == modified
+
+    def test_collect_no_changes(self, small_table):
+        assert collect_repairs(small_table, small_table.copy()) == []
+
+
+class TestCleaningResult:
+    def test_repaired_cells(self, small_table):
+        result = CleaningResult(
+            small_table, [Repair(0, "a", "1", "9"), Repair(1, "b", "y", "z")]
+        )
+        assert result.n_repairs == 2
+        assert result.repaired_cells() == {(0, "a"), (1, "b")}
+
+    def test_stats_total_seconds(self):
+        stats = CleaningStats(fit_seconds=1.5, clean_seconds=0.5)
+        assert stats.total_seconds == 2.0
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.01

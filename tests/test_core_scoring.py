@@ -1,0 +1,204 @@
+"""Tests for the BClean scoring stack: confidence (Eq. 3), co-occurrence
+(Algorithm 2), compensatory score (Eq. 2), and the log mapping."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints.builtin import MinLength, NotNull, Pattern
+from repro.constraints.registry import UCRegistry
+from repro.core.compensatory import CompensatoryScorer, log_compensatory
+from repro.core.confidence import (
+    reliability_flags,
+    table_confidences,
+    tuple_confidence,
+)
+from repro.core.cooccurrence import CooccurrenceIndex
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def zip_registry() -> UCRegistry:
+    return (
+        UCRegistry()
+        .add("ZipCode", NotNull(), Pattern(r"[0-9]{5}"))
+        .add("City", NotNull(), MinLength(2))
+        .add("State", NotNull())
+        .add("Name", NotNull())
+    )
+
+
+class TestTupleConfidence:
+    def test_clean_tuple_confidence_one(self, zip_registry):
+        row = {"Name": "a", "City": "bb", "State": "CA", "ZipCode": "35150"}
+        assert tuple_confidence(row, zip_registry, lam=1.0) == 1.0
+
+    def test_eq3_formula(self, zip_registry):
+        # one violation of four attributes, λ=1: (3 − 1)/4 = 0.5
+        row = {"Name": "a", "City": "bb", "State": "CA", "ZipCode": None}
+        assert tuple_confidence(row, zip_registry, lam=1.0) == pytest.approx(0.5)
+
+    def test_lambda_scales_penalty(self, zip_registry):
+        row = {"Name": "a", "City": "bb", "State": "CA", "ZipCode": None}
+        # λ=0: 3/4; λ=3: (3-3)/4 = 0
+        assert tuple_confidence(row, zip_registry, lam=0.0) == pytest.approx(0.75)
+        assert tuple_confidence(row, zip_registry, lam=3.0) == 0.0
+
+    def test_clamped_at_zero(self, zip_registry):
+        row = {"Name": None, "City": None, "State": None, "ZipCode": None}
+        assert tuple_confidence(row, zip_registry, lam=10.0) == 0.0
+
+    def test_empty_row(self, zip_registry):
+        assert tuple_confidence({}, zip_registry, lam=1.0) == 0.0
+
+    @given(st.floats(0, 20))
+    def test_confidence_in_unit_interval(self, lam):
+        reg = UCRegistry().add("a", NotNull())
+        for row in ({"a": "x", "b": "y"}, {"a": None, "b": "y"}):
+            c = tuple_confidence(row, reg, lam)
+            assert 0.0 <= c <= 1.0
+
+
+class TestTableConfidences:
+    def test_matches_rowwise(self, dirty_customer_table, zip_registry):
+        fast = table_confidences(dirty_customer_table, zip_registry, lam=1.0)
+        slow = [
+            tuple_confidence(r.as_dict(), zip_registry, 1.0)
+            for r in dirty_customer_table.rows()
+        ]
+        assert fast == pytest.approx(slow)
+
+    def test_reliability_flags(self):
+        assert reliability_flags([0.2, 0.5, 0.9], tau=0.5) == [False, True, True]
+
+
+@pytest.fixture
+def cooc(customer_table) -> CooccurrenceIndex:
+    return CooccurrenceIndex(customer_table)
+
+
+class TestCooccurrenceIndex:
+    def test_value_counts(self, cooc):
+        assert cooc.count("State", "CA") == 3
+        assert cooc.count("State", "nope") == 0
+
+    def test_pair_counts(self, cooc):
+        assert cooc.pair_count("City", "sylacauga", "State", "CA") == 3
+        assert cooc.pair_count("City", "sylacauga", "State", "KT") == 0
+
+    def test_corr_positive_for_fd_partner(self, cooc):
+        assert cooc.corr("City", "sylacauga", "ZipCode", "35150") > 0.0
+
+    def test_corr_zero_for_never_cooccurring(self, cooc):
+        assert cooc.corr("City", "sylacauga", "ZipCode", "35960") == 0.0
+
+    def test_corr_exclude_self_removes_singleton_evidence(self, customer_table):
+        # Make a value unique: its only 'support' is its own row.
+        t = customer_table.copy()
+        t.set_cell(0, "City", "uniqueville")
+        idx = CooccurrenceIndex(t)
+        with_self = idx.corr("City", "uniqueville", "ZipCode", "35150")
+        without = idx.corr(
+            "City", "uniqueville", "ZipCode", "35150", exclude_self=True
+        )
+        assert without == 0.0
+        assert with_self >= without
+
+    def test_beta_penalty_reduces_corr(self, customer_table):
+        confident = CooccurrenceIndex(customer_table, None)
+        # Mark every tuple unreliable: all pair weights become -beta.
+        low_conf = CooccurrenceIndex(
+            customer_table, [0.0] * customer_table.n_rows, tau=0.5, beta=2.0
+        )
+        assert low_conf.corr("City", "sylacauga", "State", "CA") <= 0.0
+        assert confident.corr("City", "sylacauga", "State", "CA") > 0.0
+
+    def test_cooccurring_values_excludes_null(self, customer_table):
+        t = customer_table.copy()
+        t.set_cell(0, "City", None)
+        idx = CooccurrenceIndex(t)
+        values = idx.cooccurring_values("City", "State", "CA")
+        assert None not in values
+        assert "sylacauga" in values
+
+    def test_n_pairs_stored(self, cooc):
+        assert cooc.n_pairs_stored() > 0
+
+
+class TestCompensatoryScorer:
+    def test_correct_value_beats_wrong(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        scorer = CompensatoryScorer(idx)
+        row = customer_table.row(0).as_dict()
+        right = scorer.score("CA", row, "State")
+        wrong = scorer.score("KT", row, "State")
+        assert right > wrong
+
+    def test_incumbent_self_exclusion(self, customer_table):
+        t = customer_table.copy()
+        t.set_cell(0, "State", "XX")  # unique wrong value
+        idx = CooccurrenceIndex(t)
+        scorer = CompensatoryScorer(idx)
+        row = t.row(0).as_dict()
+        as_incumbent = scorer.score("XX", row, "State", is_incumbent=True)
+        assert as_incumbent == pytest.approx(0.0)
+
+    def test_frequency_term(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        with_freq = CompensatoryScorer(idx, frequency_weight=1.0)
+        without = CompensatoryScorer(idx, frequency_weight=0.0)
+        row = customer_table.row(0).as_dict()
+        assert with_freq.score("CA", row, "State") > without.score(
+            "CA", row, "State"
+        )
+
+    def test_restricted_context(self, customer_table):
+        idx = CooccurrenceIndex(customer_table)
+        scorer = CompensatoryScorer(idx)
+        row = customer_table.row(0).as_dict()
+        only_zip = scorer.score("CA", row, "State", ["ZipCode"])
+        assert only_zip > 0.0
+
+
+class TestLogCompensatory:
+    def test_best_maps_to_zero(self):
+        out = log_compensatory({"a": 0.9, "b": 0.1}, smoothing=0.05)
+        assert out["a"] == 0.0
+        assert out["b"] < 0.0
+
+    def test_all_equal_no_influence(self):
+        out = log_compensatory({"a": 0.5, "b": 0.5})
+        assert out["a"] == out["b"] == 0.0
+
+    def test_tiny_scores_damped(self):
+        # Scores far below the smoothing level barely separate.
+        out = log_compensatory({"a": 0.001, "b": 0.0}, smoothing=0.05)
+        assert abs(out["b"]) < 0.05
+
+    def test_negative_scores_clipped(self):
+        out = log_compensatory({"a": -5.0, "b": 0.5}, smoothing=0.05)
+        assert out["a"] == pytest.approx(math.log(0.05 / 0.55))
+
+    def test_empty(self):
+        assert log_compensatory({}) == {}
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            log_compensatory({"a": 1.0}, smoothing=0.0)
+
+    @given(
+        st.dictionaries(
+            st.text(max_size=3),
+            st.floats(-5, 5, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_order_preserved(self, scores):
+        out = log_compensatory(scores, smoothing=0.05)
+        items = sorted(scores.items(), key=lambda kv: max(kv[1], 0.0))
+        mapped = [out[k] for k, _ in items]
+        assert mapped == sorted(mapped)

@@ -1,0 +1,155 @@
+"""Tests for the benchmark dataset generators and registry."""
+
+import pytest
+
+from repro.data.benchmark import (
+    DATASET_NAMES,
+    dataset_spec,
+    load_benchmark,
+    table2_statistics,
+)
+from repro.dataset.table import is_null
+from repro.errors import DatasetError
+
+SMALL = {  # fast sizes for tests
+    "hospital": 200,
+    "flights": 200,
+    "soccer": 300,
+    "beers": 200,
+    "inpatient": 200,
+    "facilities": 200,
+}
+
+
+class TestRegistry:
+    def test_all_six_datasets_registered(self):
+        assert set(DATASET_NAMES) == {
+            "hospital", "flights", "soccer", "beers", "inpatient", "facilities",
+        }
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("nope")
+
+    def test_case_insensitive(self):
+        assert dataset_spec("Hospital").name == "hospital"
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestEveryDataset:
+    def test_clean_generation(self, name):
+        spec = dataset_spec(name)
+        table = spec.generate_clean(SMALL[name], seed=1)
+        assert table.n_rows == SMALL[name]
+        assert table.n_cols == len(spec.module.schema())
+        # clean data has no NULLs
+        assert all(
+            not is_null(v) for col in table.columns for v in col
+        )
+
+    def test_deterministic(self, name):
+        spec = dataset_spec(name)
+        a = spec.generate_clean(SMALL[name], seed=5)
+        b = spec.generate_clean(SMALL[name], seed=5)
+        assert a == b
+        c = spec.generate_clean(SMALL[name], seed=6)
+        assert a != c
+
+    def test_key_fds_hold_on_clean_data(self, name):
+        from repro.constraints.fd import FDLookup
+
+        spec = dataset_spec(name)
+        table = spec.generate_clean(SMALL[name], seed=2)
+        for fd in spec.key_fds():
+            lookup = FDLookup(fd, table)
+            violations = sum(
+                1 for row in table.rows() if lookup.violates(row.as_dict())
+            )
+            assert violations == 0, f"{fd} violated on clean {name}"
+
+    def test_constraints_hold_on_clean_data(self, name):
+        spec = dataset_spec(name)
+        table = spec.generate_clean(SMALL[name], seed=3)
+        registry = spec.constraints(table)
+        assert registry.n_constraints > 0
+        for row in table.rows():
+            assert registry.violations_in_tuple(row.as_dict()) == 0
+
+    def test_denial_constraints_clean(self, name):
+        from repro.constraints.dc import find_violations
+
+        spec = dataset_spec(name)
+        table = spec.generate_clean(SMALL[name], seed=4)
+        for dc in spec.denial_constraints():
+            assert find_violations(table, dc, limit=1) == []
+
+    def test_pclean_program_covers_schema(self, name):
+        spec = dataset_spec(name)
+        program = spec.pclean_program()
+        assert set(program.names) == set(spec.module.schema().names)
+        assert program.n_ppl_lines > 10
+
+    def test_load_benchmark_wires_everything(self, name):
+        inst = load_benchmark(name, n_rows=SMALL[name], seed=0)
+        assert inst.dirty.n_rows == inst.clean.n_rows == SMALL[name]
+        assert len(inst.error_cells) > 0
+        assert inst.constraints.n_constraints > 0
+        # dirty differs from clean exactly at the injected errors
+        from repro.dataset.diff import diff_mask
+
+        assert diff_mask(inst.dirty, inst.clean) == inst.error_cells
+
+    def test_noise_rate_override(self, name):
+        inst = load_benchmark(name, n_rows=SMALL[name], noise_rate=0.30, seed=0)
+        assert inst.injection.noise_rate == pytest.approx(0.30, abs=0.12)
+
+
+class TestTable2:
+    def test_statistics_complete(self):
+        rows = table2_statistics(n_rows=150)
+        assert len(rows) == 6
+        for row in rows:
+            assert row["rows"] == 150
+            assert row["n_ucs"] > 0
+            assert row["n_dcs"] > 0
+            assert row["ppl_lines"] > 0
+
+
+class TestFlightsSpecifics:
+    def test_user_network_star(self):
+        spec = dataset_spec("flights")
+        dag = spec.user_network()
+        assert dag is not None
+        assert dag.children("flight") == list(
+            spec.module.TIME_ATTRS
+        )
+
+    def test_time_format_matches_table3_pattern(self):
+        import re
+
+        spec = dataset_spec("flights")
+        table = spec.generate_clean(100, seed=1)
+        pattern = re.compile(spec.module.TIME_PATTERN)
+        for attr in spec.module.TIME_ATTRS:
+            for v in table.column(attr):
+                assert pattern.fullmatch(str(v)), v
+
+    def test_protected_identity_columns(self):
+        inst = load_benchmark("flights", n_rows=200, seed=1)
+        assert all(
+            e.attribute not in ("src", "flight") for e in inst.injection.errors
+        )
+
+
+class TestHospitalSpecifics:
+    def test_no_user_network(self):
+        assert dataset_spec("hospital").user_network() is None
+
+    def test_state_measure_determines_stateavg(self):
+        table = dataset_spec("hospital").generate_clean(300, seed=1)
+        seen = {}
+        for row in table.rows():
+            key = (row["State"], row["MeasureCode"])
+            if key in seen:
+                assert seen[key] == row["StateAvg"]
+            seen[key] = row["StateAvg"]

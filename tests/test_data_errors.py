@@ -1,0 +1,165 @@
+"""Tests for the §7.1 error injector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.errors import (
+    ALL_TYPES,
+    INCONSISTENCY,
+    MISSING,
+    SWAP,
+    TYPO,
+    ErrorInjector,
+    inject_typo,
+)
+from repro.dataset.diff import cells_equal
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table, is_null
+from repro.errors import ErrorInjectionError
+from repro.text.levenshtein import levenshtein
+
+
+class TestInjectTypo:
+    @given(st.text(alphabet="abc123", min_size=1, max_size=10), st.integers(0, 1000))
+    @settings(max_examples=50)
+    def test_typo_is_one_edit_away(self, value, seed):
+        import random
+
+        rng = random.Random(seed)
+        out = inject_typo(value, rng)
+        assert levenshtein(str(value), str(out)) == 1
+
+    def test_empty_string(self):
+        import random
+
+        out = inject_typo("", random.Random(0))
+        assert len(str(out)) == 1
+
+
+class TestInjectorValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ErrorInjectionError):
+            ErrorInjector(rate=1.5)
+        with pytest.raises(ErrorInjectionError):
+            ErrorInjector(rate=-0.1)
+
+    def test_unknown_type(self):
+        with pytest.raises(ErrorInjectionError):
+            ErrorInjector(rate=0.1, types=("X",))
+
+    def test_empty_types(self):
+        with pytest.raises(ErrorInjectionError):
+            ErrorInjector(rate=0.1, types=())
+
+    def test_all_protected_rejected(self, customer_table):
+        inj = ErrorInjector(rate=0.1, protected=customer_table.schema.names)
+        with pytest.raises(ErrorInjectionError):
+            inj.inject(customer_table)
+
+
+class TestInjection:
+    def test_deterministic(self, customer_table):
+        a = ErrorInjector(rate=0.2, seed=7).inject(customer_table)
+        b = ErrorInjector(rate=0.2, seed=7).inject(customer_table)
+        assert a.dirty == b.dirty
+        assert a.errors == b.errors
+
+    def test_rate_respected(self, customer_table):
+        result = ErrorInjector(rate=0.25, seed=1).inject(customer_table)
+        target = round(0.25 * customer_table.n_cells)
+        assert abs(len(result.errors) - target) <= target  # swaps may drop pairs
+        assert 0 < len(result.errors) <= target + 1
+
+    def test_clean_table_unmodified(self, customer_table):
+        original = customer_table.copy()
+        ErrorInjector(rate=0.3, seed=2).inject(customer_table)
+        assert customer_table == original
+
+    def test_provenance_matches_tables(self, customer_table):
+        result = ErrorInjector(rate=0.3, seed=3).inject(customer_table)
+        for e in result.errors:
+            assert cells_equal(result.clean.cell(e.row, e.attribute), e.clean_value)
+            assert cells_equal(result.dirty.cell(e.row, e.attribute), e.dirty_value)
+            assert not cells_equal(e.clean_value, e.dirty_value)
+
+    def test_untouched_cells_identical(self, customer_table):
+        result = ErrorInjector(rate=0.3, seed=4).inject(customer_table)
+        error_cells = result.error_cells
+        for i in range(customer_table.n_rows):
+            for a in customer_table.schema.names:
+                if (i, a) not in error_cells:
+                    assert cells_equal(
+                        result.dirty.cell(i, a), result.clean.cell(i, a)
+                    )
+
+    def test_missing_type_produces_nulls(self, customer_table):
+        result = ErrorInjector(rate=0.4, types=(MISSING,), seed=5).inject(
+            customer_table
+        )
+        assert result.errors
+        for e in result.errors:
+            assert e.error_type == MISSING
+            assert is_null(e.dirty_value)
+
+    def test_typo_type_one_edit(self, customer_table):
+        result = ErrorInjector(rate=0.4, types=(TYPO,), seed=6).inject(
+            customer_table
+        )
+        for e in result.errors:
+            assert levenshtein(str(e.clean_value), str(e.dirty_value)) == 1
+
+    def test_inconsistency_values_are_valid_elsewhere(self, customer_table):
+        result = ErrorInjector(rate=0.4, types=(INCONSISTENCY,), seed=7).inject(
+            customer_table
+        )
+        all_values = {
+            str(v)
+            for col in customer_table.columns
+            for v in col
+            if not is_null(v)
+        }
+        for e in result.errors:
+            assert str(e.dirty_value) in all_values
+
+    def test_swap_same_domain_pairs(self, customer_table):
+        result = ErrorInjector(rate=0.6, types=(SWAP,), seed=8).inject(
+            customer_table
+        )
+        # swaps come in pairs within one attribute
+        assert len(result.errors) % 2 == 0
+        for e in result.errors:
+            assert e.error_type == SWAP
+
+    def test_swap_cross_domain(self, customer_table):
+        result = ErrorInjector(
+            rate=0.6, types=(SWAP,), seed=9, swap_cross_domain=True
+        ).inject(customer_table)
+        # cross-domain swaps touch two attributes of the same row
+        rows_touched = {}
+        for e in result.errors:
+            rows_touched.setdefault(e.row, []).append(e.attribute)
+        assert any(len(attrs) >= 2 for attrs in rows_touched.values())
+
+    def test_protected_attributes_untouched(self, customer_table):
+        result = ErrorInjector(
+            rate=0.5, seed=10, protected=("Name",)
+        ).inject(customer_table)
+        assert all(e.attribute != "Name" for e in result.errors)
+
+    def test_counts_by_type(self, customer_table):
+        result = ErrorInjector(rate=0.4, seed=11).inject(customer_table)
+        counts = result.counts_by_type()
+        assert sum(counts.values()) == len(result.errors)
+        assert set(counts) <= set(ALL_TYPES)
+
+    def test_noise_rate_property(self, customer_table):
+        result = ErrorInjector(rate=0.25, seed=12).inject(customer_table)
+        assert result.noise_rate == pytest.approx(
+            len(result.errors) / customer_table.n_cells
+        )
+
+    def test_errors_of_type(self, customer_table):
+        result = ErrorInjector(rate=0.4, seed=13).inject(customer_table)
+        typos = result.errors_of_type(TYPO)
+        assert all(e.error_type == TYPO for e in typos)

@@ -1,0 +1,103 @@
+"""Tests for repro.dataset.domain and repro.dataset.diff."""
+
+import pytest
+
+from repro.dataset.diff import (
+    CellDiff,
+    cells_equal,
+    diff_cells,
+    diff_mask,
+    hamming,
+)
+from repro.dataset.domain import Domain, DomainIndex
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import EvaluationError
+
+
+class TestDomain:
+    def test_from_column_counts(self):
+        d = Domain.from_column("a", ["x", "y", "x", None, "x"])
+        assert d.size == 2
+        assert d.frequency("x") == 3
+        assert d.frequency("y") == 1
+        assert d.n_null == 1
+        assert d.n_total == 5
+
+    def test_values_ordered_by_frequency(self):
+        d = Domain.from_column("a", ["y", "x", "x"])
+        assert d.values == ["x", "y"]
+
+    def test_relative_frequency(self):
+        d = Domain.from_column("a", ["x", "x", "y", "z"])
+        assert d.relative_frequency("x") == pytest.approx(0.5)
+        assert d.relative_frequency("missing") == 0.0
+        assert d.relative_frequency(None) == 0.0
+
+    def test_contains(self):
+        d = Domain.from_column("a", ["x"])
+        assert "x" in d
+        assert "y" not in d
+
+    def test_empty_column(self):
+        d = Domain.from_column("a", [])
+        assert d.size == 0
+        assert d.relative_frequency("x") == 0.0
+
+
+class TestDomainIndex:
+    def test_candidate_values_cap(self, customer_table):
+        idx = DomainIndex(customer_table)
+        assert len(idx.candidate_values("Name", cap=1)) == 1
+        assert idx.candidate_values("Name", cap=1)[0] in ("Johnny.R", "Henry.P")
+
+    def test_total_distinct(self, customer_table):
+        idx = DomainIndex(customer_table)
+        assert idx.total_distinct() == 3 + 3 + 3 + 3
+
+    def test_getitem(self, customer_table):
+        idx = DomainIndex(customer_table)
+        assert idx["State"].frequency("CA") == 3
+
+
+class TestCellsEqual:
+    def test_null_equals_null(self):
+        assert cells_equal(None, None)
+        assert cells_equal(None, "NULL")
+        assert not cells_equal(None, "x")
+
+    def test_numeric_canonicalisation(self):
+        assert cells_equal(1, "1")
+        assert cells_equal("0.5", 0.5)
+        assert cells_equal("2.0", "2")
+        assert not cells_equal("1", "2")
+
+    def test_inf_nan_strings_compared_verbatim(self):
+        assert cells_equal("inf", "inf")
+        assert not cells_equal("inf", "1")
+
+    def test_plain_strings(self):
+        assert cells_equal("abc", "abc")
+        assert not cells_equal("abc", "abd")
+
+
+class TestDiff:
+    def test_no_diff_on_identical(self, customer_table):
+        assert diff_cells(customer_table, customer_table.copy()) == []
+        assert hamming(customer_table, customer_table) == 0
+
+    def test_diff_found(self, customer_table):
+        other = customer_table.copy()
+        other.set_cell(2, "City", "boston")
+        diffs = diff_cells(customer_table, other)
+        assert diffs == [CellDiff(2, "City", "sylacauga", "boston")]
+        assert diff_mask(customer_table, other) == {(2, "City")}
+
+    def test_misaligned_rejected(self, customer_table):
+        with pytest.raises(EvaluationError):
+            diff_cells(customer_table, customer_table.head(2))
+
+    def test_different_schema_rejected(self, customer_table):
+        other = Table.from_rows(Schema.of("x"), [["1"]] * customer_table.n_rows)
+        with pytest.raises(EvaluationError):
+            diff_cells(customer_table, other)

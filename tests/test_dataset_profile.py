@@ -1,0 +1,128 @@
+"""Tests for repro.dataset.profile (column stats + FD candidates)."""
+
+import math
+import random
+
+import pytest
+
+from repro.dataset.profile import (
+    fd_candidates,
+    profile_column,
+    profile_table,
+)
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def orders_table() -> Table:
+    rng = random.Random(5)
+    schema = Schema.of(
+        "order_id:categorical", "sku:categorical", "site:categorical"
+    )
+    mapping = {"S1": "east", "S2": "east", "S3": "west"}
+    rows = []
+    for i in range(200):
+        sku = rng.choice(list(mapping))
+        rows.append([f"O{i:05d}", sku, mapping[sku]])
+    return Table.from_rows(schema, rows)
+
+
+class TestProfileColumn:
+    def test_basic_counts(self):
+        p = profile_column("x", "categorical", ["a", "b", "a", None])
+        assert p.n_values == 4
+        assert p.n_nulls == 1
+        assert p.n_distinct == 2
+        assert p.null_fraction == pytest.approx(0.25)
+
+    def test_entropy_uniform_vs_constant(self):
+        uniform = profile_column("u", "categorical", ["a", "b", "c", "d"])
+        constant = profile_column("c", "categorical", ["a", "a", "a", "a"])
+        assert uniform.entropy == pytest.approx(2.0)
+        assert constant.entropy == pytest.approx(0.0)
+
+    def test_length_bounds(self):
+        p = profile_column("x", "text", ["ab", "abcd", "a"])
+        assert (p.min_length, p.max_length) == (1, 4)
+
+    def test_dominant_mask_coverage(self):
+        p = profile_column("zip", "categorical", ["12345", "99999", "abcde"])
+        assert p.dominant_mask == "9"
+        assert p.mask_coverage == pytest.approx(2 / 3)
+
+    def test_key_like_detection(self):
+        key = profile_column("id", "categorical", ["a", "b", "c"])
+        non_key = profile_column("v", "categorical", ["a", "a", "b"])
+        assert key.is_key_like
+        assert not non_key.is_key_like
+
+    def test_all_null_column(self):
+        p = profile_column("hole", "categorical", [None, None])
+        assert p.n_distinct == 0
+        assert p.dominant_mask is None
+        assert not p.is_key_like
+
+    def test_top_values_ordered(self):
+        p = profile_column("x", "categorical", ["a"] * 5 + ["b"] * 2 + ["c"])
+        assert p.top_values[0] == ("a", 5)
+        assert p.top_values[1] == ("b", 2)
+
+
+class TestFDCandidates:
+    def test_exact_fd_found(self, orders_table):
+        fds = fd_candidates(orders_table)
+        pairs = {(fd.lhs, fd.rhs) for fd in fds}
+        assert ("sku", "site") in pairs
+
+    def test_key_columns_skipped(self, orders_table):
+        fds = fd_candidates(orders_table)
+        assert all(fd.lhs != "order_id" for fd in fds)
+
+    def test_violations_counted(self, orders_table):
+        dirty = orders_table.copy()
+        dirty.set_cell(0, "site", "WRONG")
+        fds = {
+            (fd.lhs, fd.rhs): fd for fd in fd_candidates(dirty, min_confidence=0.5)
+        }
+        fd = fds[("sku", "site")]
+        assert fd.violations == 1
+        assert fd.confidence < 1.0
+
+    def test_min_confidence_filters(self, orders_table):
+        rng = random.Random(0)
+        noisy = orders_table.copy()
+        for i in range(0, 60):
+            noisy.set_cell(i, "site", rng.choice(["east", "west"]))
+        strict = fd_candidates(noisy, min_confidence=0.999)
+        assert all((fd.lhs, fd.rhs) != ("sku", "site") for fd in strict)
+
+    def test_str_mentions_confidence(self, orders_table):
+        fd = fd_candidates(orders_table)[0]
+        assert "confidence" in str(fd)
+
+
+class TestProfileTable:
+    def test_full_profile(self, orders_table):
+        profile = profile_table(orders_table)
+        assert profile.n_rows == 200
+        assert profile.n_cols == 3
+        assert {c.name for c in profile.columns} == {
+            "order_id",
+            "sku",
+            "site",
+        }
+        assert profile.column("order_id").is_key_like
+
+    def test_render_contains_fd_section(self, orders_table):
+        text = profile_table(orders_table).render()
+        assert "FD candidates" in text
+        assert "sku -> site" in text
+
+    def test_unknown_column_raises(self, orders_table):
+        with pytest.raises(KeyError):
+            profile_table(orders_table).column("nope")
+
+    def test_fds_can_be_disabled(self, orders_table):
+        profile = profile_table(orders_table, include_fds=False)
+        assert profile.fd_candidates == []

@@ -1,0 +1,85 @@
+"""Tests for repro.dataset.schema."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, AttrType, Schema
+from repro.errors import SchemaError
+
+
+class TestAttrType:
+    def test_numeric_flags(self):
+        assert AttrType.INTEGER.is_numeric
+        assert AttrType.FLOAT.is_numeric
+        assert not AttrType.TEXT.is_numeric
+        assert not AttrType.CATEGORICAL.is_numeric
+
+    def test_textual_flags(self):
+        assert AttrType.TEXT.is_textual
+        assert AttrType.CATEGORICAL.is_textual
+        assert not AttrType.INTEGER.is_textual
+
+
+class TestAttribute:
+    def test_defaults(self):
+        a = Attribute("city")
+        assert a.attr_type == AttrType.TEXT
+        assert not a.nullable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_frozen(self):
+        a = Attribute("city")
+        with pytest.raises(AttributeError):
+            a.name = "other"  # type: ignore[misc]
+
+
+class TestSchema:
+    def test_of_parses_typed_specs(self):
+        s = Schema.of("a", "b:integer", "c:float", "d:categorical")
+        assert s.type_of("a") == AttrType.TEXT
+        assert s.type_of("b") == AttrType.INTEGER
+        assert s.type_of("c") == AttrType.FLOAT
+        assert s.type_of("d") == AttrType.CATEGORICAL
+
+    def test_of_accepts_attribute_objects(self):
+        s = Schema.of(Attribute("x", AttrType.FLOAT), "y")
+        assert s.type_of("x") == AttrType.FLOAT
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a:decimal")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_index_of(self):
+        s = Schema.of("a", "b", "c")
+        assert s.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            s.index_of("z")
+
+    def test_contains_and_len(self):
+        s = Schema.of("a", "b")
+        assert "a" in s
+        assert "z" not in s
+        assert len(s) == 2
+
+    def test_project_preserves_order(self):
+        s = Schema.of("a", "b:integer", "c")
+        p = s.project(["c", "b"])
+        assert p.names == ["c", "b"]
+        assert p.type_of("b") == AttrType.INTEGER
+
+    def test_rename(self):
+        s = Schema.of("a", "b")
+        r = s.rename({"a": "x"})
+        assert r.names == ["x", "b"]
+        # original untouched
+        assert s.names == ["a", "b"]
+
+    def test_equality(self):
+        assert Schema.of("a", "b") == Schema.of("a", "b")
+        assert Schema.of("a") != Schema.of("a:integer")

@@ -1,0 +1,165 @@
+"""Tests for repro.dataset.table."""
+
+import pytest
+
+from repro.dataset.schema import AttrType, Schema
+from repro.dataset.table import (
+    Table,
+    coerce_column,
+    infer_attr_type,
+    infer_schema,
+    is_null,
+)
+from repro.errors import SchemaError
+
+
+class TestIsNull:
+    @pytest.mark.parametrize(
+        "value", [None, "", "  ", "NULL", "null", "nan", "None", float("nan")]
+    )
+    def test_null_values(self, value):
+        assert is_null(value)
+
+    @pytest.mark.parametrize("value", [0, 0.0, "0", "a", False, "Nullable"])
+    def test_non_null_values(self, value):
+        assert not is_null(value)
+
+
+class TestTableConstruction:
+    def test_from_rows(self, customer_schema):
+        t = Table.from_rows(customer_schema, [["a", "b", "c", "d"]])
+        assert t.n_rows == 1
+        assert t.n_cols == 4
+        assert t.n_cells == 4
+
+    def test_from_rows_width_mismatch(self, customer_schema):
+        with pytest.raises(SchemaError):
+            Table.from_rows(customer_schema, [["a", "b"]])
+
+    def test_from_dicts_fills_missing_with_null(self):
+        s = Schema.of("a", "b")
+        t = Table.from_dicts(s, [{"a": "x"}])
+        assert t.cell(0, "b") is None
+
+    def test_from_dicts_unknown_key_rejected(self):
+        s = Schema.of("a")
+        with pytest.raises(SchemaError):
+            Table.from_dicts(s, [{"z": 1}])
+
+    def test_ragged_columns_rejected(self):
+        s = Schema.of("a", "b")
+        with pytest.raises(SchemaError):
+            Table(s, [["x"], []])
+
+    def test_empty(self):
+        t = Table.empty(Schema.of("a", "b"))
+        assert t.n_rows == 0
+        assert t.n_cols == 2
+
+
+class TestTableAccess:
+    def test_cell_by_name_and_index(self, customer_table):
+        assert customer_table.cell(0, "Name") == "Johnny.R"
+        assert customer_table.cell(0, 0) == "Johnny.R"
+
+    def test_set_cell(self, customer_table):
+        customer_table.set_cell(0, "City", "boston")
+        assert customer_table.cell(0, "City") == "boston"
+
+    def test_row_view(self, customer_table):
+        row = customer_table.row(3)
+        assert row["Name"] == "Henry.P"
+        assert row[0] == "Henry.P"
+        assert row.index == 3
+        assert len(row) == 4
+
+    def test_row_out_of_range(self, customer_table):
+        with pytest.raises(IndexError):
+            customer_table.row(99)
+
+    def test_row_as_dict(self, customer_table):
+        d = customer_table.row(0).as_dict()
+        assert d["ZipCode"] == "35150"
+
+    def test_iter_cells_count(self, customer_table):
+        cells = list(customer_table.iter_cells())
+        assert len(cells) == customer_table.n_cells
+
+
+class TestTableDerivation:
+    def test_copy_is_independent(self, customer_table):
+        c = customer_table.copy()
+        c.set_cell(0, "City", "changed")
+        assert customer_table.cell(0, "City") != "changed"
+
+    def test_project(self, customer_table):
+        p = customer_table.project(["City", "Name"])
+        assert p.schema.names == ["City", "Name"]
+        assert p.cell(0, "City") == "sylacauga"
+
+    def test_head(self, customer_table):
+        assert customer_table.head(3).n_rows == 3
+
+    def test_select(self, customer_table):
+        sel = customer_table.select(lambda r: r["Name"] == "Henry.P")
+        assert sel.n_rows == 3
+
+    def test_take_preserves_order(self, customer_table):
+        t = customer_table.take([5, 0])
+        assert t.cell(0, "Name") == "Henry.P"
+        assert t.cell(1, "Name") == "Johnny.R"
+
+    def test_sample_deterministic(self, customer_table):
+        a = customer_table.sample(4, seed=1)
+        b = customer_table.sample(4, seed=1)
+        assert a == b
+        assert a.n_rows == 4
+
+    def test_sample_larger_than_table(self, customer_table):
+        assert customer_table.sample(100, seed=1).n_rows == customer_table.n_rows
+
+    def test_argsort_by_puts_nulls_last(self, customer_table):
+        customer_table.set_cell(0, "City", None)
+        order = customer_table.argsort_by("City")
+        assert order[-1] == 0
+
+    def test_equality(self, customer_table):
+        assert customer_table == customer_table.copy()
+        other = customer_table.copy()
+        other.set_cell(0, "City", "x")
+        assert customer_table != other
+
+    def test_pretty_contains_header(self, customer_table):
+        text = customer_table.pretty(limit=2)
+        assert "Name" in text
+        assert "more rows" in text
+
+
+class TestTypeInference:
+    def test_integers(self):
+        assert infer_attr_type(["1", "2", "3"]) == AttrType.INTEGER
+
+    def test_floats(self):
+        assert infer_attr_type(["1.5", "2", "3.0"]) == AttrType.FLOAT
+
+    def test_categorical_small_vocab(self):
+        assert infer_attr_type(["a", "b", "a"] * 10) == AttrType.CATEGORICAL
+
+    def test_text_large_vocab(self):
+        values = [f"value-{i}" for i in range(100)]
+        assert infer_attr_type(values, categorical_threshold=10) == AttrType.TEXT
+
+    def test_all_null_defaults_to_text(self):
+        assert infer_attr_type([None, ""]) == AttrType.TEXT
+
+    def test_coerce_integer_column(self):
+        out = coerce_column(["1", "2", None], AttrType.INTEGER)
+        assert out == [1, 2, None]
+
+    def test_coerce_keeps_dirty_values_as_strings(self):
+        out = coerce_column(["1", "x2"], AttrType.INTEGER)
+        assert out == [1, "x2"]
+
+    def test_infer_schema(self):
+        s = infer_schema(["a", "b"], [["1", "x"], ["2", "y"]])
+        assert s.type_of("a") == AttrType.INTEGER

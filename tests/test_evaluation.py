@@ -1,0 +1,191 @@
+"""Tests for metrics (§7.1), the runner, and reporting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.benchmark import load_benchmark
+from repro.data.errors import ErrorInjector
+from repro.evaluation.metrics import (
+    detection_quality,
+    evaluate_repairs,
+    f1_score,
+    recall_by_error_type,
+)
+from repro.evaluation.reporting import pivot_reports, render_table
+from repro.evaluation.runner import run_matrix, run_system
+from repro.evaluation.systems import BCleanSystem, GarfSystem
+from repro.errors import EvaluationError
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.5, 0.5) == 0.5
+        assert f1_score(0.0, 0.0) == 0.0
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_bounds(self, p, r):
+        f1 = f1_score(p, r)
+        assert 0.0 <= f1 <= 1.0
+        assert f1 <= max(p, r) + 1e-12
+
+
+class TestEvaluateRepairs:
+    @pytest.fixture
+    def setting(self, customer_table):
+        injection = ErrorInjector(rate=0.2, seed=1).inject(customer_table)
+        return injection
+
+    def test_perfect_cleaning(self, setting):
+        q = evaluate_repairs(
+            setting.dirty, setting.clean, setting.clean, setting.error_cells
+        )
+        assert q.precision == 1.0
+        assert q.recall == 1.0
+        assert q.f1 == 1.0
+        assert q.n_correct_repairs == len(setting.errors)
+
+    def test_no_cleaning(self, setting):
+        q = evaluate_repairs(
+            setting.dirty, setting.dirty.copy(), setting.clean,
+            setting.error_cells,
+        )
+        assert q.precision == 0.0
+        assert q.recall == 0.0
+        assert q.n_modified == 0
+
+    def test_wrong_repair_costs_precision(self, setting):
+        cleaned = setting.clean.copy()
+        # break a previously clean cell
+        coords = [
+            (i, a)
+            for a in setting.clean.schema.names
+            for i in range(setting.clean.n_rows)
+            if (i, a) not in setting.error_cells
+        ]
+        i, a = coords[0]
+        cleaned.set_cell(i, a, "GARBAGE")
+        q = evaluate_repairs(
+            setting.dirty, cleaned, setting.clean, setting.error_cells
+        )
+        assert q.precision < 1.0
+        assert q.recall == 1.0
+
+    def test_error_cells_derived_when_missing(self, setting):
+        explicit = evaluate_repairs(
+            setting.dirty, setting.clean, setting.clean, setting.error_cells
+        )
+        derived = evaluate_repairs(setting.dirty, setting.clean, setting.clean)
+        assert derived.n_errors == explicit.n_errors
+
+    def test_misaligned_rejected(self, setting):
+        with pytest.raises(EvaluationError):
+            evaluate_repairs(setting.dirty, setting.clean.head(2), setting.clean)
+
+    def test_as_row_rounding(self, setting):
+        q = evaluate_repairs(
+            setting.dirty, setting.clean, setting.clean, setting.error_cells
+        )
+        row = q.as_row()
+        assert row == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+
+class TestRecallByType:
+    def test_partial_fix(self, customer_table):
+        injection = ErrorInjector(
+            rate=0.3, types=("T", "M"), seed=3
+        ).inject(customer_table)
+        # fix only the missing values
+        cleaned = injection.dirty.copy()
+        for e in injection.errors:
+            if e.error_type == "M":
+                cleaned.set_cell(e.row, e.attribute, e.clean_value)
+        by_type = recall_by_error_type(cleaned, injection)
+        assert by_type.get("M", 0.0) == 1.0
+        assert by_type.get("T", 1.0) == 0.0
+
+
+class TestDetectionQuality:
+    def test_perfect_detection(self, customer_table):
+        injection = ErrorInjector(rate=0.2, seed=4).inject(customer_table)
+        q = detection_quality(
+            injection.dirty, injection.error_cells, injection.clean
+        )
+        assert q.precision == 1.0
+        assert q.recall == 1.0
+
+    def test_empty_detection(self, customer_table):
+        injection = ErrorInjector(rate=0.2, seed=5).inject(customer_table)
+        q = detection_quality(injection.dirty, set(), injection.clean)
+        assert q.precision == 0.0
+
+
+class TestRunner:
+    def test_run_system_produces_report(self):
+        inst = load_benchmark("hospital", n_rows=150, seed=0)
+        report = run_system(GarfSystem(), inst)
+        assert report.system == "Garf"
+        assert report.dataset == "hospital"
+        assert not report.failed
+        assert report.exec_seconds > 0
+
+    def test_failures_captured(self):
+        inst = load_benchmark("hospital", n_rows=150, seed=0)
+
+        class Exploder:
+            name = "Exploder"
+
+            def clean(self, instance):
+                raise RuntimeError("boom")
+
+        report = run_system(Exploder(), inst)
+        assert report.failed
+        assert "boom" in report.error
+        assert report.as_row()["f1"] == "-"
+
+    def test_run_matrix_shape(self):
+        inst = load_benchmark("hospital", n_rows=150, seed=0)
+        reports = run_matrix([GarfSystem()], [inst])
+        assert len(reports) == 1
+
+    def test_type_recall_collected(self):
+        inst = load_benchmark("hospital", n_rows=150, seed=0)
+        report = run_system(GarfSystem(), inst, with_type_recall=True)
+        assert set(report.recall_by_type) <= {"T", "M", "I", "S"}
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table(
+            [{"a": 1, "b": 0.5}, {"a": 22, "b": 0.25}], title="T"
+        )
+        assert "T" in text
+        assert "0.500" in text
+        assert text.count("\n") >= 3
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([], title="x")
+
+    def test_pivot(self):
+        inst = load_benchmark("hospital", n_rows=150, seed=0)
+        reports = run_matrix([GarfSystem()], [inst])
+        rows = pivot_reports(reports, "precision")
+        assert rows[0]["system"] == "Garf"
+        assert "hospital" in rows[0]
+
+
+class TestBCleanSystemAdapter:
+    def test_variants_names(self):
+        assert BCleanSystem.basic().name == "BClean"
+        assert BCleanSystem.without_ucs().name == "BClean-UC"
+        assert BCleanSystem.pi().name == "BCleanPI"
+        assert BCleanSystem.pip().name == "BCleanPIP"
+
+    def test_end_to_end_on_small_hospital(self):
+        inst = load_benchmark("hospital", n_rows=200, seed=0)
+        system = BCleanSystem.pi()
+        report = run_system(system, inst, catch_errors=False)
+        assert report.quality.f1 > 0.5
+        assert system.last_result is not None
+        assert system.last_result.stats.repairs_made >= 0

@@ -1,0 +1,132 @@
+"""Tests for repro.evaluation.bootstrap (percentile intervals)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import EvaluationError
+from repro.evaluation.bootstrap import (
+    Interval,
+    bootstrap_quality,
+    significant_gap,
+)
+from repro.evaluation.metrics import evaluate_repairs
+
+
+def make_triple(n_rows=100, n_errors=20, n_fixed=15, n_bad_repairs=3, seed=0):
+    """(dirty, cleaned, clean) with controlled repair outcomes."""
+    rng = random.Random(seed)
+    schema = Schema.of("a:categorical", "b:categorical")
+    clean = Table.from_rows(
+        schema, [[f"x{i % 7}", f"y{i % 5}"] for i in range(n_rows)]
+    )
+    dirty = clean.copy()
+    error_rows = rng.sample(range(n_rows), n_errors)
+    for i in error_rows:
+        dirty.set_cell(i, "a", "ERR")
+    cleaned = dirty.copy()
+    for i in error_rows[:n_fixed]:
+        cleaned.set_cell(i, "a", clean.cell(i, "a"))  # correct repair
+    good_rows = [i for i in range(n_rows) if i not in error_rows]
+    for i in good_rows[:n_bad_repairs]:
+        cleaned.set_cell(i, "b", "OOPS")  # wrong modification
+    return dirty, cleaned, clean
+
+
+class TestBootstrapQuality:
+    def test_point_estimates_match_evaluate_repairs(self):
+        dirty, cleaned, clean = make_triple()
+        intervals = bootstrap_quality(dirty, cleaned, clean, n_resamples=50)
+        q = evaluate_repairs(dirty, cleaned, clean)
+        assert intervals.precision.point == pytest.approx(q.precision)
+        assert intervals.recall.point == pytest.approx(q.recall)
+        assert intervals.f1.point == pytest.approx(q.f1)
+
+    def test_interval_brackets_point(self):
+        dirty, cleaned, clean = make_triple()
+        intervals = bootstrap_quality(dirty, cleaned, clean, n_resamples=200)
+        for metric in (intervals.precision, intervals.recall, intervals.f1):
+            assert metric.low <= metric.point <= metric.high
+
+    def test_deterministic_per_seed(self):
+        dirty, cleaned, clean = make_triple()
+        a = bootstrap_quality(dirty, cleaned, clean, n_resamples=100, seed=3)
+        b = bootstrap_quality(dirty, cleaned, clean, n_resamples=100, seed=3)
+        assert a.f1 == b.f1
+
+    def test_wider_confidence_widens_interval(self):
+        dirty, cleaned, clean = make_triple()
+        narrow = bootstrap_quality(
+            dirty, cleaned, clean, n_resamples=300, confidence=0.5
+        )
+        wide = bootstrap_quality(
+            dirty, cleaned, clean, n_resamples=300, confidence=0.99
+        )
+        assert wide.f1.high - wide.f1.low >= narrow.f1.high - narrow.f1.low
+
+    def test_perfect_cleaner_degenerate_interval(self):
+        dirty, cleaned, clean = make_triple(n_errors=10, n_fixed=10, n_bad_repairs=0)
+        intervals = bootstrap_quality(dirty, cleaned, clean, n_resamples=100)
+        assert intervals.precision.point == 1.0
+        assert intervals.precision.high == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        dirty, cleaned, clean = make_triple()
+        short = Table.from_rows(clean.schema, [["x0", "y0"]])
+        with pytest.raises(EvaluationError, match="same number of rows"):
+            bootstrap_quality(short, cleaned, clean)
+
+    def test_bad_params_rejected(self):
+        dirty, cleaned, clean = make_triple()
+        with pytest.raises(EvaluationError, match="n_resamples"):
+            bootstrap_quality(dirty, cleaned, clean, n_resamples=0)
+        with pytest.raises(EvaluationError, match="confidence"):
+            bootstrap_quality(dirty, cleaned, clean, confidence=1.0)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_intervals_stay_in_unit_range(self, seed):
+        dirty, cleaned, clean = make_triple(seed=seed)
+        intervals = bootstrap_quality(
+            dirty, cleaned, clean, n_resamples=60, seed=seed
+        )
+        for metric in (intervals.precision, intervals.recall, intervals.f1):
+            assert 0.0 <= metric.low <= metric.high <= 1.0
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(0.5, 0.4, 0.6, 0.95)
+        assert 0.5 in interval
+        assert 0.39 not in interval
+        assert "x" not in interval
+
+    def test_overlaps(self):
+        a = Interval(0.5, 0.4, 0.6, 0.95)
+        b = Interval(0.55, 0.58, 0.7, 0.95)
+        c = Interval(0.9, 0.85, 0.95, 0.95)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_str_format(self):
+        assert str(Interval(0.5, 0.4, 0.6, 0.95)) == "0.500 [0.400, 0.600]"
+
+
+class TestSignificantGap:
+    def test_clear_gap_detected(self):
+        dirty_a, cleaned_a, clean_a = make_triple(n_fixed=19, n_bad_repairs=0)
+        dirty_b, cleaned_b, clean_b = make_triple(n_fixed=2, n_bad_repairs=10)
+        good = bootstrap_quality(dirty_a, cleaned_a, clean_a, n_resamples=200)
+        bad = bootstrap_quality(dirty_b, cleaned_b, clean_b, n_resamples=200)
+        assert significant_gap(good, bad, "f1")
+        assert not significant_gap(bad, good, "f1")
+
+    def test_self_comparison_not_significant(self):
+        dirty, cleaned, clean = make_triple()
+        a = bootstrap_quality(dirty, cleaned, clean, n_resamples=200, seed=1)
+        b = bootstrap_quality(dirty, cleaned, clean, n_resamples=200, seed=2)
+        assert not significant_gap(a, b, "f1")

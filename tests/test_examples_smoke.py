@@ -1,0 +1,45 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+Examples are the first thing a new user executes; a broken example is a
+broken front door.  Each script runs in a subprocess (its own
+interpreter, like a user would) and must exit 0 with its headline
+output present.  The deliberately slow demos (soccer_scaling, the full
+hospital pipeline) are exercised by the benchmark suite instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": "Repairs",
+    "custom_dataset_ucs.py": "repairs",
+    "inference_tradeoffs.py": "Markov blanket",
+    "detect_then_review.py": "detection quality",
+}
+
+
+@pytest.mark.parametrize("script,marker", sorted(FAST_EXAMPLES.items()))
+def test_example_runs(script, marker):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker.lower() in proc.stdout.lower(), (
+        f"{script} output missing {marker!r}"
+    )
+
+
+def test_every_example_has_module_docstring():
+    for script in EXAMPLES.glob("*.py"):
+        first = script.read_text(encoding="utf-8").lstrip()
+        assert first.startswith('"""'), f"{script.name} lacks a docstring"

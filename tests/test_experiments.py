@@ -1,0 +1,170 @@
+"""Smoke tests for the experiment drivers (tiny sizes — the real runs
+live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    figure4,
+    figure5,
+    interaction,
+    param_sweeps,
+    table2,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+TINY = {
+    "hospital": 200,
+    "flights": 240,
+    "soccer": 400,
+    "beers": 200,
+    "inpatient": 200,
+    "facilities": 200,
+}
+
+
+class TestTable2:
+    def test_rows_and_render(self):
+        rows = table2.run(n_rows=120)
+        assert len(rows) == 6
+        text = table2.render(rows)
+        assert "hospital" in text
+        assert "noise_rate" in text
+
+
+class TestTable4:
+    def test_single_dataset_matrix(self):
+        reports = table4.run(datasets=("hospital",), sizes=TINY)
+        systems = {r.system for r in reports}
+        assert {"BClean", "BCleanPI", "BCleanPIP", "BClean-UC",
+                "PClean", "HoloClean", "Raha+Baran", "Garf"} == systems
+        text = table4.render(reports)
+        assert "precision" in text and "f1" in text
+
+
+class TestTable5:
+    def test_sampled_soccer(self):
+        reports = table5.run(full_rows=400, sample_rows=120)
+        assert len(reports) == 4
+        assert {r.dataset for r in reports} == {"soccer"}
+        assert "Table 5" in table5.render(reports)
+
+
+class TestTable6:
+    def test_type_recall_columns(self):
+        reports = table6.run(datasets=("facilities",), sizes=TINY)
+        assert all(r.recall_by_type or r.failed for r in reports)
+        text = table6.render(reports)
+        assert " T " in text or "T" in text
+
+
+class TestTable7:
+    def test_runtime_rows(self):
+        reports = table7.run(datasets=("hospital",), sizes=TINY)
+        assert all(r.exec_seconds >= 0 for r in reports)
+        text = table7.render(reports)
+        assert "user_h (paper)" in text
+        assert "hospital exec_s" in text
+
+    def test_paper_user_hours_cover_all_systems(self):
+        from repro.evaluation.systems import default_systems
+
+        for s in default_systems():
+            assert s.name in table7.PAPER_USER_HOURS
+
+
+class TestParamSweeps:
+    def test_lambda_sweep(self):
+        rows = param_sweeps.sweep_lambda(values=(0.0, 1.0), n_rows=200)
+        assert [r["lambda"] for r in rows] == [0.0, 1.0]
+        assert all(0.0 <= r["f1"] <= 1.0 for r in rows)
+
+    def test_beta_sweep(self):
+        rows = param_sweeps.sweep_beta(values=(2.0,), n_rows=200)
+        assert rows[0]["beta"] == 2.0
+
+    def test_tau_sweep(self):
+        rows = param_sweeps.sweep_tau(values=(0.5,), n_rows=200)
+        assert rows[0]["tau"] == 0.5
+
+
+class TestFigure4:
+    def test_error_distribution(self):
+        rows = figure4.error_distribution(
+            datasets=("inpatient",), sizes=TINY
+        )
+        assert rows[0]["dataset"] == "inpatient"
+        assert rows[0]["T"] > 0
+
+    def test_swap_recall_rows(self):
+        rows = figure4.swap_error_recall(datasets=("facilities",), sizes=TINY)
+        domains = {r["swap_domain"] for r in rows}
+        assert domains == {"same", "different"}
+
+
+class TestFigure5:
+    def test_configurations_complete(self):
+        rows = figure5.run(datasets=("hospital",), sizes=TINY)
+        labels = {r["ucs"] for r in rows}
+        assert labels == {"Com", "Max", "Min", "Nul", "Pat", "All"}
+
+
+class TestInteraction:
+    def test_before_after_rows(self):
+        rows = interaction.run(datasets=("flights",), sizes=TINY)
+        networks = [r["network"] for r in rows]
+        assert "auto" in networks
+        assert any("adjusted" in n for n in networks)
+
+    def test_no_edit_datasets_reuse_auto(self):
+        rows = interaction.run(datasets=("hospital",), sizes=TINY)
+        assert rows[1]["network"] == "adjusted (no edit)"
+        assert rows[1]["f1"] == rows[0]["f1"]
+
+
+class TestAblations:
+    def test_compensatory(self):
+        rows = ablations.compensatory_ablation("hospital", 200)
+        assert len(rows) == 2
+
+    def test_structure(self):
+        rows = ablations.structure_ablation("hospital", 200)
+        assert {r["learner"] for r in rows} == {
+            "fdx", "hillclimb", "chowliu", "pc", "mmhc"
+        }
+
+    def test_domain_pruning(self):
+        rows = ablations.domain_pruning_sweep("hospital", 200, top_ks=(8,))
+        assert rows[0]["top_k"] == 8
+
+
+class TestScaling:
+    def test_sweep_rows_and_factors(self):
+        from repro.experiments import scaling
+
+        rows = scaling.run(
+            dataset="soccer", row_counts=(100, 200), variants=("BCleanPI",)
+        )
+        assert len(rows) == 2
+        assert {r["n_rows"] for r in rows} == {100, 200}
+        factors = scaling.slowdown_factors(rows)
+        assert factors["BCleanPI"] > 0
+
+    def test_unknown_variant_rejected(self):
+        from repro.experiments import scaling
+
+        with pytest.raises(ValueError, match="unknown variants"):
+            scaling.run(row_counts=(50,), variants=("Nope",))
+
+    def test_render_mentions_growth(self):
+        from repro.experiments import scaling
+
+        rows = scaling.run(
+            dataset="soccer", row_counts=(100, 200), variants=("BCleanPIP",)
+        )
+        text = scaling.render(rows)
+        assert "growth factor" in text
+        assert "BCleanPIP" in text

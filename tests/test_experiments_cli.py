@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import DRIVERS, main, parse_sizes
+
+
+class TestParseSizes:
+    def test_none(self):
+        assert parse_sizes(None) is None
+        assert parse_sizes("") is None
+
+    def test_single(self):
+        assert parse_sizes("hospital=500") == {"hospital": 500}
+
+    def test_multiple_with_spaces(self):
+        assert parse_sizes("hospital=500, flights=600") == {
+            "hospital": 500,
+            "flights": 600,
+        }
+
+    def test_bad_entry(self):
+        with pytest.raises(SystemExit):
+            parse_sizes("hospital")
+
+
+class TestMain:
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table2 ===" in out
+        assert "hospital" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_driver_registry_complete(self):
+        assert {"table2", "table4", "table5", "table6", "table7",
+                "params", "figure4", "figure5", "interaction",
+                "ablations", "scaling"} == set(DRIVERS)

@@ -1,0 +1,229 @@
+"""Tests for the repro.stats substrate (covariance, lasso, glasso, MI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError
+from repro.stats.covariance import (
+    assert_positive_definite,
+    correlation_from_covariance,
+    empirical_covariance,
+    nearest_positive_definite,
+    shrunk_covariance,
+)
+from repro.stats.glasso import (
+    graphical_lasso,
+    precision_to_partial_correlation,
+)
+from repro.stats.infotheory import (
+    conditional_mutual_information,
+    entropy,
+    g_statistic,
+    joint_entropy,
+    mutual_information,
+    normalized_mutual_information,
+)
+from repro.stats.lasso import lasso_coordinate_descent, soft_threshold
+
+
+class TestCovariance:
+    def test_empirical_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        ours = empirical_covariance(x)
+        theirs = np.cov(x, rowvar=False, bias=True)
+        assert np.allclose(ours, theirs)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_covariance(np.empty((0, 3)))
+
+    def test_one_dim_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_covariance(np.ones(5))
+
+    def test_shrunk_is_positive_definite(self):
+        # A rank-deficient covariance becomes PD after shrinkage.
+        x = np.ones((10, 4))
+        cov = empirical_covariance(x)  # all zeros
+        shrunk = shrunk_covariance(cov + np.eye(4) * 0, 0.5)
+        # trace is zero here, so add a spike first
+        cov[0, 0] = 1.0
+        assert_positive_definite(shrunk_covariance(cov, 0.5))
+
+    def test_shrinkage_bounds(self):
+        with pytest.raises(ValueError):
+            shrunk_covariance(np.eye(2), 1.5)
+
+    def test_correlation_unit_diagonal(self):
+        rng = np.random.default_rng(1)
+        cov = empirical_covariance(rng.normal(size=(100, 4)))
+        corr = correlation_from_covariance(cov)
+        assert np.allclose(np.diag(corr), 1.0)
+        assert np.all(np.abs(corr) <= 1.0 + 1e-9)
+
+    def test_correlation_zero_variance(self):
+        cov = np.zeros((2, 2))
+        cov[0, 0] = 1.0
+        corr = correlation_from_covariance(cov)
+        assert corr[0, 1] == 0.0
+        assert corr[1, 1] == 1.0
+
+    def test_nearest_pd(self):
+        m = np.array([[1.0, 2.0], [2.0, 1.0]])  # indefinite
+        fixed = nearest_positive_definite(m)
+        assert_positive_definite(fixed)
+
+    def test_assert_pd_raises(self):
+        with pytest.raises(ConvergenceError):
+            assert_positive_definite(np.array([[0.0]]))
+
+
+class TestSoftThreshold:
+    @pytest.mark.parametrize(
+        "x,t,expected", [(3.0, 1.0, 2.0), (-3.0, 1.0, -2.0), (0.5, 1.0, 0.0)]
+    )
+    def test_values(self, x, t, expected):
+        assert soft_threshold(x, t) == expected
+
+    @given(st.floats(-100, 100), st.floats(0, 50))
+    def test_shrinks_toward_zero(self, x, t):
+        y = soft_threshold(x, t)
+        assert abs(y) <= abs(x)
+        assert y * x >= 0  # never flips sign
+
+
+class TestLasso:
+    def test_zero_penalty_solves_linear_system(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(5, 5))
+        gram = a @ a.T + np.eye(5)
+        beta_true = rng.normal(size=5)
+        linear = gram @ beta_true
+        beta = lasso_coordinate_descent(gram, linear, alpha=0.0, tol=1e-10)
+        assert np.allclose(beta, beta_true, atol=1e-6)
+
+    def test_large_penalty_gives_zero(self):
+        gram = np.eye(3)
+        linear = np.array([0.5, -0.2, 0.1])
+        beta = lasso_coordinate_descent(gram, linear, alpha=10.0)
+        assert np.allclose(beta, 0.0)
+
+    def test_penalty_increases_sparsity(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(10, 6))
+        gram = a.T @ a / 10 + 0.1 * np.eye(6)
+        linear = rng.normal(size=6)
+        loose = lasso_coordinate_descent(gram, linear, alpha=0.01)
+        tight = lasso_coordinate_descent(gram, linear, alpha=0.5)
+        assert np.sum(tight != 0) <= np.sum(loose != 0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            lasso_coordinate_descent(np.eye(2), np.ones(2), alpha=-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lasso_coordinate_descent(np.eye(2), np.ones(3), alpha=0.1)
+
+
+class TestGraphicalLasso:
+    def test_recovers_sparsity_pattern(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1000, 4))
+        x[:, 1] = 0.9 * x[:, 0] + 0.3 * rng.normal(size=1000)
+        cov = empirical_covariance(x)
+        result = graphical_lasso(cov, alpha=0.1)
+        assert result.converged
+        # coupled pair keeps a strong precision entry
+        assert abs(result.precision[0, 1]) > 0.5
+        # independent pair is (near-)zeroed
+        assert abs(result.precision[2, 3]) < 0.05
+
+    def test_precision_is_inverse_of_covariance(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(500, 3))
+        cov = empirical_covariance(x)
+        result = graphical_lasso(cov, alpha=0.05)
+        product = result.covariance @ result.precision
+        assert np.allclose(product, np.eye(3), atol=0.05)
+
+    def test_alpha_zero_is_plain_inverse(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(300, 3))
+        cov = empirical_covariance(x)
+        result = graphical_lasso(cov, alpha=0.0)
+        assert np.allclose(result.precision @ result.covariance, np.eye(3), atol=1e-6)
+
+    def test_single_variable(self):
+        result = graphical_lasso(np.array([[2.0]]), alpha=0.1)
+        assert result.precision[0, 0] == pytest.approx(0.5, rel=0.01)
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            graphical_lasso(np.array([[1.0, 0.5], [0.2, 1.0]]), alpha=0.1)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            graphical_lasso(np.eye(2), alpha=-0.1)
+
+    def test_partial_correlation_unit_diagonal(self):
+        rng = np.random.default_rng(7)
+        cov = empirical_covariance(rng.normal(size=(200, 3)))
+        result = graphical_lasso(cov, alpha=0.05)
+        partial = precision_to_partial_correlation(result.precision)
+        assert np.allclose(np.diag(partial), 1.0)
+
+
+class TestInfoTheory:
+    def test_entropy_uniform(self):
+        import math
+
+        assert entropy(["a", "b"] * 50) == pytest.approx(math.log(2))
+
+    def test_entropy_constant(self):
+        assert entropy(["a"] * 10) == 0.0
+        assert entropy([]) == 0.0
+
+    def test_mutual_information_identical(self):
+        xs = ["a", "b", "c"] * 20
+        assert mutual_information(xs, xs) == pytest.approx(entropy(xs))
+
+    def test_mutual_information_independent(self):
+        xs = ["a", "b"] * 50
+        ys = ["x"] * 50 + ["y"] * 50
+        assert mutual_information(xs, ys) < 0.02
+
+    def test_joint_entropy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            joint_entropy(["a"], ["b", "c"])
+
+    def test_cmi_chain(self):
+        # X -> Z -> Y: conditioning on Z removes dependence.
+        import random
+
+        rng = random.Random(8)
+        xs, ys, zs = [], [], []
+        for _ in range(500):
+            x = rng.choice("ab")
+            z = x  # z copies x
+            y = z  # y copies z
+            xs.append(x)
+            zs.append(z)
+            ys.append(y)
+        assert conditional_mutual_information(xs, ys, zs) == pytest.approx(0.0)
+        assert mutual_information(xs, ys) > 0.5
+
+    def test_g_statistic_dof(self):
+        xs = ["a", "b"] * 50
+        ys = ["x", "y"] * 50
+        g, dof = g_statistic(xs, ys)
+        assert dof == 1
+        assert g >= 0.0
+
+    def test_normalized_mi_bounds(self):
+        xs = ["a", "b", "c"] * 10
+        assert normalized_mutual_information(xs, xs) == pytest.approx(1.0)
+        assert normalized_mutual_information(xs, ["k"] * 30) == 0.0

@@ -1,0 +1,183 @@
+"""Tests for the repro.text substrate, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.schema import AttrType
+from repro.text.levenshtein import (
+    damerau_levenshtein,
+    levenshtein,
+    levenshtein_within,
+    normalized_edit_similarity,
+)
+from repro.text.patterns import PatternProfile, value_mask
+from repro.text.similarity import (
+    cell_similarity,
+    numeric_similarity,
+    strict_equality_similarity,
+)
+from repro.text.tokenize import NgramLanguageModel, char_ngrams, word_tokens
+
+short_text = st.text(alphabet="abcdef 0123", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("25676000", "25676x00", 1),
+            ("315 w hickory st", "315 w hicky st", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, d):
+        assert levenshtein(a, b) == d
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(short_text, short_text)
+    def test_length_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestLevenshteinWithin:
+    @given(short_text, short_text)
+    def test_agrees_with_full_distance(self, a, b):
+        full = levenshtein(a, b)
+        bounded = levenshtein_within(a, b, 3)
+        if full <= 3:
+            assert bounded == full
+        else:
+            assert bounded is None
+
+    def test_negative_bound(self):
+        assert levenshtein_within("a", "b", -1) is None
+
+    def test_zero_bound_equal_strings(self):
+        assert levenshtein_within("abc", "abc", 0) == 0
+
+
+class TestDamerau:
+    def test_transposition_counts_one(self):
+        assert damerau_levenshtein("ab", "ba") == 1
+        assert levenshtein("ab", "ba") == 2
+
+    @given(short_text, short_text)
+    def test_never_exceeds_levenshtein(self, a, b):
+        assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+
+
+class TestNormalizedSimilarity:
+    def test_paper_example(self):
+        # §4: Department values of tuples 1 and 3 report similarity 0.86.
+        sim = normalized_edit_similarity("315 w hickory st", "315 w hicky st")
+        assert sim == pytest.approx(0.867, abs=0.01)
+
+    def test_identical(self):
+        assert normalized_edit_similarity("abc", "abc") == 1.0
+        assert normalized_edit_similarity("", "") == 1.0
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        assert 0.0 <= normalized_edit_similarity(a, b) <= 1.0
+
+
+class TestNumericSimilarity:
+    def test_equal(self):
+        assert numeric_similarity(5.0, 5.0) == 1.0
+        assert numeric_similarity(0.0, 0.0) == 1.0
+
+    def test_opposite_signs_floor(self):
+        assert numeric_similarity(-1.0, 1.0) == 0.0
+
+    @given(
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.floats(-1e6, 1e6, allow_nan=False),
+    )
+    def test_bounds_and_symmetry(self, x, y):
+        s = numeric_similarity(x, y)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(numeric_similarity(y, x))
+
+
+class TestCellSimilarity:
+    def test_null_handling(self):
+        assert cell_similarity(None, None) == 1.0
+        assert cell_similarity(None, "x") == 0.0
+
+    def test_numeric_dispatch(self):
+        assert cell_similarity(10, 10, AttrType.INTEGER) == 1.0
+        assert cell_similarity(10, 11, AttrType.INTEGER) > 0.8
+
+    def test_dirty_numeric_falls_back_to_string(self):
+        # '12x' is unparseable: must not raise, uses edit similarity.
+        s = cell_similarity("12x", "12", AttrType.INTEGER)
+        assert 0.0 < s < 1.0
+
+    def test_strict_equality(self):
+        assert strict_equality_similarity("a", "a") == 1.0
+        assert strict_equality_similarity("a", "b") == 0.0
+        assert strict_equality_similarity(None, None) == 1.0
+
+
+class TestPatterns:
+    def test_value_mask(self):
+        assert value_mask("35150") == "99999"
+        assert value_mask("Johnny.R") == "Aaaaaa.A"
+        assert value_mask("a b") == "asa"
+        assert value_mask(None) == ""
+
+    def test_compressed_mask(self):
+        assert value_mask("35150", compress=True) == "9"
+        assert value_mask("Johnny.R", compress=True) == "Aa.A"
+
+    def test_profile_rarity(self):
+        values = ["11111"] * 99 + ["1a1"]
+        profile = PatternProfile(values)
+        assert profile.rarity("22222") < 0.5  # same mask as majority
+        assert profile.rarity("9x9") > 0.9
+
+    def test_profile_conforms(self):
+        profile = PatternProfile(["123", "456", "ab"])
+        assert profile.conforms("999")
+        assert not profile.conforms("xy")
+
+    def test_empty_profile(self):
+        profile = PatternProfile([])
+        assert profile.dominant_mask() is None
+        assert profile.rarity("x") == 0.0
+
+
+class TestTokenize:
+    def test_word_tokens(self):
+        assert word_tokens("315 W Hickory St.") == ["315", "w", "hickory", "st"]
+        assert word_tokens(None) == []
+
+    def test_char_ngrams_padding(self):
+        grams = char_ngrams("ab", n=3)
+        assert "##a" in grams and "b##" in grams
+
+    def test_char_ngrams_null(self):
+        assert char_ngrams(None) == []
+
+    def test_language_model_separates_outliers(self):
+        values = [f"1{i:04d}" for i in range(100)]
+        lm = NgramLanguageModel(values)
+        assert lm.score("10042") > lm.score("zzzzz")
