@@ -1,0 +1,85 @@
+"""Bench: scalar vs. columnar engine paths on the Soccer workload.
+
+The columnar fast path (integer-coded tables, vectorised co-occurrence,
+batched blanket inference, deduplicated competitions) must deliver a
+large end-to-end ``clean()`` speedup at *identical* repair decisions.
+This bench times both paths on the soccer-1500 PIP configuration —
+the paper's flagship scaling setting — and writes ``BENCH_engine.json``
+at the repository root (fit/clean seconds, rows per second, speedups)
+so future performance PRs have a trajectory to regress against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.data.benchmark import load_benchmark
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+DATASET = "soccer"
+N_ROWS = 1500
+#: the fast path must beat the oracle by at least this factor on clean()
+#: (observed ≈12×; the floor leaves headroom for noisy CI machines)
+MIN_CLEAN_SPEEDUP = 5.0
+
+
+def _run_path(instance, use_columnar: bool) -> dict:
+    engine = BClean(
+        BCleanConfig.pip(use_columnar=use_columnar), instance.constraints
+    )
+    start = time.perf_counter()
+    engine.fit(instance.dirty)
+    fit_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    result = engine.clean()
+    clean_seconds = time.perf_counter() - start
+    return {
+        "fit_seconds": fit_seconds,
+        "clean_seconds": clean_seconds,
+        "total_seconds": fit_seconds + clean_seconds,
+        "clean_rows_per_second": N_ROWS / clean_seconds,
+        "repairs": [
+            (r.row, r.attribute, str(r.old_value), str(r.new_value))
+            for r in result.repairs
+        ],
+        "cells_inspected": result.stats.cells_inspected,
+        "candidates_evaluated": result.stats.candidates_evaluated,
+    }
+
+
+def test_columnar_speedup_and_bench_report():
+    instance = load_benchmark(DATASET, n_rows=N_ROWS, seed=0)
+    scalar = _run_path(instance, use_columnar=False)
+    columnar = _run_path(instance, use_columnar=True)
+
+    # The whole point of keeping the oracle: decisions must not drift.
+    assert scalar["repairs"] == columnar["repairs"]
+    assert scalar["candidates_evaluated"] == columnar["candidates_evaluated"]
+
+    clean_speedup = scalar["clean_seconds"] / columnar["clean_seconds"]
+    report = {
+        "dataset": DATASET,
+        "n_rows": N_ROWS,
+        "mode": "pip",
+        "n_repairs": len(columnar["repairs"]),
+        "scalar": {k: v for k, v in scalar.items() if k != "repairs"},
+        "columnar": {k: v for k, v in columnar.items() if k != "repairs"},
+        "clean_speedup": clean_speedup,
+        "fit_speedup": scalar["fit_seconds"] / columnar["fit_seconds"],
+        "total_speedup": scalar["total_seconds"] / columnar["total_seconds"],
+        "identical_repairs": True,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(
+        f"soccer-{N_ROWS} PIP: scalar clean {scalar['clean_seconds']:.2f}s, "
+        f"columnar clean {columnar['clean_seconds']:.2f}s "
+        f"({clean_speedup:.1f}x, {columnar['clean_rows_per_second']:.0f} rows/s)"
+    )
+
+    assert clean_speedup >= MIN_CLEAN_SPEEDUP, report

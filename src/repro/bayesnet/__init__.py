@@ -1,7 +1,7 @@
 """Discrete Bayesian-network substrate: DAGs, CPTs, inference, learning."""
 
 from repro.bayesnet.beliefprop import BeliefPropagation, BPResult
-from repro.bayesnet.cpt import CPT, NULL_KEY, cell_key
+from repro.bayesnet.cpt import CPT, NULL_KEY, CodedCPT, cell_key
 from repro.bayesnet.dag import DAG
 from repro.bayesnet.inference import (
     Factor,
@@ -9,13 +9,15 @@ from repro.bayesnet.inference import (
     log_sum_exp,
     markov_blanket_posterior,
 )
-from repro.bayesnet.model import DiscreteBayesNet
+from repro.bayesnet.model import ColumnarNetScorer, DiscreteBayesNet
 from repro.bayesnet.serialize import load_bn, load_dag, save_bn, save_dag
 
 __all__ = [
     "BPResult",
     "BeliefPropagation",
     "CPT",
+    "CodedCPT",
+    "ColumnarNetScorer",
     "DAG",
     "DiscreteBayesNet",
     "Factor",

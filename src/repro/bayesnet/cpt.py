@@ -10,28 +10,30 @@ from D" of §2 for parentless nodes generalises to unseen contexts).
 NULL is treated as an ordinary domain symbol — the cleaning engine
 repairs missing values by out-scoring NULL with a better candidate, so
 the CPT must be able to both condition on and assign mass to NULL.
+
+:class:`CodedCPT` is the columnar companion: it freezes a fitted CPT
+into a dense log-probability matrix indexed by *(parent-configuration
+row, value code)* under a shared :class:`~repro.dataset.encoding`
+vocabulary, so one candidate competition scores as an array slice
+instead of per-candidate dict walks.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Hashable, Sequence
+from typing import TYPE_CHECKING, Hashable, Sequence
 
+import numpy as np
+
+# Re-exported here for backwards compatibility; the definitions live in
+# the dataset layer (the import-graph leaf) so the interning layer can
+# share them without touching the bayesnet package.
+from repro.dataset.table import NULL_KEY, cell_key
 from repro.errors import CPTError
 
-# Sentinel used to key NULL cells inside count tables (None itself is a
-# valid dict key, but a named sentinel makes dumps readable).
-NULL_KEY = "␀NULL"
-
-
-def cell_key(value: object) -> Hashable:
-    """Canonical hashable key for a cell value (NULL-safe)."""
-    if value is None:
-        return NULL_KEY
-    if isinstance(value, float) and value != value:  # NaN
-        return NULL_KEY
-    return value
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.dataset.encoding import AttributeVocabulary
 
 
 class CPT:
@@ -180,4 +182,116 @@ class CPT:
         return (
             f"CPT({self.variable!r} | {list(self.parent_names)}, "
             f"{self.domain_size} values, {self.n_configs} configs)"
+        )
+
+
+class CodedCPT:
+    """Dense log-probability view of a fitted :class:`CPT` over integer
+    value codes.
+
+    ``matrix[r, v]`` is ``log P(value-code v | parent-config r)`` where
+    ``r`` indexes the *observed* parent configurations (sorted by their
+    mixed-radix fused code) and the extra last row holds the marginal
+    fallback used for configurations never seen in the data — exactly
+    the semantics of :meth:`CPT.prob`, precomputed once so a whole
+    candidate pool scores as one array slice.
+
+    Parent configurations are addressed by fusing the parents' value
+    codes with mixed-radix ``strides`` (derived from the parent
+    vocabularies' cardinalities); :meth:`config_rows` resolves fused
+    codes to matrix rows with ``searchsorted``, unseen fusions landing
+    on the fallback row.
+
+    The CPT must have been fitted on the same table the vocabularies
+    intern — every observed value/config is then encodable.
+    """
+
+    def __init__(
+        self,
+        cpt: CPT,
+        vocab: "AttributeVocabulary",
+        parent_vocabs: Sequence["AttributeVocabulary"],
+    ):
+        if len(parent_vocabs) != len(cpt.parent_names):
+            raise CPTError(
+                f"expected {len(cpt.parent_names)} parent vocabularies, "
+                f"got {len(parent_vocabs)}"
+            )
+        self.variable = cpt.variable
+        self.parent_names = cpt.parent_names
+
+        cards = [pv.size for pv in parent_vocabs]
+        strides = [1] * len(cards)
+        span = 1
+        for i in range(len(cards) - 1, -1, -1):
+            strides[i] = span
+            span *= cards[i]
+            if span > 2**62:
+                raise CPTError(
+                    f"parent configuration space of {cpt.variable!r} "
+                    "overflows the fused-code range"
+                )
+        self.strides = tuple(strides)
+
+        n_values = vocab.size
+        alpha = cpt.alpha
+        d = cpt.domain_size
+        keys = [cell_key(vocab.decode(code)) for code in range(n_values)]
+
+        def encode_config(config: tuple) -> int:
+            fused = 0
+            for key, pv, stride in zip(config, parent_vocabs, strides):
+                code = pv.encode(key)
+                if code < 0:
+                    raise CPTError(
+                        f"parent value {key!r} of {cpt.variable!r} is not "
+                        "in the shared vocabulary — CPT and encoding were "
+                        "built from different tables"
+                    )
+                fused += code * stride
+            return fused
+
+        configs = sorted(
+            ((encode_config(c), c) for c in cpt._config_counts),
+            key=lambda fc: fc[0],
+        )
+        self._config_keys = np.array([f for f, _ in configs], dtype=np.int64)
+        self.n_configs = len(configs)
+
+        self.matrix = np.empty((self.n_configs + 1, n_values), dtype=np.float64)
+        code_of_key = {k: i for i, k in enumerate(keys)}
+        for r, (_, config) in enumerate(configs):
+            counts = cpt._config_counts[config]
+            denom = cpt._config_totals[config] + alpha * d
+            self.matrix[r].fill(math.log(alpha / denom))
+            for key, count in counts.items():
+                self.matrix[r, code_of_key[key]] = math.log(
+                    (count + alpha) / denom
+                )
+        denom = cpt._n + alpha * d
+        self.matrix[self.n_configs] = [
+            math.log((cpt._marginal.get(k, 0) + alpha) / denom) for k in keys
+        ]
+
+    def config_row(self, fused: int) -> int:
+        """Matrix row of one fused parent configuration (fallback row
+        when the configuration never occurred)."""
+        idx = int(np.searchsorted(self._config_keys, fused))
+        if idx < self.n_configs and self._config_keys[idx] == fused:
+            return idx
+        return self.n_configs
+
+    def config_rows(self, fused: np.ndarray) -> np.ndarray:
+        """Batched :meth:`config_row` over an array of fused codes."""
+        idx = np.searchsorted(self._config_keys, fused)
+        clipped = np.minimum(idx, max(self.n_configs - 1, 0))
+        if self.n_configs == 0:
+            return np.zeros(len(fused), dtype=np.int64)
+        hit = self._config_keys[clipped] == fused
+        return np.where(hit, clipped, self.n_configs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CodedCPT({self.variable!r} | {list(self.parent_names)}, "
+            f"{self.matrix.shape[1]} codes, {self.n_configs} configs)"
         )

@@ -213,8 +213,6 @@ class VariableElimination:
         for f in factors:
             if target in f.variables:
                 result = f if result is None else result.multiply(f)
-            elif result is None and not f.variables:
-                continue
         if result is None:
             raise InferenceError(f"no factor mentions target {target!r}")
         # Sum out any stray variables (possible with disconnected factors).

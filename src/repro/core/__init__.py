@@ -1,6 +1,10 @@
 """The BClean core: engine, scoring models, pruning, interaction."""
 
-from repro.core.compensatory import CompensatoryScorer, log_compensatory
+from repro.core.compensatory import (
+    CompensatoryScorer,
+    log_compensatory,
+    log_compensatory_pool,
+)
 from repro.core.composition import COMPOSE_SEP, AttributeComposition
 from repro.core.config import BCleanConfig, InferenceMode
 from repro.core.confidence import (
@@ -18,7 +22,12 @@ from repro.core.detection import (
 from repro.core.engine import BClean, clean_table
 from repro.core.interaction import EditLog, NetworkEditSession
 from repro.core.partition import SubNetwork, partition, partition_statistics
-from repro.core.pruning import DomainPruner, should_skip_cell, tuple_filter_score
+from repro.core.pruning import (
+    DomainPruner,
+    should_skip_cell,
+    tuple_filter_score,
+    tuple_filter_scores_all_rows,
+)
 from repro.core.repairs import (
     CleaningResult,
     CleaningStats,
@@ -50,6 +59,7 @@ __all__ = [
     "collect_repairs",
     "detect_errors",
     "log_compensatory",
+    "log_compensatory_pool",
     "partition",
     "partition_statistics",
     "reliability_flags",
@@ -57,4 +67,5 @@ __all__ = [
     "table_confidences",
     "tuple_confidence",
     "tuple_filter_score",
+    "tuple_filter_scores_all_rows",
 ]

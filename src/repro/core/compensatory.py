@@ -9,12 +9,20 @@ negative through the β penalty; since "the relative order is
 significant, not the scores themselves" (§5), the engine maps scores of
 one candidate competition onto (0, 1] before taking the logarithm
 Algorithm 1 requires (``log(CS[A_j](c))``).
+
+Two evaluation paths share the same arithmetic: :meth:`~CompensatoryScorer.score`
+walks one candidate at a time (the scalar reference path) and
+:meth:`~CompensatoryScorer.score_pool` scores a whole coded candidate
+pool per context attribute through the vectorised
+:meth:`~repro.core.cooccurrence.CooccurrenceIndex.corr_for` kernel.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.cooccurrence import CooccurrenceIndex
 from repro.dataset.table import Cell
@@ -38,6 +46,7 @@ class CompensatoryScorer:
         attribute: str,
         context_attributes: Sequence[str] | None = None,
         is_incumbent: bool = False,
+        self_weight: float = 1.0,
     ) -> float:
         """Raw compensatory score of ``candidate`` for ``attribute``.
 
@@ -56,6 +65,10 @@ class CompensatoryScorer:
             True when the candidate *is* the observed cell value: its
             own row is then excluded from the correlation counts so
             self-co-occurrence does not masquerade as evidence.
+        self_weight:
+            The confidence weight the scored tuple contributed to
+            Algorithm 2 (+1 when reliable, −β when not) — what the
+            exclusion must remove.
         """
         if context_attributes is None:
             context_attributes = [a for a in self.index.names if a != attribute]
@@ -66,9 +79,46 @@ class CompensatoryScorer:
             total += self.index.corr(
                 attribute, candidate, attr_k, row[attr_k],
                 exclude_self=is_incumbent,
+                self_weight=self_weight,
             )
         if self.frequency_weight and self.index.n_rows:
             freq = self.index.count(attribute, candidate) / self.index.n_rows
+            total += self.frequency_weight * freq
+        return total
+
+    def score_pool(
+        self,
+        candidate_codes: np.ndarray,
+        row_codes: np.ndarray,
+        attribute: str,
+        context_columns: Sequence[int],
+        incumbent_index: int | None = None,
+        self_weight: float = 1.0,
+    ) -> np.ndarray:
+        """Raw compensatory scores of a whole coded candidate pool.
+
+        ``context_columns`` are schema positions of the context
+        attributes, in the same order the scalar path sums them (so the
+        float accumulation matches term for term).  ``incumbent_index``
+        marks the pool entry that is the observed cell value — the only
+        one whose own-row contribution is excluded.
+        """
+        index = self.index
+        names = index.names
+        total = np.zeros(len(candidate_codes), dtype=np.float64)
+        for column in context_columns:
+            total += index.corr_for(
+                attribute,
+                candidate_codes,
+                names[column],
+                int(row_codes[column]),
+                exclude_index=incumbent_index,
+                self_weight=self_weight,
+            )
+        if self.frequency_weight and index.n_rows:
+            freq = (
+                index.counts_array(attribute)[candidate_codes] / index.n_rows
+            )
             total += self.frequency_weight * freq
         return total
 
@@ -102,3 +152,16 @@ def log_compensatory(
     return {
         c: math.log((s + smoothing) / denom) for c, s in clipped.items()
     }
+
+
+def log_compensatory_pool(
+    scores: np.ndarray, smoothing: float = 0.05
+) -> np.ndarray:
+    """Vectorised :func:`log_compensatory` over one competition's pool."""
+    if smoothing <= 0:
+        raise ValueError(f"smoothing must be positive, got {smoothing}")
+    if len(scores) == 0:
+        return np.zeros(0, dtype=np.float64)
+    clipped = np.maximum(scores, 0.0)
+    denom = clipped.max() + smoothing
+    return np.log((clipped + smoothing) / denom)

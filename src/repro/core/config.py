@@ -97,6 +97,15 @@ class BCleanConfig:
         when the winning candidate co-occurs with the tuple context in
         at least this many tuples — guessing without evidence trades
         precision for nothing.
+    use_columnar:
+        Route cleaning through the columnar fast path: integer-coded
+        columns, vectorised co-occurrence probes, batched blanket
+        scoring, and one deduplicated competition per distinct
+        (attribute, row signature).  Repair decisions are identical to
+        the scalar path, which is retained as the reference oracle
+        (``use_columnar=False``) and used automatically whenever the
+        fast path cannot apply (merged-node compositions, or cleaning a
+        table other than the fitted one).
     smoothing_alpha:
         Laplace pseudo-count of the CPTs.
     fdx:
@@ -124,6 +133,7 @@ class BCleanConfig:
     unsupported_margin: float = 0.5
     uc_violation_penalty: float = 100.0
     min_fill_support: int = 1
+    use_columnar: bool = True
     smoothing_alpha: float = 0.1
     fdx: FDXConfig = field(default_factory=FDXConfig)
     structure: str = "fdx"

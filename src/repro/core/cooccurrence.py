@@ -1,7 +1,8 @@
-"""Co-occurrence statistics (Algorithm 2 of the paper).
+"""Co-occurrence statistics (Algorithm 2 of the paper), columnar.
 
-One pass over the table builds, for every ordered attribute pair
-``(A_i, A_k)``, a dictionary of value-pair statistics:
+One vectorised pass over the *integer-coded* table builds, for every
+ordered attribute pair ``(A_i, A_k)``, sorted arrays of value-pair
+statistics:
 
 - ``raw``: plain co-occurrence counts (used by the tuple-pruning filter
   and TF-IDF domain pruning, §6.2),
@@ -9,29 +10,139 @@ One pass over the table builds, for every ordered attribute pair
   (conf ≥ τ) contributes +1 and an unreliable one −β (the ``corr``
   accumulator of Algorithm 2).
 
-Querying ``corr(c, e, A_j, A_k)`` divides by |D| as in the paper.
+Each ordered pair's two value codes are fused into a single integer
+(``code_a * card_b + code_b``); ``numpy.unique`` over the fused column
+yields the distinct pairs, their raw counts, and the row of first
+occurrence, and ``numpy.bincount`` accumulates the confidence weights.
+Queries run as ``searchsorted`` probes over the sorted fused keys —
+batched over whole candidate pools — and a CSR-style inverted index per
+pair (candidate codes grouped by context code, in order of first
+appearance) replaces the lazy dict cache behind
+:meth:`CooccurrenceIndex.cooccurring_values`.
+
+The original value-level API (``corr``, ``pair_count``,
+``cooccurring_values``) is preserved on top of the arrays; value
+arguments are interned through the shared
+:class:`~repro.dataset.encoding.TableEncoding`.  Querying
+``corr(c, e, A_j, A_k)`` divides by |D| as in the paper.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.bayesnet.cpt import cell_key
+import numpy as np
+
+from repro.dataset.encoding import NULL_CODE, UNSEEN_CODE, TableEncoding
 from repro.dataset.table import Cell, Table
 
 
-class PairStats:
-    """Raw and confidence-weighted counts for one ordered attribute pair."""
+class PairArrays:
+    """Sorted fused-key statistics of one ordered attribute pair."""
 
-    __slots__ = ("raw", "weighted")
+    __slots__ = (
+        "card_b",
+        "keys",
+        "raw",
+        "weighted",
+        "first_row",
+        "_csr",
+        "_raw_dict",
+        "_weighted_dict",
+        "_values_cache",
+        "count_profiles",
+        "corr_profiles",
+        "count_probes",
+        "corr_probes",
+    )
 
-    def __init__(self) -> None:
-        self.raw: dict[tuple, int] = {}
-        self.weighted: dict[tuple, float] = {}
+    def __init__(
+        self,
+        card_b: int,
+        keys: np.ndarray,
+        raw: np.ndarray,
+        weighted: np.ndarray,
+        first_row: np.ndarray,
+    ):
+        self.card_b = card_b
+        self.keys = keys
+        self.raw = raw
+        self.weighted = weighted
+        self.first_row = first_row
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+        # Lazy dict views for single-pair probes: a dict get beats a
+        # numpy scalar searchsorted by ~30×, and the scalar reference
+        # path (plus the support checks of the columnar one) probes one
+        # pair at a time.
+        self._raw_dict: dict[int, int] | None = None
+        self._weighted_dict: dict[int, float] | None = None
+        self._values_cache: dict[int, list] | None = None
+        # Dense per-context profiles (keyed by context code): one vector
+        # over *all* codes of attribute a, turning every probe after
+        # densification into a single fancy-index slice.  A context is
+        # densified only once its probe tally exceeds what a *single*
+        # competition can generate (one corr probe; up to two count
+        # probes, pool strength + TF-IDF pruning) — so an id-like
+        # context probed by exactly one row keeps taking direct
+        # pool-sized probes, never a card_a-sized profile per distinct
+        # value, and the caches stay O(repeated contexts).
+        self.count_profiles: dict[int, np.ndarray] = {}
+        self.corr_profiles: dict[int, np.ndarray] = {}
+        self.count_probes: dict[int, int] = {}
+        self.corr_probes: dict[int, int] = {}
 
-    def add(self, key: tuple, weight: float) -> None:
-        self.raw[key] = self.raw.get(key, 0) + 1
-        self.weighted[key] = self.weighted.get(key, 0.0) + weight
+    def raw_count(self, fused: int) -> int:
+        """Raw count of one fused pair code (dict-backed probe)."""
+        if self._raw_dict is None:
+            self._raw_dict = dict(zip(self.keys.tolist(), self.raw.tolist()))
+        return self._raw_dict.get(fused, 0)
+
+    def weighted_count(self, fused: int) -> float:
+        """Weighted count of one fused pair code (dict-backed probe)."""
+        if self._weighted_dict is None:
+            self._weighted_dict = dict(
+                zip(self.keys.tolist(), self.weighted.tolist())
+            )
+        return self._weighted_dict.get(fused, 0.0)
+
+    def values_cache(self) -> dict[int, list]:
+        """Per-context decoded-value lists (cooccurring_values memo)."""
+        if self._values_cache is None:
+            self._values_cache = {}
+        return self._values_cache
+
+    def lookup(self, fused: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(index into the stat arrays, hit mask) for fused query keys."""
+        idx = np.searchsorted(self.keys, fused)
+        idx_clipped = np.minimum(idx, len(self.keys) - 1) if len(self.keys) else idx
+        if len(self.keys) == 0:
+            return idx, np.zeros(len(fused), dtype=bool)
+        hit = self.keys[idx_clipped] == fused
+        return idx_clipped, hit
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Inverted index: ``(starts, candidates)`` where the slice
+        ``candidates[starts[b]:starts[b+1]]`` lists the non-NULL codes of
+        attribute *a* co-occurring with context code ``b``, in order of
+        first appearance of the pair in the data (the insertion order of
+        the original dict build, which downstream tie-breaking relies
+        on)."""
+        if self._csr is None:
+            order = np.argsort(self.first_row, kind="stable")
+            keys = self.keys[order]
+            code_a = keys // self.card_b
+            code_b = keys % self.card_b
+            keep = code_a != NULL_CODE
+            code_a, code_b = code_a[keep], code_b[keep]
+            group = np.argsort(code_b, kind="stable")
+            starts = np.searchsorted(
+                code_b[group], np.arange(self.card_b + 1)
+            ).astype(np.int64)
+            self._csr = (starts, code_a[group])
+        return self._csr
+
+    def __len__(self) -> int:
+        return len(self.keys)
 
 
 class CooccurrenceIndex:
@@ -49,6 +160,9 @@ class CooccurrenceIndex:
         Reliability threshold of Algorithm 2.
     beta:
         Penalty weight of unreliable tuples.
+    encoding:
+        Optional pre-built interning of ``table`` (shared with the other
+        columnar components); built internally when omitted.
     """
 
     def __init__(
@@ -57,58 +171,265 @@ class CooccurrenceIndex:
         confidences: Sequence[float] | None = None,
         tau: float = 0.5,
         beta: float = 2.0,
+        encoding: TableEncoding | None = None,
     ):
         self.n_rows = table.n_rows
         self.names = table.schema.names
-        m = len(self.names)
-        self._pair: dict[tuple[str, str], PairStats] = {}
-        self._inverted_cache: dict[tuple[str, str], dict[object, list]] = {}
-        self._value_counts: dict[str, dict[object, int]] = {
-            a: {} for a in self.names
+        self.encoding = encoding if encoding is not None else TableEncoding(table)
+        n, m = self.n_rows, len(self.names)
+
+        if confidences is None:
+            weights = np.ones(n, dtype=np.float64)
+        else:
+            weights = np.where(
+                np.asarray(confidences, dtype=np.float64) >= tau, 1.0, -beta
+            )
+        self.row_weights = weights
+
+        self._counts: dict[str, np.ndarray] = {
+            a: np.bincount(self.encoding.codes(a), minlength=self.encoding.card(a))
+            for a in self.names
         }
 
-        keyed_columns = [
-            [cell_key(v) for v in table.column(a)] for a in self.names
-        ]
-        for j, a in enumerate(self.names):
-            counts = self._value_counts[a]
-            for v in keyed_columns[j]:
-                counts[v] = counts.get(v, 0) + 1
-
+        self._pair: dict[tuple[str, str], PairArrays] = {}
         for j in range(m):
-            for k in range(m):
-                if j != k:
-                    self._pair[(self.names[j], self.names[k])] = PairStats()
+            a = self.names[j]
+            codes_a = self.encoding.codes(a)
+            card_a = self.encoding.card(a)
+            for k in range(j + 1, m):
+                b = self.names[k]
+                codes_b = self.encoding.codes(b)
+                card_b = self.encoding.card(b)
+                fused = codes_a * card_b + codes_b
+                keys, first, inverse, raw = np.unique(
+                    fused, return_index=True, return_inverse=True, return_counts=True
+                )
+                weighted = np.bincount(
+                    inverse, weights=weights, minlength=len(keys)
+                )
+                self._pair[(a, b)] = PairArrays(card_b, keys, raw, weighted, first)
+                # Derive the reverse direction by re-fusing the unique
+                # pairs — no second pass over the rows.
+                rev = (keys % card_b) * card_a + keys // card_b
+                order = np.argsort(rev)
+                self._pair[(b, a)] = PairArrays(
+                    card_a, rev[order], raw[order], weighted[order], first[order]
+                )
 
-        for i in range(self.n_rows):
-            if confidences is None:
-                weight = 1.0
+    # -- code-level queries ---------------------------------------------------------
+
+    def counts_array(self, attribute: str) -> np.ndarray:
+        """Marginal count per code of ``attribute`` (NULL code included)."""
+        return self._counts[attribute]
+
+    def _count_values(
+        self, stats: PairArrays, codes_a: np.ndarray, code_b: int
+    ) -> np.ndarray:
+        """Raw counts of ``(codes_a[i], code_b)`` by direct probe."""
+        idx, hit = stats.lookup(codes_a * stats.card_b + code_b)
+        return np.where(hit, stats.raw[idx], 0)
+
+    def _corr_values(
+        self,
+        stats: PairArrays,
+        attr_a: str,
+        attr_b: str,
+        codes_a: np.ndarray,
+        code_b: int,
+    ) -> np.ndarray:
+        """:meth:`corr` of ``(codes_a[i], code_b)`` — vector math, no
+        self-exclusion."""
+        n_context = int(self._counts[attr_b][code_b])
+        if n_context <= 0:
+            return np.zeros(len(codes_a), dtype=np.float64)
+        idx, hit = stats.lookup(codes_a * stats.card_b + code_b)
+        weighted = np.where(hit, stats.weighted[idx], 0.0)
+        # Clamping non-positive weighted counts to 0 reproduces the
+        # scalar early return: their p̂ becomes 0 and the final
+        # max(0, ·) lands on exactly 0.
+        weighted = np.maximum(weighted, 0.0)
+        p_hat = weighted / n_context
+        capped = np.minimum(p_hat, 1.0)
+        variance = (capped * (1.0 - capped) + 1.0 / n_context) / n_context
+        base_rate = self._counts[attr_a][codes_a] / self.n_rows
+        out = p_hat - self.LCB_Z * np.sqrt(variance) - base_rate
+        np.maximum(out, 0.0, out=out)
+        return out
+
+    def count_profile(
+        self, attr_a: str, attr_b: str, code_b: int
+    ) -> np.ndarray:
+        """Dense raw co-occurrence counts of *every* code of ``attr_a``
+        against context code ``code_b``, cached per context."""
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None or not 0 <= code_b < stats.card_b:
+            return np.zeros(self.encoding.card(attr_a), dtype=np.int64)
+        profile = stats.count_profiles.get(code_b)
+        if profile is None:
+            codes = np.arange(self.encoding.card(attr_a), dtype=np.int64)
+            profile = self._count_values(stats, codes, code_b)
+            stats.count_profiles[code_b] = profile
+        return profile
+
+    def corr_profile(self, attr_a: str, attr_b: str, code_b: int) -> np.ndarray:
+        """Dense :meth:`corr` of every code of ``attr_a`` given context
+        ``code_b`` — no self-exclusion — cached per context."""
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None or self.n_rows == 0 or not 0 <= code_b < stats.card_b:
+            return np.zeros(self.encoding.card(attr_a), dtype=np.float64)
+        profile = stats.corr_profiles.get(code_b)
+        if profile is None:
+            codes = np.arange(self.encoding.card(attr_a), dtype=np.int64)
+            profile = self._corr_values(stats, attr_a, attr_b, codes, code_b)
+            stats.corr_profiles[code_b] = profile
+        return profile
+
+    def pair_counts_for(
+        self, attr_a: str, codes_a: np.ndarray, attr_b: str, code_b: int
+    ) -> np.ndarray:
+        """Raw co-occurrence counts of ``(codes_a[i], code_b)`` (batched).
+
+        ``codes_a`` must hold valid codes (≥ 0).  A context probed more
+        often than one competition accounts for (twice: pool strength +
+        TF-IDF pruning) gets the dense cached profile; rarer contexts
+        take direct pool-sized probes."""
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None or not 0 <= code_b < stats.card_b:
+            return np.zeros(len(codes_a), dtype=np.int64)
+        profile = stats.count_profiles.get(code_b)
+        if profile is None:
+            tally = stats.count_probes.get(code_b, 0) + 1
+            if tally > 2:
+                stats.count_probes.pop(code_b, None)
+                profile = self.count_profile(attr_a, attr_b, code_b)
             else:
-                weight = 1.0 if confidences[i] >= tau else -beta
-            row_keys = [keyed_columns[j][i] for j in range(m)]
-            for j in range(m):
-                vj = row_keys[j]
-                for k in range(m):
-                    if j == k:
-                        continue
-                    self._pair[(self.names[j], self.names[k])].add(
-                        (vj, row_keys[k]), weight
-                    )
+                stats.count_probes[code_b] = tally
+                return self._count_values(stats, codes_a, code_b)
+        return profile[codes_a]
 
-    # -- queries ------------------------------------------------------------------
+    def pair_count_codes(
+        self, attr_a: str, code_a: int, attr_b: str, code_b: int
+    ) -> int:
+        """Raw co-occurrence count of one code pair (single probe)."""
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None or code_a < 0 or code_b < 0:
+            return 0
+        return stats.raw_count(code_a * stats.card_b + code_b)
+
+    def rowwise_pair_counts(self, attr_a: str, attr_b: str) -> np.ndarray:
+        """Raw count of each row's own ``(A_a, A_b)`` value pair — one
+        entry per table row (drives the batched tuple-pruning filter).
+        Every queried pair exists by construction."""
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None:
+            return np.zeros(self.n_rows, dtype=np.int64)
+        fused = (
+            self.encoding.codes(attr_a) * stats.card_b
+            + self.encoding.codes(attr_b)
+        )
+        idx, hit = stats.lookup(fused)
+        return np.where(hit, stats.raw[idx], 0)
+
+    def cooccurring_codes(
+        self, attr_a: str, attr_b: str, code_b: int
+    ) -> np.ndarray:
+        """Codes of ``attr_a`` co-occurring with context ``code_b`` in
+        ``attr_b``, in first-appearance order, NULL code excluded."""
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None or not 0 <= code_b < stats.card_b:
+            return np.empty(0, dtype=np.int64)
+        starts, candidates = stats.csr()
+        return candidates[starts[code_b] : starts[code_b + 1]]
+
+    def corr_for(
+        self,
+        attr_a: str,
+        codes_a: np.ndarray,
+        attr_b: str,
+        code_b: int,
+        exclude_index: int | None = None,
+        self_weight: float = 1.0,
+    ) -> np.ndarray:
+        """Vectorised :meth:`corr` over a candidate pool (codes ≥ 0).
+
+        Repeated contexts come from the cached :meth:`corr_profile`
+        (one fancy-index slice); first-time contexts are probed
+        directly at pool size.  ``exclude_index`` removes the scored
+        tuple's own contribution from that one pool entry (the
+        incumbent): its confidence weight ``self_weight`` leaves the
+        weighted count and one observation leaves both marginals.
+        """
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None or self.n_rows == 0 or not 0 <= code_b < stats.card_b:
+            return np.zeros(len(codes_a), dtype=np.float64)
+        profile = stats.corr_profiles.get(code_b)
+        if profile is None and stats.corr_probes.get(code_b, 0) >= 1:
+            stats.corr_probes.pop(code_b, None)
+            profile = self.corr_profile(attr_a, attr_b, code_b)
+        if profile is not None:
+            out = profile[codes_a]
+        else:
+            stats.corr_probes[code_b] = 1
+            out = self._corr_values(stats, attr_a, attr_b, codes_a, code_b)
+        if exclude_index is not None:
+            out[exclude_index] = self.corr_codes(
+                attr_a,
+                int(codes_a[exclude_index]),
+                attr_b,
+                code_b,
+                exclude_self=True,
+                self_weight=self_weight,
+            )
+        return out
+
+    def corr_codes(
+        self,
+        attr_a: str,
+        code_a: int,
+        attr_b: str,
+        code_b: int,
+        exclude_self: bool = False,
+        self_weight: float = 1.0,
+    ) -> float:
+        """:meth:`corr` of one code pair (the scalar kernel both the
+        value-level API and the incumbent exclusion fix-up share)."""
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None or self.n_rows == 0 or code_a < 0 or code_b < 0:
+            return 0.0
+        weighted = stats.weighted_count(code_a * stats.card_b + code_b)
+        n_context = int(self._counts[attr_b][code_b])
+        n_value = int(self._counts[attr_a][code_a])
+        if exclude_self:
+            weighted -= self_weight
+            n_context -= 1
+            n_value -= 1
+        if n_context <= 0 or weighted <= 0.0:
+            return 0.0
+        base_rate = max(0, n_value) / self.n_rows
+        p_hat = weighted / n_context
+        capped = min(p_hat, 1.0)
+        variance = (capped * (1.0 - capped) + 1.0 / n_context) / n_context
+        return max(0.0, p_hat - self.LCB_Z * variance ** 0.5 - base_rate)
+
+    # -- value-level queries ---------------------------------------------------------
 
     def count(self, attribute: str, value: Cell) -> int:
         """Marginal count of ``value`` in ``attribute``."""
-        return self._value_counts[attribute].get(cell_key(value), 0)
+        code = self.encoding.encode(attribute, value)
+        if code == UNSEEN_CODE:
+            return 0
+        return int(self._counts[attribute][code])
 
     def pair_count(
         self, attr_a: str, value_a: Cell, attr_b: str, value_b: Cell
     ) -> int:
         """Raw co-occurrence count of ``(value_a, value_b)``."""
-        stats = self._pair.get((attr_a, attr_b))
-        if stats is None:
-            return 0
-        return stats.raw.get((cell_key(value_a), cell_key(value_b)), 0)
+        return self.pair_count_codes(
+            attr_a,
+            self.encoding.encode(attr_a, value_a),
+            attr_b,
+            self.encoding.encode(attr_b, value_b),
+        )
 
     #: z-multiplier of the lower confidence bound in :meth:`corr` — how
     #: strongly small-sample proportions are discounted.
@@ -121,6 +442,7 @@ class CooccurrenceIndex:
         attr_b: str,
         value_b: Cell,
         exclude_self: bool = False,
+        self_weight: float = 1.0,
     ) -> float:
         """Confidence-weighted conditional lift of ``value_a`` given the
         context value ``value_b``, discounted by sampling uncertainty.
@@ -152,49 +474,44 @@ class CooccurrenceIndex:
         ``exclude_self`` removes the scored tuple's own contribution —
         an incumbent value trivially co-occurs with its own row, which
         would otherwise grant it certainty-level support exactly on the
-        unique contexts that provide no real evidence.
+        unique contexts that provide no real evidence.  ``self_weight``
+        is the weight that tuple actually contributed to Algorithm 2's
+        accumulator (+1 when reliable, −β when not): an unreliable
+        tuple's exclusion must *add back* its penalty rather than
+        subtract a flat 1.
         """
-        stats = self._pair.get((attr_a, attr_b))
-        if stats is None or self.n_rows == 0:
-            return 0.0
-        ka, kb = cell_key(value_a), cell_key(value_b)
-        weighted = stats.weighted.get((ka, kb), 0.0)
-        n_context = self._value_counts[attr_b].get(kb, 0)
-        n_value = self._value_counts[attr_a].get(ka, 0)
-        if exclude_self:
-            weighted -= 1.0
-            n_context -= 1
-            n_value -= 1
-        if n_context <= 0 or weighted <= 0.0:
-            return 0.0
-        base_rate = max(0, n_value) / self.n_rows
-        p_hat = weighted / n_context
-        capped = min(p_hat, 1.0)
-        variance = (capped * (1.0 - capped) + 1.0 / n_context) / n_context
-        return max(0.0, p_hat - self.LCB_Z * variance ** 0.5 - base_rate)
+        return self.corr_codes(
+            attr_a,
+            self.encoding.encode(attr_a, value_a),
+            attr_b,
+            self.encoding.encode(attr_b, value_b),
+            exclude_self=exclude_self,
+            self_weight=self_weight,
+        )
 
     def cooccurring_values(self, attr_a: str, attr_b: str, value_b: Cell) -> list:
         """All values of ``attr_a`` that co-occur with ``value_b`` in
         ``attr_b`` — the generator behind TF-IDF context counting.
 
-        Backed by a lazily built inverted index per attribute pair so
-        repeated queries are O(result) instead of O(all pairs).  NULLs
-        are never returned — NULL is not a repair candidate.
+        Backed by the CSR inverted index of the pair, so repeated
+        queries are O(result).  NULLs are never returned — NULL is not a
+        repair candidate.
         """
-        from repro.bayesnet.cpt import NULL_KEY
-
+        code_b = self.encoding.encode(attr_b, value_b)
         stats = self._pair.get((attr_a, attr_b))
-        if stats is None:
+        if stats is None or code_b == UNSEEN_CODE:
             return []
-        index = self._inverted_cache.get((attr_a, attr_b))
-        if index is None:
-            index = {}
-            for ka, kb in stats.raw:
-                if ka != NULL_KEY:
-                    index.setdefault(kb, []).append(ka)
-            self._inverted_cache[(attr_a, attr_b)] = index
-        return index.get(cell_key(value_b), [])
+        cache = stats.values_cache()
+        values = cache.get(code_b)
+        if values is None:
+            vocab = self.encoding.vocab(attr_a)
+            values = [
+                vocab.decode(int(c))
+                for c in self.cooccurring_codes(attr_a, attr_b, code_b)
+            ]
+            cache[code_b] = values
+        return values
 
     def n_pairs_stored(self) -> int:
         """Total number of distinct value pairs stored (diagnostics)."""
-        return sum(len(p.raw) for p in self._pair.values())
+        return sum(len(p) for p in self._pair.values())

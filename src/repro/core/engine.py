@@ -13,15 +13,41 @@ the CS term is the compensatory score of §5 mapped to log-space.
 Evidence always comes from the *observed* dataset D, never from earlier
 repairs — Algorithm 1 writes into a separate D*, which is what prevents
 the error-amplification cascade §5 describes.
+
+Two cleaning paths produce identical repair decisions:
+
+- the **columnar fast path** (default, ``BCleanConfig.use_columnar``):
+  the table is interned once (:class:`~repro.dataset.encoding.TableEncoding`),
+  cells are grouped by (attribute, row signature) up front so every
+  distinct candidate competition runs exactly once, and each
+  competition is array arithmetic — batched co-occurrence probes,
+  batched blanket scoring (:class:`~repro.bayesnet.model.ColumnarNetScorer`),
+  and a vectorised compensatory term;
+- the **scalar reference path**: the per-cell dict walk of the original
+  implementation, kept as the oracle the columnar path is tested
+  against, and used automatically when the fast path cannot apply
+  (merged-node compositions, cleaning a table other than the fitted
+  one, or a fitted table mutated since ``fit()``).
+
+Both paths share candidate order, tie-breaking, and float accumulation
+order; the tolerated divergences are transcendental rounding
+(``numpy``'s vectorised log/sqrt may differ from ``math``'s by 1 ulp on
+some platforms) and, in BASIC mode only, the regrouped joint summation
+(blanket + constant rest, ~1e-12 — see
+:meth:`~repro.bayesnet.model.ColumnarNetScorer.joint_log_scores`) —
+both far below every decision margin.  The equivalence suite asserts
+identical repair lists across both paths in all modes.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.bayesnet.cpt import cell_key
 from repro.bayesnet.dag import DAG
-from repro.bayesnet.model import DiscreteBayesNet
+from repro.bayesnet.model import ColumnarNetScorer, DiscreteBayesNet
 from repro.bayesnet.structure.chowliu import chow_liu_tree
 from repro.bayesnet.structure.fdx import fdx_structure
 from repro.bayesnet.structure.hillclimb import hill_climb
@@ -29,16 +55,24 @@ from repro.bayesnet.structure.mmhc import mmhc
 from repro.bayesnet.structure.pc import pc_algorithm
 from repro.constraints.registry import UCRegistry
 from repro.core.composition import AttributeComposition
-from repro.core.compensatory import CompensatoryScorer, log_compensatory
+from repro.core.compensatory import (
+    CompensatoryScorer,
+    log_compensatory,
+    log_compensatory_pool,
+)
 from repro.core.config import BCleanConfig, InferenceMode
 from repro.core.confidence import table_confidences
 from repro.core.cooccurrence import CooccurrenceIndex
 from repro.core.partition import SubNetwork, partition, partition_statistics
-from repro.core.pruning import DomainPruner, should_skip_cell
+from repro.core.pruning import (
+    DomainPruner,
+    should_skip_cell,
+    tuple_filter_scores_all_rows,
+)
 from repro.core.repairs import CleaningResult, CleaningStats, Repair, Stopwatch
 from repro.dataset.domain import DomainIndex
 from repro.dataset.table import Cell, Table, is_null
-from repro.errors import CleaningError
+from repro.errors import CPTError, CleaningError, InferenceError
 
 
 class BClean:
@@ -108,11 +142,13 @@ class BClean:
                 if use_ucs
                 else None
             )
+            self._encoding = table.encode()
             self.cooc = CooccurrenceIndex(
                 table,
                 self.confidences,
                 tau=self.config.tau,
                 beta=self.config.beta,
+                encoding=self._encoding,
             )
             self.comp = CompensatoryScorer(
                 self.cooc, frequency_weight=self.config.frequency_weight
@@ -124,6 +160,10 @@ class BClean:
             )
             self._uc_cache: dict[tuple[str, object], bool] = {}
             self._cell_cache: dict[tuple, tuple[Cell, float, float]] = {}
+            self._columnar: ColumnarNetScorer | None = None
+            self._domain_code_cache: dict[str, np.ndarray] = {}
+            self._uc_mask_cache: dict[str, np.ndarray] = {}
+            self._scratch_mask_cache: dict[str, np.ndarray] = {}
         self._fit_seconds = timer.seconds
         return self
 
@@ -169,6 +209,7 @@ class BClean:
             self.bn.refit_nodes(self._node_table, list(refit_nodes))
         self.subnets = partition(dag)
         self._cell_cache.clear()
+        self._columnar = None
 
     # -- cleaning ------------------------------------------------------------------
 
@@ -180,65 +221,135 @@ class BClean:
         stats = CleaningStats(fit_seconds=self._fit_seconds)
         repairs: list[Repair] = []
         cleaned = table.copy()
-        mode = self.config.mode
 
+        columnar = self._columnar_applicable(table)
+        self._competitions_run = 0
         with Stopwatch() as timer:
-            names = table.schema.names
-            for i in range(table.n_rows):
-                row = {a: table.columns[j][i] for j, a in enumerate(names)}
-                for attr in names:
-                    stats.cells_total += 1
-                    if mode == InferenceMode.PARTITIONED_PRUNED and not is_null(
-                        row[attr]
-                    ):
-                        if should_skip_cell(
-                            self.cooc, row, attr, self.config.tau_clean
-                        ):
-                            stats.cells_skipped_pruning += 1
-                            continue
-                    stats.cells_inspected += 1
-                    best, best_score, incumbent_score = self._best_candidate(
-                        attr, row, stats
-                    )
-                    # The margin (incumbent protection) is already folded
-                    # into incumbent_score by the competition.
-                    if best is not None and best_score > incumbent_score:
-                        if cell_key(best) != cell_key(row[attr]):
-                            cleaned.set_cell(i, attr, best)
-                            repairs.append(
-                                Repair(
-                                    i,
-                                    attr,
-                                    row[attr],
-                                    best,
-                                    incumbent_score,
-                                    best_score,
-                                )
-                            )
+            if columnar:
+                try:
+                    scorer = self._columnar_scorer()
+                except (CPTError, InferenceError):
+                    # e.g. fused parent-config overflow — the scalar
+                    # oracle handles anything.
+                    columnar = False
+            if columnar:
+                self._clean_columnar(table, scorer, stats, cleaned, repairs)
+            else:
+                self._clean_scalar(table, stats, cleaned, repairs)
         stats.clean_seconds = timer.seconds
         stats.repairs_made = len(repairs)
+        # "cache_size" is the number of distinct (attribute, row
+        # signature) competitions materialised: the memo table of the
+        # scalar path, the up-front dedup groups of the columnar one.
+        cache_size = (
+            self._competitions_run if columnar else len(self._cell_cache)
+        )
         return CleaningResult(
             cleaned,
             repairs,
             stats,
             diagnostics={
-                "mode": mode.value,
+                "mode": self.config.mode.value,
                 "n_edges": self.dag.n_edges,
                 "partition": partition_statistics(self.subnets),
-                "cache_size": len(self._cell_cache),
+                "cache_size": cache_size,
+                "columnar": columnar,
             },
         )
+
+    def _columnar_applicable(self, table: Table) -> bool:
+        """The fast path requires the fitted table (statistics and codes
+        were interned from it) and the singleton composition (BN nodes
+        must be table attributes for coded scoring).  A fitted table
+        mutated since ``fit()`` fails the snapshot check — the scalar
+        path then reads the live cells, exactly like the oracle."""
+        if not self.config.use_columnar or table is not self.table:
+            return False
+        if any(
+            self.composition.members(node) != (node,)
+            for node in self.composition.nodes
+        ):
+            return False
+        return self._encoding.matches(table)
+
+    def _columnar_scorer(self) -> ColumnarNetScorer:
+        if self._columnar is None:
+            self._columnar = ColumnarNetScorer(self.bn, self._encoding)
+        return self._columnar
+
+    # -- scalar reference path -----------------------------------------------------
+
+    def _clean_scalar(
+        self,
+        table: Table,
+        stats: CleaningStats,
+        cleaned: Table,
+        repairs: list[Repair],
+    ) -> None:
+        mode = self.config.mode
+        names = table.schema.names
+        # Per-row confidence weights exist only for the fitted table —
+        # a foreign table's rows contributed nothing to Algorithm 2's
+        # accumulator, so their self-exclusion removes a neutral +1.
+        fitted = table is self.table
+        for i in range(table.n_rows):
+            row = {a: table.columns[j][i] for j, a in enumerate(names)}
+            weight = self._tuple_weight(i) if fitted else 1.0
+            for attr in names:
+                stats.cells_total += 1
+                if mode == InferenceMode.PARTITIONED_PRUNED and not is_null(
+                    row[attr]
+                ):
+                    if should_skip_cell(
+                        self.cooc, row, attr, self.config.tau_clean
+                    ):
+                        stats.cells_skipped_pruning += 1
+                        continue
+                stats.cells_inspected += 1
+                best, best_score, incumbent_score = self._best_candidate(
+                    attr, row, weight, stats
+                )
+                # The margin (incumbent protection) is already folded
+                # into incumbent_score by the competition.
+                if best is not None and best_score > incumbent_score:
+                    if cell_key(best) != cell_key(row[attr]):
+                        cleaned.set_cell(i, attr, best)
+                        repairs.append(
+                            Repair(
+                                i,
+                                attr,
+                                row[attr],
+                                best,
+                                incumbent_score,
+                                best_score,
+                            )
+                        )
+
+    def _tuple_weight(self, i: int) -> float:
+        """The confidence weight row ``i`` contributed to Algorithm 2's
+        accumulator (what ``exclude_self`` must remove)."""
+        if self.confidences is None:
+            return 1.0
+        return 1.0 if self.confidences[i] >= self.config.tau else -self.config.beta
 
     # -- per-cell inference -----------------------------------------------------------
 
     def _best_candidate(
-        self, attr: str, row: Mapping[str, Cell], stats: CleaningStats
+        self,
+        attr: str,
+        row: Mapping[str, Cell],
+        weight: float,
+        stats: CleaningStats,
     ) -> tuple[Cell | None, float, float]:
         """(best candidate, its score, incumbent score) for one cell.
 
-        Results are cached on the (attribute, scoring context, incumbent)
-        signature: rows sharing their context values reuse the whole
-        candidate competition.
+        Results are cached on the (attribute, tuple weight, scoring
+        context, incumbent) signature: rows sharing their context
+        values reuse the whole candidate competition.  Within one table
+        the weight is a function of the row's values, but the same
+        signature can carry a different weight when a *foreign* table
+        is cleaned (its rows are always weight 1.0), so the weight is
+        part of the key.
         """
         node = self.composition.node_of(attr)
         subnet = self.subnets[node]
@@ -247,14 +358,18 @@ class BClean:
         context_attrs = [a for a in self.table.schema.names if a != attr]
         current = row[attr]
 
-        sig = (attr, tuple(cell_key(row[a]) for a in self.table.schema.names))
+        sig = (
+            attr,
+            weight,
+            tuple(cell_key(row[a]) for a in self.table.schema.names),
+        )
         hit = self._cell_cache.get(sig)
         if hit is not None:
             return hit
 
         pool = self._candidate_pool(attr, row, context_attrs, current, stats)
         result = self._run_competition(
-            attr, node, subnet, row, pool, current, context_attrs, stats
+            attr, node, subnet, row, pool, current, context_attrs, weight, stats
         )
         self._cell_cache[sig] = result
         return result
@@ -348,6 +463,7 @@ class BClean:
         pool: Sequence[Cell],
         current: Cell,
         context_attrs: Sequence[str],
+        weight: float,
         stats: CleaningStats,
     ) -> tuple[Cell | None, float, float]:
         """Score incumbent + pool; return (best, best score, incumbent score)."""
@@ -367,6 +483,7 @@ class BClean:
                 cell_key(c): self.comp.score(
                     c, row, attr, context_attrs,
                     is_incumbent=cell_key(c) == current_key,
+                    self_weight=weight,
                 )
                 for c in contenders
             }
@@ -471,6 +588,324 @@ class BClean:
             # cancels in the candidate competition.
             return 0.0
         return self.bn.blanket_log_score(node, node_value, node_row)
+
+    # -- columnar fast path ---------------------------------------------------------
+
+    def _clean_columnar(
+        self,
+        table: Table,
+        scorer: ColumnarNetScorer,
+        stats: CleaningStats,
+        cleaned: Table,
+        repairs: list[Repair],
+    ) -> None:
+        """One deduplicated, vectorised competition per distinct
+        (attribute, row signature); decisions are then broadcast back to
+        every occurrence, emitting repairs in the scalar path's
+        row-major order."""
+        enc = self._encoding
+        names = table.schema.names
+        n, m = table.n_rows, len(names)
+        stats.cells_total += n * m
+        if n == 0 or m == 0:
+            return
+        mode = self.config.mode
+        codes_mat = enc.matrix()
+        uniq_rows, first_rows, inverse = np.unique(
+            codes_mat, axis=0, return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        n_uniq = len(uniq_rows)
+        weights = self.cooc.row_weights
+
+        repair_codes: list[np.ndarray] = []
+        old_scores: list[np.ndarray] = []
+        new_scores: list[np.ndarray] = []
+        for j, attr in enumerate(names):
+            decided = np.full(n_uniq, -1, dtype=np.int64)
+            best_arr = np.zeros(n_uniq, dtype=np.float64)
+            inc_arr = np.zeros(n_uniq, dtype=np.float64)
+            if mode == InferenceMode.PARTITIONED_PRUNED:
+                filter_scores = tuple_filter_scores_all_rows(self.cooc, attr)
+                null_mask = enc.vocab(attr).null_mask
+                skip_rows = (filter_scores >= self.config.tau_clean) & ~null_mask[
+                    codes_mat[:, j]
+                ]
+                n_skipped = int(skip_rows.sum())
+                stats.cells_skipped_pruning += n_skipped
+                stats.cells_inspected += n - n_skipped
+                skip_uniq = skip_rows[first_rows]
+            else:
+                stats.cells_inspected += n
+                skip_uniq = np.zeros(n_uniq, dtype=bool)
+
+            subnet = self.subnets[attr]
+            context_cols = [k for k in range(m) if k != j]
+            for uid in range(n_uniq):
+                if skip_uniq[uid]:
+                    continue
+                self._competitions_run += 1
+                decided[uid], inc_arr[uid], best_arr[uid] = self._coded_competition(
+                    attr,
+                    j,
+                    subnet,
+                    scorer,
+                    uniq_rows[uid],
+                    context_cols,
+                    float(weights[first_rows[uid]]),
+                    stats,
+                )
+            repair_codes.append(decided)
+            old_scores.append(inc_arr)
+            new_scores.append(best_arr)
+
+        for i in range(n):
+            uid = inverse[i]
+            for j, attr in enumerate(names):
+                code = repair_codes[j][uid]
+                if code >= 0:
+                    new_value = enc.decode(attr, int(code))
+                    cleaned.set_cell(i, attr, new_value)
+                    repairs.append(
+                        Repair(
+                            i,
+                            attr,
+                            table.columns[j][i],
+                            new_value,
+                            float(old_scores[j][uid]),
+                            float(new_scores[j][uid]),
+                        )
+                    )
+
+    def _coded_competition(
+        self,
+        attr: str,
+        j: int,
+        subnet: SubNetwork,
+        scorer: ColumnarNetScorer,
+        row_codes: np.ndarray,
+        context_cols: Sequence[int],
+        weight: float,
+        stats: CleaningStats,
+    ) -> tuple[int, float, float]:
+        """Run one full candidate competition on integer codes.
+
+        Returns ``(repair code or −1, incumbent score, best score)`` —
+        mirroring ``_candidate_pool`` + ``_run_competition`` step for
+        step (same candidate order, same float accumulation order) so
+        decisions are identical to the scalar reference path.
+        """
+        cfg = self.config
+        enc = self._encoding
+        current_code = int(row_codes[j])
+
+        contenders = self._coded_pool(attr, j, row_codes, context_cols, stats)
+        inc_hits = np.nonzero(contenders == current_code)[0]
+        if len(inc_hits) == 0:
+            contenders = np.append(contenders, current_code)
+            inc_idx = len(contenders) - 1
+        else:
+            inc_idx = int(inc_hits[0])
+        stats.candidates_evaluated += len(contenders)
+
+        if cfg.mode == InferenceMode.BASIC:
+            bn_scores = scorer.joint_log_scores(attr, contenders, row_codes)
+        elif subnet.is_isolated:
+            bn_scores = np.zeros(len(contenders), dtype=np.float64)
+        else:
+            bn_scores = scorer.blanket_log_scores(attr, contenders, row_codes)
+
+        if cfg.use_compensatory:
+            raw = self.comp.score_pool(
+                contenders,
+                row_codes,
+                attr,
+                context_cols,
+                incumbent_index=inc_idx,
+                self_weight=weight,
+            )
+            comp_log = cfg.comp_weight * log_compensatory_pool(
+                raw, cfg.comp_smoothing
+            )
+        else:
+            comp_log = np.zeros(len(contenders), dtype=np.float64)
+
+        incumbent_penalty = 0.0
+        if cfg.use_ucs and not self._uc_code_mask(attr)[current_code]:
+            incumbent_penalty = cfg.uc_violation_penalty
+
+        incumbent_null = bool(enc.vocab(attr).null_mask[current_code])
+        margin = (
+            cfg.repair_margin
+            if self._supported_code(
+                attr, current_code, row_codes, context_cols, 2, incumbent_null
+            )
+            else cfg.unsupported_margin
+        )
+
+        totals = bn_scores + comp_log
+        totals[inc_idx] = totals[inc_idx] - incumbent_penalty + margin
+        best_idx = int(np.argmax(totals))
+        best_code = int(contenders[best_idx])
+        best_score = float(totals[best_idx])
+        incumbent_score = float(totals[inc_idx])
+
+        forced = incumbent_null or incumbent_penalty > 0
+        if (
+            forced
+            and best_code != current_code
+            and not self._supported_code(
+                attr, best_code, row_codes, context_cols,
+                cfg.min_fill_support, False,
+            )
+        ):
+            return -1, incumbent_score, incumbent_score
+        if best_score > incumbent_score and best_code != current_code:
+            return best_code, incumbent_score, best_score
+        return -1, incumbent_score, best_score
+
+    def _coded_pool(
+        self,
+        attr: str,
+        j: int,
+        row_codes: np.ndarray,
+        context_cols: Sequence[int],
+        stats: CleaningStats,
+    ) -> np.ndarray:
+        """The coded candidate pool, ordered exactly as the scalar
+        ``_candidate_pool``: context candidates by (−strength, first
+        appearance), domain top-up, UC filter, strength-stable cap,
+        TF-IDF pruning in PIP mode."""
+        cfg = self.config
+        cooc = self.cooc
+        names = self.table.schema.names
+        cap = cfg.candidate_cap
+        if cfg.mode == InferenceMode.BASIC:
+            cap = (
+                cfg.max_candidates_basic
+                if cap is None
+                else min(cap, cfg.max_candidates_basic)
+            )
+
+        lists = [
+            cooc.cooccurring_codes(attr, names[k], int(row_codes[k]))
+            for k in context_cols
+        ]
+        concat = (
+            np.concatenate(lists) if lists else np.empty(0, dtype=np.int64)
+        )
+        null_mask = self._encoding.vocab(attr).null_mask
+        concat = concat[~null_mask[concat]]
+        cand, first_pos = np.unique(concat, return_index=True)
+        strength = np.zeros(len(cand), dtype=np.float64)
+        for k in context_cols:
+            strength += cooc.pair_counts_for(
+                attr, cand, names[k], int(row_codes[k])
+            )
+        # Scalar path: stable sort by −strength over first-appearance
+        # order — lexsort with first_pos as the tie key reproduces it.
+        order = np.lexsort((first_pos, -strength))
+        ordered = cand[order]
+        ordered_strength = strength[order]
+        if cap is not None:
+            ordered = ordered[:cap]
+            ordered_strength = ordered_strength[:cap]
+
+        # Top up with globally frequent values (the domain prior).  A
+        # truncated context candidate can re-enter here; it keeps its
+        # accumulated strength for the later cap re-sort, exactly like
+        # the scalar strength dict.  Membership runs over a reusable
+        # per-attribute scratch mask — O(pool) instead of isin's sort.
+        domain = self._domain_codes(attr)
+        top = domain[:cap] if cap is not None else domain
+        scratch = self._scratch_mask(attr)
+        scratch[ordered] = True
+        extra = top[~scratch[top]]
+        scratch[ordered] = False
+        if len(extra):
+            if len(cand):
+                pos = np.minimum(np.searchsorted(cand, extra), len(cand) - 1)
+                extra_strength = np.where(cand[pos] == extra, strength[pos], 0.0)
+            else:
+                extra_strength = np.zeros(len(extra), dtype=np.float64)
+            ordered = np.concatenate([ordered, extra])
+            ordered_strength = np.concatenate([ordered_strength, extra_strength])
+
+        if cfg.use_ucs:
+            ok = self._uc_code_mask(attr)[ordered]
+            # stats parity: the scalar path counts per competition run
+            stats.candidates_filtered_uc += int((~ok).sum())
+            ordered = ordered[ok]
+            ordered_strength = ordered_strength[ok]
+
+        if cap is not None and len(ordered) > cap:
+            resort = np.argsort(-ordered_strength, kind="stable")
+            ordered = ordered[resort][:cap]
+
+        if cfg.mode == InferenceMode.PARTITIONED_PRUNED:
+            ordered = self.pruner.prune_codes(
+                ordered, row_codes, attr, context_cols
+            )
+        return ordered
+
+    def _supported_code(
+        self,
+        attr: str,
+        code: int,
+        row_codes: np.ndarray,
+        context_cols: Sequence[int],
+        need: int,
+        value_is_null: bool,
+    ) -> bool:
+        """Coded form of the co-occurrence support checks (incumbent
+        protection with ``need=2``, forced-repair evidence with
+        ``need=min_fill_support``)."""
+        if value_is_null:
+            return False
+        cooc = self.cooc
+        names = self.table.schema.names
+        for k in context_cols:
+            if cooc.pair_count_codes(attr, code, names[k], int(row_codes[k])) >= need:
+                return True
+        return False
+
+    def _scratch_mask(self, attr: str) -> np.ndarray:
+        """A zeroed boolean scratch array over the attribute's codes
+        (borrow, mark, and reset — never hold across calls)."""
+        mask = self._scratch_mask_cache.get(attr)
+        if mask is None:
+            mask = np.zeros(self._encoding.card(attr), dtype=bool)
+            self._scratch_mask_cache[attr] = mask
+        return mask
+
+    def _domain_codes(self, attr: str) -> np.ndarray:
+        """Codes of the attribute's domain values, most frequent first
+        (the scalar ``DomainIndex.candidate_values`` order)."""
+        codes = self._domain_code_cache.get(attr)
+        if codes is None:
+            vocab = self._encoding.vocab(attr)
+            codes = np.array(
+                [vocab.encode(v) for v in self.domains.candidate_values(attr, None)],
+                dtype=np.int64,
+            )
+            self._domain_code_cache[attr] = codes
+        return codes
+
+    def _uc_code_mask(self, attr: str) -> np.ndarray:
+        """Per-code user-constraint verdicts (the coded ``_uc_cache``)."""
+        mask = self._uc_mask_cache.get(attr)
+        if mask is None:
+            vocab = self._encoding.vocab(attr)
+            mask = np.fromiter(
+                (
+                    self.constraints.check_cell(attr, vocab.decode(code))
+                    for code in range(vocab.size)
+                ),
+                dtype=bool,
+                count=vocab.size,
+            )
+            self._uc_mask_cache[attr] = mask
+        return mask
 
 
 def clean_table(

@@ -21,8 +21,27 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.cooccurrence import CooccurrenceIndex
 from repro.dataset.table import Cell
+
+
+def tuple_filter_scores_all_rows(
+    index: CooccurrenceIndex, attribute: str
+) -> np.ndarray:
+    """``Filter(T, A_i)`` for every table row at once — the batched form
+    of :func:`tuple_filter_score` the columnar engine path uses to skip
+    reliable cells before any competition is materialised."""
+    others = [a for a in index.names if a != attribute]
+    if not others:
+        return np.ones(index.n_rows, dtype=np.float64)
+    total = np.zeros(index.n_rows, dtype=np.float64)
+    for attr_j in others:
+        denom = index.counts_array(attr_j)[index.encoding.codes(attr_j)]
+        pair = index.rowwise_pair_counts(attribute, attr_j)
+        total += np.where(denom > 0, pair / np.maximum(denom, 1), 0.0)
+    return total / len(others)
 
 
 def tuple_filter_score(
@@ -110,6 +129,35 @@ class DomainPruner:
                 kept.append(k)
                 present.add(_safe_key(k))
         return kept
+
+    def prune_codes(
+        self,
+        candidate_codes: np.ndarray,
+        row_codes: np.ndarray,
+        attribute: str,
+        context_columns: Sequence[int],
+    ) -> np.ndarray:
+        """Batched :meth:`prune` over a coded candidate pool.
+
+        Same TF-IDF ranking, computed with vectorised pair-count probes;
+        the stable sort preserves the incoming pool order on ties, so
+        the surviving top-k matches the scalar path element for element.
+        """
+        index = self.index
+        context = np.zeros(len(candidate_codes), dtype=np.int64)
+        for column in context_columns:
+            pair = index.pair_counts_for(
+                attribute,
+                candidate_codes,
+                index.names[column],
+                int(row_codes[column]),
+            )
+            context += pair > 0
+        counts = index.counts_array(attribute)[candidate_codes]
+        idf = np.log(self._n / (1 + counts))
+        tfidf = context * np.maximum(idf, 1e-3)
+        order = np.argsort(-tfidf, kind="stable")
+        return candidate_codes[order][: self.top_k]
 
 
 def _safe_key(value: Cell) -> object:

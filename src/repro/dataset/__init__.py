@@ -2,6 +2,12 @@
 
 from repro.dataset.diff import CellDiff, cells_equal, diff_cells, diff_mask, hamming
 from repro.dataset.domain import Domain, DomainIndex
+from repro.dataset.encoding import (
+    NULL_CODE,
+    UNSEEN_CODE,
+    AttributeVocabulary,
+    TableEncoding,
+)
 from repro.dataset.io import read_csv, read_csv_text, to_csv_text, write_csv
 from repro.dataset.profile import (
     ColumnProfile,
@@ -17,6 +23,10 @@ from repro.dataset.table import Cell, Row, Table, infer_attr_type, infer_schema,
 __all__ = [
     "Attribute",
     "AttrType",
+    "AttributeVocabulary",
+    "NULL_CODE",
+    "UNSEEN_CODE",
+    "TableEncoding",
     "Cell",
     "CellDiff",
     "ColumnProfile",

@@ -1,0 +1,193 @@
+"""Value interning: per-attribute vocabularies and integer-coded columns.
+
+The columnar fast path of the engine replaces `cell_key` hashing in the
+inner loops with dense integer codes.  The interning contract:
+
+- Every attribute gets an :class:`AttributeVocabulary` mapping the
+  *canonical key* of a cell (``cell_key(value)`` — ``None``/NaN collapse
+  to one NULL key) onto a dense code in ``[0, size)``.
+- **Code 0 is reserved for NULL** in every vocabulary, whether or not
+  the column contains NULLs.  Non-null keys are numbered ``1..size-1``
+  in order of first appearance in the column, so codes are deterministic
+  for a given table.
+- ``decode(code)`` returns the representative cell value of the code:
+  the first original value observed with that key (``None`` for code 0).
+  Because ``cell_key`` is the identity on non-null values, the
+  representative compares equal to every value that produced the code.
+- Values never seen by the vocabulary encode to :data:`UNSEEN_CODE`
+  (−1); every statistics structure treats −1 as "count 0 everywhere".
+
+A :class:`TableEncoding` interns all columns of one table **once**; all
+hot-path components (co-occurrence index, coded CPTs, the engine's
+candidate competitions) consume the coded columns instead of re-hashing
+cell objects per query.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataset.table import NULL_KEY, Cell, Table, cell_key, is_null
+
+#: Code returned for values outside the vocabulary.
+UNSEEN_CODE = -1
+
+#: Reserved code of the NULL key in every vocabulary.
+NULL_CODE = 0
+
+
+class AttributeVocabulary:
+    """Dense integer codes for the distinct (keyed) values of one column."""
+
+    __slots__ = ("attribute", "_code_of", "_values", "_null_mask")
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self._code_of: dict[object, int] = {NULL_KEY: NULL_CODE}
+        self._values: list[Cell] = [None]
+        self._null_mask: np.ndarray | None = None
+
+    def add(self, value: Cell) -> int:
+        """Intern ``value`` and return its code (idempotent)."""
+        key = cell_key(value)
+        code = self._code_of.get(key)
+        if code is None:
+            code = len(self._values)
+            self._code_of[key] = code
+            self._values.append(value)
+            self._null_mask = None
+        return code
+
+    def encode(self, value: Cell) -> int:
+        """Code of ``value`` (:data:`UNSEEN_CODE` if never interned)."""
+        return self._code_of.get(cell_key(value), UNSEEN_CODE)
+
+    def decode(self, code: int) -> Cell:
+        """Representative cell value of ``code``."""
+        return self._values[code]
+
+    @property
+    def size(self) -> int:
+        """Number of codes (NULL included), i.e. codes are ``[0, size)``."""
+        return len(self._values)
+
+    @property
+    def null_mask(self) -> np.ndarray:
+        """Boolean array over codes: True where the representative is
+        NULL-*like* (``is_null``), which is broader than code 0 — e.g.
+        the literal string ``"null"`` keys as itself but is still not a
+        legal repair candidate."""
+        if self._null_mask is None or len(self._null_mask) != self.size:
+            self._null_mask = np.array(
+                [is_null(v) for v in self._values], dtype=bool
+            )
+        return self._null_mask
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AttributeVocabulary({self.attribute!r}, {self.size} codes)"
+
+
+class TableEncoding:
+    """Integer-coded view of a whole table (built once, shared by all
+    hot-path components).
+
+    Attributes
+    ----------
+    names:
+        Attribute names in schema order.
+    """
+
+    def __init__(self, table: Table):
+        self.names: list[str] = list(table.schema.names)
+        self._index_of = {a: j for j, a in enumerate(self.names)}
+        self.n_rows = table.n_rows
+        self._source = table
+        self._source_mutations = table.mutation_count
+        self._vocabs: dict[str, AttributeVocabulary] = {}
+        self._codes: dict[str, np.ndarray] = {}
+        for name in self.names:
+            vocab = AttributeVocabulary(name)
+            codes = np.fromiter(
+                (vocab.add(v) for v in table.column(name)),
+                dtype=np.int64,
+                count=table.n_rows,
+            )
+            self._vocabs[name] = vocab
+            self._codes[name] = codes
+
+    # -- access ----------------------------------------------------------------
+
+    def vocab(self, attribute: str) -> AttributeVocabulary:
+        """Vocabulary of ``attribute``."""
+        return self._vocabs[attribute]
+
+    def codes(self, attribute: str) -> np.ndarray:
+        """The coded column of ``attribute`` (int64, length ``n_rows``)."""
+        return self._codes[attribute]
+
+    def card(self, attribute: str) -> int:
+        """Vocabulary size of ``attribute`` (codes are ``[0, card)``)."""
+        return self._vocabs[attribute].size
+
+    def column_index(self, attribute: str) -> int:
+        """Schema position of ``attribute``."""
+        return self._index_of[attribute]
+
+    def encode(self, attribute: str, value: Cell) -> int:
+        """Code of ``value`` in ``attribute`` (−1 when unseen)."""
+        return self._vocabs[attribute].encode(value)
+
+    def decode(self, attribute: str, code: int) -> Cell:
+        """Representative value of ``code`` in ``attribute``."""
+        return self._vocabs[attribute].decode(code)
+
+    def matches(self, table: Table) -> bool:
+        """Whether this snapshot still describes ``table``: same shape
+        and every cell interning to its recorded code.
+
+        Consumers holding fit-time statistics call this before trusting
+        the coded columns — a table mutated after :meth:`Table.encode`
+        (or one containing values the vocabulary never saw) fails the
+        check and must take the value-level path instead.
+
+        The source table's ``mutation_count`` makes the common case
+        O(1): unchanged counter on the same object means no
+        :meth:`Table.set_cell` ran since the snapshot.  Any other table
+        (or a bumped counter) gets the full cell-by-cell re-interning
+        scan; only mutation behind ``set_cell``'s back (writing into
+        ``Table.columns`` directly) can fool the fast path.
+        """
+        if table is self._source:
+            if table.mutation_count == self._source_mutations:
+                return True
+        if table.n_rows != self.n_rows or list(table.schema.names) != self.names:
+            return False
+        for name in self.names:
+            lookup = self._vocabs[name]._code_of
+            codes = self._codes[name].tolist()
+            for code, value in zip(codes, table.column(name)):
+                if lookup.get(cell_key(value), UNSEEN_CODE) != code:
+                    return False
+        return True
+
+    def matrix(self) -> np.ndarray:
+        """All coded columns stacked into an ``(n_rows, n_cols)`` array."""
+        if not self.names:
+            return np.empty((self.n_rows, 0), dtype=np.int64)
+        return np.column_stack([self._codes[a] for a in self.names])
+
+    def encode_row(self, row: Sequence[Cell]) -> np.ndarray:
+        """Codes of one raw row given in schema order."""
+        return np.array(
+            [self._vocabs[a].encode(v) for a, v in zip(self.names, row)],
+            dtype=np.int64,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cards = {a: self.card(a) for a in self.names}
+        return f"TableEncoding({self.n_rows} rows, cards={cards})"

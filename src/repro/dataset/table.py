@@ -5,6 +5,12 @@ set of relational operations the cleaning algorithms need: column access,
 cell mutation, row views, projection, sampling, and sorting.  Cells are
 Python objects — ``str`` for textual attributes, ``int``/``float`` for
 numeric ones — and NULL is represented by ``None`` throughout.
+
+:func:`cell_key` defines the canonical identity of a cell (NULL-likes
+collapse onto :data:`NULL_KEY`); :meth:`Table.encode` interns every
+column under that identity into dense integer codes — the entry point
+of the engine's columnar fast path (see
+:mod:`repro.dataset.encoding` for the interning contract).
 """
 
 from __future__ import annotations
@@ -16,6 +22,21 @@ from repro.dataset.schema import Attribute, AttrType, Schema
 from repro.errors import SchemaError
 
 Cell = Any  # str | int | float | None
+
+# Sentinel used to key NULL cells inside count tables (None itself is a
+# valid dict key, but a named sentinel makes dumps readable).  Lives
+# here — the leaf of the import graph — so both the statistics layers
+# and the interning layer can share one canonicalisation rule.
+NULL_KEY = "␀NULL"
+
+
+def cell_key(value: object) -> Any:
+    """Canonical hashable key for a cell value (NULL-safe)."""
+    if value is None:
+        return NULL_KEY
+    if isinstance(value, float) and value != value:  # NaN
+        return NULL_KEY
+    return value
 
 
 def is_null(value: Cell) -> bool:
@@ -89,6 +110,9 @@ class Table:
             raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
         self.schema = schema
         self.columns: list[list[Cell]] = [list(c) for c in columns]
+        #: bumped by :meth:`set_cell` so encoding snapshots can validate
+        #: themselves in O(1) (see :meth:`TableEncoding.matches`)
+        self.mutation_count = 0
 
     # -- constructors ----------------------------------------------------------
 
@@ -158,6 +182,7 @@ class Table:
         """Overwrite the value at row ``i``, attribute ``attr``."""
         j = attr if isinstance(attr, int) else self.schema.index_of(attr)
         self.columns[j][i] = value
+        self.mutation_count += 1
 
     def row(self, i: int) -> Row:
         """A view of row ``i``."""
@@ -176,6 +201,18 @@ class Table:
             col = self.columns[j]
             for i in range(self.n_rows):
                 yield i, name, col[i]
+
+    def encode(self) -> "TableEncoding":
+        """Intern every column to dense integer codes (columnar fast path).
+
+        Returns a fresh :class:`~repro.dataset.encoding.TableEncoding`
+        snapshot of the current cell values; later ``set_cell`` calls are
+        not reflected, so hot-path components built from one encoding
+        stay mutually consistent.
+        """
+        from repro.dataset.encoding import TableEncoding
+
+        return TableEncoding(self)
 
     # -- derivation ---------------------------------------------------------------
 

@@ -52,7 +52,15 @@ class BCleanSystem:
 
     @classmethod
     def basic(cls, **kwargs) -> "BCleanSystem":
-        """*BClean* — unoptimised full-joint scoring."""
+        """*BClean* — unoptimised full-joint scoring.
+
+        The Table 4/7 "BClean" row is *defined* as the paper's naive
+        engine, so it runs the scalar reference path: the columnar fast
+        path would collapse the full joint into blanket-plus-constant
+        and erase exactly the inference cost this variant exists to
+        measure.  Repair decisions are identical either way.
+        """
+        kwargs.setdefault("use_columnar", False)
         return cls("BClean", BCleanConfig.basic(**kwargs))
 
     @classmethod
