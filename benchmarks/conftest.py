@@ -10,6 +10,8 @@ section in one command.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 #: laptop-scale row counts used across all benches
@@ -21,6 +23,19 @@ BENCH_SIZES = {
     "inpatient": 800,
     "facilities": 800,
 }
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every bench with the registered ``bench`` marker so a quick
+    tier-1 run can deselect them (``-m "not bench"``).
+
+    The hook sees the whole session's items, so restrict the marker to
+    tests collected from this directory.
+    """
+    here = Path(__file__).resolve().parent
+    for item in items:
+        if Path(item.path).is_relative_to(here):
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture

@@ -88,6 +88,62 @@ class HoloCleanCleaner:
 
     # -- features -------------------------------------------------------------------
 
+    def _features_pool(
+        self,
+        attr: str,
+        candidates: list[Cell],
+        row: dict[str, Cell],
+        observed: Cell,
+        group_consensus: Cell | None,
+    ) -> np.ndarray:
+        """Feature matrix ``(P, 4)`` of a whole candidate pool.
+
+        The context co-occurrence feature runs through the batched
+        :meth:`CooccurrenceIndex.pair_counts_for` API — one sorted-key
+        probe per context attribute for the entire pool instead of a
+        per-(candidate, context) dict walk.  Values the encoding never
+        saw count 0, exactly like the per-pair probes did.
+        """
+        n = max(1, self.table.n_rows)
+        others = [a for a in self.table.schema.names if a != attr]
+        enc = self.cooc.encoding
+        codes = np.fromiter(
+            (enc.encode(attr, c) for c in candidates),
+            dtype=np.int64,
+            count=len(candidates),
+        )
+        valid = codes >= 0
+        safe = np.where(valid, codes, 0)
+        cooc_score = np.zeros(len(candidates), dtype=np.float64)
+        for a in others:
+            denom = self.cooc.count(a, row[a])
+            if denom > 0:
+                pair = self.cooc.pair_counts_for(
+                    attr, safe, a, enc.encode(a, row[a])
+                )
+                cooc_score += np.where(valid, pair, 0) / denom
+        cooc_score /= max(1, len(others))
+        freq = np.where(valid, self.cooc.counts_for(attr, safe), 0) / n
+        observed_key = cell_key(observed)
+        minimality = np.fromiter(
+            (1.0 if cell_key(c) == observed_key else 0.0 for c in candidates),
+            dtype=np.float64,
+            count=len(candidates),
+        )
+        if group_consensus is None:
+            consensus = np.zeros(len(candidates), dtype=np.float64)
+        else:
+            consensus_key = cell_key(group_consensus)
+            consensus = np.fromiter(
+                (
+                    1.0 if cell_key(c) == consensus_key else 0.0
+                    for c in candidates
+                ),
+                dtype=np.float64,
+                count=len(candidates),
+            )
+        return np.column_stack([cooc_score, freq, minimality, consensus])
+
     def _features(
         self,
         attr: str,
@@ -96,25 +152,9 @@ class HoloCleanCleaner:
         observed: Cell,
         group_consensus: Cell | None,
     ) -> np.ndarray:
-        n = max(1, self.table.n_rows)
-        others = [a for a in self.table.schema.names if a != attr]
-        cooc_score = 0.0
-        for a in others:
-            denom = self.cooc.count(a, row[a])
-            if denom > 0:
-                cooc_score += (
-                    self.cooc.pair_count(attr, candidate, a, row[a]) / denom
-                )
-        cooc_score /= max(1, len(others))
-        freq = self.cooc.count(attr, candidate) / n
-        minimality = 1.0 if cell_key(candidate) == cell_key(observed) else 0.0
-        consensus = (
-            1.0
-            if group_consensus is not None
-            and cell_key(candidate) == cell_key(group_consensus)
-            else 0.0
-        )
-        return np.array([cooc_score, freq, minimality, consensus])
+        return self._features_pool(
+            attr, [candidate], row, observed, group_consensus
+        )[0]
 
     def _learn_weights(self, table: Table) -> None:
         """Logistic weight learning on presumed-clean cells."""
@@ -169,8 +209,12 @@ class HoloCleanCleaner:
             observed = row[attr]
             group_best = consensus.get((i, attr))
             best, best_score = observed, -math.inf
-            for c in self._candidates(attr, row, observed):
-                f = self._features(attr, c, row, observed, group_best)
+            pool = self._candidates(attr, row, observed)
+            # Featurise the whole pool in one batched pass; the argmax
+            # keeps the original per-candidate dot product so scoring is
+            # bit-for-bit what the scalar probes produced.
+            features = self._features_pool(attr, pool, row, observed, group_best)
+            for c, f in zip(pool, features):
                 score = float(self.weights @ f)
                 if score > best_score:
                     best, best_score = c, score

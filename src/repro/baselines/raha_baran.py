@@ -175,13 +175,28 @@ class BaranCorrector:
         return out[:10]
 
     def _vicinity_candidates(self, attr: str, row: dict[str, Cell]) -> list[Cell]:
-        """Values that co-occur most with the rest of the tuple."""
+        """Values that co-occur most with the rest of the tuple.
+
+        Counts come from one batched
+        :meth:`CooccurrenceIndex.pair_counts_for` probe per context
+        attribute (aligned with the CSR-backed candidate lists) instead
+        of a per-pair probe per candidate; the Counter accumulation —
+        and therefore the most-common tie-breaking — is unchanged.
+        """
         scores: Counter = Counter()
+        enc = self.cooc.encoding
         for a in self.table.schema.names:
             if a == attr:
                 continue
-            for v in self.cooc.cooccurring_values(attr, a, row[a]):
-                scores[v] += self.cooc.pair_count(attr, v, a, row[a])
+            context_code = enc.encode(a, row[a])
+            codes = self.cooc.cooccurring_codes(attr, a, context_code)
+            if len(codes) == 0:
+                continue
+            counts = self.cooc.pair_counts_for(attr, codes, a, context_code)
+            for v, count in zip(
+                self.cooc.cooccurring_values(attr, a, row[a]), counts
+            ):
+                scores[v] += int(count)
         return [v for v, _ in scores.most_common(5)]
 
     def _fd_candidates(self, attr: str, row: dict[str, Cell]) -> list[Cell]:

@@ -220,7 +220,12 @@ class CodedCPT:
         self.variable = cpt.variable
         self.parent_names = cpt.parent_names
 
+        # Build-time cardinalities are the "seen" horizon: vocabularies
+        # extended later (incremental foreign encoding) mint codes at or
+        # beyond them, and those codes must score as never-observed
+        # values / unseen parent configurations.
         cards = [pv.size for pv in parent_vocabs]
+        self.parent_cards = tuple(cards)
         strides = [1] * len(cards)
         span = 1
         for i in range(len(cards) - 1, -1, -1):
@@ -234,6 +239,7 @@ class CodedCPT:
         self.strides = tuple(strides)
 
         n_values = vocab.size
+        self.n_values = n_values
         alpha = cpt.alpha
         d = cpt.domain_size
         keys = [cell_key(vocab.decode(code)) for code in range(n_values)]
@@ -259,11 +265,17 @@ class CodedCPT:
         self.n_configs = len(configs)
 
         self.matrix = np.empty((self.n_configs + 1, n_values), dtype=np.float64)
+        # unseen[r]: log-prob a value the CPT never observed gets under
+        # config row r — Laplace mass alpha/denom, i.e. the matrix fill
+        # value.  Lets consumers score codes minted after the build.
+        self.unseen = np.empty(self.n_configs + 1, dtype=np.float64)
         code_of_key = {k: i for i, k in enumerate(keys)}
         for r, (_, config) in enumerate(configs):
             counts = cpt._config_counts[config]
             denom = cpt._config_totals[config] + alpha * d
-            self.matrix[r].fill(math.log(alpha / denom))
+            fill = math.log(alpha / denom)
+            self.matrix[r].fill(fill)
+            self.unseen[r] = fill
             for key, count in counts.items():
                 self.matrix[r, code_of_key[key]] = math.log(
                     (count + alpha) / denom
@@ -272,6 +284,7 @@ class CodedCPT:
         self.matrix[self.n_configs] = [
             math.log((cpt._marginal.get(k, 0) + alpha) / denom) for k in keys
         ]
+        self.unseen[self.n_configs] = math.log(alpha / denom)
 
     def config_row(self, fused: int) -> int:
         """Matrix row of one fused parent configuration (fallback row
@@ -282,11 +295,12 @@ class CodedCPT:
         return self.n_configs
 
     def config_rows(self, fused: np.ndarray) -> np.ndarray:
-        """Batched :meth:`config_row` over an array of fused codes."""
-        idx = np.searchsorted(self._config_keys, fused)
-        clipped = np.minimum(idx, max(self.n_configs - 1, 0))
+        """Batched :meth:`config_row` over an array of fused codes (any
+        shape — the batched-competition scorer passes 2-D stacks)."""
         if self.n_configs == 0:
-            return np.zeros(len(fused), dtype=np.int64)
+            return np.zeros(np.shape(fused), dtype=np.int64)
+        idx = np.searchsorted(self._config_keys, fused)
+        clipped = np.minimum(idx, self.n_configs - 1)
         hit = self._config_keys[clipped] == fused
         return np.where(hit, clipped, self.n_configs)
 

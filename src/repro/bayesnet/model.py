@@ -222,73 +222,130 @@ class ColumnarNetScorer:
             )
 
     # -- scoring ------------------------------------------------------------------
+    #
+    # All scoring is batched: ``rows2d`` stacks B coded evidence rows
+    # (one per competition), ``cand2d`` stacks B equal-length candidate
+    # pools, and every Markov-blanket factor resolves for the whole batch
+    # with one matrix op — the "parallel competitions" optimisation.  A
+    # single competition is simply B=1, so every batch grouping shares
+    # one arithmetic path and results are bit-identical regardless of
+    # how competitions are stacked.
+    #
+    # Codes at or beyond a CodedCPT's build-time cardinalities come from
+    # incrementally extended vocabularies (foreign tables): as values
+    # they take the CPT's ``unseen`` column, as parent values they send
+    # the configuration to the marginal fallback row — exactly the
+    # value-level semantics of :meth:`CPT.prob` for unseen keys.
 
-    def _own_config_row(self, slots: _NodeSlots, row_codes: np.ndarray) -> int:
-        fused = 0
-        for column, stride in zip(slots.parent_columns, slots.coded.strides):
-            fused += int(row_codes[column]) * stride
-        return slots.coded.config_row(fused)
+    @staticmethod
+    def _value_pick(coded: CodedCPT, rows: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """``matrix[rows, codes]`` where codes beyond the build width
+        score as never-observed values (``unseen[row]``)."""
+        width = coded.n_values
+        if int(codes.max(initial=0)) < width:
+            return coded.matrix[rows, codes]
+        ok = codes < width
+        safe = np.where(ok, codes, 0)
+        return np.where(ok, coded.matrix[rows, safe], coded.unseen[rows])
 
-    def node_log_scores(
-        self, node: str, candidate_codes: np.ndarray, row_codes: np.ndarray
+    def _own_config_rows(
+        self, slots: _NodeSlots, rows2d: np.ndarray
     ) -> np.ndarray:
-        """``log P(candidate | parents(node) = row)`` for a whole pool."""
+        """Matrix row of every evidence row's own parent configuration
+        (fallback row when a parent code is unseen)."""
+        coded = slots.coded
+        n = len(rows2d)
+        if not slots.parent_columns:
+            return coded.config_rows(np.zeros(n, dtype=np.int64))
+        fused = np.zeros(n, dtype=np.int64)
+        valid = np.ones(n, dtype=bool)
+        for column, stride, card in zip(
+            slots.parent_columns, coded.strides, coded.parent_cards
+        ):
+            col = rows2d[:, column]
+            fused = fused + col * stride
+            valid &= col < card
+        rows = coded.config_rows(fused)
+        if not valid.all():
+            rows = np.where(valid, rows, coded.n_configs)
+        return rows
+
+    def node_log_scores_batch(
+        self, node: str, cand2d: np.ndarray, rows2d: np.ndarray
+    ) -> np.ndarray:
+        """``log P(candidate | parents(node) = row)`` for B stacked
+        competitions at once — ``(B, P)`` from ``(B, P)`` pools."""
         slots = self._nodes[node]
-        row = self._own_config_row(slots, row_codes)
-        return slots.coded.matrix[row, candidate_codes]
+        rows = self._own_config_rows(slots, rows2d)
+        return self._value_pick(slots.coded, rows[:, None], cand2d)
 
-    def blanket_log_scores(
-        self, node: str, candidate_codes: np.ndarray, row_codes: np.ndarray
+    def blanket_log_scores_batch(
+        self, node: str, cand2d: np.ndarray, rows2d: np.ndarray
     ) -> np.ndarray:
-        """Markov-blanket scores of every candidate code at once.
+        """Markov-blanket scores of B stacked competitions at once.
 
         ``log P(c | parents) + Σ_{child} log P(row[child] | parents with
-        node := c)`` — the batched form of
-        :meth:`DiscreteBayesNet.blanket_log_score` (§6.1).
+        node := c)`` — §6.1, one matrix op per blanket factor for the
+        whole batch.
         """
         slots = self._nodes[node]
-        scores = self.node_log_scores(node, candidate_codes, row_codes).copy()
+        scores = np.array(
+            self.node_log_scores_batch(node, cand2d, rows2d), dtype=np.float64
+        )
         for child in slots.children:
             child_slots = self._nodes[child]
             coded = child_slots.coded
-            base = 0
+            base = np.zeros(len(rows2d), dtype=np.int64)
+            base_ok = np.ones(len(rows2d), dtype=bool)
             node_stride = 0
-            for name, column, stride in zip(
+            node_pcard = 0
+            for name, column, stride, card in zip(
                 self.bn.cpts[child].parent_names,
                 child_slots.parent_columns,
                 coded.strides,
+                coded.parent_cards,
             ):
                 if name == node:
                     node_stride = stride
+                    node_pcard = card
                 else:
-                    base += int(row_codes[column]) * stride
-            rows = coded.config_rows(base + candidate_codes * node_stride)
-            scores += coded.matrix[rows, int(row_codes[child_slots.column])]
+                    col = rows2d[:, column]
+                    base = base + col * stride
+                    base_ok &= col < card
+            cand_ok = cand2d < node_pcard
+            safe_cand = np.where(cand_ok, cand2d, 0)
+            rows = coded.config_rows(base[:, None] + safe_cand * node_stride)
+            ok = base_ok[:, None] & cand_ok
+            if not ok.all():
+                rows = np.where(ok, rows, coded.n_configs)
+            child_codes = rows2d[:, child_slots.column]
+            scores += self._value_pick(coded, rows, child_codes[:, None])
         return scores
 
-    def row_log_prob_without(self, node: str, row_codes: np.ndarray) -> float:
+    def row_log_probs_without(
+        self, node: str, rows2d: np.ndarray
+    ) -> np.ndarray:
         """Joint log-probability factors *outside* the blanket of
-        ``node`` — the part of the full joint that is constant across a
-        candidate competition for ``node``."""
+        ``node`` for every stacked row — the part of the full joint that
+        is constant across that row's candidate competition."""
         slots = self._nodes[node]
         skip = {node, *slots.children}
-        total = 0.0
+        total = np.zeros(len(rows2d), dtype=np.float64)
         for other in self.bn.dag.nodes:
             if other in skip:
                 continue
             other_slots = self._nodes[other]
-            row = self._own_config_row(other_slots, row_codes)
-            total += float(
-                other_slots.coded.matrix[row, int(row_codes[other_slots.column])]
-            )
+            rows = self._own_config_rows(other_slots, rows2d)
+            codes = rows2d[:, other_slots.column]
+            total += self._value_pick(other_slots.coded, rows, codes)
         return total
 
-    def joint_log_scores(
-        self, node: str, candidate_codes: np.ndarray, row_codes: np.ndarray
+    def joint_log_scores_batch(
+        self, node: str, cand2d: np.ndarray, rows2d: np.ndarray
     ) -> np.ndarray:
-        """Full-joint scores of every candidate code (BASIC mode): the
+        """Full-joint scores of B stacked competitions (BASIC mode): the
         blanket terms vary with the candidate, everything else is the
-        constant computed by :meth:`row_log_prob_without`."""
-        return self.blanket_log_scores(
-            node, candidate_codes, row_codes
-        ) + self.row_log_prob_without(node, row_codes)
+        per-row constant of :meth:`row_log_probs_without`."""
+        return self.blanket_log_scores_batch(node, cand2d, rows2d) + (
+            self.row_log_probs_without(node, rows2d)[:, None]
+        )

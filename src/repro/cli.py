@@ -75,6 +75,16 @@ _VARIANTS = {
 }
 
 
+def _engine_config(args: argparse.Namespace) -> BCleanConfig:
+    """The engine configuration selected by the shared CLI options."""
+    return _VARIANTS[args.variant](
+        structure=args.structure,
+        executor=args.executor,
+        n_jobs=args.jobs,
+        shard_size=args.shard_size,
+    )
+
+
 def _require(spec: dict, key: str):
     if key not in spec:
         raise ConstraintSpecError(
@@ -155,8 +165,7 @@ def cmd_network(args: argparse.Namespace) -> int:
     into ``clean --network`` — the §7.3.2 loop without re-learning.
     """
     table = read_csv(args.input, delimiter=args.delimiter)
-    config = _VARIANTS[args.variant]()
-    config.structure = args.structure
+    config = _engine_config(args)
     engine = BClean(config)
     engine.fit(table)
     print(engine.dag.pretty())
@@ -177,8 +186,7 @@ def cmd_clean(args: argparse.Namespace) -> int:
         registries.append(induce_registry(table))
     constraints = merge_registries(*registries) if registries else UCRegistry()
 
-    config = _VARIANTS[args.variant]()
-    config.structure = args.structure
+    config = _engine_config(args)
     engine = BClean(config, constraints)
     dag = load_dag(args.network) if args.network else None
     engine.fit(table, dag=dag)
@@ -244,6 +252,29 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["fdx", "hillclimb", "chowliu", "pc", "mmhc"],
             default="fdx",
             help="BN structure learner (default: the paper's FDX method)",
+        )
+        p.add_argument(
+            "--executor",
+            choices=["serial", "thread", "process"],
+            default="serial",
+            help="worker backend of the sharded cleaning executor "
+            "(all backends produce identical repairs)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker count for --executor thread/process "
+            "(default: the machine's CPU count)",
+        )
+        p.add_argument(
+            "--shard-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help="competitions per shard (default: cost-balanced "
+            "shards from estimated candidate-pool sizes)",
         )
 
     p_network = sub.add_parser(

@@ -116,9 +116,9 @@ class CompensatoryScorer:
                 self_weight=self_weight,
             )
         if self.frequency_weight and index.n_rows:
-            freq = (
-                index.counts_array(attribute)[candidate_codes] / index.n_rows
-            )
+            # counts_for (not a raw counts_array slice): the incumbent
+            # entry may carry an incrementally minted code, which counts 0.
+            freq = index.counts_for(attribute, candidate_codes) / index.n_rows
             total += self.frequency_weight * freq
         return total
 

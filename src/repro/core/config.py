@@ -101,11 +101,29 @@ class BCleanConfig:
         Route cleaning through the columnar fast path: integer-coded
         columns, vectorised co-occurrence probes, batched blanket
         scoring, and one deduplicated competition per distinct
-        (attribute, row signature).  Repair decisions are identical to
-        the scalar path, which is retained as the reference oracle
+        (attribute, row signature).  Foreign tables sharing the fitted
+        schema ride the fast path too, through incremental encoding of
+        their unseen values.  Repair decisions are identical to the
+        scalar path, which is retained as the reference oracle
         (``use_columnar=False``) and used automatically whenever the
-        fast path cannot apply (merged-node compositions, or cleaning a
-        table other than the fitted one).
+        fast path cannot apply (merged-node compositions, a fitted
+        table mutated since ``fit()``, or a foreign table with a
+        different schema).
+    executor:
+        Worker backend of the sharded execution subsystem:
+        ``"serial"`` (default — in-process), ``"thread"``
+        (``ThreadPoolExecutor``; shares statistics by reference but
+        runs under the GIL), or ``"process"``
+        (``ProcessPoolExecutor``; ships a pickled read-only snapshot to
+        each worker once per clean, true multi-core scaling).  All
+        backends produce byte-identical results.
+    n_jobs:
+        Worker count for the parallel executors; ``None`` uses the
+        machine's CPU count.
+    shard_size:
+        Fixed number of competitions per shard; ``None`` (default)
+        lets the planner cut cost-balanced shards from the estimated
+        candidate-pool sizes.
     smoothing_alpha:
         Laplace pseudo-count of the CPTs.
     fdx:
@@ -134,6 +152,9 @@ class BCleanConfig:
     uc_violation_penalty: float = 100.0
     min_fill_support: int = 1
     use_columnar: bool = True
+    executor: str = "serial"
+    n_jobs: int | None = None
+    shard_size: int | None = None
     smoothing_alpha: float = 0.1
     fdx: FDXConfig = field(default_factory=FDXConfig)
     structure: str = "fdx"
@@ -146,8 +167,31 @@ class BCleanConfig:
             raise CleaningError(f"beta must be non-negative, got {self.beta}")
         if not 0.0 <= self.tau <= 1.0:
             raise CleaningError(f"tau must be in [0, 1], got {self.tau}")
+        if self.executor not in ("serial", "thread", "process"):
+            raise CleaningError(
+                f"executor must be 'serial', 'thread', or 'process', "
+                f"got {self.executor!r}"
+            )
+        if self.n_jobs is not None and self.n_jobs < 1:
+            raise CleaningError(f"n_jobs must be positive, got {self.n_jobs}")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise CleaningError(
+                f"shard_size must be positive, got {self.shard_size}"
+            )
         if isinstance(self.mode, str):
             self.mode = InferenceMode(self.mode)
+
+    def effective_candidate_cap(self) -> int | None:
+        """The candidate cap actually applied in the current mode: BASIC
+        folds in ``max_candidates_basic`` (full-joint scoring is m×
+        more expensive per candidate).  Shared by pool construction and
+        the shard planner's cost estimate so they can never diverge."""
+        cap = self.candidate_cap
+        if self.mode != InferenceMode.BASIC:
+            return cap
+        if cap is None:
+            return self.max_candidates_basic
+        return min(cap, self.max_candidates_basic)
 
     @classmethod
     def basic(cls, **kwargs) -> "BCleanConfig":

@@ -120,6 +120,15 @@ class PairArrays:
         hit = self.keys[idx_clipped] == fused
         return idx_clipped, hit
 
+    def __getstate__(self) -> tuple:
+        """Pickle only the built statistics; the lazy caches (dict views,
+        CSR index, dense profiles, probe tallies) are per-process
+        accelerations that worker processes rebuild on demand."""
+        return (self.card_b, self.keys, self.raw, self.weighted, self.first_row)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(*state)
+
     def csr(self) -> tuple[np.ndarray, np.ndarray]:
         """Inverted index: ``(starts, candidates)`` where the slice
         ``candidates[starts[b]:starts[b+1]]`` lists the non-NULL codes of
@@ -222,6 +231,18 @@ class CooccurrenceIndex:
         """Marginal count per code of ``attribute`` (NULL code included)."""
         return self._counts[attribute]
 
+    def counts_for(self, attribute: str, codes: np.ndarray) -> np.ndarray:
+        """Marginal counts of ``codes`` — safe for codes the build never
+        saw (``UNSEEN_CODE`` or incrementally extended vocabularies):
+        those count 0."""
+        counts = self._counts[attribute]
+        if len(codes) == 0 or (
+            int(codes.min()) >= 0 and int(codes.max()) < len(counts)
+        ):
+            return counts[codes]
+        in_range = (codes >= 0) & (codes < len(counts))
+        return np.where(in_range, counts[np.where(in_range, codes, 0)], 0)
+
     def _count_values(
         self, stats: PairArrays, codes_a: np.ndarray, code_b: int
     ) -> np.ndarray:
@@ -259,27 +280,30 @@ class CooccurrenceIndex:
     def count_profile(
         self, attr_a: str, attr_b: str, code_b: int
     ) -> np.ndarray:
-        """Dense raw co-occurrence counts of *every* code of ``attr_a``
-        against context code ``code_b``, cached per context."""
+        """Dense raw co-occurrence counts of *every* build-time code of
+        ``attr_a`` against context code ``code_b``, cached per context.
+        (Codes minted later by incremental encoding count 0 and are
+        guarded by the callers, so profiles stay build-card sized.)"""
         stats = self._pair.get((attr_a, attr_b))
         if stats is None or not 0 <= code_b < stats.card_b:
-            return np.zeros(self.encoding.card(attr_a), dtype=np.int64)
+            return np.zeros(len(self._counts[attr_a]), dtype=np.int64)
         profile = stats.count_profiles.get(code_b)
         if profile is None:
-            codes = np.arange(self.encoding.card(attr_a), dtype=np.int64)
+            codes = np.arange(len(self._counts[attr_a]), dtype=np.int64)
             profile = self._count_values(stats, codes, code_b)
             stats.count_profiles[code_b] = profile
         return profile
 
     def corr_profile(self, attr_a: str, attr_b: str, code_b: int) -> np.ndarray:
-        """Dense :meth:`corr` of every code of ``attr_a`` given context
-        ``code_b`` — no self-exclusion — cached per context."""
+        """Dense :meth:`corr` of every build-time code of ``attr_a``
+        given context ``code_b`` — no self-exclusion — cached per
+        context."""
         stats = self._pair.get((attr_a, attr_b))
         if stats is None or self.n_rows == 0 or not 0 <= code_b < stats.card_b:
-            return np.zeros(self.encoding.card(attr_a), dtype=np.float64)
+            return np.zeros(len(self._counts[attr_a]), dtype=np.float64)
         profile = stats.corr_profiles.get(code_b)
         if profile is None:
-            codes = np.arange(self.encoding.card(attr_a), dtype=np.int64)
+            codes = np.arange(len(self._counts[attr_a]), dtype=np.int64)
             profile = self._corr_values(stats, attr_a, attr_b, codes, code_b)
             stats.corr_profiles[code_b] = profile
         return profile
@@ -310,9 +334,15 @@ class CooccurrenceIndex:
     def pair_count_codes(
         self, attr_a: str, code_a: int, attr_b: str, code_b: int
     ) -> int:
-        """Raw co-occurrence count of one code pair (single probe)."""
+        """Raw co-occurrence count of one code pair (single probe).
+
+        ``code_b`` beyond the build-time cardinality must be rejected
+        explicitly — its fused key could collide with a real pair's.  A
+        too-large ``code_a`` only pushes the fused key past every stored
+        key, which misses safely.
+        """
         stats = self._pair.get((attr_a, attr_b))
-        if stats is None or code_a < 0 or code_b < 0:
+        if stats is None or code_a < 0 or not 0 <= code_b < stats.card_b:
             return 0
         return stats.raw_count(code_a * stats.card_b + code_b)
 
@@ -329,6 +359,31 @@ class CooccurrenceIndex:
         )
         idx, hit = stats.lookup(fused)
         return np.where(hit, stats.raw[idx], 0)
+
+    def pair_counts_rows(
+        self,
+        attr_a: str,
+        codes_a: np.ndarray,
+        attr_b: str,
+        codes_b: np.ndarray,
+    ) -> np.ndarray:
+        """Elementwise raw counts of ``(codes_a[i], codes_b[i])`` with
+        full out-of-range guards — the foreign-table companion of
+        :meth:`rowwise_pair_counts`, where codes minted by incremental
+        encoding (or ``UNSEEN_CODE``) must count 0."""
+        stats = self._pair.get((attr_a, attr_b))
+        if stats is None:
+            return np.zeros(len(codes_a), dtype=np.int64)
+        card_a = len(self._counts[attr_a])
+        valid = (
+            (codes_a >= 0)
+            & (codes_a < card_a)
+            & (codes_b >= 0)
+            & (codes_b < stats.card_b)
+        )
+        fused = np.where(valid, codes_a * stats.card_b + codes_b, 0)
+        idx, hit = stats.lookup(fused)
+        return np.where(hit & valid, stats.raw[idx], 0)
 
     def cooccurring_codes(
         self, attr_a: str, attr_b: str, code_b: int
@@ -362,15 +417,27 @@ class CooccurrenceIndex:
         stats = self._pair.get((attr_a, attr_b))
         if stats is None or self.n_rows == 0 or not 0 <= code_b < stats.card_b:
             return np.zeros(len(codes_a), dtype=np.float64)
+        # Codes minted after the build (incremental foreign encoding) can
+        # only appear as the appended incumbent; they were never observed,
+        # so their corr is exactly 0 — matching the value-level path where
+        # unseen values encode to UNSEEN_CODE.
+        card_a = len(self._counts[attr_a])
+        oob = None
+        query = codes_a
+        if len(codes_a) and int(codes_a.max()) >= card_a:
+            oob = codes_a >= card_a
+            query = np.where(oob, 0, codes_a)
         profile = stats.corr_profiles.get(code_b)
         if profile is None and stats.corr_probes.get(code_b, 0) >= 1:
             stats.corr_probes.pop(code_b, None)
             profile = self.corr_profile(attr_a, attr_b, code_b)
         if profile is not None:
-            out = profile[codes_a]
+            out = profile[query]
         else:
             stats.corr_probes[code_b] = 1
-            out = self._corr_values(stats, attr_a, attr_b, codes_a, code_b)
+            out = self._corr_values(stats, attr_a, attr_b, query, code_b)
+        if oob is not None:
+            out[oob] = 0.0
         if exclude_index is not None:
             out[exclude_index] = self.corr_codes(
                 attr_a,
@@ -392,9 +459,16 @@ class CooccurrenceIndex:
         self_weight: float = 1.0,
     ) -> float:
         """:meth:`corr` of one code pair (the scalar kernel both the
-        value-level API and the incumbent exclusion fix-up share)."""
+        value-level API and the incumbent exclusion fix-up share).
+
+        Codes at or beyond the build-time cardinalities (incrementally
+        extended vocabularies) were never observed and score exactly 0,
+        like unseen values on the value-level path.
+        """
         stats = self._pair.get((attr_a, attr_b))
         if stats is None or self.n_rows == 0 or code_a < 0 or code_b < 0:
+            return 0.0
+        if code_a >= len(self._counts[attr_a]) or code_b >= stats.card_b:
             return 0.0
         weighted = stats.weighted_count(code_a * stats.card_b + code_b)
         n_context = int(self._counts[attr_b][code_b])
@@ -416,9 +490,12 @@ class CooccurrenceIndex:
     def count(self, attribute: str, value: Cell) -> int:
         """Marginal count of ``value`` in ``attribute``."""
         code = self.encoding.encode(attribute, value)
-        if code == UNSEEN_CODE:
+        counts = self._counts[attribute]
+        # A code at or past the build-time cardinality was minted by
+        # incremental encoding after this index was built: never observed.
+        if not 0 <= code < len(counts):
             return 0
-        return int(self._counts[attribute][code])
+        return int(counts[code])
 
     def pair_count(
         self, attr_a: str, value_a: Cell, attr_b: str, value_b: Cell

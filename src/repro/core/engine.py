@@ -19,28 +19,35 @@ Two cleaning paths produce identical repair decisions:
 - the **columnar fast path** (default, ``BCleanConfig.use_columnar``):
   the table is interned once (:class:`~repro.dataset.encoding.TableEncoding`),
   cells are grouped by (attribute, row signature) up front so every
-  distinct candidate competition runs exactly once, and each
-  competition is array arithmetic — batched co-occurrence probes,
-  batched blanket scoring (:class:`~repro.bayesnet.model.ColumnarNetScorer`),
-  and a vectorised compensatory term;
+  distinct candidate competition runs exactly once, and the resulting
+  competition list becomes a planned, sharded job executed by the
+  :mod:`repro.exec` subsystem — cost-balanced shards
+  (:mod:`repro.exec.planner`), pluggable serial / thread / process
+  worker backends (``BCleanConfig.executor``), batch scoring of stacked
+  competitions inside each shard
+  (:meth:`repro.exec.state.FitState.run_shard`), and a deterministic
+  merge of the per-shard repair arrays (:mod:`repro.exec.merge`).
+  Foreign tables sharing the fitted schema stay on this path through
+  incremental encoding (:meth:`~repro.dataset.encoding.TableEncoding.encode_table`);
 - the **scalar reference path**: the per-cell dict walk of the original
   implementation, kept as the oracle the columnar path is tested
   against, and used automatically when the fast path cannot apply
-  (merged-node compositions, cleaning a table other than the fitted
-  one, or a fitted table mutated since ``fit()``).
+  (merged-node compositions, a foreign table with a different schema,
+  or a fitted table mutated since ``fit()``).
 
 Both paths share candidate order, tie-breaking, and float accumulation
 order; the tolerated divergences are transcendental rounding
 (``numpy``'s vectorised log/sqrt may differ from ``math``'s by 1 ulp on
 some platforms) and, in BASIC mode only, the regrouped joint summation
 (blanket + constant rest, ~1e-12 — see
-:meth:`~repro.bayesnet.model.ColumnarNetScorer.joint_log_scores`) —
+:meth:`~repro.bayesnet.model.ColumnarNetScorer.joint_log_scores_batch`) —
 both far below every decision margin.  The equivalence suite asserts
 identical repair lists across both paths in all modes.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -55,11 +62,7 @@ from repro.bayesnet.structure.mmhc import mmhc
 from repro.bayesnet.structure.pc import pc_algorithm
 from repro.constraints.registry import UCRegistry
 from repro.core.composition import AttributeComposition
-from repro.core.compensatory import (
-    CompensatoryScorer,
-    log_compensatory,
-    log_compensatory_pool,
-)
+from repro.core.compensatory import CompensatoryScorer, log_compensatory
 from repro.core.config import BCleanConfig, InferenceMode
 from repro.core.confidence import table_confidences
 from repro.core.cooccurrence import CooccurrenceIndex
@@ -68,11 +71,20 @@ from repro.core.pruning import (
     DomainPruner,
     should_skip_cell,
     tuple_filter_scores_all_rows,
+    tuple_filter_scores_coded,
 )
 from repro.core.repairs import CleaningResult, CleaningStats, Repair, Stopwatch
 from repro.dataset.domain import DomainIndex
 from repro.dataset.table import Cell, Table, is_null
 from repro.errors import CPTError, CleaningError, InferenceError
+from repro.exec import (
+    OVERSUBSCRIBE,
+    FitState,
+    estimate_competition_costs,
+    get_backend,
+    merge_shard_results,
+    plan_shards,
+)
 
 
 class BClean:
@@ -163,7 +175,7 @@ class BClean:
             self._columnar: ColumnarNetScorer | None = None
             self._domain_code_cache: dict[str, np.ndarray] = {}
             self._uc_mask_cache: dict[str, np.ndarray] = {}
-            self._scratch_mask_cache: dict[str, np.ndarray] = {}
+            self._exec_diag: dict = {}
         self._fit_seconds = timer.seconds
         return self
 
@@ -224,6 +236,7 @@ class BClean:
 
         columnar = self._columnar_applicable(table)
         self._competitions_run = 0
+        self._exec_diag = {}
         with Stopwatch() as timer:
             if columnar:
                 try:
@@ -244,33 +257,35 @@ class BClean:
         cache_size = (
             self._competitions_run if columnar else len(self._cell_cache)
         )
-        return CleaningResult(
-            cleaned,
-            repairs,
-            stats,
-            diagnostics={
-                "mode": self.config.mode.value,
-                "n_edges": self.dag.n_edges,
-                "partition": partition_statistics(self.subnets),
-                "cache_size": cache_size,
-                "columnar": columnar,
-            },
-        )
+        diagnostics = {
+            "mode": self.config.mode.value,
+            "n_edges": self.dag.n_edges,
+            "partition": partition_statistics(self.subnets),
+            "cache_size": cache_size,
+            "columnar": columnar,
+        }
+        if self._exec_diag:
+            diagnostics["exec"] = dict(self._exec_diag)
+        return CleaningResult(cleaned, repairs, stats, diagnostics=diagnostics)
 
     def _columnar_applicable(self, table: Table) -> bool:
-        """The fast path requires the fitted table (statistics and codes
-        were interned from it) and the singleton composition (BN nodes
-        must be table attributes for coded scoring).  A fitted table
-        mutated since ``fit()`` fails the snapshot check — the scalar
-        path then reads the live cells, exactly like the oracle."""
-        if not self.config.use_columnar or table is not self.table:
+        """The fast path requires the singleton composition (BN nodes
+        must be table attributes for coded scoring) and either the
+        fitted table itself or a foreign table sharing its schema (whose
+        unseen values incremental encoding interns on the fly).  A
+        fitted table mutated since ``fit()`` fails the snapshot check —
+        the scalar path then reads the live cells, exactly like the
+        oracle."""
+        if not self.config.use_columnar:
             return False
         if any(
             self.composition.members(node) != (node,)
             for node in self.composition.nodes
         ):
             return False
-        return self._encoding.matches(table)
+        if table is self.table:
+            return self._encoding.matches(table)
+        return list(table.schema.names) == list(self.table.schema.names)
 
     def _columnar_scorer(self) -> ColumnarNetScorer:
         if self._columnar is None:
@@ -384,13 +399,7 @@ class BClean:
     ) -> list[Cell]:
         """Generate candidates: context co-occurring values first, then
         the most frequent domain values, UC-filtered and capped."""
-        cap = self.config.candidate_cap
-        if self.config.mode == InferenceMode.BASIC:
-            cap = (
-                self.config.max_candidates_basic
-                if cap is None
-                else min(cap, self.config.max_candidates_basic)
-            )
+        cap = self.config.effective_candidate_cap()
 
         # Rank context candidates by how strongly they co-occur with the
         # tuple (summed pair counts).  Ranking by marginal frequency (or
@@ -599,36 +608,57 @@ class BClean:
         cleaned: Table,
         repairs: list[Repair],
     ) -> None:
-        """One deduplicated, vectorised competition per distinct
-        (attribute, row signature); decisions are then broadcast back to
-        every occurrence, emitting repairs in the scalar path's
-        row-major order."""
+        """The sharded columnar clean: dedup → plan → execute → merge.
+
+        The table's coded rows are deduplicated into (attribute, row
+        signature) competitions, the :mod:`repro.exec` planner cuts the
+        competition list into cost-balanced shards, the configured
+        worker backend runs them (batch-scoring stacked competitions
+        inside each shard), and the deterministic merge reassembles the
+        per-shard repair arrays.  Decisions are then broadcast back to
+        every row occurrence, emitting repairs in the scalar path's
+        row-major order — byte-identical output for every backend and
+        shard count.
+
+        A foreign table sharing the fitted schema is interned
+        incrementally (unseen values get fresh codes that every
+        statistics structure treats as never-observed), with all row
+        weights at 1.0 — exactly the scalar path's foreign-row
+        semantics.
+        """
+        cfg = self.config
         enc = self._encoding
         names = table.schema.names
         n, m = table.n_rows, len(names)
         stats.cells_total += n * m
         if n == 0 or m == 0:
             return
-        mode = self.config.mode
-        codes_mat = enc.matrix()
+        mode = cfg.mode
+        fitted = table is self.table
+        if fitted:
+            codes_mat = enc.matrix()
+            row_weights = self.cooc.row_weights
+        else:
+            codes_mat = enc.encode_table(table)
+            row_weights = np.ones(n, dtype=np.float64)
+        null_masks = {a: enc.vocab(a).null_mask for a in names}
         uniq_rows, first_rows, inverse = np.unique(
             codes_mat, axis=0, return_index=True, return_inverse=True
         )
         inverse = inverse.reshape(-1)
         n_uniq = len(uniq_rows)
-        weights = self.cooc.row_weights
+        uniq_weights = row_weights[first_rows]
 
-        repair_codes: list[np.ndarray] = []
-        old_scores: list[np.ndarray] = []
-        new_scores: list[np.ndarray] = []
+        work: list[tuple[int, str, np.ndarray]] = []
         for j, attr in enumerate(names):
-            decided = np.full(n_uniq, -1, dtype=np.int64)
-            best_arr = np.zeros(n_uniq, dtype=np.float64)
-            inc_arr = np.zeros(n_uniq, dtype=np.float64)
             if mode == InferenceMode.PARTITIONED_PRUNED:
-                filter_scores = tuple_filter_scores_all_rows(self.cooc, attr)
-                null_mask = enc.vocab(attr).null_mask
-                skip_rows = (filter_scores >= self.config.tau_clean) & ~null_mask[
+                if fitted:
+                    filter_scores = tuple_filter_scores_all_rows(self.cooc, attr)
+                else:
+                    filter_scores = tuple_filter_scores_coded(
+                        self.cooc, attr, codes_mat, names
+                    )
+                skip_rows = (filter_scores >= cfg.tau_clean) & ~null_masks[attr][
                     codes_mat[:, j]
                 ]
                 n_skipped = int(skip_rows.sum())
@@ -638,31 +668,74 @@ class BClean:
             else:
                 stats.cells_inspected += n
                 skip_uniq = np.zeros(n_uniq, dtype=bool)
+            uids = np.nonzero(~skip_uniq)[0]
+            work.append((j, attr, uids))
 
-            subnet = self.subnets[attr]
-            context_cols = [k for k in range(m) if k != j]
-            for uid in range(n_uniq):
-                if skip_uniq[uid]:
-                    continue
-                self._competitions_run += 1
-                decided[uid], inc_arr[uid], best_arr[uid] = self._coded_competition(
+        n_jobs = cfg.n_jobs or os.cpu_count() or 1
+        hint = 1 if cfg.executor == "serial" else n_jobs * OVERSUBSCRIBE
+        # Pool-size cost estimates only steer the cost-balanced planner;
+        # one-shard-per-attribute (hint 1) and fixed shard_size plans
+        # never read them, so skip the estimation pass there.
+        balancing = cfg.shard_size is None and hint > 1
+        costed_work = [
+            (
+                j,
+                attr,
+                uids,
+                estimate_competition_costs(
+                    self.cooc,
                     attr,
-                    j,
-                    subnet,
-                    scorer,
-                    uniq_rows[uid],
-                    context_cols,
-                    float(weights[first_rows[uid]]),
-                    stats,
+                    uniq_rows[uids],
+                    [k for k in range(m) if k != j],
+                    names,
+                    cfg.effective_candidate_cap(),
                 )
-            repair_codes.append(decided)
-            old_scores.append(inc_arr)
-            new_scores.append(best_arr)
+                if balancing
+                else np.ones(len(uids), dtype=np.float64),
+            )
+            for j, attr, uids in work
+        ]
+        plan = plan_shards(costed_work, hint, cfg.shard_size)
+        state = FitState(
+            cfg,
+            enc,
+            self.cooc,
+            self.comp,
+            self.pruner,
+            scorer,
+            self.subnets,
+            names,
+            uniq_rows,
+            uniq_weights,
+            null_masks,
+            {a: self._uc_code_mask(a) for a in names} if cfg.use_ucs else {},
+            {a: self._domain_codes(a) for a in names},
+        )
+        backend = get_backend(cfg.executor, n_jobs)
+        results = backend.run(state, plan.shards)
+        merged = merge_shard_results(results, n_uniq, [w[0] for w in work])
+
+        stats.candidates_evaluated += merged.candidates_evaluated
+        stats.candidates_filtered_uc += merged.candidates_filtered_uc
+        self._competitions_run = merged.n_competitions
+        self._exec_diag = {
+            "executor": cfg.executor,
+            "n_jobs": 1 if cfg.executor == "serial" else n_jobs,
+            "n_shards": plan.n_shards,
+            "incremental_encoding": not fitted,
+        }
+        if getattr(backend, "fell_back", False):
+            self._exec_diag["process_fallback"] = True
+        if getattr(backend, "ran_serially", False):
+            # The parallel backend short-circuited (one worker, one
+            # shard, or a pool failure): the timing is plain serial
+            # execution, not pool overhead.
+            self._exec_diag["ran_serially"] = True
 
         for i in range(n):
             uid = inverse[i]
             for j, attr in enumerate(names):
-                code = repair_codes[j][uid]
+                code = merged.decided[j][uid]
                 if code >= 0:
                     new_value = enc.decode(attr, int(code))
                     cleaned.set_cell(i, attr, new_value)
@@ -672,211 +745,10 @@ class BClean:
                             attr,
                             table.columns[j][i],
                             new_value,
-                            float(old_scores[j][uid]),
-                            float(new_scores[j][uid]),
+                            float(merged.incumbent_scores[j][uid]),
+                            float(merged.best_scores[j][uid]),
                         )
                     )
-
-    def _coded_competition(
-        self,
-        attr: str,
-        j: int,
-        subnet: SubNetwork,
-        scorer: ColumnarNetScorer,
-        row_codes: np.ndarray,
-        context_cols: Sequence[int],
-        weight: float,
-        stats: CleaningStats,
-    ) -> tuple[int, float, float]:
-        """Run one full candidate competition on integer codes.
-
-        Returns ``(repair code or −1, incumbent score, best score)`` —
-        mirroring ``_candidate_pool`` + ``_run_competition`` step for
-        step (same candidate order, same float accumulation order) so
-        decisions are identical to the scalar reference path.
-        """
-        cfg = self.config
-        enc = self._encoding
-        current_code = int(row_codes[j])
-
-        contenders = self._coded_pool(attr, j, row_codes, context_cols, stats)
-        inc_hits = np.nonzero(contenders == current_code)[0]
-        if len(inc_hits) == 0:
-            contenders = np.append(contenders, current_code)
-            inc_idx = len(contenders) - 1
-        else:
-            inc_idx = int(inc_hits[0])
-        stats.candidates_evaluated += len(contenders)
-
-        if cfg.mode == InferenceMode.BASIC:
-            bn_scores = scorer.joint_log_scores(attr, contenders, row_codes)
-        elif subnet.is_isolated:
-            bn_scores = np.zeros(len(contenders), dtype=np.float64)
-        else:
-            bn_scores = scorer.blanket_log_scores(attr, contenders, row_codes)
-
-        if cfg.use_compensatory:
-            raw = self.comp.score_pool(
-                contenders,
-                row_codes,
-                attr,
-                context_cols,
-                incumbent_index=inc_idx,
-                self_weight=weight,
-            )
-            comp_log = cfg.comp_weight * log_compensatory_pool(
-                raw, cfg.comp_smoothing
-            )
-        else:
-            comp_log = np.zeros(len(contenders), dtype=np.float64)
-
-        incumbent_penalty = 0.0
-        if cfg.use_ucs and not self._uc_code_mask(attr)[current_code]:
-            incumbent_penalty = cfg.uc_violation_penalty
-
-        incumbent_null = bool(enc.vocab(attr).null_mask[current_code])
-        margin = (
-            cfg.repair_margin
-            if self._supported_code(
-                attr, current_code, row_codes, context_cols, 2, incumbent_null
-            )
-            else cfg.unsupported_margin
-        )
-
-        totals = bn_scores + comp_log
-        totals[inc_idx] = totals[inc_idx] - incumbent_penalty + margin
-        best_idx = int(np.argmax(totals))
-        best_code = int(contenders[best_idx])
-        best_score = float(totals[best_idx])
-        incumbent_score = float(totals[inc_idx])
-
-        forced = incumbent_null or incumbent_penalty > 0
-        if (
-            forced
-            and best_code != current_code
-            and not self._supported_code(
-                attr, best_code, row_codes, context_cols,
-                cfg.min_fill_support, False,
-            )
-        ):
-            return -1, incumbent_score, incumbent_score
-        if best_score > incumbent_score and best_code != current_code:
-            return best_code, incumbent_score, best_score
-        return -1, incumbent_score, best_score
-
-    def _coded_pool(
-        self,
-        attr: str,
-        j: int,
-        row_codes: np.ndarray,
-        context_cols: Sequence[int],
-        stats: CleaningStats,
-    ) -> np.ndarray:
-        """The coded candidate pool, ordered exactly as the scalar
-        ``_candidate_pool``: context candidates by (−strength, first
-        appearance), domain top-up, UC filter, strength-stable cap,
-        TF-IDF pruning in PIP mode."""
-        cfg = self.config
-        cooc = self.cooc
-        names = self.table.schema.names
-        cap = cfg.candidate_cap
-        if cfg.mode == InferenceMode.BASIC:
-            cap = (
-                cfg.max_candidates_basic
-                if cap is None
-                else min(cap, cfg.max_candidates_basic)
-            )
-
-        lists = [
-            cooc.cooccurring_codes(attr, names[k], int(row_codes[k]))
-            for k in context_cols
-        ]
-        concat = (
-            np.concatenate(lists) if lists else np.empty(0, dtype=np.int64)
-        )
-        null_mask = self._encoding.vocab(attr).null_mask
-        concat = concat[~null_mask[concat]]
-        cand, first_pos = np.unique(concat, return_index=True)
-        strength = np.zeros(len(cand), dtype=np.float64)
-        for k in context_cols:
-            strength += cooc.pair_counts_for(
-                attr, cand, names[k], int(row_codes[k])
-            )
-        # Scalar path: stable sort by −strength over first-appearance
-        # order — lexsort with first_pos as the tie key reproduces it.
-        order = np.lexsort((first_pos, -strength))
-        ordered = cand[order]
-        ordered_strength = strength[order]
-        if cap is not None:
-            ordered = ordered[:cap]
-            ordered_strength = ordered_strength[:cap]
-
-        # Top up with globally frequent values (the domain prior).  A
-        # truncated context candidate can re-enter here; it keeps its
-        # accumulated strength for the later cap re-sort, exactly like
-        # the scalar strength dict.  Membership runs over a reusable
-        # per-attribute scratch mask — O(pool) instead of isin's sort.
-        domain = self._domain_codes(attr)
-        top = domain[:cap] if cap is not None else domain
-        scratch = self._scratch_mask(attr)
-        scratch[ordered] = True
-        extra = top[~scratch[top]]
-        scratch[ordered] = False
-        if len(extra):
-            if len(cand):
-                pos = np.minimum(np.searchsorted(cand, extra), len(cand) - 1)
-                extra_strength = np.where(cand[pos] == extra, strength[pos], 0.0)
-            else:
-                extra_strength = np.zeros(len(extra), dtype=np.float64)
-            ordered = np.concatenate([ordered, extra])
-            ordered_strength = np.concatenate([ordered_strength, extra_strength])
-
-        if cfg.use_ucs:
-            ok = self._uc_code_mask(attr)[ordered]
-            # stats parity: the scalar path counts per competition run
-            stats.candidates_filtered_uc += int((~ok).sum())
-            ordered = ordered[ok]
-            ordered_strength = ordered_strength[ok]
-
-        if cap is not None and len(ordered) > cap:
-            resort = np.argsort(-ordered_strength, kind="stable")
-            ordered = ordered[resort][:cap]
-
-        if cfg.mode == InferenceMode.PARTITIONED_PRUNED:
-            ordered = self.pruner.prune_codes(
-                ordered, row_codes, attr, context_cols
-            )
-        return ordered
-
-    def _supported_code(
-        self,
-        attr: str,
-        code: int,
-        row_codes: np.ndarray,
-        context_cols: Sequence[int],
-        need: int,
-        value_is_null: bool,
-    ) -> bool:
-        """Coded form of the co-occurrence support checks (incumbent
-        protection with ``need=2``, forced-repair evidence with
-        ``need=min_fill_support``)."""
-        if value_is_null:
-            return False
-        cooc = self.cooc
-        names = self.table.schema.names
-        for k in context_cols:
-            if cooc.pair_count_codes(attr, code, names[k], int(row_codes[k])) >= need:
-                return True
-        return False
-
-    def _scratch_mask(self, attr: str) -> np.ndarray:
-        """A zeroed boolean scratch array over the attribute's codes
-        (borrow, mark, and reset — never hold across calls)."""
-        mask = self._scratch_mask_cache.get(attr)
-        if mask is None:
-            mask = np.zeros(self._encoding.card(attr), dtype=bool)
-            self._scratch_mask_cache[attr] = mask
-        return mask
 
     def _domain_codes(self, attr: str) -> np.ndarray:
         """Codes of the attribute's domain values, most frequent first
@@ -892,19 +764,27 @@ class BClean:
         return codes
 
     def _uc_code_mask(self, attr: str) -> np.ndarray:
-        """Per-code user-constraint verdicts (the coded ``_uc_cache``)."""
+        """Per-code user-constraint verdicts (the coded ``_uc_cache``).
+
+        When incremental encoding extended the vocabulary since the
+        cached mask was built, only the freshly minted codes are
+        checked — the verdicts of existing codes never change.
+        """
+        vocab = self._encoding.vocab(attr)
         mask = self._uc_mask_cache.get(attr)
-        if mask is None:
-            vocab = self._encoding.vocab(attr)
-            mask = np.fromiter(
-                (
-                    self.constraints.check_cell(attr, vocab.decode(code))
-                    for code in range(vocab.size)
-                ),
-                dtype=bool,
-                count=vocab.size,
-            )
-            self._uc_mask_cache[attr] = mask
+        if mask is not None and len(mask) == vocab.size:
+            return mask
+        start = 0 if mask is None else len(mask)
+        extra = np.fromiter(
+            (
+                self.constraints.check_cell(attr, vocab.decode(code))
+                for code in range(start, vocab.size)
+            ),
+            dtype=bool,
+            count=vocab.size - start,
+        )
+        mask = extra if mask is None else np.concatenate([mask, extra])
+        self._uc_mask_cache[attr] = mask
         return mask
 
 

@@ -44,6 +44,30 @@ def tuple_filter_scores_all_rows(
     return total / len(others)
 
 
+def tuple_filter_scores_coded(
+    index: CooccurrenceIndex,
+    attribute: str,
+    codes_mat: np.ndarray,
+    names: Sequence[str],
+) -> np.ndarray:
+    """``Filter(T, A_i)`` for every row of an arbitrary coded matrix —
+    the foreign-table form of :func:`tuple_filter_scores_all_rows`,
+    where codes the statistics never saw (incrementally extended
+    vocabularies) count 0 like unseen values on the value path."""
+    j = list(names).index(attribute)
+    others = [k for k in range(len(names)) if k != j]
+    if not others:
+        return np.ones(len(codes_mat), dtype=np.float64)
+    total = np.zeros(len(codes_mat), dtype=np.float64)
+    for k in others:
+        denom = index.counts_for(names[k], codes_mat[:, k])
+        pair = index.pair_counts_rows(
+            attribute, codes_mat[:, j], names[k], codes_mat[:, k]
+        )
+        total += np.where(denom > 0, pair / np.maximum(denom, 1), 0.0)
+    return total / len(others)
+
+
 def tuple_filter_score(
     index: CooccurrenceIndex,
     row: Mapping[str, Cell],

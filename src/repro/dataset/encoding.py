@@ -21,6 +21,19 @@ A :class:`TableEncoding` interns all columns of one table **once**; all
 hot-path components (co-occurrence index, coded CPTs, the engine's
 candidate competitions) consume the coded columns instead of re-hashing
 cell objects per query.
+
+**Incremental encoding** (:meth:`TableEncoding.encode_table`) lets the
+engine clean *foreign* tables on the coded fast path: unseen values are
+interned on the fly, receiving fresh codes *above* every code the fitted
+statistics were built with.  Statistics consumers treat any code at or
+beyond their build-time cardinality as "never observed" (count 0, CPT
+fallback), which reproduces the value-level semantics where unseen
+values encode to :data:`UNSEEN_CODE`.
+
+Encodings are picklable so the parallel execution subsystem can ship
+them to worker processes; the pickle drops the source-table reference
+(only used by the :meth:`TableEncoding.matches` snapshot check, which
+workers never perform).
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.dataset.table import NULL_KEY, Cell, Table, cell_key, is_null
+from repro.errors import SchemaError
 
 #: Code returned for values outside the vocabulary.
 UNSEEN_CODE = -1
@@ -187,6 +201,51 @@ class TableEncoding:
             [self._vocabs[a].encode(v) for a, v in zip(self.names, row)],
             dtype=np.int64,
         )
+
+    def encode_table(self, table: Table) -> np.ndarray:
+        """Coded matrix of a *foreign* table under these vocabularies,
+        interning unseen values incrementally.
+
+        The foreign table must share this encoding's schema names.  Seen
+        values keep their fitted codes; unseen values extend the
+        per-attribute vocabularies (idempotently — re-encoding the same
+        foreign value yields the same code), so the engine's fast path
+        can dedup row signatures exactly like the scalar path's
+        ``cell_key`` cache.  Extension never renumbers existing codes,
+        and every statistics structure built *before* the extension
+        keeps its own build-time cardinality as the "seen" horizon:
+        codes at or beyond it score as never-observed values.
+
+        The fitted columns (:meth:`codes`), ``n_rows``, and the
+        :meth:`matches` snapshot are untouched — this is a pure view of
+        the foreign table.
+        """
+        if list(table.schema.names) != self.names:
+            raise SchemaError(
+                "foreign table schema does not match the fitted encoding: "
+                f"{list(table.schema.names)} vs {self.names}"
+            )
+        if not self.names:
+            return np.empty((table.n_rows, 0), dtype=np.int64)
+        columns = []
+        for name in self.names:
+            vocab = self._vocabs[name]
+            columns.append(
+                np.fromiter(
+                    (vocab.add(v) for v in table.column(name)),
+                    dtype=np.int64,
+                    count=table.n_rows,
+                )
+            )
+        return np.column_stack(columns)
+
+    def __getstate__(self) -> dict:
+        """Pickle support for worker shipping: drop the source-table
+        reference (it exists solely for the O(1) ``matches`` fast path,
+        which only the fitting process performs)."""
+        state = dict(self.__dict__)
+        state["_source"] = None
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cards = {a: self.card(a) for a in self.names}

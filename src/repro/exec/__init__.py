@@ -1,0 +1,51 @@
+"""Sharded parallel execution of the cleaning workload.
+
+The subsystem turns ``BClean.clean()`` into a planned, sharded job:
+
+- :mod:`repro.exec.planner` slices the deduplicated competition list
+  into cost-balanced :class:`~repro.exec.planner.Shard`\\ s;
+- :mod:`repro.exec.state` freezes the fitted statistics into a
+  picklable, read-only :class:`~repro.exec.state.FitState` whose
+  :meth:`~repro.exec.state.FitState.run_shard` kernel batch-scores
+  competitions;
+- :mod:`repro.exec.backends` executes shards serially, on a thread
+  pool, or on a process pool (``BCleanConfig.executor``);
+- :mod:`repro.exec.merge` reassembles shard results deterministically.
+
+Every shard is a pure function of the snapshot, so all backends and
+shard counts produce byte-identical ``CleaningResult``\\ s.
+"""
+
+from repro.exec.backends import (
+    EXECUTOR_NAMES,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+from repro.exec.merge import MergedDecisions, merge_shard_results
+from repro.exec.planner import (
+    OVERSUBSCRIBE,
+    Shard,
+    ShardPlan,
+    estimate_competition_costs,
+    plan_shards,
+)
+from repro.exec.state import FitState, ShardResult
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "FitState",
+    "MergedDecisions",
+    "OVERSUBSCRIBE",
+    "ProcessBackend",
+    "SerialBackend",
+    "Shard",
+    "ShardPlan",
+    "ShardResult",
+    "ThreadBackend",
+    "estimate_competition_costs",
+    "get_backend",
+    "merge_shard_results",
+    "plan_shards",
+]

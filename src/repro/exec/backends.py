@@ -1,0 +1,148 @@
+"""Worker backends: serial, thread-pool, and process-pool execution.
+
+A backend takes a :class:`~repro.exec.state.FitState` plus the planned
+shards and returns one :class:`~repro.exec.state.ShardResult` per shard.
+Because every shard is a pure function of the read-only snapshot, the
+three backends are interchangeable — results are byte-identical; only
+wall-clock differs:
+
+``serial``
+    Runs shards in-process, in plan order.  No overhead, no
+    parallelism; the default (and the baseline every equivalence test
+    pins the others against).
+
+``thread``
+    A ``ThreadPoolExecutor``.  Shares the snapshot by reference (zero
+    shipping cost) but executes under the GIL, so speedup comes only
+    from the numpy portions of the kernel that release it.  Useful for
+    wide tables with large pools; modest elsewhere.
+
+``process``
+    A ``ProcessPoolExecutor``.  The snapshot is pickled **once** and
+    shipped to each worker through the pool initializer (not per task);
+    workers rebuild lazy caches locally.  True multi-core scaling at
+    the cost of one snapshot serialisation per ``clean()`` — the right
+    backend for paper-scale tables.  If the host cannot create a
+    process pool at all (sandboxed environments without semaphore
+    support), the backend falls back to serial execution and records it
+    in :attr:`ProcessBackend.fell_back` so the engine can surface the
+    downgrade in its diagnostics.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Protocol, Sequence
+
+from repro.errors import CleaningError
+from repro.exec.planner import Shard
+from repro.exec.state import FitState, ShardResult
+
+#: recognised ``BCleanConfig.executor`` values
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+class Backend(Protocol):
+    """Common backend interface (structural)."""
+
+    def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
+        ...  # pragma: no cover - protocol
+
+
+class SerialBackend:
+    """In-process execution, plan order."""
+
+    name = "serial"
+
+    def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
+        return [state.run_shard(shard) for shard in shards]
+
+
+class ThreadBackend:
+    """``ThreadPoolExecutor`` over a shared snapshot."""
+
+    name = "thread"
+
+    def __init__(self, n_jobs: int):
+        self.n_jobs = max(1, n_jobs)
+        #: set when the run short-circuited to plain serial execution
+        #: (one worker or one shard) — surfaced in engine diagnostics so
+        #: timings are not misread as pool overhead
+        self.ran_serially = False
+
+    def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
+        if len(shards) <= 1 or self.n_jobs == 1:
+            self.ran_serially = True
+            return SerialBackend().run(state, shards)
+        with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
+            return list(pool.map(state.run_shard, shards))
+
+
+# Worker-side state of the process backend: installed once per worker by
+# the pool initializer, read by every task that worker executes.
+_WORKER_STATE: FitState | None = None
+
+
+def _worker_init(payload: bytes) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+
+
+def _worker_run(shard: Shard) -> ShardResult:
+    if _WORKER_STATE is None:  # pragma: no cover - initializer always ran
+        raise CleaningError("process worker used before initialisation")
+    return _WORKER_STATE.run_shard(shard)
+
+
+class ProcessBackend:
+    """``ProcessPoolExecutor`` with a one-shot pickled snapshot."""
+
+    name = "process"
+
+    def __init__(self, n_jobs: int):
+        self.n_jobs = max(1, n_jobs)
+        #: set when the host refused a process pool and serial ran instead
+        self.fell_back = False
+        #: set when the run short-circuited to serial (one worker or one
+        #: shard): no pool was created and no snapshot was pickled
+        self.ran_serially = False
+
+    def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
+        if len(shards) <= 1 or self.n_jobs == 1:
+            self.ran_serially = True
+            return SerialBackend().run(state, shards)
+        try:
+            payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            with ProcessPoolExecutor(
+                max_workers=min(self.n_jobs, len(shards)),
+                initializer=_worker_init,
+                initargs=(payload,),
+            ) as pool:
+                return list(pool.map(_worker_run, shards))
+        except (OSError, BrokenExecutor):
+            # The *pool* could not be created (no semaphores, fork
+            # blocked...) or its workers were killed (BrokenExecutor).
+            # Shard execution itself does no IO, so this is an
+            # environment limitation: degrade to the always-correct
+            # serial path and let the engine report it.
+            self.fell_back = True
+            self.ran_serially = True
+            return SerialBackend().run(state, shards)
+
+
+def get_backend(name: str, n_jobs: int) -> SerialBackend | ThreadBackend | ProcessBackend:
+    """Instantiate the backend selected by ``BCleanConfig.executor``."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(n_jobs)
+    if name == "process":
+        return ProcessBackend(n_jobs)
+    raise CleaningError(
+        f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}"
+    )

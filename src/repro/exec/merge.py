@@ -1,0 +1,79 @@
+"""Deterministic reassembly of per-shard repair arrays.
+
+Every shard decides a disjoint set of (attribute, unique row signature)
+competitions, so merging is pure scatter: write each shard's decision
+arrays into the per-attribute buffers at its ``uids``.  No ordering of
+the incoming results can change the outcome — the merged buffers, and
+therefore the ``CleaningResult`` the engine emits from them (repairs are
+broadcast row-major afterwards), are byte-identical to the serial
+single-shard path regardless of backend, worker count, or completion
+order.  The merge still *verifies* disjointness: a shard plan bug that
+assigned one competition twice raises instead of silently letting the
+racier write win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CleaningError
+from repro.exec.state import ShardResult
+
+
+@dataclass
+class MergedDecisions:
+    """Per-attribute decision buffers plus aggregated work counters."""
+
+    #: column index → per-unique-signature repair code (−1 = keep)
+    decided: dict[int, np.ndarray] = field(default_factory=dict)
+    #: column index → incumbent score per unique signature
+    incumbent_scores: dict[int, np.ndarray] = field(default_factory=dict)
+    #: column index → winner score per unique signature
+    best_scores: dict[int, np.ndarray] = field(default_factory=dict)
+    candidates_evaluated: int = 0
+    candidates_filtered_uc: int = 0
+    n_competitions: int = 0
+
+
+def merge_shard_results(
+    results: Sequence[ShardResult],
+    n_uniq: int,
+    columns: Sequence[int],
+) -> MergedDecisions:
+    """Scatter shard results into per-attribute buffers.
+
+    ``columns`` lists every column the plan covered, so attributes whose
+    competitions were all pruned away still get (empty) buffers and the
+    broadcast loop stays uniform.
+    """
+    merged = MergedDecisions()
+    claimed: dict[int, np.ndarray] = {}
+    for j in columns:
+        merged.decided[j] = np.full(n_uniq, -1, dtype=np.int64)
+        merged.incumbent_scores[j] = np.zeros(n_uniq, dtype=np.float64)
+        merged.best_scores[j] = np.zeros(n_uniq, dtype=np.float64)
+        claimed[j] = np.zeros(n_uniq, dtype=bool)
+
+    for result in results:
+        j = result.column
+        if j not in merged.decided:
+            raise CleaningError(
+                f"shard {result.shard_id} reports unplanned column {j}"
+            )
+        mask = claimed[j]
+        if mask[result.uids].any():
+            raise CleaningError(
+                f"shard {result.shard_id} overlaps an already-merged "
+                f"competition of column {j}"
+            )
+        mask[result.uids] = True
+        merged.decided[j][result.uids] = result.decided
+        merged.incumbent_scores[j][result.uids] = result.incumbent_scores
+        merged.best_scores[j][result.uids] = result.best_scores
+        merged.candidates_evaluated += result.candidates_evaluated
+        merged.candidates_filtered_uc += result.candidates_filtered_uc
+        merged.n_competitions += result.n_competitions
+    return merged

@@ -1,0 +1,156 @@
+"""Shard planning: partition the competition list for parallel workers.
+
+After deduplication the cleaning workload is a list of independent
+candidate competitions — one per (attribute, unique row signature) —
+with read-only fit state.  The planner slices that list into
+:class:`Shard`\\ s, the unit a worker backend executes.
+
+Shards are **cost-balanced**, not count-balanced: competition cost is
+dominated by the candidate-pool size, which varies by orders of
+magnitude between a near-unique context (a handful of co-occurring
+values) and a low-selectivity one (the whole attribute domain).
+:func:`estimate_competition_costs` estimates each competition's pool
+from the marginal counts of its context values — an O(1) proxy per
+(competition, context attribute) that needs no CSR index build — and
+:func:`plan_shards` cuts each attribute's competition list at
+equal-cost boundaries (a cumulative-sum split, so the plan is a pure
+function of the cost vector: deterministic for a given table and
+configuration, independent of backend and timing).
+
+Shards never mix attributes: within one attribute the equal-length
+candidate pools that enable batched scoring are far more common, and
+the per-shard setup (context columns, masks, scratch) stays trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cooccurrence import CooccurrenceIndex
+
+#: shards per worker the auto planner aims for — enough slack for the
+#: cost estimate to be off without idling workers at the tail.
+OVERSUBSCRIBE = 4
+
+#: estimated fixed cost of one competition (scoring, argmax, bookkeeping)
+#: in pool-entry units, so empty-pool competitions still count.
+COMPETITION_OVERHEAD = 8.0
+
+
+@dataclass(frozen=True, eq=False)
+class Shard:
+    """One work unit: a slice of one attribute's competition list.
+
+    ``uids`` indexes into the planned table's deduplicated row-signature
+    array (``FitState.uniq_rows``); ``cost`` is the planner's estimate,
+    kept for diagnostics and tests.
+    """
+
+    shard_id: int
+    column: int
+    attr: str
+    uids: np.ndarray
+    cost: float = 0.0
+
+
+@dataclass
+class ShardPlan:
+    """The full execution plan of one ``clean()`` call."""
+
+    shards: list[Shard] = field(default_factory=list)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_competitions(self) -> int:
+        return sum(len(s.uids) for s in self.shards)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(s.cost for s in self.shards)
+
+
+def estimate_competition_costs(
+    cooc: CooccurrenceIndex,
+    attr: str,
+    uniq_rows: np.ndarray,
+    context_cols: Sequence[int],
+    names: Sequence[str],
+    cap: int | None,
+) -> np.ndarray:
+    """Per-competition cost estimate for one attribute's signatures.
+
+    A context value occurring in ``c`` tuples contributes at most
+    ``min(c, card(attr))`` distinct candidates; the pool is the union
+    over context attributes, capped by ``candidate_cap``.  Codes the
+    statistics never saw (incremental foreign encoding) contribute 0.
+    """
+    n = len(uniq_rows)
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    card_a = len(cooc.counts_array(attr))
+    est = np.zeros(n, dtype=np.float64)
+    for k in context_cols:
+        ctx_counts = cooc.counts_for(names[k], uniq_rows[:, k])
+        est += np.minimum(ctx_counts, card_a)
+    if cap is not None:
+        est = np.minimum(est, cap)
+    return est + COMPETITION_OVERHEAD
+
+
+def plan_shards(
+    work: Sequence[tuple[int, str, np.ndarray, np.ndarray]],
+    n_shards_hint: int,
+    shard_size: int | None = None,
+) -> ShardPlan:
+    """Cut per-attribute competition lists into a shard plan.
+
+    Parameters
+    ----------
+    work:
+        One ``(column, attr, uids, costs)`` entry per attribute, where
+        ``costs`` aligns with ``uids``.
+    n_shards_hint:
+        Target number of shards across the whole plan (typically
+        ``n_jobs × OVERSUBSCRIBE``; 1 collapses to one shard per
+        attribute).  Ignored when ``shard_size`` is given.
+    shard_size:
+        Fixed number of competitions per shard (the explicit
+        ``BCleanConfig.shard_size`` knob); overrides cost balancing.
+    """
+    plan = ShardPlan()
+    total_cost = float(sum(float(costs.sum()) for _, _, _, costs in work))
+    for column, attr, uids, costs in work:
+        if len(uids) == 0:
+            continue
+        if shard_size is not None:
+            bounds = list(range(0, len(uids), shard_size)) + [len(uids)]
+        else:
+            attr_cost = float(costs.sum())
+            k = 1
+            if n_shards_hint > 1 and total_cost > 0:
+                k = max(1, round(n_shards_hint * attr_cost / total_cost))
+                k = min(k, len(uids))
+            cum = np.cumsum(costs)
+            targets = attr_cost * np.arange(1, k) / k
+            cuts = np.searchsorted(cum, targets, side="left") + 1
+            bounds = [0] + sorted(set(int(c) for c in cuts) - {0}) + [len(uids)]
+            bounds = sorted(set(min(b, len(uids)) for b in bounds))
+        for start, stop in zip(bounds, bounds[1:]):
+            if stop <= start:
+                continue
+            plan.shards.append(
+                Shard(
+                    shard_id=len(plan.shards),
+                    column=column,
+                    attr=attr,
+                    uids=uids[start:stop],
+                    cost=float(costs[start:stop].sum()),
+                )
+            )
+    return plan

@@ -1,0 +1,363 @@
+"""Read-only execution state and the per-shard competition kernel.
+
+:class:`FitState` is the picklable snapshot of everything a candidate
+competition needs after ``fit()``: the shared table encoding, the
+co-occurrence index, the coded CPT matrices (via the columnar scorer),
+the compensatory scorer, the domain pruner, the BN partition, and the
+per-clean view of the rows being cleaned (deduplicated row signatures
+plus their confidence weights and per-attribute NULL/UC code masks).
+
+Everything in the snapshot is *read-only* during cleaning — the only
+mutations are lazy per-process caches (CSR inverted indexes, dense
+co-occurrence profiles, dict probe views), which are dropped on pickling
+and rebuilt on demand inside each worker.  That makes one ``FitState``
+safe to share across threads (cache races are idempotent writes of
+identical values) and cheap to ship to processes once per ``clean()``.
+
+:meth:`FitState.run_shard` is the execution kernel: it runs every
+competition of one :class:`~repro.exec.planner.Shard` and returns a
+:class:`ShardResult` of repair codes and scores.  Within a shard,
+competitions are scored in *batch*: candidate pools of equal length are
+stacked into one ``(B, P)`` matrix and every Markov-blanket factor is
+resolved for the whole batch with a single
+:class:`~repro.bayesnet.model.ColumnarNetScorer` matrix op (the
+ROADMAP's "parallel competitions" item).  Each competition's arithmetic
+is element-for-element identical to the single-competition path, so
+results are byte-identical regardless of backend, shard count, or batch
+grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.bayesnet.model import ColumnarNetScorer
+from repro.core.compensatory import CompensatoryScorer, log_compensatory_pool
+from repro.core.config import BCleanConfig, InferenceMode
+from repro.core.cooccurrence import CooccurrenceIndex
+from repro.core.partition import SubNetwork
+from repro.core.pruning import DomainPruner
+from repro.dataset.encoding import TableEncoding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.planner import Shard
+
+
+@dataclass
+class ShardResult:
+    """Per-competition decisions of one shard.
+
+    ``decided[i]`` is the repair code for unique row ``uids[i]`` (−1
+    keeps the observed value); the score arrays carry the incumbent and
+    winner totals the engine records on emitted repairs.  The counters
+    aggregate the shard's share of the work statistics.
+    """
+
+    shard_id: int
+    column: int
+    uids: np.ndarray
+    decided: np.ndarray
+    incumbent_scores: np.ndarray
+    best_scores: np.ndarray
+    candidates_evaluated: int = 0
+    candidates_filtered_uc: int = 0
+
+    @property
+    def n_competitions(self) -> int:
+        return len(self.uids)
+
+
+class FitState:
+    """Everything a worker needs to run competitions, frozen after fit.
+
+    Parameters
+    ----------
+    config:
+        The engine configuration (scoring knobs; executor knobs are read
+        by the engine, not the kernel).
+    encoding:
+        Shared table interning (possibly incrementally extended for a
+        foreign table).
+    cooc, comp, pruner, scorer, subnets:
+        The fitted statistics components, exactly as the engine built
+        them.
+    names:
+        Attribute names in schema order.
+    uniq_rows:
+        ``(n_uniq, m)`` deduplicated coded row signatures of the table
+        being cleaned.
+    uniq_weights:
+        Per-signature confidence weight (what the signature's rows
+        contributed to Algorithm 2's accumulator; 1.0 for foreign rows).
+    null_masks, uc_masks:
+        Per-attribute boolean masks over the *current* (possibly
+        extended) code range.  ``uc_masks`` may be empty when user
+        constraints are disabled.
+    domain_codes:
+        Per-attribute domain candidate codes, most frequent first.
+    """
+
+    def __init__(
+        self,
+        config: BCleanConfig,
+        encoding: TableEncoding,
+        cooc: CooccurrenceIndex,
+        comp: CompensatoryScorer,
+        pruner: DomainPruner,
+        scorer: ColumnarNetScorer,
+        subnets: Mapping[str, SubNetwork],
+        names: Sequence[str],
+        uniq_rows: np.ndarray,
+        uniq_weights: np.ndarray,
+        null_masks: Mapping[str, np.ndarray],
+        uc_masks: Mapping[str, np.ndarray],
+        domain_codes: Mapping[str, np.ndarray],
+    ):
+        self.config = config
+        self.encoding = encoding
+        self.cooc = cooc
+        self.comp = comp
+        self.pruner = pruner
+        self.scorer = scorer
+        self.subnets = dict(subnets)
+        self.names = list(names)
+        self.uniq_rows = uniq_rows
+        self.uniq_weights = uniq_weights
+        self.null_masks = dict(null_masks)
+        self.uc_masks = dict(uc_masks)
+        self.domain_codes = dict(domain_codes)
+
+    # -- kernel ------------------------------------------------------------------
+
+    def run_shard(self, shard: "Shard") -> ShardResult:
+        """Run all competitions of ``shard`` (pure function of the
+        snapshot — see the module docstring for the batching scheme)."""
+        cfg = self.config
+        j = shard.column
+        attr = self.names[j]
+        uids = shard.uids
+        m = len(self.names)
+        context_cols = [k for k in range(m) if k != j]
+        subnet = self.subnets[attr]
+        n = len(uids)
+
+        decided = np.full(n, -1, dtype=np.int64)
+        inc_scores = np.zeros(n, dtype=np.float64)
+        best_scores = np.zeros(n, dtype=np.float64)
+        evaluated = 0
+        filtered_uc = 0
+        # Pool-membership scratch is shard-local: shards of one attribute
+        # may run concurrently, so the mark/reset pattern must not share.
+        scratch = np.zeros(self.encoding.card(attr), dtype=bool)
+
+        # Pass 1 — candidate pools and compensatory terms (pool-sized
+        # work, inherently per-competition).
+        pools: list[np.ndarray] = []
+        comp_logs: list[np.ndarray] = []
+        inc_idxs = np.empty(n, dtype=np.int64)
+        for pos in range(n):
+            row_codes = self.uniq_rows[uids[pos]]
+            current_code = int(row_codes[j])
+            pool, n_filtered = self._pool(attr, j, row_codes, context_cols, scratch)
+            filtered_uc += n_filtered
+            hits = np.nonzero(pool == current_code)[0]
+            if len(hits) == 0:
+                pool = np.append(pool, current_code)
+                inc_idx = len(pool) - 1
+            else:
+                inc_idx = int(hits[0])
+            evaluated += len(pool)
+            if cfg.use_compensatory:
+                raw = self.comp.score_pool(
+                    pool,
+                    row_codes,
+                    attr,
+                    context_cols,
+                    incumbent_index=inc_idx,
+                    self_weight=float(self.uniq_weights[uids[pos]]),
+                )
+                comp_log = cfg.comp_weight * log_compensatory_pool(
+                    raw, cfg.comp_smoothing
+                )
+            else:
+                comp_log = np.zeros(len(pool), dtype=np.float64)
+            pools.append(pool)
+            comp_logs.append(comp_log)
+            inc_idxs[pos] = inc_idx
+
+        # Pass 2 — batched BN scoring: stack equal-length pools and score
+        # each stack with one matrix op per blanket factor.
+        bn_rows: list[np.ndarray | None] = [None] * n
+        if cfg.mode != InferenceMode.BASIC and subnet.is_isolated:
+            # §6.1: isolated nodes contribute a constant that cancels.
+            for pos in range(n):
+                bn_rows[pos] = np.zeros(len(pools[pos]), dtype=np.float64)
+        else:
+            groups: dict[int, list[int]] = {}
+            for pos in range(n):
+                groups.setdefault(len(pools[pos]), []).append(pos)
+            for members in groups.values():
+                cand2d = np.vstack([pools[p] for p in members])
+                rows2d = self.uniq_rows[uids[np.asarray(members)]]
+                if cfg.mode == InferenceMode.BASIC:
+                    bn2d = self.scorer.joint_log_scores_batch(attr, cand2d, rows2d)
+                else:
+                    bn2d = self.scorer.blanket_log_scores_batch(attr, cand2d, rows2d)
+                for row_i, pos in enumerate(members):
+                    bn_rows[pos] = bn2d[row_i]
+
+        # Pass 3 — decisions (the tail of one candidate competition,
+        # unchanged arithmetic: penalty, margin, argmax, support vetoes).
+        null_mask = self.null_masks[attr]
+        uc_mask = self.uc_masks.get(attr) if cfg.use_ucs else None
+        for pos in range(n):
+            row_codes = self.uniq_rows[uids[pos]]
+            current_code = int(row_codes[j])
+            pool = pools[pos]
+            inc_idx = int(inc_idxs[pos])
+
+            incumbent_penalty = 0.0
+            if uc_mask is not None and not uc_mask[current_code]:
+                incumbent_penalty = cfg.uc_violation_penalty
+            incumbent_null = bool(null_mask[current_code])
+            margin = (
+                cfg.repair_margin
+                if self._supported(
+                    attr, current_code, row_codes, context_cols, 2, incumbent_null
+                )
+                else cfg.unsupported_margin
+            )
+
+            totals = bn_rows[pos] + comp_logs[pos]
+            totals[inc_idx] = totals[inc_idx] - incumbent_penalty + margin
+            best_idx = int(np.argmax(totals))
+            best_code = int(pool[best_idx])
+            best_score = float(totals[best_idx])
+            incumbent_score = float(totals[inc_idx])
+
+            forced = incumbent_null or incumbent_penalty > 0
+            if (
+                forced
+                and best_code != current_code
+                and not self._supported(
+                    attr, best_code, row_codes, context_cols,
+                    cfg.min_fill_support, False,
+                )
+            ):
+                inc_scores[pos] = incumbent_score
+                best_scores[pos] = incumbent_score
+                continue
+            inc_scores[pos] = incumbent_score
+            best_scores[pos] = best_score
+            if best_score > incumbent_score and best_code != current_code:
+                decided[pos] = best_code
+
+        return ShardResult(
+            shard.shard_id,
+            j,
+            uids,
+            decided,
+            inc_scores,
+            best_scores,
+            candidates_evaluated=evaluated,
+            candidates_filtered_uc=filtered_uc,
+        )
+
+    # -- pool construction --------------------------------------------------------
+
+    def _pool(
+        self,
+        attr: str,
+        j: int,
+        row_codes: np.ndarray,
+        context_cols: Sequence[int],
+        scratch: np.ndarray,
+    ) -> tuple[np.ndarray, int]:
+        """The coded candidate pool, ordered exactly as the scalar
+        reference: context candidates by (−strength, first appearance),
+        domain top-up, UC filter, strength-stable cap, TF-IDF pruning in
+        PIP mode.  Returns ``(pool, n_filtered_by_uc)``."""
+        cfg = self.config
+        cooc = self.cooc
+        names = self.names
+        cap = cfg.effective_candidate_cap()
+
+        lists = [
+            cooc.cooccurring_codes(attr, names[k], int(row_codes[k]))
+            for k in context_cols
+        ]
+        concat = (
+            np.concatenate(lists) if lists else np.empty(0, dtype=np.int64)
+        )
+        null_mask = self.null_masks[attr]
+        concat = concat[~null_mask[concat]]
+        cand, first_pos = np.unique(concat, return_index=True)
+        strength = np.zeros(len(cand), dtype=np.float64)
+        for k in context_cols:
+            strength += cooc.pair_counts_for(
+                attr, cand, names[k], int(row_codes[k])
+            )
+        # Stable sort by −strength over first-appearance order.
+        order = np.lexsort((first_pos, -strength))
+        ordered = cand[order]
+        ordered_strength = strength[order]
+        if cap is not None:
+            ordered = ordered[:cap]
+            ordered_strength = ordered_strength[:cap]
+
+        # Top up with globally frequent values (the domain prior); a
+        # truncated context candidate re-entering here keeps its
+        # accumulated strength for the cap re-sort.
+        domain = self.domain_codes[attr]
+        top = domain[:cap] if cap is not None else domain
+        scratch[ordered] = True
+        extra = top[~scratch[top]]
+        scratch[ordered] = False
+        if len(extra):
+            if len(cand):
+                pos = np.minimum(np.searchsorted(cand, extra), len(cand) - 1)
+                extra_strength = np.where(cand[pos] == extra, strength[pos], 0.0)
+            else:
+                extra_strength = np.zeros(len(extra), dtype=np.float64)
+            ordered = np.concatenate([ordered, extra])
+            ordered_strength = np.concatenate([ordered_strength, extra_strength])
+
+        filtered = 0
+        if cfg.use_ucs:
+            ok = self.uc_masks[attr][ordered]
+            filtered = int((~ok).sum())
+            ordered = ordered[ok]
+            ordered_strength = ordered_strength[ok]
+
+        if cap is not None and len(ordered) > cap:
+            resort = np.argsort(-ordered_strength, kind="stable")
+            ordered = ordered[resort][:cap]
+
+        if cfg.mode == InferenceMode.PARTITIONED_PRUNED:
+            ordered = self.pruner.prune_codes(
+                ordered, row_codes, attr, context_cols
+            )
+        return ordered, filtered
+
+    def _supported(
+        self,
+        attr: str,
+        code: int,
+        row_codes: np.ndarray,
+        context_cols: Sequence[int],
+        need: int,
+        value_is_null: bool,
+    ) -> bool:
+        """Co-occurrence support check (incumbent protection with
+        ``need=2``, forced-repair evidence with ``need=min_fill_support``)."""
+        if value_is_null:
+            return False
+        cooc = self.cooc
+        names = self.names
+        for k in context_cols:
+            if cooc.pair_count_codes(attr, code, names[k], int(row_codes[k])) >= need:
+                return True
+        return False

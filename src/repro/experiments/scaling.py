@@ -46,12 +46,19 @@ def run(
     row_counts: Sequence[int] = DEFAULT_ROW_COUNTS,
     variants: Sequence[str] = tuple(VARIANTS),
     seed: int = 0,
+    executor: str = "serial",
+    n_jobs: int | None = None,
 ) -> list[dict]:
     """Time fit+clean for each (variant, n_rows) pair.
 
     Returns one row per pair with seconds, F1 (quality must not
     collapse while we speed up), and the per-variant work counters that
     explain the speedup (cells skipped, candidates evaluated).
+
+    ``executor``/``n_jobs`` select the sharded execution backend for the
+    *optimised* variants (the basic reference row always runs the
+    scalar oracle — its cost shape is the thing being measured), so the
+    sweep can also chart multi-core scaling.
     """
     unknown = set(variants) - set(VARIANTS)
     if unknown:
@@ -60,7 +67,10 @@ def run(
     for n_rows in row_counts:
         instance = load_benchmark(dataset, n_rows=n_rows, seed=seed)
         for name in variants:
-            config = VARIANTS[name]()
+            if name == "BClean":
+                config = VARIANTS[name]()
+            else:
+                config = VARIANTS[name](executor=executor, n_jobs=n_jobs)
             start = time.perf_counter()
             engine = BClean(config, instance.constraints)
             engine.fit(instance.dirty, dag=instance.user_network())
@@ -80,6 +90,9 @@ def run(
                     "f1": round(quality.f1, 3),
                     "cells_skipped": result.stats.cells_skipped_pruning,
                     "candidates": result.stats.candidates_evaluated,
+                    "executor": result.diagnostics.get("exec", {}).get(
+                        "executor", "scalar"
+                    ),
                 }
             )
     return rows

@@ -247,9 +247,16 @@ class TestCleanCommand:
 
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self, dirty_csv, tmp_path):
+        import os
         import subprocess
         import sys
+        from pathlib import Path
 
+        # The pytest-ini pythonpath does not reach subprocesses: export
+        # src explicitly so the test passes without a PYTHONPATH prefix.
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         out_path = tmp_path / "cleaned.csv"
         proc = subprocess.run(
             [
@@ -263,6 +270,7 @@ class TestModuleEntryPoint:
             ],
             capture_output=True,
             text=True,
+            env=env,
         )
         assert proc.returncode == 0, proc.stderr
         assert out_path.exists()

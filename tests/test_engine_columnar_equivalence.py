@@ -107,16 +107,31 @@ def test_mutated_fitted_table_falls_back_to_scalar():
         assert r.old_value != r.new_value
 
 
-def test_foreign_table_falls_back_to_scalar():
-    """Cleaning a table other than the fitted one cannot use the interned
-    statistics; the scalar path takes over transparently."""
+def test_foreign_table_stays_columnar_and_matches_scalar():
+    """Cleaning a table other than the fitted one stays on the fast path
+    through incremental encoding and must match the scalar oracle."""
     instance = load_benchmark("hospital", n_rows=60, seed=0)
     engine = BClean(BCleanConfig.pi(), instance.constraints)
     engine.fit(instance.dirty)
     other = instance.dirty.copy()
     result = engine.clean(other)
-    assert result.diagnostics["columnar"] is False
+    assert result.diagnostics["columnar"] is True
+    assert result.diagnostics["exec"]["incremental_encoding"] is True
     assert result.stats.cells_total == other.n_cells
+
+    oracle_engine = BClean(
+        BCleanConfig.pi(use_columnar=False), instance.constraints
+    )
+    oracle_engine.fit(instance.dirty)
+    oracle = oracle_engine.clean(other)
+    assert [
+        (r.row, r.attribute, r.old_value, r.new_value) for r in result.repairs
+    ] == [
+        (r.row, r.attribute, r.old_value, r.new_value) for r in oracle.repairs
+    ]
+    for got, want in zip(result.repairs, oracle.repairs):
+        assert got.old_score == pytest.approx(want.old_score, abs=1e-9)
+        assert got.new_score == pytest.approx(want.new_score, abs=1e-9)
 
 
 def test_foreign_table_larger_than_fitted():

@@ -7,6 +7,7 @@ output present.  The deliberately slow demos (soccer_scaling, the full
 hospital pipeline) are exercised by the benchmark suite instead.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -14,6 +15,13 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: subprocesses don't inherit the pytest-ini pythonpath — export src so
+#: the smoke tests pass without a manual PYTHONPATH prefix
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = (
+    str(EXAMPLES.parent / "src") + os.pathsep + _ENV.get("PYTHONPATH", "")
+)
 
 FAST_EXAMPLES = {
     "quickstart.py": "Repairs",
@@ -32,6 +40,7 @@ def test_example_runs(script, marker):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_ENV,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert marker.lower() in proc.stdout.lower(), (
