@@ -100,6 +100,70 @@ class CPT:
             self.observe(v, tuple(col[i] for col in parent_columns))
         return self
 
+    @classmethod
+    def from_coded_counts(
+        cls,
+        variable: str,
+        parent_names: Sequence[str],
+        alpha: float,
+        vocab: "AttributeVocabulary",
+        parent_vocabs: Sequence["AttributeVocabulary"],
+        child_codes: np.ndarray,
+        parent_code_cols: Sequence[np.ndarray],
+        counts: np.ndarray,
+        first_rows: np.ndarray,
+        n_rows: int,
+    ) -> "CPT":
+        """Rebuild the exact state of a row-walking :meth:`fit` from
+        distinct *(parent configuration, value)* count arrays.
+
+        ``child_codes[i] / parent_code_cols[p][i] / counts[i] /
+        first_rows[i]`` describe the i-th distinct coded family entry
+        (typically the output of
+        :func:`repro.stats.infotheory.joint_code_counts` over the coded
+        columns, or a re-sliced co-occurrence
+        :class:`~repro.core.cooccurrence.PairArrays` for single-parent
+        families).  Entries are processed in ``first_rows`` order, so
+        every dict — config counts, config totals, the marginal — gets
+        the same keys, the same integer counts, *and the same insertion
+        order* as :meth:`observe` called row by row; the result is
+        indistinguishable from the scalar estimate.
+        """
+        if len(parent_vocabs) != len(parent_names) or len(parent_code_cols) != len(
+            parent_names
+        ):
+            raise CPTError(
+                f"expected {len(parent_names)} parent vocabularies/columns"
+            )
+        cpt = cls(variable, parent_names, alpha=alpha)
+        order = np.argsort(np.asarray(first_rows), kind="stable")
+        child_list = np.asarray(child_codes)[order].tolist()
+        parent_lists = [np.asarray(c)[order].tolist() for c in parent_code_cols]
+        count_list = np.asarray(counts)[order].tolist()
+        child_keys = vocab.keys()
+        parent_keys = [pv.keys() for pv in parent_vocabs]
+        config_cache: dict[tuple, tuple] = {}
+        config_counts = cpt._config_counts
+        config_totals = cpt._config_totals
+        marginal = cpt._marginal
+        for i, (ccode, cnt) in enumerate(zip(child_list, count_list)):
+            codes = tuple(col[i] for col in parent_lists)
+            config = config_cache.get(codes)
+            if config is None:
+                config = tuple(
+                    pk[c] for pk, c in zip(parent_keys, codes)
+                )
+                config_cache[codes] = config
+            vk = child_keys[ccode]
+            counter = config_counts.get(config)
+            if counter is None:
+                counter = config_counts[config] = Counter()
+            counter[vk] += cnt
+            config_totals[config] = config_totals.get(config, 0) + cnt
+            marginal[vk] += cnt
+        cpt._n = n_rows
+        return cpt
+
     # -- queries ------------------------------------------------------------------
 
     @property
@@ -242,7 +306,7 @@ class CodedCPT:
         self.n_values = n_values
         alpha = cpt.alpha
         d = cpt.domain_size
-        keys = [cell_key(vocab.decode(code)) for code in range(n_values)]
+        keys = vocab.keys()
 
         def encode_config(config: tuple) -> int:
             fused = 0

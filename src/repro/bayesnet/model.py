@@ -20,7 +20,7 @@ numpy slicing over integer codes.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -29,6 +29,10 @@ from repro.bayesnet.dag import DAG
 from repro.dataset.encoding import TableEncoding
 from repro.dataset.table import Table
 from repro.errors import InferenceError
+from repro.stats.infotheory import joint_code_counts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a layering cycle)
+    from repro.core.cooccurrence import CooccurrenceIndex
 
 
 class DiscreteBayesNet:
@@ -63,6 +67,92 @@ class DiscreteBayesNet:
         cpt = CPT(node, parents, alpha=alpha)
         cpt.fit(table.column(node), [table.column(p) for p in parents])
         return cpt
+
+    @classmethod
+    def fit_columnar(
+        cls,
+        table: Table,
+        dag: DAG,
+        alpha: float = 1.0,
+        *,
+        encoding: TableEncoding,
+        cooc: "CooccurrenceIndex | None" = None,
+        family_arrays: Mapping[
+            str, tuple[tuple[np.ndarray, ...], np.ndarray, np.ndarray]
+        ]
+        | None = None,
+    ) -> "DiscreteBayesNet":
+        """Estimate all CPTs from the *integer-coded* columns of ``table``.
+
+        Counts come from one fused-code ``numpy`` pass per family
+        (:func:`~repro.stats.infotheory.joint_code_counts`) instead of a
+        per-row dict walk; :meth:`CPT.from_coded_counts` then rebuilds
+        the exact scalar dict state, so the returned network is
+        indistinguishable from :meth:`fit` on the same inputs — the
+        scalar path remains the oracle this one is tested against.
+
+        Parameters
+        ----------
+        table:
+            The fitted table (must be the table ``encoding`` interned).
+        encoding:
+            Shared interning of ``table``; every DAG node must be one of
+            its attributes (the singleton composition).
+        cooc:
+            Optional co-occurrence index built over the *same*
+            ``encoding``.  Single-parent families are then re-sliced
+            from its already-built pair arrays — no second pass over the
+            rows for the most common family shape.
+        family_arrays:
+            Optional precomputed count arrays per node (the sharded
+            parallel fit of :mod:`repro.exec.fit` passes these); nodes
+            not present are counted inline.
+        """
+        unknown = set(dag.nodes) - set(encoding.names)
+        if unknown:
+            raise InferenceError(
+                f"DAG nodes {sorted(unknown)} are not attributes of the "
+                "encoded table"
+            )
+        if table.n_rows != encoding.n_rows:
+            raise InferenceError(
+                "encoding does not describe the fitted table "
+                f"({encoding.n_rows} coded rows vs {table.n_rows})"
+            )
+        if cooc is not None and cooc.encoding is not encoding:
+            cooc = None
+        cpts: dict[str, CPT] = {}
+        for node in dag.nodes:
+            parents = dag.parents(node)
+            payload = None
+            if family_arrays is not None:
+                payload = family_arrays.get(node)
+            if payload is None and len(parents) == 1 and cooc is not None:
+                stats = cooc.pair_stats(node, parents[0])
+                if stats is not None:
+                    payload = (
+                        (stats.keys // stats.card_b, stats.keys % stats.card_b),
+                        stats.raw,
+                        stats.first_row,
+                    )
+            if payload is None:
+                payload = joint_code_counts(
+                    [encoding.codes(node), *(encoding.codes(p) for p in parents)]
+                )
+            uniq, counts, first = payload
+            cpts[node] = CPT.from_coded_counts(
+                node,
+                parents,
+                alpha,
+                encoding.vocab(node),
+                [encoding.vocab(p) for p in parents],
+                uniq[0],
+                uniq[1:],
+                counts,
+                first,
+                n_rows=encoding.n_rows,
+            )
+        return cls(dag, cpts, alpha)
 
     def refit_nodes(self, table: Table, nodes: Sequence[str]) -> None:
         """Re-estimate only the CPTs of ``nodes`` (after a structure edit)."""

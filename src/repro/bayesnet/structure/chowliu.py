@@ -3,9 +3,18 @@
 The "tree search" family mentioned in §4 ("necessitates specifying the
 root state").  Builds the maximum-spanning tree of pairwise mutual
 information and orients edges away from a chosen root.
+
+Mutual information comes from the shared coded-count kernel of
+:mod:`repro.stats.infotheory`: columns are interned to integer codes
+once (reusing a caller-provided
+:class:`~repro.dataset.encoding.TableEncoding` when available) and every
+pairwise MI is one fused ``numpy.unique`` pass, with per-attribute
+entropies computed once instead of per pair.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
@@ -13,10 +22,17 @@ from repro.bayesnet.cpt import cell_key
 from repro.bayesnet.dag import DAG
 from repro.dataset.table import Table
 from repro.errors import StructureLearningError
-from repro.stats.infotheory import mutual_information
+from repro.stats.infotheory import codes_of, entropy_codes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataset.encoding import TableEncoding
 
 
-def chow_liu_tree(table: Table, root: str | None = None) -> DAG:
+def chow_liu_tree(
+    table: Table,
+    root: str | None = None,
+    encoding: "TableEncoding | None" = None,
+) -> DAG:
     """Learn a tree-structured BN by the Chow–Liu algorithm.
 
     Parameters
@@ -26,6 +42,9 @@ def chow_liu_tree(table: Table, root: str | None = None) -> DAG:
     root:
         Node to orient the tree away from.  Defaults to the first
         attribute (the §4 critique: the user must pick a root).
+    encoding:
+        Optional interning of ``table``; its coded columns are used
+        directly instead of re-factorizing every column.
     """
     names = table.schema.names
     if not names:
@@ -35,13 +54,22 @@ def chow_liu_tree(table: Table, root: str | None = None) -> DAG:
     if root not in names:
         raise StructureLearningError(f"root {root!r} is not an attribute")
 
-    columns = {n: [cell_key(v) for v in table.column(n)] for n in names}
+    if encoding is not None and encoding.matches(table):
+        columns = {n: encoding.codes(n) for n in names}
+    else:
+        columns = {
+            n: codes_of([cell_key(v) for v in table.column(n)]) for n in names
+        }
+    entropies = {n: entropy_codes(columns[n]) for n in names}
 
     g = nx.Graph()
     g.add_nodes_from(names)
     for i, a in enumerate(names):
         for b in names[i + 1 :]:
-            mi = mutual_information(columns[a], columns[b])
+            mi = max(
+                0.0,
+                entropies[a] + entropies[b] - entropy_codes(columns[a], columns[b]),
+            )
             g.add_edge(a, b, weight=mi)
 
     mst = nx.maximum_spanning_tree(g, weight="weight")

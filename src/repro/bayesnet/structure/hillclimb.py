@@ -14,11 +14,15 @@ re-evaluates the affected families.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.bayesnet.dag import DAG
 from repro.bayesnet.structure.scores import FamilyScore, make_score
 from repro.dataset.table import Table
 from repro.errors import CycleError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataset.encoding import TableEncoding
 
 
 @dataclass
@@ -37,6 +41,7 @@ def hill_climb(
     max_parents: int = 3,
     max_iter: int = 200,
     epsilon: float = 1e-9,
+    encoding: "TableEncoding | None" = None,
 ) -> HillClimbResult:
     """Learn a DAG by greedy local search from the empty graph.
 
@@ -54,8 +59,17 @@ def hill_climb(
         Maximum number of accepted moves.
     epsilon:
         Minimum score improvement to accept a move.
+    encoding:
+        Optional :class:`~repro.dataset.encoding.TableEncoding` of
+        ``table``: family counting then rides the coded fast path
+        (bit-identical scores, so the same DAG).  Ignored when ``score``
+        is a pre-built instance.
     """
-    scorer = make_score(score, table) if isinstance(score, str) else score
+    scorer = (
+        make_score(score, table, encoding=encoding)
+        if isinstance(score, str)
+        else score
+    )
     nodes = table.schema.names
     dag = DAG(nodes)
     current = {n: scorer.family(n, ()) for n in nodes}

@@ -27,13 +27,18 @@ import itertools
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.bayesnet.cpt import cell_key
 from repro.bayesnet.dag import DAG
 from repro.bayesnet.structure.scores import FamilyScore, make_score
 from repro.dataset.table import Table
 from repro.errors import StructureLearningError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataset.encoding import TableEncoding
 
 try:  # scipy is an install requirement, but degrade to a normal bound
     from scipy.stats import chi2 as _chi2
@@ -52,18 +57,72 @@ class MMHCResult:
     n_moves_evaluated: int = 0
 
 
-def g2_statistic(
-    table: Table,
-    x: str,
-    y: str,
-    conditioning: Sequence[str] = (),
+def g2_statistic_codes(
+    xc: np.ndarray, yc: np.ndarray, zcols: Sequence[np.ndarray] = ()
 ) -> tuple[float, int]:
-    """G² statistic and degrees of freedom for ``x ⟂ y | conditioning``.
+    """G² statistic and degrees of freedom from integer-coded columns.
 
-    ``G² = 2 Σ n_xyz · log(n_xyz · n_z / (n_xz · n_yz))`` over observed
-    cells, with ``df = (|X|−1)(|Y|−1)·Π|Z|`` computed from observed
-    support per conditioning stratum.
+    One fused ``numpy.unique`` pass yields the observed (x, y, z) cells;
+    margins are then group sums *over the distinct cells* (arrays sized
+    by the number of observed cells, never by the code space), and the
+    statistic is a single vectorised ``Σ 2·n·log(n/expected)``.  The
+    value is within ~1e-12 of the reference dict walk (numpy summation
+    order and ``np.log`` vs ``math.log``); the regression suite pins the
+    two against each other.
     """
+    n = len(xc)
+    if n == 0:
+        return 0.0, 1
+    # Fuse the conditioning columns into dense stratum ids one at a
+    # time, densifying after every step: each fuse then multiplies two
+    # cardinalities bounded by n, so arbitrary conditioning sets (and
+    # arbitrarily large codes) can never overflow the int64 key space.
+    nz = 1
+    zd = np.zeros(n, dtype=np.int64)
+    for col in zcols or ():
+        cu, ci = np.unique(col, return_inverse=True)
+        strata, zd = np.unique(
+            zd * len(cu) + ci.reshape(-1), return_inverse=True
+        )
+        zd = zd.reshape(-1)
+        nz = len(strata)
+    cx = int(xc.max()) + 1
+    cy = int(yc.max()) + 1
+    if nz * cx * cy > 2**62:
+        # Near-key columns on huge tables: densify x and y too.
+        xc = np.unique(xc, return_inverse=True)[1].reshape(-1)
+        yc = np.unique(yc, return_inverse=True)[1].reshape(-1)
+        cx = int(xc.max()) + 1
+        cy = int(yc.max()) + 1
+    cell = (zd * cx + xc) * cy + yc
+    keys, n_xyz = np.unique(cell, return_counts=True)
+
+    # Decompose the distinct cells and group-sum the margins over them.
+    ky = keys % cy
+    kzx = keys // cy
+    kz = kzx // cx
+    xz_keys, xz_inv = np.unique(kzx, return_inverse=True)
+    m_xz = np.bincount(xz_inv, weights=n_xyz)
+    yz_id = kz * cy + ky
+    yz_keys, yz_inv = np.unique(yz_id, return_inverse=True)
+    m_yz = np.bincount(yz_inv, weights=n_xyz)
+    m_z = np.bincount(kz, weights=n_xyz, minlength=nz)
+
+    expected = m_xz[xz_inv] * m_yz[yz_inv] / m_z[kz]
+    g2 = 2.0 * float(np.sum(n_xyz * np.log(n_xyz / expected)))
+
+    # df from observed support per stratum: distinct x (resp. y) per z.
+    cnt_x = np.bincount(xz_keys // cx, minlength=nz)
+    cnt_y = np.bincount(yz_keys // cy, minlength=nz)
+    df = int(np.sum(np.maximum(0, cnt_x - 1) * np.maximum(0, cnt_y - 1)))
+    return max(0.0, g2), max(1, df)
+
+
+def _g2_statistic_reference(
+    table: Table, x: str, y: str, conditioning: Sequence[str]
+) -> tuple[float, int]:
+    """The value-level reference walk (the oracle the coded path is
+    pinned against): per-row ``Counter`` accumulation over cell keys."""
     xs = [cell_key(v) for v in table.column(x)]
     ys = [cell_key(v) for v in table.column(y)]
     zcols = [[cell_key(v) for v in table.column(z)] for z in conditioning]
@@ -97,11 +156,40 @@ def g2_statistic(
     return max(0.0, g2), max(1, df)
 
 
+def g2_statistic(
+    table: Table,
+    x: str,
+    y: str,
+    conditioning: Sequence[str] = (),
+    encoding: "TableEncoding | None" = None,
+) -> tuple[float, int]:
+    """G² statistic and degrees of freedom for ``x ⟂ y | conditioning``.
+
+    ``G² = 2 Σ n_xyz · log(n_xyz · n_z / (n_xz · n_yz))`` over observed
+    cells, with ``df = (|X|−1)(|Y|−1)·Π|Z|`` computed from observed
+    support per conditioning stratum.
+
+    With a matching ``encoding`` the test runs on the coded fast path
+    (:func:`g2_statistic_codes`); without one it takes the value-level
+    reference walk, which is the oracle the fast path's regression tests
+    pin against (degrees of freedom are integer-identical; the statistic
+    agrees to ~1e-12).
+    """
+    if encoding is not None and encoding.matches(table):
+        cols = [encoding.codes(a) for a in (x, y, *conditioning)]
+        return g2_statistic_codes(cols[0], cols[1], cols[2:])
+    return _g2_statistic_reference(table, x, y, conditioning)
+
+
 def independence_p_value(
-    table: Table, x: str, y: str, conditioning: Sequence[str] = ()
+    table: Table,
+    x: str,
+    y: str,
+    conditioning: Sequence[str] = (),
+    encoding: "TableEncoding | None" = None,
 ) -> float:
     """p-value of the G² conditional-independence test."""
-    g2, df = g2_statistic(table, x, y, conditioning)
+    g2, df = g2_statistic(table, x, y, conditioning, encoding=encoding)
     if _chi2 is not None:
         return float(_chi2.sf(g2, df))
     # Fallback: Wilson–Hilferty cube-root normal approximation.
@@ -112,21 +200,48 @@ def independence_p_value(
 
 
 class _AssocCache:
-    """Memoised min-association bookkeeping for the MMPC phase."""
+    """Memoised min-association bookkeeping for the MMPC phase.
 
-    def __init__(self, table: Table, alpha: float, max_condition: int):
+    The encoding is validated against the table **once** here — the
+    per-test hot loop then reads the coded columns directly instead of
+    re-running the O(cells) ``matches`` scan on every G² test.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alpha: float,
+        max_condition: int,
+        encoding: "TableEncoding | None" = None,
+    ):
         self.table = table
         self.alpha = alpha
         self.max_condition = max_condition
+        self._columns: dict[str, np.ndarray] | None = None
+        if encoding is not None and encoding.matches(table):
+            self._columns = {
+                n: encoding.codes(n) for n in table.schema.names
+            }
         self.tests = 0
         self._cache: dict[tuple, float] = {}
+
+    def _p_value(self, x: str, y: str, conditioning: tuple[str, ...]) -> float:
+        if self._columns is None:
+            return independence_p_value(self.table, x, y, conditioning)
+        cols = self._columns
+        g2, df = g2_statistic_codes(
+            cols[x], cols[y], [cols[z] for z in conditioning]
+        )
+        if _chi2 is not None:
+            return float(_chi2.sf(g2, df))
+        return independence_p_value(self.table, x, y, conditioning)
 
     def assoc(self, x: str, y: str, conditioning: tuple[str, ...]) -> float:
         """Association = 1 − p-value (0 when independent at level α)."""
         key = (x, y, tuple(sorted(conditioning)))
         if key not in self._cache:
             self.tests += 1
-            p = independence_p_value(self.table, x, y, conditioning)
+            p = self._p_value(x, y, conditioning)
             self._cache[key] = 0.0 if p > self.alpha else 1.0 - p
         return self._cache[key]
 
@@ -147,6 +262,7 @@ def mmpc(
     alpha: float = 0.05,
     max_condition: int = 2,
     cache: _AssocCache | None = None,
+    encoding: "TableEncoding | None" = None,
 ) -> set[str]:
     """Candidate parents-and-children of ``target`` (MMPC).
 
@@ -155,7 +271,7 @@ def mmpc(
     """
     if target not in table.schema.names:
         raise StructureLearningError(f"unknown attribute {target!r}")
-    cache = cache or _AssocCache(table, alpha, max_condition)
+    cache = cache or _AssocCache(table, alpha, max_condition, encoding)
     others = [n for n in table.schema.names if n != target]
 
     cpc: list[str] = []
@@ -187,6 +303,7 @@ def mmhc(
     max_condition: int = 2,
     max_parents: int = 3,
     max_iter: int = 200,
+    encoding: "TableEncoding | None" = None,
 ) -> MMHCResult:
     """Max-min hill-climbing: MMPC skeleton + constrained greedy search.
 
@@ -205,6 +322,10 @@ def mmhc(
         In-degree cap of the hill-climbing phase.
     max_iter:
         Maximum number of accepted hill-climbing moves.
+    encoding:
+        Optional :class:`~repro.dataset.encoding.TableEncoding` of
+        ``table``: both the G² tests and the family scores then ride the
+        coded fast path.  Ignored when ``score`` is a pre-built instance.
     """
     if not 0.0 < alpha < 1.0:
         raise StructureLearningError(f"alpha must be in (0, 1), got {alpha}")
@@ -212,7 +333,7 @@ def mmhc(
     if len(nodes) < 2:
         raise StructureLearningError("need at least two attributes")
 
-    cache = _AssocCache(table, alpha, max_condition)
+    cache = _AssocCache(table, alpha, max_condition, encoding)
     cpc = {
         n: mmpc(table, n, alpha, max_condition, cache) for n in nodes
     }
@@ -221,7 +342,11 @@ def mmhc(
         n: {y for y in cpc[n] if n in cpc[y]} for n in nodes
     }
 
-    scorer = make_score(score, table) if isinstance(score, str) else score
+    scorer = (
+        make_score(score, table, encoding=encoding)
+        if isinstance(score, str)
+        else score
+    )
     dag = DAG(nodes)
     current = {n: scorer.family(n, ()) for n in nodes}
     n_eval = 0

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from scipy import stats as scipy_stats
 
@@ -22,7 +23,10 @@ from repro.bayesnet.cpt import cell_key
 from repro.bayesnet.dag import DAG
 from repro.dataset.table import Table
 from repro.errors import CycleError
-from repro.stats.infotheory import g_statistic
+from repro.stats.infotheory import codes_of, g_statistic_codes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataset.encoding import TableEncoding
 
 
 @dataclass
@@ -38,6 +42,7 @@ def pc_algorithm(
     table: Table,
     alpha: float = 0.05,
     max_condition_size: int = 2,
+    encoding: "TableEncoding | None" = None,
 ) -> PCResult:
     """Learn a DAG with the PC algorithm.
 
@@ -51,9 +56,17 @@ def pc_algorithm(
     max_condition_size:
         Cap on the size of conditioning sets (categorical columns make
         large conditioning sets statistically meaningless anyway).
+    encoding:
+        Optional interning of ``table``; the G-tests then run on its
+        coded columns directly (same statistics, no per-test hashing).
     """
     names = table.schema.names
-    columns = {n: [cell_key(v) for v in table.column(n)] for n in names}
+    if encoding is not None and encoding.matches(table):
+        columns = {n: encoding.codes(n) for n in names}
+    else:
+        columns = {
+            n: codes_of([cell_key(v) for v in table.column(n)]) for n in names
+        }
 
     adjacent: dict[str, set[str]] = {
         n: {m for m in names if m != n} for n in names
@@ -64,12 +77,8 @@ def pc_algorithm(
     def independent(x: str, y: str, cond: tuple[str, ...]) -> bool:
         nonlocal n_tests
         n_tests += 1
-        zs = (
-            None
-            if not cond
-            else [tuple(columns[c][i] for c in cond) for i in range(table.n_rows)]
-        )
-        g, dof = g_statistic(columns[x], columns[y], zs)
+        zcols = None if not cond else [columns[c] for c in cond]
+        g, dof = g_statistic_codes(columns[x], columns[y], zcols)
         p_value = scipy_stats.chi2.sf(g, dof)
         return p_value > alpha
 

@@ -4,16 +4,35 @@ Hill-climbing (the pgmpy-style baseline the paper contrasts with, §4)
 needs a score that decomposes over families ``(node, parents)``.  We
 implement BIC, K2, and BDeu with a per-family cache so that local search
 only re-scores the families an operator touches.
+
+Family counting has two interchangeable paths:
+
+- the **coded fast path** (pass ``encoding=`` — a
+  :class:`~repro.dataset.encoding.TableEncoding` of the same table): one
+  fused-code pass of
+  :func:`~repro.stats.infotheory.joint_code_counts` per family, with the
+  distinct entries decoded back into the very same ``dict[config,
+  Counter]`` shape (same keys, same integer counts, same insertion
+  order) the row walk would build, so every score below is
+  *bit-identical* across the two paths;
+- the **value-level reference path** (no encoding, or one that no
+  longer matches the table): the original per-row ``cell_key`` walk.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from repro.bayesnet.cpt import cell_key
 from repro.dataset.table import Table
+from repro.stats.infotheory import joint_code_counts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataset.encoding import TableEncoding
 
 _LGAMMA = math.lgamma
 
@@ -21,7 +40,8 @@ _LGAMMA = math.lgamma
 def _family_counts(
     table: Table, node: str, parents: Sequence[str]
 ) -> tuple[dict[tuple, Counter], int]:
-    """Co-occurrence counts of ``node`` values per parent configuration."""
+    """Co-occurrence counts of ``node`` values per parent configuration
+    (the value-level reference walk)."""
     child = [cell_key(v) for v in table.column(node)]
     pcols = [[cell_key(v) for v in table.column(p)] for p in parents]
     counts: dict[tuple, Counter] = {}
@@ -32,11 +52,24 @@ def _family_counts(
 
 
 class FamilyScore:
-    """Base class: a cached decomposable family score over one table."""
+    """Base class: a cached decomposable family score over one table.
 
-    def __init__(self, table: Table):
+    Parameters
+    ----------
+    table:
+        Training data.
+    encoding:
+        Optional interning of ``table``; when given (and still matching
+        the table), family counts come from the coded fast path.
+    """
+
+    def __init__(self, table: Table, encoding: "TableEncoding | None" = None):
         self.table = table
+        if encoding is not None and not encoding.matches(table):
+            encoding = None
+        self.encoding = encoding
         self._cache: dict[tuple[str, tuple[str, ...]], float] = {}
+        self._r_cache: dict[str, int] = {}
 
     def family(self, node: str, parents: Sequence[str]) -> float:
         """Score of the family ``node | parents`` (cached)."""
@@ -49,6 +82,35 @@ class FamilyScore:
         """Score of a whole structure: sum of family scores."""
         return sum(self.family(n, dag.parents(n)) for n in dag.nodes)
 
+    def family_counts(
+        self, node: str, parents: Sequence[str]
+    ) -> tuple[dict[tuple, Counter], int]:
+        """Counts of ``node`` values per parent configuration, plus the
+        child cardinality ``r`` — from the coded fast path when an
+        encoding is attached, bit-compatible with the reference walk."""
+        enc = self.encoding
+        if enc is None:
+            return _family_counts(self.table, node, parents)
+        uniq, cnts, _ = joint_code_counts(
+            [enc.codes(node), *(enc.codes(p) for p in parents)]
+        )
+        child_keys = enc.vocab(node).keys()
+        parent_keys = [enc.vocab(p).keys() for p in parents]
+        child_col = uniq[0].tolist()
+        parent_cols = [c.tolist() for c in uniq[1:]]
+        count_list = cnts.tolist()
+        counts: dict[tuple, Counter] = {}
+        for i, (ccode, cnt) in enumerate(zip(child_col, count_list)):
+            config = tuple(
+                pk[col[i]] for pk, col in zip(parent_keys, parent_cols)
+            )
+            counts.setdefault(config, Counter())[child_keys[ccode]] += cnt
+        r = self._r_cache.get(node)
+        if r is None:
+            r = len(np.unique(enc.codes(node)))
+            self._r_cache[node] = r
+        return counts, r
+
     def _score(self, node: str, parents: tuple[str, ...]) -> float:
         raise NotImplementedError
 
@@ -57,7 +119,7 @@ class BICScore(FamilyScore):
     """Bayesian information criterion: log-likelihood − ½·k·log n."""
 
     def _score(self, node: str, parents: tuple[str, ...]) -> float:
-        counts, r = _family_counts(self.table, node, parents)
+        counts, r = self.family_counts(node, parents)
         n = self.table.n_rows
         loglik = 0.0
         for config_counts in counts.values():
@@ -73,7 +135,7 @@ class K2Score(FamilyScore):
     """Cooper–Herskovits K2 marginal likelihood (uniform Dirichlet prior)."""
 
     def _score(self, node: str, parents: tuple[str, ...]) -> float:
-        counts, r = _family_counts(self.table, node, parents)
+        counts, r = self.family_counts(node, parents)
         r = max(1, r)
         score = 0.0
         for config_counts in counts.values():
@@ -93,14 +155,21 @@ class BDeuScore(FamilyScore):
         Data.
     equivalent_sample_size:
         The BDeu prior strength (default 1.0).
+    encoding:
+        Optional interning of ``table`` (coded counting fast path).
     """
 
-    def __init__(self, table: Table, equivalent_sample_size: float = 1.0):
-        super().__init__(table)
+    def __init__(
+        self,
+        table: Table,
+        equivalent_sample_size: float = 1.0,
+        encoding: "TableEncoding | None" = None,
+    ):
+        super().__init__(table, encoding=encoding)
         self.ess = equivalent_sample_size
 
     def _score(self, node: str, parents: tuple[str, ...]) -> float:
-        counts, r = _family_counts(self.table, node, parents)
+        counts, r = self.family_counts(node, parents)
         r = max(1, r)
         q = max(1, len(counts))
         a_ij = self.ess / q
@@ -121,7 +190,12 @@ SCORES = {
 }
 
 
-def make_score(name: str, table: Table, **kwargs) -> FamilyScore:
+def make_score(
+    name: str,
+    table: Table,
+    encoding: "TableEncoding | None" = None,
+    **kwargs,
+) -> FamilyScore:
     """Factory: ``make_score("bic", table)``."""
     try:
         cls = SCORES[name.lower()]
@@ -129,4 +203,4 @@ def make_score(name: str, table: Table, **kwargs) -> FamilyScore:
         raise ValueError(
             f"unknown score {name!r}; choose from {sorted(SCORES)}"
         ) from exc
-    return cls(table, **kwargs)
+    return cls(table, encoding=encoding, **kwargs)

@@ -82,6 +82,7 @@ def _engine_config(args: argparse.Namespace) -> BCleanConfig:
         executor=args.executor,
         n_jobs=args.jobs,
         shard_size=args.shard_size,
+        fit_executor=args.fit_executor,
     )
 
 
@@ -261,12 +262,20 @@ def build_parser() -> argparse.ArgumentParser:
             "(all backends produce identical repairs)",
         )
         p.add_argument(
+            "--fit-executor",
+            choices=["serial", "thread", "process"],
+            default="serial",
+            help="worker backend for the sharded fit work (pairwise "
+            "co-occurrence builds and CPT counting; identical "
+            "statistics on every backend)",
+        )
+        p.add_argument(
             "--jobs",
             type=int,
             default=None,
             metavar="N",
-            help="worker count for --executor thread/process "
-            "(default: the machine's CPU count)",
+            help="worker count for --executor/--fit-executor "
+            "thread/process (default: the machine's CPU count)",
         )
         p.add_argument(
             "--shard-size",

@@ -124,6 +124,17 @@ class BCleanConfig:
         Fixed number of competitions per shard; ``None`` (default)
         lets the planner cut cost-balanced shards from the estimated
         candidate-pool sizes.
+    fit_executor:
+        Worker backend for the sharded *fit* work (same choices and
+        trade-offs as ``executor``): the per-attribute-pair
+        co-occurrence builds and per-node CPT count passes — independent
+        by construction — are planned and dispatched through the
+        :mod:`repro.exec` subsystem.  Only applies on the columnar fit
+        path (``use_columnar`` with the singleton composition); the
+        fitted statistics are byte-identical for every backend.
+        Structure learning itself stays in-process (its search loops are
+        sequential), so the parallel win is bounded by the counting
+        share of fit.
     smoothing_alpha:
         Laplace pseudo-count of the CPTs.
     fdx:
@@ -155,6 +166,7 @@ class BCleanConfig:
     executor: str = "serial"
     n_jobs: int | None = None
     shard_size: int | None = None
+    fit_executor: str = "serial"
     smoothing_alpha: float = 0.1
     fdx: FDXConfig = field(default_factory=FDXConfig)
     structure: str = "fdx"
@@ -171,6 +183,11 @@ class BCleanConfig:
             raise CleaningError(
                 f"executor must be 'serial', 'thread', or 'process', "
                 f"got {self.executor!r}"
+            )
+        if self.fit_executor not in ("serial", "thread", "process"):
+            raise CleaningError(
+                f"fit_executor must be 'serial', 'thread', or 'process', "
+                f"got {self.fit_executor!r}"
             )
         if self.n_jobs is not None and self.n_jobs < 1:
             raise CleaningError(f"n_jobs must be positive, got {self.n_jobs}")

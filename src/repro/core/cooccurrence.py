@@ -154,6 +154,51 @@ class PairArrays:
         return len(self.keys)
 
 
+def confidence_weights(
+    confidences: Sequence[float] | None,
+    tau: float,
+    beta: float,
+    n_rows: int,
+) -> np.ndarray:
+    """Algorithm 2's per-row accumulator weights: +1 for reliable tuples
+    (conf ≥ τ), −β otherwise; all-ones when no confidences exist."""
+    if confidences is None:
+        return np.ones(n_rows, dtype=np.float64)
+    return np.where(
+        np.asarray(confidences, dtype=np.float64) >= tau, 1.0, -beta
+    )
+
+
+def build_pair_arrays(
+    codes_a: np.ndarray,
+    card_a: int,
+    codes_b: np.ndarray,
+    card_b: int,
+    weights: np.ndarray,
+) -> tuple[PairArrays, PairArrays]:
+    """Build both directions of one attribute pair's statistics.
+
+    One fused ``numpy.unique`` pass over the rows yields the forward
+    ``(a, b)`` arrays; the reverse ``(b, a)`` direction is derived by
+    re-fusing the distinct pairs — no second pass.  This is the unit of
+    work the sharded parallel fit (:mod:`repro.exec.fit`) dispatches per
+    attribute pair; the serial build below calls it in a loop, so both
+    paths are byte-identical by construction.
+    """
+    fused = codes_a * card_b + codes_b
+    keys, first, inverse, raw = np.unique(
+        fused, return_index=True, return_inverse=True, return_counts=True
+    )
+    weighted = np.bincount(inverse, weights=weights, minlength=len(keys))
+    forward = PairArrays(card_b, keys, raw, weighted, first)
+    rev = (keys % card_b) * card_a + keys // card_b
+    order = np.argsort(rev)
+    reverse = PairArrays(
+        card_a, rev[order], raw[order], weighted[order], first[order]
+    )
+    return forward, reverse
+
+
 class CooccurrenceIndex:
     """All pairwise value co-occurrence statistics of a table.
 
@@ -172,6 +217,13 @@ class CooccurrenceIndex:
     encoding:
         Optional pre-built interning of ``table`` (shared with the other
         columnar components); built internally when omitted.
+    pair_arrays:
+        Optional precomputed per-pair statistics — one
+        :class:`PairArrays` per *ordered* attribute pair, exactly as
+        :func:`build_pair_arrays` produces them (the sharded parallel
+        fit passes these).  When given, they must have been built from
+        this table's coded columns and ``confidences`` weights; the
+        serial per-pair loop is skipped.
     """
 
     def __init__(
@@ -181,18 +233,14 @@ class CooccurrenceIndex:
         tau: float = 0.5,
         beta: float = 2.0,
         encoding: TableEncoding | None = None,
+        pair_arrays: dict[tuple[str, str], PairArrays] | None = None,
     ):
         self.n_rows = table.n_rows
         self.names = table.schema.names
         self.encoding = encoding if encoding is not None else TableEncoding(table)
         n, m = self.n_rows, len(self.names)
 
-        if confidences is None:
-            weights = np.ones(n, dtype=np.float64)
-        else:
-            weights = np.where(
-                np.asarray(confidences, dtype=np.float64) >= tau, 1.0, -beta
-            )
+        weights = confidence_weights(confidences, tau, beta, n)
         self.row_weights = weights
 
         self._counts: dict[str, np.ndarray] = {
@@ -200,32 +248,42 @@ class CooccurrenceIndex:
             for a in self.names
         }
 
-        self._pair: dict[tuple[str, str], PairArrays] = {}
+        if pair_arrays is not None:
+            expected = {
+                (self.names[j], self.names[k])
+                for j in range(m)
+                for k in range(m)
+                if j != k
+            }
+            if set(pair_arrays) != expected:
+                raise ValueError(
+                    "pair_arrays must cover every ordered attribute pair"
+                )
+            self._pair = dict(pair_arrays)
+            return
+
+        self._pair = {}
         for j in range(m):
             a = self.names[j]
             codes_a = self.encoding.codes(a)
             card_a = self.encoding.card(a)
             for k in range(j + 1, m):
                 b = self.names[k]
-                codes_b = self.encoding.codes(b)
-                card_b = self.encoding.card(b)
-                fused = codes_a * card_b + codes_b
-                keys, first, inverse, raw = np.unique(
-                    fused, return_index=True, return_inverse=True, return_counts=True
-                )
-                weighted = np.bincount(
-                    inverse, weights=weights, minlength=len(keys)
-                )
-                self._pair[(a, b)] = PairArrays(card_b, keys, raw, weighted, first)
-                # Derive the reverse direction by re-fusing the unique
-                # pairs — no second pass over the rows.
-                rev = (keys % card_b) * card_a + keys // card_b
-                order = np.argsort(rev)
-                self._pair[(b, a)] = PairArrays(
-                    card_a, rev[order], raw[order], weighted[order], first[order]
+                self._pair[(a, b)], self._pair[(b, a)] = build_pair_arrays(
+                    codes_a,
+                    card_a,
+                    self.encoding.codes(b),
+                    self.encoding.card(b),
+                    weights,
                 )
 
     # -- code-level queries ---------------------------------------------------------
+
+    def pair_stats(self, attr_a: str, attr_b: str) -> PairArrays | None:
+        """The raw sorted-fused-key statistics of one ordered pair
+        (``None`` for unknown attributes or ``attr_a == attr_b``).  The
+        coded CPT fit re-slices these for single-parent families."""
+        return self._pair.get((attr_a, attr_b))
 
     def counts_array(self, attribute: str) -> np.ndarray:
         """Marginal count per code of ``attribute`` (NULL code included)."""

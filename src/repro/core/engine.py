@@ -35,6 +35,13 @@ Two cleaning paths produce identical repair decisions:
   (merged-node compositions, a foreign table with a different schema,
   or a fitted table mutated since ``fit()``).
 
+``fit()`` follows the same design: on the columnar path the
+co-occurrence build, structure-learner scores, and CPT counting all run
+from the shared coded columns — optionally sharded over the
+``BCleanConfig.fit_executor`` worker backends — and produce statistics
+byte-identical to the scalar dict-walking fit, which remains the oracle
+(see :meth:`BClean.fit`).
+
 Both paths share candidate order, tie-breaking, and float accumulation
 order; the tolerated divergences are transcendental rounding
 (``numpy``'s vectorised log/sqrt may differ from ``math``'s by 1 ulp on
@@ -65,7 +72,7 @@ from repro.core.composition import AttributeComposition
 from repro.core.compensatory import CompensatoryScorer, log_compensatory
 from repro.core.config import BCleanConfig, InferenceMode
 from repro.core.confidence import table_confidences
-from repro.core.cooccurrence import CooccurrenceIndex
+from repro.core.cooccurrence import CooccurrenceIndex, confidence_weights
 from repro.core.partition import SubNetwork, partition, partition_statistics
 from repro.core.pruning import (
     DomainPruner,
@@ -75,6 +82,7 @@ from repro.core.pruning import (
 )
 from repro.core.repairs import CleaningResult, CleaningStats, Repair, Stopwatch
 from repro.dataset.domain import DomainIndex
+from repro.dataset.encoding import TableEncoding
 from repro.dataset.table import Cell, Table, is_null
 from repro.errors import CPTError, CleaningError, InferenceError
 from repro.exec import (
@@ -84,6 +92,8 @@ from repro.exec import (
     get_backend,
     merge_shard_results,
     plan_shards,
+    sharded_family_arrays,
+    sharded_pair_arrays,
 )
 
 
@@ -110,6 +120,7 @@ class BClean:
         self.bn: DiscreteBayesNet | None = None
         self.composition: AttributeComposition | None = None
         self._fit_seconds = 0.0
+        self._fit_diag: dict = {}
 
     # -- fitting -----------------------------------------------------------------
 
@@ -120,6 +131,26 @@ class BClean:
         composition: AttributeComposition | None = None,
     ) -> "BClean":
         """Learn the BN and all statistics from the observed dataset.
+
+        With ``use_columnar`` and the default singleton composition the
+        whole fit pipeline runs on the shared
+        :class:`~repro.dataset.encoding.TableEncoding`: the
+        co-occurrence index builds from the coded columns (optionally
+        sharded over the ``fit_executor`` worker backends), the
+        structure learners score from coded family counts, and the CPTs
+        are estimated by :meth:`DiscreteBayesNet.fit_columnar` —
+        single-parent families re-sliced from the already-built pair
+        arrays, the rest counted with fused-code ``numpy`` passes
+        (sharded too under a parallel ``fit_executor``).  The scalar
+        dict-walking fit is retained as the oracle
+        (``use_columnar=False`` or merged-node compositions): CPTs are
+        byte-identical, and so are the BIC/K2/BDeu structure scores
+        (hence hillclimb/chowliu/pc DAGs).  The one tolerated
+        divergence is MMHC's vectorised G², whose statistic matches the
+        reference walk to ~1e-12 — a p-value landing within an ulp of
+        ``alpha`` could in principle flip a skeleton edge, so the
+        equivalence suite pins DAG identity empirically rather than by
+        construction there.
 
         Parameters
         ----------
@@ -137,15 +168,6 @@ class BClean:
                 table.schema.names
             )
             node_table = self.composition.node_table(table)
-            self.dag = dag if dag is not None else self._learn_structure(node_table)
-            unknown = set(self.dag.nodes) ^ set(node_table.schema.names)
-            if unknown:
-                raise CleaningError(
-                    f"DAG nodes do not match composition nodes: {sorted(unknown)}"
-                )
-            self.bn = DiscreteBayesNet.fit(
-                node_table, self.dag, alpha=self.config.smoothing_alpha
-            )
             self._node_table = node_table
 
             use_ucs = self.config.use_ucs and self.constraints.n_constraints > 0
@@ -155,13 +177,39 @@ class BClean:
                 else None
             )
             self._encoding = table.encode()
-            self.cooc = CooccurrenceIndex(
-                table,
-                self.confidences,
-                tau=self.config.tau,
-                beta=self.config.beta,
-                encoding=self._encoding,
+            columnar_fit = self.config.use_columnar and all(
+                self.composition.members(node) == (node,)
+                for node in self.composition.nodes
             )
+            fit_executor = (
+                self.config.fit_executor if columnar_fit else "serial"
+            )
+            n_jobs = self.config.n_jobs or os.cpu_count() or 1
+            self._fit_diag: dict = {}
+
+            self.cooc = self._build_cooccurrence(table, fit_executor, n_jobs)
+            # On the columnar path the composition is singleton, so the
+            # node table *is* the fitted table (shared column lists);
+            # learning from ``table`` itself lets every
+            # ``encoding.matches`` check hit the O(1) identity fast path
+            # instead of re-interning all cells.
+            self.dag = (
+                dag
+                if dag is not None
+                else self._learn_structure(
+                    table if columnar_fit else node_table,
+                    self._encoding if columnar_fit else None,
+                )
+            )
+            unknown = set(self.dag.nodes) ^ set(node_table.schema.names)
+            if unknown:
+                raise CleaningError(
+                    f"DAG nodes do not match composition nodes: {sorted(unknown)}"
+                )
+            self.bn = self._fit_network(
+                node_table, columnar_fit, fit_executor, n_jobs
+            )
+
             self.comp = CompensatoryScorer(
                 self.cooc, frequency_weight=self.config.frequency_weight
             )
@@ -179,7 +227,96 @@ class BClean:
         self._fit_seconds = timer.seconds
         return self
 
-    def _learn_structure(self, node_table: Table) -> DAG:
+    def _build_cooccurrence(
+        self, table: Table, fit_executor: str, n_jobs: int
+    ) -> CooccurrenceIndex:
+        """The co-occurrence index — per-pair builds sharded over the
+        ``fit_executor`` backends when one is configured."""
+        if fit_executor == "serial":
+            return CooccurrenceIndex(
+                table,
+                self.confidences,
+                tau=self.config.tau,
+                beta=self.config.beta,
+                encoding=self._encoding,
+            )
+        weights = confidence_weights(
+            self.confidences, self.config.tau, self.config.beta, table.n_rows
+        )
+        pairs, diag = sharded_pair_arrays(
+            self._encoding, table.schema.names, weights, fit_executor, n_jobs
+        )
+        self._fit_diag.update(
+            {
+                "fit_executor": diag["fit_executor"],
+                "n_jobs": diag["n_jobs"],
+                "pair_tasks": diag["n_pair_tasks"],
+                "pair_shards": diag["n_shards"],
+            }
+        )
+        self._merge_fit_flags(diag)
+        return CooccurrenceIndex(
+            table,
+            self.confidences,
+            tau=self.config.tau,
+            beta=self.config.beta,
+            encoding=self._encoding,
+            pair_arrays=pairs,
+        )
+
+    def _merge_fit_flags(self, diag: Mapping) -> None:
+        """Carry backend degradation flags of one fit job into the fit
+        diagnostics (sticky across the pair and CPT jobs)."""
+        for key in ("process_fallback", "ran_serially"):
+            if diag.get(key):
+                self._fit_diag[key] = True
+
+    def _fit_network(
+        self,
+        node_table: Table,
+        columnar_fit: bool,
+        fit_executor: str,
+        n_jobs: int,
+    ) -> DiscreteBayesNet:
+        """Estimate the CPTs — coded counting on the columnar path
+        (sharded per node under a parallel ``fit_executor``), the scalar
+        dict walk otherwise."""
+        alpha = self.config.smoothing_alpha
+        if not columnar_fit:
+            return DiscreteBayesNet.fit(node_table, self.dag, alpha=alpha)
+        family_arrays = None
+        if fit_executor != "serial":
+            # Dispatch only the families the assembler cannot re-slice
+            # from the co-occurrence pair arrays (single-parent ones).
+            families = [
+                (node, self.dag.parents(node))
+                for node in self.dag.nodes
+                if len(self.dag.parents(node)) != 1
+            ]
+            if families:
+                family_arrays, diag = sharded_family_arrays(
+                    self._encoding,
+                    node_table.schema.names,
+                    families,
+                    self.cooc.row_weights,
+                    fit_executor,
+                    n_jobs,
+                )
+                self._fit_diag["cpt_tasks"] = diag["n_cpt_tasks"]
+                self._fit_diag["cpt_shards"] = diag["n_shards"]
+                self._merge_fit_flags(diag)
+        return DiscreteBayesNet.fit_columnar(
+            node_table,
+            self.dag,
+            alpha=alpha,
+            encoding=self._encoding,
+            cooc=self.cooc,
+            family_arrays=family_arrays,
+        )
+
+    def _learn_structure(
+        self, node_table: Table, encoding: TableEncoding | None = None
+    ) -> DAG:
         if node_table.n_rows < 2:
             # Nothing to profile: an edge-free network makes cleaning a
             # no-op, which is the only defensible output for one row.
@@ -188,13 +325,13 @@ class BClean:
         if name == "fdx":
             return fdx_structure(node_table, self.config.fdx).dag
         if name == "hillclimb":
-            return hill_climb(node_table).dag
+            return hill_climb(node_table, encoding=encoding).dag
         if name == "chowliu":
-            return chow_liu_tree(node_table)
+            return chow_liu_tree(node_table, encoding=encoding)
         if name == "pc":
-            return pc_algorithm(node_table).dag
+            return pc_algorithm(node_table, encoding=encoding).dag
         if name == "mmhc":
-            return mmhc(node_table).dag
+            return mmhc(node_table, encoding=encoding).dag
         raise CleaningError(
             f"unknown structure learner {self.config.structure!r}"
         )
@@ -266,6 +403,8 @@ class BClean:
         }
         if self._exec_diag:
             diagnostics["exec"] = dict(self._exec_diag)
+        if self._fit_diag:
+            diagnostics["fit_exec"] = dict(self._fit_diag)
         return CleaningResult(cleaned, repairs, stats, diagnostics=diagnostics)
 
     def _columnar_applicable(self, table: Table) -> bool:

@@ -55,13 +55,14 @@ NULL_CODE = 0
 class AttributeVocabulary:
     """Dense integer codes for the distinct (keyed) values of one column."""
 
-    __slots__ = ("attribute", "_code_of", "_values", "_null_mask")
+    __slots__ = ("attribute", "_code_of", "_values", "_null_mask", "_keys")
 
     def __init__(self, attribute: str):
         self.attribute = attribute
         self._code_of: dict[object, int] = {NULL_KEY: NULL_CODE}
         self._values: list[Cell] = [None]
         self._null_mask: np.ndarray | None = None
+        self._keys: list | None = None
 
     def add(self, value: Cell) -> int:
         """Intern ``value`` and return its code (idempotent)."""
@@ -72,6 +73,7 @@ class AttributeVocabulary:
             self._code_of[key] = code
             self._values.append(value)
             self._null_mask = None
+            self._keys = None
         return code
 
     def encode(self, value: Cell) -> int:
@@ -86,6 +88,16 @@ class AttributeVocabulary:
     def size(self) -> int:
         """Number of codes (NULL included), i.e. codes are ``[0, size)``."""
         return len(self._values)
+
+    def keys(self) -> list:
+        """Canonical :func:`cell_key` of every code, aligned with codes.
+
+        Cached (and rebuilt after incremental extension); consumers must
+        treat the returned list as read-only.
+        """
+        if self._keys is None or len(self._keys) != self.size:
+            self._keys = [cell_key(v) for v in self._values]
+        return self._keys
 
     @property
     def null_mask(self) -> np.ndarray:

@@ -14,6 +14,12 @@ The subsystem turns ``BClean.clean()`` into a planned, sharded job:
 
 Every shard is a pure function of the snapshot, so all backends and
 shard counts produce byte-identical ``CleaningResult``\\ s.
+
+``fit()`` is sharded through the same planner and backends:
+:mod:`repro.exec.fit` dispatches the per-attribute-pair co-occurrence
+builds and per-node CPT count passes (``BCleanConfig.fit_executor``),
+merging results deterministically by task index — the fitted statistics
+are byte-identical to the serial build.
 """
 
 from repro.exec.backends import (
@@ -22,6 +28,13 @@ from repro.exec.backends import (
     SerialBackend,
     ThreadBackend,
     get_backend,
+)
+from repro.exec.fit import (
+    FitJobState,
+    FitShardResult,
+    run_fit_job,
+    sharded_family_arrays,
+    sharded_pair_arrays,
 )
 from repro.exec.merge import MergedDecisions, merge_shard_results
 from repro.exec.planner import (
@@ -35,6 +48,8 @@ from repro.exec.state import FitState, ShardResult
 
 __all__ = [
     "EXECUTOR_NAMES",
+    "FitJobState",
+    "FitShardResult",
     "FitState",
     "MergedDecisions",
     "OVERSUBSCRIBE",
@@ -48,4 +63,7 @@ __all__ = [
     "get_backend",
     "merge_shard_results",
     "plan_shards",
+    "run_fit_job",
+    "sharded_family_arrays",
+    "sharded_pair_arrays",
 ]

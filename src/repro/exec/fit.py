@@ -1,0 +1,248 @@
+"""Sharded fit: parallel co-occurrence pair builds and CPT count passes.
+
+PRs 1–2 made ``clean()`` columnar and sharded; this module does the same
+for the two row-pass-heavy pieces of ``fit()``:
+
+- **per-attribute-pair co-occurrence builds** (Algorithm 2): the
+  ``m·(m−1)/2`` unordered pairs are independent, and each is one
+  :func:`~repro.core.cooccurrence.build_pair_arrays` call over the coded
+  columns;
+- **per-node CPT count passes**: each family's distinct
+  *(parent-configuration, value)* counts are one
+  :func:`~repro.stats.infotheory.joint_code_counts` call — also
+  independent per node.  Single-parent families are *not* dispatched:
+  the engine re-slices them from the pair arrays built above (see
+  :meth:`~repro.bayesnet.model.DiscreteBayesNet.fit_columnar`), so their
+  counting cost is zero.
+
+Both task kinds are planned by the same cost-balanced
+:func:`~repro.exec.planner.plan_shards` used for cleaning (cost ∝ rows ×
+columns touched) and executed by the same
+:func:`~repro.exec.backends.get_backend` worker backends; the
+:class:`FitJobState` snapshot ships only the coded column arrays plus
+the task tables, and results are merged deterministically by task index
+— so the assembled statistics are byte-identical to the serial build for
+every backend and shard count (the worker runs the *same* numpy calls on
+the same arrays; only the schedule differs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cooccurrence import PairArrays, build_pair_arrays
+from repro.errors import CleaningError
+from repro.exec.backends import get_backend
+from repro.exec.planner import OVERSUBSCRIBE, Shard, plan_shards
+from repro.stats.infotheory import joint_code_counts
+
+#: planner "column" ids of the two fit task kinds
+PAIR_TASKS = 0
+CPT_TASKS = 1
+
+
+@dataclass
+class FitShardResult:
+    """Payloads of one fit shard: one result tuple per task uid.
+
+    For pair tasks the payload is ``(forward, reverse)``
+    :class:`~repro.core.cooccurrence.PairArrays`; for CPT tasks it is
+    the ``(uniq_cols, counts, first_rows)`` triple of
+    :func:`~repro.stats.infotheory.joint_code_counts`.
+    """
+
+    shard_id: int
+    column: int
+    uids: np.ndarray
+    payloads: list
+
+
+class FitJobState:
+    """Picklable snapshot of everything a fit worker needs.
+
+    Parameters
+    ----------
+    columns:
+        The coded columns in schema order (int64 arrays of equal
+        length).
+    cards:
+        Build-time vocabulary cardinality per column.
+    weights:
+        Per-row confidence weights (Algorithm 2's +1 / −β).
+    pair_tasks:
+        ``(j, k)`` column-index pairs (``j < k``) whose co-occurrence
+        arrays to build.
+    cpt_tasks:
+        ``(child, parents)`` column-index families whose distinct count
+        arrays to extract.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[np.ndarray],
+        cards: Sequence[int],
+        weights: np.ndarray,
+        pair_tasks: Sequence[tuple[int, int]],
+        cpt_tasks: Sequence[tuple[int, tuple[int, ...]]],
+    ):
+        self.columns = list(columns)
+        self.cards = list(cards)
+        self.weights = weights
+        self.pair_tasks = list(pair_tasks)
+        self.cpt_tasks = list(cpt_tasks)
+
+    def run_shard(self, shard: Shard) -> FitShardResult:
+        """Run one slice of pair builds or CPT count passes (a pure
+        function of the snapshot, like the cleaning kernel)."""
+        payloads = []
+        if shard.column == PAIR_TASKS:
+            for uid in shard.uids.tolist():
+                j, k = self.pair_tasks[uid]
+                payloads.append(
+                    build_pair_arrays(
+                        self.columns[j],
+                        self.cards[j],
+                        self.columns[k],
+                        self.cards[k],
+                        self.weights,
+                    )
+                )
+        elif shard.column == CPT_TASKS:
+            for uid in shard.uids.tolist():
+                child, parents = self.cpt_tasks[uid]
+                payloads.append(
+                    joint_code_counts(
+                        [self.columns[child], *(self.columns[p] for p in parents)]
+                    )
+                )
+        else:
+            raise CleaningError(f"unknown fit task kind {shard.column}")
+        return FitShardResult(shard.shard_id, shard.column, shard.uids, payloads)
+
+
+def run_fit_job(
+    state: FitJobState, executor: str, n_jobs: int
+) -> tuple[list, list, dict]:
+    """Plan, dispatch, and deterministically merge all fit tasks.
+
+    Returns ``(pair_payloads, cpt_payloads, diagnostics)`` where the
+    payload lists align with ``state.pair_tasks`` / ``state.cpt_tasks``.
+    Work is cut into cost-balanced shards (cost ∝ rows × columns a task
+    touches) and run by the configured backend; because every payload is
+    scattered back by its task index, the merge is independent of
+    backend, shard count, and completion order.
+    """
+    n_rows = len(state.weights)
+    work = []
+    if state.pair_tasks:
+        costs = np.full(len(state.pair_tasks), 2.0 * n_rows, dtype=np.float64)
+        work.append(
+            (PAIR_TASKS, "__pairs__", np.arange(len(state.pair_tasks)), costs)
+        )
+    if state.cpt_tasks:
+        costs = np.array(
+            [n_rows * (1.0 + len(ps)) for _, ps in state.cpt_tasks],
+            dtype=np.float64,
+        )
+        work.append(
+            (CPT_TASKS, "__cpts__", np.arange(len(state.cpt_tasks)), costs)
+        )
+    hint = 1 if executor == "serial" else n_jobs * OVERSUBSCRIBE
+    plan = plan_shards(work, hint)
+    backend = get_backend(executor, n_jobs)
+    results = backend.run(state, plan.shards)
+
+    pair_payloads: list = [None] * len(state.pair_tasks)
+    cpt_payloads: list = [None] * len(state.cpt_tasks)
+    for result in results:
+        target = pair_payloads if result.column == PAIR_TASKS else cpt_payloads
+        for uid, payload in zip(result.uids.tolist(), result.payloads):
+            if target[uid] is not None:
+                raise CleaningError(
+                    f"fit shard {result.shard_id} overlaps task {uid}"
+                )
+            target[uid] = payload
+    if any(p is None for p in pair_payloads) or any(
+        p is None for p in cpt_payloads
+    ):
+        raise CleaningError("fit plan left tasks unexecuted")
+
+    diagnostics = {
+        "fit_executor": executor,
+        "n_jobs": 1 if executor == "serial" else n_jobs,
+        "n_shards": plan.n_shards,
+        "n_pair_tasks": len(state.pair_tasks),
+        "n_cpt_tasks": len(state.cpt_tasks),
+    }
+    if getattr(backend, "fell_back", False):
+        diagnostics["process_fallback"] = True
+    if getattr(backend, "ran_serially", False):
+        diagnostics["ran_serially"] = True
+    return pair_payloads, cpt_payloads, diagnostics
+
+
+def sharded_pair_arrays(
+    encoding,
+    names: Sequence[str],
+    weights: np.ndarray,
+    executor: str,
+    n_jobs: int,
+) -> tuple[dict[tuple[str, str], PairArrays], dict]:
+    """Build every ordered pair's co-occurrence arrays via the backends.
+
+    Returns the ``pair_arrays`` mapping
+    :class:`~repro.core.cooccurrence.CooccurrenceIndex` accepts, plus
+    the job diagnostics.
+    """
+    m = len(names)
+    pair_tasks = [(j, k) for j in range(m) for k in range(j + 1, m)]
+    state = FitJobState(
+        [encoding.codes(a) for a in names],
+        [encoding.card(a) for a in names],
+        weights,
+        pair_tasks,
+        (),
+    )
+    pair_payloads, _, diag = run_fit_job(state, executor, n_jobs)
+    pairs: dict[tuple[str, str], PairArrays] = {}
+    for (j, k), (forward, reverse) in zip(pair_tasks, pair_payloads):
+        pairs[(names[j], names[k])] = forward
+        pairs[(names[k], names[j])] = reverse
+    return pairs, diag
+
+
+def sharded_family_arrays(
+    encoding,
+    names: Sequence[str],
+    families: Sequence[tuple[str, Sequence[str]]],
+    weights: np.ndarray,
+    executor: str,
+    n_jobs: int,
+) -> tuple[dict[str, tuple], dict]:
+    """Extract the distinct family count arrays of ``families`` via the
+    backends (the per-node half of the parallel fit).
+
+    ``families`` lists ``(node, parents)`` in the order the caller wants
+    them dispatched; the returned mapping feeds
+    :meth:`~repro.bayesnet.model.DiscreteBayesNet.fit_columnar`.
+    """
+    index_of = {a: j for j, a in enumerate(names)}
+    cpt_tasks = [
+        (index_of[node], tuple(index_of[p] for p in parents))
+        for node, parents in families
+    ]
+    state = FitJobState(
+        [encoding.codes(a) for a in names],
+        [encoding.card(a) for a in names],
+        weights,
+        (),
+        cpt_tasks,
+    )
+    _, cpt_payloads, diag = run_fit_job(state, executor, n_jobs)
+    return {
+        node: payload
+        for (node, _), payload in zip(families, cpt_payloads)
+    }, diag

@@ -1,41 +1,220 @@
-"""Discrete information-theoretic quantities.
+"""Discrete information-theoretic quantities, coded-count based.
 
 Structure-learning scores (BIC / mutual-information-based Chow–Liu) and
-the PC algorithm's conditional-independence tests operate on empirical
-entropies of discrete columns.  All logarithms are natural unless noted.
+the PC / MMHC algorithms' conditional-independence tests all reduce to
+the same primitive: *empirical counts of joint value configurations*.
+This module owns that primitive — :func:`joint_code_counts`, a fused
+``numpy.unique`` pass over integer-coded columns — and builds every
+entropy / mutual-information / G-statistic variant on top of it, so
+there is exactly one counting implementation shared by
+
+- the value-level API below (``entropy``, ``mutual_information``, …,
+  kept for callers holding plain hashable sequences; they factorize to
+  codes first),
+- the columnar structure-learning fast paths
+  (:mod:`repro.bayesnet.structure`), which pass
+  :class:`~repro.dataset.encoding.TableEncoding` code columns directly,
+- the coded CPT fit (:meth:`repro.bayesnet.cpt.CPT.from_coded_counts`)
+  and its sharded dispatch (:mod:`repro.exec.fit`).
+
+Determinism contract: :func:`joint_code_counts` returns the distinct
+configurations **in order of first appearance in the rows** — the same
+order a ``collections.Counter`` built by a row walk would iterate — and
+the entropy kernels accumulate in that order with the same scalar
+operations, so the value-level results are bit-identical to the
+dict-walking implementations they replaced.
+
+All logarithms are natural unless noted.
 """
 
 from __future__ import annotations
 
 import math
-from collections import Counter
 from typing import Hashable, Sequence
+
+import numpy as np
+
+#: fused joint codes must stay well inside int64
+_FUSE_LIMIT = 2**62
+
+
+# -- the shared counting kernel ---------------------------------------------------
+
+
+def codes_of(values: Sequence[Hashable]) -> np.ndarray:
+    """Factorize a hashable sequence into dense int64 codes.
+
+    Codes are assigned in order of first appearance, so downstream
+    first-appearance orderings coincide with the insertion order of a
+    ``Counter`` over the same sequence.
+    """
+    code_of: dict[Hashable, int] = {}
+    out = np.empty(len(values), dtype=np.int64)
+    for i, v in enumerate(values):
+        code = code_of.get(v)
+        if code is None:
+            code = len(code_of)
+            code_of[v] = code
+        out[i] = code
+    return out
+
+
+def joint_code_counts(
+    columns: Sequence[np.ndarray],
+) -> tuple[tuple[np.ndarray, ...], np.ndarray, np.ndarray]:
+    """Distinct joint configurations of coded columns, with counts.
+
+    Parameters
+    ----------
+    columns:
+        Equal-length arrays of non-negative integer codes (one per
+        variable).
+
+    Returns
+    -------
+    ``(uniq_cols, counts, first_rows)`` where ``uniq_cols[v][i]`` is the
+    code of variable ``v`` in the i-th distinct configuration,
+    ``counts[i]`` its occurrence count, and ``first_rows[i]`` the row of
+    its first appearance.  Entries are ordered by ``first_rows``
+    ascending (first-appearance order — the ``Counter`` insertion order
+    of a row walk).
+
+    The columns are fused into one mixed-radix int64 key when the joint
+    code space fits; wider spaces fall back to a row-wise
+    ``numpy.unique`` over the stacked columns (same result, no
+    overflow).
+    """
+    cols = [np.asarray(c, dtype=np.int64) for c in columns]
+    n = len(cols[0]) if cols else 0
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return tuple(empty for _ in cols), empty.copy(), empty.copy()
+    cards = [int(c.max()) + 1 for c in cols]
+    span = 1
+    for card in cards:
+        span *= card
+    if span <= _FUSE_LIMIT:
+        fused = cols[0]
+        for col, card in zip(cols[1:], cards[1:]):
+            fused = fused * card + col
+        keys, first, counts = np.unique(
+            fused, return_index=True, return_counts=True
+        )
+        order = np.argsort(first, kind="stable")
+        keys, first, counts = keys[order], first[order], counts[order]
+        parts = []
+        for card in reversed(cards[1:]):
+            parts.append(keys % card)
+            keys = keys // card
+        parts.append(keys)
+        uniq = tuple(reversed(parts))
+    else:  # pragma: no cover - needs >2^62 joint states; exercised via unit test
+        stacked = np.column_stack(cols)
+        keys2d, first, counts = np.unique(
+            stacked, axis=0, return_index=True, return_counts=True
+        )
+        order = np.argsort(first, kind="stable")
+        keys2d, first, counts = keys2d[order], first[order], counts[order]
+        uniq = tuple(keys2d[:, i] for i in range(keys2d.shape[1]))
+    return uniq, counts, first
+
+
+def n_distinct(*columns: np.ndarray) -> int:
+    """Number of distinct joint configurations of the coded columns."""
+    if not columns or len(columns[0]) == 0:
+        return 0
+    if len(columns) == 1:
+        return len(np.unique(columns[0]))
+    return len(joint_code_counts(columns)[1])
+
+
+# -- coded entropies ---------------------------------------------------------------
+
+
+def entropy_from_counts(counts: np.ndarray, n: int) -> float:
+    """``Σ −p·log p`` over counts, accumulated in the given order.
+
+    The loop runs over Python ints with ``math.log`` — element-for-
+    element the operations of the ``Counter`` walk it replaces, so
+    results are bit-identical when the count order matches.
+    """
+    if n == 0:
+        return 0.0
+    h = 0.0
+    for c in np.asarray(counts).tolist():
+        p = c / n
+        h -= p * math.log(p)
+    return h
+
+
+def entropy_codes(*columns: np.ndarray) -> float:
+    """Empirical (joint) entropy of one or more coded columns, in nats."""
+    if not columns or len(columns[0]) == 0:
+        return 0.0
+    _, counts, _ = joint_code_counts(columns)
+    return entropy_from_counts(counts, len(columns[0]))
+
+
+def mutual_information_codes(x: np.ndarray, y: np.ndarray) -> float:
+    """Empirical mutual information of two coded columns (clamped ≥ 0)."""
+    mi = entropy_codes(x) + entropy_codes(y) - entropy_codes(x, y)
+    return max(0.0, mi)
+
+
+def conditional_mutual_information_codes(
+    x: np.ndarray, y: np.ndarray, zcols: Sequence[np.ndarray]
+) -> float:
+    """Empirical I(X; Y | Z) of coded columns, Z possibly multi-variable."""
+    cmi = (
+        entropy_codes(x, *zcols)
+        + entropy_codes(y, *zcols)
+        - entropy_codes(x, y, *zcols)
+        - entropy_codes(*zcols)
+    )
+    return max(0.0, cmi)
+
+
+def g_statistic_codes(
+    x: np.ndarray,
+    y: np.ndarray,
+    zcols: Sequence[np.ndarray] | None = None,
+) -> tuple[float, int]:
+    """G-test statistic (2·N·I) and degrees of freedom, coded columns."""
+    n = len(x)
+    if not zcols:
+        mi = mutual_information_codes(x, y)
+        dof = max(1, (n_distinct(x) - 1) * (n_distinct(y) - 1))
+    else:
+        mi = conditional_mutual_information_codes(x, y, zcols)
+        dof = max(
+            1,
+            (n_distinct(x) - 1)
+            * (n_distinct(y) - 1)
+            * max(1, n_distinct(*zcols)),
+        )
+    return 2.0 * n * mi, dof
+
+
+# -- value-level API (delegates to the coded kernels) ------------------------------
 
 
 def entropy(values: Sequence[Hashable]) -> float:
     """Empirical Shannon entropy H(X) in nats."""
-    n = len(values)
-    if n == 0:
-        return 0.0
-    counts = Counter(values)
-    h = 0.0
-    for c in counts.values():
-        p = c / n
-        h -= p * math.log(p)
-    return h
+    return entropy_codes(codes_of(values))
 
 
 def joint_entropy(xs: Sequence[Hashable], ys: Sequence[Hashable]) -> float:
     """Empirical joint entropy H(X, Y)."""
     if len(xs) != len(ys):
         raise ValueError("sequences must have equal length")
-    return entropy(list(zip(xs, ys)))
+    return entropy_codes(codes_of(xs), codes_of(ys))
 
 
 def mutual_information(xs: Sequence[Hashable], ys: Sequence[Hashable]) -> float:
     """Empirical mutual information I(X; Y) ≥ 0 (clamped at 0)."""
-    mi = entropy(xs) + entropy(ys) - joint_entropy(xs, ys)
-    return max(0.0, mi)
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    return mutual_information_codes(codes_of(xs), codes_of(ys))
 
 
 def conditional_mutual_information(
@@ -46,11 +225,9 @@ def conditional_mutual_information(
     """Empirical conditional mutual information I(X; Y | Z) ≥ 0."""
     if not (len(xs) == len(ys) == len(zs)):
         raise ValueError("sequences must have equal length")
-    xz = list(zip(xs, zs))
-    yz = list(zip(ys, zs))
-    xyz = list(zip(xs, ys, zs))
-    cmi = entropy(xz) + entropy(yz) - entropy(xyz) - entropy(zs)
-    return max(0.0, cmi)
+    return conditional_mutual_information_codes(
+        codes_of(xs), codes_of(ys), [codes_of(zs)]
+    )
 
 
 def g_statistic(
@@ -63,14 +240,11 @@ def g_statistic(
     Used by the PC-algorithm baseline: under independence the statistic
     is asymptotically χ² with ``(|X|−1)(|Y|−1)·|Z|`` degrees of freedom.
     """
-    n = len(xs)
-    if zs is None:
-        mi = mutual_information(xs, ys)
-        dof = max(1, (len(set(xs)) - 1) * (len(set(ys)) - 1))
-    else:
-        mi = conditional_mutual_information(xs, ys, zs)
-        dof = max(1, (len(set(xs)) - 1) * (len(set(ys)) - 1) * max(1, len(set(zs))))
-    return 2.0 * n * mi, dof
+    return g_statistic_codes(
+        codes_of(xs),
+        codes_of(ys),
+        None if zs is None else [codes_of(zs)],
+    )
 
 
 def normalized_mutual_information(

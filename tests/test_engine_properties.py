@@ -6,11 +6,13 @@ patterns, the cleaning engine must preserve structural invariants
 """
 
 import random
+from collections import Counter
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.bayesnet.structure.scores import make_score
 from repro.constraints.builtin import NotNull
 from repro.constraints.registry import UCRegistry
 from repro.core.config import BCleanConfig
@@ -18,7 +20,8 @@ from repro.core.engine import BClean
 from repro.data.errors import ErrorInjector
 from repro.dataset.diff import cells_equal
 from repro.dataset.schema import Schema
-from repro.dataset.table import Table, is_null
+from repro.dataset.table import Table, cell_key, is_null
+from repro.stats.infotheory import joint_code_counts
 
 
 def build_fd_table(n_keys: int, n_rows: int, seed: int) -> Table:
@@ -129,3 +132,102 @@ def test_cleaning_is_deterministic(seed):
         return engine.clean().cleaned
 
     assert run() == run()
+
+
+# -- columnar fit invariants ------------------------------------------------------
+
+
+def build_random_table(seed: int, n_rows: int = 40) -> Table:
+    """A small random table with NULLs and null-like strings mixed in."""
+    rng = random.Random(seed)
+    schema = Schema.of("a:categorical", "b:categorical", "c:categorical")
+    alphabet = ["x", "y", "z", "w", None, "null"]
+    rows = [
+        [rng.choice(alphabet) for _ in range(3)] for _ in range(n_rows)
+    ]
+    return Table.from_rows(schema, rows)
+
+
+@given(seed=st.integers(0, 10_000))
+@engine_settings
+def test_coded_counts_match_bruteforce_dicts(seed):
+    """Marginal and joint counts from TableEncoding codes must equal
+    brute-force dict counts over cell keys — including the
+    first-appearance ordering the CPT/score assembly relies on."""
+    table = build_random_table(seed)
+    enc = table.encode()
+    names = table.schema.names
+    columns = {n: [cell_key(v) for v in table.column(n)] for n in names}
+
+    for attr in names:
+        (codes,), counts, first = joint_code_counts([enc.codes(attr)])
+        brute = Counter(columns[attr])
+        decoded = [cell_key(enc.decode(attr, int(c))) for c in codes]
+        assert dict(zip(decoded, counts.tolist())) == dict(brute)
+        # first-appearance order == Counter insertion order
+        assert decoded == list(brute)
+        assert first.tolist() == sorted(first.tolist())
+
+    for a, b in [(names[0], names[1]), (names[1], names[2])]:
+        uniq, counts, _ = joint_code_counts([enc.codes(a), enc.codes(b)])
+        brute = Counter(zip(columns[a], columns[b]))
+        decoded = [
+            (cell_key(enc.decode(a, int(ca))), cell_key(enc.decode(b, int(cb))))
+            for ca, cb in zip(*uniq)
+        ]
+        assert dict(zip(decoded, counts.tolist())) == dict(brute)
+        assert decoded == list(brute)
+
+
+@given(seed=st.integers(0, 10_000), perm_seed=st.integers(0, 10_000))
+@engine_settings
+def test_structure_scores_row_order_invariant(seed, perm_seed):
+    """Family scores are functions of the counts, not the row order —
+    and the coded path must agree with the scalar walk on every
+    permutation."""
+    table = build_random_table(seed)
+    names = table.schema.names
+    order = list(range(table.n_rows))
+    random.Random(perm_seed).shuffle(order)
+    shuffled = Table.from_rows(
+        table.schema, [[table.columns[j][i] for j in range(3)] for i in order]
+    )
+
+    for t in (table, shuffled):
+        scalar = make_score("bic", t)
+        coded = make_score("bic", t, encoding=t.encode())
+        for node, parents in [(names[0], ()), (names[2], (names[0], names[1]))]:
+            assert scalar.family(node, parents) == coded.family(node, parents)
+
+    base = make_score("bic", table, encoding=table.encode())
+    perm = make_score("bic", shuffled, encoding=shuffled.encode())
+    for node, parents in [(names[0], ()), (names[2], (names[0], names[1]))]:
+        assert perm.family(node, parents) == pytest.approx(
+            base.family(node, parents), rel=1e-9
+        )
+
+
+@given(seed=st.integers(0, 10_000), n_jobs=st.integers(1, 3))
+@engine_settings
+def test_fit_shard_boundaries_invariant(seed, n_jobs):
+    """CPTs and cleaning results must not depend on how the fit work is
+    sharded (worker count changes the shard plan)."""
+    clean = build_fd_table(5, 80, seed)
+    injection = ErrorInjector(rate=0.15, seed=seed + 1).inject(clean)
+
+    def run(fit_executor, jobs):
+        engine = BClean(
+            BCleanConfig.pi(
+                structure="hillclimb", fit_executor=fit_executor, n_jobs=jobs
+            )
+        )
+        engine.fit(injection.dirty)
+        return engine, engine.clean()
+
+    base_engine, base = run("serial", None)
+    engine, result = run("thread", n_jobs)
+    for node in base_engine.bn.dag.nodes:
+        a, b = base_engine.bn.cpts[node], engine.bn.cpts[node]
+        assert list(a._config_counts.items()) == list(b._config_counts.items())
+        assert list(a._marginal.items()) == list(b._marginal.items())
+    assert base.cleaned == result.cleaned

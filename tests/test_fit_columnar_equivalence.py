@@ -1,0 +1,472 @@
+"""The columnar + sharded fit must be invisible in every artefact.
+
+The coded fit pipeline — CPT counting from ``TableEncoding`` columns,
+structure scores from coded family counts, and the ``fit_executor``
+sharding of pair builds / CPT count passes — must produce CPTs, learned
+DAGs, and final ``CleaningResult``\\ s *byte-identical* to the scalar
+dict-walking oracle, across worker backends, job counts, and datasets
+with NULLs and (after a foreign clean) unseen-code columns.  The matrix
+mirrors ``test_exec_parallel.py``; on top of it the coded G²/MI kernels
+get old-vs-new regression pins and the exec-level fit job gets unit
+coverage.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import cell_key
+from repro.bayesnet.dag import DAG
+from repro.bayesnet.model import DiscreteBayesNet
+from repro.bayesnet.structure.chowliu import chow_liu_tree
+from repro.bayesnet.structure.hillclimb import hill_climb
+from repro.bayesnet.structure.mmhc import g2_statistic, mmhc
+from repro.bayesnet.structure.pc import pc_algorithm
+from repro.bayesnet.structure.scores import make_score
+from repro.cli import build_parser, _engine_config
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.data.benchmark import load_benchmark
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import CleaningError
+from repro.exec import FitJobState, plan_shards, run_fit_job
+from repro.exec.fit import CPT_TASKS, PAIR_TASKS
+from repro.stats.infotheory import joint_code_counts, mutual_information
+
+pytestmark = pytest.mark.fast
+
+FIT_BACKENDS = ("serial", "thread", "process")
+
+
+def cpt_state(cpt):
+    """The complete estimation state of a CPT, including dict insertion
+    order — equality here means the scalar and coded fits are
+    indistinguishable by any query."""
+    return (
+        cpt.variable,
+        cpt.parent_names,
+        cpt.alpha,
+        [(cfg, list(cnt.items())) for cfg, cnt in cpt._config_counts.items()],
+        list(cpt._config_totals.items()),
+        list(cpt._marginal.items()),
+        cpt._n,
+    )
+
+
+def repair_bytes(result):
+    return [
+        (r.row, r.attribute, r.old_value, r.new_value, r.old_score, r.new_score)
+        for r in result.repairs
+    ]
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return load_benchmark("hospital", n_rows=60, seed=0)
+
+
+@pytest.fixture(scope="module")
+def null_table():
+    """A small table exercising real NULLs, null-like strings, and a
+    three-parent family."""
+    rows = [
+        ["a", None, "x", "1"],
+        ["a", "u", "x", "1"],
+        ["b", "u", None, "2"],
+        ["a", None, "x", "1"],
+        [None, "v", "y", "2"],
+        ["b", "null", "y", "2"],
+        ["a", "u", "x", None],
+    ]
+    return Table.from_rows(Schema.of("p:text", "q:text", "r:text", "c:text"), rows)
+
+
+# -- CPT counting ---------------------------------------------------------------
+
+
+def test_cpts_byte_identical_on_learned_dag(hospital):
+    table = hospital.dirty
+    dag = hill_climb(table).dag
+    scalar = DiscreteBayesNet.fit(table, dag, alpha=0.1)
+    coded = DiscreteBayesNet.fit_columnar(
+        table, dag, alpha=0.1, encoding=table.encode()
+    )
+    for node in dag.nodes:
+        assert cpt_state(scalar.cpts[node]) == cpt_state(coded.cpts[node])
+
+
+def test_cpts_byte_identical_with_nulls_and_multiparent(null_table):
+    dag = DAG(["p", "q", "r", "c"])
+    dag.add_edge("p", "c")
+    dag.add_edge("q", "c")
+    dag.add_edge("r", "c")
+    dag.add_edge("p", "q")
+    scalar = DiscreteBayesNet.fit(null_table, dag, alpha=0.5)
+    coded = DiscreteBayesNet.fit_columnar(
+        null_table, dag, alpha=0.5, encoding=null_table.encode()
+    )
+    for node in dag.nodes:
+        assert cpt_state(scalar.cpts[node]) == cpt_state(coded.cpts[node])
+
+
+def test_single_parent_pair_reuse_matches_direct_count(hospital):
+    """The 1-parent shortcut (re-slicing the co-occurrence PairArrays)
+    must equal the direct fused-count pass."""
+    from repro.core.cooccurrence import CooccurrenceIndex
+
+    table = hospital.dirty
+    enc = table.encode()
+    cooc = CooccurrenceIndex(table, encoding=enc)
+    names = table.schema.names
+    dag = DAG(names)
+    dag.add_edge(names[0], names[1])  # one 1-parent family
+    with_cooc = DiscreteBayesNet.fit_columnar(
+        table, dag, alpha=0.1, encoding=enc, cooc=cooc
+    )
+    without = DiscreteBayesNet.fit_columnar(table, dag, alpha=0.1, encoding=enc)
+    scalar = DiscreteBayesNet.fit(table, dag, alpha=0.1)
+    for node in dag.nodes:
+        assert cpt_state(with_cooc.cpts[node]) == cpt_state(without.cpts[node])
+        assert cpt_state(with_cooc.cpts[node]) == cpt_state(scalar.cpts[node])
+
+
+# -- structure learning ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("learner", ("hillclimb", "mmhc", "chowliu", "pc"))
+def test_learned_dag_identical_scalar_vs_coded(hospital, learner):
+    table = hospital.dirty
+    enc = table.encode()
+    if learner == "hillclimb":
+        a, b = hill_climb(table), hill_climb(table, encoding=enc)
+        assert a.score == b.score
+        da, db = a.dag, b.dag
+    elif learner == "mmhc":
+        a, b = mmhc(table), mmhc(table, encoding=enc)
+        assert a.score == b.score
+        da, db = a.dag, b.dag
+    elif learner == "chowliu":
+        da, db = chow_liu_tree(table), chow_liu_tree(table, encoding=enc)
+    else:
+        a, b = pc_algorithm(table), pc_algorithm(table, encoding=enc)
+        assert a.n_tests == b.n_tests
+        da, db = a.dag, b.dag
+    assert sorted(da.edges()) == sorted(db.edges())
+
+
+@pytest.mark.parametrize("score_name", ("bic", "k2", "bdeu"))
+def test_family_scores_bit_identical(hospital, score_name):
+    table = hospital.dirty
+    names = table.schema.names
+    scalar = make_score(score_name, table)
+    coded = make_score(score_name, table, encoding=table.encode())
+    families = [
+        (names[0], ()),
+        (names[1], (names[0],)),
+        (names[2], (names[0], names[3])),
+        (names[4], (names[1], names[2], names[5])),
+    ]
+    for node, parents in families:
+        assert scalar.family(node, parents) == coded.family(node, parents)
+
+
+def test_scores_fall_back_without_matching_encoding(hospital):
+    """An encoding that no longer matches the table must be ignored, not
+    trusted (mutation after encode)."""
+    instance = load_benchmark("hospital", n_rows=40, seed=1)
+    table = instance.dirty
+    enc = table.encode()
+    table.set_cell(0, table.schema.names[0], "mutant")
+    scorer = make_score("bic", table, encoding=enc)
+    assert scorer.encoding is None
+    reference = make_score("bic", table)
+    node, parents = table.schema.names[1], (table.schema.names[0],)
+    assert scorer.family(node, parents) == reference.family(node, parents)
+
+
+# -- regression pins: old-vs-new MI / G² ----------------------------------------
+
+
+def test_mi_matches_counter_reference_on_hospital(hospital):
+    """The single coded-count MI must reproduce the Counter-walking
+    formula it replaced, exactly (same accumulation order)."""
+    table = hospital.dirty
+    names = table.schema.names
+
+    def counter_entropy(values):
+        n = len(values)
+        h = 0.0
+        for c in Counter(values).values():
+            p = c / n
+            h -= p * math.log(p)
+        return h
+
+    for a, b in [(names[0], names[1]), (names[2], names[5]), (names[3], names[4])]:
+        xs = [cell_key(v) for v in table.column(a)]
+        ys = [cell_key(v) for v in table.column(b)]
+        reference = max(
+            0.0,
+            counter_entropy(xs)
+            + counter_entropy(ys)
+            - counter_entropy(list(zip(xs, ys))),
+        )
+        assert mutual_information(xs, ys) == reference
+
+
+def test_g2_coded_matches_reference_on_hospital(hospital):
+    table = hospital.dirty
+    enc = table.encode()
+    names = table.schema.names
+    cases = [
+        (names[0], names[1], ()),
+        (names[2], names[3], (names[0],)),
+        (names[1], names[5], (names[2], names[4])),
+    ]
+    for x, y, cond in cases:
+        ref_g2, ref_df = g2_statistic(table, x, y, cond)
+        fast_g2, fast_df = g2_statistic(table, x, y, cond, encoding=enc)
+        assert fast_df == ref_df
+        assert fast_g2 == pytest.approx(ref_g2, rel=1e-9, abs=1e-9)
+
+
+# -- end-to-end: fit backends must be invisible ---------------------------------
+
+
+@pytest.fixture(scope="module")
+def reference(hospital):
+    """Serial columnar-fit clean every other configuration is pinned to."""
+    engine = BClean(
+        BCleanConfig.pi(structure="hillclimb"), hospital.constraints
+    )
+    engine.fit(hospital.dirty)
+    return engine, engine.clean()
+
+
+def _run(instance, **knobs):
+    engine = BClean(
+        BCleanConfig.pi(structure="hillclimb", **knobs), instance.constraints
+    )
+    engine.fit(instance.dirty)
+    return engine, engine.clean()
+
+
+def test_scalar_oracle_identical(hospital, reference):
+    ref_engine, ref = reference
+    engine, result = _run(hospital, use_columnar=False)
+    assert engine.dag == ref_engine.dag
+    for node in engine.bn.dag.nodes:
+        assert cpt_state(engine.bn.cpts[node]) == cpt_state(
+            ref_engine.bn.cpts[node]
+        )
+    assert [
+        (r.row, r.attribute, r.old_value, r.new_value) for r in result.repairs
+    ] == [(r.row, r.attribute, r.old_value, r.new_value) for r in ref.repairs]
+
+
+@pytest.mark.parametrize("n_jobs", (1, 2, 3))
+@pytest.mark.parametrize("fit_executor", ("serial", "thread"))
+def test_fit_backend_matrix_byte_identical(hospital, reference, fit_executor, n_jobs):
+    ref_engine, ref = reference
+    engine, result = _run(hospital, fit_executor=fit_executor, n_jobs=n_jobs)
+    assert engine.dag == ref_engine.dag
+    for node in engine.bn.dag.nodes:
+        assert cpt_state(engine.bn.cpts[node]) == cpt_state(
+            ref_engine.bn.cpts[node]
+        )
+    assert repair_bytes(result) == repair_bytes(ref)
+    if fit_executor != "serial":
+        assert result.diagnostics["fit_exec"]["fit_executor"] == fit_executor
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mode_factory", (BCleanConfig.pip, BCleanConfig.basic))
+def test_process_fit_backend_other_modes(hospital, mode_factory):
+    """The heaviest matrix cases: process pools across inference modes."""
+
+    def run(**knobs):
+        engine = BClean(
+            mode_factory(structure="mmhc", **knobs), hospital.constraints
+        )
+        engine.fit(hospital.dirty)
+        return engine, engine.clean()
+
+    ref_engine, ref = run()
+    engine, result = run(fit_executor="process", n_jobs=2)
+    assert engine.dag == ref_engine.dag
+    for node in engine.bn.dag.nodes:
+        assert cpt_state(engine.bn.cpts[node]) == cpt_state(
+            ref_engine.bn.cpts[node]
+        )
+    assert repair_bytes(result) == repair_bytes(ref)
+
+
+def test_foreign_table_after_parallel_fit_matches_oracle(hospital):
+    """Unseen-code columns: a foreign table cleaned after a sharded fit
+    must match the scalar-oracle result (incremental encoding mints
+    codes past every fit-time cardinality)."""
+    foreign = hospital.dirty.copy()
+    names = foreign.schema.names
+    foreign.set_cell(3, names[1], "UNSEEN-VALUE-A")
+    foreign.set_cell(9, names[1], "UNSEEN-VALUE-B")
+    foreign.set_cell(5, names[2], None)
+
+    engine, _ = _run(hospital, fit_executor="thread", n_jobs=2)
+    result = engine.clean(foreign)
+    assert result.diagnostics["exec"]["incremental_encoding"] is True
+
+    oracle_engine, _ = _run(hospital, use_columnar=False)
+    oracle = oracle_engine.clean(foreign)
+    assert [
+        (r.row, r.attribute, r.old_value, r.new_value) for r in result.repairs
+    ] == [
+        (r.row, r.attribute, r.old_value, r.new_value) for r in oracle.repairs
+    ]
+
+
+def test_fit_diagnostics_surfaced(hospital):
+    engine, result = _run(hospital, fit_executor="thread", n_jobs=2)
+    diag = result.diagnostics["fit_exec"]
+    assert diag["fit_executor"] == "thread"
+    assert diag["pair_tasks"] == len(hospital.dirty.schema.names) * (
+        len(hospital.dirty.schema.names) - 1
+    ) // 2
+    assert diag["pair_shards"] >= 1
+
+
+def test_merged_composition_keeps_scalar_fit(hospital):
+    """Merged-node compositions cannot ride the coded fit (BN nodes are
+    not table attributes) and must silently take the oracle path even
+    under a parallel fit_executor."""
+    from repro.core.composition import AttributeComposition
+
+    names = hospital.dirty.schema.names
+    comp = AttributeComposition(names)
+    comp.merge([names[0], names[1]])
+    engine = BClean(
+        BCleanConfig.pi(fit_executor="thread"), hospital.constraints
+    )
+    engine.fit(hospital.dirty, composition=comp)
+    result = engine.clean()
+    assert "fit_exec" not in result.diagnostics
+    assert result.cleaned.n_rows == hospital.dirty.n_rows
+
+
+# -- config / CLI ---------------------------------------------------------------
+
+
+def test_fit_executor_validated():
+    with pytest.raises(CleaningError):
+        BCleanConfig(fit_executor="warp")
+
+
+def test_cli_fit_executor_wired():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["clean", "in.csv", "-o", "out.csv", "--fit-executor", "process"]
+    )
+    assert _engine_config(args).fit_executor == "process"
+    args = parser.parse_args(["clean", "in.csv", "-o", "out.csv"])
+    assert _engine_config(args).fit_executor == "serial"
+
+
+# -- exec-level units -----------------------------------------------------------
+
+
+def _job_state(hospital):
+    table = hospital.dirty
+    enc = table.encode()
+    names = table.schema.names
+    columns = [enc.codes(a) for a in names]
+    cards = [enc.card(a) for a in names]
+    weights = np.ones(table.n_rows, dtype=np.float64)
+    pair_tasks = [(0, 1), (0, 2), (1, 2)]
+    cpt_tasks = [(0, ()), (3, (0, 1))]
+    return FitJobState(columns, cards, weights, pair_tasks, cpt_tasks)
+
+
+def test_fit_job_backends_identical_payloads(hospital):
+    state = _job_state(hospital)
+    base_pairs, base_cpts, _ = run_fit_job(state, "serial", 1)
+    for executor in ("thread", "process"):
+        pairs, cpts, diag = run_fit_job(state, executor, 2)
+        assert diag["fit_executor"] == executor
+        for (f_a, r_a), (f_b, r_b) in zip(base_pairs, pairs):
+            assert np.array_equal(f_a.keys, f_b.keys)
+            assert np.array_equal(f_a.raw, f_b.raw)
+            assert np.array_equal(f_a.weighted, f_b.weighted)
+            assert np.array_equal(r_a.keys, r_b.keys)
+        for (u_a, c_a, fr_a), (u_b, c_b, fr_b) in zip(base_cpts, cpts):
+            assert all(np.array_equal(x, y) for x, y in zip(u_a, u_b))
+            assert np.array_equal(c_a, c_b)
+            assert np.array_equal(fr_a, fr_b)
+
+
+def test_fit_job_state_pickle_round_trip(hospital):
+    state = _job_state(hospital)
+    work = [
+        (PAIR_TASKS, "__pairs__", np.arange(3), np.ones(3)),
+        (CPT_TASKS, "__cpts__", np.arange(2), np.ones(2)),
+    ]
+    plan = plan_shards(work, 1)
+    restored = pickle.loads(pickle.dumps(state))
+    for shard in plan.shards:
+        direct = state.run_shard(shard)
+        rerun = restored.run_shard(shard)
+        assert direct.column == rerun.column
+        for a, b in zip(direct.payloads, rerun.payloads):
+            if direct.column == PAIR_TASKS:
+                assert np.array_equal(a[0].keys, b[0].keys)
+                assert np.array_equal(a[0].weighted, b[0].weighted)
+            else:
+                assert np.array_equal(a[1], b[1])
+
+
+def test_fit_job_unknown_kind_rejected(hospital):
+    from repro.exec.planner import Shard
+
+    state = _job_state(hospital)
+    with pytest.raises(CleaningError, match="unknown fit task kind"):
+        state.run_shard(Shard(0, 7, "__nope__", np.arange(1)))
+
+
+def test_g2_codes_huge_codes_no_overflow():
+    """Conditioning codes near the int64 fuse limit must be densified,
+    not wrapped (regression: silent stratum collisions)."""
+    from repro.bayesnet.structure.mmhc import g2_statistic_codes
+
+    big = 2**32
+    rng = np.random.default_rng(7)
+    n = 60
+    x = rng.integers(0, 3, n).astype(np.int64)
+    y = rng.integers(0, 3, n).astype(np.int64)
+    z1 = rng.integers(0, 2, n).astype(np.int64) * big
+    z2 = rng.integers(0, 2, n).astype(np.int64) * big
+    got = g2_statistic_codes(x, y, [z1, z2])
+    # Densified codes are the ground truth — same strata, small ids.
+    want = g2_statistic_codes(x, y, [z1 // big, z2 // big])
+    assert got[1] == want[1]
+    assert got[0] == pytest.approx(want[0], rel=1e-12)
+
+
+def test_joint_code_counts_wide_span_fallback():
+    """Joint spaces past the int64 fuse limit take the row-wise unique
+    path and still count correctly."""
+    big = 2**32
+    cols = [
+        np.array([0, big, 0, big], dtype=np.int64),
+        np.array([big, 0, big, 0], dtype=np.int64),
+        np.array([1, 2, 1, 3], dtype=np.int64),
+    ]
+    uniq, counts, first = joint_code_counts(cols)
+    seen = {
+        (int(a), int(b), int(c)): int(n)
+        for a, b, c, n in zip(*uniq, counts)
+    }
+    assert seen == {(0, big, 1): 2, (big, 0, 2): 1, (big, 0, 3): 1}
+    assert first.tolist() == [0, 1, 3]
