@@ -1,0 +1,236 @@
+"""Bench: the staged streaming clean — wall-clock *and* peak RSS.
+
+The out-of-core pipeline's win is memory, not speed: a chunked clean
+re-runs competitions for signatures recurring across chunks, so its
+wall-clock is at best comparable to the whole-table run — what drops is
+the resident set, because the foreign table, its coded matrices, and
+the cleaned copy are never whole in memory.  Wall-clock alone cannot
+show that, so every configuration here runs in its **own spawned child
+process** and reports its own peak RSS (``VmHWM`` — see
+:func:`_peak_rss_kb` for why ``ru_maxrss`` lies for spawned children)
+alongside the clean seconds; the parent writes ``BENCH_stream.json``
+at the repository root.
+
+The driver fits soccer-1500 (the paper's flagship scaling table), then
+streams a resampled ``STREAM_ROWS``-row foreign CSV through
+``clean_csv`` at ``chunk_rows ∈ {off, 256, 1024}``:
+
+- ``off`` reads the whole CSV and cleans it in memory (the PR-2 path);
+- the chunked runs never hold more than one block.
+
+How to read the report:
+
+- ``runs``: one entry per chunk setting with ``clean_seconds``,
+  ``peak_rss_kb`` (the child's high-water mark; fit is identical
+  across children and its own peak is recorded as
+  ``peak_rss_after_fit_kb``, so *differences* in the totals are
+  clean-path memory), ``n_chunks``, and the resolved backend per
+  chunk.
+- ``identical_repairs`` is the hard invariant: every chunk size must
+  reproduce the whole-table repairs byte for byte (checksummed in the
+  child, compared here).
+- ``rss_saving_kb_1024``: whole-table peak minus the chunk-1024 peak.
+  The assertion that it is positive — the memory win actually exists —
+  fires whenever the child measurements are trustworthy (Linux
+  ``VmHWM``); the recorded numbers keep the trajectory comparable
+  across machines either way.
+- ``auto_executor``: the planner's cost estimate for the whole-table
+  plan, with the backend ``executor="auto"`` resolves to at 4 workers
+  (machine-independent, asserted ``process``) and on this machine's
+  CPU count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+DATASET = "soccer"
+N_ROWS = 1500
+#: rows of the resampled foreign CSV the streaming runs clean
+STREAM_ROWS = 12000
+CHUNK_SETTINGS = (None, 256, 1024)
+RESAMPLE_SEED = 7
+
+
+def _peak_rss_kb() -> int:
+    """This process's own peak resident set, in KB.
+
+    ``getrusage().ru_maxrss`` is unusable for spawned children on
+    Linux: spawn is fork+exec, and the pre-exec copy-on-write image —
+    the *parent's* entire resident set — is folded into the child's
+    maxrss floor when exec releases the old address space, so every
+    child just echoes the parent's size.  ``VmHWM`` belongs to the
+    address space created *by* exec, so it measures only what the
+    child itself did.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _build_engine():
+    from repro.core.config import BCleanConfig
+    from repro.core.engine import BClean
+    from repro.data.benchmark import load_benchmark
+
+    instance = load_benchmark(DATASET, n_rows=N_ROWS, seed=0)
+    engine = BClean(BCleanConfig.pip(), instance.constraints)
+    engine.fit(instance.dirty)
+    return instance, engine
+
+
+def _write_stream_csv(instance, path: Path) -> None:
+    """A deterministic resampled foreign table, STREAM_ROWS rows."""
+    from repro.dataset.io import write_csv
+
+    rng = np.random.default_rng(RESAMPLE_SEED)
+    indices = rng.integers(0, instance.dirty.n_rows, size=STREAM_ROWS)
+    write_csv(instance.dirty.take([int(i) for i in indices]), path)
+
+
+def _child_run(chunk_rows, src, dst, out_queue) -> None:
+    """One measured configuration, isolated in its own process so
+    ``ru_maxrss`` is a per-configuration high-water mark."""
+    from repro.dataset.io import read_csv
+
+    instance, engine = _build_engine()
+    rss_after_fit = _peak_rss_kb()
+    engine.config.chunk_rows = chunk_rows
+    start = time.perf_counter()
+    if chunk_rows is None:
+        table = read_csv(src, schema=instance.dirty.schema)
+        result = engine.clean(table)
+        from repro.dataset.io import write_csv
+
+        write_csv(result.cleaned, dst)
+    else:
+        result = engine.clean_csv(src, dst)
+    seconds = time.perf_counter() - start
+
+    digest = hashlib.sha256()
+    for r in result.repairs:
+        digest.update(
+            repr(
+                (r.row, r.attribute, r.old_value, r.new_value,
+                 r.old_score, r.new_score)
+            ).encode()
+        )
+    stream = result.diagnostics.get("stream", {})
+    out_queue.put(
+        {
+            "chunk_rows": chunk_rows,
+            "clean_seconds": round(seconds, 4),
+            "peak_rss_kb": _peak_rss_kb(),
+            "peak_rss_after_fit_kb": rss_after_fit,
+            "n_repairs": len(result.repairs),
+            "repairs_sha256": digest.hexdigest(),
+            "n_chunks": stream.get("n_chunks", 1),
+            "backends": stream.get("backends", {}),
+            "shm": stream.get("shm", False),
+        }
+    )
+
+
+def _measure(chunk_rows, src: Path, dst: Path) -> dict:
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    proc = ctx.Process(
+        target=_child_run, args=(chunk_rows, str(src), str(dst), queue)
+    )
+    proc.start()
+    payload = queue.get(timeout=1800)
+    proc.join(timeout=60)
+    return payload
+
+
+def test_stream_memory_and_bench_report(tmp_path):
+    instance, engine = _build_engine()
+    src = tmp_path / "stream_dirty.csv"
+    _write_stream_csv(instance, src)
+
+    runs = []
+    for chunk_rows in CHUNK_SETTINGS:
+        label = "off" if chunk_rows is None else str(chunk_rows)
+        runs.append(_measure(chunk_rows, src, tmp_path / f"out_{label}.csv"))
+
+    digests = {run["repairs_sha256"] for run in runs}
+    identical = len(digests) == 1
+    by_setting = {run["chunk_rows"]: run for run in runs}
+    rss_off = by_setting[None]["peak_rss_kb"]
+    rss_1024 = by_setting[1024]["peak_rss_kb"]
+
+    # -- the machine-independent half of the auto-executor acceptance:
+    # the whole-table plan's cost estimate must put soccer-1500 over
+    # the process threshold (tiny-table resolution to serial is pinned
+    # in tests/test_stream_chunked.py).
+    from repro.core.repairs import CleaningStats
+    from repro.exec import (
+        AUTO_CLEAN_COST_THRESHOLD,
+        OVERSUBSCRIBE,
+        StreamDriver,
+        resolve_executor,
+    )
+
+    engine.config.executor = "auto"
+    driver = StreamDriver(engine, engine._columnar_scorer())
+    driver.n_jobs = 4  # plan (and cost-estimate) as a 4-worker machine would
+    chunk = next(driver._table_chunks(engine.table, fitted=True))
+    encoded = driver.encode(chunk, fitted=True)
+    planned = driver.plan(driver.detect(encoded, CleaningStats()))
+    total_cost = planned.plan.total_cost
+    resolved_at_4 = resolve_executor(
+        "auto", total_cost, planned.plan.n_shards, 4
+    )
+    cpu_count = os.cpu_count() or 1
+    resolved_here = resolve_executor(
+        "auto", total_cost, planned.plan.n_shards, cpu_count
+    )
+
+    report = {
+        "dataset": DATASET,
+        "fit_rows": N_ROWS,
+        "stream_rows": STREAM_ROWS,
+        "cpu_count": cpu_count,
+        "identical_repairs": identical,
+        "runs": runs,
+        "rss_saving_kb_1024": rss_off - rss_1024,
+        "auto_executor": {
+            "whole_table_plan_cost": round(total_cost, 1),
+            "threshold": AUTO_CLEAN_COST_THRESHOLD,
+            "resolved_with_4_jobs": resolved_at_4,
+            "resolved_on_this_machine": resolved_here,
+            "oversubscribe": OVERSUBSCRIBE,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+
+    assert identical, "chunked repairs diverged from the whole-table run"
+    assert total_cost >= AUTO_CLEAN_COST_THRESHOLD
+    assert resolved_at_4 == "process"
+    if cpu_count >= 4:
+        assert resolved_here == "process"
+    if sys.platform.startswith("linux"):
+        # VmHWM is per-exec'd-address-space on Linux and so trustworthy
+        # here; the whole-table run must pay for the full foreign table
+        # + cleaned copy that the chunked run never materialises.
+        assert rss_1024 < rss_off, (
+            f"chunked peak RSS {rss_1024} KB not below whole-table "
+            f"{rss_off} KB"
+        )

@@ -82,6 +82,7 @@ def _engine_config(args: argparse.Namespace) -> BCleanConfig:
         executor=args.executor,
         n_jobs=args.jobs,
         shard_size=args.shard_size,
+        chunk_rows=getattr(args, "chunk_rows", None),
         fit_executor=args.fit_executor,
     )
 
@@ -256,18 +257,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--executor",
-            choices=["serial", "thread", "process"],
+            choices=["serial", "thread", "process", "auto"],
             default="serial",
-            help="worker backend of the sharded cleaning executor "
-            "(all backends produce identical repairs)",
+            help="worker backend of the sharded cleaning executor; "
+            "'auto' picks serial vs process from the planner's cost "
+            "estimate (all backends produce identical repairs)",
         )
         p.add_argument(
             "--fit-executor",
-            choices=["serial", "thread", "process"],
+            choices=["serial", "thread", "process", "auto"],
             default="serial",
             help="worker backend for the sharded fit work (pairwise "
             "co-occurrence builds and CPT counting; identical "
-            "statistics on every backend)",
+            "statistics on every backend); 'auto' picks from the "
+            "planned cost",
         )
         p.add_argument(
             "--jobs",
@@ -284,6 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="competitions per shard (default: cost-balanced "
             "shards from estimated candidate-pool sizes)",
+        )
+        p.add_argument(
+            "--chunk-rows",
+            type=int,
+            default=None,
+            metavar="N",
+            help="clean in row blocks of N through the staged "
+            "streaming pipeline (default: whole table at once; "
+            "repairs are identical at every chunk size)",
         )
 
     p_network = sub.add_parser(

@@ -113,10 +113,15 @@ class BCleanConfig:
         Worker backend of the sharded execution subsystem:
         ``"serial"`` (default — in-process), ``"thread"``
         (``ThreadPoolExecutor``; shares statistics by reference but
-        runs under the GIL), or ``"process"``
-        (``ProcessPoolExecutor``; ships a pickled read-only snapshot to
-        each worker once per clean, true multi-core scaling).  All
-        backends produce byte-identical results.
+        runs under the GIL), ``"process"``
+        (``ProcessPoolExecutor``; ships a read-only snapshot to each
+        worker once per clean — large numpy arrays travel through one
+        ``multiprocessing.shared_memory`` block when the host supports
+        it, pickle otherwise — true multi-core scaling), or ``"auto"``
+        (pick serial vs process per clean from the shard planner's
+        total-cost estimate, see
+        :func:`repro.exec.planner.resolve_executor`).  All backends
+        produce byte-identical results.
     n_jobs:
         Worker count for the parallel executors; ``None`` uses the
         machine's CPU count.
@@ -124,9 +129,19 @@ class BCleanConfig:
         Fixed number of competitions per shard; ``None`` (default)
         lets the planner cut cost-balanced shards from the estimated
         candidate-pool sizes.
+    chunk_rows:
+        Row-block size of the staged streaming clean
+        (:mod:`repro.exec.stream`).  ``None`` (default) cleans the
+        whole table as a single chunk; a positive value routes the
+        columnar clean through the chunked pipeline — ingest → encode →
+        detect → plan → execute → merge → emit — one row block at a
+        time, producing repairs byte-identical to the whole-table run
+        at every chunk size.  The scalar oracle path ignores this knob
+        (it is in-memory by construction).
     fit_executor:
         Worker backend for the sharded *fit* work (same choices and
-        trade-offs as ``executor``): the per-attribute-pair
+        trade-offs as ``executor``, including ``"auto"``): the
+        per-attribute-pair
         co-occurrence builds and per-node CPT count passes — independent
         by construction — are planned and dispatched through the
         :mod:`repro.exec` subsystem.  Only applies on the columnar fit
@@ -166,6 +181,7 @@ class BCleanConfig:
     executor: str = "serial"
     n_jobs: int | None = None
     shard_size: int | None = None
+    chunk_rows: int | None = None
     fit_executor: str = "serial"
     smoothing_alpha: float = 0.1
     fdx: FDXConfig = field(default_factory=FDXConfig)
@@ -179,21 +195,25 @@ class BCleanConfig:
             raise CleaningError(f"beta must be non-negative, got {self.beta}")
         if not 0.0 <= self.tau <= 1.0:
             raise CleaningError(f"tau must be in [0, 1], got {self.tau}")
-        if self.executor not in ("serial", "thread", "process"):
+        if self.executor not in ("serial", "thread", "process", "auto"):
             raise CleaningError(
-                f"executor must be 'serial', 'thread', or 'process', "
-                f"got {self.executor!r}"
+                f"executor must be 'serial', 'thread', 'process', or "
+                f"'auto', got {self.executor!r}"
             )
-        if self.fit_executor not in ("serial", "thread", "process"):
+        if self.fit_executor not in ("serial", "thread", "process", "auto"):
             raise CleaningError(
-                f"fit_executor must be 'serial', 'thread', or 'process', "
-                f"got {self.fit_executor!r}"
+                f"fit_executor must be 'serial', 'thread', 'process', or "
+                f"'auto', got {self.fit_executor!r}"
             )
         if self.n_jobs is not None and self.n_jobs < 1:
             raise CleaningError(f"n_jobs must be positive, got {self.n_jobs}")
         if self.shard_size is not None and self.shard_size < 1:
             raise CleaningError(
                 f"shard_size must be positive, got {self.shard_size}"
+            )
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise CleaningError(
+                f"chunk_rows must be positive, got {self.chunk_rows}"
             )
         if isinstance(self.mode, str):
             self.mode = InferenceMode(self.mode)

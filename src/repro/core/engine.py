@@ -17,18 +17,22 @@ the error-amplification cascade §5 describes.
 Two cleaning paths produce identical repair decisions:
 
 - the **columnar fast path** (default, ``BCleanConfig.use_columnar``):
-  the table is interned once (:class:`~repro.dataset.encoding.TableEncoding`),
-  cells are grouped by (attribute, row signature) up front so every
-  distinct candidate competition runs exactly once, and the resulting
-  competition list becomes a planned, sharded job executed by the
-  :mod:`repro.exec` subsystem — cost-balanced shards
+  the table is interned once (:class:`~repro.dataset.encoding.TableEncoding`)
+  and cleaned by the staged pipeline of :mod:`repro.exec.stream` —
+  ingest → encode → detect → plan → execute → merge → emit — whose
+  row chunks become planned, sharded jobs executed by the
+  :mod:`repro.exec` subsystem: cost-balanced shards
   (:mod:`repro.exec.planner`), pluggable serial / thread / process
-  worker backends (``BCleanConfig.executor``), batch scoring of stacked
-  competitions inside each shard
-  (:meth:`repro.exec.state.FitState.run_shard`), and a deterministic
-  merge of the per-shard repair arrays (:mod:`repro.exec.merge`).
-  Foreign tables sharing the fitted schema stay on this path through
-  incremental encoding (:meth:`~repro.dataset.encoding.TableEncoding.encode_table`);
+  worker backends (``BCleanConfig.executor``; ``"auto"`` picks from
+  the plan's cost estimate), batch scoring of stacked competitions
+  inside each shard (:meth:`repro.exec.state.FitState.run_shard`), and
+  a deterministic merge of the per-shard repair arrays
+  (:mod:`repro.exec.merge`).  With ``BCleanConfig.chunk_rows`` set
+  (or via :meth:`BClean.clean_csv`) the same stages run one row block
+  at a time — out-of-core cleaning with repairs byte-identical to the
+  whole-table run.  Foreign tables sharing the fitted schema stay on
+  this path through incremental encoding
+  (:meth:`~repro.dataset.encoding.TableEncoding.encode_table`);
 - the **scalar reference path**: the per-cell dict walk of the original
   implementation, kept as the oracle the columnar path is tested
   against, and used automatically when the fast path cannot apply
@@ -55,6 +59,7 @@ identical repair lists across both paths in all modes.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -74,24 +79,14 @@ from repro.core.config import BCleanConfig, InferenceMode
 from repro.core.confidence import table_confidences
 from repro.core.cooccurrence import CooccurrenceIndex, confidence_weights
 from repro.core.partition import SubNetwork, partition, partition_statistics
-from repro.core.pruning import (
-    DomainPruner,
-    should_skip_cell,
-    tuple_filter_scores_all_rows,
-    tuple_filter_scores_coded,
-)
+from repro.core.pruning import DomainPruner, should_skip_cell
 from repro.core.repairs import CleaningResult, CleaningStats, Repair, Stopwatch
 from repro.dataset.domain import DomainIndex
 from repro.dataset.encoding import TableEncoding
 from repro.dataset.table import Cell, Table, is_null
 from repro.errors import CPTError, CleaningError, InferenceError
 from repro.exec import (
-    OVERSUBSCRIBE,
-    FitState,
-    estimate_competition_costs,
-    get_backend,
-    merge_shard_results,
-    plan_shards,
+    StreamDriver,
     sharded_family_arrays,
     sharded_pair_arrays,
 )
@@ -177,9 +172,8 @@ class BClean:
                 else None
             )
             self._encoding = table.encode()
-            columnar_fit = self.config.use_columnar and all(
-                self.composition.members(node) == (node,)
-                for node in self.composition.nodes
+            columnar_fit = (
+                self.config.use_columnar and self._singleton_composition()
             )
             fit_executor = (
                 self.config.fit_executor if columnar_fit else "serial"
@@ -265,9 +259,10 @@ class BClean:
         )
 
     def _merge_fit_flags(self, diag: Mapping) -> None:
-        """Carry backend degradation flags of one fit job into the fit
-        diagnostics (sticky across the pair and CPT jobs)."""
-        for key in ("process_fallback", "ran_serially"):
+        """Carry backend flags of one fit job into the fit diagnostics
+        (sticky across the pair and CPT jobs): pool degradations, the
+        auto-executor marker, and shared-memory usage."""
+        for key in ("process_fallback", "ran_serially", "auto", "shm"):
             if diag.get(key):
                 self._fit_diag[key] = True
 
@@ -363,7 +358,14 @@ class BClean:
     # -- cleaning ------------------------------------------------------------------
 
     def clean(self, table: Table | None = None) -> CleaningResult:
-        """Run Algorithm 1 over ``table`` (defaults to the fitted table)."""
+        """Run Algorithm 1 over ``table`` (defaults to the fitted table).
+
+        On the columnar path the work is delegated to the staged
+        pipeline of :mod:`repro.exec.stream` — whole-table as a single
+        chunk, or row blocks of ``BCleanConfig.chunk_rows`` each, with
+        byte-identical repairs either way.  The scalar oracle path is
+        in-memory by construction and ignores ``chunk_rows``.
+        """
         if self.bn is None or self.table is None:
             raise CleaningError("fit() must be called before clean()")
         table = table if table is not None else self.table
@@ -374,6 +376,7 @@ class BClean:
         columnar = self._columnar_applicable(table)
         self._competitions_run = 0
         self._exec_diag = {}
+        self._stream_diag = {}
         with Stopwatch() as timer:
             if columnar:
                 try:
@@ -383,14 +386,23 @@ class BClean:
                     # oracle handles anything.
                     columnar = False
             if columnar:
-                self._clean_columnar(table, scorer, stats, cleaned, repairs)
+                driver = StreamDriver(self, scorer)
+                driver.clean_table(
+                    table, table is self.table, stats, cleaned, repairs
+                )
+                self._competitions_run = driver.competitions_run
+                self._exec_diag = driver.exec_diagnostics(self.config.executor)
+                if self.config.chunk_rows is not None:
+                    self._stream_diag = driver.stream_diagnostics()
             else:
                 self._clean_scalar(table, stats, cleaned, repairs)
         stats.clean_seconds = timer.seconds
         stats.repairs_made = len(repairs)
         # "cache_size" is the number of distinct (attribute, row
         # signature) competitions materialised: the memo table of the
-        # scalar path, the up-front dedup groups of the columnar one.
+        # scalar path, the up-front dedup groups of the columnar one
+        # (chunked runs re-materialise signatures recurring across
+        # chunks, so their count can exceed the whole-table one).
         cache_size = (
             self._competitions_run if columnar else len(self._cell_cache)
         )
@@ -403,9 +415,59 @@ class BClean:
         }
         if self._exec_diag:
             diagnostics["exec"] = dict(self._exec_diag)
+        if self._stream_diag:
+            diagnostics["stream"] = dict(self._stream_diag)
         if self._fit_diag:
             diagnostics["fit_exec"] = dict(self._fit_diag)
         return CleaningResult(cleaned, repairs, stats, diagnostics=diagnostics)
+
+    def clean_csv(
+        self,
+        src,
+        dst,
+        delimiter: str = ",",
+    ) -> CleaningResult:
+        """Out-of-core clean: stream a CSV through the staged pipeline.
+
+        ``src`` must share the fitted schema (it is read under it, in
+        blocks of ``chunk_rows`` rows — or a bounded default — so the
+        table is never whole in memory); the repaired rows are appended
+        to ``dst`` as each block finishes.  The returned result carries
+        the repairs, stats, and diagnostics but ``cleaned`` is ``None``
+        — the cleaned relation lives in ``dst``.
+
+        Requires the columnar path (``use_columnar`` with the default
+        singleton composition): the scalar oracle is a per-cell dict
+        walk over an in-memory table and cannot stream.
+        """
+        if self.bn is None or self.table is None:
+            raise CleaningError("fit() must be called before clean_csv()")
+        if not self.config.use_columnar or not self._singleton_composition():
+            raise CleaningError(
+                "clean_csv() requires the columnar path (use_columnar "
+                "with the singleton composition)"
+            )
+        stats = CleaningStats(fit_seconds=self._fit_seconds)
+        repairs: list[Repair] = []
+        with Stopwatch() as timer:
+            scorer = self._columnar_scorer()
+            driver = StreamDriver(self, scorer)
+            driver.clean_csv(src, dst, stats, repairs, delimiter=delimiter)
+        stats.clean_seconds = timer.seconds
+        stats.repairs_made = len(repairs)
+        self._competitions_run = driver.competitions_run
+        diagnostics = {
+            "mode": self.config.mode.value,
+            "n_edges": self.dag.n_edges,
+            "partition": partition_statistics(self.subnets),
+            "cache_size": driver.competitions_run,
+            "columnar": True,
+            "exec": driver.exec_diagnostics(self.config.executor),
+            "stream": driver.stream_diagnostics(),
+        }
+        if self._fit_diag:
+            diagnostics["fit_exec"] = dict(self._fit_diag)
+        return CleaningResult(None, repairs, stats, diagnostics=diagnostics)
 
     def _columnar_applicable(self, table: Table) -> bool:
         """The fast path requires the singleton composition (BN nodes
@@ -417,14 +479,20 @@ class BClean:
         oracle."""
         if not self.config.use_columnar:
             return False
-        if any(
-            self.composition.members(node) != (node,)
-            for node in self.composition.nodes
-        ):
+        if not self._singleton_composition():
             return False
         if table is self.table:
             return self._encoding.matches(table)
         return list(table.schema.names) == list(self.table.schema.names)
+
+    def _singleton_composition(self) -> bool:
+        """Whether every BN node is exactly one table attribute — the
+        composition the coded fast paths (columnar fit, staged clean,
+        streaming CSV clean) all require."""
+        return all(
+            self.composition.members(node) == (node,)
+            for node in self.composition.nodes
+        )
 
     def _columnar_scorer(self) -> ColumnarNetScorer:
         if self._columnar is None:
@@ -737,157 +805,7 @@ class BClean:
             return 0.0
         return self.bn.blanket_log_score(node, node_value, node_row)
 
-    # -- columnar fast path ---------------------------------------------------------
-
-    def _clean_columnar(
-        self,
-        table: Table,
-        scorer: ColumnarNetScorer,
-        stats: CleaningStats,
-        cleaned: Table,
-        repairs: list[Repair],
-    ) -> None:
-        """The sharded columnar clean: dedup → plan → execute → merge.
-
-        The table's coded rows are deduplicated into (attribute, row
-        signature) competitions, the :mod:`repro.exec` planner cuts the
-        competition list into cost-balanced shards, the configured
-        worker backend runs them (batch-scoring stacked competitions
-        inside each shard), and the deterministic merge reassembles the
-        per-shard repair arrays.  Decisions are then broadcast back to
-        every row occurrence, emitting repairs in the scalar path's
-        row-major order — byte-identical output for every backend and
-        shard count.
-
-        A foreign table sharing the fitted schema is interned
-        incrementally (unseen values get fresh codes that every
-        statistics structure treats as never-observed), with all row
-        weights at 1.0 — exactly the scalar path's foreign-row
-        semantics.
-        """
-        cfg = self.config
-        enc = self._encoding
-        names = table.schema.names
-        n, m = table.n_rows, len(names)
-        stats.cells_total += n * m
-        if n == 0 or m == 0:
-            return
-        mode = cfg.mode
-        fitted = table is self.table
-        if fitted:
-            codes_mat = enc.matrix()
-            row_weights = self.cooc.row_weights
-        else:
-            codes_mat = enc.encode_table(table)
-            row_weights = np.ones(n, dtype=np.float64)
-        null_masks = {a: enc.vocab(a).null_mask for a in names}
-        uniq_rows, first_rows, inverse = np.unique(
-            codes_mat, axis=0, return_index=True, return_inverse=True
-        )
-        inverse = inverse.reshape(-1)
-        n_uniq = len(uniq_rows)
-        uniq_weights = row_weights[first_rows]
-
-        work: list[tuple[int, str, np.ndarray]] = []
-        for j, attr in enumerate(names):
-            if mode == InferenceMode.PARTITIONED_PRUNED:
-                if fitted:
-                    filter_scores = tuple_filter_scores_all_rows(self.cooc, attr)
-                else:
-                    filter_scores = tuple_filter_scores_coded(
-                        self.cooc, attr, codes_mat, names
-                    )
-                skip_rows = (filter_scores >= cfg.tau_clean) & ~null_masks[attr][
-                    codes_mat[:, j]
-                ]
-                n_skipped = int(skip_rows.sum())
-                stats.cells_skipped_pruning += n_skipped
-                stats.cells_inspected += n - n_skipped
-                skip_uniq = skip_rows[first_rows]
-            else:
-                stats.cells_inspected += n
-                skip_uniq = np.zeros(n_uniq, dtype=bool)
-            uids = np.nonzero(~skip_uniq)[0]
-            work.append((j, attr, uids))
-
-        n_jobs = cfg.n_jobs or os.cpu_count() or 1
-        hint = 1 if cfg.executor == "serial" else n_jobs * OVERSUBSCRIBE
-        # Pool-size cost estimates only steer the cost-balanced planner;
-        # one-shard-per-attribute (hint 1) and fixed shard_size plans
-        # never read them, so skip the estimation pass there.
-        balancing = cfg.shard_size is None and hint > 1
-        costed_work = [
-            (
-                j,
-                attr,
-                uids,
-                estimate_competition_costs(
-                    self.cooc,
-                    attr,
-                    uniq_rows[uids],
-                    [k for k in range(m) if k != j],
-                    names,
-                    cfg.effective_candidate_cap(),
-                )
-                if balancing
-                else np.ones(len(uids), dtype=np.float64),
-            )
-            for j, attr, uids in work
-        ]
-        plan = plan_shards(costed_work, hint, cfg.shard_size)
-        state = FitState(
-            cfg,
-            enc,
-            self.cooc,
-            self.comp,
-            self.pruner,
-            scorer,
-            self.subnets,
-            names,
-            uniq_rows,
-            uniq_weights,
-            null_masks,
-            {a: self._uc_code_mask(a) for a in names} if cfg.use_ucs else {},
-            {a: self._domain_codes(a) for a in names},
-        )
-        backend = get_backend(cfg.executor, n_jobs)
-        results = backend.run(state, plan.shards)
-        merged = merge_shard_results(results, n_uniq, [w[0] for w in work])
-
-        stats.candidates_evaluated += merged.candidates_evaluated
-        stats.candidates_filtered_uc += merged.candidates_filtered_uc
-        self._competitions_run = merged.n_competitions
-        self._exec_diag = {
-            "executor": cfg.executor,
-            "n_jobs": 1 if cfg.executor == "serial" else n_jobs,
-            "n_shards": plan.n_shards,
-            "incremental_encoding": not fitted,
-        }
-        if getattr(backend, "fell_back", False):
-            self._exec_diag["process_fallback"] = True
-        if getattr(backend, "ran_serially", False):
-            # The parallel backend short-circuited (one worker, one
-            # shard, or a pool failure): the timing is plain serial
-            # execution, not pool overhead.
-            self._exec_diag["ran_serially"] = True
-
-        for i in range(n):
-            uid = inverse[i]
-            for j, attr in enumerate(names):
-                code = merged.decided[j][uid]
-                if code >= 0:
-                    new_value = enc.decode(attr, int(code))
-                    cleaned.set_cell(i, attr, new_value)
-                    repairs.append(
-                        Repair(
-                            i,
-                            attr,
-                            table.columns[j][i],
-                            new_value,
-                            float(merged.incumbent_scores[j][uid]),
-                            float(merged.best_scores[j][uid]),
-                        )
-                    )
+    # -- columnar fast path (staged pipeline helpers) -------------------------------
 
     def _domain_codes(self, attr: str) -> np.ndarray:
         """Codes of the attribute's domain values, most frequent first
@@ -931,8 +849,21 @@ def clean_table(
     table: Table,
     config: BCleanConfig | None = None,
     constraints: UCRegistry | None = None,
+    **config_overrides,
 ) -> CleaningResult:
-    """One-shot convenience wrapper: fit + clean in a single call."""
+    """One-shot convenience wrapper: fit + clean in a single call.
+
+    Keyword arguments beyond ``config``/``constraints`` override the
+    corresponding :class:`BCleanConfig` fields, so the new execution
+    knobs are one call away without building a config first::
+
+        clean_table(table, chunk_rows=1024, executor="auto")
+        clean_table(table, BCleanConfig.pip(), n_jobs=8)
+    """
+    if config is None:
+        config = BCleanConfig(**config_overrides)
+    elif config_overrides:
+        config = replace(config, **config_overrides)
     engine = BClean(config, constraints)
     engine.fit(table)
     return engine.clean()

@@ -48,9 +48,18 @@ class CleaningStats:
 
 @dataclass
 class CleaningResult:
-    """Output of a cleaning engine: the repaired table plus provenance."""
+    """Output of a cleaning engine: the repaired table plus provenance.
 
-    cleaned: Table
+    ``cleaned`` is ``None`` for streaming cleans
+    (:meth:`~repro.core.engine.BClean.clean_csv`), where the repaired
+    relation is written to disk block by block instead of being
+    materialised; repairs, stats, and diagnostics are recorded either
+    way.  Streaming/chunked runs add a ``diagnostics["stream"]`` block
+    (chunk count, per-backend chunk counts, shared-memory usage)
+    mirroring the ``fit_exec`` diagnostics.
+    """
+
+    cleaned: Table | None
     repairs: list[Repair] = field(default_factory=list)
     stats: CleaningStats = field(default_factory=CleaningStats)
     diagnostics: dict = field(default_factory=dict)

@@ -8,7 +8,13 @@ from repro.dataset.encoding import (
     AttributeVocabulary,
     TableEncoding,
 )
-from repro.dataset.io import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.dataset.io import (
+    iter_csv_chunks,
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
 from repro.dataset.profile import (
     ColumnProfile,
     FDCandidate,
@@ -47,6 +53,7 @@ __all__ = [
     "is_null",
     "profile_column",
     "profile_table",
+    "iter_csv_chunks",
     "read_csv",
     "read_csv_text",
     "to_csv_text",

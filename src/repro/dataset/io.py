@@ -3,6 +3,18 @@
 The reader infers a schema (or accepts one), coerces numeric columns, and
 maps common NULL spellings to ``None``.  The writer is the exact inverse,
 so ``read_csv(write_csv(t))`` round-trips cell-for-cell.
+
+Two reading shapes share one streaming core:
+
+- :func:`read_csv` materialises the whole file as a single
+  :class:`Table`, feeding the ``csv`` reader straight from the file
+  handle (the file is never held as one giant string);
+- :func:`iter_csv_chunks` yields the file as a sequence of row-block
+  :class:`Table`\\ s of at most ``chunk_rows`` rows each — the ingest
+  stage of the out-of-core cleaning pipeline
+  (:mod:`repro.exec.stream`).  The schema is settled on the first
+  block (inferred from it when not given explicitly) and applied to
+  every later block, so all chunks agree on attribute types.
 """
 
 from __future__ import annotations
@@ -10,7 +22,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table, coerce_column, infer_schema, is_null
@@ -41,13 +53,13 @@ def read_csv(
         Max distinct values for a string column to be inferred as
         CATEGORICAL (only used when ``schema`` is None).
     """
-    text = Path(path).read_text(encoding="utf-8")
-    return read_csv_text(
-        text,
-        schema=schema,
-        delimiter=delimiter,
-        categorical_threshold=categorical_threshold,
-    )
+    with open(path, newline="", encoding="utf-8") as handle:
+        return _read_csv_stream(
+            handle,
+            schema=schema,
+            delimiter=delimiter,
+            categorical_threshold=categorical_threshold,
+        )
 
 
 def read_csv_text(
@@ -57,13 +69,84 @@ def read_csv_text(
     categorical_threshold: int = 64,
 ) -> Table:
     """Like :func:`read_csv` but from an in-memory string."""
-    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    return _read_csv_stream(
+        io.StringIO(text),
+        schema=schema,
+        delimiter=delimiter,
+        categorical_threshold=categorical_threshold,
+    )
+
+
+def iter_csv_chunks(
+    path: str | Path,
+    chunk_rows: int,
+    schema: Schema | None = None,
+    delimiter: str = ",",
+    categorical_threshold: int = 64,
+) -> Iterator[Table]:
+    """Stream a CSV file as :class:`Table` blocks of ``chunk_rows`` rows.
+
+    Only one block of raw rows is resident at a time, so arbitrarily
+    large files can be processed with bounded memory.  When ``schema``
+    is ``None`` it is inferred from the *first* block alone and then
+    fixed — hand an explicit schema when the first ``chunk_rows`` rows
+    may not be representative (e.g. a numeric column whose early rows
+    are all NULL).  An empty data section yields no chunks (but a
+    missing header still raises), so ``list(iter_csv_chunks(p, k))``
+    concatenates back to exactly ``read_csv(p)`` for every ``k``.
+    """
+    if chunk_rows < 1:
+        raise CSVFormatError(f"chunk_rows must be positive, got {chunk_rows}")
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        header = _read_header(reader, schema)
+        block: list[Sequence[str]] = []
+        for row in _validated_rows(reader, header):
+            block.append(row)
+            if len(block) == chunk_rows:
+                if schema is None:
+                    schema = infer_schema(header, block, categorical_threshold)
+                yield _block_table(schema, block)
+                block = []
+        if block:
+            if schema is None:
+                schema = infer_schema(header, block, categorical_threshold)
+            yield _block_table(schema, block)
+
+
+def _read_csv_stream(
+    stream,
+    schema: Schema | None,
+    delimiter: str,
+    categorical_threshold: int,
+) -> Table:
+    """The shared single-table reader: consume ``stream`` row by row
+    (never materialising the file as one string) and build the table."""
+    reader = csv.reader(stream, delimiter=delimiter)
+    header = _read_header(reader, schema)
+    raw_rows = list(_validated_rows(reader, header))
+    if schema is None:
+        schema = infer_schema(header, raw_rows, categorical_threshold)
+    return _block_table(schema, raw_rows)
+
+
+def _read_header(reader, schema: Schema | None) -> list[str]:
+    """Consume and check the header row."""
     try:
         header = next(reader)
     except StopIteration as exc:
         raise CSVFormatError("empty CSV: no header row") from exc
+    if schema is not None and header != schema.names:
+        raise CSVFormatError(
+            f"header {header!r} does not match schema attributes {schema.names!r}"
+        )
+    return header
 
-    raw_rows: list[Sequence[str]] = []
+
+def _validated_rows(
+    reader, header: Sequence[str]
+) -> Iterator[Sequence[str]]:
+    """Yield data rows, skipping blank lines and checking field counts."""
     for lineno, row in enumerate(reader, start=2):
         if not row:
             continue
@@ -71,16 +154,12 @@ def read_csv_text(
             raise CSVFormatError(
                 f"line {lineno}: expected {len(header)} fields, got {len(row)}"
             )
-        raw_rows.append(row)
+        yield row
 
-    if schema is None:
-        schema = infer_schema(header, raw_rows, categorical_threshold)
-    elif header != schema.names:
-        raise CSVFormatError(
-            f"header {header!r} does not match schema attributes {schema.names!r}"
-        )
 
-    columns: list[list] = [[] for _ in header]
+def _block_table(schema: Schema, raw_rows: Iterable[Sequence[str]]) -> Table:
+    """NULL-map and type-coerce one block of raw rows into a table."""
+    columns: list[list] = [[] for _ in schema.names]
     for row in raw_rows:
         for j, v in enumerate(row):
             columns[j].append(None if is_null(v) else v)
@@ -96,13 +175,28 @@ def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
     Path(path).write_text(to_csv_text(table, delimiter=delimiter), encoding="utf-8")
 
 
-def to_csv_text(table: Table, delimiter: str = ",") -> str:
-    """Render ``table`` as CSV text."""
-    buf = io.StringIO()
-    writer = csv.writer(buf, delimiter=delimiter, lineterminator="\n")
-    writer.writerow(table.schema.names)
+def append_csv_rows(
+    handle, table: Table, delimiter: str = ","
+) -> None:
+    """Write ``table``'s data rows (no header) onto an open text handle —
+    the emit primitive of the streaming cleaner, so chunked output never
+    holds more than one block."""
+    writer = csv.writer(handle, delimiter=delimiter, lineterminator="\n")
     for row in table.rows():
         writer.writerow(
             [NULL_TOKEN if v is None else str(v) for v in row.values()]
         )
+
+
+def write_csv_header(handle, schema: Schema, delimiter: str = ",") -> None:
+    """Write just the header row onto an open text handle."""
+    writer = csv.writer(handle, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(schema.names)
+
+
+def to_csv_text(table: Table, delimiter: str = ",") -> str:
+    """Render ``table`` as CSV text."""
+    buf = io.StringIO()
+    write_csv_header(buf, table.schema, delimiter=delimiter)
+    append_csv_rows(buf, table, delimiter=delimiter)
     return buf.getvalue()

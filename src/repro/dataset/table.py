@@ -230,6 +230,12 @@ class Table:
         """The first ``n`` rows."""
         return Table(self.schema, [c[:n] for c in self.columns])
 
+    def slice_rows(self, start: int, stop: int) -> "Table":
+        """Rows ``[start, stop)`` as a new table (list-slice semantics:
+        out-of-range bounds clamp).  The row-block primitive of the
+        chunked cleaning pipeline."""
+        return Table(self.schema, [c[start:stop] for c in self.columns])
+
     def select(self, predicate: Callable[[Row], bool]) -> "Table":
         """Rows satisfying ``predicate``."""
         keep = [i for i in range(self.n_rows) if predicate(self.row(i))]

@@ -20,6 +20,15 @@ shard counts produce byte-identical ``CleaningResult``\\ s.
 builds and per-node CPT count passes (``BCleanConfig.fit_executor``),
 merging results deterministically by task index — the fitted statistics
 are byte-identical to the serial build.
+
+On top of those seams, :mod:`repro.exec.stream` stages the clean as an
+explicit pipeline (ingest → encode → detect → plan → execute → merge →
+emit) over :class:`~repro.exec.stream.RowChunk`\\ s — enabling
+out-of-core chunked cleaning with byte-identical repairs —
+:mod:`repro.exec.shm` ships process-backend snapshots through one
+shared-memory segment instead of per-worker pickles, and
+:func:`~repro.exec.planner.resolve_executor` turns ``executor="auto"``
+into serial/process from the plan's cost estimate.
 """
 
 from repro.exec.backends import (
@@ -36,17 +45,33 @@ from repro.exec.fit import (
     sharded_family_arrays,
     sharded_pair_arrays,
 )
-from repro.exec.merge import MergedDecisions, merge_shard_results
+from repro.exec.merge import (
+    MergedDecisions,
+    concat_chunk_repairs,
+    merge_shard_results,
+)
 from repro.exec.planner import (
+    AUTO_CLEAN_COST_THRESHOLD,
+    AUTO_FIT_COST_THRESHOLD,
     OVERSUBSCRIBE,
     Shard,
     ShardPlan,
     estimate_competition_costs,
     plan_shards,
+    resolve_executor,
 )
 from repro.exec.state import FitState, ShardResult
+from repro.exec.stream import (
+    CsvSink,
+    RowChunk,
+    StreamDriver,
+    TableSink,
+)
 
 __all__ = [
+    "AUTO_CLEAN_COST_THRESHOLD",
+    "AUTO_FIT_COST_THRESHOLD",
+    "CsvSink",
     "EXECUTOR_NAMES",
     "FitJobState",
     "FitShardResult",
@@ -54,15 +79,20 @@ __all__ = [
     "MergedDecisions",
     "OVERSUBSCRIBE",
     "ProcessBackend",
+    "RowChunk",
     "SerialBackend",
     "Shard",
     "ShardPlan",
     "ShardResult",
+    "StreamDriver",
+    "TableSink",
     "ThreadBackend",
+    "concat_chunk_repairs",
     "estimate_competition_costs",
     "get_backend",
     "merge_shard_results",
     "plan_shards",
+    "resolve_executor",
     "run_fit_job",
     "sharded_family_arrays",
     "sharded_pair_arrays",

@@ -18,19 +18,26 @@ wall-clock differs:
     wide tables with large pools; modest elsewhere.
 
 ``process``
-    A ``ProcessPoolExecutor``.  The snapshot is pickled **once** and
+    A ``ProcessPoolExecutor``.  The snapshot is serialised **once** and
     shipped to each worker through the pool initializer (not per task);
-    workers rebuild lazy caches locally.  True multi-core scaling at
-    the cost of one snapshot serialisation per ``clean()`` — the right
-    backend for paper-scale tables.  If the host cannot create a
-    process pool at all (sandboxed environments without semaphore
-    support), the backend falls back to serial execution and records it
-    in :attr:`ProcessBackend.fell_back` so the engine can surface the
+    workers rebuild lazy caches locally.  The snapshot's large numpy
+    arrays travel through one ``multiprocessing.shared_memory`` segment
+    (:mod:`repro.exec.shm` — workers map the same physical pages
+    instead of each deserialising a private copy; only the scalar shell
+    is pickled), falling back to the classic all-in-band pickle when
+    the host offers no shared memory.  True multi-core scaling at the
+    cost of one snapshot serialisation per dispatch — the right backend
+    for paper-scale tables.  If the host cannot create a process pool
+    at all (sandboxed environments without semaphore support), the
+    backend falls back to serial execution and records it in
+    :attr:`ProcessBackend.fell_back` so the engine can surface the
     downgrade in its diagnostics.
 """
 
 from __future__ import annotations
 
+import atexit
+import gc
 import pickle
 from concurrent.futures import (
     BrokenExecutor,
@@ -40,6 +47,7 @@ from concurrent.futures import (
 from typing import Protocol, Sequence
 
 from repro.errors import CleaningError
+from repro.exec import shm as shm_transport
 from repro.exec.planner import Shard
 from repro.exec.state import FitState, ShardResult
 
@@ -84,13 +92,39 @@ class ThreadBackend:
 
 
 # Worker-side state of the process backend: installed once per worker by
-# the pool initializer, read by every task that worker executes.
+# the pool initializer, read by every task that worker executes.  The
+# shared-memory mapping (if any) is pinned alongside the state — the
+# state's arrays are zero-copy views into it.
 _WORKER_STATE: FitState | None = None
+_WORKER_SHM = None
 
 
 def _worker_init(payload: bytes) -> None:
     global _WORKER_STATE
     _WORKER_STATE = pickle.loads(payload)
+
+
+def _worker_init_shm(shell: "shm_transport.ShmShell") -> None:
+    global _WORKER_STATE, _WORKER_SHM
+    _WORKER_STATE, _WORKER_SHM = shm_transport.unpack(shell)
+    # Detach deliberately at worker exit: drop the state first so the
+    # zero-copy array views release their buffer exports, then unmap.
+    # Leaving both to interpreter-shutdown GC risks the mapping's
+    # destructor running while views are still alive (teardown order is
+    # unspecified), which would print an ignored BufferError per worker.
+    atexit.register(_worker_detach_shm)
+
+
+def _worker_detach_shm() -> None:
+    global _WORKER_STATE, _WORKER_SHM
+    _WORKER_STATE = None
+    gc.collect()  # the snapshot graph may hold reference cycles
+    if _WORKER_SHM is not None:
+        try:
+            _WORKER_SHM.close()
+        except BufferError:  # pragma: no cover - a view outlived the state
+            pass
+        _WORKER_SHM = None
 
 
 def _worker_run(shard: Shard) -> ShardResult:
@@ -100,43 +134,69 @@ def _worker_run(shard: Shard) -> ShardResult:
 
 
 class ProcessBackend:
-    """``ProcessPoolExecutor`` with a one-shot pickled snapshot."""
+    """``ProcessPoolExecutor`` with a one-shot snapshot (shm or pickle)."""
 
     name = "process"
 
-    def __init__(self, n_jobs: int):
+    def __init__(self, n_jobs: int, use_shm: bool = True):
         self.n_jobs = max(1, n_jobs)
+        #: whether to attempt the shared-memory transport at all (tests
+        #: force the pickle path by passing False)
+        self.use_shm = use_shm
         #: set when the host refused a process pool and serial ran instead
         self.fell_back = False
         #: set when the run short-circuited to serial (one worker or one
-        #: shard): no pool was created and no snapshot was pickled
+        #: shard): no pool was created and no snapshot was shipped
         self.ran_serially = False
+        #: set when the snapshot's arrays travelled via shared memory
+        self.shm_used = False
+        #: out-of-band bytes shipped through the segment (diagnostics)
+        self.shm_bytes = 0
 
     def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
         if len(shards) <= 1 or self.n_jobs == 1:
             self.ran_serially = True
             return SerialBackend().run(state, shards)
+        snapshot = shm_transport.pack(state) if self.use_shm else None
         try:
-            payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            if snapshot is not None:
+                self.shm_used = True
+                self.shm_bytes = snapshot.array_bytes
+                initializer, initargs = _worker_init_shm, (snapshot.shell,)
+            else:
+                payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+                initializer, initargs = _worker_init, (payload,)
             with ProcessPoolExecutor(
                 max_workers=min(self.n_jobs, len(shards)),
-                initializer=_worker_init,
-                initargs=(payload,),
+                initializer=initializer,
+                initargs=initargs,
             ) as pool:
                 return list(pool.map(_worker_run, shards))
         except (OSError, BrokenExecutor):
             # The *pool* could not be created (no semaphores, fork
-            # blocked...) or its workers were killed (BrokenExecutor).
-            # Shard execution itself does no IO, so this is an
-            # environment limitation: degrade to the always-correct
-            # serial path and let the engine report it.
+            # blocked...) or its workers were killed (BrokenExecutor —
+            # e.g. a worker that failed to map the segment).  Shard
+            # execution itself does no IO, so this is an environment
+            # limitation: degrade to the always-correct serial path and
+            # let the engine report it.
             self.fell_back = True
             self.ran_serially = True
+            self.shm_used = False
             return SerialBackend().run(state, shards)
+        finally:
+            # Workers have been joined by the pool's context exit, so
+            # the segment can be unlinked; their mappings died with them.
+            if snapshot is not None:
+                snapshot.release()
 
 
 def get_backend(name: str, n_jobs: int) -> SerialBackend | ThreadBackend | ProcessBackend:
-    """Instantiate the backend selected by ``BCleanConfig.executor``."""
+    """Instantiate the backend selected by ``BCleanConfig.executor``.
+
+    ``"auto"`` is not a backend — callers resolve it first with
+    :func:`repro.exec.planner.resolve_executor` (it needs the plan's
+    cost estimate, which only the call site has).
+    """
     if name == "serial":
         return SerialBackend()
     if name == "thread":

@@ -36,7 +36,13 @@ import numpy as np
 from repro.core.cooccurrence import PairArrays, build_pair_arrays
 from repro.errors import CleaningError
 from repro.exec.backends import get_backend
-from repro.exec.planner import OVERSUBSCRIBE, Shard, plan_shards
+from repro.exec.planner import (
+    AUTO_FIT_COST_THRESHOLD,
+    OVERSUBSCRIBE,
+    Shard,
+    plan_shards,
+    resolve_executor,
+)
 from repro.stats.infotheory import joint_code_counts
 
 #: planner "column" ids of the two fit task kinds
@@ -134,6 +140,11 @@ def run_fit_job(
     touches) and run by the configured backend; because every payload is
     scattered back by its task index, the merge is independent of
     backend, shard count, and completion order.
+
+    ``executor="auto"`` resolves here, after planning: serial unless
+    the plan's total rows-touched estimate clears
+    :data:`~repro.exec.planner.AUTO_FIT_COST_THRESHOLD` (the resolved
+    name lands in the diagnostics next to the requested one).
     """
     n_rows = len(state.weights)
     work = []
@@ -152,7 +163,14 @@ def run_fit_job(
         )
     hint = 1 if executor == "serial" else n_jobs * OVERSUBSCRIBE
     plan = plan_shards(work, hint)
-    backend = get_backend(executor, n_jobs)
+    resolved = resolve_executor(
+        executor,
+        plan.total_cost,
+        plan.n_shards,
+        n_jobs,
+        threshold=AUTO_FIT_COST_THRESHOLD,
+    )
+    backend = get_backend(resolved, n_jobs)
     results = backend.run(state, plan.shards)
 
     pair_payloads: list = [None] * len(state.pair_tasks)
@@ -171,16 +189,20 @@ def run_fit_job(
         raise CleaningError("fit plan left tasks unexecuted")
 
     diagnostics = {
-        "fit_executor": executor,
-        "n_jobs": 1 if executor == "serial" else n_jobs,
+        "fit_executor": resolved,
+        "n_jobs": 1 if resolved == "serial" else n_jobs,
         "n_shards": plan.n_shards,
         "n_pair_tasks": len(state.pair_tasks),
         "n_cpt_tasks": len(state.cpt_tasks),
     }
+    if executor == "auto":
+        diagnostics["auto"] = True
     if getattr(backend, "fell_back", False):
         diagnostics["process_fallback"] = True
     if getattr(backend, "ran_serially", False):
         diagnostics["ran_serially"] = True
+    if getattr(backend, "shm_used", False):
+        diagnostics["shm"] = True
     return pair_payloads, cpt_payloads, diagnostics
 
 

@@ -1,4 +1,4 @@
-"""Deterministic reassembly of per-shard repair arrays.
+"""Deterministic reassembly of per-shard — and per-chunk — results.
 
 Every shard decides a disjoint set of (attribute, unique row signature)
 competitions, so merging is pure scatter: write each shard's decision
@@ -10,6 +10,14 @@ single-shard path regardless of backend, worker count, or completion
 order.  The merge still *verifies* disjointness: a shard plan bug that
 assigned one competition twice raises instead of silently letting the
 racier write win.
+
+The chunked pipeline (:mod:`repro.exec.stream`) adds a second, outer
+merge level: each row chunk produces its own repair list (rows in
+global row-major order within the chunk), and
+:func:`concat_chunk_repairs` concatenates them in chunk order — with
+the same paranoia, verifying that consecutive chunks cover
+strictly-ascending row ranges so the concatenation equals the
+whole-table row-major emission.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.repairs import Repair
 from repro.errors import CleaningError
 from repro.exec.state import ShardResult
 
@@ -76,4 +85,29 @@ def merge_shard_results(
         merged.candidates_evaluated += result.candidates_evaluated
         merged.candidates_filtered_uc += result.candidates_filtered_uc
         merged.n_competitions += result.n_competitions
+    return merged
+
+
+def concat_chunk_repairs(
+    per_chunk: Sequence[Sequence[Repair]],
+) -> list[Repair]:
+    """Concatenate per-chunk repair lists in chunk order.
+
+    Chunks partition the table into consecutive row ranges, so the
+    correct global order is simply chunk order — but a driver bug that
+    emitted chunks out of order (or overlapped their row ranges) would
+    silently corrupt the "byte-identical to the whole-table run"
+    contract, so ascending row order across the seams is verified.
+    """
+    merged: list[Repair] = []
+    for chunk_index, repairs in enumerate(per_chunk):
+        # Chunks cover disjoint row ranges, so even an *equal* row at a
+        # seam means two chunks claimed the same row.
+        if merged and repairs and repairs[0].row <= merged[-1].row:
+            raise CleaningError(
+                f"chunk {chunk_index} repairs start at row "
+                f"{repairs[0].row}, not after the previous chunk's "
+                f"last row {merged[-1].row}"
+            )
+        merged.extend(repairs)
     return merged

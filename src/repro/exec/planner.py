@@ -39,6 +39,39 @@ OVERSUBSCRIBE = 4
 #: in pool-entry units, so empty-pool competitions still count.
 COMPETITION_OVERHEAD = 8.0
 
+#: planned total cost (pool-entry units) above which ``executor="auto"``
+#: prefers the process backend for a clean.  Below it the snapshot
+#: shipping + pool spawn overhead dominates any multi-core win: the
+#: tiny fixture tables plan a few thousand units, the paper-scale
+#: soccer-1500 bench plans well over a million.
+AUTO_CLEAN_COST_THRESHOLD = 200_000.0
+
+#: the same switch for ``fit_executor="auto"``, in the fit planner's
+#: rows-touched units.  One row-unit is a fraction of a fused-code
+#: numpy pass — far cheaper than one competition — so the break-even
+#: table is much larger than for cleaning.
+AUTO_FIT_COST_THRESHOLD = 2_000_000.0
+
+
+def resolve_executor(
+    requested: str, total_cost: float, n_shards: int, n_jobs: int,
+    threshold: float = AUTO_CLEAN_COST_THRESHOLD,
+) -> str:
+    """The concrete backend ``executor="auto"`` selects for one job.
+
+    Anything other than ``"auto"`` passes through unchanged.  ``auto``
+    picks ``"process"`` only when parallelism can exist at all (more
+    than one worker *and* more than one shard) and the planner's
+    total-cost estimate clears ``threshold`` — otherwise the always-
+    cheap serial path wins.  The choice affects wall-clock only: every
+    backend produces byte-identical results.
+    """
+    if requested != "auto":
+        return requested
+    if n_jobs > 1 and n_shards > 1 and total_cost >= threshold:
+        return "process"
+    return "serial"
+
 
 @dataclass(frozen=True, eq=False)
 class Shard:

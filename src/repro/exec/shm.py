@@ -1,0 +1,146 @@
+"""Shared-memory shipping of read-only snapshots to process workers.
+
+The process backend used to pickle the whole
+:class:`~repro.exec.state.FitState` — including every large numpy array
+(coded columns, co-occurrence pair arrays, dense CPT log-prob matrices,
+deduplicated row signatures) — into one byte string per ``clean()``.
+For wide tables those arrays dominate the payload, and every worker
+received (and held) its own private copy.
+
+This module splits the snapshot with pickle protocol 5's out-of-band
+buffer machinery instead:
+
+- :func:`pack` pickles only the *scalar shell* of the object graph.
+  Every contiguous numpy array surfaces as a :class:`pickle.PickleBuffer`
+  via the ``buffer_callback`` hook; their bytes are packed, 8-byte
+  aligned, into **one** ``multiprocessing.shared_memory`` segment.
+- workers call :func:`unpack` with the (small) shell plus the segment
+  name: the buffers are reconstructed as zero-copy ``memoryview`` slices
+  of the mapped segment, so the arrays of every worker alias the same
+  physical pages — no per-worker copy, no per-worker deserialisation of
+  array payloads.
+
+The snapshot contract (arrays are never written after fit) is what makes
+the aliasing safe; it is the same contract the thread backend already
+relies on when sharing the state by reference.
+
+When the host cannot provide shared memory (no ``/dev/shm``, sandboxed
+semaphores, zero array bytes to ship) :func:`pack` returns ``None`` and
+the caller falls back to the classic all-in-band pickle — behaviour is
+identical either way, only the shipping cost differs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+try:  # pragma: no cover - import always succeeds on CPython ≥3.8
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    shared_memory = None  # type: ignore[assignment]
+
+#: buffer offsets are rounded up to this many bytes so reconstructed
+#: numpy arrays keep natural alignment for their dtypes
+_ALIGN = 8
+
+
+@dataclass(frozen=True)
+class ShmShell:
+    """The picklable part of a packed snapshot: the in-band shell plus
+    the directory of out-of-band buffers inside the shared segment."""
+
+    shell: bytes
+    segment_name: str
+    offsets: tuple[int, ...]
+    lengths: tuple[int, ...]
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.offsets)
+
+
+class PackedSnapshot:
+    """A snapshot packed into shared memory, owned by the packing side.
+
+    The owner must call :meth:`release` (close + unlink) once every
+    worker that will attach has finished — typically right after the
+    process pool is joined.
+    """
+
+    def __init__(self, shm, shell: ShmShell, array_bytes: int):
+        self._shm = shm
+        self.shell = shell
+        #: total out-of-band bytes shipped through the segment
+        self.array_bytes = array_bytes
+
+    def release(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        self._shm = None
+
+
+def pack(obj) -> PackedSnapshot | None:
+    """Pack ``obj`` into (scalar shell, one shared-memory segment).
+
+    Returns ``None`` when shared memory cannot be used here — no shm
+    support, nothing buffer-like to ship out-of-band, or segment
+    creation refused by the host — in which case the caller should ship
+    a plain pickle instead.
+    """
+    if shared_memory is None:
+        return None
+    buffers: list[pickle.PickleBuffer] = []
+    try:
+        shell = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+        views = [b.raw() for b in buffers]
+    except (pickle.PicklingError, BufferError, ValueError):
+        return None
+    if not views:
+        return None
+    offsets: list[int] = []
+    total = 0
+    for view in views:
+        total = -(-total // _ALIGN) * _ALIGN  # round up to alignment
+        offsets.append(total)
+        total += view.nbytes
+    if total == 0:
+        return None
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=total)
+    except OSError:
+        return None
+    for view, offset in zip(views, offsets):
+        shm.buf[offset : offset + view.nbytes] = view
+    lengths = tuple(v.nbytes for v in views)
+    return PackedSnapshot(
+        shm,
+        ShmShell(shell, shm.name, tuple(offsets), lengths),
+        array_bytes=total,
+    )
+
+
+def unpack(shell: ShmShell):
+    """Rebuild the object in a worker: attach the segment and feed its
+    slices back as the out-of-band buffers.
+
+    Returns ``(obj, shm)``.  The caller must keep ``shm`` referenced for
+    as long as the object lives — the arrays are zero-copy views of the
+    mapping — and ``close()`` it at process teardown (never ``unlink()``:
+    the packing side owns the segment).
+    """
+    if shared_memory is None:  # pragma: no cover - guarded by pack()
+        raise OSError("shared memory is not available on this platform")
+    shm = shared_memory.SharedMemory(name=shell.segment_name, create=False)
+    views = [
+        shm.buf[offset : offset + length]
+        for offset, length in zip(shell.offsets, shell.lengths)
+    ]
+    obj = pickle.loads(shell.shell, buffers=views)
+    return obj, shm

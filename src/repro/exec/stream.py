@@ -1,0 +1,602 @@
+"""The staged cleaning pipeline: ingest → encode → detect → plan →
+execute → merge → emit.
+
+This module is the driver of the columnar clean path.  What used to be
+one monolithic ``BClean._clean_columnar`` body is decomposed into
+explicit stages, each consuming/producing a :class:`RowChunk`-anchored
+state object:
+
+ingest
+    Produce row blocks: slices of the fitted table, slices of a foreign
+    in-memory table, or CSV blocks streamed off disk
+    (:func:`repro.dataset.io.iter_csv_chunks`) — the out-of-core case,
+    where no stage ever holds more than one block.
+encode
+    Integer-code the block.  Fitted-table blocks are zero-copy slices
+    of the fit-time coded matrix; foreign blocks go through
+    :meth:`~repro.dataset.encoding.TableEncoding.encode_table`, whose
+    incremental code-minting keeps every chunk on the columnar fast
+    path (unseen values get fresh codes all statistics treat as
+    never-observed).
+detect
+    The §6.2 tuple-pruning filter (PIP mode): per-attribute boolean
+    skip masks over the block's rows.
+plan
+    Deduplicate the block's row signatures, estimate per-competition
+    costs, and cut cost-balanced :class:`~repro.exec.planner.Shard`\\ s;
+    ``executor="auto"`` resolves serial vs process here, from the
+    plan's total-cost estimate.
+execute
+    Freeze the block's view into a :class:`~repro.exec.state.FitState`
+    and run the shards on the chosen worker backend (the process
+    backend ships the snapshot's arrays via shared memory when the
+    host allows — :mod:`repro.exec.shm`).
+merge
+    Scatter the shard results into per-attribute decision buffers
+    (:func:`~repro.exec.merge.merge_shard_results`).
+emit
+    Broadcast per-signature decisions back to the block's rows —
+    into an in-memory cleaned table (:class:`TableSink`) or appended
+    to an output CSV (:class:`CsvSink`) — emitting repairs in global
+    row-major order.
+
+**Chunked output is byte-identical to the whole-table run at every
+chunk size.**  Every candidate competition is a pure function of its
+row signature and the frozen fit statistics, per-row weights and filter
+scores are row-local, foreign code-minting happens in row order
+regardless of block boundaries, and chunks emit in order — so chunk
+boundaries can reorder *work*, never *results*.  The only observable
+difference is effort bookkeeping: a signature recurring in several
+chunks re-runs its competition once per chunk, so
+``candidates_evaluated`` / ``cache_size`` may exceed the whole-table
+counts (repairs, scores, and the cells counters are identical).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.config import InferenceMode
+from repro.core.pruning import (
+    tuple_filter_scores_all_rows,
+    tuple_filter_scores_coded,
+)
+from repro.core.repairs import CleaningStats, Repair
+from repro.dataset.io import append_csv_rows, iter_csv_chunks, write_csv_header
+from repro.dataset.table import Table
+from repro.errors import CleaningError
+from repro.exec.backends import get_backend
+from repro.exec.merge import (
+    MergedDecisions,
+    concat_chunk_repairs,
+    merge_shard_results,
+)
+from repro.exec.planner import (
+    OVERSUBSCRIBE,
+    ShardPlan,
+    estimate_competition_costs,
+    plan_shards,
+    resolve_executor,
+)
+from repro.exec.state import FitState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import BClean
+
+
+# -- chunk-state objects (one per pipeline stage) ------------------------------
+
+
+@dataclass
+class RowChunk:
+    """One ingested row block.
+
+    ``table`` holds the materialised rows for foreign blocks; fitted-
+    table blocks leave it ``None`` (their cells live in the engine's
+    fitted table, addressed through ``start``).
+    """
+
+    index: int
+    start: int
+    n_rows: int
+    table: Table | None = None
+
+
+@dataclass
+class EncodedChunk:
+    """A chunk after the encode stage: coded rows plus row weights."""
+
+    chunk: RowChunk
+    codes: np.ndarray
+    weights: np.ndarray
+    fitted: bool
+
+
+@dataclass
+class DetectedChunk:
+    """A chunk after detection: per-column row skip masks (PIP only)."""
+
+    encoded: EncodedChunk
+    skip_rows: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class PlannedChunk:
+    """A chunk after planning: deduplicated signatures and a shard plan."""
+
+    detected: DetectedChunk
+    uniq_rows: np.ndarray
+    inverse: np.ndarray
+    uniq_weights: np.ndarray
+    columns: list[int]
+    plan: ShardPlan
+    executor: str
+
+
+@dataclass
+class ChunkDecisions:
+    """A chunk after execute+merge: per-signature decision buffers."""
+
+    planned: PlannedChunk
+    merged: MergedDecisions
+
+
+# -- emit sinks ----------------------------------------------------------------
+
+
+class TableSink:
+    """Emit repairs into an in-memory cleaned table (the classic
+    ``CleaningResult`` shape)."""
+
+    def __init__(self, source: Table, cleaned: Table):
+        self._source = source
+        self._cleaned = cleaned
+        self._current: list[Repair] = []
+
+    def repair(
+        self,
+        chunk: RowChunk,
+        local_row: int,
+        column: int,
+        attr: str,
+        new_value,
+        incumbent_score: float,
+        best_score: float,
+    ) -> None:
+        source = chunk.table if chunk.table is not None else self._source
+        source_row = local_row if chunk.table is not None else chunk.start + local_row
+        row = chunk.start + local_row
+        self._cleaned.set_cell(row, attr, new_value)
+        self._current.append(
+            Repair(
+                row,
+                attr,
+                source.columns[column][source_row],
+                new_value,
+                incumbent_score,
+                best_score,
+            )
+        )
+
+    def chunk_done(self, chunk: RowChunk) -> list[Repair]:
+        """Cells were written in place — just hand back the chunk's
+        repair list for the outer merge."""
+        repairs, self._current = self._current, []
+        return repairs
+
+
+class CsvSink:
+    """Emit cleaned rows onto an open CSV handle, one block at a time.
+
+    The cleaned table is never materialised — this is the out-of-core
+    emit stage.  Repairs are still recorded (with global row indices)
+    so the caller gets the usual provenance.
+    """
+
+    def __init__(self, handle, delimiter: str = ","):
+        self._handle = handle
+        self._delimiter = delimiter
+        self._current: list[Repair] = []
+        self._pending: dict[tuple[int, int], object] = {}
+
+    def repair(
+        self,
+        chunk: RowChunk,
+        local_row: int,
+        column: int,
+        attr: str,
+        new_value,
+        incumbent_score: float,
+        best_score: float,
+    ) -> None:
+        if chunk.table is None:  # pragma: no cover - CSV chunks carry tables
+            raise CleaningError("CsvSink needs materialised chunk rows")
+        self._pending[(local_row, column)] = new_value
+        self._current.append(
+            Repair(
+                chunk.start + local_row,
+                attr,
+                chunk.table.columns[column][local_row],
+                new_value,
+                incumbent_score,
+                best_score,
+            )
+        )
+
+    def chunk_done(self, chunk: RowChunk) -> list[Repair]:
+        table = chunk.table
+        if self._pending:
+            table = table.copy()
+            for (local_row, column), value in self._pending.items():
+                table.set_cell(local_row, table.schema.names[column], value)
+            self._pending = {}
+        append_csv_rows(self._handle, table, delimiter=self._delimiter)
+        repairs, self._current = self._current, []
+        return repairs
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+class StreamDriver:
+    """Runs the staged pipeline over one clean() invocation.
+
+    The driver is built per clean from the engine's fitted components
+    and accumulates the work counters / execution diagnostics the
+    engine folds into its :class:`~repro.core.repairs.CleaningResult`.
+    """
+
+    def __init__(self, engine: "BClean", scorer):
+        self.engine = engine
+        self.cfg = engine.config
+        self.enc = engine._encoding
+        self.names: list[str] = list(engine.table.schema.names)
+        self.scorer = scorer
+        self.n_jobs = self.cfg.n_jobs or os.cpu_count() or 1
+        # per-clean lazy caches for fitted-table chunking
+        self._fitted_matrix: np.ndarray | None = None
+        self._fitted_filter: dict[str, np.ndarray] = {}
+        # aggregated outcome
+        self.competitions_run = 0
+        self.n_chunks = 0
+        self.total_shards = 0
+        self.backend_counts: dict[str, int] = {}
+        self.flags: dict[str, bool] = {}
+        self.shm_used = False
+        self.incremental = False
+        #: the block size chunks were actually cut at (None = whole table)
+        self.effective_chunk_rows = self.cfg.chunk_rows
+
+    # -- ingest -----------------------------------------------------------------
+
+    def _table_chunks(self, table: Table, fitted: bool) -> Iterator[RowChunk]:
+        """Slice an in-memory table into row blocks (one block covering
+        everything when ``chunk_rows`` is off)."""
+        n = table.n_rows
+        step = self.cfg.chunk_rows or n
+        if fitted:
+            for index, start in enumerate(range(0, n, max(step, 1))):
+                yield RowChunk(index, start, min(step, n - start), table=None)
+        elif self.cfg.chunk_rows is None:
+            if n:
+                yield RowChunk(0, 0, n, table=table)
+        else:
+            for index, start in enumerate(range(0, n, step)):
+                yield RowChunk(
+                    index, start, min(step, n - start),
+                    table=table.slice_rows(start, start + step),
+                )
+
+    def _csv_chunks(self, path, delimiter: str) -> Iterator[RowChunk]:
+        """Stream a foreign CSV as row blocks under the fitted schema —
+        the first block never waits for the rest of the file."""
+        chunk_rows = self.cfg.chunk_rows or DEFAULT_CSV_CHUNK_ROWS
+        self.effective_chunk_rows = chunk_rows
+        start = 0
+        for index, block in enumerate(
+            iter_csv_chunks(
+                path,
+                chunk_rows,
+                schema=self.engine.table.schema,
+                delimiter=delimiter,
+            )
+        ):
+            yield RowChunk(index, start, block.n_rows, table=block)
+            start += block.n_rows
+
+    # -- encode -----------------------------------------------------------------
+
+    def _matrix(self) -> np.ndarray:
+        if self._fitted_matrix is None:
+            self._fitted_matrix = self.enc.matrix()
+        return self._fitted_matrix
+
+    def encode(self, chunk: RowChunk, fitted: bool) -> EncodedChunk:
+        if fitted:
+            stop = chunk.start + chunk.n_rows
+            codes = self._matrix()[chunk.start : stop]
+            weights = self.engine.cooc.row_weights[chunk.start : stop]
+        else:
+            codes = self.enc.encode_table(chunk.table)
+            weights = np.ones(chunk.n_rows, dtype=np.float64)
+        return EncodedChunk(chunk, codes, weights, fitted)
+
+    # -- detect -----------------------------------------------------------------
+
+    def _fitted_filter_scores(self, attr: str) -> np.ndarray:
+        scores = self._fitted_filter.get(attr)
+        if scores is None:
+            scores = tuple_filter_scores_all_rows(self.engine.cooc, attr)
+            self._fitted_filter[attr] = scores
+        return scores
+
+    def detect(self, encoded: EncodedChunk, stats: CleaningStats) -> DetectedChunk:
+        """Tuple pruning (§6.2): mark reliable, non-NULL cells to skip.
+
+        Outside PIP mode every cell is inspected and the masks stay
+        empty.
+        """
+        chunk = encoded.chunk
+        n = chunk.n_rows
+        detected = DetectedChunk(encoded)
+        if self.cfg.mode != InferenceMode.PARTITIONED_PRUNED:
+            stats.cells_inspected += n * len(self.names)
+            return detected
+        for j, attr in enumerate(self.names):
+            if encoded.fitted:
+                filter_scores = self._fitted_filter_scores(attr)[
+                    chunk.start : chunk.start + n
+                ]
+            else:
+                filter_scores = tuple_filter_scores_coded(
+                    self.engine.cooc, attr, encoded.codes, self.names
+                )
+            null_mask = self.enc.vocab(attr).null_mask
+            skip_rows = (filter_scores >= self.cfg.tau_clean) & ~null_mask[
+                encoded.codes[:, j]
+            ]
+            n_skipped = int(skip_rows.sum())
+            stats.cells_skipped_pruning += n_skipped
+            stats.cells_inspected += n - n_skipped
+            detected.skip_rows[j] = skip_rows
+        return detected
+
+    # -- plan -------------------------------------------------------------------
+
+    def plan(self, detected: DetectedChunk) -> PlannedChunk:
+        """Deduplicate signatures, estimate costs, cut shards, and pick
+        the backend (resolving ``executor="auto"`` from the plan's
+        total cost)."""
+        cfg = self.cfg
+        encoded = detected.encoded
+        uniq_rows, first_rows, inverse = np.unique(
+            encoded.codes, axis=0, return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        n_uniq = len(uniq_rows)
+        uniq_weights = encoded.weights[first_rows]
+
+        work: list[tuple[int, str, np.ndarray]] = []
+        for j, attr in enumerate(self.names):
+            skip_rows = detected.skip_rows.get(j)
+            if skip_rows is None:
+                skip_uniq = np.zeros(n_uniq, dtype=bool)
+            else:
+                skip_uniq = skip_rows[first_rows]
+            uids = np.nonzero(~skip_uniq)[0]
+            work.append((j, attr, uids))
+
+        if cfg.executor == "serial" or (
+            cfg.executor == "auto" and self.n_jobs == 1
+        ):
+            hint = 1
+        else:
+            hint = self.n_jobs * OVERSUBSCRIBE
+        # Pool-size cost estimates steer the cost-balanced planner and
+        # the auto-executor choice; one-shard-per-attribute (hint 1)
+        # and fixed shard_size plans never read them, so skip the
+        # estimation pass there.
+        balancing = cfg.shard_size is None and hint > 1
+        m = len(self.names)
+        costed_work = [
+            (
+                j,
+                attr,
+                uids,
+                estimate_competition_costs(
+                    self.engine.cooc,
+                    attr,
+                    uniq_rows[uids],
+                    [k for k in range(m) if k != j],
+                    self.names,
+                    cfg.effective_candidate_cap(),
+                )
+                if balancing
+                else np.ones(len(uids), dtype=np.float64),
+            )
+            for j, attr, uids in work
+        ]
+        plan = plan_shards(costed_work, hint, cfg.shard_size)
+        executor = resolve_executor(
+            cfg.executor, plan.total_cost, plan.n_shards, self.n_jobs
+        )
+        return PlannedChunk(
+            detected,
+            uniq_rows,
+            inverse,
+            uniq_weights,
+            [w[0] for w in work],
+            plan,
+            executor,
+        )
+
+    # -- execute + merge --------------------------------------------------------
+
+    def execute(self, planned: PlannedChunk, stats: CleaningStats) -> ChunkDecisions:
+        cfg = self.cfg
+        engine = self.engine
+        names = self.names
+        state = FitState(
+            cfg,
+            self.enc,
+            engine.cooc,
+            engine.comp,
+            engine.pruner,
+            self.scorer,
+            engine.subnets,
+            names,
+            planned.uniq_rows,
+            planned.uniq_weights,
+            {a: self.enc.vocab(a).null_mask for a in names},
+            {a: engine._uc_code_mask(a) for a in names} if cfg.use_ucs else {},
+            {a: engine._domain_codes(a) for a in names},
+        )
+        backend = get_backend(planned.executor, self.n_jobs)
+        results = backend.run(state, planned.plan.shards)
+        merged = merge_shard_results(
+            results, len(planned.uniq_rows), planned.columns
+        )
+
+        stats.candidates_evaluated += merged.candidates_evaluated
+        stats.candidates_filtered_uc += merged.candidates_filtered_uc
+        self.competitions_run += merged.n_competitions
+        self.total_shards += planned.plan.n_shards
+        self.backend_counts[planned.executor] = (
+            self.backend_counts.get(planned.executor, 0) + 1
+        )
+        for flag in ("fell_back", "ran_serially"):
+            if getattr(backend, flag, False):
+                key = "process_fallback" if flag == "fell_back" else flag
+                self.flags[key] = True
+        if getattr(backend, "shm_used", False):
+            self.shm_used = True
+        return ChunkDecisions(planned, merged)
+
+    # -- emit -------------------------------------------------------------------
+
+    def emit(self, decisions: ChunkDecisions, sink) -> list[Repair]:
+        """Broadcast per-signature decisions back to every row of the
+        chunk, in the scalar path's row-major repair order; returns the
+        chunk's repair list for the outer (chunk-level) merge."""
+        planned = decisions.planned
+        merged = decisions.merged
+        chunk = planned.detected.encoded.chunk
+        for local_i in range(chunk.n_rows):
+            uid = planned.inverse[local_i]
+            for j, attr in enumerate(self.names):
+                code = merged.decided[j][uid]
+                if code >= 0:
+                    sink.repair(
+                        chunk,
+                        local_i,
+                        j,
+                        attr,
+                        self.enc.decode(attr, int(code)),
+                        float(merged.incumbent_scores[j][uid]),
+                        float(merged.best_scores[j][uid]),
+                    )
+        return sink.chunk_done(chunk)
+
+    # -- drivers ----------------------------------------------------------------
+
+    def run(
+        self,
+        chunks: Iterable[RowChunk],
+        fitted: bool,
+        stats: CleaningStats,
+        sink,
+    ) -> list[Repair]:
+        """Push every chunk through encode → detect → plan → execute →
+        merge → emit, then concatenate the per-chunk repairs.  Chunks
+        are processed strictly one at a time, so peak memory is one
+        block plus the frozen fit statistics."""
+        self.incremental = not fitted
+        m = len(self.names)
+        per_chunk: list[list[Repair]] = []
+        for chunk in chunks:
+            if chunk.n_rows == 0:
+                continue
+            self.n_chunks += 1
+            stats.cells_total += chunk.n_rows * m
+            if m == 0:
+                continue
+            encoded = self.encode(chunk, fitted)
+            detected = self.detect(encoded, stats)
+            planned = self.plan(detected)
+            decisions = self.execute(planned, stats)
+            per_chunk.append(self.emit(decisions, sink))
+        return concat_chunk_repairs(per_chunk)
+
+    def clean_table(
+        self,
+        table: Table,
+        fitted: bool,
+        stats: CleaningStats,
+        cleaned: Table,
+        repairs: list[Repair],
+    ) -> None:
+        """The in-memory clean: whole-table (one chunk) or chunked."""
+        sink = TableSink(table, cleaned)
+        repairs.extend(
+            self.run(self._table_chunks(table, fitted), fitted, stats, sink)
+        )
+
+    def clean_csv(
+        self,
+        src,
+        dst,
+        stats: CleaningStats,
+        repairs: list[Repair],
+        delimiter: str = ",",
+    ) -> None:
+        """The out-of-core clean: CSV in, CSV out, one block resident."""
+        with open(dst, "w", newline="", encoding="utf-8") as handle:
+            write_csv_header(handle, self.engine.table.schema, delimiter=delimiter)
+            sink = CsvSink(handle, delimiter=delimiter)
+            repairs.extend(
+                self.run(self._csv_chunks(src, delimiter), False, stats, sink)
+            )
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def exec_diagnostics(self, requested: str) -> dict:
+        """The ``exec`` diagnostics block (same shape as before the
+        pipeline refactor, plus auto/shm annotations)."""
+        if self.n_chunks <= 1 and requested != "auto":
+            n_jobs = 1 if requested == "serial" else self.n_jobs
+        else:
+            resolved = set(self.backend_counts)
+            n_jobs = 1 if resolved <= {"serial"} else self.n_jobs
+        diag = {
+            "executor": requested,
+            "n_jobs": n_jobs,
+            "n_shards": self.total_shards,
+            "incremental_encoding": self.incremental,
+        }
+        if requested == "auto" and self.n_chunks == 1:
+            diag["resolved"] = next(iter(self.backend_counts), "serial")
+        diag.update(self.flags)
+        if self.shm_used:
+            diag["shm"] = True
+        return diag
+
+    def stream_diagnostics(self) -> dict:
+        """The ``stream`` diagnostics block (chunked runs only),
+        mirroring the ``fit_exec`` shape: chunk count, per-backend
+        chunk counts, shared-memory usage."""
+        return {
+            "chunk_rows": self.effective_chunk_rows,
+            "n_chunks": self.n_chunks,
+            "backends": dict(sorted(self.backend_counts.items())),
+            "shm": self.shm_used,
+        }
+
+
+#: CSV block size when ``clean_csv`` runs without an explicit
+#: ``chunk_rows`` — small enough to bound memory, large enough that
+#: per-chunk dedup still collapses most repeated signatures.
+DEFAULT_CSV_CHUNK_ROWS = 4096

@@ -1,0 +1,440 @@
+"""The staged streaming pipeline must be invisible in the results.
+
+Chunked cleaning (every chunk size, every backend, fitted and foreign
+tables alike) must produce repairs byte-identical to the whole-table
+run; chunk-*boundary placement* must be irrelevant too (property test);
+the shared-memory snapshot transport must round-trip exactly and
+degrade to pickle without changing results; and ``executor="auto"``
+must resolve from the planner's cost estimate.  The chunked CSV reader
+and the out-of-core ``clean_csv`` driver get unit coverage of their
+own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BCleanConfig, InferenceMode
+from repro.core.engine import BClean, clean_table
+from repro.core.repairs import CleaningStats, Repair
+from repro.data.benchmark import load_benchmark
+from repro.dataset.io import (
+    iter_csv_chunks,
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
+from repro.errors import CleaningError, CSVFormatError
+from repro.exec import (
+    AUTO_CLEAN_COST_THRESHOLD,
+    RowChunk,
+    StreamDriver,
+    TableSink,
+    concat_chunk_repairs,
+    resolve_executor,
+)
+from repro.exec import shm as shm_transport
+from repro.exec.backends import ProcessBackend
+
+pytestmark = pytest.mark.fast
+
+CHUNK_SIZES = (1, 7, 100)  # single-row, prime, > n_rows
+
+
+def _sig(result):
+    """The full, exact repair signature (no tolerance — byte identity)."""
+    return [
+        (r.row, r.attribute, r.old_value, r.new_value, r.old_score, r.new_score)
+        for r in result.repairs
+    ]
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return load_benchmark("hospital", n_rows=60, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine(hospital):
+    eng = BClean(BCleanConfig.pip(), hospital.constraints)
+    eng.fit(hospital.dirty)
+    return eng
+
+
+@pytest.fixture(scope="module")
+def reference(engine):
+    """The whole-table serial clean every chunked run is pinned against."""
+    return engine.clean()
+
+
+@pytest.fixture(scope="module")
+def foreign(hospital):
+    """A foreign table with unseen values (plain, NULL, and null-like)."""
+    table = hospital.dirty.copy()
+    names = table.schema.names
+    table.set_cell(3, names[1], "UNSEEN-VALUE-A")
+    table.set_cell(9, names[1], "UNSEEN-VALUE-B")
+    table.set_cell(5, names[2], None)
+    table.set_cell(7, names[0], "null")
+    return table
+
+
+def _chunked_clean(engine, chunk_rows, table=None, executor="serial", n_jobs=2):
+    config = engine.config
+    saved = (config.chunk_rows, config.executor, config.n_jobs)
+    config.chunk_rows, config.executor, config.n_jobs = chunk_rows, executor, n_jobs
+    try:
+        return engine.clean(table)
+    finally:
+        config.chunk_rows, config.executor, config.n_jobs = saved
+
+
+# -- chunked-vs-whole byte identity --------------------------------------------
+
+
+@pytest.mark.parametrize("chunk_rows", CHUNK_SIZES)
+def test_chunked_fitted_byte_identical(engine, reference, chunk_rows):
+    result = _chunked_clean(engine, chunk_rows)
+    assert _sig(result) == _sig(reference)
+    assert result.cleaned == reference.cleaned
+    # cells counters are chunk-invariant (only effort counters may grow)
+    assert result.stats.cells_total == reference.stats.cells_total
+    assert result.stats.cells_inspected == reference.stats.cells_inspected
+    assert (
+        result.stats.cells_skipped_pruning
+        == reference.stats.cells_skipped_pruning
+    )
+    stream = result.diagnostics["stream"]
+    assert stream["chunk_rows"] == chunk_rows
+    assert stream["n_chunks"] == -(-60 // chunk_rows)
+
+
+@pytest.mark.parametrize("executor", ("thread", "process"))
+def test_chunked_parallel_backends_byte_identical(engine, reference, executor):
+    result = _chunked_clean(engine, 25, executor=executor)
+    assert _sig(result) == _sig(reference)
+    assert result.cleaned == reference.cleaned
+    assert result.diagnostics["stream"]["n_chunks"] == 3
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("chunk_rows", CHUNK_SIZES)
+@pytest.mark.parametrize("executor", ("thread", "process"))
+def test_chunked_backend_matrix_byte_identical(
+    engine, reference, chunk_rows, executor
+):
+    result = _chunked_clean(engine, chunk_rows, executor=executor)
+    assert _sig(result) == _sig(reference)
+    assert result.cleaned == reference.cleaned
+
+
+@pytest.mark.parametrize("chunk_rows", CHUNK_SIZES)
+def test_chunked_foreign_byte_identical(engine, foreign, chunk_rows):
+    whole = engine.clean(foreign)
+    assert whole.diagnostics["exec"]["incremental_encoding"] is True
+    result = _chunked_clean(engine, chunk_rows, table=foreign)
+    assert _sig(result) == _sig(whole)
+    assert result.cleaned == whole.cleaned
+
+
+@pytest.mark.parametrize("executor", ("thread", "process"))
+def test_chunked_foreign_parallel_backends(engine, foreign, executor):
+    whole = engine.clean(foreign)
+    result = _chunked_clean(engine, 7, table=foreign, executor=executor)
+    assert _sig(result) == _sig(whole)
+    assert result.cleaned == whole.cleaned
+
+
+@pytest.mark.parametrize("mode_config", (BCleanConfig.pi, BCleanConfig.basic))
+def test_chunked_other_modes_byte_identical(hospital, mode_config):
+    eng = BClean(mode_config(), hospital.constraints)
+    eng.fit(hospital.dirty)
+    whole = eng.clean()
+    result = _chunked_clean(eng, 11)
+    assert _sig(result) == _sig(whole)
+    assert result.cleaned == whole.cleaned
+
+
+# -- chunk-boundary placement property -----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def foreign_whole(engine, foreign):
+    return engine.clean(foreign)
+
+
+@settings(max_examples=20, deadline=None)
+@given(cuts=st.sets(st.integers(min_value=1, max_value=59), max_size=8))
+def test_chunk_boundary_placement_never_changes_repairs(
+    engine, foreign, foreign_whole, cuts
+):
+    """Arbitrary (not just equal-stride) chunk boundaries are invisible:
+    the pipeline's repairs equal the whole-table run for every way of
+    cutting the table into consecutive blocks."""
+    whole = foreign_whole
+    bounds = sorted({0, foreign.n_rows, *cuts})
+    chunks = [
+        RowChunk(i, start, stop - start, table=foreign.slice_rows(start, stop))
+        for i, (start, stop) in enumerate(zip(bounds, bounds[1:]))
+    ]
+    driver = StreamDriver(engine, engine._columnar_scorer())
+    stats = CleaningStats()
+    cleaned = foreign.copy()
+    repairs = driver.run(iter(chunks), False, stats, TableSink(foreign, cleaned))
+    assert [
+        (r.row, r.attribute, r.old_value, r.new_value, r.old_score, r.new_score)
+        for r in repairs
+    ] == _sig(whole)
+    assert cleaned == whole.cleaned
+    assert stats.cells_total == whole.stats.cells_total
+
+
+# -- chunked CSV reader --------------------------------------------------------
+
+
+CSV_TEXT = "a,b,num\n" + "\n".join(
+    f"a{i % 5},b{i % 3},{i}" for i in range(23)
+) + "\n"
+
+
+@pytest.mark.parametrize("chunk_rows", (1, 7, 23, 1000))
+def test_iter_csv_chunks_concatenates_to_read_csv(tmp_path, chunk_rows):
+    path = tmp_path / "t.csv"
+    path.write_text(CSV_TEXT, encoding="utf-8")
+    whole = read_csv(path)
+    chunks = list(iter_csv_chunks(path, chunk_rows))
+    assert sum(c.n_rows for c in chunks) == whole.n_rows
+    assert all(c.schema == whole.schema for c in chunks)
+    rows = [row for c in chunks for row in c.to_rows()]
+    assert rows == whole.to_rows()
+    if chunk_rows < whole.n_rows:
+        assert len(chunks) == -(-whole.n_rows // chunk_rows)
+
+
+def test_iter_csv_chunks_schema_settles_on_first_block(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text(CSV_TEXT, encoding="utf-8")
+    first = next(iter(iter_csv_chunks(path, 6)))
+    inferred_on_first = read_csv_text(
+        "\n".join(CSV_TEXT.splitlines()[:7])
+    ).schema
+    assert first.schema == inferred_on_first
+
+
+def test_iter_csv_chunks_explicit_schema_and_errors(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text(CSV_TEXT, encoding="utf-8")
+    schema = read_csv(path).schema
+    chunks = list(iter_csv_chunks(path, 9, schema=schema))
+    assert all(c.schema == schema for c in chunks)
+    with pytest.raises(CSVFormatError):
+        list(iter_csv_chunks(path, 0))
+    bad = tmp_path / "bad.csv"
+    bad.write_text("x,y\n1\n", encoding="utf-8")
+    with pytest.raises(CSVFormatError):
+        list(iter_csv_chunks(bad, 4))
+    empty = tmp_path / "empty.csv"
+    empty.write_text("", encoding="utf-8")
+    with pytest.raises(CSVFormatError):
+        list(iter_csv_chunks(empty, 4))
+
+
+def test_read_csv_streams_identically(tmp_path):
+    """The handle-streaming reader is cell-for-cell the old behaviour."""
+    path = tmp_path / "t.csv"
+    path.write_text(CSV_TEXT, encoding="utf-8")
+    table = read_csv(path)
+    assert read_csv_text(CSV_TEXT) == table
+    assert to_csv_text(table) == CSV_TEXT
+
+
+# -- out-of-core clean_csv -----------------------------------------------------
+
+
+def test_clean_csv_matches_whole_table_clean(engine, foreign, tmp_path):
+    src = tmp_path / "dirty.csv"
+    dst = tmp_path / "clean.csv"
+    write_csv(foreign, src)
+    loaded = read_csv(src, schema=foreign.schema)
+    whole = engine.clean(loaded)
+    result = _chunked_clean_csv(engine, src, dst, chunk_rows=13)
+    assert _sig(result) == _sig(whole)
+    assert result.cleaned is None
+    assert read_csv(dst, schema=foreign.schema) == whole.cleaned
+    stream = result.diagnostics["stream"]
+    assert stream["n_chunks"] == 5
+    assert result.stats.cells_total == whole.stats.cells_total
+
+
+def _chunked_clean_csv(engine, src, dst, chunk_rows):
+    saved = engine.config.chunk_rows
+    engine.config.chunk_rows = chunk_rows
+    try:
+        return engine.clean_csv(src, dst)
+    finally:
+        engine.config.chunk_rows = saved
+
+
+def test_clean_csv_requires_fit_and_columnar(hospital, tmp_path):
+    eng = BClean(BCleanConfig.pip(), hospital.constraints)
+    with pytest.raises(CleaningError):
+        eng.clean_csv(tmp_path / "in.csv", tmp_path / "out.csv")
+    eng = BClean(
+        BCleanConfig.pip(use_columnar=False), hospital.constraints
+    )
+    eng.fit(hospital.dirty)
+    with pytest.raises(CleaningError):
+        eng.clean_csv(tmp_path / "in.csv", tmp_path / "out.csv")
+
+
+def test_concat_chunk_repairs_verifies_order():
+    a = Repair(0, "x", "a", "b")
+    b = Repair(5, "x", "a", "b")
+    assert concat_chunk_repairs([[a], [b]]) == [a, b]
+    with pytest.raises(CleaningError):
+        concat_chunk_repairs([[b], [a]])
+
+
+# -- shared-memory snapshots ---------------------------------------------------
+
+
+class TestShmTransport:
+    def test_round_trip_exact(self):
+        obj = {
+            "ints": np.arange(1000, dtype=np.int64),
+            "floats": np.linspace(-1, 1, 257),
+            "nested": {"mask": np.array([True, False, True])},
+            "scalars": ("text", 42, 3.5, None),
+        }
+        packed = shm_transport.pack(obj)
+        if packed is None:
+            pytest.skip("no shared memory on this host")
+        try:
+            assert packed.array_bytes >= 8000 + 257 * 8 + 3
+            loaded, segment = shm_transport.unpack(packed.shell)
+            assert loaded["scalars"] == obj["scalars"]
+            np.testing.assert_array_equal(loaded["ints"], obj["ints"])
+            np.testing.assert_array_equal(loaded["floats"], obj["floats"])
+            np.testing.assert_array_equal(
+                loaded["nested"]["mask"], obj["nested"]["mask"]
+            )
+            del loaded
+            segment.close()
+        finally:
+            packed.release()
+            packed.release()  # idempotent
+
+    def test_pure_scalar_payload_falls_back(self):
+        assert shm_transport.pack({"no": "arrays", "here": 1}) is None
+
+    def test_shell_is_small_relative_to_arrays(self):
+        obj = {"big": np.zeros(1_000_000, dtype=np.float64)}
+        packed = shm_transport.pack(obj)
+        if packed is None:
+            pytest.skip("no shared memory on this host")
+        try:
+            assert packed.array_bytes >= 8_000_000
+            assert len(packed.shell.shell) < 100_000
+        finally:
+            packed.release()
+
+
+def test_process_pickle_fallback_byte_identical(
+    engine, reference, monkeypatch
+):
+    """With the shm transport disabled the process backend ships the
+    classic pickle — and produces the same bytes."""
+    monkeypatch.setattr(shm_transport, "pack", lambda obj: None)
+    result = _chunked_clean(engine, None, executor="process")
+    assert _sig(result) == _sig(reference)
+    assert "shm" not in result.diagnostics["exec"]
+
+
+def test_process_shm_byte_identical(engine, reference):
+    result = _chunked_clean(engine, None, executor="process")
+    assert _sig(result) == _sig(reference)
+    diag = result.diagnostics["exec"]
+    # shm is best-effort: when the host provides it the diagnostics say so
+    if not diag.get("ran_serially") and not diag.get("process_fallback"):
+        assert diag.get("shm") is True
+
+
+def test_process_backend_use_shm_flag(engine):
+    backend = ProcessBackend(2, use_shm=False)
+    assert backend.use_shm is False
+    assert backend.shm_used is False
+
+
+# -- adaptive executor ---------------------------------------------------------
+
+
+class TestAutoExecutor:
+    def test_resolver_rules(self):
+        big = AUTO_CLEAN_COST_THRESHOLD
+        assert resolve_executor("serial", big * 10, 99, 8) == "serial"
+        assert resolve_executor("thread", 0.0, 1, 1) == "thread"
+        assert resolve_executor("auto", big, 8, 4) == "process"
+        assert resolve_executor("auto", big - 1, 8, 4) == "serial"
+        assert resolve_executor("auto", big * 10, 1, 4) == "serial"
+        assert resolve_executor("auto", big * 10, 8, 1) == "serial"
+        assert resolve_executor("auto", 10.0, 8, 4, threshold=5.0) == "process"
+
+    def test_tiny_table_resolves_serial(self, engine, reference):
+        result = _chunked_clean(engine, None, executor="auto", n_jobs=4)
+        assert result.diagnostics["exec"]["resolved"] == "serial"
+        assert _sig(result) == _sig(reference)
+
+    def test_auto_fit_executor_serial_on_tiny_table(self, hospital):
+        serial = BClean(BCleanConfig.pip(), hospital.constraints)
+        serial.fit(hospital.dirty)
+        auto = BClean(
+            BCleanConfig.pip(fit_executor="auto", n_jobs=4),
+            hospital.constraints,
+        )
+        auto.fit(hospital.dirty)
+        result = auto.clean()
+        fit_diag = result.diagnostics["fit_exec"]
+        assert fit_diag["fit_executor"] == "serial"
+        assert fit_diag["auto"] is True
+        assert _sig(result) == _sig(serial.clean())
+
+
+# -- convenience wrapper forwarding --------------------------------------------
+
+
+class TestCleanTableKnobs:
+    def test_overrides_without_config(self, hospital):
+        result = clean_table(
+            hospital.dirty,
+            constraints=hospital.constraints,
+            chunk_rows=16,
+            executor="auto",
+        )
+        assert result.diagnostics["stream"]["n_chunks"] == 4
+        assert result.diagnostics["stream"]["chunk_rows"] == 16
+
+    def test_overrides_on_existing_config(self, hospital, reference):
+        result = clean_table(
+            hospital.dirty,
+            BCleanConfig.pip(),
+            hospital.constraints,
+            chunk_rows=25,
+        )
+        assert _sig(result) == _sig(reference)
+        assert result.diagnostics["stream"]["n_chunks"] == 3
+
+    def test_bad_override_rejected(self, hospital):
+        with pytest.raises(CleaningError):
+            clean_table(hospital.dirty, chunk_rows=0)
+
+    def test_mode_still_selectable(self, hospital):
+        result = clean_table(
+            hospital.dirty,
+            constraints=hospital.constraints,
+            mode=InferenceMode.PARTITIONED,
+        )
+        assert result.diagnostics["mode"] == "pi"
