@@ -16,16 +16,23 @@ streams a resampled ``STREAM_ROWS``-row foreign CSV through
 ``clean_csv`` at ``chunk_rows ∈ {off, 256, 1024}``:
 
 - ``off`` reads the whole CSV and cleans it in memory (the PR-2 path);
-- the chunked runs never hold more than one block.
+- the chunked runs never hold more than one block;
+- the ``(1024, process)`` run cleans the same stream on an explicit
+  2-worker process pool and pins the **persistent-session
+  amortisation**: the whole chunked clean creates exactly one worker
+  pool and ships the static fit-statistics snapshot exactly once
+  (``pools_created`` / ``snapshot_ships`` — it used to pay one pool
+  spawn and one snapshot pickle per chunk), with repairs byte-identical
+  to every other configuration.
 
 How to read the report:
 
-- ``runs``: one entry per chunk setting with ``clean_seconds``,
-  ``peak_rss_kb`` (the child's high-water mark; fit is identical
-  across children and its own peak is recorded as
+- ``runs``: one entry per (chunk setting, executor) with
+  ``clean_seconds``, ``peak_rss_kb`` (the child's high-water mark; fit
+  is identical across children and its own peak is recorded as
   ``peak_rss_after_fit_kb``, so *differences* in the totals are
-  clean-path memory), ``n_chunks``, and the resolved backend per
-  chunk.
+  clean-path memory), ``n_chunks``, the resolved backend per chunk,
+  and the session counters ``pools_created`` / ``snapshot_ships``.
 - ``identical_repairs`` is the hard invariant: every chunk size must
   reproduce the whole-table repairs byte for byte (checksummed in the
   child, compared here).
@@ -59,7 +66,13 @@ DATASET = "soccer"
 N_ROWS = 1500
 #: rows of the resampled foreign CSV the streaming runs clean
 STREAM_ROWS = 12000
-CHUNK_SETTINGS = (None, 256, 1024)
+#: measured configurations: (chunk_rows, executor) — the serial sweep
+#: carries the memory story; the chunked-process run pins the
+#: persistent-session amortisation (one pool + one snapshot ship per
+#: clean, not per chunk) with an explicit 2-worker pool so the counter
+#: assertion is machine-independent.
+RUN_SETTINGS = ((None, "serial"), (256, "serial"), (1024, "serial"), (1024, "process"))
+PROCESS_JOBS = 2
 RESAMPLE_SEED = 7
 
 
@@ -104,7 +117,7 @@ def _write_stream_csv(instance, path: Path) -> None:
     write_csv(instance.dirty.take([int(i) for i in indices]), path)
 
 
-def _child_run(chunk_rows, src, dst, out_queue) -> None:
+def _child_run(chunk_rows, executor, src, dst, out_queue) -> None:
     """One measured configuration, isolated in its own process so
     ``ru_maxrss`` is a per-configuration high-water mark."""
     from repro.dataset.io import read_csv
@@ -112,6 +125,9 @@ def _child_run(chunk_rows, src, dst, out_queue) -> None:
     instance, engine = _build_engine()
     rss_after_fit = _peak_rss_kb()
     engine.config.chunk_rows = chunk_rows
+    engine.config.executor = executor
+    if executor == "process":
+        engine.config.n_jobs = PROCESS_JOBS
     start = time.perf_counter()
     if chunk_rows is None:
         table = read_csv(src, schema=instance.dirty.schema)
@@ -132,9 +148,11 @@ def _child_run(chunk_rows, src, dst, out_queue) -> None:
             ).encode()
         )
     stream = result.diagnostics.get("stream", {})
+    exec_diag = result.diagnostics.get("exec", {})
     out_queue.put(
         {
             "chunk_rows": chunk_rows,
+            "executor": executor,
             "clean_seconds": round(seconds, 4),
             "peak_rss_kb": _peak_rss_kb(),
             "peak_rss_after_fit_kb": rss_after_fit,
@@ -143,15 +161,18 @@ def _child_run(chunk_rows, src, dst, out_queue) -> None:
             "n_chunks": stream.get("n_chunks", 1),
             "backends": stream.get("backends", {}),
             "shm": stream.get("shm", False),
+            "pools_created": stream.get("pools_created", 0),
+            "snapshot_ships": stream.get("snapshot_ships", 0),
+            "process_fallback": bool(exec_diag.get("process_fallback", False)),
         }
     )
 
 
-def _measure(chunk_rows, src: Path, dst: Path) -> dict:
+def _measure(chunk_rows, executor, src: Path, dst: Path) -> dict:
     ctx = multiprocessing.get_context("spawn")
     queue = ctx.Queue()
     proc = ctx.Process(
-        target=_child_run, args=(chunk_rows, str(src), str(dst), queue)
+        target=_child_run, args=(chunk_rows, executor, str(src), str(dst), queue)
     )
     proc.start()
     payload = queue.get(timeout=1800)
@@ -165,15 +186,21 @@ def test_stream_memory_and_bench_report(tmp_path):
     _write_stream_csv(instance, src)
 
     runs = []
-    for chunk_rows in CHUNK_SETTINGS:
+    for chunk_rows, executor in RUN_SETTINGS:
         label = "off" if chunk_rows is None else str(chunk_rows)
-        runs.append(_measure(chunk_rows, src, tmp_path / f"out_{label}.csv"))
+        runs.append(
+            _measure(
+                chunk_rows, executor, src,
+                tmp_path / f"out_{label}_{executor}.csv",
+            )
+        )
 
     digests = {run["repairs_sha256"] for run in runs}
     identical = len(digests) == 1
-    by_setting = {run["chunk_rows"]: run for run in runs}
-    rss_off = by_setting[None]["peak_rss_kb"]
-    rss_1024 = by_setting[1024]["peak_rss_kb"]
+    by_setting = {(run["chunk_rows"], run["executor"]): run for run in runs}
+    rss_off = by_setting[(None, "serial")]["peak_rss_kb"]
+    rss_1024 = by_setting[(1024, "serial")]["peak_rss_kb"]
+    chunked_process = by_setting[(1024, "process")]
 
     # -- the machine-independent half of the auto-executor acceptance:
     # the whole-table plan's cost estimate must put soccer-1500 over
@@ -222,6 +249,13 @@ def test_stream_memory_and_bench_report(tmp_path):
     print(json.dumps(report, indent=2))
 
     assert identical, "chunked repairs diverged from the whole-table run"
+    # The persistent-session acceptance: a chunked process clean pays
+    # exactly one pool spawn and one snapshot ship for the whole
+    # stream, not one of each per chunk.
+    assert chunked_process["n_chunks"] == -(-STREAM_ROWS // 1024)
+    if not chunked_process["process_fallback"]:
+        assert chunked_process["pools_created"] == 1
+        assert chunked_process["snapshot_ships"] == 1
     assert total_cost >= AUTO_CLEAN_COST_THRESHOLD
     assert resolved_at_4 == "process"
     if cpu_count >= 4:

@@ -83,6 +83,7 @@ def _engine_config(args: argparse.Namespace) -> BCleanConfig:
         n_jobs=args.jobs,
         shard_size=args.shard_size,
         chunk_rows=getattr(args, "chunk_rows", None),
+        persistent_pool=getattr(args, "persistent_pool", True),
         fit_executor=args.fit_executor,
     )
 
@@ -296,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="clean in row blocks of N through the staged "
             "streaming pipeline (default: whole table at once; "
             "repairs are identical at every chunk size)",
+        )
+        p.add_argument(
+            "--no-persistent-pool",
+            dest="persistent_pool",
+            action="store_false",
+            help="tear down the worker pool (and re-ship the fit "
+            "statistics) after every chunk instead of keeping one "
+            "warm session per clean (identical repairs, more "
+            "per-chunk overhead)",
         )
 
     p_network = sub.add_parser(

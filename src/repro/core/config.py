@@ -138,6 +138,18 @@ class BCleanConfig:
         time, producing repairs byte-identical to the whole-table run
         at every chunk size.  The scalar oracle path ignores this knob
         (it is in-memory by construction).
+    persistent_pool:
+        Keep one execution session per ``clean()`` (and per ``fit()``):
+        the worker pool is created once, the static fit-statistics
+        snapshot is shipped once through the pool initializer, and
+        every chunk (or fit job) dispatches only its per-chunk payload
+        to the already-warm workers — restoring the paper's
+        amortisation of fixed costs over the whole table.  ``False``
+        (the ``--no-persistent-pool`` escape hatch) tears the pool and
+        snapshot down after every dispatch — the pre-session behaviour,
+        for hosts where long-lived worker processes are unwelcome.
+        Results are byte-identical either way; only wall-clock and the
+        ``pools_created`` / ``snapshot_ships`` diagnostics differ.
     fit_executor:
         Worker backend for the sharded *fit* work (same choices and
         trade-offs as ``executor``, including ``"auto"``): the
@@ -182,6 +194,7 @@ class BCleanConfig:
     n_jobs: int | None = None
     shard_size: int | None = None
     chunk_rows: int | None = None
+    persistent_pool: bool = True
     fit_executor: str = "serial"
     smoothing_alpha: float = 0.1
     fdx: FDXConfig = field(default_factory=FDXConfig)

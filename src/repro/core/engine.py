@@ -86,7 +86,9 @@ from repro.dataset.encoding import TableEncoding
 from repro.dataset.table import Cell, Table, is_null
 from repro.errors import CPTError, CleaningError, InferenceError
 from repro.exec import (
+    ExecSession,
     StreamDriver,
+    build_fit_state,
     sharded_family_arrays,
     sharded_pair_arrays,
 )
@@ -116,6 +118,7 @@ class BClean:
         self.composition: AttributeComposition | None = None
         self._fit_seconds = 0.0
         self._fit_diag: dict = {}
+        self._fit_session: ExecSession | None = None
 
     # -- fitting -----------------------------------------------------------------
 
@@ -180,29 +183,58 @@ class BClean:
             )
             n_jobs = self.config.n_jobs or os.cpu_count() or 1
             self._fit_diag: dict = {}
+            # One execution session spans the whole parallel fit: the
+            # pair job and the CPT job run on the same warm pool, and
+            # the coded columns are shipped to the workers exactly once.
+            self._fit_session = None
+            if fit_executor != "serial":
+                weights = confidence_weights(
+                    self.confidences,
+                    self.config.tau,
+                    self.config.beta,
+                    table.n_rows,
+                )
+                self._fit_session = ExecSession(
+                    build_fit_state(
+                        self._encoding, table.schema.names, weights
+                    ),
+                    n_jobs,
+                    persistent=self.config.persistent_pool,
+                )
 
-            self.cooc = self._build_cooccurrence(table, fit_executor, n_jobs)
-            # On the columnar path the composition is singleton, so the
-            # node table *is* the fitted table (shared column lists);
-            # learning from ``table`` itself lets every
-            # ``encoding.matches`` check hit the O(1) identity fast path
-            # instead of re-interning all cells.
-            self.dag = (
-                dag
-                if dag is not None
-                else self._learn_structure(
-                    table if columnar_fit else node_table,
-                    self._encoding if columnar_fit else None,
+            try:
+                self.cooc = self._build_cooccurrence(table, fit_executor, n_jobs)
+                # On the columnar path the composition is singleton, so the
+                # node table *is* the fitted table (shared column lists);
+                # learning from ``table`` itself lets every
+                # ``encoding.matches`` check hit the O(1) identity fast path
+                # instead of re-interning all cells.
+                self.dag = (
+                    dag
+                    if dag is not None
+                    else self._learn_structure(
+                        table if columnar_fit else node_table,
+                        self._encoding if columnar_fit else None,
+                    )
                 )
-            )
-            unknown = set(self.dag.nodes) ^ set(node_table.schema.names)
-            if unknown:
-                raise CleaningError(
-                    f"DAG nodes do not match composition nodes: {sorted(unknown)}"
+                unknown = set(self.dag.nodes) ^ set(node_table.schema.names)
+                if unknown:
+                    raise CleaningError(
+                        f"DAG nodes do not match composition nodes: {sorted(unknown)}"
+                    )
+                self.bn = self._fit_network(
+                    node_table, columnar_fit, fit_executor, n_jobs
                 )
-            self.bn = self._fit_network(
-                node_table, columnar_fit, fit_executor, n_jobs
-            )
+            finally:
+                if self._fit_session is not None:
+                    self._fit_diag["pools_created"] = (
+                        self._fit_session.pools_created
+                    )
+                    self._fit_diag["snapshot_ships"] = (
+                        self._fit_session.snapshot_ships
+                    )
+                    self._fit_session.close()
+                    self._fit_session = None
 
             self.comp = CompensatoryScorer(
                 self.cooc, frequency_weight=self.config.frequency_weight
@@ -234,11 +266,13 @@ class BClean:
                 beta=self.config.beta,
                 encoding=self._encoding,
             )
-        weights = confidence_weights(
-            self.confidences, self.config.tau, self.config.beta, table.n_rows
-        )
         pairs, diag = sharded_pair_arrays(
-            self._encoding, table.schema.names, weights, fit_executor, n_jobs
+            self._encoding,
+            table.schema.names,
+            self._fit_session.state.weights,
+            fit_executor,
+            n_jobs,
+            session=self._fit_session,
         )
         self._fit_diag.update(
             {
@@ -262,7 +296,13 @@ class BClean:
         """Carry backend flags of one fit job into the fit diagnostics
         (sticky across the pair and CPT jobs): pool degradations, the
         auto-executor marker, and shared-memory usage."""
-        for key in ("process_fallback", "ran_serially", "auto", "shm"):
+        for key in (
+            "process_fallback",
+            "pool_broken",
+            "ran_serially",
+            "auto",
+            "shm",
+        ):
             if diag.get(key):
                 self._fit_diag[key] = True
 
@@ -296,6 +336,7 @@ class BClean:
                     self.cooc.row_weights,
                     fit_executor,
                     n_jobs,
+                    session=self._fit_session,
                 )
                 self._fit_diag["cpt_tasks"] = diag["n_cpt_tasks"]
                 self._fit_diag["cpt_shards"] = diag["n_shards"]

@@ -171,8 +171,16 @@ def _block_table(schema: Schema, raw_rows: Iterable[Sequence[str]]) -> Table:
 
 
 def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
-    """Write ``table`` to ``path`` with a header row; NULLs become empty fields."""
-    Path(path).write_text(to_csv_text(table, delimiter=delimiter), encoding="utf-8")
+    """Write ``table`` to ``path`` with a header row; NULLs become empty fields.
+
+    Rows stream onto the open handle one at a time — the file is never
+    rendered as one in-memory string first, matching the reading side's
+    streaming contract (a table near the memory ceiling must be
+    writable without a same-sized text copy alongside it).
+    """
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        write_csv_header(handle, table.schema, delimiter=delimiter)
+        append_csv_rows(handle, table, delimiter=delimiter)
 
 
 def append_csv_rows(

@@ -9,7 +9,11 @@ The subsystem turns ``BClean.clean()`` into a planned, sharded job:
   :meth:`~repro.exec.state.FitState.run_shard` kernel batch-scores
   competitions;
 - :mod:`repro.exec.backends` executes shards serially, on a thread
-  pool, or on a process pool (``BCleanConfig.executor``);
+  pool, or on a process pool (``BCleanConfig.executor``), scoped to a
+  :class:`~repro.exec.session.ExecSession` that owns the pool and
+  shared-memory lifecycle for a whole job stream — one pool spawn and
+  one static-snapshot ship per ``clean()`` (or ``fit()``), however
+  many chunks dispatch (``BCleanConfig.persistent_pool``);
 - :mod:`repro.exec.merge` reassembles shard results deterministically.
 
 Every shard is a pure function of the snapshot, so all backends and
@@ -41,6 +45,8 @@ from repro.exec.backends import (
 from repro.exec.fit import (
     FitJobState,
     FitShardResult,
+    FitTasks,
+    build_fit_state,
     run_fit_job,
     sharded_family_arrays,
     sharded_pair_arrays,
@@ -57,10 +63,12 @@ from repro.exec.planner import (
     Shard,
     ShardPlan,
     estimate_competition_costs,
+    extrapolate_stream_cost,
     plan_shards,
     resolve_executor,
 )
-from repro.exec.state import FitState, ShardResult
+from repro.exec.session import ExecSession
+from repro.exec.state import ChunkView, FitState, ShardResult
 from repro.exec.stream import (
     CsvSink,
     RowChunk,
@@ -71,11 +79,14 @@ from repro.exec.stream import (
 __all__ = [
     "AUTO_CLEAN_COST_THRESHOLD",
     "AUTO_FIT_COST_THRESHOLD",
+    "ChunkView",
     "CsvSink",
     "EXECUTOR_NAMES",
+    "ExecSession",
     "FitJobState",
     "FitShardResult",
     "FitState",
+    "FitTasks",
     "MergedDecisions",
     "OVERSUBSCRIBE",
     "ProcessBackend",
@@ -87,8 +98,10 @@ __all__ = [
     "StreamDriver",
     "TableSink",
     "ThreadBackend",
+    "build_fit_state",
     "concat_chunk_repairs",
     "estimate_competition_costs",
+    "extrapolate_stream_cost",
     "get_backend",
     "merge_shard_results",
     "plan_shards",

@@ -1,9 +1,16 @@
 """Worker backends: serial, thread-pool, and process-pool execution.
 
-A backend takes a :class:`~repro.exec.state.FitState` plus the planned
-shards and returns one :class:`~repro.exec.state.ShardResult` per shard.
-Because every shard is a pure function of the read-only snapshot, the
-three backends are interchangeable — results are byte-identical; only
+A backend is **session-scoped**: it is opened once per
+:class:`~repro.exec.session.ExecSession` with the static read-only
+state (a :class:`~repro.exec.state.FitState` or
+:class:`~repro.exec.fit.FitJobState`), then receives any number of
+:meth:`dispatch` calls — one per row chunk or fit job — each carrying
+only the small per-dispatch payload (a
+:class:`~repro.exec.state.ChunkView`, a
+:class:`~repro.exec.fit.FitTasks`) plus the planned shards, and finally
+:meth:`close` releases the pool and any shared-memory segment.  Because
+every shard is a pure function of (static state, payload), the three
+backends are interchangeable — results are byte-identical; only
 wall-clock differs:
 
 ``serial``
@@ -12,26 +19,39 @@ wall-clock differs:
     pins the others against).
 
 ``thread``
-    A ``ThreadPoolExecutor``.  Shares the snapshot by reference (zero
-    shipping cost) but executes under the GIL, so speedup comes only
-    from the numpy portions of the kernel that release it.  Useful for
-    wide tables with large pools; modest elsewhere.
+    A ``ThreadPoolExecutor``, created at the first dispatch that can
+    use it and kept warm for the rest of the session.  Shares state and
+    payload by reference (zero shipping cost) but executes under the
+    GIL, so speedup comes only from the numpy portions of the kernel
+    that release it.
 
 ``process``
-    A ``ProcessPoolExecutor``.  The snapshot is serialised **once** and
-    shipped to each worker through the pool initializer (not per task);
-    workers rebuild lazy caches locally.  The snapshot's large numpy
-    arrays travel through one ``multiprocessing.shared_memory`` segment
-    (:mod:`repro.exec.shm` — workers map the same physical pages
-    instead of each deserialising a private copy; only the scalar shell
-    is pickled), falling back to the classic all-in-band pickle when
-    the host offers no shared memory.  True multi-core scaling at the
-    cost of one snapshot serialisation per dispatch — the right backend
-    for paper-scale tables.  If the host cannot create a process pool
-    at all (sandboxed environments without semaphore support), the
-    backend falls back to serial execution and records it in
-    :attr:`ProcessBackend.fell_back` so the engine can surface the
-    downgrade in its diagnostics.
+    A ``ProcessPoolExecutor``.  The static state is serialised **once
+    per session** and shipped to each worker through the pool
+    initializer — not per dispatch, and emphatically not per chunk: a
+    chunked clean used to pay one pool spawn and one snapshot ship per
+    chunk; a session pays both exactly once (``pools_created`` /
+    ``snapshot_ships`` count them for the diagnostics).  The static
+    snapshot's large numpy arrays travel through one
+    ``multiprocessing.shared_memory`` segment (:mod:`repro.exec.shm` —
+    workers map the same physical pages instead of each deserialising a
+    private copy; only the scalar shell is pickled), falling back to
+    the classic all-in-band pickle when the host offers no shared
+    memory.  Each dispatch then ships only its payload: through a
+    small, short-lived shm segment of its own when it is big enough to
+    be worth one, in-band with the tasks otherwise; workers cache the
+    payload per dispatch so the pool's task stream stays tiny.  If the
+    host cannot create a process pool at all (sandboxed environments
+    without semaphore support), or the pool's workers die mid-session,
+    the backend degrades to serial execution and records it in
+    :attr:`ProcessBackend.fell_back` (plus
+    :attr:`ProcessBackend.pool_broken` when a live pool was lost, as
+    opposed to never coming up) so the engine can surface the downgrade
+    in its diagnostics.
+
+``persistent=False`` (the ``BCleanConfig.persistent_pool`` escape
+hatch) restores the pre-session behaviour: the pool and snapshot are
+torn down after every dispatch.
 """
 
 from __future__ import annotations
@@ -49,16 +69,27 @@ from typing import Protocol, Sequence
 from repro.errors import CleaningError
 from repro.exec import shm as shm_transport
 from repro.exec.planner import Shard
-from repro.exec.state import FitState, ShardResult
+from repro.exec.state import ShardResult
 
 #: recognised ``BCleanConfig.executor`` values
 EXECUTOR_NAMES = ("serial", "thread", "process")
 
+#: per-dispatch payloads below this many out-of-band bytes ship in-band
+#: with the tasks instead of through their own shm segment — a segment
+#: per few-KB chunk costs more in syscalls than it saves in copies.
+PAYLOAD_SHM_MIN_BYTES = 1 << 15
+
 
 class Backend(Protocol):
-    """Common backend interface (structural)."""
+    """Common session-scoped backend interface (structural)."""
 
-    def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
+    def open(self, state) -> None:
+        ...  # pragma: no cover - protocol
+
+    def dispatch(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
         ...  # pragma: no cover - protocol
 
 
@@ -66,42 +97,97 @@ class SerialBackend:
     """In-process execution, plan order."""
 
     name = "serial"
+    pools_created = 0
+    snapshot_ships = 0
 
-    def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
-        return [state.run_shard(shard) for shard in shards]
+    def __init__(self):
+        self._state = None
+
+    def open(self, state) -> None:
+        self._state = state
+
+    def dispatch(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
+        return [self._state.run_shard(shard, payload) for shard in shards]
+
+    def close(self) -> None:
+        self._state = None
 
 
 class ThreadBackend:
-    """``ThreadPoolExecutor`` over a shared snapshot."""
+    """``ThreadPoolExecutor`` over a shared snapshot, warm per session."""
 
     name = "thread"
+    snapshot_ships = 0  # threads share the state by reference
 
-    def __init__(self, n_jobs: int):
+    def __init__(self, n_jobs: int, persistent: bool = True):
         self.n_jobs = max(1, n_jobs)
-        #: set when the run short-circuited to plain serial execution
+        #: keep the pool alive between dispatches (sessions); False
+        #: tears it down after every dispatch
+        self.persistent = persistent
+        #: set when a dispatch short-circuited to plain serial execution
         #: (one worker or one shard) — surfaced in engine diagnostics so
         #: timings are not misread as pool overhead
         self.ran_serially = False
+        #: thread pools spawned over the session's lifetime
+        self.pools_created = 0
+        self._state = None
+        self._pool: ThreadPoolExecutor | None = None
 
-    def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
-        if len(shards) <= 1 or self.n_jobs == 1:
+    def open(self, state) -> None:
+        self._state = state
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether a live pool is ready to take dispatches."""
+        return self._pool is not None
+
+    def dispatch(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
+        if self._pool is None and (len(shards) <= 1 or self.n_jobs == 1):
             self.ran_serially = True
-            return SerialBackend().run(state, shards)
-        with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
-            return list(pool.map(state.run_shard, shards))
+            return [self._state.run_shard(s, payload) for s in shards]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.n_jobs)
+            self.pools_created += 1
+        try:
+            return list(
+                self._pool.map(
+                    lambda s: self._state.run_shard(s, payload), shards
+                )
+            )
+        finally:
+            if not self.persistent:
+                self._shutdown_pool()
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def close(self) -> None:
+        self._shutdown_pool()
+        self._state = None
 
 
-# Worker-side state of the process backend: installed once per worker by
-# the pool initializer, read by every task that worker executes.  The
-# shared-memory mapping (if any) is pinned alongside the state — the
-# state's arrays are zero-copy views into it.
-_WORKER_STATE: FitState | None = None
+# Worker-side state of the process backend: the static snapshot is
+# installed once per worker by the pool initializer; the per-dispatch
+# payload is installed by the first task of each dispatch that reaches
+# the worker and cached for that dispatch's remaining tasks.  The
+# shared-memory mappings (if any) are pinned alongside — the arrays are
+# zero-copy views into them.
+_WORKER_STATE = None
 _WORKER_SHM = None
+#: ``(dispatch_id, payload, shm | None)`` of the payload this worker
+#: currently has installed
+_WORKER_PAYLOAD = None
+#: payload segments whose close was deferred by a BufferError (a stray
+#: view outlived its payload) — closed at worker exit instead
+_WORKER_DEFERRED: list = []
 
 
 def _worker_init(payload: bytes) -> None:
     global _WORKER_STATE
     _WORKER_STATE = pickle.loads(payload)
+    atexit.register(_worker_teardown)
 
 
 def _worker_init_shm(shell: "shm_transport.ShmShell") -> None:
@@ -112,11 +198,31 @@ def _worker_init_shm(shell: "shm_transport.ShmShell") -> None:
     # Leaving both to interpreter-shutdown GC risks the mapping's
     # destructor running while views are still alive (teardown order is
     # unspecified), which would print an ignored BufferError per worker.
-    atexit.register(_worker_detach_shm)
+    atexit.register(_worker_teardown)
 
 
-def _worker_detach_shm() -> None:
+def _worker_release_payload() -> None:
+    global _WORKER_PAYLOAD
+    if _WORKER_PAYLOAD is None:
+        return
+    _, _, segment = _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = None
+    if segment is not None:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a view outlived the payload
+            _WORKER_DEFERRED.append(segment)
+
+
+def _worker_teardown() -> None:
     global _WORKER_STATE, _WORKER_SHM
+    _worker_release_payload()
+    for segment in _WORKER_DEFERRED:  # pragma: no cover - deferred closes
+        try:
+            segment.close()
+        except BufferError:
+            pass
+    _WORKER_DEFERRED.clear()
     _WORKER_STATE = None
     gc.collect()  # the snapshot graph may hold reference cycles
     if _WORKER_SHM is not None:
@@ -127,70 +233,194 @@ def _worker_detach_shm() -> None:
         _WORKER_SHM = None
 
 
-def _worker_run(shard: Shard) -> ShardResult:
+def _worker_run(task) -> ShardResult:
+    """Run one shard: install the task's dispatch payload (first task of
+    a dispatch to reach this worker pays it; the rest hit the cache),
+    then execute against the session-static snapshot."""
+    dispatch_id, ship, shard = task
     if _WORKER_STATE is None:  # pragma: no cover - initializer always ran
         raise CleaningError("process worker used before initialisation")
-    return _WORKER_STATE.run_shard(shard)
+    global _WORKER_PAYLOAD
+    if _WORKER_PAYLOAD is None or _WORKER_PAYLOAD[0] != dispatch_id:
+        _worker_release_payload()
+        kind, data = ship
+        if kind == "shm":
+            payload, segment = shm_transport.unpack(data)
+        else:
+            payload, segment = pickle.loads(data), None
+        _WORKER_PAYLOAD = (dispatch_id, payload, segment)
+    return _WORKER_STATE.run_shard(shard, _WORKER_PAYLOAD[1])
 
 
 class ProcessBackend:
-    """``ProcessPoolExecutor`` with a one-shot snapshot (shm or pickle)."""
+    """``ProcessPoolExecutor`` with a once-per-session snapshot ship."""
 
     name = "process"
 
-    def __init__(self, n_jobs: int, use_shm: bool = True):
+    def __init__(self, n_jobs: int, use_shm: bool = True, persistent: bool = True):
         self.n_jobs = max(1, n_jobs)
         #: whether to attempt the shared-memory transport at all (tests
         #: force the pickle path by passing False)
         self.use_shm = use_shm
-        #: set when the host refused a process pool and serial ran instead
+        #: keep pool + snapshot alive between dispatches (sessions);
+        #: False tears both down after every dispatch
+        self.persistent = persistent
+        #: set when an environment limitation degraded execution to
+        #: serial (pool refused, or workers lost)
         self.fell_back = False
-        #: set when the run short-circuited to serial (one worker or one
-        #: shard): no pool was created and no snapshot was shipped
+        #: set when the degradation happened *after* a pool was live
+        #: (workers died mid-session) — distinguishes "pool never
+        #: created" from "pool broke mid-run" in the diagnostics
+        self.pool_broken = False
+        #: set when a dispatch short-circuited to serial (one worker or
+        #: one shard before any pool existed): no pool was created and
+        #: no snapshot was shipped
         self.ran_serially = False
         #: set when the snapshot's arrays travelled via shared memory
         self.shm_used = False
-        #: out-of-band bytes shipped through the segment (diagnostics)
+        #: out-of-band bytes shipped through the static segment
         self.shm_bytes = 0
+        #: process pools spawned over the session's lifetime (exactly 1
+        #: for a healthy persistent session, however many chunks ran)
+        self.pools_created = 0
+        #: static snapshot serialisations (shm or pickle) — mirrors
+        #: ``pools_created``: one ship per pool
+        self.snapshot_ships = 0
+        self._state = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._snapshot: shm_transport.PackedSnapshot | None = None
+        self._degraded = False
+        self._dispatch_seq = 0
 
-    def run(self, state: FitState, shards: Sequence[Shard]) -> list[ShardResult]:
-        if len(shards) <= 1 or self.n_jobs == 1:
-            self.ran_serially = True
-            return SerialBackend().run(state, shards)
-        snapshot = shm_transport.pack(state) if self.use_shm else None
+    def open(self, state) -> None:
+        self._state = state
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether a live pool (with the snapshot already resident in
+        its workers) is ready to take dispatches."""
+        return self._pool is not None and not self._degraded
+
+    def _serial(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
+        self.ran_serially = True
+        return [self._state.run_shard(s, payload) for s in shards]
+
+    def _ensure_pool(self, n_shards: int) -> None:
+        """Spawn the pool and ship the static snapshot (once per healthy
+        session).  On failure the transient shm state is rolled back and
+        the error propagates to :meth:`dispatch`'s fallback."""
+        if self._pool is not None:
+            return
+        snapshot = shm_transport.pack(self._state) if self.use_shm else None
+        if snapshot is not None:
+            self.shm_used = True
+            self.shm_bytes = snapshot.array_bytes
+            initializer, initargs = _worker_init_shm, (snapshot.shell,)
+        else:
+            blob = pickle.dumps(self._state, protocol=pickle.HIGHEST_PROTOCOL)
+            initializer, initargs = _worker_init, (blob,)
+        # A persistent pool outlives this dispatch, and later chunks may
+        # plan far more shards than the first — size it by the session's
+        # worker budget, not this dispatch's shard count (which only
+        # bounds one-shot pools, where idle workers would be pure spawn
+        # cost).
+        workers = (
+            self.n_jobs
+            if self.persistent
+            else min(self.n_jobs, max(n_shards, 1))
+        )
         try:
-            if snapshot is not None:
-                self.shm_used = True
-                self.shm_bytes = snapshot.array_bytes
-                initializer, initargs = _worker_init_shm, (snapshot.shell,)
-            else:
-                payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-                initializer, initargs = _worker_init, (payload,)
-            with ProcessPoolExecutor(
-                max_workers=min(self.n_jobs, len(shards)),
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
                 initializer=initializer,
                 initargs=initargs,
-            ) as pool:
-                return list(pool.map(_worker_run, shards))
-        except (OSError, BrokenExecutor):
-            # The *pool* could not be created (no semaphores, fork
-            # blocked...) or its workers were killed (BrokenExecutor —
-            # e.g. a worker that failed to map the segment).  Shard
-            # execution itself does no IO, so this is an environment
-            # limitation: degrade to the always-correct serial path and
-            # let the engine report it.
-            self.fell_back = True
-            self.ran_serially = True
-            self.shm_used = False
-            return SerialBackend().run(state, shards)
-        finally:
-            # Workers have been joined by the pool's context exit, so
-            # the segment can be unlinked; their mappings died with them.
+            )
+        except BaseException:
             if snapshot is not None:
                 snapshot.release()
+            self.shm_used = False
+            self.shm_bytes = 0
+            raise
+        self._snapshot = snapshot
+        self.pools_created += 1
+        self.snapshot_ships += 1
+
+    def dispatch(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
+        shards = list(shards)
+        if not shards:
+            return []
+        if self._degraded or (
+            self._pool is None and (len(shards) <= 1 or self.n_jobs == 1)
+        ):
+            return self._serial(payload, shards)
+        self._dispatch_seq += 1
+        packed = None
+        try:
+            self._ensure_pool(len(shards))
+            if self.use_shm:
+                packed = shm_transport.pack(
+                    payload, min_bytes=PAYLOAD_SHM_MIN_BYTES
+                )
+            if packed is not None:
+                ship = ("shm", packed.shell)
+            else:
+                # No segment (tiny payload or no shm): serialise the
+                # payload once here rather than letting pool.map pickle
+                # the live object into every task — the bytes still ride
+                # each task tuple, but workers deserialise them once per
+                # dispatch (the cache below), not once per shard.
+                ship = (
+                    "blob",
+                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+            tasks = [(self._dispatch_seq, ship, shard) for shard in shards]
+            return list(self._pool.map(_worker_run, tasks))
+        except (OSError, BrokenExecutor):
+            # The pool could not be created (no semaphores, fork
+            # blocked...) or its workers were killed mid-session
+            # (BrokenExecutor — e.g. a worker that failed to map a
+            # segment, or died under memory pressure).  Shard execution
+            # itself does no IO, so this is an environment limitation:
+            # degrade to the always-correct serial path for the rest of
+            # the session and let the engine report it.
+            self.pool_broken = self._pool is not None
+            self.fell_back = True
+            self._teardown_pool()
+            # Reset the shm diagnostics *together*: after a fallback no
+            # shared memory is in play, so `shm: false` must not be
+            # paired with a stale positive byte count.
+            self.shm_used = False
+            self.shm_bytes = 0
+            self._degraded = True
+            return self._serial(payload, shards)
+        finally:
+            # The dispatch's payload segment is only needed until every
+            # task returned (workers that cached it keep their own
+            # mapping until the next dispatch or exit); the static
+            # snapshot outlives dispatches unless non-persistent.
+            if packed is not None:
+                packed.release()
+            if not self.persistent:
+                self._teardown_pool()
+
+    def _teardown_pool(self) -> None:
+        """Join the workers and unlink the static segment (their
+        mappings die with them; attaches are untracked)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._snapshot is not None:
+            self._snapshot.release()
+            self._snapshot = None
+
+    def close(self) -> None:
+        self._teardown_pool()
+        self._state = None
 
 
-def get_backend(name: str, n_jobs: int) -> SerialBackend | ThreadBackend | ProcessBackend:
+def get_backend(
+    name: str, n_jobs: int, use_shm: bool = True, persistent: bool = True
+) -> SerialBackend | ThreadBackend | ProcessBackend:
     """Instantiate the backend selected by ``BCleanConfig.executor``.
 
     ``"auto"`` is not a backend — callers resolve it first with
@@ -200,9 +430,9 @@ def get_backend(name: str, n_jobs: int) -> SerialBackend | ThreadBackend | Proce
     if name == "serial":
         return SerialBackend()
     if name == "thread":
-        return ThreadBackend(n_jobs)
+        return ThreadBackend(n_jobs, persistent=persistent)
     if name == "process":
-        return ProcessBackend(n_jobs)
+        return ProcessBackend(n_jobs, use_shm=use_shm, persistent=persistent)
     raise CleaningError(
         f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}"
     )

@@ -17,13 +17,18 @@ for the two row-pass-heavy pieces of ``fit()``:
 
 Both task kinds are planned by the same cost-balanced
 :func:`~repro.exec.planner.plan_shards` used for cleaning (cost ∝ rows ×
-columns touched) and executed by the same
-:func:`~repro.exec.backends.get_backend` worker backends; the
-:class:`FitJobState` snapshot ships only the coded column arrays plus
-the task tables, and results are merged deterministically by task index
-— so the assembled statistics are byte-identical to the serial build for
-every backend and shard count (the worker runs the *same* numpy calls on
-the same arrays; only the schedule differs).
+columns touched) and executed through the same session-scoped backends.
+The state follows the session split of :mod:`repro.exec.state`: the
+:class:`FitJobState` snapshot holds only the **static** coded column
+arrays (plus cardinalities and row weights), shipped to process workers
+once per :class:`~repro.exec.session.ExecSession`; each job's task
+table travels as a tiny per-dispatch :class:`FitTasks` payload.  One
+engine ``fit()`` therefore runs its pair job *and* its CPT job on the
+same warm pool, shipping the coded columns once.  Results are merged
+deterministically by task index — so the assembled statistics are
+byte-identical to the serial build for every backend and shard count
+(the worker runs the *same* numpy calls on the same arrays; only the
+schedule differs).
 """
 
 from __future__ import annotations
@@ -35,7 +40,6 @@ import numpy as np
 
 from repro.core.cooccurrence import PairArrays, build_pair_arrays
 from repro.errors import CleaningError
-from repro.exec.backends import get_backend
 from repro.exec.planner import (
     AUTO_FIT_COST_THRESHOLD,
     OVERSUBSCRIBE,
@@ -43,6 +47,7 @@ from repro.exec.planner import (
     plan_shards,
     resolve_executor,
 )
+from repro.exec.session import ExecSession
 from repro.stats.infotheory import joint_code_counts
 
 #: planner "column" ids of the two fit task kinds
@@ -66,8 +71,22 @@ class FitShardResult:
     payloads: list
 
 
+@dataclass(frozen=True)
+class FitTasks:
+    """The per-dispatch payload of one fit job: its task tables.
+
+    ``pair_tasks`` lists ``(j, k)`` column-index pairs (``j < k``) whose
+    co-occurrence arrays to build; ``cpt_tasks`` lists
+    ``(child, parents)`` column-index families whose distinct count
+    arrays to extract.  Shard ``uids`` index into these tuples.
+    """
+
+    pair_tasks: tuple = ()
+    cpt_tasks: tuple = ()
+
+
 class FitJobState:
-    """Picklable snapshot of everything a fit worker needs.
+    """Picklable **static** snapshot of everything a fit worker needs.
 
     Parameters
     ----------
@@ -78,12 +97,6 @@ class FitJobState:
         Build-time vocabulary cardinality per column.
     weights:
         Per-row confidence weights (Algorithm 2's +1 / −β).
-    pair_tasks:
-        ``(j, k)`` column-index pairs (``j < k``) whose co-occurrence
-        arrays to build.
-    cpt_tasks:
-        ``(child, parents)`` column-index families whose distinct count
-        arrays to extract.
     """
 
     def __init__(
@@ -91,22 +104,19 @@ class FitJobState:
         columns: Sequence[np.ndarray],
         cards: Sequence[int],
         weights: np.ndarray,
-        pair_tasks: Sequence[tuple[int, int]],
-        cpt_tasks: Sequence[tuple[int, tuple[int, ...]]],
     ):
         self.columns = list(columns)
         self.cards = list(cards)
         self.weights = weights
-        self.pair_tasks = list(pair_tasks)
-        self.cpt_tasks = list(cpt_tasks)
 
-    def run_shard(self, shard: Shard) -> FitShardResult:
+    def run_shard(self, shard: Shard, tasks: FitTasks) -> FitShardResult:
         """Run one slice of pair builds or CPT count passes (a pure
-        function of the snapshot, like the cleaning kernel)."""
+        function of the snapshot plus the job's task table, like the
+        cleaning kernel)."""
         payloads = []
         if shard.column == PAIR_TASKS:
             for uid in shard.uids.tolist():
-                j, k = self.pair_tasks[uid]
+                j, k = tasks.pair_tasks[uid]
                 payloads.append(
                     build_pair_arrays(
                         self.columns[j],
@@ -118,7 +128,7 @@ class FitJobState:
                 )
         elif shard.column == CPT_TASKS:
             for uid in shard.uids.tolist():
-                child, parents = self.cpt_tasks[uid]
+                child, parents = tasks.cpt_tasks[uid]
                 payloads.append(
                     joint_code_counts(
                         [self.columns[child], *(self.columns[p] for p in parents)]
@@ -129,16 +139,35 @@ class FitJobState:
         return FitShardResult(shard.shard_id, shard.column, shard.uids, payloads)
 
 
+def build_fit_state(
+    encoding, names: Sequence[str], weights: np.ndarray
+) -> FitJobState:
+    """The static fit snapshot: coded columns, cardinalities, weights."""
+    return FitJobState(
+        [encoding.codes(a) for a in names],
+        [encoding.card(a) for a in names],
+        weights,
+    )
+
+
 def run_fit_job(
-    state: FitJobState, executor: str, n_jobs: int
+    state: FitJobState,
+    pair_tasks: Sequence[tuple[int, int]],
+    cpt_tasks: Sequence[tuple[int, tuple[int, ...]]],
+    executor: str,
+    n_jobs: int,
+    session: ExecSession | None = None,
 ) -> tuple[list, list, dict]:
-    """Plan, dispatch, and deterministically merge all fit tasks.
+    """Plan, dispatch, and deterministically merge one fit job.
 
     Returns ``(pair_payloads, cpt_payloads, diagnostics)`` where the
-    payload lists align with ``state.pair_tasks`` / ``state.cpt_tasks``.
-    Work is cut into cost-balanced shards (cost ∝ rows × columns a task
-    touches) and run by the configured backend; because every payload is
-    scattered back by its task index, the merge is independent of
+    payload lists align with ``pair_tasks`` / ``cpt_tasks``.  Work is
+    cut into cost-balanced shards (cost ∝ rows × columns a task
+    touches) and dispatched through ``session`` — the caller's, so
+    several jobs (the engine's pair build, then its CPT passes) reuse
+    one warm pool and ship ``state`` once; an ephemeral session is
+    opened and closed here when none is given.  Because every payload
+    is scattered back by its task index, the merge is independent of
     backend, shard count, and completion order.
 
     ``executor="auto"`` resolves here, after planning: serial unless
@@ -146,20 +175,22 @@ def run_fit_job(
     :data:`~repro.exec.planner.AUTO_FIT_COST_THRESHOLD` (the resolved
     name lands in the diagnostics next to the requested one).
     """
+    pair_tasks = list(pair_tasks)
+    cpt_tasks = list(cpt_tasks)
     n_rows = len(state.weights)
     work = []
-    if state.pair_tasks:
-        costs = np.full(len(state.pair_tasks), 2.0 * n_rows, dtype=np.float64)
+    if pair_tasks:
+        costs = np.full(len(pair_tasks), 2.0 * n_rows, dtype=np.float64)
         work.append(
-            (PAIR_TASKS, "__pairs__", np.arange(len(state.pair_tasks)), costs)
+            (PAIR_TASKS, "__pairs__", np.arange(len(pair_tasks)), costs)
         )
-    if state.cpt_tasks:
+    if cpt_tasks:
         costs = np.array(
-            [n_rows * (1.0 + len(ps)) for _, ps in state.cpt_tasks],
+            [n_rows * (1.0 + len(ps)) for _, ps in cpt_tasks],
             dtype=np.float64,
         )
         work.append(
-            (CPT_TASKS, "__cpts__", np.arange(len(state.cpt_tasks)), costs)
+            (CPT_TASKS, "__cpts__", np.arange(len(cpt_tasks)), costs)
         )
     hint = 1 if executor == "serial" else n_jobs * OVERSUBSCRIBE
     plan = plan_shards(work, hint)
@@ -170,11 +201,34 @@ def run_fit_job(
         n_jobs,
         threshold=AUTO_FIT_COST_THRESHOLD,
     )
-    backend = get_backend(resolved, n_jobs)
-    results = backend.run(state, plan.shards)
+    own_session = session is None
+    if session is None:
+        session = ExecSession(state, n_jobs)
+    elif session.state is not state:
+        raise CleaningError("run_fit_job session wraps a different snapshot")
+    if (
+        executor == "auto"
+        and resolved == "serial"
+        and n_jobs > 1
+        and plan.n_shards > 1
+        and session.is_warm("process")
+    ):
+        # An earlier job of this session (the pair build) already paid
+        # the pool spawn and the snapshot ship — a later job below the
+        # threshold still wins by riding the warm workers rather than
+        # idling them (mirrors the stream driver's sticky resolution).
+        resolved = "process"
+    try:
+        results = session.dispatch(
+            resolved, FitTasks(tuple(pair_tasks), tuple(cpt_tasks)), plan.shards
+        )
+        backend = session.backend(resolved)
+    finally:
+        if own_session:
+            session.close()
 
-    pair_payloads: list = [None] * len(state.pair_tasks)
-    cpt_payloads: list = [None] * len(state.cpt_tasks)
+    pair_payloads: list = [None] * len(pair_tasks)
+    cpt_payloads: list = [None] * len(cpt_tasks)
     for result in results:
         target = pair_payloads if result.column == PAIR_TASKS else cpt_payloads
         for uid, payload in zip(result.uids.tolist(), result.payloads):
@@ -192,18 +246,38 @@ def run_fit_job(
         "fit_executor": resolved,
         "n_jobs": 1 if resolved == "serial" else n_jobs,
         "n_shards": plan.n_shards,
-        "n_pair_tasks": len(state.pair_tasks),
-        "n_cpt_tasks": len(state.cpt_tasks),
+        "n_pair_tasks": len(pair_tasks),
+        "n_cpt_tasks": len(cpt_tasks),
     }
     if executor == "auto":
         diagnostics["auto"] = True
-    if getattr(backend, "fell_back", False):
-        diagnostics["process_fallback"] = True
-    if getattr(backend, "ran_serially", False):
-        diagnostics["ran_serially"] = True
+    for flag in ("fell_back", "ran_serially", "pool_broken"):
+        if getattr(backend, flag, False):
+            key = "process_fallback" if flag == "fell_back" else flag
+            diagnostics[key] = True
     if getattr(backend, "shm_used", False):
         diagnostics["shm"] = True
     return pair_payloads, cpt_payloads, diagnostics
+
+
+def _resolve_state(
+    session: ExecSession | None, encoding, names, weights
+) -> FitJobState:
+    """The snapshot a job runs against: the session's when one is
+    given — verified against the caller's arguments so a session built
+    over one table cannot silently count another's columns — a fresh
+    one otherwise."""
+    if session is None:
+        return build_fit_state(encoding, names, weights)
+    state = session.state
+    if len(state.columns) != len(names) or not np.array_equal(
+        state.weights, weights
+    ):
+        raise CleaningError(
+            "fit session snapshot does not match the requested job "
+            "(different columns or row weights)"
+        )
+    return state
 
 
 def sharded_pair_arrays(
@@ -212,23 +286,21 @@ def sharded_pair_arrays(
     weights: np.ndarray,
     executor: str,
     n_jobs: int,
+    session: ExecSession | None = None,
 ) -> tuple[dict[tuple[str, str], PairArrays], dict]:
     """Build every ordered pair's co-occurrence arrays via the backends.
 
     Returns the ``pair_arrays`` mapping
     :class:`~repro.core.cooccurrence.CooccurrenceIndex` accepts, plus
-    the job diagnostics.
+    the job diagnostics.  Pass the engine's fit ``session`` to run on
+    its warm pool; otherwise an ephemeral one is used.
     """
     m = len(names)
     pair_tasks = [(j, k) for j in range(m) for k in range(j + 1, m)]
-    state = FitJobState(
-        [encoding.codes(a) for a in names],
-        [encoding.card(a) for a in names],
-        weights,
-        pair_tasks,
-        (),
+    state = _resolve_state(session, encoding, names, weights)
+    pair_payloads, _, diag = run_fit_job(
+        state, pair_tasks, (), executor, n_jobs, session=session
     )
-    pair_payloads, _, diag = run_fit_job(state, executor, n_jobs)
     pairs: dict[tuple[str, str], PairArrays] = {}
     for (j, k), (forward, reverse) in zip(pair_tasks, pair_payloads):
         pairs[(names[j], names[k])] = forward
@@ -243,27 +315,26 @@ def sharded_family_arrays(
     weights: np.ndarray,
     executor: str,
     n_jobs: int,
+    session: ExecSession | None = None,
 ) -> tuple[dict[str, tuple], dict]:
     """Extract the distinct family count arrays of ``families`` via the
     backends (the per-node half of the parallel fit).
 
     ``families`` lists ``(node, parents)`` in the order the caller wants
     them dispatched; the returned mapping feeds
-    :meth:`~repro.bayesnet.model.DiscreteBayesNet.fit_columnar`.
+    :meth:`~repro.bayesnet.model.DiscreteBayesNet.fit_columnar`.  Pass
+    the engine's fit ``session`` to reuse the pool (and the coded
+    columns already resident in its workers) from the pair job.
     """
     index_of = {a: j for j, a in enumerate(names)}
     cpt_tasks = [
         (index_of[node], tuple(index_of[p] for p in parents))
         for node, parents in families
     ]
-    state = FitJobState(
-        [encoding.codes(a) for a in names],
-        [encoding.card(a) for a in names],
-        weights,
-        (),
-        cpt_tasks,
+    state = _resolve_state(session, encoding, names, weights)
+    _, cpt_payloads, diag = run_fit_job(
+        state, (), cpt_tasks, executor, n_jobs, session=session
     )
-    _, cpt_payloads, diag = run_fit_job(state, executor, n_jobs)
     return {
         node: payload
         for (node, _), payload in zip(families, cpt_payloads)

@@ -61,16 +61,44 @@ def resolve_executor(
 
     Anything other than ``"auto"`` passes through unchanged.  ``auto``
     picks ``"process"`` only when parallelism can exist at all (more
-    than one worker *and* more than one shard) and the planner's
-    total-cost estimate clears ``threshold`` — otherwise the always-
-    cheap serial path wins.  The choice affects wall-clock only: every
-    backend produces byte-identical results.
+    than one worker *and* more than one shard) and the total-cost
+    estimate clears ``threshold`` — otherwise the always-cheap serial
+    path wins.  For a chunked stream the caller passes the
+    **whole-stream** cost estimate (see
+    :func:`extrapolate_stream_cost`), not the chunk's own: pool startup
+    and the snapshot ship are paid once per
+    :class:`~repro.exec.session.ExecSession`, so the break-even point
+    belongs to the stream, not to any single row block.  The choice
+    affects wall-clock only: every backend produces byte-identical
+    results.
     """
     if requested != "auto":
         return requested
     if n_jobs > 1 and n_shards > 1 and total_cost >= threshold:
         return "process"
     return "serial"
+
+
+def extrapolate_stream_cost(
+    cum_cost: float, rows_planned: int, total_rows: int | None
+) -> float:
+    """Estimate a whole stream's total cost from the chunks planned so
+    far.
+
+    When the stream's total row count is known up front (an in-memory
+    table cleaned in blocks), the cumulative planned cost is scaled by
+    the fraction of rows already planned — so the very first chunk of a
+    uniform table already sees (approximately) the whole-table cost,
+    and the executor resolution matches the un-chunked run instead of
+    flapping to serial because one block looks cheap.  When the total
+    is unknown (a CSV streamed off disk), the cumulative cost itself is
+    the best available lower bound: the resolution upgrades to
+    ``process`` as soon as enough of the file has proven the stream
+    expensive, and the session keeps that pool warm from then on.
+    """
+    if total_rows is None or rows_planned <= 0 or total_rows <= rows_planned:
+        return cum_cost
+    return cum_cost * (total_rows / rows_planned)
 
 
 @dataclass(frozen=True, eq=False)

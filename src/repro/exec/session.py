@@ -1,0 +1,159 @@
+"""Execution sessions: one worker pool + one snapshot per job stream.
+
+PR 4's chunked pipeline broke the amortisation the paper's scale story
+rests on: every chunk of a ``process`` clean spawned a fresh
+``ProcessPoolExecutor``, re-pickled and re-shipped the static fit
+statistics, and rebuilt every worker cache — fixed costs that §6
+amortises over the *whole table* were being paid per row block.
+
+:class:`ExecSession` closes that gap.  It owns the worker-pool and
+shared-memory lifecycle for one whole job stream — a ``clean()``'s
+chunks, or a fit's pair + CPT jobs — around the session-scoped backends
+of :mod:`repro.exec.backends`:
+
+- the static state (a :class:`~repro.exec.state.FitState` or
+  :class:`~repro.exec.fit.FitJobState`) is bound at construction and
+  shipped to process workers exactly once, via the pool initializer,
+  when the first process dispatch creates the pool;
+- each :meth:`dispatch` sends only its per-dispatch payload (a
+  :class:`~repro.exec.state.ChunkView`, a
+  :class:`~repro.exec.fit.FitTasks`) plus the planned shards to the
+  already-warm workers;
+- backends are created lazily per executor name, so an adaptive stream
+  that resolves some chunks to ``serial`` and some to ``process``
+  holds exactly one pool, and an all-serial stream holds none;
+- :meth:`close` joins the workers and unlinks the snapshot segment.
+
+``persistent=False`` (the ``BCleanConfig.persistent_pool`` escape
+hatch) keeps the session API but restores per-dispatch pool teardown —
+the pre-session behaviour, kept for hosts where long-lived pools are
+unwelcome.
+
+The session changes *scheduling only*: every dispatch remains a pure
+function of (static state, payload), so repairs stay byte-identical to
+the serial whole-table run no matter how dispatches map onto pools.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import CleaningError
+from repro.exec.backends import get_backend
+from repro.exec.planner import Shard
+
+
+class ExecSession:
+    """Owns backends (and their pools/segments) for one job stream.
+
+    Parameters
+    ----------
+    state:
+        The static read-only snapshot every dispatch executes against.
+    n_jobs:
+        Worker count for the parallel backends.
+    persistent:
+        Keep pools (and the shipped snapshot) alive between dispatches;
+        ``False`` tears them down after every dispatch.
+    use_shm:
+        Attempt the shared-memory transport for process snapshots and
+        payloads (tests force the pickle path by passing ``False``).
+    """
+
+    def __init__(
+        self,
+        state,
+        n_jobs: int,
+        persistent: bool = True,
+        use_shm: bool = True,
+    ):
+        self.state = state
+        self.n_jobs = max(1, n_jobs)
+        self.persistent = persistent
+        self.use_shm = use_shm
+        self._backends: dict[str, object] = {}
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def backend(self, name: str):
+        """The session's backend for ``name``, created (and opened on
+        the static state) at first use."""
+        backend = self._backends.get(name)
+        if backend is None:
+            if self._closed:
+                raise CleaningError("ExecSession is closed")
+            backend = get_backend(
+                name,
+                self.n_jobs,
+                use_shm=self.use_shm,
+                persistent=self.persistent,
+            )
+            backend.open(self.state)
+            self._backends[name] = backend
+        return backend
+
+    def is_warm(self, name: str) -> bool:
+        """Whether the ``name`` backend already holds a live pool whose
+        workers have the snapshot resident — i.e. another dispatch on it
+        pays only its payload ship, no fixed costs."""
+        backend = self._backends.get(name)
+        return bool(backend is not None and getattr(backend, "is_warm", False))
+
+    def dispatch(self, name: str, payload, shards: Sequence[Shard]) -> list:
+        """Run one planned job on the ``name`` backend's warm workers."""
+        if self._closed:
+            raise CleaningError("ExecSession is closed")
+        return self.backend(name).dispatch(payload, shards)
+
+    def close(self) -> None:
+        """Join every pool and release every segment (idempotent).
+
+        The backends stay listed so the aggregated diagnostics remain
+        readable after the session ends; only new dispatches are
+        refused.
+        """
+        for backend in self._backends.values():
+            backend.close()
+        self._closed = True
+
+    def __enter__(self) -> "ExecSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- aggregated diagnostics --------------------------------------------------
+
+    @property
+    def pools_created(self) -> int:
+        """Worker pools spawned over the session (thread + process)."""
+        return sum(
+            getattr(b, "pools_created", 0) for b in self._backends.values()
+        )
+
+    @property
+    def snapshot_ships(self) -> int:
+        """Static snapshot serialisations shipped to process pools."""
+        return sum(
+            getattr(b, "snapshot_ships", 0) for b in self._backends.values()
+        )
+
+    @property
+    def shm_used(self) -> bool:
+        return any(
+            getattr(b, "shm_used", False) for b in self._backends.values()
+        )
+
+    def flags(self) -> dict[str, bool]:
+        """Sticky degradation flags across every backend the session
+        created, in the diagnostics' key vocabulary."""
+        out: dict[str, bool] = {}
+        for backend in self._backends.values():
+            if getattr(backend, "fell_back", False):
+                out["process_fallback"] = True
+            if getattr(backend, "pool_broken", False):
+                out["pool_broken"] = True
+            if getattr(backend, "ran_serially", False):
+                out["ran_serially"] = True
+        return out

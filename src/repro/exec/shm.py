@@ -24,6 +24,17 @@ The snapshot contract (arrays are never written after fit) is what makes
 the aliasing safe; it is the same contract the thread backend already
 relies on when sharing the state by reference.
 
+Two payload shapes travel through the same pack/unpack pair:
+
+- the **static snapshot** — the frozen fit statistics, packed once per
+  :class:`~repro.exec.session.ExecSession` and shipped through the pool
+  initializer;
+- the **per-dispatch payload** — one chunk's deduplicated rows and
+  masks, packed per dispatch.  These are orders of magnitude smaller,
+  so callers pass ``min_bytes`` to keep genuinely tiny payloads on the
+  plain in-band pickle path (a segment per few-KB dispatch would cost
+  more in syscalls than it saves in copies).
+
 When the host cannot provide shared memory (no ``/dev/shm``, sandboxed
 semaphores, zero array bytes to ship) :func:`pack` returns ``None`` and
 the caller falls back to the classic all-in-band pickle — behaviour is
@@ -86,13 +97,15 @@ class PackedSnapshot:
         self._shm = None
 
 
-def pack(obj) -> PackedSnapshot | None:
+def pack(obj, min_bytes: int = 0) -> PackedSnapshot | None:
     """Pack ``obj`` into (scalar shell, one shared-memory segment).
 
     Returns ``None`` when shared memory cannot be used here — no shm
-    support, nothing buffer-like to ship out-of-band, or segment
-    creation refused by the host — in which case the caller should ship
-    a plain pickle instead.
+    support, nothing buffer-like to ship out-of-band, fewer than
+    ``min_bytes`` of out-of-band payload (a segment is not worth its
+    syscalls for tiny per-dispatch payloads), or segment creation
+    refused by the host — in which case the caller should ship a plain
+    pickle instead.
     """
     if shared_memory is None:
         return None
@@ -110,7 +123,7 @@ def pack(obj) -> PackedSnapshot | None:
         total = -(-total // _ALIGN) * _ALIGN  # round up to alignment
         offsets.append(total)
         total += view.nbytes
-    if total == 0:
+    if total == 0 or total < min_bytes:
         return None
     try:
         shm = shared_memory.SharedMemory(create=True, size=total)
@@ -126,6 +139,48 @@ def pack(obj) -> PackedSnapshot | None:
     )
 
 
+def attach(segment_name: str):
+    """Attach an existing segment *without* resource tracking.
+
+    ``SharedMemory(name=...)`` registers every attach with a
+    ``resource_tracker`` — but an attaching worker does not own the
+    segment, so on CPython ≥ 3.8 that registration makes worker
+    teardown warn about (and, when the worker runs its own tracker,
+    double-unlink) a segment whose lifetime belongs to the packing
+    side.  CPython ≥ 3.13 has ``track=False`` for exactly this; on
+    older interpreters the registration call is suppressed around the
+    attach.  Suppression — not register-then-unregister — matters:
+    pool workers forked on Linux *share* the parent's tracker process,
+    where an unregister would strip the owner's own legitimate
+    registration and turn its eventual release into a tracker error.
+    Either way only the owner's :meth:`PackedSnapshot.release` ever
+    unlinks.
+    """
+    if shared_memory is None:  # pragma: no cover - guarded by pack()
+        raise OSError("shared memory is not available on this platform")
+    try:
+        return shared_memory.SharedMemory(
+            name=segment_name, create=False, track=False
+        )
+    except TypeError:  # CPython < 3.13: no track parameter
+        pass
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - tracker always importable
+        return shared_memory.SharedMemory(name=segment_name, create=False)
+    original = resource_tracker.register
+
+    def _skip_shared_memory(name, rtype):
+        if rtype != "shared_memory":  # pragma: no cover - shm only
+            original(name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=segment_name, create=False)
+    finally:
+        resource_tracker.register = original
+
+
 def unpack(shell: ShmShell):
     """Rebuild the object in a worker: attach the segment and feed its
     slices back as the out-of-band buffers.
@@ -133,11 +188,11 @@ def unpack(shell: ShmShell):
     Returns ``(obj, shm)``.  The caller must keep ``shm`` referenced for
     as long as the object lives — the arrays are zero-copy views of the
     mapping — and ``close()`` it at process teardown (never ``unlink()``:
-    the packing side owns the segment).
+    the packing side owns the segment, and the attach is untracked so
+    the worker's ``resource_tracker`` stays out of the segment's
+    lifetime — see :func:`attach`).
     """
-    if shared_memory is None:  # pragma: no cover - guarded by pack()
-        raise OSError("shared memory is not available on this platform")
-    shm = shared_memory.SharedMemory(name=shell.segment_name, create=False)
+    shm = attach(shell.segment_name)
     views = [
         shm.buf[offset : offset + length]
         for offset, length in zip(shell.offsets, shell.lengths)

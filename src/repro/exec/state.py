@@ -1,26 +1,40 @@
 """Read-only execution state and the per-shard competition kernel.
 
-:class:`FitState` is the picklable snapshot of everything a candidate
-competition needs after ``fit()``: the shared table encoding, the
-co-occurrence index, the coded CPT matrices (via the columnar scorer),
-the compensatory scorer, the domain pruner, the BN partition, and the
-per-clean view of the rows being cleaned (deduplicated row signatures
-plus their confidence weights and per-attribute NULL/UC code masks).
+The execution state is split along the session seam of
+:mod:`repro.exec.backends`:
+
+- :class:`FitState` is the **static** picklable snapshot of everything a
+  candidate competition needs after ``fit()``: the shared table
+  encoding, the co-occurrence index, the coded CPT matrices (via the
+  columnar scorer), the compensatory scorer, the domain pruner, the BN
+  partition, and the per-attribute domain candidate codes.  It is
+  constant for a whole ``clean()`` (indeed for the fit's lifetime), so a
+  persistent worker pool ships it exactly **once** — through the pool
+  initializer — no matter how many row chunks the clean dispatches.
+- :class:`ChunkView` is the small **per-dispatch** view of the rows
+  being cleaned right now: the chunk's deduplicated row signatures,
+  their confidence weights, and the per-attribute NULL/UC code masks
+  (which can grow between chunks when incremental encoding mints codes
+  for a foreign table's unseen values — that is why they ride with the
+  chunk, not the snapshot).
 
 Everything in the snapshot is *read-only* during cleaning — the only
 mutations are lazy per-process caches (CSR inverted indexes, dense
 co-occurrence profiles, dict probe views), which are dropped on pickling
 and rebuilt on demand inside each worker.  That makes one ``FitState``
 safe to share across threads (cache races are idempotent writes of
-identical values) and cheap to ship to processes once per ``clean()``.
+identical values) and cheap to ship to processes once per *session*.
+Its statistics index only build-time codes, so a worker's snapshot stays
+valid even while the parent's encoding keeps extending: codes the
+statistics never saw probe as never-observed by construction.
 
 :meth:`FitState.run_shard` is the execution kernel: it runs every
-competition of one :class:`~repro.exec.planner.Shard` and returns a
-:class:`ShardResult` of repair codes and scores.  Within a shard,
-competitions are scored in *batch*: candidate pools of equal length are
-stacked into one ``(B, P)`` matrix and every Markov-blanket factor is
-resolved for the whole batch with a single
-:class:`~repro.bayesnet.model.ColumnarNetScorer` matrix op (the
+competition of one :class:`~repro.exec.planner.Shard` against one
+:class:`ChunkView` and returns a :class:`ShardResult` of repair codes
+and scores.  Within a shard, competitions are scored in *batch*:
+candidate pools of equal length are stacked into one ``(B, P)`` matrix
+and every Markov-blanket factor is resolved for the whole batch with a
+single :class:`~repro.bayesnet.model.ColumnarNetScorer` matrix op (the
 ROADMAP's "parallel competitions" item).  Each competition's arithmetic
 is element-for-element identical to the single-competition path, so
 results are byte-identical regardless of backend, shard count, or batch
@@ -70,6 +84,31 @@ class ShardResult:
         return len(self.uids)
 
 
+@dataclass
+class ChunkView:
+    """The per-dispatch view of the rows being cleaned.
+
+    Attributes
+    ----------
+    uniq_rows:
+        ``(n_uniq, m)`` deduplicated coded row signatures of the chunk
+        being cleaned.
+    uniq_weights:
+        Per-signature confidence weight (what the signature's rows
+        contributed to Algorithm 2's accumulator; 1.0 for foreign rows).
+    null_masks, uc_masks:
+        Per-attribute boolean masks over the *current* (possibly
+        extended) code range — re-snapshotted per chunk because foreign
+        chunks mint new codes as they are encoded.  ``uc_masks`` may be
+        empty when user constraints are disabled.
+    """
+
+    uniq_rows: np.ndarray
+    uniq_weights: np.ndarray
+    null_masks: dict[str, np.ndarray]
+    uc_masks: dict[str, np.ndarray]
+
+
 class FitState:
     """Everything a worker needs to run competitions, frozen after fit.
 
@@ -80,24 +119,17 @@ class FitState:
         by the engine, not the kernel).
     encoding:
         Shared table interning (possibly incrementally extended for a
-        foreign table).
+        foreign table).  The kernel only reads build-time facts from it
+        (per-attribute cardinalities for scratch sizing), so a snapshot
+        shipped at session open stays valid for every later chunk.
     cooc, comp, pruner, scorer, subnets:
         The fitted statistics components, exactly as the engine built
         them.
     names:
         Attribute names in schema order.
-    uniq_rows:
-        ``(n_uniq, m)`` deduplicated coded row signatures of the table
-        being cleaned.
-    uniq_weights:
-        Per-signature confidence weight (what the signature's rows
-        contributed to Algorithm 2's accumulator; 1.0 for foreign rows).
-    null_masks, uc_masks:
-        Per-attribute boolean masks over the *current* (possibly
-        extended) code range.  ``uc_masks`` may be empty when user
-        constraints are disabled.
     domain_codes:
-        Per-attribute domain candidate codes, most frequent first.
+        Per-attribute domain candidate codes, most frequent first
+        (fit-time values, hence static).
     """
 
     def __init__(
@@ -110,10 +142,6 @@ class FitState:
         scorer: ColumnarNetScorer,
         subnets: Mapping[str, SubNetwork],
         names: Sequence[str],
-        uniq_rows: np.ndarray,
-        uniq_weights: np.ndarray,
-        null_masks: Mapping[str, np.ndarray],
-        uc_masks: Mapping[str, np.ndarray],
         domain_codes: Mapping[str, np.ndarray],
     ):
         self.config = config
@@ -124,17 +152,14 @@ class FitState:
         self.scorer = scorer
         self.subnets = dict(subnets)
         self.names = list(names)
-        self.uniq_rows = uniq_rows
-        self.uniq_weights = uniq_weights
-        self.null_masks = dict(null_masks)
-        self.uc_masks = dict(uc_masks)
         self.domain_codes = dict(domain_codes)
 
     # -- kernel ------------------------------------------------------------------
 
-    def run_shard(self, shard: "Shard") -> ShardResult:
-        """Run all competitions of ``shard`` (pure function of the
-        snapshot — see the module docstring for the batching scheme)."""
+    def run_shard(self, shard: "Shard", view: ChunkView) -> ShardResult:
+        """Run all competitions of ``shard`` against ``view`` (pure
+        function of snapshot + view — see the module docstring for the
+        batching scheme)."""
         cfg = self.config
         j = shard.column
         attr = self.names[j]
@@ -159,9 +184,11 @@ class FitState:
         comp_logs: list[np.ndarray] = []
         inc_idxs = np.empty(n, dtype=np.int64)
         for pos in range(n):
-            row_codes = self.uniq_rows[uids[pos]]
+            row_codes = view.uniq_rows[uids[pos]]
             current_code = int(row_codes[j])
-            pool, n_filtered = self._pool(attr, j, row_codes, context_cols, scratch)
+            pool, n_filtered = self._pool(
+                attr, j, row_codes, context_cols, scratch, view
+            )
             filtered_uc += n_filtered
             hits = np.nonzero(pool == current_code)[0]
             if len(hits) == 0:
@@ -177,7 +204,7 @@ class FitState:
                     attr,
                     context_cols,
                     incumbent_index=inc_idx,
-                    self_weight=float(self.uniq_weights[uids[pos]]),
+                    self_weight=float(view.uniq_weights[uids[pos]]),
                 )
                 comp_log = cfg.comp_weight * log_compensatory_pool(
                     raw, cfg.comp_smoothing
@@ -201,7 +228,7 @@ class FitState:
                 groups.setdefault(len(pools[pos]), []).append(pos)
             for members in groups.values():
                 cand2d = np.vstack([pools[p] for p in members])
-                rows2d = self.uniq_rows[uids[np.asarray(members)]]
+                rows2d = view.uniq_rows[uids[np.asarray(members)]]
                 if cfg.mode == InferenceMode.BASIC:
                     bn2d = self.scorer.joint_log_scores_batch(attr, cand2d, rows2d)
                 else:
@@ -211,10 +238,10 @@ class FitState:
 
         # Pass 3 — decisions (the tail of one candidate competition,
         # unchanged arithmetic: penalty, margin, argmax, support vetoes).
-        null_mask = self.null_masks[attr]
-        uc_mask = self.uc_masks.get(attr) if cfg.use_ucs else None
+        null_mask = view.null_masks[attr]
+        uc_mask = view.uc_masks.get(attr) if cfg.use_ucs else None
         for pos in range(n):
-            row_codes = self.uniq_rows[uids[pos]]
+            row_codes = view.uniq_rows[uids[pos]]
             current_code = int(row_codes[j])
             pool = pools[pos]
             inc_idx = int(inc_idxs[pos])
@@ -275,6 +302,7 @@ class FitState:
         row_codes: np.ndarray,
         context_cols: Sequence[int],
         scratch: np.ndarray,
+        view: ChunkView,
     ) -> tuple[np.ndarray, int]:
         """The coded candidate pool, ordered exactly as the scalar
         reference: context candidates by (−strength, first appearance),
@@ -292,7 +320,7 @@ class FitState:
         concat = (
             np.concatenate(lists) if lists else np.empty(0, dtype=np.int64)
         )
-        null_mask = self.null_masks[attr]
+        null_mask = view.null_masks[attr]
         concat = concat[~null_mask[concat]]
         cand, first_pos = np.unique(concat, return_index=True)
         strength = np.zeros(len(cand), dtype=np.float64)
@@ -327,7 +355,7 @@ class FitState:
 
         filtered = 0
         if cfg.use_ucs:
-            ok = self.uc_masks[attr][ordered]
+            ok = view.uc_masks[attr][ordered]
             filtered = int((~ok).sum())
             ordered = ordered[ok]
             ordered_strength = ordered_strength[ok]

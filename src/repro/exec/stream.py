@@ -25,12 +25,19 @@ plan
     Deduplicate the block's row signatures, estimate per-competition
     costs, and cut cost-balanced :class:`~repro.exec.planner.Shard`\\ s;
     ``executor="auto"`` resolves serial vs process here, from the
-    plan's total-cost estimate.
+    **whole-stream** cost estimate (the cumulative planned cost,
+    extrapolated to the stream's known total rows when cleaning an
+    in-memory table) — pool startup is paid once per session, so the
+    break-even belongs to the stream, not to any single block.
 execute
-    Freeze the block's view into a :class:`~repro.exec.state.FitState`
-    and run the shards on the chosen worker backend (the process
-    backend ships the snapshot's arrays via shared memory when the
-    host allows — :mod:`repro.exec.shm`).
+    Pack the block's per-chunk view into a
+    :class:`~repro.exec.state.ChunkView` and dispatch the shards
+    through the clean's :class:`~repro.exec.session.ExecSession`: the
+    worker pool is created once, the static
+    :class:`~repro.exec.state.FitState` snapshot is shipped once (via
+    shared memory when the host allows — :mod:`repro.exec.shm`), and
+    every later chunk reaches already-warm workers carrying only its
+    own view.
 merge
     Scatter the shard results into per-attribute decision buffers
     (:func:`~repro.exec.merge.merge_shard_results`).
@@ -69,7 +76,6 @@ from repro.core.repairs import CleaningStats, Repair
 from repro.dataset.io import append_csv_rows, iter_csv_chunks, write_csv_header
 from repro.dataset.table import Table
 from repro.errors import CleaningError
-from repro.exec.backends import get_backend
 from repro.exec.merge import (
     MergedDecisions,
     concat_chunk_repairs,
@@ -79,10 +85,12 @@ from repro.exec.planner import (
     OVERSUBSCRIBE,
     ShardPlan,
     estimate_competition_costs,
+    extrapolate_stream_cost,
     plan_shards,
     resolve_executor,
 )
-from repro.exec.state import FitState
+from repro.exec.session import ExecSession
+from repro.exec.state import ChunkView, FitState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import BClean
@@ -260,6 +268,17 @@ class StreamDriver:
         # per-clean lazy caches for fitted-table chunking
         self._fitted_matrix: np.ndarray | None = None
         self._fitted_filter: dict[str, np.ndarray] = {}
+        # the clean's execution session: opened at the first executed
+        # chunk, closed at emit-end (see run()); one pool + one static
+        # snapshot ship for the whole stream
+        self._session: ExecSession | None = None
+        # whole-stream auto-resolution state
+        self._cum_plan_cost = 0.0
+        self._rows_planned = 0
+        #: stream length when known up front (in-memory tables); None
+        #: for CSV streams, where the cumulative cost stands in
+        self._total_rows: int | None = None
+        self._auto_process = False
         # aggregated outcome
         self.competitions_run = 0
         self.n_chunks = 0
@@ -267,6 +286,8 @@ class StreamDriver:
         self.backend_counts: dict[str, int] = {}
         self.flags: dict[str, bool] = {}
         self.shm_used = False
+        self.pools_created = 0
+        self.snapshot_ships = 0
         self.incremental = False
         #: the block size chunks were actually cut at (None = whole table)
         self.effective_chunk_rows = self.cfg.chunk_rows
@@ -369,8 +390,8 @@ class StreamDriver:
 
     def plan(self, detected: DetectedChunk) -> PlannedChunk:
         """Deduplicate signatures, estimate costs, cut shards, and pick
-        the backend (resolving ``executor="auto"`` from the plan's
-        total cost)."""
+        the backend (resolving ``executor="auto"`` from the stream-level
+        cost estimate)."""
         cfg = self.cfg
         encoded = detected.encoded
         uniq_rows, first_rows, inverse = np.unique(
@@ -421,9 +442,9 @@ class StreamDriver:
             for j, attr, uids in work
         ]
         plan = plan_shards(costed_work, hint, cfg.shard_size)
-        executor = resolve_executor(
-            cfg.executor, plan.total_cost, plan.n_shards, self.n_jobs
-        )
+        self._cum_plan_cost += plan.total_cost
+        self._rows_planned += encoded.chunk.n_rows
+        executor = self._resolve_backend(plan)
         return PlannedChunk(
             detected,
             uniq_rows,
@@ -434,29 +455,89 @@ class StreamDriver:
             executor,
         )
 
+    def _resolve_backend(self, plan: ShardPlan) -> str:
+        """Resolve ``executor="auto"`` for one chunk from the stream's
+        cost, not the chunk's.
+
+        Once a chunk has resolved to ``process`` the session's pool is
+        warm, so every later chunk that can use it does — the marginal
+        cost of a dispatch is one small payload ship, far below any
+        re-decision threshold (unless pools are non-persistent, where
+        each dispatch pays full price and the estimate must re-clear
+        the bar).  Backend choice never affects results, only
+        wall-clock.
+        """
+        cfg = self.cfg
+        if cfg.executor != "auto":
+            return cfg.executor
+        if (
+            self._auto_process
+            and cfg.persistent_pool
+            and self.n_jobs > 1
+            and plan.n_shards > 1
+        ):
+            return "process"
+        # Without a persistent pool every process dispatch pays the full
+        # spawn + snapshot ship again, so each chunk must clear the
+        # threshold on its own cost — only a warm session may bill the
+        # fixed costs to the stream.
+        cost = (
+            extrapolate_stream_cost(
+                self._cum_plan_cost, self._rows_planned, self._total_rows
+            )
+            if cfg.persistent_pool
+            else plan.total_cost
+        )
+        resolved = resolve_executor("auto", cost, plan.n_shards, self.n_jobs)
+        if resolved == "process":
+            self._auto_process = True
+        return resolved
+
     # -- execute + merge --------------------------------------------------------
+
+    def session(self) -> ExecSession:
+        """The clean's execution session (opened on first use): one
+        worker pool and one static-snapshot ship for the whole stream."""
+        if self._session is None:
+            engine = self.engine
+            names = self.names
+            state = FitState(
+                self.cfg,
+                self.enc,
+                engine.cooc,
+                engine.comp,
+                engine.pruner,
+                self.scorer,
+                engine.subnets,
+                names,
+                {a: engine._domain_codes(a) for a in names},
+            )
+            self._session = ExecSession(
+                state, self.n_jobs, persistent=self.cfg.persistent_pool
+            )
+        return self._session
+
+    def _close_session(self) -> None:
+        """Emit-end: fold the session's pool/ship counters into the
+        driver's diagnostics, then join workers and release segments."""
+        if self._session is None:
+            return
+        self.pools_created = self._session.pools_created
+        self.snapshot_ships = self._session.snapshot_ships
+        self._session.close()
 
     def execute(self, planned: PlannedChunk, stats: CleaningStats) -> ChunkDecisions:
         cfg = self.cfg
         engine = self.engine
         names = self.names
-        state = FitState(
-            cfg,
-            self.enc,
-            engine.cooc,
-            engine.comp,
-            engine.pruner,
-            self.scorer,
-            engine.subnets,
-            names,
+        view = ChunkView(
             planned.uniq_rows,
             planned.uniq_weights,
             {a: self.enc.vocab(a).null_mask for a in names},
             {a: engine._uc_code_mask(a) for a in names} if cfg.use_ucs else {},
-            {a: engine._domain_codes(a) for a in names},
         )
-        backend = get_backend(planned.executor, self.n_jobs)
-        results = backend.run(state, planned.plan.shards)
+        session = self.session()
+        results = session.dispatch(planned.executor, view, planned.plan.shards)
         merged = merge_shard_results(
             results, len(planned.uniq_rows), planned.columns
         )
@@ -468,11 +549,8 @@ class StreamDriver:
         self.backend_counts[planned.executor] = (
             self.backend_counts.get(planned.executor, 0) + 1
         )
-        for flag in ("fell_back", "ran_serially"):
-            if getattr(backend, flag, False):
-                key = "process_fallback" if flag == "fell_back" else flag
-                self.flags[key] = True
-        if getattr(backend, "shm_used", False):
+        self.flags.update(session.flags())
+        if session.shm_used:
             self.shm_used = True
         return ChunkDecisions(planned, merged)
 
@@ -513,22 +591,27 @@ class StreamDriver:
         """Push every chunk through encode → detect → plan → execute →
         merge → emit, then concatenate the per-chunk repairs.  Chunks
         are processed strictly one at a time, so peak memory is one
-        block plus the frozen fit statistics."""
+        block plus the frozen fit statistics.  The execution session —
+        worker pool, shipped snapshot — spans all chunks and is closed
+        (workers joined, segments released) at emit-end."""
         self.incremental = not fitted
         m = len(self.names)
         per_chunk: list[list[Repair]] = []
-        for chunk in chunks:
-            if chunk.n_rows == 0:
-                continue
-            self.n_chunks += 1
-            stats.cells_total += chunk.n_rows * m
-            if m == 0:
-                continue
-            encoded = self.encode(chunk, fitted)
-            detected = self.detect(encoded, stats)
-            planned = self.plan(detected)
-            decisions = self.execute(planned, stats)
-            per_chunk.append(self.emit(decisions, sink))
+        try:
+            for chunk in chunks:
+                if chunk.n_rows == 0:
+                    continue
+                self.n_chunks += 1
+                stats.cells_total += chunk.n_rows * m
+                if m == 0:
+                    continue
+                encoded = self.encode(chunk, fitted)
+                detected = self.detect(encoded, stats)
+                planned = self.plan(detected)
+                decisions = self.execute(planned, stats)
+                per_chunk.append(self.emit(decisions, sink))
+        finally:
+            self._close_session()
         return concat_chunk_repairs(per_chunk)
 
     def clean_table(
@@ -540,6 +623,7 @@ class StreamDriver:
         repairs: list[Repair],
     ) -> None:
         """The in-memory clean: whole-table (one chunk) or chunked."""
+        self._total_rows = table.n_rows
         sink = TableSink(table, cleaned)
         repairs.extend(
             self.run(self._table_chunks(table, fitted), fitted, stats, sink)
@@ -587,12 +671,17 @@ class StreamDriver:
     def stream_diagnostics(self) -> dict:
         """The ``stream`` diagnostics block (chunked runs only),
         mirroring the ``fit_exec`` shape: chunk count, per-backend
-        chunk counts, shared-memory usage."""
+        chunk counts, shared-memory usage, and the session's
+        amortisation counters — a healthy persistent ``process`` stream
+        shows ``pools_created == 1`` and ``snapshot_ships == 1``
+        however many chunks ran."""
         return {
             "chunk_rows": self.effective_chunk_rows,
             "n_chunks": self.n_chunks,
             "backends": dict(sorted(self.backend_counts.items())),
             "shm": self.shm_used,
+            "pools_created": self.pools_created,
+            "snapshot_ships": self.snapshot_ships,
         }
 
 

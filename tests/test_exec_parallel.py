@@ -23,6 +23,7 @@ from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.errors import CleaningError, SchemaError
 from repro.exec import (
+    ChunkView,
     FitState,
     Shard,
     ShardResult,
@@ -229,7 +230,9 @@ def test_mutated_fitted_table_still_falls_back(hospital, executor):
 
 def test_fit_state_pickle_round_trip(hospital):
     """A pickled-and-restored FitState must reproduce every shard result
-    exactly (the process backend's correctness contract)."""
+    exactly (the process backend's correctness contract).  The view is
+    deliberately *not* re-pickled: per-chunk payloads are what the
+    persistent session ships per dispatch, the snapshot only once."""
     engine = BClean(BCleanConfig.pi(), hospital.constraints)
     engine.fit(hospital.dirty)
     enc = engine._encoding
@@ -245,16 +248,18 @@ def test_fit_state_pickle_round_trip(hospital):
         engine._columnar_scorer(),
         engine.subnets,
         names,
+        {a: engine._domain_codes(a) for a in names},
+    )
+    view = ChunkView(
         uniq_rows,
         engine.cooc.row_weights[first],
         {a: enc.vocab(a).null_mask for a in names},
         {a: engine._uc_code_mask(a) for a in names},
-        {a: engine._domain_codes(a) for a in names},
     )
     shard = Shard(0, 1, names[1], np.arange(min(9, len(uniq_rows))))
-    direct = state.run_shard(shard)
+    direct = state.run_shard(shard, view)
     restored = pickle.loads(pickle.dumps(state))
-    rerun = restored.run_shard(shard)
+    rerun = restored.run_shard(shard, pickle.loads(pickle.dumps(view)))
     assert np.array_equal(direct.decided, rerun.decided)
     assert np.array_equal(direct.incumbent_scores, rerun.incumbent_scores)
     assert np.array_equal(direct.best_scores, rerun.best_scores)

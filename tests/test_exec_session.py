@@ -1,0 +1,476 @@
+"""Persistent execution sessions must amortise, never alter.
+
+One ``clean()`` is one :class:`~repro.exec.session.ExecSession`: a
+chunked ``process`` clean creates exactly one worker pool and ships the
+static fit-statistics snapshot exactly once, while repairs stay
+byte-identical to the serial whole-table run for every combination of
+``persistent_pool`` × chunk size × backend.  On top of the end-to-end
+matrix: the session/backend lifecycle units, the broken-pool fallback
+diagnostics (``shm_bytes`` must reset with ``shm_used``; "pool never
+came up" and "pool died mid-session" are distinguishable), the
+untracked worker-side shm attach, the whole-stream auto-executor
+resolution, and the header-only ``clean_csv`` degenerate case.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.data.benchmark import load_benchmark
+from repro.dataset.io import read_csv, write_csv
+from repro.errors import CleaningError
+from repro.exec import ExecSession, Shard, extrapolate_stream_cost
+from repro.exec import shm as shm_transport
+from repro.exec.backends import ProcessBackend
+
+pytestmark = pytest.mark.fast
+
+
+def _sig(result):
+    """The full, exact repair signature (no tolerance — byte identity)."""
+    return [
+        (r.row, r.attribute, r.old_value, r.new_value, r.old_score, r.new_score)
+        for r in result.repairs
+    ]
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return load_benchmark("hospital", n_rows=60, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine(hospital):
+    eng = BClean(BCleanConfig.pip(), hospital.constraints)
+    eng.fit(hospital.dirty)
+    return eng
+
+
+@pytest.fixture(scope="module")
+def reference(engine):
+    """The whole-table serial clean every session run is pinned against."""
+    return engine.clean()
+
+
+def _clean(engine, chunk_rows, executor, persistent, n_jobs=2):
+    config = engine.config
+    saved = (
+        config.chunk_rows,
+        config.executor,
+        config.n_jobs,
+        config.persistent_pool,
+    )
+    config.chunk_rows = chunk_rows
+    config.executor = executor
+    config.n_jobs = n_jobs
+    config.persistent_pool = persistent
+    try:
+        return engine.clean()
+    finally:
+        (
+            config.chunk_rows,
+            config.executor,
+            config.n_jobs,
+            config.persistent_pool,
+        ) = saved
+
+
+# -- session reuse equivalence: persistent × chunk size × backend ---------------
+
+
+@pytest.mark.parametrize("persistent", (True, False), ids=["warm", "cold"])
+@pytest.mark.parametrize("chunk_rows", (None, 7, 25))
+def test_process_session_byte_identical(
+    engine, reference, persistent, chunk_rows
+):
+    result = _clean(engine, chunk_rows, "process", persistent)
+    assert _sig(result) == _sig(reference)
+    assert result.cleaned == reference.cleaned
+
+
+@pytest.mark.parametrize("persistent", (True, False), ids=["warm", "cold"])
+@pytest.mark.parametrize("executor", ("serial", "thread"))
+def test_other_backends_ignore_persistence_byte_identical(
+    engine, reference, persistent, executor
+):
+    result = _clean(engine, 11, executor, persistent)
+    assert _sig(result) == _sig(reference)
+    assert result.cleaned == reference.cleaned
+
+
+# -- the amortisation contract --------------------------------------------------
+
+
+def test_chunked_process_one_pool_one_snapshot(engine, reference):
+    """The acceptance pin: a chunked process clean creates exactly one
+    pool and ships the snapshot exactly once — per clean, not per
+    chunk."""
+    result = _clean(engine, 7, "process", persistent=True)
+    stream = result.diagnostics["stream"]
+    assert stream["n_chunks"] == 9
+    assert stream["backends"] == {"process": 9}
+    assert stream["pools_created"] == 1
+    assert stream["snapshot_ships"] == 1
+    assert _sig(result) == _sig(reference)
+
+
+def test_no_persistent_pool_restores_per_chunk_costs(engine, reference):
+    result = _clean(engine, 7, "process", persistent=False)
+    stream = result.diagnostics["stream"]
+    assert stream["n_chunks"] == 9
+    assert stream["pools_created"] == 9
+    assert stream["snapshot_ships"] == 9
+    assert _sig(result) == _sig(reference)
+
+
+def test_serial_stream_creates_no_pools(engine):
+    result = _clean(engine, 7, "serial", persistent=True)
+    stream = result.diagnostics["stream"]
+    assert stream["pools_created"] == 0
+    assert stream["snapshot_ships"] == 0
+
+
+def test_parallel_fit_shares_one_pool(hospital):
+    """The pair job and the CPT job of one fit() ride the same session:
+    one pool, one coded-columns ship."""
+    eng = BClean(
+        BCleanConfig.pip(fit_executor="process", n_jobs=2, structure="mmhc"),
+        hospital.constraints,
+    )
+    eng.fit(hospital.dirty)
+    result = eng.clean()
+    fit_diag = result.diagnostics["fit_exec"]
+    assert fit_diag["pair_shards"] >= 1
+    assert fit_diag["cpt_shards"] >= 1
+    assert fit_diag["pools_created"] == 1
+    assert fit_diag["snapshot_ships"] == 1
+
+    serial = BClean(
+        BCleanConfig.pip(structure="mmhc"), hospital.constraints
+    )
+    serial.fit(hospital.dirty)
+    assert _sig(result) == _sig(serial.clean())
+
+
+def test_fit_auto_rides_warm_pool(hospital, monkeypatch):
+    """A fit job below the auto threshold still dispatches to process
+    when an earlier job of the same session already warmed the pool —
+    the fixed costs are sunk, idling the workers would waste them."""
+    import numpy as np_
+
+    from repro.exec import fit as fit_mod
+
+    table = hospital.dirty
+    enc = table.encode()
+    names = table.schema.names
+    state = fit_mod.build_fit_state(
+        enc, names, np_.ones(table.n_rows, dtype=np_.float64)
+    )
+    session = ExecSession(state, n_jobs=2)
+    try:
+        monkeypatch.setattr(fit_mod, "AUTO_FIT_COST_THRESHOLD", 0.0)
+        _, _, first = fit_mod.run_fit_job(
+            state, [(0, 1), (0, 2), (1, 2)], (), "auto", 2, session=session
+        )
+        if first.get("process_fallback"):  # pragma: no cover - no pools
+            pytest.skip("host cannot run process pools")
+        assert first["fit_executor"] == "process"
+        monkeypatch.setattr(fit_mod, "AUTO_FIT_COST_THRESHOLD", 1e18)
+        # equal-cost tasks so the plan cuts >1 shard (the sticky upgrade
+        # only applies where parallelism can exist at all)
+        _, _, second = fit_mod.run_fit_job(
+            state, (), [(0, ()), (3, ())], "auto", 2, session=session
+        )
+        assert second["fit_executor"] == "process"
+        assert session.pools_created == 1
+        assert session.snapshot_ships == 1
+    finally:
+        session.close()
+
+
+def test_fit_session_rejects_mismatched_job(hospital):
+    """A session built over one snapshot must refuse a job described
+    with different weights instead of silently counting its own."""
+    import numpy as np_
+
+    from repro.exec import sharded_pair_arrays
+
+    table = hospital.dirty
+    enc = table.encode()
+    names = table.schema.names
+    ones = np_.ones(table.n_rows, dtype=np_.float64)
+    from repro.exec import build_fit_state
+
+    session = ExecSession(build_fit_state(enc, names, ones), n_jobs=2)
+    try:
+        with pytest.raises(CleaningError, match="does not match"):
+            sharded_pair_arrays(
+                enc, names, ones * 2.0, "serial", 2, session=session
+            )
+    finally:
+        session.close()
+
+
+# -- backend lifecycle units ----------------------------------------------------
+
+
+class _EchoState:
+    """A picklable stand-in snapshot whose kernel echoes its inputs."""
+
+    def __init__(self):
+        self.payload_arrays = np.arange(8192, dtype=np.int64)
+
+    def run_shard(self, shard, payload):
+        return (int(shard.shard_id), int(np.asarray(payload["x"]).sum()))
+
+
+def _shards(n):
+    return [Shard(i, 0, "a", np.arange(1)) for i in range(n)]
+
+
+def test_process_backend_reuses_pool_across_dispatches():
+    backend = ProcessBackend(2, persistent=True)
+    backend.open(_EchoState())
+    try:
+        first = backend.dispatch({"x": np.array([1, 2])}, _shards(2))
+        second = backend.dispatch({"x": np.array([10])}, _shards(3))
+    finally:
+        backend.close()
+    if backend.fell_back:  # pragma: no cover - hosts without process pools
+        pytest.skip("host cannot run process pools")
+    assert first == [(0, 3), (1, 3)]
+    assert second == [(0, 10), (1, 10), (2, 10)]
+    assert backend.pools_created == 1
+    assert backend.snapshot_ships == 1
+
+
+def test_process_backend_broken_pool_resets_shm_diagnostics():
+    """Satellite pin: a pool lost mid-session must reset shm_used *and*
+    shm_bytes together, flag the break distinctly from a pool that
+    never came up, and degrade every later dispatch to serial."""
+    backend = ProcessBackend(2, persistent=True)
+    backend.open(_EchoState())
+    try:
+        backend.dispatch({"x": np.array([1])}, _shards(2))
+        if backend.fell_back:  # pragma: no cover - no process pools here
+            pytest.skip("host cannot run process pools")
+        had_shm = backend.shm_used
+
+        class _BrokenPool:
+            def map(self, fn, tasks):
+                raise BrokenProcessPool("workers died")
+
+            def shutdown(self, wait=True):
+                pass
+
+        real_pool = backend._pool
+        backend._pool = _BrokenPool()
+        try:
+            result = backend.dispatch({"x": np.array([5])}, _shards(2))
+        finally:
+            real_pool.shutdown(wait=True)
+        assert result == [(0, 5), (1, 5)]  # serial fallback still answers
+        assert backend.fell_back is True
+        assert backend.pool_broken is True
+        assert backend.ran_serially is True
+        assert backend.shm_used is False
+        assert backend.shm_bytes == 0  # the bug: this kept a stale value
+        assert had_shm or True  # diagnostic pairing holds either way
+        # Degraded for the rest of the session: no pool resurrection.
+        again = backend.dispatch({"x": np.array([7])}, _shards(2))
+        assert again == [(0, 7), (1, 7)]
+        assert backend.pools_created == 1
+    finally:
+        backend.close()
+
+
+def test_process_backend_pool_never_created_is_not_broken(monkeypatch):
+    from repro.exec import backends as backends_mod
+
+    def _refuse(*args, **kwargs):
+        raise OSError("no semaphores here")
+
+    monkeypatch.setattr(backends_mod, "ProcessPoolExecutor", _refuse)
+    backend = ProcessBackend(2, persistent=True)
+    backend.open(_EchoState())
+    try:
+        result = backend.dispatch({"x": np.array([3])}, _shards(2))
+    finally:
+        backend.close()
+    assert result == [(0, 3), (1, 3)]
+    assert backend.fell_back is True
+    assert backend.pool_broken is False  # never came up ≠ broke mid-run
+    assert backend.shm_used is False
+    assert backend.shm_bytes == 0
+    assert backend.pools_created == 0
+    assert backend.snapshot_ships == 0
+
+
+def test_session_lazy_backends_and_close():
+    session = ExecSession(_EchoState(), n_jobs=2)
+    assert session.pools_created == 0
+    results = session.dispatch("serial", {"x": np.array([4])}, _shards(2))
+    assert results == [(0, 4), (1, 4)]
+    assert list(session._backends) == ["serial"]
+    session.close()
+    with pytest.raises(CleaningError):
+        session.dispatch("serial", {"x": np.array([1])}, _shards(1))
+    session.close()  # idempotent
+
+
+# -- untracked shm attach -------------------------------------------------------
+
+
+def test_shm_attach_leaves_no_tracker_registration(monkeypatch):
+    """Satellite pin: attaching must not (net-)register the segment with
+    the attacher's resource tracker — the owner alone manages the
+    segment's lifetime, so a worker's tracker must never learn the
+    name (suppression, not register-then-unregister: with a shared
+    tracker an unregister would strip the owner's entry)."""
+    packed = shm_transport.pack({"a": np.arange(4096, dtype=np.int64)})
+    if packed is None:
+        pytest.skip("no shared memory on this host")
+    from multiprocessing import resource_tracker
+
+    registered: list = []
+    original = resource_tracker.register
+    monkeypatch.setattr(
+        resource_tracker,
+        "register",
+        lambda name, rtype: registered.append((name, rtype)),
+    )
+    try:
+        obj, segment = shm_transport.unpack(packed.shell)
+        assert np.array_equal(obj["a"], np.arange(4096))
+        shm_entries = [r for r in registered if r[1] == "shared_memory"]
+        assert shm_entries == []
+        del obj
+        segment.close()
+    finally:
+        monkeypatch.setattr(resource_tracker, "register", original)
+        packed.release()
+
+
+def test_pack_min_bytes_gates_small_payloads():
+    obj = {"a": np.arange(16, dtype=np.int64)}  # 128 out-of-band bytes
+    assert shm_transport.pack(obj, min_bytes=1 << 20) is None
+    packed = shm_transport.pack(obj)
+    if packed is None:
+        pytest.skip("no shared memory on this host")
+    packed.release()
+
+
+# -- whole-stream auto resolution -----------------------------------------------
+
+
+class TestStreamAutoResolution:
+    def test_extrapolation_with_known_total(self):
+        # 10 of 100 rows planned at cost 50 → whole stream ≈ 500.
+        assert extrapolate_stream_cost(50.0, 10, 100) == pytest.approx(500.0)
+
+    def test_unknown_total_uses_cumulative(self):
+        assert extrapolate_stream_cost(50.0, 10, None) == 50.0
+
+    def test_overplanned_total_uses_cumulative(self):
+        assert extrapolate_stream_cost(50.0, 10, 10) == 50.0
+        assert extrapolate_stream_cost(50.0, 10, 5) == 50.0
+
+    def test_degenerate_rows(self):
+        assert extrapolate_stream_cost(0.0, 0, 100) == 0.0
+
+    def test_chunked_auto_resolves_like_whole_table(
+        self, engine, reference, monkeypatch
+    ):
+        """With the threshold forced below the table's cost, *every*
+        chunk of an auto stream resolves to process — the first chunk
+        already sees the extrapolated whole-stream cost, so small
+        blocks no longer flap to serial."""
+        from repro.exec import planner, stream
+
+        monkeypatch.setattr(
+            stream,
+            "resolve_executor",
+            lambda req, cost, n_shards, n_jobs, **kw: (
+                planner.resolve_executor(req, cost, n_shards, n_jobs, threshold=1.0)
+            ),
+        )
+        result = _clean(engine, 7, "auto", persistent=True)
+        stream_diag = result.diagnostics["stream"]
+        assert stream_diag["backends"].get("process", 0) >= 8
+        assert stream_diag["pools_created"] == 1
+        assert _sig(result) == _sig(reference)
+
+    def test_non_persistent_auto_bills_each_chunk(self, engine, monkeypatch):
+        """Without a persistent pool every process dispatch re-pays the
+        spawn + snapshot ship, so auto must judge each chunk on its own
+        cost; only a warm session bills the whole stream's."""
+        from repro.exec import stream
+
+        original = stream.resolve_executor
+        costs = {}
+        for label, persistent in (("warm", True), ("cold", False)):
+            seen = costs[label] = []
+
+            def _spy(req, cost, n_shards, n_jobs, _seen=seen, **kw):
+                _seen.append(cost)
+                return original(req, cost, n_shards, n_jobs, **kw)
+
+            monkeypatch.setattr(stream, "resolve_executor", _spy)
+            _clean(engine, 7, "auto", persistent=persistent)
+        assert len(costs["warm"]) == len(costs["cold"]) == 9
+        # The warm stream's first decision already sees the extrapolated
+        # whole-stream cost; cold decisions see one chunk each.
+        assert costs["warm"][0] > max(costs["cold"]) * 1.5
+        assert costs["cold"][0] * 5 < costs["warm"][0]
+
+    def test_tiny_auto_stream_stays_serial(self, engine, reference):
+        result = _clean(engine, 7, "auto", persistent=True)
+        stream_diag = result.diagnostics["stream"]
+        assert stream_diag["backends"] == {"serial": 9}
+        assert stream_diag["pools_created"] == 0
+        assert _sig(result) == _sig(reference)
+
+
+# -- degenerate clean_csv -------------------------------------------------------
+
+
+def test_clean_csv_header_only_source(engine, tmp_path):
+    """Satellite pin: a header-only CSV yields zero chunks — the
+    destination must still get a header row and the result must be a
+    well-formed empty CleaningResult, not a partial output."""
+    schema = engine.table.schema
+    src = tmp_path / "empty_in.csv"
+    dst = tmp_path / "empty_out.csv"
+    src.write_text(",".join(schema.names) + "\n", encoding="utf-8")
+    result = engine.clean_csv(src, dst)
+    assert result.repairs == []
+    assert result.cleaned is None
+    assert result.stats.cells_total == 0
+    assert result.stats.repairs_made == 0
+    stream = result.diagnostics["stream"]
+    assert stream["n_chunks"] == 0
+    assert stream["pools_created"] == 0
+    out = read_csv(dst, schema=schema)
+    assert out.n_rows == 0
+    assert out.schema.names == schema.names
+
+
+def test_clean_csv_roundtrip_uses_streaming_writer(engine, tmp_path):
+    """write_csv streams rows onto the handle (no whole-file string);
+    its output must stay byte-compatible with the chunked reader."""
+    import repro.dataset.io as io_mod
+
+    def _boom(*args, **kwargs):  # pragma: no cover - failure is the point
+        raise AssertionError("write_csv must not render the whole table")
+
+    table = engine.table
+    src = tmp_path / "dirty.csv"
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(io_mod, "to_csv_text", _boom)
+        write_csv(table, src)
+    assert read_csv(src, schema=table.schema) == table

@@ -35,7 +35,7 @@ from repro.data.benchmark import load_benchmark
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.errors import CleaningError
-from repro.exec import FitJobState, plan_shards, run_fit_job
+from repro.exec import FitJobState, FitTasks, plan_shards, run_fit_job
 from repro.exec.fit import CPT_TASKS, PAIR_TASKS
 from repro.stats.infotheory import joint_code_counts, mutual_information
 
@@ -378,6 +378,10 @@ def test_cli_fit_executor_wired():
 # -- exec-level units -----------------------------------------------------------
 
 
+PAIR_TASK_LIST = [(0, 1), (0, 2), (1, 2)]
+CPT_TASK_LIST = [(0, ()), (3, (0, 1))]
+
+
 def _job_state(hospital):
     table = hospital.dirty
     enc = table.encode()
@@ -385,16 +389,18 @@ def _job_state(hospital):
     columns = [enc.codes(a) for a in names]
     cards = [enc.card(a) for a in names]
     weights = np.ones(table.n_rows, dtype=np.float64)
-    pair_tasks = [(0, 1), (0, 2), (1, 2)]
-    cpt_tasks = [(0, ()), (3, (0, 1))]
-    return FitJobState(columns, cards, weights, pair_tasks, cpt_tasks)
+    return FitJobState(columns, cards, weights)
 
 
 def test_fit_job_backends_identical_payloads(hospital):
     state = _job_state(hospital)
-    base_pairs, base_cpts, _ = run_fit_job(state, "serial", 1)
+    base_pairs, base_cpts, _ = run_fit_job(
+        state, PAIR_TASK_LIST, CPT_TASK_LIST, "serial", 1
+    )
     for executor in ("thread", "process"):
-        pairs, cpts, diag = run_fit_job(state, executor, 2)
+        pairs, cpts, diag = run_fit_job(
+            state, PAIR_TASK_LIST, CPT_TASK_LIST, executor, 2
+        )
         assert diag["fit_executor"] == executor
         for (f_a, r_a), (f_b, r_b) in zip(base_pairs, pairs):
             assert np.array_equal(f_a.keys, f_b.keys)
@@ -409,6 +415,7 @@ def test_fit_job_backends_identical_payloads(hospital):
 
 def test_fit_job_state_pickle_round_trip(hospital):
     state = _job_state(hospital)
+    tasks = FitTasks(tuple(PAIR_TASK_LIST), tuple(CPT_TASK_LIST))
     work = [
         (PAIR_TASKS, "__pairs__", np.arange(3), np.ones(3)),
         (CPT_TASKS, "__cpts__", np.arange(2), np.ones(2)),
@@ -416,8 +423,8 @@ def test_fit_job_state_pickle_round_trip(hospital):
     plan = plan_shards(work, 1)
     restored = pickle.loads(pickle.dumps(state))
     for shard in plan.shards:
-        direct = state.run_shard(shard)
-        rerun = restored.run_shard(shard)
+        direct = state.run_shard(shard, tasks)
+        rerun = restored.run_shard(shard, tasks)
         assert direct.column == rerun.column
         for a, b in zip(direct.payloads, rerun.payloads):
             if direct.column == PAIR_TASKS:
@@ -432,7 +439,7 @@ def test_fit_job_unknown_kind_rejected(hospital):
 
     state = _job_state(hospital)
     with pytest.raises(CleaningError, match="unknown fit task kind"):
-        state.run_shard(Shard(0, 7, "__nope__", np.arange(1)))
+        state.run_shard(Shard(0, 7, "__nope__", np.arange(1)), FitTasks())
 
 
 def test_g2_codes_huge_codes_no_overflow():

@@ -348,7 +348,7 @@ def test_process_pickle_fallback_byte_identical(
 ):
     """With the shm transport disabled the process backend ships the
     classic pickle — and produces the same bytes."""
-    monkeypatch.setattr(shm_transport, "pack", lambda obj: None)
+    monkeypatch.setattr(shm_transport, "pack", lambda obj, min_bytes=0: None)
     result = _chunked_clean(engine, None, executor="process")
     assert _sig(result) == _sig(reference)
     assert "shm" not in result.diagnostics["exec"]
