@@ -1,22 +1,30 @@
 """Bench: the staged streaming clean — wall-clock *and* peak RSS.
 
-The out-of-core pipeline's win is memory, not speed: a chunked clean
-re-runs competitions for signatures recurring across chunks, so its
-wall-clock is at best comparable to the whole-table run — what drops is
+The out-of-core pipeline's original win was memory alone: an *uncached*
+chunked clean re-runs competitions for signatures recurring across
+chunks, so its wall-clock trails the whole-table run — what drops is
 the resident set, because the foreign table, its coded matrices, and
-the cleaned copy are never whole in memory.  Wall-clock alone cannot
-show that, so every configuration here runs in its **own spawned child
-process** and reports its own peak RSS (``VmHWM`` — see
-:func:`_peak_rss_kb` for why ``ru_maxrss`` lies for spawned children)
-alongside the clean seconds; the parent writes ``BENCH_stream.json``
-at the repository root.
+the cleaned copy are never whole in memory.  The session competition
+cache (``BCleanConfig.competition_cache``) closes the speed half: the
+cached ``chunk_rows=1024`` run answers recurring competitions from the
+session memo with zero dispatch, and this bench asserts its wall-clock
+lands within 1.5× of the whole-table clean while keeping the memory
+win.  Wall-clock alone cannot show the RSS story, so every
+configuration here runs in its **own spawned child process** and
+reports its own peak RSS (``VmHWM`` — see :func:`_peak_rss_kb` for why
+``ru_maxrss`` lies for spawned children) alongside the clean seconds;
+the parent writes ``BENCH_stream.json`` at the repository root.
 
 The driver fits soccer-1500 (the paper's flagship scaling table), then
 streams a resampled ``STREAM_ROWS``-row foreign CSV through
 ``clean_csv`` at ``chunk_rows ∈ {off, 256, 1024}``:
 
 - ``off`` reads the whole CSV and cleans it in memory (the PR-2 path);
-- the chunked runs never hold more than one block;
+- the chunked runs never hold more than one block; they run with the
+  cache explicitly off (``competition_cache=0``) so the uncached
+  trajectory stays comparable across PRs, except for
+- the cached ``(1024, serial)`` run — the session cache at its default
+  auto-sizing, pinning ``cache_hits > 0`` and the ≤1.5× gap;
 - the ``(1024, process)`` run cleans the same stream on an explicit
   2-worker process pool and pins the **persistent-session
   amortisation**: the whole chunked clean creates exactly one worker
@@ -27,15 +35,17 @@ streams a resampled ``STREAM_ROWS``-row foreign CSV through
 
 How to read the report:
 
-- ``runs``: one entry per (chunk setting, executor) with
+- ``runs``: one entry per (chunk setting, executor, cache bound) with
   ``clean_seconds``, ``peak_rss_kb`` (the child's high-water mark; fit
   is identical across children and its own peak is recorded as
   ``peak_rss_after_fit_kb``, so *differences* in the totals are
   clean-path memory), ``n_chunks``, the resolved backend per chunk,
-  and the session counters ``pools_created`` / ``snapshot_ships``.
-- ``identical_repairs`` is the hard invariant: every chunk size must
-  reproduce the whole-table repairs byte for byte (checksummed in the
-  child, compared here).
+  the session counters ``pools_created`` / ``snapshot_ships``, and the
+  cache counters (``cache_hits`` / ``cache_misses`` /
+  ``cache_evictions`` plus the derived ``cache_hit_rate``).
+- ``identical_repairs`` is the hard invariant: every chunk size — and
+  every cache setting — must reproduce the whole-table repairs byte
+  for byte (checksummed in the child, compared here).
 - ``rss_saving_kb_1024``: whole-table peak minus the chunk-1024 peak.
   The assertion that it is positive — the memory win actually exists —
   fires whenever the child measurements are trustworthy (Linux
@@ -66,12 +76,20 @@ DATASET = "soccer"
 N_ROWS = 1500
 #: rows of the resampled foreign CSV the streaming runs clean
 STREAM_ROWS = 12000
-#: measured configurations: (chunk_rows, executor) — the serial sweep
-#: carries the memory story; the chunked-process run pins the
-#: persistent-session amortisation (one pool + one snapshot ship per
-#: clean, not per chunk) with an explicit 2-worker pool so the counter
-#: assertion is machine-independent.
-RUN_SETTINGS = ((None, "serial"), (256, "serial"), (1024, "serial"), (1024, "process"))
+#: measured configurations: (chunk_rows, executor, competition_cache) —
+#: the cache-off (0) serial sweep carries the memory story and keeps
+#: the uncached trajectory comparable across PRs; the cached (None =
+#: auto-sized) 1024 run carries the streaming *speed* story; the
+#: chunked-process run pins the persistent-session amortisation (one
+#: pool + one snapshot ship per clean, not per chunk) with an explicit
+#: 2-worker pool so the counter assertion is machine-independent.
+RUN_SETTINGS = (
+    (None, "serial", 0),
+    (256, "serial", 0),
+    (1024, "serial", 0),
+    (1024, "serial", None),
+    (1024, "process", 0),
+)
 PROCESS_JOBS = 2
 RESAMPLE_SEED = 7
 
@@ -117,7 +135,7 @@ def _write_stream_csv(instance, path: Path) -> None:
     write_csv(instance.dirty.take([int(i) for i in indices]), path)
 
 
-def _child_run(chunk_rows, executor, src, dst, out_queue) -> None:
+def _child_run(chunk_rows, executor, cache, src, dst, out_queue) -> None:
     """One measured configuration, isolated in its own process so
     ``ru_maxrss`` is a per-configuration high-water mark."""
     from repro.dataset.io import read_csv
@@ -126,6 +144,7 @@ def _child_run(chunk_rows, executor, src, dst, out_queue) -> None:
     rss_after_fit = _peak_rss_kb()
     engine.config.chunk_rows = chunk_rows
     engine.config.executor = executor
+    engine.config.competition_cache = cache
     if executor == "process":
         engine.config.n_jobs = PROCESS_JOBS
     start = time.perf_counter()
@@ -149,10 +168,13 @@ def _child_run(chunk_rows, executor, src, dst, out_queue) -> None:
         )
     stream = result.diagnostics.get("stream", {})
     exec_diag = result.diagnostics.get("exec", {})
+    hits = stream.get("cache_hits", 0)
+    misses = stream.get("cache_misses", 0)
     out_queue.put(
         {
             "chunk_rows": chunk_rows,
             "executor": executor,
+            "competition_cache": cache,
             "clean_seconds": round(seconds, 4),
             "peak_rss_kb": _peak_rss_kb(),
             "peak_rss_after_fit_kb": rss_after_fit,
@@ -163,16 +185,23 @@ def _child_run(chunk_rows, executor, src, dst, out_queue) -> None:
             "shm": stream.get("shm", False),
             "pools_created": stream.get("pools_created", 0),
             "snapshot_ships": stream.get("snapshot_ships", 0),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_evictions": stream.get("cache_evictions", 0),
+            "cache_hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses
+            else 0.0,
             "process_fallback": bool(exec_diag.get("process_fallback", False)),
         }
     )
 
 
-def _measure(chunk_rows, executor, src: Path, dst: Path) -> dict:
+def _measure(chunk_rows, executor, cache, src: Path, dst: Path) -> dict:
     ctx = multiprocessing.get_context("spawn")
     queue = ctx.Queue()
     proc = ctx.Process(
-        target=_child_run, args=(chunk_rows, executor, str(src), str(dst), queue)
+        target=_child_run,
+        args=(chunk_rows, executor, cache, str(src), str(dst), queue),
     )
     proc.start()
     payload = queue.get(timeout=1800)
@@ -186,21 +215,27 @@ def test_stream_memory_and_bench_report(tmp_path):
     _write_stream_csv(instance, src)
 
     runs = []
-    for chunk_rows, executor in RUN_SETTINGS:
+    for chunk_rows, executor, cache in RUN_SETTINGS:
         label = "off" if chunk_rows is None else str(chunk_rows)
+        tag = "cached" if cache != 0 else "uncached"
         runs.append(
             _measure(
-                chunk_rows, executor, src,
-                tmp_path / f"out_{label}_{executor}.csv",
+                chunk_rows, executor, cache, src,
+                tmp_path / f"out_{label}_{executor}_{tag}.csv",
             )
         )
 
     digests = {run["repairs_sha256"] for run in runs}
     identical = len(digests) == 1
-    by_setting = {(run["chunk_rows"], run["executor"]): run for run in runs}
-    rss_off = by_setting[(None, "serial")]["peak_rss_kb"]
-    rss_1024 = by_setting[(1024, "serial")]["peak_rss_kb"]
-    chunked_process = by_setting[(1024, "process")]
+    by_setting = {
+        (run["chunk_rows"], run["executor"], run["competition_cache"]): run
+        for run in runs
+    }
+    whole_table = by_setting[(None, "serial", 0)]
+    rss_off = whole_table["peak_rss_kb"]
+    rss_1024 = by_setting[(1024, "serial", 0)]["peak_rss_kb"]
+    chunked_process = by_setting[(1024, "process", 0)]
+    cached_1024 = by_setting[(1024, "serial", None)]
 
     # -- the machine-independent half of the auto-executor acceptance:
     # the whole-table plan's cost estimate must put soccer-1500 over
@@ -237,6 +272,9 @@ def test_stream_memory_and_bench_report(tmp_path):
         "identical_repairs": identical,
         "runs": runs,
         "rss_saving_kb_1024": rss_off - rss_1024,
+        "cached_1024_vs_whole_table": round(
+            cached_1024["clean_seconds"] / whole_table["clean_seconds"], 3
+        ),
         "auto_executor": {
             "whole_table_plan_cost": round(total_cost, 1),
             "threshold": AUTO_CLEAN_COST_THRESHOLD,
@@ -249,6 +287,18 @@ def test_stream_memory_and_bench_report(tmp_path):
     print(json.dumps(report, indent=2))
 
     assert identical, "chunked repairs diverged from the whole-table run"
+    # The competition-cache acceptance: the resampled stream's recurring
+    # signatures must actually hit, and the cached chunked clean must
+    # land within 1.5× of the whole-table wall-clock (the uncached runs
+    # above it pay the per-chunk competition re-runs the cache removes).
+    assert cached_1024["cache_hits"] > 0
+    assert (
+        cached_1024["clean_seconds"]
+        <= 1.5 * whole_table["clean_seconds"]
+    ), (
+        f"cached chunked clean {cached_1024['clean_seconds']}s exceeds "
+        f"1.5x whole-table {whole_table['clean_seconds']}s"
+    )
     # The persistent-session acceptance: a chunked process clean pays
     # exactly one pool spawn and one snapshot ship for the whole
     # stream, not one of each per chunk.

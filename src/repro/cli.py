@@ -83,6 +83,7 @@ def _engine_config(args: argparse.Namespace) -> BCleanConfig:
         n_jobs=args.jobs,
         shard_size=args.shard_size,
         chunk_rows=getattr(args, "chunk_rows", None),
+        competition_cache=getattr(args, "competition_cache", None),
         persistent_pool=getattr(args, "persistent_pool", True),
         fit_executor=args.fit_executor,
     )
@@ -297,6 +298,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="clean in row blocks of N through the staged "
             "streaming pipeline (default: whole table at once; "
             "repairs are identical at every chunk size)",
+        )
+        p.add_argument(
+            "--competition-cache",
+            type=int,
+            default=None,
+            metavar="N",
+            help="entry bound of the cross-chunk competition cache "
+            "used by chunked cleans: recurring row signatures skip "
+            "their re-run (default: auto-sized from the stream's "
+            "estimated competition count; 0 disables; repairs are "
+            "identical at every setting)",
         )
         p.add_argument(
             "--no-persistent-pool",

@@ -138,6 +138,22 @@ class BCleanConfig:
         time, producing repairs byte-identical to the whole-table run
         at every chunk size.  The scalar oracle path ignores this knob
         (it is in-memory by construction).
+    competition_cache:
+        Entry bound of the session-scoped cross-chunk competition cache
+        (:mod:`repro.exec.cache`), active on chunked streams only: the
+        bounded-LRU memo of competition outcomes keyed by (attribute,
+        deduplicated row signature, tuple weight) that lets a signature
+        recurring across row blocks skip its re-run — the plan stage
+        answers cache hits driver-side with zero dispatch.  ``None``
+        (default) auto-sizes the bound from the first chunk's
+        extrapolated competition count (see
+        :func:`repro.exec.planner.default_cache_entries`); a positive
+        value bounds the entries explicitly; ``0`` disables the cache.
+        Results are byte-identical at every setting (a hit replays what
+        a re-run would compute; eviction only converts hits back into
+        identical recomputations) — only wall-clock and the
+        ``cache_hits`` / ``cache_misses`` / ``cache_evictions``
+        diagnostics differ.
     persistent_pool:
         Keep one execution session per ``clean()`` (and per ``fit()``):
         the worker pool is created once, the static fit-statistics
@@ -194,6 +210,7 @@ class BCleanConfig:
     n_jobs: int | None = None
     shard_size: int | None = None
     chunk_rows: int | None = None
+    competition_cache: int | None = None
     persistent_pool: bool = True
     fit_executor: str = "serial"
     smoothing_alpha: float = 0.1
@@ -227,6 +244,11 @@ class BCleanConfig:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise CleaningError(
                 f"chunk_rows must be positive, got {self.chunk_rows}"
+            )
+        if self.competition_cache is not None and self.competition_cache < 0:
+            raise CleaningError(
+                f"competition_cache must be non-negative (0 disables), "
+                f"got {self.competition_cache}"
             )
         if isinstance(self.mode, str):
             self.mode = InferenceMode(self.mode)

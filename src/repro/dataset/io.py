@@ -146,13 +146,27 @@ def _read_header(reader, schema: Schema | None) -> list[str]:
 def _validated_rows(
     reader, header: Sequence[str]
 ) -> Iterator[Sequence[str]]:
-    """Yield data rows, skipping blank lines and checking field counts."""
+    """Yield data rows, skipping blank lines and checking field counts.
+
+    A width mismatch names the column where the row diverges from the
+    header-settled schema — in a chunked stream the bad line may be
+    millions of rows past the first block, so "expected 7, got 6" alone
+    leaves nothing to grep the source data for.
+    """
     for lineno, row in enumerate(reader, start=2):
         if not row:
             continue
-        if len(row) != len(header):
+        if len(row) < len(header):
             raise CSVFormatError(
-                f"line {lineno}: expected {len(header)} fields, got {len(row)}"
+                f"line {lineno}: expected {len(header)} fields, got "
+                f"{len(row)} — row ends before column "
+                f"{header[len(row)]!r}"
+            )
+        if len(row) > len(header):
+            raise CSVFormatError(
+                f"line {lineno}: expected {len(header)} fields, got "
+                f"{len(row)} — {len(row) - len(header)} extra field(s) "
+                f"after last column {header[-1]!r}"
             )
         yield row
 

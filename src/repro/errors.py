@@ -23,8 +23,13 @@ class TypeInferenceError(ReproError):
     """Automatic attribute type inference failed or was contradictory."""
 
 
-class CSVFormatError(ReproError):
-    """A CSV file could not be parsed into a table."""
+class CSVFormatError(ReproError, ValueError):
+    """A CSV file could not be parsed into a table.
+
+    Also a :class:`ValueError`, so callers streaming chunks through
+    generic loaders can catch malformed input without importing the
+    repro error hierarchy.
+    """
 
 
 class GraphError(ReproError):

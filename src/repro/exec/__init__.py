@@ -14,7 +14,11 @@ The subsystem turns ``BClean.clean()`` into a planned, sharded job:
   shared-memory lifecycle for a whole job stream — one pool spawn and
   one static-snapshot ship per ``clean()`` (or ``fit()``), however
   many chunks dispatch (``BCleanConfig.persistent_pool``);
-- :mod:`repro.exec.merge` reassembles shard results deterministically.
+- :mod:`repro.exec.merge` reassembles shard results deterministically;
+- :mod:`repro.exec.cache` memoises competition outcomes across the row
+  chunks of one session (``BCleanConfig.competition_cache``), so a
+  signature recurring in several chunks dispatches its competition
+  exactly once per stream.
 
 Every shard is a pure function of the snapshot, so all backends and
 shard counts produce byte-identical ``CleaningResult``\\ s.
@@ -42,6 +46,7 @@ from repro.exec.backends import (
     ThreadBackend,
     get_backend,
 )
+from repro.exec.cache import CompetitionCache, competition_key
 from repro.exec.fit import (
     FitJobState,
     FitShardResult,
@@ -59,11 +64,15 @@ from repro.exec.merge import (
 from repro.exec.planner import (
     AUTO_CLEAN_COST_THRESHOLD,
     AUTO_FIT_COST_THRESHOLD,
+    CACHE_MAX_ENTRIES,
+    CACHE_MIN_ENTRIES,
     OVERSUBSCRIBE,
     Shard,
     ShardPlan,
+    default_cache_entries,
     estimate_competition_costs,
     extrapolate_stream_cost,
+    partition_cached,
     plan_shards,
     resolve_executor,
 )
@@ -79,7 +88,10 @@ from repro.exec.stream import (
 __all__ = [
     "AUTO_CLEAN_COST_THRESHOLD",
     "AUTO_FIT_COST_THRESHOLD",
+    "CACHE_MAX_ENTRIES",
+    "CACHE_MIN_ENTRIES",
     "ChunkView",
+    "CompetitionCache",
     "CsvSink",
     "EXECUTOR_NAMES",
     "ExecSession",
@@ -99,11 +111,14 @@ __all__ = [
     "TableSink",
     "ThreadBackend",
     "build_fit_state",
+    "competition_key",
     "concat_chunk_repairs",
+    "default_cache_entries",
     "estimate_competition_costs",
     "extrapolate_stream_cost",
     "get_backend",
     "merge_shard_results",
+    "partition_cached",
     "plan_shards",
     "resolve_executor",
     "run_fit_job",

@@ -1,0 +1,113 @@
+"""Session-scoped cross-chunk competition result cache.
+
+The chunked pipeline of :mod:`repro.exec.stream` deduplicates row
+signatures *within* each chunk, but a signature recurring in several
+chunks used to re-run its full Bayesian candidate competition once per
+chunk — ``BENCH_stream.json`` showed the streaming clean paying for its
+memory win with up to ~7× wall-clock on a repetitive stream.  BayesWipe
+(arXiv:1506.08908) and PClean (arXiv:2007.11838) both reach big-data
+scale by reusing inference results across recurring records; this
+module is that reuse for BClean's competitions.
+
+:class:`CompetitionCache` is a bounded-LRU memo living on the clean's
+:class:`~repro.exec.session.ExecSession` — the same seam that owns
+warm-pool reuse, so a future resident-engine ("cleaning as a service")
+session keeps its competition memo warm across requests for free.  It
+maps the **full competition identity** to the competition's outcome:
+
+key
+    ``(column, weight, row_signature_bytes)`` — exactly the scalar
+    path's memo signature (``core/engine.py``, ``_best_candidate``):
+    the attribute under repair, the tuple's confidence weight class
+    (1.0 for foreign rows), and the complete coded row signature.  The
+    incumbent code is ``row_signature[column]``, so it is part of the
+    key by construction.
+value
+    ``(decided_code, incumbent_score, best_score)`` — the winning
+    repair code (−1 keeps the observed value) plus the two totals the
+    engine records on emitted repairs.
+
+Correctness rests on the kernel being a **pure function** of (static
+fit state, competition identity): every statistic a competition reads —
+co-occurrence counts, CPT matrices, domain candidate order, NULL/UC
+verdicts of existing codes — is frozen at fit time and indexes
+build-time codes only.  Incremental encoding may mint new codes
+mid-stream, but a minted code changes no existing code's verdict and a
+signature containing one is simply a new key.  A cache hit therefore
+returns bit-for-bit the floats a re-run would produce, at any chunk
+size, on any backend, and under any eviction pressure — eviction only
+converts a would-be hit back into a (recomputed, identical) miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: cached outcome: (decided repair code or −1, incumbent score, best score)
+CachedOutcome = tuple[int, float, float]
+
+#: cache key: (column index, tuple weight, coded row signature bytes)
+CacheKey = tuple[int, float, bytes]
+
+
+def competition_key(column: int, weight: float, row_bytes: bytes) -> CacheKey:
+    """The full competition identity (see the module docstring)."""
+    return (column, weight, row_bytes)
+
+
+class CompetitionCache:
+    """Bounded-LRU memo of competition outcomes.
+
+    ``max_entries`` bounds the entry count for unbounded streams; the
+    least recently *used* (probed or inserted) entry is evicted first,
+    so the hot signatures of a drifting stream stay resident.  The
+    counters feed ``diagnostics["stream"]``: ``hits``/``misses`` count
+    probes (a probe before any entry exists is a miss), ``evictions``
+    counts entries dropped to the bound.
+    """
+
+    def __init__(self, max_entries: int):
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[CacheKey, CachedOutcome] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: CacheKey) -> CachedOutcome | None:
+        """Probe (and LRU-touch) one competition identity."""
+        outcome = self._data.get(key)
+        if outcome is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return outcome
+
+    def put(self, key: CacheKey, outcome: CachedOutcome) -> None:
+        """Insert one freshly computed outcome (refreshes an existing
+        key's LRU position; evicts the coldest entry at the bound)."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = outcome
+            return
+        if len(self._data) >= self.max_entries:
+            self._data.popitem(last=False)
+            self.evictions += 1
+        self._data[key] = outcome
+
+    def stats(self) -> dict[str, int]:
+        """The diagnostics block: probe and occupancy counters."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_entries": len(self._data),
+            "cache_max_entries": self.max_entries,
+        }

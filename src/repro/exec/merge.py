@@ -23,7 +23,7 @@ whole-table row-major emission.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -45,18 +45,30 @@ class MergedDecisions:
     candidates_evaluated: int = 0
     candidates_filtered_uc: int = 0
     n_competitions: int = 0
+    #: competitions answered from the session cache (no dispatch, no
+    #: candidates evaluated — the effort counters above cover fresh
+    #: work only)
+    n_cached: int = 0
 
 
 def merge_shard_results(
     results: Sequence[ShardResult],
     n_uniq: int,
     columns: Sequence[int],
+    cached: Mapping[int, tuple] | None = None,
 ) -> MergedDecisions:
-    """Scatter shard results into per-attribute buffers.
+    """Scatter shard results — and cached decisions — into per-attribute
+    buffers.
 
     ``columns`` lists every column the plan covered, so attributes whose
     competitions were all pruned away still get (empty) buffers and the
-    broadcast loop stays uniform.
+    broadcast loop stays uniform.  ``cached`` carries the chunk's
+    session-cache hits per column as ``(uids, decided,
+    incumbent_scores, best_scores)`` arrays (see
+    :func:`repro.exec.planner.partition_cached`): they are spliced into
+    the same buffers the fresh shard results scatter into, claiming
+    their competitions first so the overlap check also catches a plan
+    bug that dispatched an already-answered competition.
     """
     merged = MergedDecisions()
     claimed: dict[int, np.ndarray] = {}
@@ -65,6 +77,16 @@ def merge_shard_results(
         merged.incumbent_scores[j] = np.zeros(n_uniq, dtype=np.float64)
         merged.best_scores[j] = np.zeros(n_uniq, dtype=np.float64)
         claimed[j] = np.zeros(n_uniq, dtype=bool)
+
+    for j, hit in (cached or {}).items():
+        if j not in merged.decided:
+            raise CleaningError(f"cached results report unplanned column {j}")
+        uids, decided, inc_scores, best_scores = hit
+        claimed[j][uids] = True
+        merged.decided[j][uids] = decided
+        merged.incumbent_scores[j][uids] = inc_scores
+        merged.best_scores[j][uids] = best_scores
+        merged.n_cached += len(uids)
 
     for result in results:
         j = result.column

@@ -30,10 +30,19 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.cooccurrence import CooccurrenceIndex
+from repro.exec.cache import CompetitionCache, competition_key
 
 #: shards per worker the auto planner aims for — enough slack for the
 #: cost estimate to be off without idling workers at the tail.
 OVERSUBSCRIBE = 4
+
+#: bounds of the auto-sized session competition cache
+#: (``BCleanConfig.competition_cache=None``): the floor keeps small
+#: streams fully resident, the ceiling bounds driver memory for
+#: unbounded streams (an entry is a coded row signature plus three
+#: scalars — a few hundred bytes).
+CACHE_MIN_ENTRIES = 1 << 14
+CACHE_MAX_ENTRIES = 1 << 18
 
 #: estimated fixed cost of one competition (scoring, argmax, bookkeeping)
 #: in pool-entry units, so empty-pool competitions still count.
@@ -80,10 +89,13 @@ def resolve_executor(
 
 
 def extrapolate_stream_cost(
-    cum_cost: float, rows_planned: int, total_rows: int | None
+    cum_cost: float,
+    rows_planned: int,
+    total_rows: int | None,
+    dedup_factor: float = 1.0,
 ) -> float:
-    """Estimate a whole stream's total cost from the chunks planned so
-    far.
+    """Estimate a whole stream's total *deduplicated* cost from the
+    chunks planned so far.
 
     When the stream's total row count is known up front (an in-memory
     table cleaned in blocks), the cumulative planned cost is scaled by
@@ -95,10 +107,85 @@ def extrapolate_stream_cost(
     the best available lower bound: the resolution upgrades to
     ``process`` as soon as enough of the file has proven the stream
     expensive, and the session keeps that pool warm from then on.
+
+    ``dedup_factor`` corrects the linear extrapolation for signatures
+    recurring *across* chunks: per-chunk planning re-materialises a
+    recurring signature in every chunk it appears in, so scaling the
+    cumulative chunk-level cost by rows alone overestimates repetitive
+    streams relative to the whole-table plan the ``auto`` threshold was
+    calibrated against.  Callers pass the observed ratio of
+    stream-distinct to chunk-distinct signatures (1.0 = no cross-chunk
+    repetition; see ``StreamDriver``).  With the session competition
+    cache active the cumulative cost already covers only cache *misses*
+    — expected hits are subtracted at the source — and the factor stays
+    1.0 (applying both would double-discount).
     """
     if total_rows is None or rows_planned <= 0 or total_rows <= rows_planned:
-        return cum_cost
-    return cum_cost * (total_rows / rows_planned)
+        return cum_cost * dedup_factor
+    return cum_cost * dedup_factor * (total_rows / rows_planned)
+
+
+def default_cache_entries(
+    n_competitions: int, rows_planned: int, total_rows: int | None
+) -> int:
+    """Auto bound for the session competition cache
+    (``BCleanConfig.competition_cache=None``): enough entries for every
+    planned competition of the stream — the first chunk's competition
+    count extrapolated over the stream's rows, doubled for estimate
+    slack — clamped to [:data:`CACHE_MIN_ENTRIES`,
+    :data:`CACHE_MAX_ENTRIES`] so a cheap stream stays fully resident
+    and an unbounded one cannot grow the driver without limit."""
+    est = extrapolate_stream_cost(
+        float(max(n_competitions, 1)), rows_planned, total_rows
+    )
+    return int(min(max(2 * est, CACHE_MIN_ENTRIES), CACHE_MAX_ENTRIES))
+
+
+def partition_cached(
+    cache: CompetitionCache | None,
+    column: int,
+    uids: np.ndarray,
+    row_keys: Sequence[bytes],
+    weights: np.ndarray,
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None]:
+    """Split one attribute's competition list into cache misses and hits.
+
+    Probes ``cache`` with the full competition identity of every
+    planned competition (``uids`` index the chunk's deduplicated
+    signatures; ``row_keys``/``weights`` align with them).  Returns the
+    miss ``uids`` — sharded and dispatched exactly as an uncached plan
+    — and, when any probe hit, the hit arrays ``(uids, decided,
+    incumbent_scores, best_scores)`` the merge splices driver-side with
+    zero dispatch.  With no cache (or a cold one) everything is a miss
+    and the plan is byte-identical to the uncached path.
+    """
+    if cache is None or len(uids) == 0:
+        return uids, None
+    hit_uids: list[int] = []
+    decided: list[int] = []
+    inc_scores: list[float] = []
+    best_scores: list[float] = []
+    miss = np.ones(len(uids), dtype=bool)
+    for pos, uid in enumerate(uids):
+        outcome = cache.get(
+            competition_key(column, float(weights[uid]), row_keys[uid])
+        )
+        if outcome is None:
+            continue
+        miss[pos] = False
+        hit_uids.append(int(uid))
+        decided.append(outcome[0])
+        inc_scores.append(outcome[1])
+        best_scores.append(outcome[2])
+    if not hit_uids:
+        return uids, None
+    hits = (
+        np.asarray(hit_uids, dtype=np.int64),
+        np.asarray(decided, dtype=np.int64),
+        np.asarray(inc_scores, dtype=np.float64),
+        np.asarray(best_scores, dtype=np.float64),
+    )
+    return uids[miss], hits
 
 
 @dataclass(frozen=True, eq=False)

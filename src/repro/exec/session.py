@@ -29,9 +29,21 @@ hatch) keeps the session API but restores per-dispatch pool teardown —
 the pre-session behaviour, kept for hosts where long-lived pools are
 unwelcome.
 
+Alongside the pool the session owns the **cross-chunk competition
+cache** (:class:`~repro.exec.cache.CompetitionCache`, when the driver
+enables one): the bounded-LRU memo of competition outcomes that lets a
+signature recurring across row chunks skip its re-run entirely.  It
+lives here — not on the driver — because its lifetime *is* the
+session's: the memo stays valid exactly as long as the static state it
+was computed against, which is what a future resident-engine
+("cleaning as a service") session will keep warm across many cleans of
+one fit.
+
 The session changes *scheduling only*: every dispatch remains a pure
-function of (static state, payload), so repairs stay byte-identical to
-the serial whole-table run no matter how dispatches map onto pools.
+function of (static state, payload), and a cache hit replays a value
+that is itself such a pure function — so repairs stay byte-identical
+to the serial whole-table run no matter how dispatches map onto pools
+or how many competitions the cache answers.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ from typing import Sequence
 
 from repro.errors import CleaningError
 from repro.exec.backends import get_backend
+from repro.exec.cache import CompetitionCache
 from repro.exec.planner import Shard
 
 
@@ -58,6 +71,10 @@ class ExecSession:
     use_shm:
         Attempt the shared-memory transport for process snapshots and
         payloads (tests force the pickle path by passing ``False``).
+    competition_cache:
+        The session's cross-chunk competition memo, or ``None`` when
+        the job stream cannot reuse results (whole-table cleans, fit
+        jobs) or the cache is disabled.
     """
 
     def __init__(
@@ -66,11 +83,13 @@ class ExecSession:
         n_jobs: int,
         persistent: bool = True,
         use_shm: bool = True,
+        competition_cache: CompetitionCache | None = None,
     ):
         self.state = state
         self.n_jobs = max(1, n_jobs)
         self.persistent = persistent
         self.use_shm = use_shm
+        self.competition_cache = competition_cache
         self._backends: dict[str, object] = {}
         self._closed = False
 

@@ -53,10 +53,21 @@ row signature and the frozen fit statistics, per-row weights and filter
 scores are row-local, foreign code-minting happens in row order
 regardless of block boundaries, and chunks emit in order — so chunk
 boundaries can reorder *work*, never *results*.  The only observable
-difference is effort bookkeeping: a signature recurring in several
-chunks re-runs its competition once per chunk, so
+difference is effort bookkeeping: without the session cache a signature
+recurring in several chunks re-runs its competition once per chunk, so
 ``candidates_evaluated`` / ``cache_size`` may exceed the whole-table
-counts (repairs, scores, and the cells counters are identical).
+counts; with it the recurring run is answered from the memo instead and
+``candidates_evaluated`` may *undershoot* the uncached chunked counts
+(repairs, scores, and the cells counters are identical either way).
+
+Chunked streams additionally carry the **session competition cache**
+(:mod:`repro.exec.cache`, ``BCleanConfig.competition_cache``): the plan
+stage probes every deduplicated competition against the session's
+bounded-LRU memo, hits are answered driver-side with zero dispatch
+(spliced back in the merge stage), and fresh shard results are inserted
+after each deterministic merge — so a signature recurring across chunks
+pays its full Bayesian competition exactly once per session, not once
+per chunk.
 """
 
 from __future__ import annotations
@@ -76,6 +87,7 @@ from repro.core.repairs import CleaningStats, Repair
 from repro.dataset.io import append_csv_rows, iter_csv_chunks, write_csv_header
 from repro.dataset.table import Table
 from repro.errors import CleaningError
+from repro.exec.cache import CompetitionCache, competition_key
 from repro.exec.merge import (
     MergedDecisions,
     concat_chunk_repairs,
@@ -84,8 +96,10 @@ from repro.exec.merge import (
 from repro.exec.planner import (
     OVERSUBSCRIBE,
     ShardPlan,
+    default_cache_entries,
     estimate_competition_costs,
     extrapolate_stream_cost,
+    partition_cached,
     plan_shards,
     resolve_executor,
 )
@@ -134,7 +148,13 @@ class DetectedChunk:
 
 @dataclass
 class PlannedChunk:
-    """A chunk after planning: deduplicated signatures and a shard plan."""
+    """A chunk after planning: deduplicated signatures and a shard plan.
+
+    ``row_keys`` (chunked streams only) are the per-unique-signature
+    byte keys the session cache is probed and filled with; ``cached``
+    carries the plan stage's cache hits per column — competitions the
+    execute stage never dispatches, spliced back in the merge.
+    """
 
     detected: DetectedChunk
     uniq_rows: np.ndarray
@@ -143,6 +163,8 @@ class PlannedChunk:
     columns: list[int]
     plan: ShardPlan
     executor: str
+    row_keys: list[bytes] = field(default_factory=list)
+    cached: dict[int, tuple] = field(default_factory=dict)
 
 
 @dataclass
@@ -279,6 +301,14 @@ class StreamDriver:
         #: for CSV streams, where the cumulative cost stands in
         self._total_rows: int | None = None
         self._auto_process = False
+        # the session competition cache (chunked streams only; sized at
+        # the first chunk's plan, so None until then even when enabled)
+        self._cache: CompetitionCache | None = None
+        # cross-chunk signature-repetition tracking for the dedup-aware
+        # cost extrapolation (only maintained when the cache is off —
+        # with it on the cumulative plan cost is already miss-only)
+        self._stream_sigs: set[int] = set()
+        self._chunk_uniq_total = 0
         # aggregated outcome
         self.competitions_run = 0
         self.n_chunks = 0
@@ -401,6 +431,14 @@ class StreamDriver:
         n_uniq = len(uniq_rows)
         uniq_weights = encoded.weights[first_rows]
 
+        chunked = self.effective_chunk_rows is not None
+        row_keys: list[bytes] = (
+            [uniq_rows[i].tobytes() for i in range(n_uniq)] if chunked else []
+        )
+        if chunked and not self._cache_enabled():
+            self._track_signatures(row_keys)
+
+        cached: dict[int, tuple] = {}
         work: list[tuple[int, str, np.ndarray]] = []
         for j, attr in enumerate(self.names):
             skip_rows = detected.skip_rows.get(j)
@@ -409,6 +447,11 @@ class StreamDriver:
             else:
                 skip_uniq = skip_rows[first_rows]
             uids = np.nonzero(~skip_uniq)[0]
+            uids, hits = partition_cached(
+                self._cache, j, uids, row_keys, uniq_weights
+            )
+            if hits is not None:
+                cached[j] = hits
             work.append((j, attr, uids))
 
         if cfg.executor == "serial" or (
@@ -444,6 +487,17 @@ class StreamDriver:
         plan = plan_shards(costed_work, hint, cfg.shard_size)
         self._cum_plan_cost += plan.total_cost
         self._rows_planned += encoded.chunk.n_rows
+        if self._cache is None and self._cache_enabled():
+            # The cache is created only now because the auto bound is
+            # sized from this first chunk's extrapolated competition
+            # count.  Its competitions were planned before any probe
+            # could happen — count them as the misses they would have
+            # been, so hits + misses equals the stream's probe total.
+            bound = cfg.competition_cache or default_cache_entries(
+                plan.n_competitions, self._rows_planned, self._total_rows
+            )
+            self._cache = CompetitionCache(bound)
+            self._cache.misses += plan.n_competitions
         executor = self._resolve_backend(plan)
         return PlannedChunk(
             detected,
@@ -453,7 +507,39 @@ class StreamDriver:
             [w[0] for w in work],
             plan,
             executor,
+            row_keys=row_keys,
+            cached=cached,
         )
+
+    def _cache_enabled(self) -> bool:
+        """Whether this stream carries the session competition cache:
+        only chunked streams can see a signature twice (a whole-table
+        clean deduplicates everything in its single plan), and
+        ``competition_cache=0`` disables it outright."""
+        return (
+            self.cfg.competition_cache != 0
+            and self.effective_chunk_rows is not None
+        )
+
+    def _track_signatures(self, row_keys: list[bytes]) -> None:
+        """Accumulate the cache-off stream's signature-repetition ratio
+        for :meth:`_dedup_factor` (capped: past ``SIG_TRACK_CAP``
+        distinct signatures the ratio freezes at its last value rather
+        than growing driver memory without bound)."""
+        if len(self._stream_sigs) >= SIG_TRACK_CAP:
+            return
+        self._chunk_uniq_total += len(row_keys)
+        self._stream_sigs.update(hash(k) for k in row_keys)
+
+    def _dedup_factor(self) -> float:
+        """Observed stream-distinct / chunk-distinct signature ratio —
+        the :func:`extrapolate_stream_cost` correction for signatures
+        recurring across chunks.  1.0 with the cache active: its plans
+        already cost only the misses, so discounting again would count
+        the repetition twice."""
+        if self._cache is not None or self._chunk_uniq_total <= 0:
+            return 1.0
+        return len(self._stream_sigs) / self._chunk_uniq_total
 
     def _resolve_backend(self, plan: ShardPlan) -> str:
         """Resolve ``executor="auto"`` for one chunk from the stream's
@@ -483,7 +569,10 @@ class StreamDriver:
         # fixed costs to the stream.
         cost = (
             extrapolate_stream_cost(
-                self._cum_plan_cost, self._rows_planned, self._total_rows
+                self._cum_plan_cost,
+                self._rows_planned,
+                self._total_rows,
+                dedup_factor=self._dedup_factor(),
             )
             if cfg.persistent_pool
             else plan.total_cost
@@ -513,7 +602,10 @@ class StreamDriver:
                 {a: engine._domain_codes(a) for a in names},
             )
             self._session = ExecSession(
-                state, self.n_jobs, persistent=self.cfg.persistent_pool
+                state,
+                self.n_jobs,
+                persistent=self.cfg.persistent_pool,
+                competition_cache=self._cache,
             )
         return self._session
 
@@ -530,21 +622,35 @@ class StreamDriver:
         cfg = self.cfg
         engine = self.engine
         names = self.names
-        view = ChunkView(
-            planned.uniq_rows,
-            planned.uniq_weights,
-            {a: self.enc.vocab(a).null_mask for a in names},
-            {a: engine._uc_code_mask(a) for a in names} if cfg.use_ucs else {},
-        )
         session = self.session()
-        results = session.dispatch(planned.executor, view, planned.plan.shards)
+        if planned.plan.shards:
+            view = ChunkView(
+                planned.uniq_rows,
+                planned.uniq_weights,
+                {a: self.enc.vocab(a).null_mask for a in names},
+                {a: engine._uc_code_mask(a) for a in names}
+                if cfg.use_ucs
+                else {},
+            )
+            results = session.dispatch(
+                planned.executor, view, planned.plan.shards
+            )
+        else:
+            # every competition of this chunk was answered from the
+            # session cache — nothing to ship, no pool gets created
+            results = []
         merged = merge_shard_results(
-            results, len(planned.uniq_rows), planned.columns
+            results,
+            len(planned.uniq_rows),
+            planned.columns,
+            cached=planned.cached or None,
         )
+        if self._cache is not None:
+            self._insert_results(planned, results)
 
         stats.candidates_evaluated += merged.candidates_evaluated
         stats.candidates_filtered_uc += merged.candidates_filtered_uc
-        self.competitions_run += merged.n_competitions
+        self.competitions_run += merged.n_competitions + merged.n_cached
         self.total_shards += planned.plan.n_shards
         self.backend_counts[planned.executor] = (
             self.backend_counts.get(planned.executor, 0) + 1
@@ -553,6 +659,27 @@ class StreamDriver:
         if session.shm_used:
             self.shm_used = True
         return ChunkDecisions(planned, merged)
+
+    def _insert_results(self, planned: PlannedChunk, results) -> None:
+        """Insert the chunk's freshly computed competition outcomes into
+        the session cache, after the deterministic merge — so later
+        chunks (and a future resident session's later cleans) answer
+        the same competition identity without dispatching."""
+        cache = self._cache
+        keys = planned.row_keys
+        weights = planned.uniq_weights
+        for result in results:
+            j = result.column
+            for pos in range(len(result.uids)):
+                uid = int(result.uids[pos])
+                cache.put(
+                    competition_key(j, float(weights[uid]), keys[uid]),
+                    (
+                        int(result.decided[pos]),
+                        float(result.incumbent_scores[pos]),
+                        float(result.best_scores[pos]),
+                    ),
+                )
 
     # -- emit -------------------------------------------------------------------
 
@@ -674,8 +801,11 @@ class StreamDriver:
         chunk counts, shared-memory usage, and the session's
         amortisation counters — a healthy persistent ``process`` stream
         shows ``pools_created == 1`` and ``snapshot_ships == 1``
-        however many chunks ran."""
-        return {
+        however many chunks ran.  The competition-cache counters ride
+        along: on a repetitive stream ``cache_hits`` counts the
+        competitions answered without any dispatch (all three stay 0
+        when the cache is disabled)."""
+        out = {
             "chunk_rows": self.effective_chunk_rows,
             "n_chunks": self.n_chunks,
             "backends": dict(sorted(self.backend_counts.items())),
@@ -683,9 +813,21 @@ class StreamDriver:
             "pools_created": self.pools_created,
             "snapshot_ships": self.snapshot_ships,
         }
+        if self._cache is not None:
+            out.update(self._cache.stats())
+        else:
+            out.update(
+                {"cache_hits": 0, "cache_misses": 0, "cache_evictions": 0}
+            )
+        return out
 
 
 #: CSV block size when ``clean_csv`` runs without an explicit
 #: ``chunk_rows`` — small enough to bound memory, large enough that
 #: per-chunk dedup still collapses most repeated signatures.
 DEFAULT_CSV_CHUNK_ROWS = 4096
+
+#: distinct-signature tracking cap for the cache-off dedup factor —
+#: past it the factor freezes instead of growing the driver's hash set
+#: without bound (the set holds Python ints: ~60 MB at the cap).
+SIG_TRACK_CAP = 1 << 21

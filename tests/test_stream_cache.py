@@ -1,0 +1,299 @@
+"""The session competition cache must be invisible in the results.
+
+The cross-chunk cache (:mod:`repro.exec.cache`) answers recurring
+competitions without dispatching — so every configuration of it (on,
+off, tightly bounded under eviction pressure, any backend, any chunk
+size, foreign tables minting codes mid-stream) must produce repairs
+byte-identical to the uncached whole-table run, with only the
+``cache_hits`` / ``cache_misses`` / ``cache_evictions`` diagnostics
+and wall-clock allowed to differ.  The planner-side helpers (auto
+bound, hit/miss partitioning, dedup-aware cost extrapolation) and the
+chunked CSV reader's column-naming width errors get unit coverage of
+their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.data.benchmark import load_benchmark
+from repro.dataset.io import iter_csv_chunks
+from repro.dataset.table import Table
+from repro.errors import CleaningError, CSVFormatError
+from repro.exec import (
+    CACHE_MAX_ENTRIES,
+    CACHE_MIN_ENTRIES,
+    CompetitionCache,
+    competition_key,
+    default_cache_entries,
+    extrapolate_stream_cost,
+    partition_cached,
+)
+
+pytestmark = pytest.mark.fast
+
+
+def _sig(result):
+    """The full, exact repair signature (no tolerance — byte identity)."""
+    return [
+        (r.row, r.attribute, r.old_value, r.new_value, r.old_score, r.new_score)
+        for r in result.repairs
+    ]
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return load_benchmark("hospital", n_rows=60, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine(hospital):
+    eng = BClean(BCleanConfig.pip(), hospital.constraints)
+    eng.fit(hospital.dirty)
+    return eng
+
+
+@pytest.fixture(scope="module")
+def repeated(hospital):
+    """A stream where every signature recurs across chunks: the fitted
+    rows repeated three times — the workload the cache exists for."""
+    dirty = hospital.dirty
+    return Table.from_rows(dirty.schema, dirty.to_rows() * 3)
+
+
+@pytest.fixture(scope="module")
+def repeated_whole(engine, repeated):
+    """The uncached whole-table reference every cached run is pinned
+    against."""
+    return _clean(engine, repeated, chunk_rows=None, cache=0)
+
+
+def _clean(
+    engine, table=None, chunk_rows=None, cache=None, executor="serial", n_jobs=2
+):
+    cfg = engine.config
+    saved = (cfg.chunk_rows, cfg.executor, cfg.n_jobs, cfg.competition_cache)
+    cfg.chunk_rows, cfg.executor, cfg.n_jobs, cfg.competition_cache = (
+        chunk_rows,
+        executor,
+        n_jobs,
+        cache,
+    )
+    try:
+        return engine.clean(table)
+    finally:
+        (cfg.chunk_rows, cfg.executor, cfg.n_jobs, cfg.competition_cache) = saved
+
+
+# -- cache on/off equivalence matrix -------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "chunk_rows,executor",
+    ((7, "serial"), (25, "serial"), (60, "serial"), (25, "thread"), (25, "process")),
+)
+def test_cached_chunked_byte_identical(
+    engine, repeated, repeated_whole, chunk_rows, executor
+):
+    result = _clean(
+        engine, repeated, chunk_rows=chunk_rows, cache=None, executor=executor
+    )
+    assert _sig(result) == _sig(repeated_whole)
+    assert result.cleaned == repeated_whole.cleaned
+    stream = result.diagnostics["stream"]
+    # chunks 2..n replay chunk 1's signatures — the cache must see them
+    assert stream["cache_hits"] > 0
+    assert stream["cache_misses"] > 0
+    # cells counters are cache-invariant (only effort counters differ)
+    assert result.stats.cells_total == repeated_whole.stats.cells_total
+    assert result.stats.cells_inspected == repeated_whole.stats.cells_inspected
+
+
+@pytest.mark.parametrize("chunk_rows", (7, 25))
+def test_cache_on_off_identical(engine, repeated, chunk_rows):
+    on = _clean(engine, repeated, chunk_rows=chunk_rows, cache=None)
+    off = _clean(engine, repeated, chunk_rows=chunk_rows, cache=0)
+    assert _sig(on) == _sig(off)
+    assert on.cleaned == off.cleaned
+    off_stream = off.diagnostics["stream"]
+    assert off_stream["cache_hits"] == 0
+    assert off_stream["cache_misses"] == 0
+    assert off_stream["cache_evictions"] == 0
+    assert "cache_entries" not in off_stream
+    # the competitions-materialised diagnostic counts cached answers
+    # too, so it cannot depend on the cache setting
+    assert on.diagnostics["cache_size"] == off.diagnostics["cache_size"]
+
+
+def test_eviction_pressure_byte_identical(engine, repeated, repeated_whole):
+    """A bound far below the stream's distinct competition count must
+    thrash — and still change nothing but the counters."""
+    result = _clean(engine, repeated, chunk_rows=25, cache=8)
+    assert _sig(result) == _sig(repeated_whole)
+    assert result.cleaned == repeated_whole.cleaned
+    stream = result.diagnostics["stream"]
+    assert stream["cache_evictions"] > 0
+    assert stream["cache_max_entries"] == 8
+    assert stream["cache_entries"] <= 8
+
+
+def test_foreign_stream_with_midstream_minting(engine, repeated):
+    """Foreign chunks minting unseen codes mid-stream: minted signatures
+    are new keys, recurring ones still hit, results stay pinned."""
+    table = repeated.copy()
+    names = table.schema.names
+    table.set_cell(70, names[1], "UNSEEN-VALUE-A")
+    table.set_cell(130, names[2], "UNSEEN-VALUE-B")
+    whole = _clean(engine, table, chunk_rows=None, cache=0)
+    result = _clean(engine, table, chunk_rows=25, cache=None)
+    assert _sig(result) == _sig(whole)
+    assert result.cleaned == whole.cleaned
+    assert result.diagnostics["exec"]["incremental_encoding"] is True
+    assert result.diagnostics["stream"]["cache_hits"] > 0
+
+
+def test_whole_table_run_never_builds_cache(engine, repeated):
+    """An un-chunked clean deduplicates everything in its single plan —
+    the cache stays off even when requested explicitly."""
+    result = _clean(engine, repeated, chunk_rows=None, cache=1024)
+    assert "stream" not in result.diagnostics
+
+
+# -- the cache itself ----------------------------------------------------------
+
+
+class TestCompetitionCache:
+    def test_hit_miss_and_counters(self):
+        cache = CompetitionCache(4)
+        key = competition_key(2, 1.0, b"\x01\x02")
+        assert cache.get(key) is None
+        cache.put(key, (7, -1.5, -0.5))
+        assert cache.get(key) == (7, -1.5, -0.5)
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 0)
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = CompetitionCache(2)
+        a, b, c = (
+            competition_key(0, 1.0, bytes([i])) for i in range(3)
+        )
+        cache.put(a, (0, 0.0, 0.0))
+        cache.put(b, (1, 0.0, 0.0))
+        assert cache.get(a) is not None  # touch a → b is now coldest
+        cache.put(c, (2, 0.0, 0.0))
+        assert cache.evictions == 1
+        assert cache.get(b) is None  # evicted
+        assert cache.get(a) is not None
+        assert cache.get(c) is not None
+
+    def test_put_refreshes_existing_key(self):
+        cache = CompetitionCache(2)
+        a, b, c = (
+            competition_key(0, 1.0, bytes([i])) for i in range(3)
+        )
+        cache.put(a, (0, 0.0, 0.0))
+        cache.put(b, (1, 0.0, 0.0))
+        cache.put(a, (9, 1.0, 2.0))  # refresh, no eviction
+        assert cache.evictions == 0
+        cache.put(c, (2, 0.0, 0.0))  # now b (coldest) goes
+        assert cache.get(b) is None
+        assert cache.get(a) == (9, 1.0, 2.0)
+
+    def test_weight_and_column_are_part_of_the_key(self):
+        cache = CompetitionCache(8)
+        cache.put(competition_key(0, 1.0, b"x"), (1, 0.0, 0.0))
+        assert cache.get(competition_key(0, 0.5, b"x")) is None
+        assert cache.get(competition_key(1, 1.0, b"x")) is None
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            CompetitionCache(0)
+
+    def test_stats_shape(self):
+        cache = CompetitionCache(3)
+        assert cache.stats() == {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+            "cache_entries": 0,
+            "cache_max_entries": 3,
+        }
+
+
+# -- planner helpers -----------------------------------------------------------
+
+
+class TestPlannerCacheHelpers:
+    def test_default_cache_entries_clamps(self):
+        assert default_cache_entries(1, 10, 100) == CACHE_MIN_ENTRIES
+        assert default_cache_entries(10**9, 10, None) == CACHE_MAX_ENTRIES
+        # in between: 2 × (2000 × 1000/100) = 40000
+        assert default_cache_entries(2000, 100, 1000) == 40000
+
+    def test_partition_cached_no_cache_is_identity(self):
+        uids = np.arange(5)
+        miss, hits = partition_cached(None, 0, uids, [], np.ones(5))
+        assert miss is uids
+        assert hits is None
+
+    def test_partition_cached_splits(self):
+        cache = CompetitionCache(16)
+        keys = [bytes([i]) for i in range(4)]
+        weights = np.ones(4)
+        cache.put(competition_key(2, 1.0, keys[1]), (5, -1.0, -0.5))
+        cache.put(competition_key(2, 1.0, keys[3]), (-1, -2.0, -2.0))
+        cache.put(competition_key(0, 1.0, keys[0]), (9, 0.0, 0.0))  # other col
+        miss, hits = partition_cached(
+            cache, 2, np.arange(4), keys, weights
+        )
+        assert list(miss) == [0, 2]
+        hit_uids, decided, inc, best = hits
+        assert list(hit_uids) == [1, 3]
+        assert list(decided) == [5, -1]
+        assert list(inc) == [-1.0, -2.0]
+        assert list(best) == [-0.5, -2.0]
+
+    def test_extrapolate_dedup_factor(self):
+        # linear extrapolation, then the repetition discount
+        assert extrapolate_stream_cost(100.0, 10, 100) == pytest.approx(1000.0)
+        assert extrapolate_stream_cost(
+            100.0, 10, 100, dedup_factor=0.25
+        ) == pytest.approx(250.0)
+        # unknown total: the cumulative cost itself, discounted
+        assert extrapolate_stream_cost(
+            100.0, 10, None, dedup_factor=0.5
+        ) == pytest.approx(50.0)
+
+
+# -- config validation ---------------------------------------------------------
+
+
+def test_config_rejects_negative_cache():
+    with pytest.raises(CleaningError):
+        BCleanConfig(competition_cache=-1)
+    assert BCleanConfig(competition_cache=0).competition_cache == 0
+
+
+# -- chunked CSV reader: column-naming width errors ----------------------------
+
+
+class TestCsvWidthErrors:
+    def test_is_a_value_error(self):
+        assert issubclass(CSVFormatError, ValueError)
+
+    def test_short_row_names_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n4,5\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"line 3.*ends before column 'c'"):
+            list(iter_csv_chunks(path, 1))
+
+    def test_long_row_names_last_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3,4,5,6\n", encoding="utf-8")
+        with pytest.raises(
+            ValueError, match=r"line 3.*2 extra field\(s\) after last column 'b'"
+        ):
+            list(iter_csv_chunks(path, 10))
