@@ -55,6 +55,14 @@ How to read the report:
   plan, with the backend ``executor="auto"`` resolves to at 4 workers
   (machine-independent, asserted ``process``) and on this machine's
   CPU count.
+- the **profiled** ``(1024, process)`` run re-cleans the same stream
+  with ``BCleanConfig.profile`` on and records the tracer's per-stage
+  wall-clock breakdown (``profile_stages``) plus the shard-balance
+  summary into the report.  Two assertions ride it: profiling must not
+  change the repairs (its checksum joins the identity set), and the
+  seven stage totals must sum to within 10% of the engine's clean
+  wall-clock — the trace accounts for the pipeline's time, it does not
+  invent its own.
 """
 
 from __future__ import annotations
@@ -76,19 +84,23 @@ DATASET = "soccer"
 N_ROWS = 1500
 #: rows of the resampled foreign CSV the streaming runs clean
 STREAM_ROWS = 12000
-#: measured configurations: (chunk_rows, executor, competition_cache) —
-#: the cache-off (0) serial sweep carries the memory story and keeps
-#: the uncached trajectory comparable across PRs; the cached (None =
-#: auto-sized) 1024 run carries the streaming *speed* story; the
-#: chunked-process run pins the persistent-session amortisation (one
-#: pool + one snapshot ship per clean, not per chunk) with an explicit
-#: 2-worker pool so the counter assertion is machine-independent.
+#: measured configurations: (chunk_rows, executor, competition_cache,
+#: profiled) — the cache-off (0) serial sweep carries the memory story
+#: and keeps the uncached trajectory comparable across PRs; the cached
+#: (None = auto-sized) 1024 run carries the streaming *speed* story;
+#: the chunked-process run pins the persistent-session amortisation
+#: (one pool + one snapshot ship per clean, not per chunk) with an
+#: explicit 2-worker pool so the counter assertion is
+#: machine-independent; the profiled chunked-process run records the
+#: tracer's stage breakdown and pins that profiling changes neither
+#: the repairs nor (within 10%) the accounted wall-clock.
 RUN_SETTINGS = (
-    (None, "serial", 0),
-    (256, "serial", 0),
-    (1024, "serial", 0),
-    (1024, "serial", None),
-    (1024, "process", 0),
+    (None, "serial", 0, False),
+    (256, "serial", 0, False),
+    (1024, "serial", 0, False),
+    (1024, "serial", None, False),
+    (1024, "process", 0, False),
+    (1024, "process", 0, True),
 )
 PROCESS_JOBS = 2
 RESAMPLE_SEED = 7
@@ -135,7 +147,9 @@ def _write_stream_csv(instance, path: Path) -> None:
     write_csv(instance.dirty.take([int(i) for i in indices]), path)
 
 
-def _child_run(chunk_rows, executor, cache, src, dst, out_queue) -> None:
+def _child_run(
+    chunk_rows, executor, cache, profiled, src, dst, out_queue
+) -> None:
     """One measured configuration, isolated in its own process so
     ``ru_maxrss`` is a per-configuration high-water mark."""
     from repro.dataset.io import read_csv
@@ -145,6 +159,7 @@ def _child_run(chunk_rows, executor, cache, src, dst, out_queue) -> None:
     engine.config.chunk_rows = chunk_rows
     engine.config.executor = executor
     engine.config.competition_cache = cache
+    engine.config.profile = profiled
     if executor == "process":
         engine.config.n_jobs = PROCESS_JOBS
     start = time.perf_counter()
@@ -170,11 +185,16 @@ def _child_run(chunk_rows, executor, cache, src, dst, out_queue) -> None:
     exec_diag = result.diagnostics.get("exec", {})
     hits = stream.get("cache_hits", 0)
     misses = stream.get("cache_misses", 0)
+    profile = result.diagnostics.get("profile", {})
     out_queue.put(
         {
             "chunk_rows": chunk_rows,
             "executor": executor,
             "competition_cache": cache,
+            "profiled": profiled,
+            "profile_stages": profile.get("stages"),
+            "profile_shards": profile.get("shards"),
+            "engine_clean_seconds": round(result.stats.clean_seconds, 4),
             "clean_seconds": round(seconds, 4),
             "peak_rss_kb": _peak_rss_kb(),
             "peak_rss_after_fit_kb": rss_after_fit,
@@ -196,12 +216,14 @@ def _child_run(chunk_rows, executor, cache, src, dst, out_queue) -> None:
     )
 
 
-def _measure(chunk_rows, executor, cache, src: Path, dst: Path) -> dict:
+def _measure(
+    chunk_rows, executor, cache, profiled, src: Path, dst: Path
+) -> dict:
     ctx = multiprocessing.get_context("spawn")
     queue = ctx.Queue()
     proc = ctx.Process(
         target=_child_run,
-        args=(chunk_rows, executor, cache, str(src), str(dst), queue),
+        args=(chunk_rows, executor, cache, profiled, str(src), str(dst), queue),
     )
     proc.start()
     payload = queue.get(timeout=1800)
@@ -215,12 +237,14 @@ def test_stream_memory_and_bench_report(tmp_path):
     _write_stream_csv(instance, src)
 
     runs = []
-    for chunk_rows, executor, cache in RUN_SETTINGS:
+    for chunk_rows, executor, cache, profiled in RUN_SETTINGS:
         label = "off" if chunk_rows is None else str(chunk_rows)
         tag = "cached" if cache != 0 else "uncached"
+        if profiled:
+            tag += "_profiled"
         runs.append(
             _measure(
-                chunk_rows, executor, cache, src,
+                chunk_rows, executor, cache, profiled, src,
                 tmp_path / f"out_{label}_{executor}_{tag}.csv",
             )
         )
@@ -228,14 +252,20 @@ def test_stream_memory_and_bench_report(tmp_path):
     digests = {run["repairs_sha256"] for run in runs}
     identical = len(digests) == 1
     by_setting = {
-        (run["chunk_rows"], run["executor"], run["competition_cache"]): run
+        (
+            run["chunk_rows"],
+            run["executor"],
+            run["competition_cache"],
+            run["profiled"],
+        ): run
         for run in runs
     }
-    whole_table = by_setting[(None, "serial", 0)]
+    whole_table = by_setting[(None, "serial", 0, False)]
     rss_off = whole_table["peak_rss_kb"]
-    rss_1024 = by_setting[(1024, "serial", 0)]["peak_rss_kb"]
-    chunked_process = by_setting[(1024, "process", 0)]
-    cached_1024 = by_setting[(1024, "serial", None)]
+    rss_1024 = by_setting[(1024, "serial", 0, False)]["peak_rss_kb"]
+    chunked_process = by_setting[(1024, "process", 0, False)]
+    cached_1024 = by_setting[(1024, "serial", None, False)]
+    profiled_run = by_setting[(1024, "process", 0, True)]
 
     # -- the machine-independent half of the auto-executor acceptance:
     # the whole-table plan's cost estimate must put soccer-1500 over
@@ -306,6 +336,24 @@ def test_stream_memory_and_bench_report(tmp_path):
     if not chunked_process["process_fallback"]:
         assert chunked_process["pools_created"] == 1
         assert chunked_process["snapshot_ships"] == 1
+    # The profiling acceptance: the stage breakdown covers all seven
+    # pipeline stages, and their totals account for the engine's clean
+    # wall-clock to within 10% — profiling neither loses time (a stage
+    # running outside any span) nor invents it.  The repairs identity
+    # is already pinned above: the profiled run's checksum is in
+    # ``digests``.  (Skip the timing half if the pool fell back —
+    # degraded-serial timings are not the thing being measured.)
+    from repro.obs import STAGES
+
+    stages = profiled_run["profile_stages"]
+    assert stages is not None and set(stages) == set(STAGES)
+    if not profiled_run["process_fallback"]:
+        stage_sum = sum(stages.values())
+        wall = profiled_run["engine_clean_seconds"]
+        assert abs(stage_sum - wall) <= 0.1 * wall, (
+            f"profile stages sum {stage_sum:.3f}s vs clean wall-clock "
+            f"{wall:.3f}s"
+        )
     assert total_cost >= AUTO_CLEAN_COST_THRESHOLD
     assert resolved_at_4 == "process"
     if cpu_count >= 4:

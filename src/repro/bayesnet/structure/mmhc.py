@@ -36,6 +36,7 @@ from repro.bayesnet.dag import DAG
 from repro.bayesnet.structure.scores import FamilyScore, make_score
 from repro.dataset.table import Table
 from repro.errors import StructureLearningError
+from repro.obs import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dataset.encoding import TableEncoding
@@ -304,6 +305,7 @@ def mmhc(
     max_parents: int = 3,
     max_iter: int = 200,
     encoding: "TableEncoding | None" = None,
+    tracer=NULL_TRACER,
 ) -> MMHCResult:
     """Max-min hill-climbing: MMPC skeleton + constrained greedy search.
 
@@ -326,6 +328,10 @@ def mmhc(
         Optional :class:`~repro.dataset.encoding.TableEncoding` of
         ``table``: both the G² tests and the family scores then ride the
         coded fast path.  Ignored when ``score`` is a pre-built instance.
+    tracer:
+        Observability tracer: the two phases run under ``mmhc.mmpc``
+        and ``mmhc.hillclimb`` spans carrying their G²-test and
+        move-evaluation counts (no-op by default).
     """
     if not 0.0 < alpha < 1.0:
         raise StructureLearningError(f"alpha must be in (0, 1), got {alpha}")
@@ -334,9 +340,12 @@ def mmhc(
         raise StructureLearningError("need at least two attributes")
 
     cache = _AssocCache(table, alpha, max_condition, encoding)
-    cpc = {
-        n: mmpc(table, n, alpha, max_condition, cache) for n in nodes
-    }
+    with tracer.span("mmhc.mmpc", cat="fit") as mmpc_span:
+        cpc = {
+            n: mmpc(table, n, alpha, max_condition, cache) for n in nodes
+        }
+        mmpc_span.add(independence_tests=cache.tests)
+    tracer.add_counter("mmhc_independence_tests", cache.tests)
     # Symmetry correction: keep y in CPC(x) only if x in CPC(y).
     allowed: dict[str, set[str]] = {
         n: {y for y in cpc[n] if n in cpc[y]} for n in nodes
@@ -351,50 +360,55 @@ def mmhc(
     current = {n: scorer.family(n, ()) for n in nodes}
     n_eval = 0
 
-    for _ in range(max_iter):
-        best_delta = 1e-9
-        best_move: tuple[str, str, str] | None = None
-        for u in nodes:
-            for v in allowed[u]:
-                if not dag.has_edge(u, v):
-                    if len(dag.parents(v)) >= max_parents:
-                        continue
-                    if dag.has_path(v, u):
-                        continue
-                    n_eval += 1
-                    delta = scorer.family(v, [*dag.parents(v), u]) - current[v]
-                    if delta > best_delta:
-                        best_delta, best_move = delta, ("add", u, v)
-                else:
-                    n_eval += 1
-                    reduced = [p for p in dag.parents(v) if p != u]
-                    delta = scorer.family(v, reduced) - current[v]
-                    if delta > best_delta:
-                        best_delta, best_move = delta, ("del", u, v)
-                    if len(dag.parents(u)) < max_parents and not _rev_cycle(
-                        dag, u, v
-                    ):
+    with tracer.span("mmhc.hillclimb", cat="fit") as hc_span:
+        for _ in range(max_iter):
+            best_delta = 1e-9
+            best_move: tuple[str, str, str] | None = None
+            for u in nodes:
+                for v in allowed[u]:
+                    if not dag.has_edge(u, v):
+                        if len(dag.parents(v)) >= max_parents:
+                            continue
+                        if dag.has_path(v, u):
+                            continue
                         n_eval += 1
                         delta = (
-                            scorer.family(v, reduced)
-                            - current[v]
-                            + scorer.family(u, [*dag.parents(u), v])
-                            - current[u]
+                            scorer.family(v, [*dag.parents(v), u]) - current[v]
                         )
                         if delta > best_delta:
-                            best_delta, best_move = delta, ("rev", u, v)
-        if best_move is None:
-            break
-        op, u, v = best_move
-        if op == "add":
-            dag.add_edge(u, v)
-        elif op == "del":
-            dag.remove_edge(u, v)
-        else:
-            dag.remove_edge(u, v)
-            dag.add_edge(v, u)
-            current[u] = scorer.family(u, dag.parents(u))
-        current[v] = scorer.family(v, dag.parents(v))
+                            best_delta, best_move = delta, ("add", u, v)
+                    else:
+                        n_eval += 1
+                        reduced = [p for p in dag.parents(v) if p != u]
+                        delta = scorer.family(v, reduced) - current[v]
+                        if delta > best_delta:
+                            best_delta, best_move = delta, ("del", u, v)
+                        if len(dag.parents(u)) < max_parents and not _rev_cycle(
+                            dag, u, v
+                        ):
+                            n_eval += 1
+                            delta = (
+                                scorer.family(v, reduced)
+                                - current[v]
+                                + scorer.family(u, [*dag.parents(u), v])
+                                - current[u]
+                            )
+                            if delta > best_delta:
+                                best_delta, best_move = delta, ("rev", u, v)
+            if best_move is None:
+                break
+            op, u, v = best_move
+            if op == "add":
+                dag.add_edge(u, v)
+            elif op == "del":
+                dag.remove_edge(u, v)
+            else:
+                dag.remove_edge(u, v)
+                dag.add_edge(v, u)
+                current[u] = scorer.family(u, dag.parents(u))
+            current[v] = scorer.family(v, dag.parents(v))
+        hc_span.add(moves_evaluated=n_eval)
+    tracer.add_counter("mmhc_moves_evaluated", n_eval)
 
     return MMHCResult(
         dag=dag,

@@ -86,6 +86,8 @@ def _engine_config(args: argparse.Namespace) -> BCleanConfig:
         competition_cache=getattr(args, "competition_cache", None),
         persistent_pool=getattr(args, "persistent_pool", True),
         fit_executor=args.fit_executor,
+        trace=getattr(args, "trace", None),
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -309,6 +311,21 @@ def build_parser() -> argparse.ArgumentParser:
             "their re-run (default: auto-sized from the stream's "
             "estimated competition count; 0 disables; repairs are "
             "identical at every setting)",
+        )
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            default=None,
+            help="write a Chrome trace-event JSON of the run (open it "
+            "at https://ui.perfetto.dev): one span per pipeline stage "
+            "per chunk, per-shard worker timing, session lifecycle "
+            "events (tracing never changes the repairs)",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="collect per-stage wall-clock totals and shard "
+            "balance into diagnostics['profile'] (implied by --trace)",
         )
         p.add_argument(
             "--no-persistent-pool",

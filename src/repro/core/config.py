@@ -187,6 +187,20 @@ class BCleanConfig:
     max_candidates_basic:
         Extra cap used in BASIC mode (full-joint scoring is m× more
         expensive per candidate).
+    profile:
+        Collect the observability tracer's aggregated stage/shard
+        breakdown into ``diagnostics["profile"]`` (see
+        :mod:`repro.obs`).  Off by default: the disabled tracer is a
+        shared no-op singleton, so an unprofiled run pays nothing and
+        its dispatch payloads are byte-identical to a build without
+        tracing.  Repairs are byte-identical either way.
+    trace:
+        Path to write a Chrome trace-event JSON file of the run (open
+        it at https://ui.perfetto.dev): the seven streaming stages per
+        chunk, per-shard worker spans, session lifecycle events, and
+        fit phases.  ``None`` (default) writes nothing.  Implies the
+        tracer is active (and ``diagnostics["profile"]`` is reported)
+        for the traced call.
     """
 
     lam: float = 1.0
@@ -217,6 +231,8 @@ class BCleanConfig:
     fdx: FDXConfig = field(default_factory=FDXConfig)
     structure: str = "fdx"
     max_candidates_basic: int = 40
+    profile: bool = False
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         if self.lam < 0:
@@ -250,6 +266,8 @@ class BCleanConfig:
                 f"competition_cache must be non-negative (0 disables), "
                 f"got {self.competition_cache}"
             )
+        if self.trace is not None and not str(self.trace):
+            raise CleaningError("trace must be a non-empty path or None")
         if isinstance(self.mode, str):
             self.mode = InferenceMode(self.mode)
 

@@ -92,6 +92,7 @@ from repro.exec import (
     sharded_family_arrays,
     sharded_pair_arrays,
 )
+from repro.obs import NULL_TRACER, Tracer
 
 
 class BClean:
@@ -119,6 +120,10 @@ class BClean:
         self._fit_seconds = 0.0
         self._fit_diag: dict = {}
         self._fit_session: ExecSession | None = None
+        # The engine's observability tracer: the shared no-op singleton
+        # unless config.trace/config.profile (or a per-call trace=)
+        # turns tracing on — see repro.obs for the zero-cost contract.
+        self._obs = NULL_TRACER
 
     # -- fitting -----------------------------------------------------------------
 
@@ -160,7 +165,15 @@ class BClean:
         composition:
             Optional attribute grouping (merged nodes).
         """
-        with Stopwatch() as timer:
+        if self.config.trace is not None or self.config.profile:
+            # One tracer spans fit + every later clean of this engine,
+            # so a written trace shows the whole lifecycle; clean()
+            # aggregates its own profile from a mark.
+            self._obs = Tracer()
+        tracer = self._obs
+        with Stopwatch(tracer, "fit_seconds") as timer, tracer.span(
+            "fit", cat="fit"
+        ):
             self.table = table
             self.composition = composition or AttributeComposition(
                 table.schema.names
@@ -200,31 +213,39 @@ class BClean:
                     ),
                     n_jobs,
                     persistent=self.config.persistent_pool,
+                    tracer=tracer,
                 )
 
             try:
-                self.cooc = self._build_cooccurrence(table, fit_executor, n_jobs)
+                with tracer.span("fit.cooccurrence", cat="fit"):
+                    self.cooc = self._build_cooccurrence(
+                        table, fit_executor, n_jobs
+                    )
                 # On the columnar path the composition is singleton, so the
                 # node table *is* the fitted table (shared column lists);
                 # learning from ``table`` itself lets every
                 # ``encoding.matches`` check hit the O(1) identity fast path
                 # instead of re-interning all cells.
-                self.dag = (
-                    dag
-                    if dag is not None
-                    else self._learn_structure(
-                        table if columnar_fit else node_table,
-                        self._encoding if columnar_fit else None,
+                with tracer.span(
+                    "fit.structure", cat="fit", learner=self.config.structure
+                ):
+                    self.dag = (
+                        dag
+                        if dag is not None
+                        else self._learn_structure(
+                            table if columnar_fit else node_table,
+                            self._encoding if columnar_fit else None,
+                        )
                     )
-                )
                 unknown = set(self.dag.nodes) ^ set(node_table.schema.names)
                 if unknown:
                     raise CleaningError(
                         f"DAG nodes do not match composition nodes: {sorted(unknown)}"
                     )
-                self.bn = self._fit_network(
-                    node_table, columnar_fit, fit_executor, n_jobs
-                )
+                with tracer.span("fit.cpts", cat="fit"):
+                    self.bn = self._fit_network(
+                        node_table, columnar_fit, fit_executor, n_jobs
+                    )
             finally:
                 if self._fit_session is not None:
                     self._fit_diag["pools_created"] = (
@@ -367,7 +388,7 @@ class BClean:
         if name == "pc":
             return pc_algorithm(node_table, encoding=encoding).dag
         if name == "mmhc":
-            return mmhc(node_table, encoding=encoding).dag
+            return mmhc(node_table, encoding=encoding, tracer=self._obs).dag
         raise CleaningError(
             f"unknown structure learner {self.config.structure!r}"
         )
@@ -398,7 +419,24 @@ class BClean:
 
     # -- cleaning ------------------------------------------------------------------
 
-    def clean(self, table: Table | None = None) -> CleaningResult:
+    def _call_tracer(self, trace) -> tuple:
+        """Resolve one clean call's tracer and trace-output path.
+
+        The engine's fit-time tracer is reused when it is live (one
+        file shows fit + clean together); a per-call ``trace=`` or
+        ``config.profile`` on an untraced engine gets a fresh tracer
+        for just this call; otherwise the shared no-op singleton.
+        """
+        trace_path = trace if trace is not None else self.config.trace
+        if self._obs.enabled:
+            return self._obs, trace_path
+        if trace_path is not None or self.config.profile:
+            return Tracer(), trace_path
+        return NULL_TRACER, None
+
+    def clean(
+        self, table: Table | None = None, trace: str | None = None
+    ) -> CleaningResult:
         """Run Algorithm 1 over ``table`` (defaults to the fitted table).
 
         On the columnar path the work is delegated to the staged
@@ -406,6 +444,11 @@ class BClean:
         chunk, or row blocks of ``BCleanConfig.chunk_rows`` each, with
         byte-identical repairs either way.  The scalar oracle path is
         in-memory by construction and ignores ``chunk_rows``.
+
+        ``trace`` writes a Chrome trace-event JSON of this call (see
+        :mod:`repro.obs`), overriding ``config.trace``; tracing and
+        ``config.profile`` change observability only — repairs are
+        byte-identical to an untraced run.
         """
         if self.bn is None or self.table is None:
             raise CleaningError("fit() must be called before clean()")
@@ -418,7 +461,11 @@ class BClean:
         self._competitions_run = 0
         self._exec_diag = {}
         self._stream_diag = {}
-        with Stopwatch() as timer:
+        tracer, trace_path = self._call_tracer(trace)
+        mark = tracer.mark()
+        with Stopwatch(tracer, "clean_seconds") as timer, tracer.span(
+            "clean", cat="clean", root=True
+        ):
             if columnar:
                 try:
                     scorer = self._columnar_scorer()
@@ -427,7 +474,7 @@ class BClean:
                     # oracle handles anything.
                     columnar = False
             if columnar:
-                driver = StreamDriver(self, scorer)
+                driver = StreamDriver(self, scorer, tracer=tracer)
                 driver.clean_table(
                     table, table is self.table, stats, cleaned, repairs
                 )
@@ -460,6 +507,10 @@ class BClean:
             diagnostics["stream"] = dict(self._stream_diag)
         if self._fit_diag:
             diagnostics["fit_exec"] = dict(self._fit_diag)
+        if tracer.enabled:
+            diagnostics["profile"] = tracer.profile(since=mark)
+            if trace_path is not None:
+                tracer.write(trace_path)
         return CleaningResult(cleaned, repairs, stats, diagnostics=diagnostics)
 
     def clean_csv(
@@ -467,6 +518,7 @@ class BClean:
         src,
         dst,
         delimiter: str = ",",
+        trace: str | None = None,
     ) -> CleaningResult:
         """Out-of-core clean: stream a CSV through the staged pipeline.
 
@@ -490,9 +542,13 @@ class BClean:
             )
         stats = CleaningStats(fit_seconds=self._fit_seconds)
         repairs: list[Repair] = []
-        with Stopwatch() as timer:
+        tracer, trace_path = self._call_tracer(trace)
+        mark = tracer.mark()
+        with Stopwatch(tracer, "clean_seconds") as timer, tracer.span(
+            "clean", cat="clean", root=True
+        ):
             scorer = self._columnar_scorer()
-            driver = StreamDriver(self, scorer)
+            driver = StreamDriver(self, scorer, tracer=tracer)
             driver.clean_csv(src, dst, stats, repairs, delimiter=delimiter)
         stats.clean_seconds = timer.seconds
         stats.repairs_made = len(repairs)
@@ -508,6 +564,10 @@ class BClean:
         }
         if self._fit_diag:
             diagnostics["fit_exec"] = dict(self._fit_diag)
+        if tracer.enabled:
+            diagnostics["profile"] = tracer.profile(since=mark)
+            if trace_path is not None:
+                tracer.write(trace_path)
         return CleaningResult(None, repairs, stats, diagnostics=diagnostics)
 
     def _columnar_applicable(self, table: Table) -> bool:

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.dataset.diff import cells_equal
 from repro.dataset.table import Cell, Table
+from repro.obs import NULL_TRACER, clock
 
 
 @dataclass(frozen=True)
@@ -95,14 +95,26 @@ def collect_repairs(dirty: Table, cleaned: Table) -> list[Repair]:
 
 
 class Stopwatch:
-    """Tiny context-manager timer used by the engines."""
+    """Tiny context-manager timer used by the engines.
 
-    def __init__(self) -> None:
+    Reads :func:`repro.obs.clock` — the same monotonic clock behind
+    every trace span, so engine wall-clock and stage breakdowns can
+    never disagree about what a second is.  When given a tracer and a
+    counter name, the measured total is also surfaced as a counter on
+    the trace (the engine hangs its fit/clean stopwatch totals on the
+    clean root span this way).
+    """
+
+    def __init__(self, tracer=NULL_TRACER, counter: str | None = None) -> None:
         self.seconds = 0.0
+        self._tracer = tracer
+        self._counter = counter
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        self._start = clock()
         return self
 
     def __exit__(self, *exc) -> None:
-        self.seconds = time.perf_counter() - self._start
+        self.seconds = clock() - self._start
+        if self._counter is not None:
+            self._tracer.add_counter(self._counter, self.seconds)

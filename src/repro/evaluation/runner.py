@@ -8,9 +8,10 @@ times them and scores the output.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
+
+from repro.obs import Span
 
 from repro.data.benchmark import BenchmarkInstance
 from repro.dataset.table import Table
@@ -66,9 +67,10 @@ def run_system(
     catch_errors: bool = True,
 ) -> MethodReport:
     """Run one system on one instance, timing and scoring it."""
-    start = time.perf_counter()
+    span = Span("evaluation.run_system", args={"system": system.name})
     try:
-        cleaned = system.clean(instance)
+        with span:  # Span records its duration even when clean() raises
+            cleaned = system.clean(instance)
     except Exception as exc:  # a failed competitor is a data point (− in Table 4)
         if not catch_errors:
             raise
@@ -76,10 +78,10 @@ def run_system(
             system=system.name,
             dataset=instance.name,
             quality=RepairQuality(0.0, 0.0, 0.0, 0, 0, len(instance.error_cells)),
-            exec_seconds=time.perf_counter() - start,
+            exec_seconds=span.seconds,
             error=f"{type(exc).__name__}: {exc}",
         )
-    elapsed = time.perf_counter() - start
+    elapsed = span.seconds
     quality = evaluate_repairs(
         instance.dirty, cleaned, instance.clean, instance.error_cells
     )

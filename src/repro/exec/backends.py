@@ -58,7 +58,9 @@ from __future__ import annotations
 
 import atexit
 import gc
+import os
 import pickle
+import threading
 from concurrent.futures import (
     BrokenExecutor,
     ProcessPoolExecutor,
@@ -70,6 +72,7 @@ from repro.errors import CleaningError
 from repro.exec import shm as shm_transport
 from repro.exec.planner import Shard
 from repro.exec.state import ShardResult
+from repro.obs import DRIVER_TID, NULL_TRACER, clock
 
 #: recognised ``BCleanConfig.executor`` values
 EXECUTOR_NAMES = ("serial", "thread", "process")
@@ -93,6 +96,19 @@ class Backend(Protocol):
         ...  # pragma: no cover - protocol
 
 
+def _run_timed_serial(state, payload, shards, times: list) -> list[ShardResult]:
+    """Serial shard loop that also records ``(shard_id, start, dur,
+    track)`` per shard into ``times`` — the in-driver counterpart of the
+    timed worker protocol, on the driver's own trace track."""
+    times.clear()
+    results = []
+    for shard in shards:
+        start = clock()
+        results.append(state.run_shard(shard, payload))
+        times.append((shard.shard_id, start, clock() - start, DRIVER_TID))
+    return results
+
+
 class SerialBackend:
     """In-process execution, plan order."""
 
@@ -100,14 +116,21 @@ class SerialBackend:
     pools_created = 0
     snapshot_ships = 0
 
-    def __init__(self):
+    def __init__(self, tracer=NULL_TRACER):
         self._state = None
+        self.tracer = tracer
+        #: last dispatch's ``(shard_id, start, dur, track)`` tuples —
+        #: populated only when tracing is enabled; the session merges
+        #: them into the trace after each dispatch
+        self.shard_times: list = []
 
     def open(self, state) -> None:
         self._state = state
 
     def dispatch(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
-        return [self._state.run_shard(shard, payload) for shard in shards]
+        if not self.tracer.enabled:
+            return [self._state.run_shard(shard, payload) for shard in shards]
+        return _run_timed_serial(self._state, payload, shards, self.shard_times)
 
     def close(self) -> None:
         self._state = None
@@ -119,7 +142,7 @@ class ThreadBackend:
     name = "thread"
     snapshot_ships = 0  # threads share the state by reference
 
-    def __init__(self, n_jobs: int, persistent: bool = True):
+    def __init__(self, n_jobs: int, persistent: bool = True, tracer=NULL_TRACER):
         self.n_jobs = max(1, n_jobs)
         #: keep the pool alive between dispatches (sessions); False
         #: tears it down after every dispatch
@@ -130,6 +153,10 @@ class ThreadBackend:
         self.ran_serially = False
         #: thread pools spawned over the session's lifetime
         self.pools_created = 0
+        self.tracer = tracer
+        #: last dispatch's ``(shard_id, start, dur, thread)`` tuples
+        #: (tracing only); each worker thread's ident is its trace track
+        self.shard_times: list = []
         self._state = None
         self._pool: ThreadPoolExecutor | None = None
 
@@ -142,18 +169,40 @@ class ThreadBackend:
         return self._pool is not None
 
     def dispatch(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
+        tracer = self.tracer
         if self._pool is None and (len(shards) <= 1 or self.n_jobs == 1):
             self.ran_serially = True
-            return [self._state.run_shard(s, payload) for s in shards]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.n_jobs)
-            self.pools_created += 1
-        try:
-            return list(
-                self._pool.map(
-                    lambda s: self._state.run_shard(s, payload), shards
-                )
+            if not tracer.enabled:
+                return [self._state.run_shard(s, payload) for s in shards]
+            return _run_timed_serial(
+                self._state, payload, shards, self.shard_times
             )
+        if self._pool is None:
+            with tracer.span(
+                "pool_create", cat="session", backend=self.name,
+                workers=self.n_jobs,
+            ):
+                self._pool = ThreadPoolExecutor(max_workers=self.n_jobs)
+            self.pools_created += 1
+        if tracer.enabled:
+            self.shard_times.clear()
+            times = self.shard_times
+
+            def run(s):
+                start = clock()
+                result = self._state.run_shard(s, payload)
+                # list.append is GIL-atomic; each worker thread's ident
+                # becomes its trace track
+                times.append(
+                    (s.shard_id, start, clock() - start,
+                     threading.get_ident())
+                )
+                return result
+        else:
+            def run(s):
+                return self._state.run_shard(s, payload)
+        try:
+            return list(self._pool.map(run, shards))
         finally:
             if not self.persistent:
                 self._shutdown_pool()
@@ -236,8 +285,17 @@ def _worker_teardown() -> None:
 def _worker_run(task) -> ShardResult:
     """Run one shard: install the task's dispatch payload (first task of
     a dispatch to reach this worker pays it; the rest hit the cache),
-    then execute against the session-static snapshot."""
-    dispatch_id, ship, shard = task
+    then execute against the session-static snapshot.
+
+    Tasks are 3-tuples ``(dispatch_id, ship, shard)`` — or, only when
+    the driver is tracing, 4-tuples whose extra flag asks the worker to
+    time ``run_shard`` and return ``(result, (shard_id, start, dur,
+    pid))`` so the driver can merge per-shard worker spans.  Untraced
+    dispatches keep the exact 3-tuple wire format (and bare-result
+    returns) they had before tracing existed.
+    """
+    timed = len(task) == 4
+    dispatch_id, ship, shard = task[0], task[1], task[2]
     if _WORKER_STATE is None:  # pragma: no cover - initializer always ran
         raise CleaningError("process worker used before initialisation")
     global _WORKER_PAYLOAD
@@ -249,7 +307,11 @@ def _worker_run(task) -> ShardResult:
         else:
             payload, segment = pickle.loads(data), None
         _WORKER_PAYLOAD = (dispatch_id, payload, segment)
-    return _WORKER_STATE.run_shard(shard, _WORKER_PAYLOAD[1])
+    if not timed:
+        return _WORKER_STATE.run_shard(shard, _WORKER_PAYLOAD[1])
+    start = clock()
+    result = _WORKER_STATE.run_shard(shard, _WORKER_PAYLOAD[1])
+    return result, (shard.shard_id, start, clock() - start, os.getpid())
 
 
 class ProcessBackend:
@@ -257,8 +319,19 @@ class ProcessBackend:
 
     name = "process"
 
-    def __init__(self, n_jobs: int, use_shm: bool = True, persistent: bool = True):
+    def __init__(
+        self,
+        n_jobs: int,
+        use_shm: bool = True,
+        persistent: bool = True,
+        tracer=NULL_TRACER,
+    ):
         self.n_jobs = max(1, n_jobs)
+        self.tracer = tracer
+        #: last dispatch's ``(shard_id, start, dur, pid)`` tuples
+        #: (tracing only) — worker-reported for pool dispatches,
+        #: driver-timed on the serial/degraded paths
+        self.shard_times: list = []
         #: whether to attempt the shared-memory transport at all (tests
         #: force the pickle path by passing False)
         self.use_shm = use_shm
@@ -303,7 +376,9 @@ class ProcessBackend:
 
     def _serial(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
         self.ran_serially = True
-        return [self._state.run_shard(s, payload) for s in shards]
+        if not self.tracer.enabled:
+            return [self._state.run_shard(s, payload) for s in shards]
+        return _run_timed_serial(self._state, payload, shards, self.shard_times)
 
     def _ensure_pool(self, n_shards: int) -> None:
         """Spawn the pool and ship the static snapshot (once per healthy
@@ -311,14 +386,21 @@ class ProcessBackend:
         the error propagates to :meth:`dispatch`'s fallback."""
         if self._pool is not None:
             return
-        snapshot = shm_transport.pack(self._state) if self.use_shm else None
-        if snapshot is not None:
-            self.shm_used = True
-            self.shm_bytes = snapshot.array_bytes
-            initializer, initargs = _worker_init_shm, (snapshot.shell,)
-        else:
-            blob = pickle.dumps(self._state, protocol=pickle.HIGHEST_PROTOCOL)
-            initializer, initargs = _worker_init, (blob,)
+        with self.tracer.span("snapshot_ship", cat="session") as ship_span:
+            snapshot = shm_transport.pack(self._state) if self.use_shm else None
+            if snapshot is not None:
+                self.shm_used = True
+                self.shm_bytes = snapshot.array_bytes
+                initializer, initargs = _worker_init_shm, (snapshot.shell,)
+                ship_span.add(transport="shm", bytes=snapshot.array_bytes)
+                self.tracer.add_counter("snapshot_bytes", snapshot.array_bytes)
+            else:
+                blob = pickle.dumps(
+                    self._state, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                initializer, initargs = _worker_init, (blob,)
+                ship_span.add(transport="pickle", bytes=len(blob))
+                self.tracer.add_counter("snapshot_bytes", len(blob))
         # A persistent pool outlives this dispatch, and later chunks may
         # plan far more shards than the first — size it by the session's
         # worker budget, not this dispatch's shard count (which only
@@ -330,11 +412,15 @@ class ProcessBackend:
             else min(self.n_jobs, max(n_shards, 1))
         )
         try:
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=initializer,
-                initargs=initargs,
-            )
+            with self.tracer.span(
+                "pool_create", cat="session", backend=self.name,
+                workers=workers,
+            ):
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=initializer,
+                    initargs=initargs,
+                )
         except BaseException:
             if snapshot is not None:
                 snapshot.release()
@@ -373,6 +459,24 @@ class ProcessBackend:
                     "blob",
                     pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
                 )
+            self.tracer.add_counter(
+                "payload_bytes",
+                packed.array_bytes if packed is not None else len(ship[1]),
+            )
+            if self.tracer.enabled:
+                # 4-tuple tasks ask workers to time run_shard and pair
+                # each result with a (shard_id, start, dur, pid) tuple;
+                # untraced dispatches keep the 3-tuple wire format.
+                tasks = [
+                    (self._dispatch_seq, ship, shard, True)
+                    for shard in shards
+                ]
+                self.shard_times.clear()
+                results = []
+                for result, timing in self._pool.map(_worker_run, tasks):
+                    results.append(result)
+                    self.shard_times.append(timing)
+                return results
             tasks = [(self._dispatch_seq, ship, shard) for shard in shards]
             return list(self._pool.map(_worker_run, tasks))
         except (OSError, BrokenExecutor):
@@ -385,6 +489,9 @@ class ProcessBackend:
             # the session and let the engine report it.
             self.pool_broken = self._pool is not None
             self.fell_back = True
+            self.tracer.instant(
+                "pool_fallback", cat="session", pool_broken=self.pool_broken
+            )
             self._teardown_pool()
             # Reset the shm diagnostics *together*: after a fallback no
             # shared memory is in play, so `shm: false` must not be
@@ -419,7 +526,11 @@ class ProcessBackend:
 
 
 def get_backend(
-    name: str, n_jobs: int, use_shm: bool = True, persistent: bool = True
+    name: str,
+    n_jobs: int,
+    use_shm: bool = True,
+    persistent: bool = True,
+    tracer=NULL_TRACER,
 ) -> SerialBackend | ThreadBackend | ProcessBackend:
     """Instantiate the backend selected by ``BCleanConfig.executor``.
 
@@ -428,11 +539,13 @@ def get_backend(
     cost estimate, which only the call site has).
     """
     if name == "serial":
-        return SerialBackend()
+        return SerialBackend(tracer=tracer)
     if name == "thread":
-        return ThreadBackend(n_jobs, persistent=persistent)
+        return ThreadBackend(n_jobs, persistent=persistent, tracer=tracer)
     if name == "process":
-        return ProcessBackend(n_jobs, use_shm=use_shm, persistent=persistent)
+        return ProcessBackend(
+            n_jobs, use_shm=use_shm, persistent=persistent, tracer=tracer
+        )
     raise CleaningError(
         f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}"
     )

@@ -219,9 +219,25 @@ def run_fit_job(
         # idling them (mirrors the stream driver's sticky resolution).
         resolved = "process"
     try:
-        results = session.dispatch(
-            resolved, FitTasks(tuple(pair_tasks), tuple(cpt_tasks)), plan.shards
-        )
+        # The job span wraps the dispatch (which the session nests its
+        # own dispatch + shard spans inside) and carries the task mix,
+        # so pair builds and per-node count passes are separable in the
+        # trace; the counters make them visible in profile() too.
+        with session.tracer.span(
+            "fit.job",
+            cat="fit",
+            pair_tasks=len(pair_tasks),
+            cpt_tasks=len(cpt_tasks),
+            backend=resolved,
+            n_shards=plan.n_shards,
+        ):
+            results = session.dispatch(
+                resolved,
+                FitTasks(tuple(pair_tasks), tuple(cpt_tasks)),
+                plan.shards,
+            )
+        session.tracer.add_counter("fit_pair_tasks", len(pair_tasks))
+        session.tracer.add_counter("fit_cpt_tasks", len(cpt_tasks))
         backend = session.backend(resolved)
     finally:
         if own_session:

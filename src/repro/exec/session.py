@@ -54,6 +54,7 @@ from repro.errors import CleaningError
 from repro.exec.backends import get_backend
 from repro.exec.cache import CompetitionCache
 from repro.exec.planner import Shard
+from repro.obs import NULL_TRACER
 
 
 class ExecSession:
@@ -75,6 +76,11 @@ class ExecSession:
         The session's cross-chunk competition memo, or ``None`` when
         the job stream cannot reuse results (whole-table cleans, fit
         jobs) or the cache is disabled.
+    tracer:
+        The observability tracer the session's dispatches report to;
+        the default :data:`~repro.obs.NULL_TRACER` keeps every path
+        no-op (and keeps untraced dispatch payloads byte-identical to
+        a build without tracing).
     """
 
     def __init__(
@@ -84,12 +90,14 @@ class ExecSession:
         persistent: bool = True,
         use_shm: bool = True,
         competition_cache: CompetitionCache | None = None,
+        tracer=NULL_TRACER,
     ):
         self.state = state
         self.n_jobs = max(1, n_jobs)
         self.persistent = persistent
         self.use_shm = use_shm
         self.competition_cache = competition_cache
+        self.tracer = tracer
         self._backends: dict[str, object] = {}
         self._closed = False
 
@@ -107,6 +115,7 @@ class ExecSession:
                 self.n_jobs,
                 use_shm=self.use_shm,
                 persistent=self.persistent,
+                tracer=self.tracer,
             )
             backend.open(self.state)
             self._backends[name] = backend
@@ -120,10 +129,30 @@ class ExecSession:
         return bool(backend is not None and getattr(backend, "is_warm", False))
 
     def dispatch(self, name: str, payload, shards: Sequence[Shard]) -> list:
-        """Run one planned job on the ``name`` backend's warm workers."""
+        """Run one planned job on the ``name`` backend's warm workers.
+
+        When tracing is enabled the dispatch is wrapped in a
+        ``dispatch`` span and the backend's per-shard timings (worker
+        reported for process pools, driver timed otherwise) are merged
+        into the trace, clamped to the dispatch window.
+        """
         if self._closed:
             raise CleaningError("ExecSession is closed")
-        return self.backend(name).dispatch(payload, shards)
+        backend = self.backend(name)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return backend.dispatch(payload, shards)
+        with tracer.span(
+            "dispatch", cat="exec", backend=name, n_shards=len(shards)
+        ) as span:
+            results = backend.dispatch(payload, shards)
+        tracer.add_worker_spans(
+            "shard",
+            getattr(backend, "shard_times", ()),
+            lo=span.start,
+            hi=span.start + span.seconds,
+        )
+        return results
 
     def close(self) -> None:
         """Join every pool and release every segment (idempotent).

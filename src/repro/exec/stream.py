@@ -105,6 +105,7 @@ from repro.exec.planner import (
 )
 from repro.exec.session import ExecSession
 from repro.exec.state import ChunkView, FitState
+from repro.obs import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import BClean
@@ -280,12 +281,13 @@ class StreamDriver:
     engine folds into its :class:`~repro.core.repairs.CleaningResult`.
     """
 
-    def __init__(self, engine: "BClean", scorer):
+    def __init__(self, engine: "BClean", scorer, tracer=NULL_TRACER):
         self.engine = engine
         self.cfg = engine.config
         self.enc = engine._encoding
         self.names: list[str] = list(engine.table.schema.names)
         self.scorer = scorer
+        self.tracer = tracer
         self.n_jobs = self.cfg.n_jobs or os.cpu_count() or 1
         # per-clean lazy caches for fitted-table chunking
         self._fitted_matrix: np.ndarray | None = None
@@ -606,6 +608,7 @@ class StreamDriver:
                 self.n_jobs,
                 persistent=self.cfg.persistent_pool,
                 competition_cache=self._cache,
+                tracer=self.tracer,
             )
         return self._session
 
@@ -616,9 +619,13 @@ class StreamDriver:
             return
         self.pools_created = self._session.pools_created
         self.snapshot_ships = self._session.snapshot_ships
-        self._session.close()
+        with self.tracer.span("session_close", cat="session"):
+            self._session.close()
 
-    def execute(self, planned: PlannedChunk, stats: CleaningStats) -> ChunkDecisions:
+    def dispatch_chunk(self, planned: PlannedChunk) -> list:
+        """The execute stage proper: pack the chunk view and run the
+        planned shards on the session's backend (an all-cache-hit chunk
+        dispatches nothing)."""
         cfg = self.cfg
         engine = self.engine
         names = self.names
@@ -639,6 +646,21 @@ class StreamDriver:
             # every competition of this chunk was answered from the
             # session cache — nothing to ship, no pool gets created
             results = []
+        self.total_shards += planned.plan.n_shards
+        self.backend_counts[planned.executor] = (
+            self.backend_counts.get(planned.executor, 0) + 1
+        )
+        self.flags.update(session.flags())
+        if session.shm_used:
+            self.shm_used = True
+        return results
+
+    def merge_chunk(
+        self, planned: PlannedChunk, results: list, stats: CleaningStats
+    ) -> ChunkDecisions:
+        """The merge stage: scatter shard results (and cache hits) into
+        decision buffers, then feed fresh outcomes to the session
+        cache."""
         merged = merge_shard_results(
             results,
             len(planned.uniq_rows),
@@ -647,18 +669,15 @@ class StreamDriver:
         )
         if self._cache is not None:
             self._insert_results(planned, results)
-
         stats.candidates_evaluated += merged.candidates_evaluated
         stats.candidates_filtered_uc += merged.candidates_filtered_uc
         self.competitions_run += merged.n_competitions + merged.n_cached
-        self.total_shards += planned.plan.n_shards
-        self.backend_counts[planned.executor] = (
-            self.backend_counts.get(planned.executor, 0) + 1
-        )
-        self.flags.update(session.flags())
-        if session.shm_used:
-            self.shm_used = True
         return ChunkDecisions(planned, merged)
+
+    def execute(self, planned: PlannedChunk, stats: CleaningStats) -> ChunkDecisions:
+        """Execute + merge in one call (the pipeline's ``run`` keeps the
+        stages apart so each gets its own trace span)."""
+        return self.merge_chunk(planned, self.dispatch_chunk(planned), stats)
 
     def _insert_results(self, planned: PlannedChunk, results) -> None:
         """Insert the chunk's freshly computed competition outcomes into
@@ -720,26 +739,62 @@ class StreamDriver:
         are processed strictly one at a time, so peak memory is one
         block plus the frozen fit statistics.  The execution session —
         worker pool, shipped snapshot — spans all chunks and is closed
-        (workers joined, segments released) at emit-end."""
+        (workers joined, segments released) at emit-end.
+
+        Each stage of each chunk runs under its own trace span (a no-op
+        with tracing disabled); the plan span carries the chunk's cache
+        probe/hit deltas, so per-chunk cache effectiveness is readable
+        straight off the trace.
+        """
         self.incremental = not fitted
         m = len(self.names)
         per_chunk: list[list[Repair]] = []
+        tracer = self.tracer
+        it = iter(chunks)
         try:
-            for chunk in chunks:
+            while True:
+                # ingest is the pull itself: for CSV streams this span
+                # is the disk read + parse of the next block
+                with tracer.span("ingest", cat="stream"):
+                    chunk = next(it, None)
+                if chunk is None:
+                    break
                 if chunk.n_rows == 0:
                     continue
                 self.n_chunks += 1
                 stats.cells_total += chunk.n_rows * m
                 if m == 0:
                     continue
-                encoded = self.encode(chunk, fitted)
-                detected = self.detect(encoded, stats)
-                planned = self.plan(detected)
-                decisions = self.execute(planned, stats)
-                per_chunk.append(self.emit(decisions, sink))
+                with tracer.span("encode", cat="stream", chunk=chunk.index):
+                    encoded = self.encode(chunk, fitted)
+                with tracer.span("detect", cat="stream", chunk=chunk.index):
+                    detected = self.detect(encoded, stats)
+                with tracer.span("plan", cat="stream", chunk=chunk.index) as span:
+                    hits0, misses0 = self._cache_counts()
+                    planned = self.plan(detected)
+                    if self._cache is not None:
+                        hits1, misses1 = self._cache_counts()
+                        span.add(
+                            cache_probes=(hits1 - hits0) + (misses1 - misses0),
+                            cache_hits=hits1 - hits0,
+                        )
+                with tracer.span(
+                    "execute", cat="stream", chunk=chunk.index,
+                    backend=planned.executor,
+                    n_shards=planned.plan.n_shards,
+                ):
+                    results = self.dispatch_chunk(planned)
+                with tracer.span("merge", cat="stream", chunk=chunk.index):
+                    decisions = self.merge_chunk(planned, results, stats)
+                with tracer.span("emit", cat="stream", chunk=chunk.index):
+                    per_chunk.append(self.emit(decisions, sink))
         finally:
             self._close_session()
         return concat_chunk_repairs(per_chunk)
+
+    def _cache_counts(self) -> tuple[int, int]:
+        cache = self._cache
+        return (cache.hits, cache.misses) if cache is not None else (0, 0)
 
     def clean_table(
         self,
@@ -788,8 +843,16 @@ class StreamDriver:
             "n_shards": self.total_shards,
             "incremental_encoding": self.incremental,
         }
-        if requested == "auto" and self.n_chunks == 1:
-            diag["resolved"] = next(iter(self.backend_counts), "serial")
+        if requested == "auto":
+            # Report the stream's sticky resolution, chunked or not: a
+            # stream that ever went to process stays there (the pool is
+            # warm), so that is its resolved backend even if early
+            # cheap chunks ran serial before the estimate crossed the
+            # threshold.
+            if self._auto_process or "process" in self.backend_counts:
+                diag["resolved"] = "process"
+            else:
+                diag["resolved"] = next(iter(self.backend_counts), "serial")
         diag.update(self.flags)
         if self.shm_used:
             diag["shm"] = True

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+
+from repro.obs import Span
 
 from repro.experiments import (
     ablations,
@@ -82,10 +83,10 @@ def main(argv: list[str] | None = None) -> int:
 
     names = list(DRIVERS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        start = time.perf_counter()
-        print(f"=== {name} ===")
-        print(DRIVERS[name](sizes))
-        print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
+        with Span("experiment", args={"name": name}) as span:
+            print(f"=== {name} ===")
+            print(DRIVERS[name](sizes))
+        print(f"[{name}: {span.seconds:.1f}s]\n")
     return 0
 
 

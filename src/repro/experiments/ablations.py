@@ -12,7 +12,6 @@ on our substrate:
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
 from typing import Sequence
 
@@ -22,14 +21,14 @@ from repro.core.engine import BClean
 from repro.data.benchmark import load_benchmark
 from repro.evaluation.metrics import evaluate_repairs
 from repro.evaluation.reporting import render_table
+from repro.obs import Span
 
 
 def _measure(config: BCleanConfig, instance) -> dict:
-    start = time.perf_counter()
-    engine = BClean(config, instance.constraints)
-    engine.fit(instance.dirty, dag=instance.user_network())
-    result = engine.clean()
-    elapsed = time.perf_counter() - start
+    with Span("ablation.measure") as span:
+        engine = BClean(config, instance.constraints)
+        engine.fit(instance.dirty, dag=instance.user_network())
+        result = engine.clean()
     q = evaluate_repairs(
         instance.dirty, result.cleaned, instance.clean, instance.error_cells
     )
@@ -37,7 +36,7 @@ def _measure(config: BCleanConfig, instance) -> dict:
         "precision": round(q.precision, 3),
         "recall": round(q.recall, 3),
         "f1": round(q.f1, 3),
-        "seconds": round(elapsed, 2),
+        "seconds": round(span.seconds, 2),
         "cells_skipped": result.stats.cells_skipped_pruning,
         "candidates": result.stats.candidates_evaluated,
     }
@@ -75,11 +74,10 @@ def structure_ablation(
     rows = []
     for learner in ("fdx", "hillclimb", "chowliu", "pc", "mmhc"):
         config = BCleanConfig.pi(structure=learner)
-        start = time.perf_counter()
-        engine = BClean(config, inst.constraints)
-        engine.fit(inst.dirty)  # no user network: compare raw learners
-        result = engine.clean()
-        elapsed = time.perf_counter() - start
+        with Span("ablation.structure", args={"learner": learner}) as span:
+            engine = BClean(config, inst.constraints)
+            engine.fit(inst.dirty)  # no user network: compare raw learners
+            result = engine.clean()
         q = evaluate_repairs(
             inst.dirty, result.cleaned, inst.clean, inst.error_cells
         )
@@ -90,7 +88,7 @@ def structure_ablation(
                 "precision": round(q.precision, 3),
                 "recall": round(q.recall, 3),
                 "f1": round(q.f1, 3),
-                "seconds": round(elapsed, 2),
+                "seconds": round(span.seconds, 2),
             }
         )
     return rows

@@ -10,7 +10,6 @@ variant, so the divergence is measurable at laptop scale.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from repro.core.config import BCleanConfig
@@ -18,6 +17,7 @@ from repro.core.engine import BClean
 from repro.data.benchmark import load_benchmark
 from repro.evaluation.metrics import evaluate_repairs
 from repro.evaluation.reporting import render_table
+from repro.obs import Span
 
 def _basic_reference(**kwargs) -> BCleanConfig:
     """The paper's naive engine: full-joint scoring on the scalar path.
@@ -71,11 +71,10 @@ def run(
                 config = VARIANTS[name]()
             else:
                 config = VARIANTS[name](executor=executor, n_jobs=n_jobs)
-            start = time.perf_counter()
-            engine = BClean(config, instance.constraints)
-            engine.fit(instance.dirty, dag=instance.user_network())
-            result = engine.clean()
-            elapsed = time.perf_counter() - start
+            with Span("scaling.run", args={"variant": name}) as span:
+                engine = BClean(config, instance.constraints)
+                engine.fit(instance.dirty, dag=instance.user_network())
+                result = engine.clean()
             quality = evaluate_repairs(
                 instance.dirty,
                 result.cleaned,
@@ -86,7 +85,7 @@ def run(
                 {
                     "variant": name,
                     "n_rows": n_rows,
-                    "seconds": round(elapsed, 3),
+                    "seconds": round(span.seconds, 3),
                     "f1": round(quality.f1, 3),
                     "cells_skipped": result.stats.cells_skipped_pruning,
                     "candidates": result.stats.candidates_evaluated,

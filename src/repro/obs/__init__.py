@@ -1,0 +1,53 @@
+"""Observability: the tracing + metrics substrate of the exec stack.
+
+Every layer of the cleaning pipeline — the seven streaming stages, the
+session-scoped backends and their worker shards, the sharded fit jobs,
+the structure-learning phases — reports wall-clock through one
+:class:`~repro.obs.tracer.Tracer` of nested monotonic-clock spans and
+counters.  Two exporters read it:
+
+- :meth:`Tracer.chrome_trace` / :meth:`Tracer.write` emit Chrome
+  trace-event JSON (load it at https://ui.perfetto.dev or
+  ``chrome://tracing``): driver stages on one track, each worker's
+  shard spans on its own, so stragglers and pool warm-up are visible
+  at a glance;
+- :meth:`Tracer.profile` aggregates the same spans into the
+  ``diagnostics["profile"]`` block (per-stage wall seconds, shard-time
+  min/max/imbalance, bytes shipped) that benchmarks and future serving
+  code read as one schema.
+
+Tracing is **off by default** and free when off: the disabled tracer is
+the shared :data:`NULL_TRACER` singleton whose ``span()`` returns one
+reusable no-op context manager — no per-call allocation, no state — and
+nothing tracing-related ever rides a dispatch payload, so disabled-mode
+pickles are byte-identical to an untraced build.  Enabling tracing
+(``BCleanConfig.trace`` / ``profile``, ``BClean.clean(trace=...)``,
+``--trace``) changes observability only: repairs stay byte-identical.
+
+The module is a leaf — it imports nothing from :mod:`repro` — so any
+layer (``core``, ``exec``, ``bayesnet``, ``evaluation``) can depend on
+it without cycles.  :func:`clock` is the single monotonic clock every
+reported duration comes from.
+"""
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.tracer import (
+    DRIVER_TID,
+    NULL_TRACER,
+    STAGES,
+    NullTracer,
+    Span,
+    Tracer,
+    clock,
+)
+
+__all__ = [
+    "DRIVER_TID",
+    "NULL_TRACER",
+    "STAGES",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "clock",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,37 @@
+"""``python -m repro.obs validate trace.json`` — trace file validation.
+
+Exit status 0 when every named file passes
+:func:`repro.obs.export.validate_chrome_trace`, 1 otherwise (problems
+printed one per line).  CI uses this to gate the traced smoke's
+artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import validate_chrome_trace_file
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate", help="validate Chrome trace-event JSON files")
+    val.add_argument("paths", nargs="+", help="trace file(s) to validate")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.paths:
+        problems = validate_chrome_trace_file(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Chrome trace-event schema validation.
+
+CI runs a traced smoke and validates the emitted file with
+:func:`validate_chrome_trace` before uploading it as an artifact; the
+same checks back the nesting assertions in the test suite.  The
+validator enforces the structural subset this repo emits (``X``
+complete events, ``M`` metadata, ``C`` counters, instants) plus the
+invariant the viewer relies on to draw a sensible flame chart: on any
+one ``(pid, tid)`` track, complete events nest — each event either
+follows the previous one or sits fully inside it.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: event phases this repo emits
+_PHASES = {"X", "M", "C", "i", "I"}
+
+#: slack (µs) for the 3-decimal rounding of exported timestamps
+_EPS = 0.01
+
+
+def validate_chrome_trace(obj) -> list[str]:
+    """Return a list of problems with ``obj`` as a Chrome trace
+    (empty = valid).
+
+    Checks the container shape, the per-event required fields, and
+    per-track nesting of ``"X"`` events (end ≥ start; every event
+    either starts at/after the enclosing event's end or ends within
+    it).
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        return ["top level must be an object with a 'traceEvents' list"]
+    tracks: dict[tuple, list[tuple]] = {}
+    for index, event in enumerate(obj["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing/empty 'name'")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: '{field}' must be an int")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a number >= 0")
+            continue
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'dur' must be a number >= 0")
+                continue
+            tracks.setdefault((event.get("pid"), event.get("tid")), []).append(
+                (ts, ts + dur, event["name"], index)
+            )
+    for (pid, tid), spans in tracks.items():
+        # stack check: sorted by start (longest first on ties), every
+        # span must fit inside whatever span is open above it
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple] = []
+        for ts, end, name, index in spans:
+            while stack and ts >= stack[-1][1] - _EPS:
+                stack.pop()
+            if stack and end > stack[-1][1] + _EPS:
+                problems.append(
+                    f"traceEvents[{index}]: '{name}' (tid {tid}) overlaps "
+                    f"'{stack[-1][2]}' without nesting "
+                    f"([{ts}, {end}] vs [{stack[-1][0]}, {stack[-1][1]}])"
+                )
+                continue
+            stack.append((ts, end, name, index))
+    return problems
+
+
+def validate_chrome_trace_file(path) -> list[str]:
+    """:func:`validate_chrome_trace` over a JSON file on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            obj = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_chrome_trace(obj)

@@ -1,0 +1,353 @@
+"""The tracer: nested monotonic-clock spans, counters, and aggregation.
+
+Design constraints (they shaped every decision here):
+
+- **Free when off.**  The disabled default is :data:`NULL_TRACER`, a
+  shared singleton whose ``span()`` hands back one module-level no-op
+  context manager — no allocation per call, no branches in worker
+  kernels, and nothing tracing-related on any dispatch payload, so the
+  bytes a disabled-mode dispatch pickles are identical to a build
+  without tracing at all.
+- **One clock.**  :func:`clock` (``time.perf_counter``) is the
+  monotonic clock behind every span, the engine's
+  :class:`~repro.core.repairs.Stopwatch`, and the experiment timers —
+  so a stage breakdown and the wall-clock it must sum to can never
+  come from different clocks.  On Linux ``perf_counter`` reads the
+  system-wide ``CLOCK_MONOTONIC``, which is why worker-process shard
+  timestamps line up with driver spans; they are additionally clamped
+  into their dispatch window (:meth:`Tracer.add_worker_spans`) so the
+  exported trace nests correctly even where the epochs drift.
+- **Worker timing travels as data, not objects.**  Workers never see
+  the tracer; a timed dispatch returns compact
+  ``(shard_id, start, dur, worker)`` tuples alongside each result and
+  the driver merges them — the only direction that grows is
+  worker→driver, never the dispatch payload.
+
+Spans are recorded on ``__exit__`` as flat complete events (the Chrome
+trace-event model): nesting is implied by time containment per track,
+so there is no tree to maintain and a crashed stage still records
+everything that finished before it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Iterable, Sequence
+
+#: the single monotonic clock every reported duration comes from
+clock = time.perf_counter
+
+#: trace track (Chrome ``tid``) of the driver's pipeline spans; worker
+#: shard spans ride their own per-worker tracks
+DRIVER_TID = 1
+
+#: the seven streaming pipeline stages, in order — the span names
+#: :meth:`Tracer.profile` folds into ``profile["stages"]``
+STAGES = ("ingest", "encode", "detect", "plan", "execute", "merge", "emit")
+
+
+class Span:
+    """One timed region on the shared clock.
+
+    Usable bound to a tracer (``tracer.span(...)`` records it on exit)
+    or standalone (``with Span("x") as sp: ...; sp.seconds``) — the
+    standalone form is what the experiment drivers use in place of
+    their old ad-hoc ``perf_counter()`` pairs, so every duration in the
+    repo reads the same clock through the same API.
+    """
+
+    __slots__ = ("name", "cat", "args", "start", "seconds", "_tracer", "_root")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str = "clean",
+        tracer: "Tracer | None" = None,
+        root: bool = False,
+        args: dict | None = None,
+    ):
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start = 0.0
+        self.seconds = 0.0
+        self._tracer = tracer
+        self._root = root
+
+    def add(self, **args) -> None:
+        """Attach key/value annotations (e.g. the plan stage's cache
+        probe/hit counts) to the span before it closes."""
+        if self.args is None:
+            self.args = {}
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        self.start = clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds = clock() - self.start
+        if self._tracer is not None:
+            self._tracer._record(self)
+        return False
+
+
+class _NullSpan:
+    """The shared do-nothing span: one instance serves every disabled
+    call site."""
+
+    __slots__ = ()
+    name = ""
+    start = 0.0
+    seconds = 0.0
+
+    def add(self, **args) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: a stateless singleton of no-ops.
+
+    ``enabled`` is the one attribute call sites may branch on when
+    even building a span's kwargs would be wasteful (worker timing,
+    payload byte counting).
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, cat: str = "clean", root: bool = False, **args):
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "clean", **args) -> None:
+        pass
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def add_worker_spans(self, name, times, lo, hi, cat: str = "exec") -> None:
+        pass
+
+    def mark(self) -> int:
+        return 0
+
+    def profile(self, since: int = 0) -> dict:
+        return {}
+
+
+#: the shared disabled tracer — every layer's default
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans, instants, worker shard timings, and counters.
+
+    Events are appended in completion order; :meth:`mark` returns a
+    checkpoint so one tracer can span ``fit()`` plus several
+    ``clean()``s and still aggregate each clean's profile separately
+    (the exported Chrome trace always carries everything).
+    """
+
+    enabled = True
+
+    def __init__(self):
+        #: clock value all exported timestamps are relative to
+        self.t0 = clock()
+        #: flat event dicts: name/cat/tid/start/dur/args/shard
+        self._events: list[dict] = []
+        #: accumulated named counters (e.g. ``snapshot_bytes``)
+        self.counters: dict[str, float] = {}
+        self._root_index: int | None = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(
+        self, name: str, cat: str = "clean", root: bool = False, **args
+    ) -> Span:
+        """A new driver-track span, recorded when its ``with`` exits."""
+        return Span(name, cat, tracer=self, root=root, args=args or None)
+
+    def _record(self, span: Span) -> None:
+        if span._root:
+            self._root_index = len(self._events)
+        self._events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "tid": DRIVER_TID,
+                "start": span.start,
+                "dur": span.seconds,
+                "args": span.args,
+                "shard": False,
+            }
+        )
+
+    def instant(self, name: str, cat: str = "clean", **args) -> None:
+        """A zero-duration marker (e.g. a broken-pool fallback)."""
+        self._events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "tid": DRIVER_TID,
+                "start": clock(),
+                "dur": 0.0,
+                "args": args or None,
+                "shard": False,
+            }
+        )
+
+    def add_counter(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a named counter (summed; exported on the root
+        span and in ``profile()["counters"]``)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def add_worker_spans(
+        self,
+        name: str,
+        times: Iterable[Sequence],
+        lo: float,
+        hi: float,
+        cat: str = "exec",
+    ) -> None:
+        """Merge a dispatch's worker-side ``(shard_id, start, dur,
+        worker)`` tuples, clamped into the dispatch window ``[lo, hi]``
+        so the trace nests even where a worker's clock epoch drifts
+        from the driver's."""
+        for shard_id, start, dur, worker in times:
+            start = min(max(start, lo), hi)
+            end = min(max(start + dur, start), hi)
+            self._events.append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "tid": int(worker),
+                    "start": start,
+                    "dur": end - start,
+                    "args": {"shard_id": int(shard_id)},
+                    "shard": True,
+                }
+            )
+
+    def mark(self) -> int:
+        """Checkpoint: events recorded so far (pass to ``profile``)."""
+        return len(self._events)
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def profile(self, since: int = 0) -> dict:
+        """The ``diagnostics["profile"]`` block over events after
+        ``since``: per-stage wall seconds, every span name's aggregate,
+        shard-time spread, bytes shipped, and the raw counters."""
+        spans: dict[str, dict] = {}
+        shard_durs: list[float] = []
+        for event in self._events[since:]:
+            if event["shard"]:
+                shard_durs.append(event["dur"])
+                continue
+            agg = spans.setdefault(
+                event["name"], {"count": 0, "seconds": 0.0}
+            )
+            agg["count"] += 1
+            agg["seconds"] += event["dur"]
+        out: dict = {
+            "stages": {
+                name: round(spans[name]["seconds"], 6)
+                for name in STAGES
+                if name in spans
+            },
+            "spans": {
+                name: {"count": agg["count"], "seconds": round(agg["seconds"], 6)}
+                for name, agg in sorted(spans.items())
+            },
+        }
+        if shard_durs:
+            mean = sum(shard_durs) / len(shard_durs)
+            out["shards"] = {
+                "n": len(shard_durs),
+                "min_s": round(min(shard_durs), 6),
+                "max_s": round(max(shard_durs), 6),
+                "mean_s": round(mean, 6),
+                "imbalance": round(max(shard_durs) / mean, 3) if mean > 0 else 1.0,
+            }
+        out["bytes_shipped"] = int(
+            self.counters.get("snapshot_bytes", 0)
+            + self.counters.get("payload_bytes", 0)
+        )
+        out["counters"] = {k: v for k, v in sorted(self.counters.items())}
+        return out
+
+    # -- export ---------------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The Chrome trace-event JSON object (Perfetto-loadable).
+
+        Driver spans become complete (``"X"``) events on the driver
+        track; each worker's shard spans land on a track named after
+        it; counters ride the root span's args and one ``"C"`` event
+        each, so they chart in the trace viewer too.
+        """
+        pid = os.getpid()
+        events: list[dict] = [
+            _meta(pid, 0, "process_name", "bclean"),
+            _meta(pid, DRIVER_TID, "thread_name", "driver"),
+        ]
+        worker_tids: set[int] = set()
+        end_us = 0.0
+        for index, event in enumerate(self._events):
+            ts = round((event["start"] - self.t0) * 1e6, 3)
+            dur = round(event["dur"] * 1e6, 3)
+            end_us = max(end_us, ts + dur)
+            out = {
+                "ph": "X",
+                "name": event["name"],
+                "cat": event["cat"],
+                "pid": pid,
+                "tid": event["tid"],
+                "ts": ts,
+                "dur": dur,
+            }
+            args = dict(event["args"]) if event["args"] else {}
+            if index == self._root_index and self.counters:
+                args["counters"] = {
+                    k: v for k, v in sorted(self.counters.items())
+                }
+            if args:
+                out["args"] = args
+            if event["shard"]:
+                worker_tids.add(event["tid"])
+            events.append(out)
+        for tid in sorted(worker_tids - {DRIVER_TID}):
+            events.append(_meta(pid, tid, "thread_name", f"worker-{tid}"))
+        for name, value in sorted(self.counters.items()):
+            events.append(
+                {
+                    "ph": "C",
+                    "name": name,
+                    "pid": pid,
+                    "tid": DRIVER_TID,
+                    "ts": end_us,
+                    "args": {name: value},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        """Serialise :meth:`chrome_trace` to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1)
+            handle.write("\n")
+
+
+def _meta(pid: int, tid: int, kind: str, label: str) -> dict:
+    return {"ph": "M", "name": kind, "pid": pid, "tid": tid, "args": {"name": label}}

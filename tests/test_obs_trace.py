@@ -1,0 +1,370 @@
+"""Tracing must be free when off and invisible in the results when on.
+
+Off: the disabled default is a shared no-op singleton, dispatch tasks
+keep the exact pre-tracing 3-tuple wire format (byte-identical
+pickles), and diagnostics carry no ``profile`` key.  On: repairs stay
+byte-identical to the untraced run on every backend, the exported
+Chrome trace validates (every event nests inside its parent), all
+seven streaming stages appear once per chunk, and worker shard spans
+ride their own tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.core.repairs import Stopwatch
+from repro.data.benchmark import load_benchmark
+from repro.exec import backends as backends_mod
+from repro.exec.backends import ProcessBackend, SerialBackend, ThreadBackend
+from repro.exec.planner import Shard
+from repro.obs import (
+    DRIVER_TID,
+    NULL_TRACER,
+    STAGES,
+    Span,
+    Tracer,
+    validate_chrome_trace,
+)
+
+pytestmark = pytest.mark.fast
+
+
+def _sig(result):
+    return [
+        (r.row, r.attribute, r.old_value, r.new_value, r.old_score, r.new_score)
+        for r in result.repairs
+    ]
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return load_benchmark("hospital", n_rows=60, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine(hospital):
+    eng = BClean(BCleanConfig.pip(), hospital.constraints)
+    eng.fit(hospital.dirty)
+    return eng
+
+
+@pytest.fixture(scope="module")
+def reference(engine):
+    return engine.clean()
+
+
+def _traced_clean(engine, trace_path, chunk_rows=None, executor="serial"):
+    config = engine.config
+    saved = (config.chunk_rows, config.executor, config.n_jobs)
+    config.chunk_rows, config.executor, config.n_jobs = chunk_rows, executor, 2
+    try:
+        return engine.clean(trace=str(trace_path) if trace_path else None)
+    finally:
+        config.chunk_rows, config.executor, config.n_jobs = saved
+
+
+# -- tracer unit behaviour -----------------------------------------------------
+
+
+class TestTracerUnit:
+    def test_null_tracer_is_allocation_free(self):
+        assert NULL_TRACER.enabled is False
+        # one shared no-op span serves every disabled call site
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", cat="x", k=1)
+        assert NULL_TRACER.profile() == {}
+        assert NULL_TRACER.mark() == 0
+        NULL_TRACER.add_counter("n", 3)  # no state to mutate
+        NULL_TRACER.instant("x")
+        NULL_TRACER.add_worker_spans("s", [(0, 0.0, 1.0, 2)], lo=0.0, hi=1.0)
+
+    def test_standalone_span_times_even_on_exception(self):
+        span = Span("boom")
+        with pytest.raises(ValueError):
+            with span:
+                raise ValueError("x")
+        assert span.seconds >= 0.0
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.add_counter("bytes", 10)
+        tracer.add_counter("bytes", 5)
+        tracer.add_counter("hits")
+        assert tracer.counters == {"bytes": 15.0, "hits": 1.0}
+
+    def test_mark_scopes_profile(self):
+        tracer = Tracer()
+        with tracer.span("plan", cat="stream"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("execute", cat="stream"):
+            pass
+        profile = tracer.profile(since=mark)
+        assert "execute" in profile["stages"]
+        assert "plan" not in profile["stages"]
+        # the full-trace profile still sees both
+        assert set(tracer.profile()["stages"]) == {"plan", "execute"}
+
+    def test_worker_spans_clamped_into_dispatch_window(self):
+        tracer = Tracer()
+        with tracer.span("dispatch", cat="exec") as span:
+            pass
+        lo, hi = span.start, span.start + span.seconds
+        # start before the window, duration beyond it: both clamp
+        tracer.add_worker_spans(
+            "shard", [(7, lo - 100.0, 1e9, 42)], lo=lo, hi=hi
+        )
+        event = tracer._events[-1]
+        assert event["start"] >= lo
+        assert event["start"] + event["dur"] <= hi
+        assert event["tid"] == 42
+        assert event["args"] == {"shard_id": 7}
+
+    def test_chrome_trace_validates_and_carries_counters(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("clean", cat="clean", root=True):
+            with tracer.span("plan", cat="stream"):
+                pass
+        tracer.add_counter("snapshot_bytes", 123)
+        path = tmp_path / "t.json"
+        tracer.write(path)
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+        events = obj["traceEvents"]
+        root = next(e for e in events if e.get("name") == "clean")
+        assert root["args"]["counters"] == {"snapshot_bytes": 123.0}
+        assert any(e["ph"] == "C" for e in events)
+        names = {
+            e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert {"bclean", "driver"} <= names
+
+    def test_validator_flags_overlap(self):
+        bad = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0, "dur": 10},
+                {"ph": "X", "name": "b", "pid": 1, "tid": 1, "ts": 5, "dur": 10},
+            ]
+        }
+        assert validate_chrome_trace(bad)
+
+    def test_stopwatch_reports_counter(self):
+        tracer = Tracer()
+        with Stopwatch(tracer, "clean_seconds") as timer:
+            pass
+        assert timer.seconds >= 0.0
+        assert tracer.counters["clean_seconds"] == pytest.approx(timer.seconds)
+        with Stopwatch() as untraced:  # counterless form stays silent
+            pass
+        assert untraced.seconds >= 0.0
+
+
+# -- disabled mode: the wire format must not move ------------------------------
+
+
+class _EchoState:
+    """Minimal picklable stand-in for the session-static snapshot."""
+
+    def run_shard(self, shard, payload):
+        return (shard.shard_id, payload["x"])
+
+
+class _InProcessPool:
+    """ProcessPoolExecutor stand-in that runs the real worker entry
+    point in-process and keeps the exact pickled task stream."""
+
+    def __init__(self, max_workers=None, initializer=None, initargs=()):
+        self.pickles = []
+        if initializer is not None:
+            initializer(*initargs)
+
+    def map(self, fn, tasks):
+        tasks = list(tasks)
+        self.pickles.append(
+            pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        return [fn(t) for t in tasks]
+
+    def shutdown(self, wait=True):
+        pass
+
+
+@pytest.fixture
+def inproc_pools(monkeypatch):
+    created = []
+
+    def factory(max_workers=None, initializer=None, initargs=()):
+        pool = _InProcessPool(max_workers, initializer, initargs)
+        created.append(pool)
+        return pool
+
+    monkeypatch.setattr(backends_mod, "ProcessPoolExecutor", factory)
+    yield created
+    backends_mod._worker_teardown()
+
+
+def _shards(n=3):
+    return [Shard(i, 0, "attr", np.array([i]), 1.0) for i in range(n)]
+
+
+class TestDisabledWireFormat:
+    def test_default_tracer_is_the_shared_singleton(self):
+        assert SerialBackend().tracer is NULL_TRACER
+        assert ThreadBackend(2).tracer is NULL_TRACER
+        assert ProcessBackend(2).tracer is NULL_TRACER
+
+    def test_untraced_tasks_byte_identical_to_pre_tracing_pickles(
+        self, inproc_pools
+    ):
+        shards = _shards()
+        payload = {"x": 7}
+        backend = ProcessBackend(2, use_shm=False)  # pre-PR construction
+        backend.open(_EchoState())
+        results = backend.dispatch(payload, shards)
+        assert results == [(0, 7), (1, 7), (2, 7)]
+        tasks = pickle.loads(inproc_pools[0].pickles[0])
+        assert all(len(task) == 3 for task in tasks)
+        # the exact bytes a pre-tracing build would have shipped
+        ship = ("blob", pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        expected = [(1, ship, shard) for shard in shards]
+        assert inproc_pools[0].pickles[0] == pickle.dumps(
+            expected, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        assert backend.shard_times == []
+        backend.close()
+
+    def test_traced_tasks_add_only_the_timing_flag(self, inproc_pools):
+        shards = _shards()
+        payload = {"x": 7}
+        tracer = Tracer()
+        backend = ProcessBackend(2, use_shm=False, tracer=tracer)
+        backend.open(_EchoState())
+        results = backend.dispatch(payload, shards)
+        assert results == [(0, 7), (1, 7), (2, 7)]  # bare results either way
+        tasks = pickle.loads(inproc_pools[0].pickles[0])
+        assert all(len(task) == 4 and task[3] is True for task in tasks)
+        assert [t[0] for t in tasks] == [1, 1, 1]
+        assert len(backend.shard_times) == len(shards)
+        for (shard_id, start, dur, worker), shard in zip(
+            backend.shard_times, shards
+        ):
+            assert shard_id == shard.shard_id
+            assert dur >= 0.0
+            assert worker == os.getpid()
+        backend.close()
+
+    def test_untraced_clean_has_no_profile_key(self, reference):
+        assert "profile" not in reference.diagnostics
+
+
+# -- traced runs: identical repairs, valid traces ------------------------------
+
+
+class TestTracedEquivalence:
+    @pytest.mark.parametrize("executor", ("serial", "thread", "process"))
+    def test_traced_repairs_byte_identical(
+        self, engine, reference, tmp_path, executor
+    ):
+        path = tmp_path / f"{executor}.json"
+        result = _traced_clean(engine, path, chunk_rows=25, executor=executor)
+        assert _sig(result) == _sig(reference)
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+        profile = result.diagnostics["profile"]
+        assert set(profile["stages"]) == set(STAGES)
+
+    def test_profile_stages_sum_close_to_wall_clock(self, engine, tmp_path):
+        result = _traced_clean(engine, tmp_path / "p.json", chunk_rows=25)
+        profile = result.diagnostics["profile"]
+        stage_sum = sum(profile["stages"].values())
+        wall = result.stats.clean_seconds
+        assert stage_sum <= wall
+        assert stage_sum >= 0.9 * wall
+
+    def test_trace_has_all_stage_spans_per_chunk_and_shard_spans(
+        self, engine, tmp_path
+    ):
+        path = tmp_path / "chunks.json"
+        result = _traced_clean(engine, path, chunk_rows=25, executor="process")
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+        n_chunks = result.diagnostics["stream"]["n_chunks"]
+        stage_counts: dict[str, int] = {}
+        shard_spans = 0
+        for event in obj["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            if event.get("cat") == "stream":
+                stage_counts[event["name"]] = (
+                    stage_counts.get(event["name"], 0) + 1
+                )
+            if event["name"] == "shard":
+                shard_spans += 1
+        for stage in STAGES:
+            # ingest runs once more: the pull that observes end-of-stream
+            expected = n_chunks + 1 if stage == "ingest" else n_chunks
+            assert stage_counts.get(stage) == expected, stage
+        assert shard_spans >= result.diagnostics["exec"]["n_shards"]
+        shards = result.diagnostics["profile"].get("shards")
+        assert shards is not None and shards["n"] == shard_spans
+
+    def test_every_stage_nests_inside_the_root_span(self, engine, tmp_path):
+        path = tmp_path / "nest.json"
+        _traced_clean(engine, path, chunk_rows=25)
+        events = json.loads(path.read_text())["traceEvents"]
+        root = next(
+            e for e in events if e.get("ph") == "X" and e["name"] == "clean"
+        )
+        lo, hi = root["ts"], root["ts"] + root["dur"]
+        eps = 0.011  # export rounds to 3 decimal µs
+        for event in events:
+            if event.get("ph") != "X" or event is root:
+                continue
+            assert event["dur"] >= 0.0
+            if event.get("cat") in ("stream", "exec", "session"):
+                assert event["ts"] >= lo - eps
+                assert event["ts"] + event["dur"] <= hi + eps
+
+    def test_fit_spans_and_mmhc_counters(self, hospital):
+        config = BCleanConfig.pi(structure="mmhc", profile=True)
+        eng = BClean(config, hospital.constraints)
+        eng.fit(hospital.dirty)
+        tracer = eng._obs
+        assert tracer.enabled
+        names = {event["name"] for event in tracer._events}
+        assert {"fit", "fit.structure", "mmhc.mmpc", "mmhc.hillclimb"} <= names
+        assert tracer.counters["mmhc_independence_tests"] > 0
+        assert "fit_seconds" in tracer.counters
+        result = eng.clean()
+        assert "profile" in result.diagnostics
+
+
+# -- CI smoke: traced chunked stream end to end --------------------------------
+
+
+def test_traced_stream_smoke(hospital, tmp_path):
+    """Chunked traced clean; writes the trace to $TRACE_OUT when set so
+    CI can validate and archive it."""
+    out = os.environ.get("TRACE_OUT")
+    path = Path(out) if out else tmp_path / "stream-trace.json"
+    config = BCleanConfig.pip(chunk_rows=16, executor="process", n_jobs=2)
+    eng = BClean(config, hospital.constraints)
+    eng.fit(hospital.dirty)
+    result = eng.clean(trace=str(path))
+    obj = json.loads(path.read_text())
+    assert validate_chrome_trace(obj) == []
+    stream_spans = {
+        e["name"]
+        for e in obj["traceEvents"]
+        if e.get("ph") == "X" and e.get("cat") == "stream"
+    }
+    assert stream_spans == set(STAGES)
+    assert "profile" in result.diagnostics
+    assert result.diagnostics["stream"]["n_chunks"] == 4

@@ -388,6 +388,17 @@ class TestAutoExecutor:
         assert result.diagnostics["exec"]["resolved"] == "serial"
         assert _sig(result) == _sig(reference)
 
+    @pytest.mark.parametrize("chunk_rows", (7, 25))
+    def test_chunked_auto_reports_resolved(self, engine, reference, chunk_rows):
+        """Regression: chunked auto streams must report the sticky
+        resolved backend too — it used to appear only when n_chunks == 1."""
+        result = _chunked_clean(engine, chunk_rows, executor="auto", n_jobs=4)
+        diag = result.diagnostics["exec"]
+        assert diag["executor"] == "auto"
+        assert "resolved" in diag
+        assert diag["resolved"] in result.diagnostics["stream"]["backends"]
+        assert _sig(result) == _sig(reference)
+
     def test_auto_fit_executor_serial_on_tiny_table(self, hospital):
         serial = BClean(BCleanConfig.pip(), hospital.constraints)
         serial.fit(hospital.dirty)
