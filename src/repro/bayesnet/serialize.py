@@ -10,6 +10,16 @@ like code).
 NULL-keyed entries use the substrate's :data:`NULL_KEY` sentinel, and
 non-string domain values are tagged with their type so integers survive
 the round trip (JSON object keys are always strings).
+
+The model registry (:mod:`repro.serve.registry`) extends the network
+round-trip with the build-time :class:`~repro.dataset.encoding.TableEncoding`
+(:func:`encoding_to_dict` / :func:`encoding_from_dict`): the coded
+statistics a reloaded model cleans with are only byte-identical to the
+in-memory ones if every code — **including codes minted incrementally
+while cleaning foreign tables** — maps to the same value after the
+round trip, so the encoding must travel with the network.
+:func:`save_bn` accepts the encoding as an optional rider and
+:func:`load_bn_bundle` hands both back.
 """
 
 from __future__ import annotations
@@ -19,9 +29,12 @@ from collections import Counter
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from repro.bayesnet.cpt import CPT
 from repro.bayesnet.dag import DAG
 from repro.bayesnet.model import DiscreteBayesNet
+from repro.dataset.encoding import AttributeVocabulary, TableEncoding
 from repro.errors import GraphError
 
 FORMAT_VERSION = 1
@@ -135,17 +148,82 @@ def cpt_from_dict(payload: dict) -> CPT:
     return cpt
 
 
+# -- table encoding ----------------------------------------------------------
+
+
+def encoding_to_dict(encoding: TableEncoding) -> dict:
+    """A JSON-safe description of a table interning.
+
+    Per-attribute vocabularies are stored as the representative values
+    of codes ``1..size-1`` in code order (code 0 is always NULL, so it
+    is implicit); replaying :meth:`AttributeVocabulary.add` over that
+    list reproduces every code number exactly — minted foreign codes
+    included, which is what makes a reloaded model's repairs
+    byte-identical.  The fitted coded columns ride along so the fit
+    table can be reconstructed without re-interning.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "n_rows": encoding.n_rows,
+        "names": list(encoding.names),
+        "vocabs": {
+            name: [
+                _encode_value(v)
+                for v in encoding.vocab(name)._values[1:]
+            ]
+            for name in encoding.names
+        },
+        "codes": {
+            name: encoding.codes(name).tolist() for name in encoding.names
+        },
+    }
+
+
+def encoding_from_dict(payload: dict) -> TableEncoding:
+    """Rebuild a :class:`TableEncoding` written by
+    :func:`encoding_to_dict` (no source table: the ``matches`` fast
+    path is re-armed by the registry once it reconstructs one)."""
+    try:
+        names = list(payload["names"])
+        n_rows = int(payload["n_rows"])
+        vocabs = payload["vocabs"]
+        codes = payload["codes"]
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed encoding payload: missing {exc}") from exc
+    encoding = TableEncoding.__new__(TableEncoding)
+    encoding.names = names
+    encoding._index_of = {a: j for j, a in enumerate(names)}
+    encoding.n_rows = n_rows
+    encoding._source = None
+    encoding._source_mutations = -1
+    encoding._vocabs = {}
+    encoding._codes = {}
+    for name in names:
+        vocab = AttributeVocabulary(name)
+        for raw in vocabs[name]:
+            vocab.add(_decode_value(raw))
+        encoding._vocabs[name] = vocab
+        encoding._codes[name] = np.asarray(codes[name], dtype=np.int64)
+    return encoding
+
+
 # -- full model --------------------------------------------------------------
 
 
-def bn_to_dict(bn: DiscreteBayesNet) -> dict:
-    """A JSON-safe description of a fitted network."""
-    return {
+def bn_to_dict(
+    bn: DiscreteBayesNet, encoding: TableEncoding | None = None
+) -> dict:
+    """A JSON-safe description of a fitted network, optionally carrying
+    the build-time table encoding (the registry's reload contract)."""
+    payload = {
         "version": FORMAT_VERSION,
         "dag": dag_to_dict(bn.dag),
         "alpha": bn.alpha,
         "cpts": {node: cpt_to_dict(cpt) for node, cpt in bn.cpts.items()},
     }
+    if encoding is not None:
+        payload["encoding"] = encoding_to_dict(encoding)
+    return payload
 
 
 def bn_from_dict(payload: dict) -> DiscreteBayesNet:
@@ -157,13 +235,29 @@ def bn_from_dict(payload: dict) -> DiscreteBayesNet:
     return DiscreteBayesNet(dag, cpts, alpha=payload.get("alpha", 1.0))
 
 
-def save_bn(bn: DiscreteBayesNet, path: str | Path) -> None:
-    """Write a fitted network as JSON."""
+def save_bn(
+    bn: DiscreteBayesNet,
+    path: str | Path,
+    encoding: TableEncoding | None = None,
+) -> None:
+    """Write a fitted network as JSON (with its table encoding when
+    given, so a reload reproduces minted codes exactly)."""
     Path(path).write_text(
-        json.dumps(bn_to_dict(bn)) + "\n", encoding="utf-8"
+        json.dumps(bn_to_dict(bn, encoding=encoding)) + "\n", encoding="utf-8"
     )
 
 
 def load_bn(path: str | Path) -> DiscreteBayesNet:
     """Read a network written by :func:`save_bn`."""
     return bn_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def load_bn_bundle(
+    path: str | Path,
+) -> tuple[DiscreteBayesNet, TableEncoding | None]:
+    """Read a network plus its encoding rider (``None`` for files
+    written without one — the pre-registry format)."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    bn = bn_from_dict(payload)
+    raw = payload.get("encoding")
+    return bn, encoding_from_dict(raw) if raw is not None else None

@@ -92,6 +92,9 @@ from repro.exec import (
     sharded_family_arrays,
     sharded_pair_arrays,
 )
+from repro.exec.cache import CompetitionCache
+from repro.exec.planner import CACHE_MAX_ENTRIES
+from repro.exec.state import FitState
 from repro.obs import NULL_TRACER, Tracer
 
 
@@ -120,6 +123,10 @@ class BClean:
         self._fit_seconds = 0.0
         self._fit_diag: dict = {}
         self._fit_session: ExecSession | None = None
+        # The engine-held resident execution session (see open_session):
+        # one warm pool + one shipped snapshot + one competition memo
+        # shared by every clean until close_session() or a refit.
+        self._resident: ExecSession | None = None
         # The engine's observability tracer: the shared no-op singleton
         # unless config.trace/config.profile (or a per-call trace=)
         # turns tracing on — see repro.obs for the zero-cost contract.
@@ -132,6 +139,7 @@ class BClean:
         table: Table,
         dag: DAG | None = None,
         composition: AttributeComposition | None = None,
+        encoding: TableEncoding | None = None,
     ) -> "BClean":
         """Learn the BN and all statistics from the observed dataset.
 
@@ -164,7 +172,25 @@ class BClean:
             its nodes must match the composition's nodes.
         composition:
             Optional attribute grouping (merged nodes).
+        encoding:
+            Optional pre-built interning of ``table`` (the model
+            registry's reload path: an encoding that minted extra codes
+            while cleaning foreign tables must keep those codes so the
+            reloaded model reproduces the in-memory one's repairs
+            byte-identically).  Must describe ``table`` exactly.
         """
+        # A refit invalidates every statistic a resident session's
+        # snapshot was built from — close it before anything changes.
+        self.close_session()
+        if encoding is not None and (
+            encoding.n_rows != table.n_rows
+            or list(encoding.names) != list(table.schema.names)
+        ):
+            raise CleaningError(
+                "encoding does not describe the fitted table "
+                f"({encoding.n_rows}×{len(encoding.names)} vs "
+                f"{table.n_rows}×{len(table.schema.names)})"
+            )
         if self.config.trace is not None or self.config.profile:
             # One tracer spans fit + every later clean of this engine,
             # so a written trace shows the whole lifecycle; clean()
@@ -187,7 +213,7 @@ class BClean:
                 if use_ucs
                 else None
             )
-            self._encoding = table.encode()
+            self._encoding = encoding if encoding is not None else table.encode()
             columnar_fit = (
                 self.config.use_columnar and self._singleton_composition()
             )
@@ -401,6 +427,10 @@ class BClean:
         """
         if self.table is None or self.bn is None:
             raise CleaningError("fit() must be called before set_network()")
+        # The resident session's snapshot froze the old network (and
+        # its competition memo answered competitions scored against
+        # it) — both are stale now.
+        self.close_session()
         self.dag = dag
         if refit_nodes is None:
             self.bn = DiscreteBayesNet.fit(
@@ -416,6 +446,89 @@ class BClean:
         self.subnets = partition(dag)
         self._cell_cache.clear()
         self._columnar = None
+
+    # -- resident execution session (cleaning as a service) ------------------------
+
+    def fit_state(self, scorer: ColumnarNetScorer | None = None) -> FitState:
+        """Freeze the fitted model into the picklable, read-only
+        :class:`~repro.exec.state.FitState` snapshot every dispatch of
+        the columnar clean path executes against."""
+        if self.bn is None or self.table is None:
+            raise CleaningError("fit() must be called before fit_state()")
+        if scorer is None:
+            scorer = self._columnar_scorer()
+        names = list(self.table.schema.names)
+        return FitState(
+            self.config,
+            self._encoding,
+            self.cooc,
+            self.comp,
+            self.pruner,
+            scorer,
+            self.subnets,
+            names,
+            {a: self._domain_codes(a) for a in names},
+        )
+
+    def open_session(self, n_jobs: int | None = None) -> ExecSession:
+        """Open (or return) the engine-held resident execution session.
+
+        A per-``clean()`` session dies with its stream; a *resident*
+        session is the serving shape — the worker pool stays warm, the
+        static snapshot ships once, and the session's competition cache
+        memoises outcomes across every clean of this fit (§6's
+        amortisation applied to many requests instead of many chunks).
+        While open, every columnar ``clean()``/``clean_csv()`` of this
+        engine attaches to it instead of building its own.
+
+        The engine holds one reference; callers sharing the session
+        further (the serving front) bracket their use with
+        :meth:`~repro.exec.session.ExecSession.acquire` /
+        :meth:`~repro.exec.session.ExecSession.release`.
+        :meth:`close_session` drops the engine's reference — the pool
+        is joined when the last holder releases.  ``fit()`` and
+        :meth:`set_network` close the session automatically: the
+        snapshot (and memo) would be stale.
+        """
+        if self.bn is None or self.table is None:
+            raise CleaningError("fit() must be called before open_session()")
+        if not (self.config.use_columnar and self._singleton_composition()):
+            raise CleaningError(
+                "resident sessions require the columnar path (use_columnar "
+                "with the singleton composition)"
+            )
+        if self._resident is not None and not self._resident.closed:
+            return self._resident
+        bound = self.config.competition_cache
+        if bound is None:
+            # No stream to auto-size from at open time: a resident
+            # session serves an unknown number of cleans, so take the
+            # planner's upper clamp (entries are a few dozen bytes).
+            bound = CACHE_MAX_ENTRIES
+        self._resident = ExecSession(
+            self.fit_state(),
+            n_jobs or self.config.n_jobs or os.cpu_count() or 1,
+            persistent=self.config.persistent_pool,
+            competition_cache=CompetitionCache(bound) if bound else None,
+            tracer=self._obs,
+        )
+        return self._resident
+
+    def close_session(self) -> None:
+        """Drop the engine's reference on the resident session (if any);
+        the session closes once every other holder has released too."""
+        session, self._resident = self._resident, None
+        if session is not None:
+            session.release()
+
+    @property
+    def resident_session(self) -> ExecSession | None:
+        """The open resident session, or ``None`` (never a closed one)."""
+        session = self._resident
+        if session is not None and session.closed:
+            self._resident = None
+            return None
+        return session
 
     # -- cleaning ------------------------------------------------------------------
 
@@ -474,13 +587,16 @@ class BClean:
                     # oracle handles anything.
                     columnar = False
             if columnar:
-                driver = StreamDriver(self, scorer, tracer=tracer)
+                resident = self.resident_session
+                driver = StreamDriver(
+                    self, scorer, tracer=tracer, session=resident
+                )
                 driver.clean_table(
                     table, table is self.table, stats, cleaned, repairs
                 )
                 self._competitions_run = driver.competitions_run
                 self._exec_diag = driver.exec_diagnostics(self.config.executor)
-                if self.config.chunk_rows is not None:
+                if self.config.chunk_rows is not None or resident is not None:
                     self._stream_diag = driver.stream_diagnostics()
             else:
                 self._clean_scalar(table, stats, cleaned, repairs)
@@ -548,7 +664,9 @@ class BClean:
             "clean", cat="clean", root=True
         ):
             scorer = self._columnar_scorer()
-            driver = StreamDriver(self, scorer, tracer=tracer)
+            driver = StreamDriver(
+                self, scorer, tracer=tracer, session=self.resident_session
+            )
             driver.clean_csv(src, dst, stats, repairs, delimiter=delimiter)
         stats.clean_seconds = timer.seconds
         stats.repairs_made = len(repairs)

@@ -100,8 +100,36 @@ class ExecSession:
         self.tracer = tracer
         self._backends: dict[str, object] = {}
         self._closed = False
+        # Reference count for shared (resident) sessions: the creator
+        # holds the initial reference; every attached job stream
+        # acquires/releases around its use, and the session closes when
+        # the last holder releases.  A per-clean session never shares,
+        # so its single reference makes release() equivalent to close().
+        self._refs = 1
 
     # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether the session has been closed (no new dispatches)."""
+        return self._closed
+
+    def acquire(self) -> "ExecSession":
+        """Take a reference on a shared session (resident engines hand
+        the same warm session to many job streams; each stream brackets
+        its use with acquire/release)."""
+        if self._closed:
+            raise CleaningError("ExecSession is closed")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last release closes the session."""
+        if self._closed:
+            return
+        self._refs -= 1
+        if self._refs <= 0:
+            self.close()
 
     def backend(self, name: str):
         """The session's backend for ``name``, created (and opened on
@@ -159,16 +187,25 @@ class ExecSession:
 
         The backends stay listed so the aggregated diagnostics remain
         readable after the session ends; only new dispatches are
-        refused.
+        refused.  A second close is a no-op: it must not re-invoke
+        ``backend.close()`` (double pool teardown) nor emit a second
+        ``session_close`` trace event — resident sessions are routinely
+        closed twice (engine shutdown plus ``__exit__``).
         """
-        for backend in self._backends.values():
-            backend.close()
+        if self._closed:
+            return
         self._closed = True
+        self._refs = 0
+        with self.tracer.span("session_close", cat="session"):
+            for backend in self._backends.values():
+                backend.close()
 
     def __enter__(self) -> "ExecSession":
         return self
 
     def __exit__(self, *exc) -> None:
+        # Context exit is an owner-scope close, not a release: the
+        # ``with`` block bounds the session's whole lifetime.
         self.close()
 
     # -- aggregated diagnostics --------------------------------------------------

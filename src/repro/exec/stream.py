@@ -104,7 +104,7 @@ from repro.exec.planner import (
     resolve_executor,
 )
 from repro.exec.session import ExecSession
-from repro.exec.state import ChunkView, FitState
+from repro.exec.state import ChunkView
 from repro.obs import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -281,9 +281,19 @@ class StreamDriver:
     engine folds into its :class:`~repro.core.repairs.CleaningResult`.
     """
 
-    def __init__(self, engine: "BClean", scorer, tracer=NULL_TRACER):
+    def __init__(
+        self,
+        engine: "BClean",
+        scorer,
+        tracer=NULL_TRACER,
+        session: ExecSession | None = None,
+        config=None,
+    ):
         self.engine = engine
-        self.cfg = engine.config
+        # ``config`` lets the serving front override *scheduling* knobs
+        # (executor, n_jobs, chunk_rows) for one stream; scoring knobs
+        # must match the engine's (the session's FitState carries them).
+        self.cfg = config if config is not None else engine.config
         self.enc = engine._encoding
         self.names: list[str] = list(engine.table.schema.names)
         self.scorer = scorer
@@ -294,8 +304,12 @@ class StreamDriver:
         self._fitted_filter: dict[str, np.ndarray] = {}
         # the clean's execution session: opened at the first executed
         # chunk, closed at emit-end (see run()); one pool + one static
-        # snapshot ship for the whole stream
+        # snapshot ship for the whole stream.  An *external* (resident)
+        # session outlives the stream: the driver acquires a reference
+        # on first use, shares the session's competition cache, and
+        # releases — never closes — at emit-end.
         self._session: ExecSession | None = None
+        self._external = session
         # whole-stream auto-resolution state
         self._cum_plan_cost = 0.0
         self._rows_planned = 0
@@ -303,9 +317,14 @@ class StreamDriver:
         #: for CSV streams, where the cumulative cost stands in
         self._total_rows: int | None = None
         self._auto_process = False
-        # the session competition cache (chunked streams only; sized at
-        # the first chunk's plan, so None until then even when enabled)
-        self._cache: CompetitionCache | None = None
+        # the session competition cache: a per-clean stream sizes its
+        # own at the first chunk's plan (so None until then even when
+        # enabled); a stream on an external session reuses the
+        # session's cache — the memo spans every clean of the resident
+        # engine, not just this stream's chunks
+        self._cache: CompetitionCache | None = (
+            session.competition_cache if session is not None else None
+        )
         # cross-chunk signature-repetition tracking for the dedup-aware
         # cost extrapolation (only maintained when the cache is off —
         # with it on the cumulative plan cost is already miss-only)
@@ -433,7 +452,12 @@ class StreamDriver:
         n_uniq = len(uniq_rows)
         uniq_weights = encoded.weights[first_rows]
 
-        chunked = self.effective_chunk_rows is not None
+        # An external-session stream computes row keys even un-chunked:
+        # the resident session's cache can answer a signature seen by
+        # any *earlier* clean, and fresh outcomes must be insertable.
+        chunked = (
+            self.effective_chunk_rows is not None or self._external is not None
+        )
         row_keys: list[bytes] = (
             [uniq_rows[i].tobytes() for i in range(n_uniq)] if chunked else []
         )
@@ -489,7 +513,11 @@ class StreamDriver:
         plan = plan_shards(costed_work, hint, cfg.shard_size)
         self._cum_plan_cost += plan.total_cost
         self._rows_planned += encoded.chunk.n_rows
-        if self._cache is None and self._cache_enabled():
+        if (
+            self._cache is None
+            and self._external is None
+            and self._cache_enabled()
+        ):
             # The cache is created only now because the auto bound is
             # sized from this first chunk's extrapolated competition
             # count.  Its competitions were planned before any probe
@@ -515,12 +543,14 @@ class StreamDriver:
 
     def _cache_enabled(self) -> bool:
         """Whether this stream carries the session competition cache:
-        only chunked streams can see a signature twice (a whole-table
-        clean deduplicates everything in its single plan), and
-        ``competition_cache=0`` disables it outright."""
-        return (
-            self.cfg.competition_cache != 0
-            and self.effective_chunk_rows is not None
+        chunked streams can see a signature twice across their chunks,
+        and a stream on an external (resident) session can see one
+        across *cleans* — a whole-table clean on a private session
+        deduplicates everything in its single plan, so only those stay
+        uncached.  ``competition_cache=0`` disables it outright."""
+        return self.cfg.competition_cache != 0 and (
+            self.effective_chunk_rows is not None
+            or self._external is not None
         )
 
     def _track_signatures(self, row_keys: list[bytes]) -> None:
@@ -558,12 +588,19 @@ class StreamDriver:
         cfg = self.cfg
         if cfg.executor != "auto":
             return cfg.executor
+        # A resident session whose process pool is already warm extends
+        # the same logic across cleans: the pool spawn and snapshot ship
+        # were paid by an earlier stream, so this one inherits them.
+        warm_resident = (
+            self._external is not None and self._external.is_warm("process")
+        )
         if (
-            self._auto_process
+            (self._auto_process or warm_resident)
             and cfg.persistent_pool
             and self.n_jobs > 1
             and plan.n_shards > 1
         ):
+            self._auto_process = True
             return "process"
         # Without a persistent pool every process dispatch pays the full
         # spawn + snapshot ship again, so each chunk must clear the
@@ -587,39 +624,39 @@ class StreamDriver:
     # -- execute + merge --------------------------------------------------------
 
     def session(self) -> ExecSession:
-        """The clean's execution session (opened on first use): one
-        worker pool and one static-snapshot ship for the whole stream."""
+        """The stream's execution session (opened on first use): one
+        worker pool and one static-snapshot ship for the whole stream.
+
+        With an external (resident) session the driver takes a
+        reference on it instead of building its own — the pool, the
+        shipped snapshot, and the competition cache all belong to the
+        resident engine and survive this stream."""
         if self._session is None:
-            engine = self.engine
-            names = self.names
-            state = FitState(
-                self.cfg,
-                self.enc,
-                engine.cooc,
-                engine.comp,
-                engine.pruner,
-                self.scorer,
-                engine.subnets,
-                names,
-                {a: engine._domain_codes(a) for a in names},
-            )
-            self._session = ExecSession(
-                state,
-                self.n_jobs,
-                persistent=self.cfg.persistent_pool,
-                competition_cache=self._cache,
-                tracer=self.tracer,
-            )
+            if self._external is not None:
+                self._session = self._external.acquire()
+            else:
+                self._session = ExecSession(
+                    self.engine.fit_state(self.scorer),
+                    self.n_jobs,
+                    persistent=self.cfg.persistent_pool,
+                    competition_cache=self._cache,
+                    tracer=self.tracer,
+                )
         return self._session
 
     def _close_session(self) -> None:
         """Emit-end: fold the session's pool/ship counters into the
-        driver's diagnostics, then join workers and release segments."""
+        driver's diagnostics, then join workers and release segments —
+        or, for an external session, just drop the stream's reference
+        (the resident engine owns the lifetime; ``ExecSession.close``
+        emits the ``session_close`` trace event when it really ends)."""
         if self._session is None:
             return
         self.pools_created = self._session.pools_created
         self.snapshot_ships = self._session.snapshot_ships
-        with self.tracer.span("session_close", cat="session"):
+        if self._external is not None:
+            self._session.release()
+        else:
             self._session.close()
 
     def dispatch_chunk(self, planned: PlannedChunk) -> list:

@@ -58,7 +58,9 @@ class Span:
     repo reads the same clock through the same API.
     """
 
-    __slots__ = ("name", "cat", "args", "start", "seconds", "_tracer", "_root")
+    __slots__ = (
+        "name", "cat", "args", "start", "seconds", "tid", "_tracer", "_root",
+    )
 
     def __init__(
         self,
@@ -67,12 +69,14 @@ class Span:
         tracer: "Tracer | None" = None,
         root: bool = False,
         args: dict | None = None,
+        tid: int = DRIVER_TID,
     ):
         self.name = name
         self.cat = cat
         self.args = args
         self.start = 0.0
         self.seconds = 0.0
+        self.tid = tid
         self._tracer = tracer
         self._root = root
 
@@ -173,10 +177,21 @@ class Tracer:
     # -- recording ---------------------------------------------------------------
 
     def span(
-        self, name: str, cat: str = "clean", root: bool = False, **args
+        self,
+        name: str,
+        cat: str = "clean",
+        root: bool = False,
+        tid: int = DRIVER_TID,
+        **args,
     ) -> Span:
-        """A new driver-track span, recorded when its ``with`` exits."""
-        return Span(name, cat, tracer=self, root=root, args=args or None)
+        """A new span, recorded when its ``with`` exits.
+
+        ``tid`` places the span on a trace track other than the
+        driver's — the serving front records each request's latency on
+        a per-request track so concurrent requests never have to nest
+        inside one another (nesting is only enforced per track).
+        """
+        return Span(name, cat, tracer=self, root=root, args=args or None, tid=tid)
 
     def _record(self, span: Span) -> None:
         if span._root:
@@ -185,7 +200,7 @@ class Tracer:
             {
                 "name": span.name,
                 "cat": span.cat,
-                "tid": DRIVER_TID,
+                "tid": span.tid,
                 "start": span.start,
                 "dur": span.seconds,
                 "args": span.args,
@@ -303,6 +318,7 @@ class Tracer:
             _meta(pid, DRIVER_TID, "thread_name", "driver"),
         ]
         worker_tids: set[int] = set()
+        span_tids: set[int] = set()
         end_us = 0.0
         for index, event in enumerate(self._events):
             ts = round((event["start"] - self.t0) * 1e6, 3)
@@ -326,9 +342,13 @@ class Tracer:
                 out["args"] = args
             if event["shard"]:
                 worker_tids.add(event["tid"])
+            elif event["tid"] != DRIVER_TID:
+                span_tids.add(event["tid"])
             events.append(out)
         for tid in sorted(worker_tids - {DRIVER_TID}):
             events.append(_meta(pid, tid, "thread_name", f"worker-{tid}"))
+        for tid in sorted(span_tids - worker_tids):
+            events.append(_meta(pid, tid, "thread_name", f"track-{tid}"))
         for name, value in sorted(self.counters.items()):
             events.append(
                 {

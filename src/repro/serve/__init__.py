@@ -1,0 +1,41 @@
+"""Cleaning as a resident service: fit once, serve many.
+
+The serve package is the long-running shape of the pipeline:
+
+- :mod:`repro.serve.registry` — persist fitted models (network +
+  build-time encoding) keyed by schema fingerprint, reload them
+  byte-identical in any process;
+- :mod:`repro.serve.batch` — micro-batching plumbing (requests, batch
+  cutting, concatenation, result demultiplexing);
+- :mod:`repro.serve.service` — :class:`BCleanService`, the concurrent
+  request front over one engine-held warm session.
+
+See ``docs/serving.md`` for the lifecycle walk-through.
+"""
+
+from repro.serve.batch import (
+    CleanRequest,
+    concat_tables,
+    split_results,
+    take_batch,
+)
+from repro.serve.registry import ModelRegistry, schema_fingerprint
+from repro.serve.service import (
+    DEFAULT_LINGER_SECONDS,
+    DEFAULT_MAX_BATCH_ROWS,
+    SERVE_TID_BASE,
+    BCleanService,
+)
+
+__all__ = [
+    "BCleanService",
+    "CleanRequest",
+    "DEFAULT_LINGER_SECONDS",
+    "DEFAULT_MAX_BATCH_ROWS",
+    "ModelRegistry",
+    "SERVE_TID_BASE",
+    "concat_tables",
+    "schema_fingerprint",
+    "split_results",
+    "take_batch",
+]

@@ -1,0 +1,108 @@
+"""Micro-batching primitives of the serving front.
+
+Many concurrent small cleans are cheapest as one big one: the staged
+pipeline deduplicates row signatures across the whole block, the
+resident session's pool receives **one** ``ChunkView`` dispatch instead
+of one per request, and the per-dispatch fixed costs (payload pickle,
+shard planning) are paid once per tick.  This module holds the pure
+data plumbing — request objects, batch cutting, table concatenation,
+and result demultiplexing — so the service's threading stays thin and
+the batching semantics are testable without threads.
+
+Demultiplexing is exact because the pipeline emits repairs in global
+row-major order over the concatenated block and every decision is a
+pure function of its row signature: slicing the combined results on the
+request row ranges yields, per request, precisely the repairs a
+standalone serial ``clean()`` of that request's rows would produce.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.core.repairs import CleaningResult, Repair
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+
+@dataclass
+class CleanRequest:
+    """One submitted clean, from enqueue to result pickup.
+
+    The submitting thread blocks on ``done``; the batcher thread fills
+    exactly one of ``result`` / ``error`` before setting it.
+    """
+
+    request_id: int
+    table: Table
+    done: threading.Event = field(default_factory=threading.Event)
+    result: CleaningResult | None = None
+    error: BaseException | None = None
+
+    @property
+    def n_rows(self) -> int:
+        return self.table.n_rows
+
+    def resolve(self, result: CleaningResult) -> None:
+        self.result = result
+        self.done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.done.set()
+
+
+def take_batch(
+    pending: "deque[CleanRequest]", max_rows: int
+) -> list[CleanRequest]:
+    """Pop the next micro-batch off the queue: requests in arrival
+    order until adding the next would exceed ``max_rows`` (a single
+    oversized request still forms its own batch — it must run)."""
+    batch: list[CleanRequest] = []
+    rows = 0
+    while pending:
+        request = pending[0]
+        if batch and rows + request.n_rows > max_rows:
+            break
+        batch.append(pending.popleft())
+        rows += request.n_rows
+    return batch
+
+
+def concat_tables(schema: Schema, tables: Sequence[Table]) -> Table:
+    """Stack request tables into one block, in request order (row
+    ranges of the block map back to requests by cumulative offset)."""
+    columns: list[list] = [[] for _ in range(len(schema))]
+    for table in tables:
+        for j, column in enumerate(table.columns):
+            columns[j].extend(column)
+    return Table(schema, columns)
+
+
+def split_results(
+    requests: Sequence[CleanRequest],
+    cleaned: Table,
+    repairs: Sequence[Repair],
+) -> list[tuple[Table, list[Repair]]]:
+    """Demultiplex one batch's combined output back onto its requests.
+
+    Returns, per request, its slice of the cleaned block and its
+    repairs re-based to request-local row indices.  Repairs arrive in
+    global row-major order, so a single forward walk splits them.
+    """
+    out: list[tuple[Table, list[Repair]]] = []
+    offset = 0
+    position = 0
+    for request in requests:
+        stop = offset + request.n_rows
+        own: list[Repair] = []
+        while position < len(repairs) and repairs[position].row < stop:
+            repair = repairs[position]
+            own.append(replace(repair, row=repair.row - offset))
+            position += 1
+        out.append((cleaned.slice_rows(offset, stop), own))
+        offset = stop
+    return out

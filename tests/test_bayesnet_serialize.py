@@ -212,3 +212,84 @@ class TestModelRoundTrip:
         engine2.fit(table, dag=load_dag(path))
         result = engine2.clean()
         assert result.cleaned.cell(0, "v") == mapping[table.cell(0, "k")]
+
+
+class TestEncodingRider:
+    """The registry's reload contract at the serialize layer: the
+    build-time encoding rides with the network, and codes minted for a
+    foreign table's unseen values keep their exact numbers through the
+    round trip — so a reloaded model repairs byte-identically."""
+
+    def _sig(self, result):
+        return [
+            (r.row, r.attribute, r.old_value, r.new_value, r.old_score, r.new_score)
+            for r in result.repairs
+        ]
+
+    def test_minted_codes_round_trip_byte_identical(self, tmp_path):
+        from repro.core.config import BCleanConfig
+        from repro.core.engine import BClean
+        from repro.bayesnet.serialize import load_bn_bundle
+        from repro.data.benchmark import load_benchmark
+        from repro.serve.registry import table_from_encoding
+
+        ds = load_benchmark("hospital", n_rows=30, seed=0)
+        engine = BClean(BCleanConfig.pip(), ds.constraints)
+        engine.fit(ds.dirty)
+        foreign = ds.dirty.copy()
+        minted_attr = foreign.schema.names[1]
+        foreign.set_cell(2, minted_attr, "UNSEEN-MINTED-VALUE")
+        foreign.set_cell(7, foreign.schema.names[2], None)
+        before = engine.clean(foreign)  # mints codes for unseen values
+
+        path = tmp_path / "model.json"
+        save_bn(engine.bn, path, encoding=engine._encoding)
+        bn, encoding = load_bn_bundle(path)
+
+        # every code — minted ones included — keeps number and value
+        assert encoding is not None
+        for attr in engine._encoding.names:
+            assert (
+                encoding.vocab(attr)._values
+                == engine._encoding.vocab(attr)._values
+            )
+            assert (
+                encoding.codes(attr) == engine._encoding.codes(attr)
+            ).all()
+        assert "UNSEEN-MINTED-VALUE" in encoding.vocab(minted_attr)._values
+
+        # a model rebuilt from the bundle repairs byte-identically
+        table = table_from_encoding(encoding, ds.dirty.schema)
+        assert table == ds.dirty
+        encoding._source = table
+        encoding._source_mutations = table.mutation_count
+        reloaded = BClean(BCleanConfig.pip(), ds.constraints)
+        reloaded.fit(table, dag=bn.dag, encoding=encoding)
+        reloaded.bn = bn
+        reloaded._columnar = None
+        after = reloaded.clean(foreign)
+        assert self._sig(after) == self._sig(before)
+        assert after.cleaned == before.cleaned
+
+    def test_bundle_without_encoding_loads_none(self, tmp_path):
+        from repro.bayesnet.serialize import load_bn_bundle
+
+        bn = fitted_bn()
+        path = tmp_path / "bare.json"
+        save_bn(bn, path)  # pre-registry format: no rider
+        loaded, encoding = load_bn_bundle(path)
+        assert encoding is None
+        assert loaded.dag.nodes == bn.dag.nodes
+        # and plain load_bn still reads files that carry a rider
+        schema = Schema.of("a:categorical", "b:categorical", "c:categorical")
+        rows = [["x", "X", "p"], ["y", "Y", None]]
+        table = Table.from_rows(schema, rows)
+        with_rider = tmp_path / "rider.json"
+        save_bn(bn, with_rider, encoding=table.encode())
+        assert load_bn(with_rider).dag.nodes == bn.dag.nodes
+
+    def test_malformed_encoding_payload_rejected(self):
+        from repro.bayesnet.serialize import encoding_from_dict
+
+        with pytest.raises(GraphError, match="malformed encoding"):
+            encoding_from_dict({"names": ["a"]})

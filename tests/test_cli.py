@@ -324,3 +324,52 @@ class TestNetworkRoundTripWorkflow:
             ]
         )
         assert code == 0
+
+
+class TestServeCommand:
+    def test_serve_fits_then_reloads_and_cleans(
+        self, dirty_csv, tmp_path, capsys
+    ):
+        """First run fits into the registry and serves the requests;
+        second run reloads the saved model and repairs identically."""
+        table = read_csv(dirty_csv)
+        req = tmp_path / "req.csv"
+        write_csv(table.slice_rows(0, 20), req)
+        args = [
+            "serve",
+            str(dirty_csv),
+            "--registry",
+            str(tmp_path / "models"),
+            "--request",
+            str(req),
+            "--out-dir",
+            str(tmp_path / "out"),
+            "--induce-ucs",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "fitted and saved" in out
+        assert "served 1 requests" in out
+        first = (tmp_path / "out" / "req.csv").read_text(encoding="utf-8")
+
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "loaded from" in out
+        second = (tmp_path / "out" / "req.csv").read_text(encoding="utf-8")
+        assert second == first  # reloaded model: byte-identical output
+
+    def test_serve_registry_only(self, dirty_csv, tmp_path, capsys):
+        """No --request: serve just materialises the registry model."""
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dirty_csv),
+                    "--registry",
+                    str(tmp_path / "models"),
+                ]
+            )
+            == 0
+        )
+        assert "model fitted and saved" in capsys.readouterr().out
+        assert (tmp_path / "models").is_dir()

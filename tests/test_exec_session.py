@@ -474,3 +474,84 @@ def test_clean_csv_roundtrip_uses_streaming_writer(engine, tmp_path):
         mp.setattr(io_mod, "to_csv_text", _boom)
         write_csv(table, src)
     assert read_csv(src, schema=table.schema) == table
+
+
+# -- session lifecycle: idempotent close, refcounts, error paths ----------------
+
+
+def test_session_double_close_invokes_backend_once():
+    """Satellite pin: close() is documented idempotent — a second call
+    must not re-invoke backend.close() or emit a second session_close
+    trace event."""
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    session = ExecSession(_EchoState(), n_jobs=2, tracer=tracer)
+    session.dispatch("serial", {"x": np.array([1])}, _shards(1))
+    backend = session._backends["serial"]
+    calls = []
+    original = backend.close
+    backend.close = lambda: (calls.append(1), original())[1]
+    session.close()
+    session.close()
+    session.close()
+    assert calls == [1]
+    closes = [e for e in tracer._events if e.get("name") == "session_close"]
+    assert len(closes) == 1
+
+
+def test_session_refcount_lifecycle():
+    """acquire/release share one session across holders: the pool dies
+    with the last reference, never before."""
+    session = ExecSession(_EchoState(), n_jobs=2)
+    assert session.acquire() is session  # second holder
+    session.release()
+    assert not session.closed  # first holder still owns it
+    session.release()
+    assert session.closed
+    session.release()  # releasing a closed session is a no-op
+    with pytest.raises(CleaningError):
+        session.acquire()  # a closed session cannot be revived
+
+
+def test_clean_csv_midstream_error_closes_session_and_shm(
+    hospital, tmp_path
+):
+    """Satellite pin: a CSVFormatError raised by a *middle* chunk of
+    clean_csv must still close the session — exactly one session_close
+    span — and unlink the shm snapshot segment."""
+    from pathlib import Path as _Path
+
+    from repro.errors import CSVFormatError
+
+    engine = BClean(
+        BCleanConfig.pip(
+            executor="process", n_jobs=2, chunk_rows=7, profile=True
+        ),
+        hospital.constraints,
+    )
+    engine.fit(hospital.dirty)
+    src = tmp_path / "dirty.csv"
+    dst = tmp_path / "clean.csv"
+    write_csv(hospital.dirty, src)
+    lines = src.read_text(encoding="utf-8").splitlines()
+    lines[31] = lines[31] + ",extra-field"  # row 31 -> the 5th chunk
+    src.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    shm_dir = _Path("/dev/shm")
+    before = (
+        {p.name for p in shm_dir.iterdir()} if shm_dir.is_dir() else None
+    )
+    tracer = engine._obs
+    mark = tracer.mark()
+    with pytest.raises(CSVFormatError):
+        engine.clean_csv(src, dst)
+    closes = [
+        e
+        for e in tracer._events[mark:]
+        if e.get("name") == "session_close"
+    ]
+    assert len(closes) == 1
+    if before is not None:
+        after = {p.name for p in shm_dir.iterdir()}
+        assert after - before == set()  # no leaked snapshot segments

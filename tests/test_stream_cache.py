@@ -233,6 +233,15 @@ class TestPlannerCacheHelpers:
         # in between: 2 × (2000 × 1000/100) = 40000
         assert default_cache_entries(2000, 100, 1000) == 40000
 
+    def test_default_cache_entries_degenerate_first_chunk(self):
+        """Satellite pin: a first chunk that plans zero competitions
+        (every row trusted or pruned) must clamp the auto bound up to
+        CACHE_MIN_ENTRIES — never a zero or invalid cache bound."""
+        for rows_planned, total_rows in ((25, None), (25, 0), (25, 1000), (0, None)):
+            bound = default_cache_entries(0, rows_planned, total_rows)
+            assert bound == CACHE_MIN_ENTRIES
+            CompetitionCache(bound)  # a valid, constructible bound
+
     def test_partition_cached_no_cache_is_identity(self):
         uids = np.arange(5)
         miss, hits = partition_cached(None, 0, uids, [], np.ones(5))
