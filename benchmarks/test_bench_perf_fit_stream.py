@@ -1,0 +1,217 @@
+"""Bench: streaming out-of-core fit — wall-clock *and* peak RSS.
+
+``BClean.fit_csv`` folds the training CSV into mergeable sufficient
+statistics one row block at a time: the full table, its cell lists, and
+its whole-table encoding are never resident together — only the block
+being interned plus the accumulated **distinct-signature** struct table
+(bounded by the data's true cardinality, not the stream length).  The
+memory story is invisible to wall-clock alone, so — exactly like
+``BENCH_stream.json`` on the clean side — every configuration runs in
+its **own spawned child process** and reports its own ``VmHWM`` (see
+:func:`_peak_rss_kb` for why ``ru_maxrss`` lies for spawned children);
+the parent writes ``BENCH_fit_stream.json`` at the repository root.
+
+The driver resamples soccer-1500 into a ``FIT_ROWS``-row training CSV
+(duplicate-heavy, like real logs — the case the deduplicated
+accumulator is built for), then fits it three ways:
+
+- ``off``: ``read_csv`` + whole-table ``fit()`` (the in-memory path);
+- ``chunk_rows ∈ {256, 1024}``: ``fit_csv`` with one block resident.
+
+How to read the report:
+
+- ``identical_dags`` / ``identical_repairs`` are the hard invariants:
+  every chunk size must learn the whole-table network bit for bit and
+  repair a shared foreign request CSV byte-identically (checksummed in
+  the child, compared here).
+- ``rss_saving_kb_1024``: whole-table fit peak minus the chunk-1024
+  fit peak.  On Linux (trustworthy ``VmHWM``) the assertion that it is
+  positive pins the memory win; the recorded numbers keep the
+  trajectory comparable across machines either way.
+- ``n_distinct`` / ``n_chunks`` / ``reservoir_exact`` come from the
+  engine's ``stream_fit`` diagnostics — the struct table's size is the
+  quantity the resident set is now bounded by.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fit_stream.json"
+
+DATASET = "soccer"
+N_ROWS = 1500
+#: rows of the resampled training CSV the fits consume
+FIT_ROWS = 24000
+#: rows of the shared foreign request CSV used for the repair identity
+REQUEST_ROWS = 600
+#: measured configurations: chunk_rows (None = whole-table in-memory fit)
+RUN_SETTINGS = (None, 256, 1024)
+STRUCTURE = "mmhc"
+RESAMPLE_SEED = 11
+
+
+def _peak_rss_kb() -> int:
+    """This process's own peak resident set, in KB (``VmHWM``).
+
+    ``getrusage().ru_maxrss`` is unusable for spawned children on
+    Linux: spawn is fork+exec, and the pre-exec copy-on-write image —
+    the *parent's* entire resident set — is folded into the child's
+    maxrss floor when exec releases the old address space.  ``VmHWM``
+    belongs to the address space created *by* exec, so it measures only
+    what the child itself did.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _write_csvs(fit_path: Path, request_path: Path) -> None:
+    """Deterministic resampled training + request CSVs (built once, in
+    the parent — children only ever stream them)."""
+    from repro.data.benchmark import load_benchmark
+    from repro.dataset.io import write_csv
+
+    instance = load_benchmark(DATASET, n_rows=N_ROWS, seed=0)
+    rng = np.random.default_rng(RESAMPLE_SEED)
+    fit_idx = rng.integers(0, instance.dirty.n_rows, size=FIT_ROWS)
+    write_csv(instance.dirty.take([int(i) for i in fit_idx]), fit_path)
+    req_idx = rng.integers(0, instance.dirty.n_rows, size=REQUEST_ROWS)
+    write_csv(instance.dirty.take([int(i) for i in req_idx]), request_path)
+
+
+def _child_run(chunk_rows, fit_src, request_src, dst, out_queue) -> None:
+    """One measured configuration, isolated in its own process so the
+    peak RSS is a per-configuration high-water mark."""
+    from repro.core.config import BCleanConfig
+    from repro.core.engine import BClean
+    from repro.data.benchmark import load_benchmark
+    from repro.dataset.io import read_csv
+
+    # Fit under the benchmark's declared schema: chunked type inference
+    # would otherwise settle per-column types on the first block, which
+    # is chunk-size dependent (`season` reads int at 256, str at 1024).
+    schema = load_benchmark(DATASET, n_rows=10, seed=0).dirty.schema
+    engine = BClean(BCleanConfig.pip(structure=STRUCTURE))
+    start = time.perf_counter()
+    if chunk_rows is None:
+        engine.fit(read_csv(fit_src, schema=schema))
+    else:
+        engine.fit_csv(fit_src, chunk_rows=chunk_rows, schema=schema)
+    fit_seconds = time.perf_counter() - start
+    rss_after_fit = _peak_rss_kb()
+
+    result = engine.clean_csv(request_src, dst)
+    digest = hashlib.sha256()
+    for r in result.repairs:
+        digest.update(
+            repr(
+                (r.row, r.attribute, r.old_value, r.new_value,
+                 r.old_score, r.new_score)
+            ).encode()
+        )
+    out_digest = hashlib.sha256(Path(dst).read_bytes()).hexdigest()
+    stream_fit = engine._fit_diag.get("stream_fit", {})
+    out_queue.put(
+        {
+            "chunk_rows": chunk_rows,
+            "fit_seconds": round(fit_seconds, 4),
+            "peak_rss_kb": rss_after_fit,
+            "peak_rss_total_kb": _peak_rss_kb(),
+            "edges": sorted((u, v) for u, v, _ in engine.dag.edges()),
+            "n_repairs": len(result.repairs),
+            "repairs_sha256": digest.hexdigest(),
+            "cleaned_sha256": out_digest,
+            "n_distinct": stream_fit.get("n_distinct"),
+            "n_chunks": stream_fit.get("n_chunks", 1),
+            "reservoir_exact": stream_fit.get("reservoir_exact"),
+        }
+    )
+
+
+def _measure(chunk_rows, fit_src: Path, request_src: Path, dst: Path) -> dict:
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    proc = ctx.Process(
+        target=_child_run,
+        args=(chunk_rows, str(fit_src), str(request_src), str(dst), queue),
+    )
+    proc.start()
+    payload = queue.get(timeout=1800)
+    proc.join(timeout=60)
+    return payload
+
+
+def test_fit_stream_memory_and_bench_report(tmp_path):
+    fit_src = tmp_path / "fit_train.csv"
+    request_src = tmp_path / "fit_request.csv"
+    _write_csvs(fit_src, request_src)
+
+    runs = []
+    for chunk_rows in RUN_SETTINGS:
+        label = "off" if chunk_rows is None else str(chunk_rows)
+        runs.append(
+            _measure(
+                chunk_rows, fit_src, request_src,
+                tmp_path / f"cleaned_{label}.csv",
+            )
+        )
+
+    by_setting = {run["chunk_rows"]: run for run in runs}
+    whole = by_setting[None]
+    identical_dags = all(run["edges"] == whole["edges"] for run in runs)
+    identical_repairs = (
+        len({run["repairs_sha256"] for run in runs}) == 1
+        and len({run["cleaned_sha256"] for run in runs}) == 1
+    )
+    rss_off = whole["peak_rss_kb"]
+    rss_1024 = by_setting[1024]["peak_rss_kb"]
+
+    report = {
+        "dataset": DATASET,
+        "base_rows": N_ROWS,
+        "fit_rows": FIT_ROWS,
+        "request_rows": REQUEST_ROWS,
+        "structure": STRUCTURE,
+        "cpu_count": os.cpu_count() or 1,
+        "identical_dags": identical_dags,
+        "identical_repairs": identical_repairs,
+        "rss_saving_kb_1024": rss_off - rss_1024,
+        "runs": [
+            {k: v for k, v in run.items() if k != "edges"} for run in runs
+        ],
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+
+    assert identical_dags, "streamed fit learned a different network"
+    assert identical_repairs, (
+        "streamed fit's repairs diverged from the whole-table fit"
+    )
+    for chunk_rows in (256, 1024):
+        run = by_setting[chunk_rows]
+        assert run["n_chunks"] == -(-FIT_ROWS // chunk_rows)
+        # the struct table is bounded by the data's true cardinality
+        assert run["n_distinct"] <= N_ROWS
+    if sys.platform.startswith("linux"):
+        # VmHWM is per-exec'd-address-space on Linux and so trustworthy
+        # here; the whole-table fit must pay for the full training table
+        # + whole-table encoding the streamed fit never materialises.
+        assert rss_1024 < rss_off, (
+            f"streamed fit peak RSS {rss_1024} KB not below whole-table "
+            f"{rss_off} KB"
+        )

@@ -81,6 +81,9 @@ class DiscreteBayesNet:
             str, tuple[tuple[np.ndarray, ...], np.ndarray, np.ndarray]
         ]
         | None = None,
+        row_counts: np.ndarray | None = None,
+        row_firsts: np.ndarray | None = None,
+        n_rows: int | None = None,
     ) -> "DiscreteBayesNet":
         """Estimate all CPTs from the *integer-coded* columns of ``table``.
 
@@ -107,6 +110,15 @@ class DiscreteBayesNet:
             Optional precomputed count arrays per node (the sharded
             parallel fit of :mod:`repro.exec.fit` passes these); nodes
             not present are counted inline.
+        row_counts / row_firsts / n_rows:
+            Deduplicated-stream form (:mod:`repro.exec.fit_stream`):
+            ``table`` then holds the stream's distinct rows, row ``i``
+            counted ``row_counts[i]`` times and first seen at global
+            stream index ``row_firsts[i]``, out of ``n_rows`` total
+            stream rows.  Inline counts weight up exactly; precomputed
+            ``family_arrays`` / ``cooc`` payloads must already carry
+            stream-weighted counts.  The CPTs are then byte-identical
+            to fitting the full stream.
         """
         unknown = set(dag.nodes) - set(encoding.names)
         if unknown:
@@ -137,7 +149,9 @@ class DiscreteBayesNet:
                     )
             if payload is None:
                 payload = joint_code_counts(
-                    [encoding.codes(node), *(encoding.codes(p) for p in parents)]
+                    [encoding.codes(node), *(encoding.codes(p) for p in parents)],
+                    row_counts=row_counts,
+                    row_firsts=row_firsts,
                 )
             uniq, counts, first = payload
             cpts[node] = CPT.from_coded_counts(
@@ -150,7 +164,7 @@ class DiscreteBayesNet:
                 uniq[1:],
                 counts,
                 first,
-                n_rows=encoding.n_rows,
+                n_rows=n_rows if n_rows is not None else encoding.n_rows,
             )
         return cls(dag, cpts, alpha)
 

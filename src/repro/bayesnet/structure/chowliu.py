@@ -32,6 +32,7 @@ def chow_liu_tree(
     table: Table,
     root: str | None = None,
     encoding: "TableEncoding | None" = None,
+    row_counts=None,
 ) -> DAG:
     """Learn a tree-structured BN by the Chow–Liu algorithm.
 
@@ -45,6 +46,10 @@ def chow_liu_tree(
     encoding:
         Optional interning of ``table``; its coded columns are used
         directly instead of re-factorizing every column.
+    row_counts:
+        Optional deduplicated-stream multiplicities (coded path only;
+        see :mod:`repro.exec.fit_stream`): every entropy then counts row
+        ``i`` ``row_counts[i]`` times, bit-identical to the full stream.
     """
     names = table.schema.names
     if not names:
@@ -60,7 +65,10 @@ def chow_liu_tree(
         columns = {
             n: codes_of([cell_key(v) for v in table.column(n)]) for n in names
         }
-    entropies = {n: entropy_codes(columns[n]) for n in names}
+        row_counts = None
+    entropies = {
+        n: entropy_codes(columns[n], row_counts=row_counts) for n in names
+    }
 
     g = nx.Graph()
     g.add_nodes_from(names)
@@ -68,7 +76,11 @@ def chow_liu_tree(
         for b in names[i + 1 :]:
             mi = max(
                 0.0,
-                entropies[a] + entropies[b] - entropy_codes(columns[a], columns[b]),
+                entropies[a]
+                + entropies[b]
+                - entropy_codes(
+                    columns[a], columns[b], row_counts=row_counts
+                ),
             )
             g.add_edge(a, b, weight=mi)
 

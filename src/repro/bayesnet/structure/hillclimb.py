@@ -42,6 +42,7 @@ def hill_climb(
     max_iter: int = 200,
     epsilon: float = 1e-9,
     encoding: "TableEncoding | None" = None,
+    **score_kwargs,
 ) -> HillClimbResult:
     """Learn a DAG by greedy local search from the empty graph.
 
@@ -64,9 +65,14 @@ def hill_climb(
         ``table``: family counting then rides the coded fast path
         (bit-identical scores, so the same DAG).  Ignored when ``score``
         is a pre-built instance.
+    score_kwargs:
+        Extra keywords for :func:`~repro.bayesnet.structure.scores.make_score`
+        (notably the deduplicated-stream ``row_counts`` / ``row_firsts``
+        / ``n_rows`` of :mod:`repro.exec.fit_stream`).  Ignored when
+        ``score`` is a pre-built instance.
     """
     scorer = (
-        make_score(score, table, encoding=encoding)
+        make_score(score, table, encoding=encoding, **score_kwargs)
         if isinstance(score, str)
         else score
     )

@@ -59,7 +59,10 @@ class MMHCResult:
 
 
 def g2_statistic_codes(
-    xc: np.ndarray, yc: np.ndarray, zcols: Sequence[np.ndarray] = ()
+    xc: np.ndarray,
+    yc: np.ndarray,
+    zcols: Sequence[np.ndarray] = (),
+    row_counts: np.ndarray | None = None,
 ) -> tuple[float, int]:
     """G² statistic and degrees of freedom from integer-coded columns.
 
@@ -70,6 +73,11 @@ def g2_statistic_codes(
     value is within ~1e-12 of the reference dict walk (numpy summation
     order and ``np.log`` vs ``math.log``); the regression suite pins the
     two against each other.
+
+    ``row_counts`` weights each row by an integer multiplicity (the
+    deduplicated-stream form of :mod:`repro.exec.fit_stream`): the cell
+    counts are then the identical int64 values a repeated-row pass would
+    produce, and every downstream margin/df derives from them unchanged.
     """
     n = len(xc)
     if n == 0:
@@ -96,7 +104,14 @@ def g2_statistic_codes(
         cx = int(xc.max()) + 1
         cy = int(yc.max()) + 1
     cell = (zd * cx + xc) * cy + yc
-    keys, n_xyz = np.unique(cell, return_counts=True)
+    if row_counts is None:
+        keys, n_xyz = np.unique(cell, return_counts=True)
+    else:
+        keys, inv = np.unique(cell, return_inverse=True)
+        n_xyz = np.zeros(len(keys), dtype=np.int64)
+        np.add.at(
+            n_xyz, inv.reshape(-1), np.asarray(row_counts, dtype=np.int64)
+        )
 
     # Decompose the distinct cells and group-sum the margins over them.
     ky = keys % cy
@@ -182,6 +197,18 @@ def g2_statistic(
     return _g2_statistic_reference(table, x, y, conditioning)
 
 
+def _chi2_sf(g2: float, df: int) -> float:
+    """Upper-tail χ² probability (scipy when present, Wilson–Hilferty
+    cube-root normal approximation otherwise).  Deterministic across
+    processes, so worker-computed p-values match driver-computed ones."""
+    if _chi2 is not None:
+        return float(_chi2.sf(g2, df))
+    z = ((g2 / df) ** (1.0 / 3.0) - (1 - 2.0 / (9 * df))) / math.sqrt(
+        2.0 / (9 * df)
+    )
+    return 0.5 * math.erfc(z / math.sqrt(2))
+
+
 def independence_p_value(
     table: Table,
     x: str,
@@ -191,13 +218,7 @@ def independence_p_value(
 ) -> float:
     """p-value of the G² conditional-independence test."""
     g2, df = g2_statistic(table, x, y, conditioning, encoding=encoding)
-    if _chi2 is not None:
-        return float(_chi2.sf(g2, df))
-    # Fallback: Wilson–Hilferty cube-root normal approximation.
-    z = ((g2 / df) ** (1.0 / 3.0) - (1 - 2.0 / (9 * df))) / math.sqrt(
-        2.0 / (9 * df)
-    )
-    return 0.5 * math.erfc(z / math.sqrt(2))
+    return _chi2_sf(g2, df)
 
 
 class _AssocCache:
@@ -206,6 +227,16 @@ class _AssocCache:
     The encoding is validated against the table **once** here — the
     per-test hot loop then reads the coded columns directly instead of
     re-running the O(cells) ``matches`` scan on every G² test.
+
+    Two extra construction shapes serve the parallel/streamed fit:
+    :meth:`from_columns` builds a cache straight from coded columns (the
+    exec workers' entry — no table or encoding object in sight), and
+    ``row_counts`` weights every test by deduplicated-stream
+    multiplicities.  When the MMPC phase is sharded over workers, the
+    driver's instance becomes the *merged memo*: per-target shard
+    results feed their (key, association) items back into ``_cache``
+    via :meth:`absorb`, so later driver-side probes replay worker
+    results instead of recomputing.
     """
 
     def __init__(
@@ -214,6 +245,7 @@ class _AssocCache:
         alpha: float,
         max_condition: int,
         encoding: "TableEncoding | None" = None,
+        row_counts: np.ndarray | None = None,
     ):
         self.table = table
         self.alpha = alpha
@@ -223,19 +255,48 @@ class _AssocCache:
             self._columns = {
                 n: encoding.codes(n) for n in table.schema.names
             }
+        self.row_counts = row_counts if self._columns is not None else None
         self.tests = 0
         self._cache: dict[tuple, float] = {}
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: dict[str, np.ndarray],
+        alpha: float,
+        max_condition: int,
+        row_counts: np.ndarray | None = None,
+    ) -> "_AssocCache":
+        """Worker-side construction from coded columns alone."""
+        self = cls.__new__(cls)
+        self.table = None
+        self.alpha = alpha
+        self.max_condition = max_condition
+        self._columns = dict(columns)
+        self.row_counts = row_counts
+        self.tests = 0
+        self._cache = {}
+        return self
+
+    def absorb(self, tests: int, items) -> None:
+        """Merge one shard's test count and memo items into this (the
+        driver-side) cache.  Cross-target keys never collide — every key
+        a target's MMPC run produces starts with that target — so the
+        merged totals equal what one shared serial cache would hold."""
+        self.tests += int(tests)
+        self._cache.update(items)
 
     def _p_value(self, x: str, y: str, conditioning: tuple[str, ...]) -> float:
         if self._columns is None:
             return independence_p_value(self.table, x, y, conditioning)
         cols = self._columns
         g2, df = g2_statistic_codes(
-            cols[x], cols[y], [cols[z] for z in conditioning]
+            cols[x],
+            cols[y],
+            [cols[z] for z in conditioning],
+            row_counts=self.row_counts,
         )
-        if _chi2 is not None:
-            return float(_chi2.sf(g2, df))
-        return independence_p_value(self.table, x, y, conditioning)
+        return _chi2_sf(g2, df)
 
     def assoc(self, x: str, y: str, conditioning: tuple[str, ...]) -> float:
         """Association = 1 − p-value (0 when independent at level α)."""
@@ -257,23 +318,15 @@ class _AssocCache:
         return best
 
 
-def mmpc(
-    table: Table,
-    target: str,
-    alpha: float = 0.05,
-    max_condition: int = 2,
-    cache: _AssocCache | None = None,
-    encoding: "TableEncoding | None" = None,
+def _mmpc_core(
+    names: Sequence[str], target: str, cache: _AssocCache
 ) -> set[str]:
-    """Candidate parents-and-children of ``target`` (MMPC).
-
-    Grow greedily by the max-min heuristic, then shrink by re-testing
-    each member against subsets of the others.
-    """
-    if target not in table.schema.names:
-        raise StructureLearningError(f"unknown attribute {target!r}")
-    cache = cache or _AssocCache(table, alpha, max_condition, encoding)
-    others = [n for n in table.schema.names if n != target]
+    """The MMPC grow/shrink loop over attribute *names* — shared by the
+    driver path (:func:`mmpc`) and the exec workers, which construct the
+    cache via :meth:`_AssocCache.from_columns`.  Candidate enumeration
+    sorts by name, so results are independent of set iteration order
+    (and therefore identical across processes)."""
+    others = [n for n in names if n != target]
 
     cpc: list[str] = []
     candidates = set(others)
@@ -297,6 +350,56 @@ def mmpc(
     return set(cpc)
 
 
+def mmpc(
+    table: Table,
+    target: str,
+    alpha: float = 0.05,
+    max_condition: int = 2,
+    cache: _AssocCache | None = None,
+    encoding: "TableEncoding | None" = None,
+) -> set[str]:
+    """Candidate parents-and-children of ``target`` (MMPC).
+
+    Grow greedily by the max-min heuristic, then shrink by re-testing
+    each member against subsets of the others.
+    """
+    if target not in table.schema.names:
+        raise StructureLearningError(f"unknown attribute {target!r}")
+    cache = cache or _AssocCache(table, alpha, max_condition, encoding)
+    return _mmpc_core(table.schema.names, target, cache)
+
+
+def _iteration_family_keys(
+    dag: DAG,
+    nodes: Sequence[str],
+    allowed: dict[str, tuple[str, ...]],
+    max_parents: int,
+) -> list[tuple[str, tuple[str, ...]]]:
+    """Every family key the next hill-climbing sweep will ask the scorer
+    for, in enumeration order.  A read-only replay of the move loop's
+    guards — enumerating is orders of magnitude cheaper than scoring, so
+    the driver lists the keys first and the exec backends compute the
+    uncached ones in parallel before the (unchanged) serial sweep reads
+    them back out of the scorer's cache."""
+    keys: list[tuple[str, tuple[str, ...]]] = []
+    for u in nodes:
+        for v in allowed[u]:
+            if not dag.has_edge(u, v):
+                if len(dag.parents(v)) >= max_parents:
+                    continue
+                if dag.has_path(v, u):
+                    continue
+                keys.append((v, tuple(sorted([*dag.parents(v), u]))))
+            else:
+                reduced = [p for p in dag.parents(v) if p != u]
+                keys.append((v, tuple(sorted(reduced))))
+                if len(dag.parents(u)) < max_parents and not _rev_cycle(
+                    dag, u, v
+                ):
+                    keys.append((u, tuple(sorted([*dag.parents(u), v]))))
+    return keys
+
+
 def mmhc(
     table: Table,
     score: FamilyScore | str = "bic",
@@ -306,6 +409,12 @@ def mmhc(
     max_iter: int = 200,
     encoding: "TableEncoding | None" = None,
     tracer=NULL_TRACER,
+    row_counts: np.ndarray | None = None,
+    row_firsts: np.ndarray | None = None,
+    n_rows: int | None = None,
+    exec_session=None,
+    executor: str = "serial",
+    n_jobs: int = 1,
 ) -> MMHCResult:
     """Max-min hill-climbing: MMPC skeleton + constrained greedy search.
 
@@ -331,7 +440,24 @@ def mmhc(
     tracer:
         Observability tracer: the two phases run under ``mmhc.mmpc``
         and ``mmhc.hillclimb`` spans carrying their G²-test and
-        move-evaluation counts (no-op by default).
+        move-evaluation counts (no-op by default); parallel dispatches
+        add nested ``mmhc.parallel`` spans.
+    row_counts / row_firsts / n_rows:
+        Deduplicated-stream weighting (see
+        :mod:`repro.exec.fit_stream`): ``table`` then holds the stream's
+        distinct rows, each counted ``row_counts[i]`` times, first seen
+        at global index ``row_firsts[i]``, out of ``n_rows`` total.
+        Results are bit-identical to running on the full stream.
+    exec_session / executor / n_jobs:
+        Parallel structure search.  With a non-serial ``executor`` and
+        an open :class:`~repro.exec.session.ExecSession` over a
+        :class:`~repro.exec.fit.FitJobState` of the same coded columns,
+        the per-target MMPC scans and each sweep's uncached family
+        scores dispatch as task batches over the session's backends
+        (deterministic by-task-index merge; the driver cache becomes a
+        memo fed by shard results).  The search loops themselves stay
+        driver-side, so DAG, score, and both phase counters are
+        bit-identical to the serial path.
     """
     if not 0.0 < alpha < 1.0:
         raise StructureLearningError(f"alpha must be in (0, 1), got {alpha}")
@@ -339,29 +465,105 @@ def mmhc(
     if len(nodes) < 2:
         raise StructureLearningError("need at least two attributes")
 
-    cache = _AssocCache(table, alpha, max_condition, encoding)
+    cache = _AssocCache(
+        table, alpha, max_condition, encoding, row_counts=row_counts
+    )
+    parallel = (
+        exec_session is not None
+        and executor != "serial"
+        and cache._columns is not None
+    )
     with tracer.span("mmhc.mmpc", cat="fit") as mmpc_span:
-        cpc = {
-            n: mmpc(table, n, alpha, max_condition, cache) for n in nodes
-        }
+        if parallel:
+            from repro.exec.fit import run_mmpc_job
+
+            with tracer.span(
+                "mmhc.parallel", cat="fit", phase="mmpc", n_tasks=len(nodes)
+            ) as par_span:
+                shard_results, diag = run_mmpc_job(
+                    exec_session.state,
+                    list(nodes),
+                    alpha=alpha,
+                    max_condition=max_condition,
+                    executor=executor,
+                    n_jobs=n_jobs,
+                    session=exec_session,
+                    tracer=tracer,
+                )
+                par_span.add(backend=diag.get("fit_executor"))
+            cpc = {}
+            for name, (members, tests, items) in zip(nodes, shard_results):
+                cpc[name] = set(members)
+                cache.absorb(tests, items)
+        else:
+            cpc = {
+                n: mmpc(table, n, alpha, max_condition, cache) for n in nodes
+            }
         mmpc_span.add(independence_tests=cache.tests)
     tracer.add_counter("mmhc_independence_tests", cache.tests)
-    # Symmetry correction: keep y in CPC(x) only if x in CPC(y).
-    allowed: dict[str, set[str]] = {
-        n: {y for y in cpc[n] if n in cpc[y]} for n in nodes
+    # Symmetry correction: keep y in CPC(x) only if x in CPC(y).  Sorted
+    # tuples, not sets: the hill-climb enumerates moves in this order,
+    # and a hash-ordered set would make edge insertion order — and with
+    # it CPT parent order and the float summation order of every
+    # downstream score — depend on the process's PYTHONHASHSEED.
+    allowed: dict[str, tuple[str, ...]] = {
+        n: tuple(y for y in sorted(cpc[n]) if n in cpc[y]) for n in nodes
     }
 
     scorer = (
-        make_score(score, table, encoding=encoding)
+        make_score(
+            score,
+            table,
+            encoding=encoding,
+            row_counts=row_counts,
+            row_firsts=row_firsts,
+            n_rows=n_rows,
+        )
         if isinstance(score, str)
         else score
     )
+    prefetch = (
+        parallel and scorer.kind is not None and scorer.encoding is not None
+    )
+
+    def _prime(keys: list[tuple[str, tuple[str, ...]]]) -> None:
+        """Compute the uncached family keys over the exec backends and
+        prime the scorer's cache; the serial sweep then only reads."""
+        missing = [k for k in dict.fromkeys(keys) if k not in scorer._cache]
+        if not missing:
+            return
+        from repro.exec.fit import run_score_job
+
+        with tracer.span(
+            "mmhc.parallel", cat="fit", phase="scores", n_tasks=len(missing)
+        ) as par_span:
+            values, diag = run_score_job(
+                exec_session.state,
+                missing,
+                kind=scorer.kind,
+                ess=getattr(scorer, "ess", 1.0),
+                n_rows=scorer.n_rows,
+                executor=executor,
+                n_jobs=n_jobs,
+                session=exec_session,
+                tracer=tracer,
+            )
+            par_span.add(backend=diag.get("fit_executor"))
+        for key, val in zip(missing, values):
+            scorer._cache[key] = val
+
+    if prefetch:
+        _prime([(n, ()) for n in nodes])
     dag = DAG(nodes)
     current = {n: scorer.family(n, ()) for n in nodes}
     n_eval = 0
 
     with tracer.span("mmhc.hillclimb", cat="fit") as hc_span:
         for _ in range(max_iter):
+            if prefetch:
+                _prime(
+                    _iteration_family_keys(dag, nodes, allowed, max_parents)
+                )
             best_delta = 1e-9
             best_move: tuple[str, str, str] | None = None
             for u in nodes:

@@ -43,6 +43,7 @@ def pc_algorithm(
     alpha: float = 0.05,
     max_condition_size: int = 2,
     encoding: "TableEncoding | None" = None,
+    row_counts=None,
 ) -> PCResult:
     """Learn a DAG with the PC algorithm.
 
@@ -59,6 +60,10 @@ def pc_algorithm(
     encoding:
         Optional interning of ``table``; the G-tests then run on its
         coded columns directly (same statistics, no per-test hashing).
+    row_counts:
+        Optional deduplicated-stream multiplicities (coded path only;
+        see :mod:`repro.exec.fit_stream`): every G-test then counts row
+        ``i`` ``row_counts[i]`` times, bit-identical to the full stream.
     """
     names = table.schema.names
     if encoding is not None and encoding.matches(table):
@@ -67,6 +72,7 @@ def pc_algorithm(
         columns = {
             n: codes_of([cell_key(v) for v in table.column(n)]) for n in names
         }
+        row_counts = None
 
     adjacent: dict[str, set[str]] = {
         n: {m for m in names if m != n} for n in names
@@ -78,7 +84,9 @@ def pc_algorithm(
         nonlocal n_tests
         n_tests += 1
         zcols = None if not cond else [columns[c] for c in cond]
-        g, dof = g_statistic_codes(columns[x], columns[y], zcols)
+        g, dof = g_statistic_codes(
+            columns[x], columns[y], zcols, row_counts=row_counts
+        )
         p_value = scipy_stats.chi2.sf(g, dof)
         return p_value > alpha
 

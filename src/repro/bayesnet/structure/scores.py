@@ -17,6 +17,20 @@ Family counting has two interchangeable paths:
   *bit-identical* across the two paths;
 - the **value-level reference path** (no encoding, or one that no
   longer matches the table): the original per-row ``cell_key`` walk.
+
+The arithmetic of each score lives in a module-level **group-score
+function** (:func:`bic_group_score` and friends) operating on the counts
+of each parent configuration as a plain list, in insertion order.  The
+class ``_score`` methods delegate to those functions, and the sharded
+parallel structure search (:mod:`repro.exec.fit`) calls the very same
+functions worker-side on :func:`family_group_counts` output — the two
+sides run the identical float operation sequence, so prefetched family
+scores are bit-identical to driver-computed ones.
+
+Weighted (deduplicated-stream) counting: ``row_counts``/``row_firsts``
+thread straight into :func:`joint_code_counts`, producing the identical
+integer counts in the identical order a whole-stream pass would — see
+:mod:`repro.exec.fit_stream`.
 """
 
 from __future__ import annotations
@@ -51,6 +65,82 @@ def _family_counts(
     return counts, len(set(child))
 
 
+# -- group-score arithmetic (shared by driver classes and exec workers) -------
+
+
+def family_group_counts(
+    columns: Sequence[np.ndarray],
+    row_counts: np.ndarray | None = None,
+    row_firsts: np.ndarray | None = None,
+) -> list[list[int]]:
+    """Family counts grouped per parent configuration, insertion order.
+
+    ``columns`` is ``[child, *parents]`` (coded).  Each group lists the
+    distinct child-value counts of one observed parent configuration.
+    Groups appear in configuration first-appearance order and counts
+    within a group in child-value first-appearance order — exactly the
+    iteration order of the ``dict[config, Counter]`` the class path
+    builds (distinct code tuples map 1:1 onto distinct key tuples), so
+    feeding these groups to a group-score function reproduces the class
+    ``_score`` bit for bit without needing any vocabulary.
+    """
+    uniq, cnts, _ = joint_code_counts(
+        columns, row_counts=row_counts, row_firsts=row_firsts
+    )
+    parent_cols = [c.tolist() for c in uniq[1:]]
+    groups: list[list[int]] = []
+    index: dict[tuple, list[int]] = {}
+    for i, cnt in enumerate(cnts.tolist()):
+        key = tuple(col[i] for col in parent_cols)
+        group = index.get(key)
+        if group is None:
+            group = index[key] = []
+            groups.append(group)
+        group.append(cnt)
+    return groups
+
+
+def bic_group_score(groups: Sequence[Sequence[int]], r: int, n: int) -> float:
+    """BIC family score from per-configuration count groups."""
+    loglik = 0.0
+    for config_counts in groups:
+        total = sum(config_counts)
+        for c in config_counts:
+            loglik += c * math.log(c / total)
+    q = len(groups)  # observed parent configurations
+    n_params = max(1, q) * max(1, r - 1)
+    return loglik - 0.5 * n_params * math.log(max(2, n))
+
+
+def k2_group_score(groups: Sequence[Sequence[int]], r: int) -> float:
+    """K2 family score from per-configuration count groups."""
+    r = max(1, r)
+    score = 0.0
+    for config_counts in groups:
+        n_ij = sum(config_counts)
+        score += _LGAMMA(r) - _LGAMMA(r + n_ij)
+        for c in config_counts:
+            score += _LGAMMA(c + 1)  # lgamma(1) == 0 baseline
+    return score
+
+
+def bdeu_group_score(
+    groups: Sequence[Sequence[int]], r: int, ess: float
+) -> float:
+    """BDeu family score from per-configuration count groups."""
+    r = max(1, r)
+    q = max(1, len(groups))
+    a_ij = ess / q
+    a_ijk = ess / (q * r)
+    score = 0.0
+    for config_counts in groups:
+        n_ij = sum(config_counts)
+        score += _LGAMMA(a_ij) - _LGAMMA(a_ij + n_ij)
+        for c in config_counts:
+            score += _LGAMMA(a_ijk + c) - _LGAMMA(a_ijk)
+    return score
+
+
 class FamilyScore:
     """Base class: a cached decomposable family score over one table.
 
@@ -61,13 +151,37 @@ class FamilyScore:
     encoding:
         Optional interning of ``table``; when given (and still matching
         the table), family counts come from the coded fast path.
+    row_counts / row_firsts:
+        Optional deduplicated-stream weighting (requires the coded
+        path): row ``i`` counts ``row_counts[i]`` times and first
+        appeared at global stream index ``row_firsts[i]``.
+    n_rows:
+        Total row count the score normalises against; defaults to the
+        table's, but a deduplicated stream passes the stream total.
     """
 
-    def __init__(self, table: Table, encoding: "TableEncoding | None" = None):
+    #: short name used by the sharded score dispatch to rebuild the
+    #: arithmetic worker-side; ``None`` on subclasses the exec layer
+    #: does not know how to mirror (custom scores stay driver-side).
+    kind: str | None = None
+
+    def __init__(
+        self,
+        table: Table,
+        encoding: "TableEncoding | None" = None,
+        row_counts: np.ndarray | None = None,
+        row_firsts: np.ndarray | None = None,
+        n_rows: int | None = None,
+    ):
         self.table = table
         if encoding is not None and not encoding.matches(table):
             encoding = None
         self.encoding = encoding
+        if encoding is None:
+            row_counts = row_firsts = None
+        self.row_counts = row_counts
+        self.row_firsts = row_firsts
+        self.n_rows = int(n_rows) if n_rows is not None else table.n_rows
         self._cache: dict[tuple[str, tuple[str, ...]], float] = {}
         self._r_cache: dict[str, int] = {}
 
@@ -92,7 +206,9 @@ class FamilyScore:
         if enc is None:
             return _family_counts(self.table, node, parents)
         uniq, cnts, _ = joint_code_counts(
-            [enc.codes(node), *(enc.codes(p) for p in parents)]
+            [enc.codes(node), *(enc.codes(p) for p in parents)],
+            row_counts=self.row_counts,
+            row_firsts=self.row_firsts,
         )
         child_keys = enc.vocab(node).keys()
         parent_keys = [enc.vocab(p).keys() for p in parents]
@@ -118,32 +234,23 @@ class FamilyScore:
 class BICScore(FamilyScore):
     """Bayesian information criterion: log-likelihood − ½·k·log n."""
 
+    kind = "bic"
+
     def _score(self, node: str, parents: tuple[str, ...]) -> float:
         counts, r = self.family_counts(node, parents)
-        n = self.table.n_rows
-        loglik = 0.0
-        for config_counts in counts.values():
-            total = sum(config_counts.values())
-            for c in config_counts.values():
-                loglik += c * math.log(c / total)
-        q = len(counts)  # observed parent configurations
-        n_params = max(1, q) * max(1, r - 1)
-        return loglik - 0.5 * n_params * math.log(max(2, n))
+        groups = [list(c.values()) for c in counts.values()]
+        return bic_group_score(groups, r, self.n_rows)
 
 
 class K2Score(FamilyScore):
     """Cooper–Herskovits K2 marginal likelihood (uniform Dirichlet prior)."""
 
+    kind = "k2"
+
     def _score(self, node: str, parents: tuple[str, ...]) -> float:
         counts, r = self.family_counts(node, parents)
-        r = max(1, r)
-        score = 0.0
-        for config_counts in counts.values():
-            n_ij = sum(config_counts.values())
-            score += _LGAMMA(r) - _LGAMMA(r + n_ij)
-            for c in config_counts.values():
-                score += _LGAMMA(c + 1)  # lgamma(1) == 0 baseline
-        return score
+        groups = [list(c.values()) for c in counts.values()]
+        return k2_group_score(groups, r)
 
 
 class BDeuScore(FamilyScore):
@@ -159,28 +266,30 @@ class BDeuScore(FamilyScore):
         Optional interning of ``table`` (coded counting fast path).
     """
 
+    kind = "bdeu"
+
     def __init__(
         self,
         table: Table,
         equivalent_sample_size: float = 1.0,
         encoding: "TableEncoding | None" = None,
+        row_counts: np.ndarray | None = None,
+        row_firsts: np.ndarray | None = None,
+        n_rows: int | None = None,
     ):
-        super().__init__(table, encoding=encoding)
+        super().__init__(
+            table,
+            encoding=encoding,
+            row_counts=row_counts,
+            row_firsts=row_firsts,
+            n_rows=n_rows,
+        )
         self.ess = equivalent_sample_size
 
     def _score(self, node: str, parents: tuple[str, ...]) -> float:
         counts, r = self.family_counts(node, parents)
-        r = max(1, r)
-        q = max(1, len(counts))
-        a_ij = self.ess / q
-        a_ijk = self.ess / (q * r)
-        score = 0.0
-        for config_counts in counts.values():
-            n_ij = sum(config_counts.values())
-            score += _LGAMMA(a_ij) - _LGAMMA(a_ij + n_ij)
-            for c in config_counts.values():
-                score += _LGAMMA(a_ijk + c) - _LGAMMA(a_ijk)
-        return score
+        groups = [list(c.values()) for c in counts.values()]
+        return bdeu_group_score(groups, r, self.ess)
 
 
 SCORES = {

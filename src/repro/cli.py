@@ -91,6 +91,7 @@ def _engine_config(args: argparse.Namespace) -> BCleanConfig:
         n_jobs=args.jobs,
         shard_size=args.shard_size,
         chunk_rows=getattr(args, "chunk_rows", None),
+        fit_chunk_rows=getattr(args, "fit_chunk_rows", None),
         competition_cache=getattr(args, "competition_cache", None),
         persistent_pool=getattr(args, "persistent_pool", True),
         fit_executor=args.fit_executor,
@@ -234,22 +235,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import BCleanService, ModelRegistry
 
-    table = read_csv(args.input, delimiter=args.delimiter)
-
-    registries = []
-    if args.ucs:
-        registries.append(load_uc_spec(args.ucs))
-    if args.induce_ucs:
-        registries.append(induce_registry(table))
-    constraints = merge_registries(*registries) if registries else UCRegistry()
-
     registry = ModelRegistry(args.registry)
-    engine, loaded = registry.fit_or_load(
-        table, config=_engine_config(args), constraints=constraints
-    )
+    streamed = args.fit_chunk_rows is not None and not args.induce_ucs
+    if streamed:
+        # Streamed bootstrap: the training CSV never materialises — the
+        # registry fingerprints its header and fits out-of-core on a
+        # miss.  (--induce-ucs needs the whole table and keeps the
+        # in-memory path.)
+        constraints = (
+            load_uc_spec(args.ucs) if args.ucs else UCRegistry()
+        )
+        engine, loaded = registry.fit_or_load_csv(
+            args.input,
+            config=_engine_config(args),
+            constraints=constraints,
+            chunk_rows=args.fit_chunk_rows,
+            delimiter=args.delimiter,
+        )
+        names = engine.table.schema.names
+    else:
+        table = read_csv(args.input, delimiter=args.delimiter)
+
+        registries = []
+        if args.ucs:
+            registries.append(load_uc_spec(args.ucs))
+        if args.induce_ucs:
+            registries.append(induce_registry(table))
+        constraints = (
+            merge_registries(*registries) if registries else UCRegistry()
+        )
+
+        engine, loaded = registry.fit_or_load(
+            table, config=_engine_config(args), constraints=constraints
+        )
+        names = table.schema.names
     print(
         f"model {'loaded from' if loaded else 'fitted and saved to'} "
-        f"{registry.path_for(table.schema.names)}"
+        f"{registry.path_for(names)}"
     )
     if not args.request:
         return 0
@@ -364,6 +386,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="clean in row blocks of N through the staged "
             "streaming pipeline (default: whole table at once; "
             "repairs are identical at every chunk size)",
+        )
+        p.add_argument(
+            "--fit-chunk-rows",
+            type=int,
+            default=None,
+            metavar="N",
+            help="fit from row blocks of N via mergeable sufficient "
+            "statistics instead of whole-table passes (default: whole "
+            "table at once; DAG, CPTs, and repairs are identical at "
+            "every chunk size — with 'serve' the training CSV is "
+            "streamed and never fully materialised)",
         )
         p.add_argument(
             "--competition-cache",

@@ -175,9 +175,24 @@ class BCleanConfig:
         :mod:`repro.exec` subsystem.  Only applies on the columnar fit
         path (``use_columnar`` with the singleton composition); the
         fitted statistics are byte-identical for every backend.
-        Structure learning itself stays in-process (its search loops are
-        sequential), so the parallel win is bounded by the counting
-        share of fit.
+        The structure search is sharded through the same backends too:
+        MMHC's per-target MMPC scans and each hill-climb sweep's family
+        scores dispatch as fit jobs (see :mod:`repro.exec.fit`), with
+        bit-identical DAGs and scores on every backend.
+    fit_chunk_rows:
+        Row-block size of the *streaming* fit
+        (:mod:`repro.exec.fit_stream`).  ``None`` (default) fits from
+        the whole table in one pass; a positive value folds the table
+        (or the CSV of :meth:`~repro.core.engine.BClean.fit_csv`) into
+        mergeable sufficient statistics one row block at a time —
+        DAG, CPTs, and downstream repairs byte-identical to the
+        whole-table fit at every block size.
+    fit_reservoir_rows:
+        Cap of the row-level reservoir sample a streamed ``fit_csv``
+        keeps for the structure learner's row-order needs (FDX sorts
+        raw tuples); ``0`` disables it.  Streams no longer than the cap
+        are reproduced exactly; ``fit(table, chunk_rows=...)`` always
+        profiles the real table and ignores this knob.
     smoothing_alpha:
         Laplace pseudo-count of the CPTs.
     fdx:
@@ -227,6 +242,8 @@ class BCleanConfig:
     competition_cache: int | None = None
     persistent_pool: bool = True
     fit_executor: str = "serial"
+    fit_chunk_rows: int | None = None
+    fit_reservoir_rows: int = 10_000
     smoothing_alpha: float = 0.1
     fdx: FDXConfig = field(default_factory=FDXConfig)
     structure: str = "fdx"
@@ -260,6 +277,15 @@ class BCleanConfig:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise CleaningError(
                 f"chunk_rows must be positive, got {self.chunk_rows}"
+            )
+        if self.fit_chunk_rows is not None and self.fit_chunk_rows < 1:
+            raise CleaningError(
+                f"fit_chunk_rows must be positive, got {self.fit_chunk_rows}"
+            )
+        if self.fit_reservoir_rows < 0:
+            raise CleaningError(
+                f"fit_reservoir_rows must be non-negative, "
+                f"got {self.fit_reservoir_rows}"
             )
         if self.competition_cache is not None and self.competition_cache < 0:
             raise CleaningError(

@@ -199,6 +199,58 @@ def build_pair_arrays(
     return forward, reverse
 
 
+def build_pair_arrays_stream(
+    codes_a: np.ndarray,
+    card_a: int,
+    codes_b: np.ndarray,
+    card_b: int,
+    weights: np.ndarray,
+    row_counts: np.ndarray,
+    row_firsts: np.ndarray | None = None,
+) -> tuple[PairArrays, PairArrays]:
+    """:func:`build_pair_arrays` over a deduplicated stream.
+
+    The inputs are the *distinct-row* columns of a streamed fit
+    (:mod:`repro.exec.fit_stream`): row ``i`` stands for ``row_counts[i]``
+    stream rows, first seen at global index ``row_firsts[i]``, and
+    ``weights[i]`` is its per-row confidence weight (identical across the
+    duplicates — tuple confidence is a pure function of the row's
+    values).  The outputs are **byte-identical** to running
+    :func:`build_pair_arrays` over the full stream:
+
+    - raw counts are int64 multiplicity sums (``np.add.at``), the exact
+      integers ``return_counts`` would produce;
+    - weighted counts sum ``row_counts · weight`` per distinct pair —
+      every addend is an exactly-representable float64 integer multiple,
+      so the sum equals the full pass's ``bincount`` bit for bit;
+    - first rows are global stream indices (``np.minimum.at`` over
+      ``row_firsts``), preserving the first-appearance orders downstream
+      tie-breaking relies on.
+    """
+    row_counts = np.asarray(row_counts, dtype=np.int64)
+    fused = codes_a * card_b + codes_b
+    keys, local_first, inverse = np.unique(
+        fused, return_index=True, return_inverse=True
+    )
+    inverse = np.ravel(inverse)
+    raw = np.zeros(len(keys), dtype=np.int64)
+    np.add.at(raw, inverse, row_counts)
+    weighted = np.zeros(len(keys), dtype=np.float64)
+    np.add.at(weighted, inverse, row_counts.astype(np.float64) * weights)
+    if row_firsts is None:
+        first = local_first
+    else:
+        first = np.full(len(keys), np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(first, inverse, np.asarray(row_firsts, dtype=np.int64))
+    forward = PairArrays(card_b, keys, raw, weighted, first)
+    rev = (keys % card_b) * card_a + keys // card_b
+    order = np.argsort(rev)
+    reverse = PairArrays(
+        card_a, rev[order], raw[order], weighted[order], first[order]
+    )
+    return forward, reverse
+
+
 class CooccurrenceIndex:
     """All pairwise value co-occurrence statistics of a table.
 
@@ -224,6 +276,14 @@ class CooccurrenceIndex:
         fit passes these).  When given, they must have been built from
         this table's coded columns and ``confidences`` weights; the
         serial per-pair loop is skipped.
+    row_counts / row_firsts / n_rows:
+        Deduplicated-stream form (:mod:`repro.exec.fit_stream`):
+        ``table`` then holds the stream's distinct rows, row ``i``
+        counted ``row_counts[i]`` times and first seen at global index
+        ``row_firsts[i]``, out of ``n_rows`` total stream rows.  Every
+        stored statistic (marginal counts, raw/weighted pair counts,
+        first rows) is then byte-identical to building over the full
+        stream.
     """
 
     def __init__(
@@ -234,19 +294,32 @@ class CooccurrenceIndex:
         beta: float = 2.0,
         encoding: TableEncoding | None = None,
         pair_arrays: dict[tuple[str, str], PairArrays] | None = None,
+        row_counts: np.ndarray | None = None,
+        row_firsts: np.ndarray | None = None,
+        n_rows: int | None = None,
     ):
-        self.n_rows = table.n_rows
+        self.n_rows = int(n_rows) if n_rows is not None else table.n_rows
         self.names = table.schema.names
         self.encoding = encoding if encoding is not None else TableEncoding(table)
-        n, m = self.n_rows, len(self.names)
+        m = len(self.names)
 
-        weights = confidence_weights(confidences, tau, beta, n)
+        weights = confidence_weights(confidences, tau, beta, table.n_rows)
         self.row_weights = weights
 
-        self._counts: dict[str, np.ndarray] = {
-            a: np.bincount(self.encoding.codes(a), minlength=self.encoding.card(a))
-            for a in self.names
-        }
+        if row_counts is None:
+            self._counts: dict[str, np.ndarray] = {
+                a: np.bincount(
+                    self.encoding.codes(a), minlength=self.encoding.card(a)
+                )
+                for a in self.names
+            }
+        else:
+            row_counts = np.asarray(row_counts, dtype=np.int64)
+            self._counts = {}
+            for a in self.names:
+                counts = np.zeros(self.encoding.card(a), dtype=np.int64)
+                np.add.at(counts, self.encoding.codes(a), row_counts)
+                self._counts[a] = counts
 
         if pair_arrays is not None:
             expected = {
@@ -269,13 +342,25 @@ class CooccurrenceIndex:
             card_a = self.encoding.card(a)
             for k in range(j + 1, m):
                 b = self.names[k]
-                self._pair[(a, b)], self._pair[(b, a)] = build_pair_arrays(
-                    codes_a,
-                    card_a,
-                    self.encoding.codes(b),
-                    self.encoding.card(b),
-                    weights,
-                )
+                if row_counts is None:
+                    built = build_pair_arrays(
+                        codes_a,
+                        card_a,
+                        self.encoding.codes(b),
+                        self.encoding.card(b),
+                        weights,
+                    )
+                else:
+                    built = build_pair_arrays_stream(
+                        codes_a,
+                        card_a,
+                        self.encoding.codes(b),
+                        self.encoding.card(b),
+                        weights,
+                        row_counts,
+                        row_firsts,
+                    )
+                self._pair[(a, b)], self._pair[(b, a)] = built
 
     # -- code-level queries ---------------------------------------------------------
 

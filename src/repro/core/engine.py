@@ -93,7 +93,14 @@ from repro.exec import (
     sharded_pair_arrays,
 )
 from repro.exec.cache import CompetitionCache
-from repro.exec.planner import CACHE_MAX_ENTRIES
+from repro.exec.fit_stream import (
+    DEFAULT_CHUNK_ROWS,
+    SuffStats,
+    estimate_stream_fit_cost,
+    suffstats_from_csv,
+    suffstats_from_table,
+)
+from repro.exec.planner import AUTO_FIT_COST_THRESHOLD, CACHE_MAX_ENTRIES
 from repro.exec.state import FitState
 from repro.obs import NULL_TRACER, Tracer
 
@@ -123,6 +130,18 @@ class BClean:
         self._fit_seconds = 0.0
         self._fit_diag: dict = {}
         self._fit_session: ExecSession | None = None
+        # Streaming-fit state (see fit_csv / fit_stats / fit_update):
+        # the mergeable sufficient statistics the model was fitted
+        # from, whether the engine never saw the raw table (csv mode),
+        # and whether fit_update() has folded in rows the structure
+        # has not been re-scored against yet.
+        self._suffstats: SuffStats | None = None
+        self._stream_fitted = False
+        self._structure_stale = False
+        # What set_network() refits CPTs from: a (table, encoding,
+        # row_counts, row_firsts, n_rows) tuple on the coded path,
+        # None when only the scalar walk applies.
+        self._refit: tuple | None = None
         # The engine-held resident execution session (see open_session):
         # one warm pool + one shipped snapshot + one competition memo
         # shared by every clean until close_session() or a refit.
@@ -140,6 +159,7 @@ class BClean:
         dag: DAG | None = None,
         composition: AttributeComposition | None = None,
         encoding: TableEncoding | None = None,
+        chunk_rows: int | None = None,
     ) -> "BClean":
         """Learn the BN and all statistics from the observed dataset.
 
@@ -178,7 +198,46 @@ class BClean:
             while cleaning foreign tables must keep those codes so the
             reloaded model reproduces the in-memory one's repairs
             byte-identically).  Must describe ``table`` exactly.
+        chunk_rows:
+            Consume ``table`` in row blocks of this size through the
+            mergeable sufficient statistics of
+            :mod:`repro.exec.fit_stream` instead of whole-table passes
+            (defaults to ``config.fit_chunk_rows``).  DAG, CPTs, and
+            downstream repairs are byte-identical to the whole-table
+            fit at every chunk size; :meth:`fit_csv` is the
+            out-of-core variant where the table itself never
+            materialises.
         """
+        chunk = chunk_rows if chunk_rows is not None else self.config.fit_chunk_rows
+        if chunk is not None:
+            if composition is not None and any(
+                composition.members(n) != (n,) for n in composition.nodes
+            ):
+                raise CleaningError(
+                    "streaming fit requires the singleton composition"
+                )
+            if not self.config.use_columnar:
+                raise CleaningError(
+                    "streaming fit requires the columnar path (use_columnar)"
+                )
+            tracer = self._ensure_fit_tracer()
+            with tracer.span(
+                "fit.stream", cat="fit", chunk_rows=int(chunk), source="table"
+            ) as span:
+                stats = suffstats_from_table(
+                    table,
+                    int(chunk),
+                    reservoir_rows=self.config.fit_reservoir_rows,
+                    tracer=tracer,
+                )
+                span.add(
+                    rows=stats.n_rows,
+                    distinct=stats.n_distinct,
+                    chunks=stats.n_chunks,
+                )
+            return self.fit_stats(
+                stats, dag=dag, full_table=table, encoding=encoding
+            )
         # A refit invalidates every statistic a resident session's
         # snapshot was built from — close it before anything changes.
         self.close_session()
@@ -222,6 +281,14 @@ class BClean:
             )
             n_jobs = self.config.n_jobs or os.cpu_count() or 1
             self._fit_diag: dict = {}
+            self._suffstats = None
+            self._stream_fitted = False
+            self._structure_stale = False
+            self._refit = (
+                (node_table, self._encoding, None, None, None)
+                if columnar_fit
+                else None
+            )
             # One execution session spans the whole parallel fit: the
             # pair job and the CPT job run on the same warm pool, and
             # the coded columns are shipped to the workers exactly once.
@@ -261,6 +328,8 @@ class BClean:
                         else self._learn_structure(
                             table if columnar_fit else node_table,
                             self._encoding if columnar_fit else None,
+                            fit_executor=fit_executor,
+                            n_jobs=n_jobs,
                         )
                     )
                 unknown = set(self.dag.nodes) ^ set(node_table.schema.names)
@@ -299,6 +368,391 @@ class BClean:
             self._exec_diag: dict = {}
         self._fit_seconds = timer.seconds
         return self
+
+    def _ensure_fit_tracer(self):
+        """The tracer streaming fits report to: a fresh one when the
+        config asks for tracing and none is live yet, the engine's
+        current tracer otherwise (``fit_update`` spans then land in the
+        same trace as the original fit)."""
+        if (
+            self.config.trace is not None or self.config.profile
+        ) and not self._obs.enabled:
+            self._obs = Tracer()
+        return self._obs
+
+    def fit_csv(
+        self,
+        src,
+        chunk_rows: int | None = None,
+        schema=None,
+        dag: DAG | None = None,
+        delimiter: str = ",",
+    ) -> "BClean":
+        """Out-of-core fit: stream a CSV into mergeable sufficient
+        statistics, one row block resident at a time.
+
+        Each block of ``chunk_rows`` rows (default
+        ``config.fit_chunk_rows``, else a bounded default) is folded
+        into the accumulating :class:`~repro.exec.fit_stream.SuffStats`
+        — distinct-row counts over an incrementally minted encoding,
+        plus a bounded reservoir sample for the row-level structure
+        learners — and the model is then fitted from those statistics
+        by :meth:`fit_stats`.  DAG, CPTs, and downstream repairs are
+        byte-identical to fitting the whole CSV in memory, at every
+        chunk size and chunk boundary.
+
+        The engine's fitted ``table`` afterwards is the *distinct-row*
+        table (weighted by multiplicity); ``clean()`` of that table
+        cleans each distinct row once.  Foreign tables (including
+        :meth:`clean_csv` over the original file) clean exactly as
+        after a whole-table fit.
+        """
+        chunk = (
+            chunk_rows
+            if chunk_rows is not None
+            else (self.config.fit_chunk_rows or DEFAULT_CHUNK_ROWS)
+        )
+        if not self.config.use_columnar:
+            raise CleaningError(
+                "fit_csv() requires the columnar path (use_columnar)"
+            )
+        tracer = self._ensure_fit_tracer()
+        with tracer.span(
+            "fit.stream", cat="fit", chunk_rows=int(chunk), source=str(src)
+        ) as span:
+            stats = suffstats_from_csv(
+                src,
+                int(chunk),
+                schema=schema,
+                delimiter=delimiter,
+                reservoir_rows=self.config.fit_reservoir_rows,
+                tracer=tracer,
+            )
+            span.add(
+                rows=stats.n_rows,
+                distinct=stats.n_distinct,
+                chunks=stats.n_chunks,
+            )
+        return self.fit_stats(stats, dag=dag)
+
+    def fit_stats(
+        self,
+        stats: SuffStats,
+        dag: DAG | None = None,
+        full_table: Table | None = None,
+        encoding: TableEncoding | None = None,
+    ) -> "BClean":
+        """Fit the model from accumulated streaming sufficient statistics.
+
+        The shared core behind ``fit(chunk_rows=...)`` (which passes the
+        resident ``full_table`` so the engine keeps cleaning the
+        original rows), :meth:`fit_csv` (no full table — the engine
+        adopts the distinct-row table), :meth:`fit_update`, and the
+        model registry's streamed reload.  Every statistic — pair
+        co-occurrence, structure scores, CPT counts, domains — is
+        computed from the distinct rows weighted by their
+        multiplicities, which the kernels guarantee bit-identical to
+        the whole-table walk.
+        """
+        self.close_session()
+        if not self.config.use_columnar:
+            raise CleaningError(
+                "streaming fit requires the columnar path (use_columnar)"
+            )
+        struct, senc, row_counts, row_firsts = stats.finalize()
+        names = struct.schema.names
+        n_stream = stats.n_rows
+        if full_table is not None and list(full_table.schema.names) != list(
+            names
+        ):
+            raise CleaningError(
+                "table schema does not match the accumulated statistics"
+            )
+        if (
+            encoding is not None
+            and full_table is not None
+            and (
+                encoding.n_rows != full_table.n_rows
+                or list(encoding.names) != list(names)
+            )
+        ):
+            raise CleaningError(
+                "encoding does not describe the fitted table "
+                f"({encoding.n_rows}×{len(encoding.names)} vs "
+                f"{full_table.n_rows}×{len(names)})"
+            )
+        tracer = self._ensure_fit_tracer()
+        with Stopwatch(tracer, "fit_seconds") as timer, tracer.span(
+            "fit", cat="fit", stream=True
+        ):
+            if full_table is not None:
+                self.table = full_table
+                self._encoding = (
+                    encoding if encoding is not None else full_table.encode()
+                )
+            else:
+                self.table = struct
+                self._encoding = senc
+            self.composition = AttributeComposition(names)
+            self._node_table = self.table
+            self._suffstats = stats
+            self._stream_fitted = full_table is None
+            self._structure_stale = False
+            self._refit = (struct, senc, row_counts, row_firsts, n_stream)
+
+            use_ucs = self.config.use_ucs and self.constraints.n_constraints > 0
+            struct_conf = (
+                table_confidences(struct, self.constraints, self.config.lam)
+                if use_ucs
+                else None
+            )
+            if full_table is not None:
+                # clean() reads per-row confidences of the *fitted*
+                # table, so they must stay row-aligned with it.
+                self.confidences = (
+                    table_confidences(
+                        full_table, self.constraints, self.config.lam
+                    )
+                    if use_ucs
+                    else None
+                )
+            else:
+                self.confidences = struct_conf
+            weights = confidence_weights(
+                struct_conf, self.config.tau, self.config.beta, struct.n_rows
+            )
+
+            fit_executor = self.config.fit_executor
+            n_jobs = self.config.n_jobs or os.cpu_count() or 1
+            self._fit_diag = {
+                "stream_fit": {
+                    "n_rows": int(n_stream),
+                    "n_distinct": int(stats.n_distinct),
+                    "n_chunks": int(stats.n_chunks),
+                    "reservoir_exact": bool(stats.reservoir_exact),
+                }
+            }
+            if fit_executor == "auto":
+                # The streamed cost model: distinct rows × attribute
+                # pairs is what the sharded jobs actually scan.  Small
+                # fused tables stay serial — pool spin-up would dwarf
+                # the counting passes.
+                est = estimate_stream_fit_cost(struct.n_rows, len(names))
+                if n_jobs <= 1 or est < AUTO_FIT_COST_THRESHOLD:
+                    fit_executor = "serial"
+                self._fit_diag["auto"] = True
+            # One session spans pair counting, the parallel structure
+            # search, and CPT counting: the weighted coded columns ship
+            # to the workers exactly once.
+            self._fit_session = ExecSession(
+                build_fit_state(
+                    senc,
+                    names,
+                    weights,
+                    row_counts=row_counts,
+                    row_firsts=row_firsts,
+                    n_rows=n_stream,
+                ),
+                n_jobs,
+                persistent=self.config.persistent_pool,
+                tracer=tracer,
+            )
+            try:
+                with tracer.span("fit.cooccurrence", cat="fit"):
+                    pairs, diag = sharded_pair_arrays(
+                        senc,
+                        names,
+                        weights,
+                        fit_executor,
+                        n_jobs,
+                        session=self._fit_session,
+                    )
+                    self._fit_diag.update(
+                        {
+                            "fit_executor": diag["fit_executor"],
+                            "n_jobs": diag["n_jobs"],
+                            "pair_tasks": diag["n_pair_tasks"],
+                            "pair_shards": diag["n_shards"],
+                        }
+                    )
+                    self._merge_fit_flags(diag)
+                    if full_table is not None:
+                        self.cooc = CooccurrenceIndex(
+                            full_table,
+                            self.confidences,
+                            tau=self.config.tau,
+                            beta=self.config.beta,
+                            encoding=self._encoding,
+                            pair_arrays=pairs,
+                        )
+                    else:
+                        self.cooc = CooccurrenceIndex(
+                            struct,
+                            struct_conf,
+                            tau=self.config.tau,
+                            beta=self.config.beta,
+                            encoding=senc,
+                            pair_arrays=pairs,
+                            row_counts=row_counts,
+                            row_firsts=row_firsts,
+                            n_rows=n_stream,
+                        )
+                with tracer.span(
+                    "fit.structure", cat="fit", learner=self.config.structure
+                ):
+                    row_table = (
+                        full_table
+                        if full_table is not None
+                        else stats.reservoir_table()
+                    )
+                    if (
+                        dag is None
+                        and full_table is None
+                        and row_table.n_rows == 0
+                        and n_stream > 0
+                        and self.config.structure.lower() == "fdx"
+                    ):
+                        raise CleaningError(
+                            "streamed fdx structure learning needs the "
+                            "reservoir sample; set fit_reservoir_rows > 0"
+                        )
+                    self.dag = (
+                        dag
+                        if dag is not None
+                        else self._learn_structure(
+                            struct,
+                            senc,
+                            row_counts=row_counts,
+                            row_firsts=row_firsts,
+                            n_rows=n_stream,
+                            row_table=row_table,
+                            fit_executor=fit_executor,
+                            n_jobs=n_jobs,
+                        )
+                    )
+                unknown = set(self.dag.nodes) ^ set(names)
+                if unknown:
+                    raise CleaningError(
+                        f"DAG nodes do not match composition nodes: {sorted(unknown)}"
+                    )
+                with tracer.span("fit.cpts", cat="fit"):
+                    family_arrays = None
+                    if fit_executor != "serial":
+                        families = [
+                            (node, self.dag.parents(node))
+                            for node in self.dag.nodes
+                            if len(self.dag.parents(node)) != 1
+                        ]
+                        if families:
+                            family_arrays, fdiag = sharded_family_arrays(
+                                senc,
+                                names,
+                                families,
+                                weights,
+                                fit_executor,
+                                n_jobs,
+                                session=self._fit_session,
+                            )
+                            self._fit_diag["cpt_tasks"] = fdiag["n_cpt_tasks"]
+                            self._fit_diag["cpt_shards"] = fdiag["n_shards"]
+                            self._merge_fit_flags(fdiag)
+                    self.bn = DiscreteBayesNet.fit_columnar(
+                        struct,
+                        self.dag,
+                        alpha=self.config.smoothing_alpha,
+                        encoding=senc,
+                        cooc=self.cooc,
+                        family_arrays=family_arrays,
+                        row_counts=row_counts,
+                        row_firsts=row_firsts,
+                        n_rows=n_stream,
+                    )
+            finally:
+                self._fit_diag["pools_created"] = (
+                    self._fit_session.pools_created
+                )
+                self._fit_diag["snapshot_ships"] = (
+                    self._fit_session.snapshot_ships
+                )
+                self._fit_session.close()
+                self._fit_session = None
+
+            self.comp = CompensatoryScorer(
+                self.cooc, frequency_weight=self.config.frequency_weight
+            )
+            self.domains = DomainIndex(struct, row_counts=row_counts)
+            self.subnets = partition(self.dag)
+            self.pruner = DomainPruner(
+                self.cooc, top_k=self.config.domain_prune_top_k
+            )
+            self._uc_cache = {}
+            self._cell_cache = {}
+            self._columnar = None
+            self._domain_code_cache = {}
+            self._uc_mask_cache = {}
+            self._exec_diag = {}
+        self._fit_seconds = timer.seconds
+        return self
+
+    def fit_update(self, new_rows) -> "BClean":
+        """Fold fresh rows into the fitted statistics and refit — the
+        incremental half of the streaming fit.
+
+        ``new_rows`` (a :class:`~repro.dataset.table.Table` or an
+        iterable of row tuples under the fitted schema) is merged into
+        the engine's :class:`~repro.exec.fit_stream.SuffStats` as one
+        more stream chunk; co-occurrence, CPTs, domains, and pruning
+        state are refit from the merged counts.  The learned DAG is
+        kept — structure re-scoring is deferred (``structure_stale``
+        turns true) until :meth:`refresh_structure` — so
+        ``fit(A); fit_update(B)`` carries exactly the statistics of
+        ``fit(A + B)`` under the same network.
+
+        A whole-table-fitted engine upgrades lazily: its table is
+        folded into fresh statistics first (one chunk), so the update
+        path is available without ever having streamed.
+        """
+        if self.bn is None or self.table is None:
+            raise CleaningError("fit() must be called before fit_update()")
+        if not (self.config.use_columnar and self._singleton_composition()):
+            raise CleaningError(
+                "fit_update() requires the columnar path (use_columnar "
+                "with the singleton composition)"
+            )
+        if isinstance(new_rows, Table):
+            chunk = new_rows
+        else:
+            chunk = Table.from_rows(
+                self.table.schema, [tuple(row) for row in new_rows]
+            )
+        stats = self._suffstats
+        if stats is None:
+            stats = suffstats_from_table(
+                self.table,
+                max(1, self.table.n_rows),
+                reservoir_rows=self.config.fit_reservoir_rows,
+            )
+        stats.update(chunk)
+        self.fit_stats(stats, dag=self.dag)
+        self._structure_stale = True
+        return self
+
+    def refresh_structure(self) -> "BClean":
+        """Re-learn the structure from the current statistics — the
+        deferred half of :meth:`fit_update` (clears
+        ``structure_stale``)."""
+        if self._suffstats is None:
+            raise CleaningError(
+                "refresh_structure() requires a streamed fit "
+                "(fit_csv/fit_update/fit with chunk_rows)"
+            )
+        return self.fit_stats(self._suffstats)
+
+    @property
+    def structure_stale(self) -> bool:
+        """Whether :meth:`fit_update` has folded in rows the DAG has
+        not been re-scored against (see :meth:`refresh_structure`)."""
+        return self._structure_stale
 
     def _build_cooccurrence(
         self, table: Table, fit_executor: str, n_jobs: int
@@ -352,6 +806,9 @@ class BClean:
         ):
             if diag.get(key):
                 self._fit_diag[key] = True
+        reason = diag.get("ran_serially_reason")
+        if reason and "ran_serially_reason" not in self._fit_diag:
+            self._fit_diag["ran_serially_reason"] = reason
 
     def _fit_network(
         self,
@@ -398,23 +855,65 @@ class BClean:
         )
 
     def _learn_structure(
-        self, node_table: Table, encoding: TableEncoding | None = None
+        self,
+        node_table: Table,
+        encoding: TableEncoding | None = None,
+        row_counts: np.ndarray | None = None,
+        row_firsts: np.ndarray | None = None,
+        n_rows: int | None = None,
+        row_table: Table | None = None,
+        fit_executor: str = "serial",
+        n_jobs: int = 1,
     ) -> DAG:
-        if node_table.n_rows < 2:
+        """Dispatch to the configured structure learner.
+
+        Streamed fits pass the distinct-row table with its
+        ``row_counts``/``row_firsts``/``n_rows`` multiplicities (scores
+        and G² tests then match the full stream bit for bit) plus a
+        ``row_table`` for the row-level learners (fdx); with a parallel
+        ``fit_executor`` and a live fit session, MMHC shards its
+        independence tests and score evaluations over the session
+        backends.
+        """
+        total_rows = n_rows if n_rows is not None else node_table.n_rows
+        if total_rows < 2:
             # Nothing to profile: an edge-free network makes cleaning a
             # no-op, which is the only defensible output for one row.
             return DAG(node_table.schema.names)
         name = self.config.structure.lower()
         if name == "fdx":
-            return fdx_structure(node_table, self.config.fdx).dag
+            return fdx_structure(
+                row_table if row_table is not None else node_table,
+                self.config.fdx,
+            ).dag
         if name == "hillclimb":
-            return hill_climb(node_table, encoding=encoding).dag
+            return hill_climb(
+                node_table,
+                encoding=encoding,
+                row_counts=row_counts,
+                row_firsts=row_firsts,
+                n_rows=n_rows,
+            ).dag
         if name == "chowliu":
-            return chow_liu_tree(node_table, encoding=encoding)
+            return chow_liu_tree(
+                node_table, encoding=encoding, row_counts=row_counts
+            )
         if name == "pc":
-            return pc_algorithm(node_table, encoding=encoding).dag
+            return pc_algorithm(
+                node_table, encoding=encoding, row_counts=row_counts
+            ).dag
         if name == "mmhc":
-            return mmhc(node_table, encoding=encoding, tracer=self._obs).dag
+            return mmhc(
+                node_table,
+                encoding=encoding,
+                tracer=self._obs,
+                row_counts=row_counts,
+                row_firsts=row_firsts,
+                n_rows=n_rows,
+                exec_session=self._fit_session,
+                executor=fit_executor,
+                n_jobs=n_jobs,
+            ).dag
         raise CleaningError(
             f"unknown structure learner {self.config.structure!r}"
         )
@@ -424,6 +923,12 @@ class BClean:
 
         ``refit_nodes`` restricts CPT re-estimation to the touched
         attributes; ``None`` refits everything.
+
+        On the columnar path (including every streamed fit) the refit
+        runs through the coded counting of
+        :meth:`DiscreteBayesNet.fit_columnar` — byte-identical CPTs to
+        the scalar walk, without re-interning a cell; the scalar walk
+        remains the path for merged-node compositions.
         """
         if self.table is None or self.bn is None:
             raise CleaningError("fit() must be called before set_network()")
@@ -432,15 +937,33 @@ class BClean:
         # it) — both are stale now.
         self.close_session()
         self.dag = dag
-        if refit_nodes is None:
-            self.bn = DiscreteBayesNet.fit(
-                self._node_table, dag, alpha=self.config.smoothing_alpha
+        alpha = self.config.smoothing_alpha
+        if self._refit is not None:
+            rtable, renc, row_counts, row_firsts, n_rows = self._refit
+            fitted = DiscreteBayesNet.fit_columnar(
+                rtable,
+                dag,
+                alpha=alpha,
+                encoding=renc,
+                cooc=self.cooc,
+                row_counts=row_counts,
+                row_firsts=row_firsts,
+                n_rows=n_rows,
             )
+            if refit_nodes is None:
+                self.bn = fitted
+            else:
+                cpts = {**self.bn.cpts}
+                for node in refit_nodes:
+                    cpts[node] = fitted.cpts[node]
+                self.bn = DiscreteBayesNet(dag, cpts, alpha=alpha)
+        elif refit_nodes is None:
+            self.bn = DiscreteBayesNet.fit(self._node_table, dag, alpha=alpha)
         else:
             self.bn = DiscreteBayesNet(
                 dag,
                 {**self.bn.cpts},
-                alpha=self.config.smoothing_alpha,
+                alpha=alpha,
             )
             self.bn.refit_nodes(self._node_table, list(refit_nodes))
         self.subnets = partition(dag)

@@ -26,15 +26,38 @@ class Domain:
     n_null: int = 0
 
     @classmethod
-    def from_column(cls, attribute: str, values: Iterable[Cell]) -> "Domain":
-        """Collect the domain of ``values`` (NULLs counted separately)."""
+    def from_column(
+        cls,
+        attribute: str,
+        values: Iterable[Cell],
+        weights: Iterable[int] | None = None,
+    ) -> "Domain":
+        """Collect the domain of ``values`` (NULLs counted separately).
+
+        ``weights`` are optional integer multiplicities aligned with
+        ``values`` (the deduplicated-stream form of
+        :mod:`repro.exec.fit_stream`): value ``i`` then counts
+        ``weights[i]`` times.  Because the struct table lists values in
+        stream first-appearance order, the resulting counter — counts
+        *and* insertion order, which ``most_common`` tie-breaking relies
+        on — is identical to a full-stream pass.
+        """
         dom = cls(attribute)
-        for v in values:
-            dom.n_total += 1
+        if weights is None:
+            for v in values:
+                dom.n_total += 1
+                if is_null(v):
+                    dom.n_null += 1
+                else:
+                    dom.counts[v] += 1
+            return dom
+        for v, w in zip(values, weights):
+            w = int(w)
+            dom.n_total += w
             if is_null(v):
-                dom.n_null += 1
+                dom.n_null += w
             else:
-                dom.counts[v] += 1
+                dom.counts[v] += w
         return dom
 
     @property
@@ -69,12 +92,18 @@ class Domain:
 
 
 class DomainIndex:
-    """Domains of every attribute of a table, computed once."""
+    """Domains of every attribute of a table, computed once.
 
-    def __init__(self, table: Table):
+    ``row_counts`` are optional per-row integer multiplicities (the
+    deduplicated-stream form): every domain then counts row ``i``
+    ``row_counts[i]`` times, identical to indexing the full stream.
+    """
+
+    def __init__(self, table: Table, row_counts=None):
         self.table = table
+        weights = None if row_counts is None else list(row_counts)
         self._domains = {
-            name: Domain.from_column(name, table.column(name))
+            name: Domain.from_column(name, table.column(name), weights)
             for name in table.schema.names
         }
 

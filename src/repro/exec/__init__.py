@@ -53,8 +53,20 @@ from repro.exec.fit import (
     FitTasks,
     build_fit_state,
     run_fit_job,
+    run_mmpc_job,
+    run_score_job,
     sharded_family_arrays,
     sharded_pair_arrays,
+)
+from repro.exec.fit_stream import (
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_RESERVOIR_ROWS,
+    SuffStats,
+    estimate_stream_fit_cost,
+    iter_table_chunks,
+    suffstats_from_chunks,
+    suffstats_from_csv,
+    suffstats_from_table,
 )
 from repro.exec.merge import (
     MergedDecisions,
@@ -91,6 +103,8 @@ __all__ = [
     "CACHE_MAX_ENTRIES",
     "CACHE_MIN_ENTRIES",
     "ChunkView",
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_RESERVOIR_ROWS",
     "CompetitionCache",
     "CsvSink",
     "EXECUTOR_NAMES",
@@ -108,6 +122,7 @@ __all__ = [
     "ShardPlan",
     "ShardResult",
     "StreamDriver",
+    "SuffStats",
     "TableSink",
     "ThreadBackend",
     "build_fit_state",
@@ -115,13 +130,20 @@ __all__ = [
     "concat_chunk_repairs",
     "default_cache_entries",
     "estimate_competition_costs",
+    "estimate_stream_fit_cost",
     "extrapolate_stream_cost",
     "get_backend",
+    "iter_table_chunks",
     "merge_shard_results",
     "partition_cached",
     "plan_shards",
     "resolve_executor",
     "run_fit_job",
+    "run_mmpc_job",
+    "run_score_job",
     "sharded_family_arrays",
     "sharded_pair_arrays",
+    "suffstats_from_chunks",
+    "suffstats_from_csv",
+    "suffstats_from_table",
 ]

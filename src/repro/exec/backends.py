@@ -151,6 +151,10 @@ class ThreadBackend:
         #: (one worker or one shard) — surfaced in engine diagnostics so
         #: timings are not misread as pool overhead
         self.ran_serially = False
+        #: why the short-circuit happened ("n_jobs=1" / "single_shard"),
+        #: recorded alongside ``ran_serially`` so diagnostics that also
+        #: report a shard count are not read as contradictory
+        self.serial_reason: str | None = None
         #: thread pools spawned over the session's lifetime
         self.pools_created = 0
         self.tracer = tracer
@@ -172,6 +176,10 @@ class ThreadBackend:
         tracer = self.tracer
         if self._pool is None and (len(shards) <= 1 or self.n_jobs == 1):
             self.ran_serially = True
+            if self.serial_reason is None:
+                self.serial_reason = (
+                    "n_jobs=1" if self.n_jobs == 1 else "single_shard"
+                )
             if not tracer.enabled:
                 return [self._state.run_shard(s, payload) for s in shards]
             return _run_timed_serial(
@@ -349,6 +357,9 @@ class ProcessBackend:
         #: one shard before any pool existed): no pool was created and
         #: no snapshot was shipped
         self.ran_serially = False
+        #: why serial execution happened ("n_jobs=1" / "single_shard" /
+        #: "degraded") — the provenance companion of ``ran_serially``
+        self.serial_reason: str | None = None
         #: set when the snapshot's arrays travelled via shared memory
         self.shm_used = False
         #: out-of-band bytes shipped through the static segment
@@ -376,6 +387,13 @@ class ProcessBackend:
 
     def _serial(self, payload, shards: Sequence[Shard]) -> list[ShardResult]:
         self.ran_serially = True
+        if self.serial_reason is None:
+            if self._degraded:
+                self.serial_reason = "degraded"
+            elif self.n_jobs == 1:
+                self.serial_reason = "n_jobs=1"
+            else:
+                self.serial_reason = "single_shard"
         if not self.tracer.enabled:
             return [self._state.run_shard(s, payload) for s in shards]
         return _run_timed_serial(self._state, payload, shards, self.shard_times)

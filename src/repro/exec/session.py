@@ -230,10 +230,13 @@ class ExecSession:
             getattr(b, "shm_used", False) for b in self._backends.values()
         )
 
-    def flags(self) -> dict[str, bool]:
+    def flags(self) -> dict:
         """Sticky degradation flags across every backend the session
-        created, in the diagnostics' key vocabulary."""
-        out: dict[str, bool] = {}
+        created, in the diagnostics' key vocabulary.  ``ran_serially``
+        carries its reason alongside (``ran_serially_reason``) so a
+        diagnostics consumer never has to reconcile "ran serially" with
+        a positive shard count on its own."""
+        out: dict = {}
         for backend in self._backends.values():
             if getattr(backend, "fell_back", False):
                 out["process_fallback"] = True
@@ -241,4 +244,7 @@ class ExecSession:
                 out["pool_broken"] = True
             if getattr(backend, "ran_serially", False):
                 out["ran_serially"] = True
+                reason = getattr(backend, "serial_reason", None)
+                if reason and "ran_serially_reason" not in out:
+                    out["ran_serially_reason"] = reason
         return out

@@ -44,6 +44,8 @@ import json
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from repro.bayesnet.serialize import (
     FORMAT_VERSION,
     bn_from_dict,
@@ -57,9 +59,24 @@ from repro.dataset.encoding import TableEncoding
 from repro.dataset.schema import Attribute, AttrType, Schema
 from repro.dataset.table import Table
 from repro.errors import CleaningError
+from repro.exec.fit_stream import SuffStats
 
 #: the one file a registry entry consists of
 MODEL_FILE = "model.json"
+
+
+def _csv_header(source, delimiter: str = ",") -> list[str]:
+    """The attribute names of a CSV, from its header row alone (the
+    streamed bootstrap must fingerprint the schema without reading the
+    file)."""
+    import csv
+
+    with open(source, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        try:
+            return next(reader)
+        except StopIteration:
+            raise CleaningError(f"empty CSV: {source}") from None
 
 
 def schema_fingerprint(names: Sequence[str]) -> str:
@@ -179,6 +196,17 @@ class ModelRegistry:
             "config": config_to_dict(engine.config),
             "bn": bn_to_dict(engine.bn, encoding=engine._encoding),
         }
+        if getattr(engine, "_stream_fitted", False) and engine._suffstats is not None:
+            # A streamed fit's table is the distinct-row struct table:
+            # persist the multiplicities so the reload weights every
+            # statistic back up instead of counting struct rows once.
+            stats = engine._suffstats
+            payload["stream"] = {
+                "n_rows": int(stats.n_rows),
+                "n_chunks": int(stats.n_chunks),
+                "row_counts": stats.row_counts.tolist(),
+                "row_firsts": stats.row_firsts.tolist(),
+            }
         path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
         return path
 
@@ -218,7 +246,24 @@ class ModelRegistry:
         encoding._source = table
         encoding._source_mutations = table.mutation_count
         engine = BClean(config, constraints)
-        engine.fit(table, dag=bn.dag, encoding=encoding)
+        stream = payload.get("stream")
+        if stream is not None:
+            # Streamed model: the persisted table holds distinct row
+            # signatures — rehydrate the sufficient statistics and refit
+            # through the weighted path, never the plain (unweighted)
+            # whole-table fit.
+            stats = SuffStats.from_finalized(
+                table,
+                encoding,
+                np.asarray(stream["row_counts"], dtype=np.int64),
+                np.asarray(stream["row_firsts"], dtype=np.int64),
+                int(stream["n_rows"]),
+                n_chunks=int(stream.get("n_chunks", 1)),
+                reservoir_rows=config.fit_reservoir_rows,
+            )
+            engine.fit_stats(stats, dag=bn.dag)
+        else:
+            engine.fit(table, dag=bn.dag, encoding=encoding)
         # The persisted CPTs are authoritative (they may be hand-edited,
         # §7.3.2); for an untouched model the refitted counts are
         # identical, so this is a no-op there.
@@ -245,3 +290,40 @@ class ModelRegistry:
         engine.fit(table)
         self.save(engine)
         return engine, False
+
+    def fit_or_load_csv(
+        self,
+        src,
+        config: BCleanConfig | None = None,
+        constraints: UCRegistry | None = None,
+        chunk_rows: int | None = None,
+        schema=None,
+        delimiter: str = ",",
+    ) -> tuple[BClean, bool]:
+        """:meth:`fit_or_load` from a training CSV that is never fully
+        materialised: the schema fingerprint comes from a header-only
+        peek, a saved model reloads as usual, and a miss fits
+        out-of-core through :meth:`BClean.fit_csv` (one row block
+        resident at a time) before saving."""
+        names = (
+            list(schema.names) if schema is not None else _csv_header(src, delimiter)
+        )
+        if self.contains(names):
+            return (
+                self.load(names, constraints=constraints, config=config),
+                True,
+            )
+        engine = BClean(config, constraints)
+        engine.fit_csv(
+            src, chunk_rows=chunk_rows, schema=schema, delimiter=delimiter
+        )
+        self.save(engine)
+        return engine, False
+
+    def fit_update(self, engine: BClean, new_rows) -> Path:
+        """Fold fresh rows into a fitted engine
+        (:meth:`BClean.fit_update`) and re-persist its model — the
+        registry entry then carries the merged statistics, so any later
+        reload serves the updated model."""
+        engine.fit_update(new_rows)
+        return self.save(engine)

@@ -59,8 +59,34 @@ def codes_of(values: Sequence[Hashable]) -> np.ndarray:
     return out
 
 
+def _weighted_counts_firsts(
+    inverse: np.ndarray,
+    n_keys: int,
+    row_counts: np.ndarray,
+    row_firsts: np.ndarray | None,
+    first_fallback: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce per-row multiplicities (and optional global first-row
+    indices) onto distinct-key slots.
+
+    Equivalent to counting each deduplicated input row ``row_counts``
+    times: the counts are exact int64 sums, and the first-appearance
+    index of a configuration is the minimum ``row_firsts`` over the
+    deduplicated rows that map to it (a configuration first appears in
+    whichever of its carrier rows appeared first)."""
+    counts = np.zeros(n_keys, dtype=np.int64)
+    np.add.at(counts, inverse, row_counts)
+    if row_firsts is None:
+        return counts, first_fallback
+    first = np.full(n_keys, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(first, inverse, np.asarray(row_firsts, dtype=np.int64))
+    return counts, first
+
+
 def joint_code_counts(
     columns: Sequence[np.ndarray],
+    row_counts: np.ndarray | None = None,
+    row_firsts: np.ndarray | None = None,
 ) -> tuple[tuple[np.ndarray, ...], np.ndarray, np.ndarray]:
     """Distinct joint configurations of coded columns, with counts.
 
@@ -69,6 +95,20 @@ def joint_code_counts(
     columns:
         Equal-length arrays of non-negative integer codes (one per
         variable).
+    row_counts:
+        Optional per-row multiplicities: row ``i`` counts as
+        ``row_counts[i]`` occurrences instead of one.  This is the
+        sufficient-statistics entry point of the streaming fit
+        (:mod:`repro.exec.fit_stream`): the rows are then the
+        *deduplicated* rows of a larger stream, and the returned counts
+        are exactly what the full stream would have produced.
+    row_firsts:
+        With ``row_counts``: the global first-appearance index of each
+        deduplicated row in the original stream.  The returned
+        ``first_rows`` are then global stream indices (and the entry
+        order is the stream's first-appearance order), keeping every
+        downstream insertion-order contract identical to a whole-table
+        pass.
 
     Returns
     -------
@@ -89,6 +129,9 @@ def joint_code_counts(
     if n == 0:
         empty = np.empty(0, dtype=np.int64)
         return tuple(empty for _ in cols), empty.copy(), empty.copy()
+    weighted = row_counts is not None
+    if weighted:
+        row_counts = np.asarray(row_counts, dtype=np.int64)
     cards = [int(c.max()) + 1 for c in cols]
     span = 1
     for card in cards:
@@ -97,9 +140,17 @@ def joint_code_counts(
         fused = cols[0]
         for col, card in zip(cols[1:], cards[1:]):
             fused = fused * card + col
-        keys, first, counts = np.unique(
-            fused, return_index=True, return_counts=True
-        )
+        if weighted:
+            keys, first, inverse = np.unique(
+                fused, return_index=True, return_inverse=True
+            )
+            counts, first = _weighted_counts_firsts(
+                inverse, len(keys), row_counts, row_firsts, first
+            )
+        else:
+            keys, first, counts = np.unique(
+                fused, return_index=True, return_counts=True
+            )
         order = np.argsort(first, kind="stable")
         keys, first, counts = keys[order], first[order], counts[order]
         parts = []
@@ -110,9 +161,17 @@ def joint_code_counts(
         uniq = tuple(reversed(parts))
     else:  # pragma: no cover - needs >2^62 joint states; exercised via unit test
         stacked = np.column_stack(cols)
-        keys2d, first, counts = np.unique(
-            stacked, axis=0, return_index=True, return_counts=True
-        )
+        if weighted:
+            keys2d, first, inverse = np.unique(
+                stacked, axis=0, return_index=True, return_inverse=True
+            )
+            counts, first = _weighted_counts_firsts(
+                np.ravel(inverse), len(keys2d), row_counts, row_firsts, first
+            )
+        else:
+            keys2d, first, counts = np.unique(
+                stacked, axis=0, return_index=True, return_counts=True
+            )
         order = np.argsort(first, kind="stable")
         keys2d, first, counts = keys2d[order], first[order], counts[order]
         uniq = tuple(keys2d[:, i] for i in range(keys2d.shape[1]))
@@ -147,29 +206,51 @@ def entropy_from_counts(counts: np.ndarray, n: int) -> float:
     return h
 
 
-def entropy_codes(*columns: np.ndarray) -> float:
-    """Empirical (joint) entropy of one or more coded columns, in nats."""
+def entropy_codes(
+    *columns: np.ndarray, row_counts: np.ndarray | None = None
+) -> float:
+    """Empirical (joint) entropy of one or more coded columns, in nats.
+
+    ``row_counts`` weights each row by an integer multiplicity (the
+    deduplicated-stream form); the counts it produces are the identical
+    int64 values a repeated-row pass would count, so the Python-int
+    entropy accumulation below is bit-identical either way.
+    """
     if not columns or len(columns[0]) == 0:
         return 0.0
-    _, counts, _ = joint_code_counts(columns)
-    return entropy_from_counts(counts, len(columns[0]))
+    _, counts, _ = joint_code_counts(columns, row_counts=row_counts)
+    n = (
+        len(columns[0])
+        if row_counts is None
+        else int(np.asarray(row_counts, dtype=np.int64).sum())
+    )
+    return entropy_from_counts(counts, n)
 
 
-def mutual_information_codes(x: np.ndarray, y: np.ndarray) -> float:
+def mutual_information_codes(
+    x: np.ndarray, y: np.ndarray, row_counts: np.ndarray | None = None
+) -> float:
     """Empirical mutual information of two coded columns (clamped ≥ 0)."""
-    mi = entropy_codes(x) + entropy_codes(y) - entropy_codes(x, y)
+    mi = (
+        entropy_codes(x, row_counts=row_counts)
+        + entropy_codes(y, row_counts=row_counts)
+        - entropy_codes(x, y, row_counts=row_counts)
+    )
     return max(0.0, mi)
 
 
 def conditional_mutual_information_codes(
-    x: np.ndarray, y: np.ndarray, zcols: Sequence[np.ndarray]
+    x: np.ndarray,
+    y: np.ndarray,
+    zcols: Sequence[np.ndarray],
+    row_counts: np.ndarray | None = None,
 ) -> float:
     """Empirical I(X; Y | Z) of coded columns, Z possibly multi-variable."""
     cmi = (
-        entropy_codes(x, *zcols)
-        + entropy_codes(y, *zcols)
-        - entropy_codes(x, y, *zcols)
-        - entropy_codes(*zcols)
+        entropy_codes(x, *zcols, row_counts=row_counts)
+        + entropy_codes(y, *zcols, row_counts=row_counts)
+        - entropy_codes(x, y, *zcols, row_counts=row_counts)
+        - entropy_codes(*zcols, row_counts=row_counts)
     )
     return max(0.0, cmi)
 
@@ -178,14 +259,27 @@ def g_statistic_codes(
     x: np.ndarray,
     y: np.ndarray,
     zcols: Sequence[np.ndarray] | None = None,
+    row_counts: np.ndarray | None = None,
 ) -> tuple[float, int]:
-    """G-test statistic (2·N·I) and degrees of freedom, coded columns."""
-    n = len(x)
+    """G-test statistic (2·N·I) and degrees of freedom, coded columns.
+
+    With ``row_counts`` the rows are deduplicated-stream rows and ``N``
+    is the total multiplicity, not the array length; degrees of freedom
+    depend only on the distinct-value support, which deduplication
+    preserves exactly.
+    """
+    n = (
+        len(x)
+        if row_counts is None
+        else int(np.asarray(row_counts, dtype=np.int64).sum())
+    )
     if not zcols:
-        mi = mutual_information_codes(x, y)
+        mi = mutual_information_codes(x, y, row_counts=row_counts)
         dof = max(1, (n_distinct(x) - 1) * (n_distinct(y) - 1))
     else:
-        mi = conditional_mutual_information_codes(x, y, zcols)
+        mi = conditional_mutual_information_codes(
+            x, y, zcols, row_counts=row_counts
+        )
         dof = max(
             1,
             (n_distinct(x) - 1)

@@ -1,0 +1,249 @@
+"""Parallel MMHC structure search: bit-identity across backends.
+
+The MMPC skeleton scans and the hill-climb's family-score evaluations
+dispatch as task batches over the session-scoped exec backends; the
+search loops stay driver-side.  So DAG, final score, and both phase
+counters must be **bit-identical** across serial / thread / process at
+any worker count — the backends only change wall-clock — and the
+parallel dispatches must show up as ``mmhc.parallel`` spans in a trace
+that validates against the event schema.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.structure.mmhc import mmhc
+from repro.core.config import BCleanConfig
+from repro.core.engine import BClean
+from repro.data.errors import ErrorInjector
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.exec import ExecSession, build_fit_state
+from repro.exec.fit_stream import suffstats_from_table
+from repro.obs import Tracer, validate_chrome_trace
+
+pytestmark = pytest.mark.fast
+
+
+def build_table(seed: int = 0, n_rows: int = 150) -> Table:
+    """Four attributes with two planted FDs (key→value, code→site) so
+    MMPC has real skeleton structure to find."""
+    rng = random.Random(seed)
+    schema = Schema.of(
+        "key:categorical",
+        "value:categorical",
+        "code:categorical",
+        "site:categorical",
+    )
+    fd1 = {f"k{i}": f"v{i}" for i in range(5)}
+    fd2 = {f"c{i}": f"s{i}" for i in range(4)}
+    rows = []
+    for _ in range(n_rows):
+        k = rng.choice(list(fd1))
+        c = rng.choice(list(fd2))
+        rows.append([k, fd1[k], c, fd2[c]])
+    clean = Table.from_rows(schema, rows)
+    return ErrorInjector(rate=0.1, seed=seed + 1).inject(clean).dirty
+
+
+def serial_result(table, encoding=None, **kwargs):
+    return mmhc(table, encoding=encoding or table.encode(), **kwargs)
+
+
+def parallel_result(table, executor, n_jobs=2, tracer=None, **kwargs):
+    encoding = table.encode()
+    state = build_fit_state(
+        encoding, table.schema.names, np.ones(table.n_rows)
+    )
+    session = (
+        ExecSession(state, n_jobs, tracer=tracer)
+        if tracer is not None
+        else ExecSession(state, n_jobs)
+    )
+    try:
+        return mmhc(
+            table,
+            encoding=encoding,
+            exec_session=session,
+            executor=executor,
+            n_jobs=n_jobs,
+            tracer=tracer or session.tracer,
+            **kwargs,
+        )
+    finally:
+        session.close()
+
+
+class TestParallelIdentity:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return build_table()
+
+    @pytest.fixture(scope="class")
+    def reference(self, table):
+        return serial_result(table)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_dag_score_and_counters_bit_identical(
+        self, table, reference, executor
+    ):
+        result = parallel_result(table, executor)
+        assert sorted(result.dag.edges()) == sorted(reference.dag.edges())
+        assert result.score == reference.score
+        assert result.cpc == reference.cpc
+        assert (
+            result.n_independence_tests == reference.n_independence_tests
+        )
+        assert result.n_moves_evaluated == reference.n_moves_evaluated
+
+    def test_weighted_stream_parallel_identity(self, table, reference):
+        """The deduplicated-stream form rides the same task batches:
+        struct rows + multiplicities, serial vs thread, both equal to
+        the full-table serial search."""
+        stats = suffstats_from_table(table, chunk_rows=31)
+        struct, senc, row_counts, row_firsts = stats.finalize()
+        weighted = dict(
+            row_counts=row_counts,
+            row_firsts=row_firsts,
+            n_rows=stats.n_rows,
+        )
+        serial = mmhc(struct, encoding=senc, **weighted)
+        state = build_fit_state(
+            senc,
+            struct.schema.names,
+            np.ones(struct.n_rows),
+            row_counts=row_counts,
+            row_firsts=row_firsts,
+            n_rows=stats.n_rows,
+        )
+        session = ExecSession(state, 2)
+        try:
+            threaded = mmhc(
+                struct,
+                encoding=senc,
+                exec_session=session,
+                executor="thread",
+                n_jobs=2,
+                **weighted,
+            )
+        finally:
+            session.close()
+        for result in (serial, threaded):
+            assert sorted(result.dag.edges()) == sorted(
+                reference.dag.edges()
+            )
+            assert result.score == reference.score
+            assert (
+                result.n_independence_tests
+                == reference.n_independence_tests
+            )
+
+
+class TestEngineLevelParallelFit:
+    @pytest.fixture(scope="class")
+    def dirty(self):
+        return build_table(seed=7)
+
+    def run(self, dirty, **knobs):
+        engine = BClean(BCleanConfig.pi(structure="mmhc", **knobs))
+        engine.fit(dirty, chunk_rows=40)
+        return engine, engine.clean()
+
+    def test_backends_learn_identical_networks(self, dirty):
+        base_engine, base = self.run(dirty)
+        for executor in ("thread", "process"):
+            engine, result = self.run(
+                dirty, fit_executor=executor, n_jobs=2
+            )
+            assert sorted(engine.dag.edges()) == sorted(
+                base_engine.dag.edges()
+            )
+            assert [
+                (r.row, r.attribute, r.old_value, r.new_value)
+                for r in result.repairs
+            ] == [
+                (r.row, r.attribute, r.old_value, r.new_value)
+                for r in base.repairs
+            ]
+            assert engine._fit_diag["fit_executor"] == executor
+
+    def test_single_worker_records_serial_reason(self, dirty):
+        """A degenerate parallel request must say *why* it ran serially
+        — the provenance the fit bench asserts on."""
+        engine, _ = self.run(dirty, fit_executor="thread", n_jobs=1)
+        diag = engine._fit_diag
+        assert diag.get("ran_serially") is True
+        assert diag.get("ran_serially_reason") == "n_jobs=1"
+
+
+class TestHashSeedDeterminism:
+    def test_edge_order_independent_of_hash_seed(self):
+        """The hill-climb's move enumeration must not ride set hash
+        order: two processes with different PYTHONHASHSEED must emit
+        the same edges in the same *insertion order* (parent order
+        feeds float summation order in every downstream score)."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import json, random\n"
+            "from repro.bayesnet.structure.mmhc import mmhc\n"
+            "from repro.dataset.schema import Schema\n"
+            "from repro.dataset.table import Table\n"
+            "rng = random.Random(0)\n"
+            "schema = Schema.of('key:categorical', 'value:categorical',"
+            " 'code:categorical', 'site:categorical')\n"
+            "fd1 = {f'k{i}': f'v{i}' for i in range(5)}\n"
+            "fd2 = {f'c{i}': f's{i}' for i in range(4)}\n"
+            "rows = []\n"
+            "for _ in range(150):\n"
+            "    k = rng.choice(list(fd1)); c = rng.choice(list(fd2))\n"
+            "    rows.append([k, fd1[k], c, fd2[c]])\n"
+            "table = Table.from_rows(schema, rows)\n"
+            "r = mmhc(table, encoding=table.encode())\n"
+            "print(json.dumps({'edges': [list(e) for e in r.dag.edges()],"
+            " 'score': r.score}))\n"
+        )
+        outputs = []
+        for seed in ("0", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = "src" + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(__file__)),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(json.loads(proc.stdout))
+        assert outputs[0] == outputs[1]
+        assert outputs[0]["edges"], "expected the FDs to surface as edges"
+
+
+class TestParallelSpans:
+    def test_mmhc_parallel_spans_validate(self, tmp_path):
+        table = build_table(seed=3)
+        tracer = Tracer()
+        with tracer.span("fit", cat="fit", root=True):
+            parallel_result(table, "thread", tracer=tracer)
+        path = tmp_path / "mmhc-trace.json"
+        tracer.write(path)
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        spans = [
+            e for e in payload["traceEvents"]
+            if e.get("name") == "mmhc.parallel"
+        ]
+        phases = {e["args"]["phase"] for e in spans}
+        assert "mmpc" in phases and "scores" in phases
+        assert all(e["args"]["backend"] == "thread" for e in spans)
+        assert {"mmhc.mmpc", "mmhc.hillclimb"} <= {
+            e.get("name") for e in payload["traceEvents"]
+        }
